@@ -1,0 +1,63 @@
+// Ablation: the adaptive runtime (paper §4/§5.3). Sweeps the share of the
+// job spent in the baseline statistics wave (by varying the number of input
+// splits at constant data size) and the Algorithm-1 gates (variance
+// threshold, plan-change cost), reproducing the paper's Q9 anecdote: "the
+// statistics collection phase is the first round of Map tasks... This
+// effect will be reduced when many Map tasks are used to process a large
+// amount of data."
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workloads/log_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("ablation_adaptive");
+
+  ClusterConfig config;
+  CloudService geo = MakeGeoIpService(50, {});
+  IndexJobConf conf = MakeLogTopUrlsJob(&geo, 10);
+
+  // (1) Statistics-wave share: waves = splits / 96 map slots.
+  for (int splits : {96, 192, 384, 768, 1536}) {
+    LogTraceOptions log_options;
+    log_options.num_splits = splits;
+    auto input = GenerateLogTrace(log_options, config.num_nodes);
+    EFindJobRunner runner(config);
+
+    CollectedStats stats = runner.CollectStatistics(conf, input);
+    auto optimized = runner.RunWithPlan(
+        conf, input, runner.PlanFromStats(conf, stats), &stats);
+    auto dynamic = runner.RunDynamic(conf, input);
+    const std::string prefix = "waves=" + std::to_string(splits / 96);
+    harness.Add(prefix + "/optimized", optimized.sim_seconds);
+    harness.Add(prefix + "/dynamic", dynamic.sim_seconds,
+                (dynamic.replanned ? "replanned" : "kept") +
+                    std::string(", stats wave ") +
+                    std::to_string(dynamic.stats_wave_seconds) + "s");
+  }
+
+  // (2) Gate sensitivity at 4 waves.
+  LogTraceOptions log_options;
+  auto input = GenerateLogTrace(log_options, config.num_nodes);
+  for (double threshold : {0.01, 0.1, 1.0}) {
+    EFindOptions options;
+    options.variance_threshold = threshold;
+    EFindJobRunner runner(config, options);
+    auto dynamic = runner.RunDynamic(conf, input);
+    harness.Add("variance_threshold=" + std::to_string(threshold),
+                dynamic.sim_seconds,
+                dynamic.replanned ? "replanned" : "kept");
+  }
+  for (double cost : {0.001, 0.02, 10.0}) {
+    EFindOptions options;
+    options.plan_change_cost_sec = cost;
+    EFindJobRunner runner(config, options);
+    auto dynamic = runner.RunDynamic(conf, input);
+    harness.Add("plan_change_cost=" + std::to_string(cost),
+                dynamic.sim_seconds,
+                dynamic.replanned ? "replanned" : "kept");
+  }
+  return bench::FinishBench(harness, argc, argv);
+}

@@ -1,0 +1,34 @@
+// Ablation: re-partitioning job-boundary placement (Fig. 7). The LOG
+// workload's postProcess output (region, url) is far smaller than the
+// pre-processed event, so storing after postProcess saves DFS bytes — but
+// runs the grouped lookups on the scarcer reduce slots. The cost model's
+// auto choice must match the better forced placement.
+
+#include "bench/bench_util.h"
+#include "workloads/log_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("ablation_boundary");
+
+  ClusterConfig config;
+  LogTraceOptions log_options;
+  auto input = GenerateLogTrace(log_options, config.num_nodes);
+  CloudService geo = MakeGeoIpService(50, {});
+  IndexJobConf conf = MakeLogTopUrlsJob(&geo, 10);
+
+  for (auto [policy, name] :
+       {std::pair{BoundaryPolicy::kForcePre, "force_pre"},
+        std::pair{BoundaryPolicy::kForcePost, "force_post"},
+        std::pair{BoundaryPolicy::kAuto, "auto"}}) {
+    EFindOptions options;
+    options.boundary_policy = policy;
+    EFindJobRunner runner(config, options);
+    CollectedStats stats = runner.CollectStatistics(conf, input);
+    auto run = runner.RunWithPlan(
+        conf, input, MakeUniformPlan(conf, Strategy::kRepartition), &stats);
+    harness.Add(std::string("log_repart/") + name, run.sim_seconds,
+                std::to_string(run.jobs.size()) + " jobs");
+  }
+  return bench::FinishBench(harness, argc, argv);
+}

@@ -1,0 +1,50 @@
+// Ablation: lookup cache capacity. The paper fixes the cache at 1024
+// entries and "leave[s] the study of varying lookup cache sizes to future
+// work" (§4.2, footnote 4) — this bench is that study, on the LOG workload
+// (Zipf IPs + session locality) and on the cache-hostile Synthetic one.
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workloads/log_trace.h"
+#include "workloads/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("ablation_cache_size");
+
+  ClusterConfig config;
+
+  LogTraceOptions log_options;
+  auto log_input = GenerateLogTrace(log_options, config.num_nodes);
+  CloudService geo = MakeGeoIpService(50, {});
+  IndexJobConf log_conf = MakeLogTopUrlsJob(&geo, 10);
+
+  SyntheticOptions syn_options;
+  syn_options.num_records = 100000;
+  syn_options.num_distinct_keys = 50000;
+  auto syn_input = GenerateSynthetic(syn_options, config.num_nodes);
+  KvStoreOptions kv;
+  kv.num_nodes = config.num_nodes;
+  KvStore store(kv);
+  LoadSyntheticIndex(syn_options, &store);
+  IndexJobConf syn_conf = MakeSyntheticJoinJob(&store);
+
+  for (size_t capacity : {64, 256, 1024, 4096, 16384, 65536}) {
+    EFindOptions options;
+    options.cache_capacity = capacity;
+    EFindJobRunner runner(config, options);
+    auto log_run =
+        runner.RunWithStrategy(log_conf, log_input, Strategy::kLookupCache);
+    harness.Add("log/cap=" + std::to_string(capacity), log_run.sim_seconds,
+                "R=" + std::to_string(
+                           log_run.stats.head[0].index[0].miss_ratio));
+    auto syn_run =
+        runner.RunWithStrategy(syn_conf, syn_input, Strategy::kLookupCache);
+    harness.Add("synthetic/cap=" + std::to_string(capacity),
+                syn_run.sim_seconds,
+                "R=" + std::to_string(
+                           syn_run.stats.head[0].index[0].miss_ratio));
+  }
+  return bench::FinishBench(harness, argc, argv);
+}

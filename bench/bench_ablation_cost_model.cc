@@ -1,0 +1,77 @@
+// Ablation: cost-model fidelity (Table 1 + Eqs. 1-4). The optimizer only
+// needs the model to *rank* strategies correctly. This bench sweeps toy
+// join workloads across duplication factors and value sizes, compares the
+// model's predicted strategy ranking against measured simulated times, and
+// reports top-choice and pairwise agreement.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "efind/cost_model.h"
+#include "tests/test_util.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  using testing_util::ToyWorld;
+  bench::FigureHarness harness("ablation_cost_model");
+
+  ClusterConfig config;
+  const Strategy kStrategies[] = {Strategy::kBaseline, Strategy::kLookupCache,
+                                  Strategy::kRepartition,
+                                  Strategy::kIndexLocality};
+
+  int top1_hits = 0, pair_hits = 0, pair_total = 0, points = 0;
+  for (int key_domain : {40, 400, 4000, 40000}) {
+    for (uint64_t value_bytes : {50, 2000}) {
+      ToyWorld world(std::min(key_domain, 40000), value_bytes);
+      auto input = world.MakeInput(192, 120, key_domain);
+      IndexJobConf conf = world.MakeJoinJob(true);
+      EFindJobRunner runner(config);
+      CollectedStats stats = runner.CollectStatistics(conf, input);
+      const CostModel& model = runner.optimizer().cost_model();
+
+      std::vector<double> predicted, measured;
+      for (Strategy s : kStrategies) {
+        predicted.push_back(model.Cost(s, stats.head[0], 0,
+                                       OperatorPosition::kHead,
+                                       stats.head[0].spre));
+        measured.push_back(
+            runner.RunWithStrategy(conf, input, s).sim_seconds);
+      }
+      const std::string prefix = "keys=" + std::to_string(key_domain) +
+                                 ",val=" + std::to_string(value_bytes) + "B";
+      for (size_t i = 0; i < 4; ++i) {
+        harness.Add(prefix + "/" + ToString(kStrategies[i]), measured[i],
+                    "predicted " + std::to_string(predicted[i]) +
+                        " model-sec");
+      }
+      ++points;
+      const size_t best_pred =
+          std::min_element(predicted.begin(), predicted.end()) -
+          predicted.begin();
+      const size_t best_meas =
+          std::min_element(measured.begin(), measured.end()) -
+          measured.begin();
+      // Count a hit when the predicted winner is within 10% of the measured
+      // winner (ties between near-equal strategies are not mispredictions).
+      if (measured[best_pred] <= measured[best_meas] * 1.10) ++top1_hits;
+      for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = i + 1; j < 4; ++j) {
+          ++pair_total;
+          if ((predicted[i] < predicted[j]) == (measured[i] < measured[j])) {
+            ++pair_hits;
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("\ncost model rank agreement: top-choice %d/%d, pairwise "
+              "%d/%d (%.0f%%)\n",
+              top1_hits, points, pair_hits, pair_total,
+              100.0 * pair_hits / pair_total);
+  return bench::FinishBench(harness, argc, argv);
+}

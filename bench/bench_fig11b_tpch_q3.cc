@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 11(b): TPC-H Q3 (LineItem |X| Orders |X| Customer).
+//
+// Paper shape: the lookup cache achieves 2.3-2.9x over baseline thanks to
+// the order-key locality of consecutive lineitems; re-partitioning is
+// *worse* than the cache (the local cache already removes most redundancy,
+// so the extra job does not pay off); Optimized picks the cache plan.
+
+#include "bench/tpch_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("fig11b_tpch_q3");
+  TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/1), 12);
+  IndexJobConf conf = MakeTpchQ3Job(data);
+  bench::RunTpchFigure(&harness, conf, data.lineitem, /*repart_op=*/0);
+  return bench::FinishBench(harness, argc, argv);
+}

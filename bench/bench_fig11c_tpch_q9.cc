@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 11(c): TPC-H Q9 (LineItem |X| Supplier |X| Part |X|
+// PartSupp |X| Orders |X| Nation, MySQL join order).
+//
+// Paper shape: the cache barely helps (supplier keys have no locality);
+// re-partitioning the Supplier index removes all its redundant accesses and
+// wins clearly; Dynamic improves on baseline but pays the statistics wave.
+
+#include "bench/tpch_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("fig11c_tpch_q9");
+  TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/1), 12);
+  IndexJobConf conf = MakeTpchQ9Job(data);
+  bench::RunTpchFigure(&harness, conf, data.lineitem, /*repart_op=*/0);
+  return bench::FinishBench(harness, argc, argv);
+}

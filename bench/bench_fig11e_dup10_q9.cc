@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 11(e): TPC-H DUP10 Q9.
+//
+// Paper shape: 10x duplicated lineitems make re-partitioning's global
+// deduplication dominant (7.9x over baseline in the paper); with many map
+// waves the statistics phase is a small share, so Dynamic lands close to
+// the optimal plan's performance.
+
+#include "bench/tpch_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("fig11e_dup10_q9");
+  TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/10), 12);
+  IndexJobConf conf = MakeTpchQ9Job(data);
+  bench::RunTpchFigure(&harness, conf, data.lineitem, /*repart_op=*/0);
+  return bench::FinishBench(harness, argc, argv);
+}

@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 12: elapsed time of a local vs remote index lookup
+// while the result size varies from 10 B to 30 KB.
+//
+// Paper shape: both grow with the result size; the local-remote gap widens
+// because the gap is dominated by the network transfer of the result.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "kvstore/kv_store.h"
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::FigureHarness harness("fig12_lookup_latency");
+
+  ClusterConfig config;
+  KvStoreOptions kv;
+  kv.num_nodes = config.num_nodes;
+  kv.base_service_sec = 800e-6;  // Same store the Fig. 11(f) sweep uses.
+  KvStore store(kv);
+
+  constexpr uint64_t kKeyBytes = 8;
+  for (uint64_t l : {10, 100, 1000, 3000, 10000, 30000}) {
+    // Local lookup: the task runs on a node hosting the partition replica,
+    // so only the index service time applies (what the index-locality
+    // strategy buys). Remote adds the RPC round trip moving key + result.
+    const double local = store.ServiceSeconds(l);
+    const double remote =
+        local + config.RemoteLookupSeconds(kKeyBytes + l);
+    const std::string prefix = "result=" + std::to_string(l) + "B";
+    harness.Add(prefix + "/local", local);
+    harness.Add(prefix + "/remote", remote);
+  }
+
+  std::printf("\n(gap = remote - local; grows with the result size because "
+              "it is transfer-dominated)\n");
+  return bench::FinishBench(harness, argc, argv);
+}

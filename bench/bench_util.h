@@ -1,0 +1,159 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared harness for the per-figure benchmarks. Each bench binary:
+//   1. builds its workload and runs every experiment configuration once,
+//      printing a paper-style table (strategy rows, speedups vs baseline);
+//   2. registers the measured simulated times as google-benchmark entries
+//      (manual time), so standard benchmark tooling sees one entry per bar.
+//
+// Times are SIMULATED cluster seconds (see DESIGN.md §3) — the shapes, not
+// the absolute values, are the reproduction target.
+
+#ifndef EFIND_BENCH_BENCH_UTIL_H_
+#define EFIND_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+
+namespace efind {
+namespace bench {
+
+/// One measured bar: configuration label -> simulated seconds.
+struct Measurement {
+  std::string name;
+  double sim_seconds = 0;
+  std::string plan;
+};
+
+/// Collects measurements and emits both the table and benchmark entries.
+class FigureHarness {
+ public:
+  explicit FigureHarness(std::string figure) : figure_(std::move(figure)) {}
+
+  void Add(const std::string& name, double sim_seconds,
+           const std::string& plan = "") {
+    measurements_.push_back({name, sim_seconds, plan});
+  }
+
+  /// Runs the six paper configurations for one (conf, input) point:
+  /// Base, Cache, Repart, Idxloc (skipped when infeasible), Optimized,
+  /// Dynamic. `prefix` labels the x-axis point (e.g. "delay=2ms").
+  /// `repart_plan`, when non-null, overrides the fixed "Repart"/"Idxloc"
+  /// bars (the paper applies re-partitioning to the single most beneficial
+  /// index of multi-index jobs, cache for the rest).
+  void RunAllStrategies(EFindJobRunner* runner, const IndexJobConf& conf,
+                        const std::vector<InputSplit>& input,
+                        const std::string& prefix,
+                        const JobPlan* repart_plan = nullptr,
+                        const JobPlan* idxloc_plan = nullptr,
+                        bool include_idxloc = true) {
+    auto label = [&](const char* s) {
+      return prefix.empty() ? std::string(s) : prefix + "/" + s;
+    };
+    auto base = runner->RunWithStrategy(conf, input, Strategy::kBaseline);
+    Add(label("base"), base.sim_seconds, base.plan.ToString());
+    auto cache = runner->RunWithStrategy(conf, input, Strategy::kLookupCache);
+    Add(label("cache"), cache.sim_seconds, cache.plan.ToString());
+    auto repart =
+        repart_plan != nullptr
+            ? runner->RunWithPlan(conf, input, *repart_plan)
+            : runner->RunWithStrategy(conf, input, Strategy::kRepartition);
+    Add(label("repart"), repart.sim_seconds, repart.plan.ToString());
+    if (include_idxloc) {
+      auto idxloc =
+          idxloc_plan != nullptr
+              ? runner->RunWithPlan(conf, input, *idxloc_plan)
+              : runner->RunWithStrategy(conf, input,
+                                        Strategy::kIndexLocality);
+      Add(label("idxloc"), idxloc.sim_seconds, idxloc.plan.ToString());
+    }
+    CollectedStats stats = runner->CollectStatistics(conf, input);
+    JobPlan plan = runner->PlanFromStats(conf, stats);
+    auto optimized = runner->RunWithPlan(conf, input, plan, &stats);
+    Add(label("optimized"), optimized.sim_seconds, plan.ToString());
+    auto dynamic = runner->RunDynamic(conf, input);
+    Add(label("dynamic"), dynamic.sim_seconds,
+        dynamic.plan.ToString() +
+            (dynamic.replanned ? " [replanned]" : " [kept]"));
+  }
+
+  /// Prints the paper-style table. Speedups are relative to the first
+  /// measurement sharing the same prefix and named ".../base".
+  void PrintTable() const {
+    std::printf("\n=== %s (simulated cluster seconds) ===\n",
+                figure_.c_str());
+    std::printf("%-36s %12s %9s  %s\n", "configuration", "sim_seconds",
+                "speedup", "plan");
+    std::map<std::string, double> base_of;
+    for (const auto& m : measurements_) {
+      const size_t slash = m.name.rfind('/');
+      const std::string prefix =
+          slash == std::string::npos ? "" : m.name.substr(0, slash);
+      const std::string leaf =
+          slash == std::string::npos ? m.name : m.name.substr(slash + 1);
+      if (leaf == "base") base_of[prefix] = m.sim_seconds;
+    }
+    for (const auto& m : measurements_) {
+      const size_t slash = m.name.rfind('/');
+      const std::string prefix =
+          slash == std::string::npos ? "" : m.name.substr(0, slash);
+      auto it = base_of.find(prefix);
+      if (it != base_of.end() && m.sim_seconds > 0) {
+        std::printf("%-36s %12.6f %8.2fx  %s\n", m.name.c_str(),
+                    m.sim_seconds, it->second / m.sim_seconds,
+                    m.plan.c_str());
+      } else {
+        std::printf("%-36s %12.6f %9s  %s\n", m.name.c_str(), m.sim_seconds,
+                    "-", m.plan.c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  /// Registers one manual-time benchmark per measurement.
+  void RegisterBenchmarks() const {
+    for (const auto& m : measurements_) {
+      const double seconds = m.sim_seconds;
+      ::benchmark::RegisterBenchmark(
+          (figure_ + "/" + m.name).c_str(),
+          [seconds](::benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(seconds);
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kSecond);
+    }
+  }
+
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+
+ private:
+  std::string figure_;
+  std::vector<Measurement> measurements_;
+};
+
+/// Standard main body: print the table, then hand over to benchmark.
+inline int FinishBench(FigureHarness& harness, int argc, char** argv) {
+  harness.PrintTable();
+  harness.RegisterBenchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace efind
+
+#endif  // EFIND_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared configuration for the four TPC-H figure benchmarks (11b-11e).
+// The paper's "Repart"/"Idxloc" bars apply the strategy to the single most
+// beneficial index — Orders in Q3, Supplier in Q9 — "while using the lookup
+// cache strategy for the rest" (§5.2).
+
+#ifndef EFIND_BENCH_TPCH_BENCH_COMMON_H_
+#define EFIND_BENCH_TPCH_BENCH_COMMON_H_
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "workloads/tpch.h"
+
+namespace efind {
+namespace bench {
+
+inline TpchOptions BenchTpch(int dup_factor) {
+  TpchOptions options;
+  // ~120k lineitems for the plain runs, ~640k for DUP10; cardinalities
+  // rescaled to preserve the paper's domain-size : cache-size ratios
+  // (DESIGN.md §2). Split sizes stay constant (64 MB in the paper), so
+  // DUP10 runs many more map tasks — which is why its Dynamic bars sit
+  // close to Optimized: the statistics wave is a small share of the job.
+  options.num_orders = dup_factor > 1 ? 24000 : 30000;
+  options.num_splits = dup_factor > 1 ? 1920 : 384;
+  options.num_customers = 10000;
+  options.num_suppliers = 10000;
+  options.num_parts = 20000;
+  options.dup_factor = dup_factor;
+  return options;
+}
+
+/// Cache everywhere, `strategy` on head operator `op` index `idx`.
+inline JobPlan SingleIndexPlan(const IndexJobConf& conf, size_t op, int idx,
+                               Strategy strategy) {
+  JobPlan plan = MakeUniformPlan(conf, Strategy::kLookupCache);
+  if (op < plan.head.size()) {
+    for (auto& choice : plan.head[op].order) {
+      if (choice.index == idx) choice.strategy = strategy;
+    }
+    // Property 4: the shuffled index is accessed first.
+    std::stable_sort(plan.head[op].order.begin(), plan.head[op].order.end(),
+                     [](const IndexChoice& a, const IndexChoice& b) {
+                       auto shuffled = [](Strategy s) {
+                         return s == Strategy::kRepartition ||
+                                s == Strategy::kIndexLocality;
+                       };
+                       return shuffled(a.strategy) > shuffled(b.strategy);
+                     });
+  }
+  return plan;
+}
+
+inline void RunTpchFigure(FigureHarness* harness, const IndexJobConf& conf,
+                          const std::vector<InputSplit>& input,
+                          size_t repart_op) {
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  const JobPlan repart_plan =
+      SingleIndexPlan(conf, repart_op, 0, Strategy::kRepartition);
+  const JobPlan idxloc_plan =
+      SingleIndexPlan(conf, repart_op, 0, Strategy::kIndexLocality);
+  harness->RunAllStrategies(&runner, conf, input, "", &repart_plan,
+                            &idxloc_plan);
+}
+
+}  // namespace bench
+}  // namespace efind
+
+#endif  // EFIND_BENCH_TPCH_BENCH_COMMON_H_

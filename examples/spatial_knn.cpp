@@ -1,0 +1,61 @@
+// Location-based analysis (paper §1/§5.4): k-nearest-neighbor join between
+// two geographic point sets, expressed as an EFind index nested-loop join
+// against a cell-partitioned R*-tree — about a dozen lines of user code —
+// and compared with the hand-tuned H-zkNNJ algorithm the paper benchmarks
+// against (three MapReduce jobs of z-order machinery).
+//
+// Run: ./build/examples/spatial_knn
+
+#include <cstdio>
+
+#include "efind/efind_job_runner.h"
+#include "workloads/osm.h"
+#include "workloads/zknnj.h"
+
+int main() {
+  using namespace efind;
+
+  ClusterConfig cluster;
+  OsmOptions options;
+  options.num_a = 40000;
+  options.num_b = 40000;
+  std::printf("generating %zu query points (A) and %zu indexed points (B), "
+              "k=%d, 4x8 R*-tree cell grid...\n",
+              options.num_a, options.num_b, options.k);
+  OsmData data = GenerateOsm(options, cluster.num_nodes);
+  IndexJobConf conf =
+      MakeKnnJoinJob(data.b_index.get(), options.k,
+                     options.neighbor_extra_bytes);
+
+  EFindJobRunner runner(cluster);
+  auto base = runner.RunWithStrategy(conf, data.a_splits, Strategy::kBaseline);
+  CollectedStats stats = runner.CollectStatistics(conf, data.a_splits);
+  JobPlan plan = runner.PlanFromStats(conf, stats);
+  auto optimized = runner.RunWithPlan(conf, data.a_splits, plan, &stats);
+
+  JobRunner plain_runner(cluster);
+  ZknnjOptions zknnj;
+  zknnj.k = options.k;
+  zknnj.epsilon = 0.02;
+  ZknnjResult hand_tuned = RunHZknnj(&plain_runner, data, options, zknnj);
+
+  std::printf("EFind baseline : %.3f simulated s\n", base.sim_seconds);
+  std::printf("EFind optimized: %.3f simulated s, plan %s\n",
+              optimized.sim_seconds, plan.ToString().c_str());
+  std::printf("H-zkNNJ        : %.3f simulated s (sample %.3f + candidates "
+              "%.3f + merge %.3f)\n\n",
+              hand_tuned.sim_seconds, hand_tuned.sample_job_seconds,
+              hand_tuned.candidate_job_seconds,
+              hand_tuned.merge_job_seconds);
+
+  std::printf("sample joins (query point -> 10 nearest neighbor ids):\n");
+  int shown = 0;
+  for (const auto& r : optimized.CollectRecords()) {
+    std::printf("  %-10s -> %s\n", r.key.c_str(), r.value.c_str());
+    if (++shown >= 5) break;
+  }
+  std::printf("\nEFind expresses the join declaratively (one IndexOperator) "
+              "and reaches hand-tuned-class performance via index "
+              "locality.\n");
+  return 0;
+}

@@ -1,0 +1,332 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace efind {
+
+// Internal nodes: keys_[i] separates children_[i] (< keys_[i]) from
+// children_[i+1] (>= keys_[i]). Leaves: keys_[i] maps to values_[i].
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  std::vector<std::string> keys;
+  std::vector<std::string> values;   // Leaf only.
+  std::vector<Node*> children;       // Internal only.
+  Node* next_leaf = nullptr;         // Leaf chain for scans.
+};
+
+struct BPlusTree::SplitResult {
+  std::string separator;  // First key of the right node.
+  Node* right = nullptr;
+};
+
+BPlusTree::BPlusTree(int fanout) : fanout_(fanout < 4 ? 4 : fanout) {}
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+void BPlusTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    for (Node* c : node->children) FreeTree(c);
+  }
+  delete node;
+}
+
+BPlusTree::Node* BPlusTree::FindLeaf(std::string_view key) const {
+  Node* node = root_;
+  while (node != nullptr && !node->is_leaf) {
+    // First child whose separator is > key; keys >= separator go right.
+    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+               node->keys.begin();
+    node = node->children[i];
+  }
+  return node;
+}
+
+Status BPlusTree::Get(std::string_view key, std::string* value) const {
+  const Node* leaf = FindLeaf(key);
+  if (leaf == nullptr) return Status::NotFound();
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return Status::NotFound();
+  *value = leaf->values[it - leaf->keys.begin()];
+  return Status::OK();
+}
+
+bool BPlusTree::InsertInto(Node* node, const std::string& key,
+                           const std::string& value, bool overwrite,
+                           SplitResult* split, Status* status) {
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = it - node->keys.begin();
+    if (it != node->keys.end() && *it == key) {
+      if (!overwrite) {
+        *status = Status::AlreadyExists(key);
+        return false;
+      }
+      node->values[pos] = value;
+      *status = Status::OK();
+      return false;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+    *status = Status::OK();
+    if (static_cast<int>(node->keys.size()) <= fanout_) return false;
+    // Split the leaf in half.
+    Node* right = new Node();
+    right->is_leaf = true;
+    const size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right;
+    split->separator = right->keys.front();
+    split->right = right;
+    return true;
+  }
+
+  // Internal node: descend.
+  size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+             node->keys.begin();
+  SplitResult child_split;
+  if (!InsertInto(node->children[i], key, value, overwrite, &child_split,
+                  status)) {
+    return false;
+  }
+  node->keys.insert(node->keys.begin() + i, child_split.separator);
+  node->children.insert(node->children.begin() + i + 1, child_split.right);
+  if (static_cast<int>(node->children.size()) <= fanout_) return false;
+  // Split the internal node; the middle key moves up.
+  Node* right = new Node();
+  right->is_leaf = false;
+  const size_t mid_key = node->keys.size() / 2;
+  split->separator = node->keys[mid_key];
+  right->keys.assign(node->keys.begin() + mid_key + 1, node->keys.end());
+  right->children.assign(node->children.begin() + mid_key + 1,
+                         node->children.end());
+  node->keys.resize(mid_key);
+  node->children.resize(mid_key + 1);
+  split->right = right;
+  return true;
+}
+
+Status BPlusTree::Insert(const std::string& key, const std::string& value) {
+  if (root_ == nullptr) {
+    root_ = new Node();
+    height_ = 1;
+  }
+  Status status;
+  SplitResult split;
+  if (InsertInto(root_, key, value, /*overwrite=*/false, &split, &status)) {
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+  return status;
+}
+
+void BPlusTree::Upsert(const std::string& key, const std::string& value) {
+  if (root_ == nullptr) {
+    root_ = new Node();
+    height_ = 1;
+  }
+  Status status;
+  SplitResult split;
+  if (InsertInto(root_, key, value, /*overwrite=*/true, &split, &status)) {
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+}
+
+size_t BPlusTree::MinFill(const Node* node) const {
+  // Leaves must keep fanout/2 keys, internal nodes fanout/2 children
+  // (>= 2 for the minimum fanout of 4). The root is exempt.
+  (void)node;
+  return static_cast<size_t>(fanout_ / 2);
+}
+
+void BPlusTree::RebalanceChild(Node* node, size_t i) {
+  Node* child = node->children[i];
+  Node* left = i > 0 ? node->children[i - 1] : nullptr;
+  Node* right = i + 1 < node->children.size() ? node->children[i + 1]
+                                              : nullptr;
+  const size_t min_fill = MinFill(child);
+
+  if (child->is_leaf) {
+    if (left != nullptr && left->keys.size() > min_fill) {
+      // Borrow the left sibling's last entry.
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->values.insert(child->values.begin(),
+                           std::move(left->values.back()));
+      left->keys.pop_back();
+      left->values.pop_back();
+      node->keys[i - 1] = child->keys.front();
+      return;
+    }
+    if (right != nullptr && right->keys.size() > min_fill) {
+      // Borrow the right sibling's first entry.
+      child->keys.push_back(std::move(right->keys.front()));
+      child->values.push_back(std::move(right->values.front()));
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      node->keys[i] = right->keys.front();
+      return;
+    }
+    // Merge with a sibling (into the left one of the pair).
+    Node* dst = left != nullptr ? left : child;
+    Node* src = left != nullptr ? child : right;
+    const size_t sep = left != nullptr ? i - 1 : i;
+    dst->keys.insert(dst->keys.end(),
+                     std::make_move_iterator(src->keys.begin()),
+                     std::make_move_iterator(src->keys.end()));
+    dst->values.insert(dst->values.end(),
+                       std::make_move_iterator(src->values.begin()),
+                       std::make_move_iterator(src->values.end()));
+    dst->next_leaf = src->next_leaf;
+    node->keys.erase(node->keys.begin() + sep);
+    node->children.erase(node->children.begin() + sep + 1);
+    delete src;
+    return;
+  }
+
+  // Internal child.
+  if (left != nullptr && left->children.size() > min_fill) {
+    child->keys.insert(child->keys.begin(), std::move(node->keys[i - 1]));
+    node->keys[i - 1] = std::move(left->keys.back());
+    left->keys.pop_back();
+    child->children.insert(child->children.begin(), left->children.back());
+    left->children.pop_back();
+    return;
+  }
+  if (right != nullptr && right->children.size() > min_fill) {
+    child->keys.push_back(std::move(node->keys[i]));
+    node->keys[i] = std::move(right->keys.front());
+    right->keys.erase(right->keys.begin());
+    child->children.push_back(right->children.front());
+    right->children.erase(right->children.begin());
+    return;
+  }
+  Node* dst = left != nullptr ? left : child;
+  Node* src = left != nullptr ? child : right;
+  const size_t sep = left != nullptr ? i - 1 : i;
+  dst->keys.push_back(std::move(node->keys[sep]));
+  dst->keys.insert(dst->keys.end(),
+                   std::make_move_iterator(src->keys.begin()),
+                   std::make_move_iterator(src->keys.end()));
+  dst->children.insert(dst->children.end(), src->children.begin(),
+                       src->children.end());
+  src->children.clear();
+  node->keys.erase(node->keys.begin() + sep);
+  node->children.erase(node->children.begin() + sep + 1);
+  delete src;
+}
+
+void BPlusTree::DeleteFrom(Node* node, std::string_view key,
+                           Status* status) {
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key) {
+      *status = Status::NotFound(key);
+      return;
+    }
+    node->values.erase(node->values.begin() + (it - node->keys.begin()));
+    node->keys.erase(it);
+    --size_;
+    *status = Status::OK();
+    return;
+  }
+  const size_t i =
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin();
+  DeleteFrom(node->children[i], key, status);
+  if (!status->ok()) return;
+  Node* child = node->children[i];
+  const size_t count =
+      child->is_leaf ? child->keys.size() : child->children.size();
+  if (count < MinFill(child)) RebalanceChild(node, i);
+}
+
+Status BPlusTree::Delete(std::string_view key) {
+  if (root_ == nullptr || size_ == 0) return Status::NotFound(key);
+  Status status;
+  DeleteFrom(root_, key, &status);
+  if (!status.ok()) return status;
+  // Collapse a root that lost its last separator.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    Node* old_root = root_;
+    root_ = old_root->children[0];
+    old_root->children.clear();
+    delete old_root;
+    --height_;
+  }
+  return status;
+}
+
+void BPlusTree::Scan(
+    std::string_view lo, std::string_view hi,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (!hi.empty() && leaf->keys[i] >= hi) return;
+      out->emplace_back(leaf->keys[i], leaf->values[i]);
+    }
+    leaf = leaf->next_leaf;
+  }
+}
+
+std::string BPlusTree::MinKey() const {
+  const Node* node = root_;
+  if (node == nullptr || size_ == 0) return "";
+  while (!node->is_leaf) node = node->children.front();
+  return node->keys.empty() ? "" : node->keys.front();
+}
+
+std::string BPlusTree::MaxKey() const {
+  const Node* node = root_;
+  if (node == nullptr || size_ == 0) return "";
+  while (!node->is_leaf) node = node->children.back();
+  return node->keys.empty() ? "" : node->keys.back();
+}
+
+bool BPlusTree::CheckNode(const Node* node, int depth, int leaf_depth,
+                          const std::string* lo, const std::string* hi) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
+  for (const auto& k : node->keys) {
+    if (lo != nullptr && k < *lo) return false;
+    if (hi != nullptr && k >= *hi) return false;
+  }
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;
+    return node->keys.size() == node->values.size();
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const std::string* clo = (i == 0) ? lo : &node->keys[i - 1];
+    const std::string* chi = (i == node->keys.size()) ? hi : &node->keys[i];
+    if (!CheckNode(node->children[i], depth + 1, leaf_depth, clo, chi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  return CheckNode(root_, 1, height_, nullptr, nullptr);
+}
+
+}  // namespace efind

@@ -1,0 +1,94 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_BTREE_BPLUS_TREE_H_
+#define EFIND_BTREE_BPLUS_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace efind {
+
+/// An in-memory B+ tree from string keys to string values.
+///
+/// This is the storage engine behind `DistributedBTree`, the range-
+/// partitioned index used to exercise EFind's range-partition-scheme path
+/// (the paper cites distributed B-trees [2] as an index whose "root node"
+/// exposes the range partition scheme of the second-level nodes).
+///
+/// Leaves are linked for range scans. Duplicate keys are rejected (indices
+/// with multi-valued keys store a list in the value, as `KvStore` does).
+class BPlusTree {
+ public:
+  /// `fanout` is the maximum number of children of an internal node (and
+  /// the maximum number of entries in a leaf); minimum 4.
+  explicit BPlusTree(int fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts `key` -> `value`. Returns AlreadyExists if the key is present.
+  Status Insert(const std::string& key, const std::string& value);
+
+  /// Inserts or overwrites `key` -> `value`.
+  void Upsert(const std::string& key, const std::string& value);
+
+  /// Point lookup. Returns NotFound when absent.
+  Status Get(std::string_view key, std::string* value) const;
+
+  /// Removes `key`, rebalancing by borrowing from or merging with siblings
+  /// and collapsing the root when it loses its last separator. Returns
+  /// NotFound when absent.
+  Status Delete(std::string_view key);
+
+  /// Appends all (key, value) pairs with lo <= key < hi, in key order, to
+  /// `*out`. An empty `hi` means "to the end".
+  void Scan(std::string_view lo, std::string_view hi,
+            std::vector<std::pair<std::string, std::string>>* out) const;
+
+  /// Smallest key in the tree; empty string when empty.
+  std::string MinKey() const;
+  /// Largest key in the tree; empty string when empty.
+  std::string MaxKey() const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Height of the tree (0 when empty, 1 when a single leaf).
+  int height() const { return height_; }
+
+  /// Verifies structural invariants (sorted keys, fill factors, uniform leaf
+  /// depth, linked-leaf order). For tests; returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  Node* FindLeaf(std::string_view key) const;
+  // Inserts into subtree rooted at `node`; fills `*split` and returns true
+  // when the node split.
+  bool InsertInto(Node* node, const std::string& key, const std::string& value,
+                  bool overwrite, SplitResult* split, Status* status);
+  void DeleteFrom(Node* node, std::string_view key, Status* status);
+  // Restores the fill factor of node->children[i] after a deletion below.
+  void RebalanceChild(Node* node, size_t i);
+  size_t MinFill(const Node* node) const;
+  bool CheckNode(const Node* node, int depth, int leaf_depth,
+                 const std::string* lo, const std::string* hi) const;
+  void FreeTree(Node* node);
+
+  int fanout_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,102 @@
+#include "btree/distributed_btree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace efind {
+
+RangePartitionScheme::RangePartitionScheme(std::vector<std::string> boundaries,
+                                           int num_nodes, int replication)
+    : boundaries_(std::move(boundaries)),
+      num_nodes_(num_nodes > 0 ? num_nodes : 1),
+      replication_(replication > 0 ? replication : 1) {
+  std::sort(boundaries_.begin(), boundaries_.end());
+  if (replication_ > num_nodes_) replication_ = num_nodes_;
+}
+
+int RangePartitionScheme::num_partitions() const {
+  return static_cast<int>(boundaries_.size()) + 1;
+}
+
+int RangePartitionScheme::PartitionOf(std::string_view key) const {
+  // Partition p covers [boundaries[p-1], boundaries[p]).
+  return static_cast<int>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
+      boundaries_.begin());
+}
+
+int RangePartitionScheme::HostOfPartition(int p) const {
+  return p % num_nodes_;
+}
+
+bool RangePartitionScheme::NodeHostsPartition(int node, int p) const {
+  for (int r = 0; r < replication_; ++r) {
+    if ((p + r) % num_nodes_ == node) return true;
+  }
+  return false;
+}
+
+DistributedBTree::DistributedBTree(std::vector<std::string> boundaries,
+                                   const DistributedBTreeOptions& options)
+    : options_(options),
+      scheme_(std::move(boundaries), options.num_nodes, options.replication) {
+  partitions_.reserve(scheme_.num_partitions());
+  for (int p = 0; p < scheme_.num_partitions(); ++p) {
+    partitions_.push_back(std::make_unique<BPlusTree>(options.fanout));
+  }
+}
+
+std::unique_ptr<DistributedBTree> DistributedBTree::BulkLoad(
+    std::vector<std::pair<std::string, std::string>> pairs,
+    const DistributedBTreeOptions& options) {
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<std::string> boundaries;
+  const int parts = options.num_partitions > 0 ? options.num_partitions : 1;
+  if (!pairs.empty()) {
+    for (int b = 1; b < parts; ++b) {
+      const size_t idx = pairs.size() * static_cast<size_t>(b) /
+                         static_cast<size_t>(parts);
+      if (idx < pairs.size()) boundaries.push_back(pairs[idx].first);
+    }
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+  }
+  auto tree = std::make_unique<DistributedBTree>(std::move(boundaries),
+                                                 options);
+  for (auto& [k, v] : pairs) tree->Insert(k, v).ok();
+  return tree;
+}
+
+Status DistributedBTree::Insert(const std::string& key,
+                                const std::string& value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  return partitions_[scheme_.PartitionOf(key)]->Insert(key, value);
+}
+
+Status DistributedBTree::Get(std::string_view key, std::string* value) const {
+  return partitions_[scheme_.PartitionOf(key)]->Get(key, value);
+}
+
+void DistributedBTree::Scan(
+    std::string_view lo, std::string_view hi,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  const int first = scheme_.PartitionOf(lo);
+  const int last = hi.empty() ? scheme_.num_partitions() - 1
+                              : scheme_.PartitionOf(hi);
+  for (int p = first; p <= last; ++p) {
+    partitions_[p]->Scan(lo, hi, out);
+  }
+}
+
+size_t DistributedBTree::size() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->size();
+  return n;
+}
+
+size_t DistributedBTree::PartitionSize(int p) const {
+  if (p < 0 || p >= static_cast<int>(partitions_.size())) return 0;
+  return partitions_[p]->size();
+}
+
+}  // namespace efind

@@ -1,0 +1,99 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_BTREE_DISTRIBUTED_BTREE_H_
+#define EFIND_BTREE_DISTRIBUTED_BTREE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/partition_scheme.h"
+#include "common/status.h"
+
+namespace efind {
+
+/// Range partitioning over sorted split boundaries with replica placement.
+/// Partition p covers keys in [boundaries[p-1], boundaries[p]) (the first
+/// partition is unbounded below, the last unbounded above), like the root of
+/// a distributed B-tree describing its second-level nodes (paper §3.4).
+class RangePartitionScheme : public PartitionScheme {
+ public:
+  /// `boundaries` are the (num_partitions - 1) sorted split keys.
+  RangePartitionScheme(std::vector<std::string> boundaries, int num_nodes,
+                       int replication);
+
+  int num_partitions() const override;
+  int PartitionOf(std::string_view key) const override;
+  int HostOfPartition(int p) const override;
+  bool NodeHostsPartition(int node, int p) const override;
+
+ private:
+  std::vector<std::string> boundaries_;
+  int num_nodes_;
+  int replication_;
+};
+
+/// Tunables for a `DistributedBTree`.
+struct DistributedBTreeOptions {
+  int num_partitions = 16;
+  int replication = 3;
+  int num_nodes = 12;
+  int fanout = 64;
+  /// Fixed server time per lookup: root + inner-node traversal.
+  double base_service_sec = 120e-6;
+  /// Server time per result byte.
+  double serve_per_byte_sec = 5e-9;
+};
+
+/// A range-partitioned B+ tree index: one `BPlusTree` per partition, with
+/// an exposed `RangePartitionScheme` so EFind can use index locality.
+///
+/// Build it with `BulkLoad` (which chooses balanced boundaries from the
+/// sorted key set) or create with explicit boundaries and `Insert`.
+class DistributedBTree {
+ public:
+  DistributedBTree(std::vector<std::string> boundaries,
+                   const DistributedBTreeOptions& options);
+
+  DistributedBTree(const DistributedBTree&) = delete;
+  DistributedBTree& operator=(const DistributedBTree&) = delete;
+
+  /// Builds a tree over the given pairs, picking `options.num_partitions`-way
+  /// balanced range boundaries from the sorted keys.
+  static std::unique_ptr<DistributedBTree> BulkLoad(
+      std::vector<std::pair<std::string, std::string>> pairs,
+      const DistributedBTreeOptions& options);
+
+  /// Inserts a key into its owning partition.
+  Status Insert(const std::string& key, const std::string& value);
+
+  /// Point lookup across partitions.
+  Status Get(std::string_view key, std::string* value) const;
+
+  /// Range scan [lo, hi) possibly spanning partitions, in key order.
+  void Scan(std::string_view lo, std::string_view hi,
+            std::vector<std::pair<std::string, std::string>>* out) const;
+
+  /// Server-side service time T_j for a result of `result_bytes`.
+  double ServiceSeconds(uint64_t result_bytes) const {
+    return options_.base_service_sec +
+           options_.serve_per_byte_sec * static_cast<double>(result_bytes);
+  }
+
+  const RangePartitionScheme& scheme() const { return scheme_; }
+  size_t size() const;
+  /// Entry count of partition `p`.
+  size_t PartitionSize(int p) const;
+
+ private:
+  DistributedBTreeOptions options_;
+  RangePartitionScheme scheme_;
+  std::vector<std::unique_ptr<BPlusTree>> partitions_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_BTREE_DISTRIBUTED_BTREE_H_

@@ -1,0 +1,33 @@
+#include "cluster/cluster.h"
+
+namespace efind {
+
+bool ValidateClusterConfig(const ClusterConfig& config, const char** why) {
+  const char* reason = nullptr;
+  if (config.num_nodes <= 0) {
+    reason = "num_nodes must be positive";
+  } else if (config.map_slots_per_node <= 0) {
+    reason = "map_slots_per_node must be positive";
+  } else if (config.reduce_slots_per_node <= 0) {
+    reason = "reduce_slots_per_node must be positive";
+  } else if (config.network_bw_bytes_per_sec <= 0) {
+    reason = "network_bw_bytes_per_sec must be positive";
+  } else if (config.disk_bw_bytes_per_sec <= 0) {
+    reason = "disk_bw_bytes_per_sec must be positive";
+  } else if (config.dfs_cost_per_byte < 0) {
+    reason = "dfs_cost_per_byte must be non-negative";
+  } else if (config.cpu_per_record_sec < 0 || config.cpu_per_byte_sec < 0) {
+    reason = "cpu costs must be non-negative";
+  } else if (config.cache_probe_sec < 0) {
+    reason = "cache_probe_sec must be non-negative";
+  } else if (config.task_startup_sec < 0) {
+    reason = "task_startup_sec must be non-negative";
+  }
+  if (reason != nullptr) {
+    if (why != nullptr) *why = reason;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace efind

@@ -1,0 +1,43 @@
+#include "cluster/wave_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace efind {
+
+PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
+                            int num_slots) {
+  PhaseSchedule out;
+  out.tasks.resize(durations.size());
+  if (durations.empty()) return out;
+  if (num_slots <= 0) num_slots = 1;
+
+  // Min-heap of (free_time, slot).
+  using SlotState = std::pair<double, int>;
+  std::priority_queue<SlotState, std::vector<SlotState>,
+                      std::greater<SlotState>>
+      slots;
+  for (int s = 0; s < num_slots; ++s) slots.emplace(0.0, s);
+
+  const size_t first_wave =
+      std::min(durations.size(), static_cast<size_t>(num_slots));
+  out.first_wave_size = first_wave;
+
+  for (size_t i = 0; i < durations.size(); ++i) {
+    auto [free_at, slot] = slots.top();
+    slots.pop();
+    TaskSchedule& t = out.tasks[i];
+    t.slot = slot;
+    t.start = free_at;
+    t.finish = free_at + durations[i];
+    slots.emplace(t.finish, slot);
+    out.makespan = std::max(out.makespan, t.finish);
+    if (i < first_wave) {
+      out.first_wave_finish = std::max(out.first_wave_finish, t.finish);
+    }
+  }
+  return out;
+}
+
+}  // namespace efind

@@ -1,0 +1,42 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_CLUSTER_WAVE_SCHEDULER_H_
+#define EFIND_CLUSTER_WAVE_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace efind {
+
+/// Start/finish assignment for one task produced by the scheduler.
+struct TaskSchedule {
+  double start = 0.0;
+  double finish = 0.0;
+  int slot = 0;
+};
+
+/// Result of scheduling a phase of tasks onto a fixed number of slots.
+struct PhaseSchedule {
+  std::vector<TaskSchedule> tasks;
+  /// Completion time of the whole phase (last slot to finish).
+  double makespan = 0.0;
+  /// Completion time of the first wave, i.e. the first `num_slots` tasks
+  /// (all tasks if fewer). The adaptive optimizer re-plans at this point
+  /// (paper Section 4.1: "the statistics collected from the tasks in the
+  /// first round of Map may trigger re-optimization").
+  double first_wave_finish = 0.0;
+  /// Number of tasks in the first wave.
+  size_t first_wave_size = 0;
+};
+
+/// Schedules tasks with the given durations onto `num_slots` identical slots
+/// using FIFO list scheduling (each task goes to the earliest-free slot, in
+/// submission order), which is how Hadoop assigns tasks from its queue.
+/// A non-positive `num_slots` is treated as 1.
+PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
+                            int num_slots);
+
+}  // namespace efind
+
+#endif  // EFIND_CLUSTER_WAVE_SCHEDULER_H_

@@ -1,0 +1,68 @@
+#include "common/fm_sketch.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace efind {
+namespace {
+
+// Flajolet–Martin magic constant phi: E[2^R] ≈ distinct / phi.
+constexpr double kPhi = 0.77351;
+
+// Position of the lowest zero bit of x (rank of the first 0).
+int LowestZeroBit(uint64_t x) {
+  int r = 0;
+  while ((x & 1) != 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+FmSketch::FmSketch(int num_vectors)
+    : vectors_(num_vectors > 0 ? num_vectors : 1, 0) {}
+
+void FmSketch::Add(std::string_view key) { AddHash(Hash64(key)); }
+
+void FmSketch::AddHash(uint64_t hash) {
+  ++num_added_;
+  const size_t m = vectors_.size();
+  // Stochastic averaging: the high bits pick a vector, the remaining bits
+  // give the geometric trial.
+  const size_t idx = static_cast<size_t>(hash % m);
+  uint64_t v = Mix64(hash / m + 0x9E3779B97F4A7C15ULL);
+  // rho(v) = number of trailing ones... we set bit at position of the
+  // lowest-order 1 bit of v (classic FM: position of first 1 in the hash).
+  int pos = 0;
+  if (v == 0) {
+    pos = 63;
+  } else {
+    while ((v & 1) == 0) {
+      v >>= 1;
+      ++pos;
+    }
+  }
+  if (pos > 62) pos = 62;
+  vectors_[idx] |= (1ULL << pos);
+}
+
+void FmSketch::Merge(const FmSketch& other) {
+  const size_t m = vectors_.size() < other.vectors_.size()
+                       ? vectors_.size()
+                       : other.vectors_.size();
+  for (size_t i = 0; i < m; ++i) vectors_[i] |= other.vectors_[i];
+  num_added_ += other.num_added_;
+}
+
+double FmSketch::EstimateDistinct() const {
+  const size_t m = vectors_.size();
+  double rank_sum = 0;
+  for (uint64_t v : vectors_) rank_sum += LowestZeroBit(v);
+  const double mean_rank = rank_sum / static_cast<double>(m);
+  return static_cast<double>(m) * std::pow(2.0, mean_rank) / kPhi;
+}
+
+}  // namespace efind

@@ -1,0 +1,54 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_FM_SKETCH_H_
+#define EFIND_COMMON_FM_SKETCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace efind {
+
+/// Flajolet–Martin distinct-value sketch (paper Section 4.2, reference [9]).
+///
+/// EFind keeps one sketch per Map/Reduce task, updated with every index
+/// lookup key. Local bit vectors are OR-ed together across tasks; the global
+/// duplicate factor is
+///     Θ = total_lookup_keys / EstimateDistinct(merged sketch).
+///
+/// The implementation uses stochastic averaging over `num_vectors`
+/// independent bit vectors to reduce estimation variance. Typical accuracy
+/// with 64 vectors is within ~10% (tested in fm_sketch_test.cc).
+class FmSketch {
+ public:
+  /// Creates a sketch with `num_vectors` bit vectors. More vectors give a
+  /// more accurate estimate at the cost of 8 bytes each.
+  explicit FmSketch(int num_vectors = 64);
+
+  /// Feeds a key into the sketch.
+  void Add(std::string_view key);
+  /// Feeds a pre-hashed 64-bit key into the sketch.
+  void AddHash(uint64_t hash);
+
+  /// ORs another sketch into this one; the sketches must have the same
+  /// number of vectors. This is how per-task sketches combine into the
+  /// cluster-wide estimate.
+  void Merge(const FmSketch& other);
+
+  /// Estimates the number of distinct keys added so far.
+  double EstimateDistinct() const;
+
+  /// Number of keys fed into the sketch (local count, not merged).
+  uint64_t num_added() const { return num_added_; }
+
+  int num_vectors() const { return static_cast<int>(vectors_.size()); }
+
+ private:
+  std::vector<uint64_t> vectors_;
+  uint64_t num_added_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_FM_SKETCH_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_HASH_H_
+#define EFIND_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace efind {
+
+/// 64-bit FNV-1a hash of `data`. Deterministic across platforms; used for
+/// record partitioning, the KV store's hash partitioner, and FM sketches.
+inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ (seed * 0x9E3779B97F4A7C15ULL);
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche (splitmix64 finalizer) so low bits are well mixed even
+  // for short keys; partitioners take `hash % num_partitions`.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Mixes a 64-bit integer (splitmix64 finalizer). Useful for hashing
+/// numeric keys without string conversion.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_HASH_H_

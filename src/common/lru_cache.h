@@ -1,0 +1,102 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_LRU_CACHE_H_
+#define EFIND_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace efind {
+
+/// A fixed-capacity LRU cache mapping `Key` to `Value`.
+///
+/// This backs EFind's *lookup cache strategy* (paper Section 3.2): before
+/// invoking `IndexAccessor::lookup` for a key, the runtime probes this cache;
+/// a hit returns the cached result list and skips the (remote) lookup.
+///
+/// The capacity is measured in entries (the paper fixes it at 1024 entries
+/// and leaves size tuning to future work; `bench_ablation_cache_size` sweeps
+/// it). Not thread-safe; in the simulated cluster each node owns one cache
+/// and tasks on a node run sequentially per slot.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// Creates a cache holding at most `capacity` entries. A capacity of 0
+  /// disables caching (every Get misses, Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Looks up `key`; on a hit, moves the entry to the front (most recently
+  /// used), writes the value to `*value`, and returns true.
+  bool Get(const Key& key, Value* value) {
+    ++probes_;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  /// Inserts or refreshes `key` with `value`, evicting the least recently
+  /// used entry if the cache is full.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      map_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(value));
+    map_[key] = entries_.begin();
+  }
+
+  /// Removes all entries and resets hit/miss statistics.
+  void Clear() {
+    entries_.clear();
+    map_.clear();
+    probes_ = 0;
+    misses_ = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Total number of Get calls since construction or Clear.
+  uint64_t probes() const { return probes_; }
+  /// Number of Get calls that missed.
+  uint64_t misses() const { return misses_; }
+  /// Observed miss ratio R (paper Table 1); 1.0 when never probed.
+  double miss_ratio() const {
+    return probes_ == 0 ? 1.0
+                        : static_cast<double>(misses_) /
+                              static_cast<double>(probes_);
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  size_t capacity_;
+  std::list<Entry> entries_;  // Front = most recently used.
+  std::unordered_map<Key, typename std::list<Entry>::iterator> map_;
+  uint64_t probes_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_LRU_CACHE_H_

@@ -1,0 +1,39 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_PARTITION_SCHEME_H_
+#define EFIND_COMMON_PARTITION_SCHEME_H_
+
+#include <string_view>
+
+namespace efind {
+
+/// How a distributed index partitions its keys across cluster nodes.
+///
+/// Paper Section 3.4: "A distributed index often employs hash or range-based
+/// partition schemes. In many cases, it is possible to obtain the partition
+/// scheme from the distributed index" — the root of a distributed B-tree, the
+/// metadata server of a master-worker index, or the consistent-hash ring of a
+/// Cassandra-style store. An `IndexAccessor` that can expose its scheme
+/// enables EFind's *index locality* strategy: the re-partitioning shuffle
+/// uses `PartitionOf` as the MapReduce partitioner so lookup keys are
+/// co-partitioned with the index, and post-shuffle tasks are scheduled on
+/// `HostOfPartition` nodes so lookups become node-local.
+class PartitionScheme {
+ public:
+  virtual ~PartitionScheme() = default;
+
+  /// Number of index partitions.
+  virtual int num_partitions() const = 0;
+  /// Partition holding `key`.
+  virtual int PartitionOf(std::string_view key) const = 0;
+  /// A cluster node hosting partition `p` (any replica; the scheduler treats
+  /// lookups from that node as local).
+  virtual int HostOfPartition(int p) const = 0;
+  /// True if `node` hosts a replica of partition `p`.
+  virtual bool NodeHostsPartition(int node, int p) const = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_PARTITION_SCHEME_H_

@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace efind {
+
+namespace {
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed expansion via splitmix64, as recommended for xoshiro.
+  uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+  for (auto& s : s_) {
+    x += 0x9E3779B97F4A7C15ULL;
+    s = Mix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Bias is negligible for our bound sizes relative to 2^64.
+  return Next() % bound;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+// Rejection-inversion sampling after Hörmann, "Rejection-Inversion to
+// Generate Variates from Monotone Discrete Distributions" (1996); the same
+// scheme YCSB-style generators use. Values are 1-based internally.
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n > 0 ? n : 1), theta_(theta) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double u) const {
+  if (theta_ == 1.0) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  if (theta_ <= 0.0) return rng->Uniform(n_);  // Degenerate: uniform.
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) return static_cast<uint64_t>(k) - 1;
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace efind

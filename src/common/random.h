@@ -1,0 +1,63 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_RANDOM_H_
+#define EFIND_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace efind {
+
+/// Deterministic xoshiro256**-style pseudo-random generator. Every workload
+/// generator takes an explicit seed so benchmarks and tests are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  /// Gaussian with the given mean and standard deviation (Box–Muller).
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integer generator over [0, n). Uses the rejection-
+/// inversion method of Hörmann, which needs no O(n) precomputation, so it is
+/// cheap even for large domains. Used by the LOG workload (skewed IPs/URLs).
+class ZipfGenerator {
+ public:
+  /// `n` is the domain size, `theta` the skew (0 = uniform; 0.99 is the
+  /// classic YCSB default).
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws the next Zipf-distributed value in [0, n).
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_RANDOM_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_RUNNING_STATS_H_
+#define EFIND_COMMON_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace efind {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Backs the adaptive optimizer's variance gate (paper Section 4.2,
+/// Equation 5): statistics collected from completed Map/Reduce tasks are
+/// treated as random samples, and re-optimization runs only when
+/// `stddev / mean` is below a threshold, i.e. when the sample mean is a
+/// trustworthy estimate of the whole job's characteristics.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one sample (e.g., one completed task's per-record statistic).
+  void Add(double x);
+
+  /// Merges another accumulator (Chan's parallel combination), as when
+  /// per-node statistics combine into job-level statistics.
+  void Merge(const RunningStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance S^2 with Bessel's correction (Equation 5); 0 for n<2.
+  double variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+  /// stddev()/|mean()|; returns +inf when the mean is 0 but samples vary.
+  double coefficient_of_variation() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Sum of squared deviations from the running mean.
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_RUNNING_STATS_H_

@@ -1,0 +1,137 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_COMMON_STATUS_H_
+#define EFIND_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace efind {
+
+/// Error codes for fallible operations. The project does not use C++
+/// exceptions; every fallible path returns a `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+/// A lightweight success-or-error value in the RocksDB/absl idiom.
+///
+/// A default-constructed `Status` is OK and carries no allocation. Error
+/// statuses carry a code and an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+  /// Factory for a not-found error (e.g., missing index key).
+  static Status NotFound(std::string_view msg = "") {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  /// Factory for an invalid-argument error.
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  /// Factory for an out-of-range error.
+  static Status OutOfRange(std::string_view msg = "") {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  /// Factory for an already-exists error.
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  /// Factory for a failed-precondition error (API misuse).
+  static Status FailedPrecondition(std::string_view msg = "") {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  /// Factory for an unavailable error (e.g., node down in the cluster model).
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  /// Factory for an internal invariant violation.
+  static Status Internal(std::string_view msg = "") {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// The value accessors must only be called after checking `ok()`; calling
+/// them on an error result aborts (there are no exceptions to throw).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_value;`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) __builtin_trap();
+  }
+
+  Status status_;
+  T value_{};
+};
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_STATUS_H_

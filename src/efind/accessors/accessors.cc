@@ -1,0 +1,54 @@
+#include "efind/accessors/accessors.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace efind {
+
+Status KvIndexAccessor::Lookup(const std::string& ik,
+                               std::vector<IndexValue>* out) {
+  out->clear();
+  return store_->Get(ik, out);
+}
+
+Status BTreeIndexAccessor::Lookup(const std::string& ik,
+                                  std::vector<IndexValue>* out) {
+  out->clear();
+  std::string value;
+  const Status status = tree_->Get(ik, &value);
+  if (!status.ok()) return status;
+  out->emplace_back(std::move(value));
+  return Status::OK();
+}
+
+Status RTreeKnnAccessor::Lookup(const std::string& ik,
+                                std::vector<IndexValue>* out) {
+  out->clear();
+  double x = 0, y = 0;
+  if (!DecodePoint(ik, &x, &y)) {
+    return Status::InvalidArgument("bad point key: " + ik);
+  }
+  for (const SpatialPoint& p : index_->KNearest(x, y, k_)) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%.17g,%.17g", p.id, p.x,
+                  p.y);
+    out->emplace_back(std::string(buf), per_result_extra_bytes_);
+  }
+  return Status::OK();
+}
+
+Status InvertedIndexAccessor::Lookup(const std::string& ik,
+                                     std::vector<IndexValue>* out) {
+  out->clear();
+  std::vector<Posting> postings;
+  const Status status = index_->Lookup(ik, &postings);
+  if (!status.ok()) return status;
+  out->reserve(postings.size());
+  for (const Posting& p : postings) {
+    out->emplace_back(std::to_string(p.doc_id) + ":" +
+                      std::to_string(p.term_frequency));
+  }
+  return Status::OK();
+}
+
+}  // namespace efind

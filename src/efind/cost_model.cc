@@ -1,0 +1,175 @@
+#include "efind/cost_model.h"
+
+#include <algorithm>
+
+namespace efind {
+
+namespace {
+
+bool ValidIndex(const OperatorStats& stats, int j) {
+  return j >= 0 && j < static_cast<int>(stats.index.size());
+}
+
+}  // namespace
+
+double CostModel::BaselineCost(const OperatorStats& stats, int j) const {
+  if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  const double per_lookup =
+      config_.RemoteLookupSeconds(
+          static_cast<uint64_t>(is.sik + is.siv)) +
+      is.remote_overhead + is.tj;
+  return stats.n1 * is.nik * per_lookup;
+}
+
+double CostModel::CacheCost(const OperatorStats& stats, int j) const {
+  if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  const double per_lookup =
+      config_.RemoteLookupSeconds(
+          static_cast<uint64_t>(is.sik + is.siv)) +
+      is.remote_overhead + is.tj;
+  return stats.n1 * is.nik *
+         (config_.cache_probe_sec + is.miss_ratio * per_lookup);
+}
+
+double CostModel::ExtraJobSeconds() const {
+  // A re-partitioning / index-locality strategy adds one MapReduce job:
+  // one extra wave of map-task startups and one of reduce-task startups.
+  // The paper notes this overhead "can be high, thus it is rare that such
+  // strategies are chosen by many indices" (end of SS3.5).
+  //
+  // Unit conversion: the Eq. 1-4 terms are per-machine *work* seconds,
+  // which a node retires map_slots_per_node at a time; job startup is a
+  // wall-clock serialization point, so it converts to work units by the
+  // slot count. The extra job typically costs ~5 wave quanta end to end
+  // (shuffle map wave, two reduce waves, the follow-up lookup job's wave,
+  // and scheduling slack), calibrated against the simulator in
+  // bench_ablation_cost_model.
+  return 5.0 * config_.task_startup_sec * config_.map_slots_per_node;
+}
+
+double CostModel::ExtraPassCost(const OperatorStats& stats,
+                                double spre_eff) const {
+  const double per_byte = 3.0 / config_.disk_bw_bytes_per_sec +
+                          1.0 / config_.network_bw_bytes_per_sec +
+                          3.0 * config_.cpu_per_byte_sec;
+  return stats.n1 *
+         (spre_eff * per_byte + 2.0 * config_.cpu_per_record_sec);
+}
+
+double CostModel::ShuffleCost(const OperatorStats& stats,
+                              double spre_eff) const {
+  return stats.n1 * spre_eff / config_.network_bw_bytes_per_sec;
+}
+
+double CostModel::MinBoundaryBytes(const OperatorStats& stats,
+                                   OperatorPosition position,
+                                   double spre_eff) const {
+  switch (position) {
+    case OperatorPosition::kHead:
+    case OperatorPosition::kBody:
+      // Implemented boundaries: after pre/group (Spre) or after
+      // postProcess (Spost). Spost == 0 means "not yet measured"; fall
+      // back to Spre.
+      if (stats.spost > 0) return std::min(spre_eff, stats.spost);
+      return spre_eff;
+    case OperatorPosition::kTail:
+      return spre_eff;
+  }
+  return spre_eff;
+}
+
+bool CostModel::PreferPostBoundary(const OperatorStats& stats,
+                                   OperatorPosition position,
+                                   double spre_eff,
+                                   double lookup_cost_after_dedup) const {
+  if (position == OperatorPosition::kTail) return false;
+  if (stats.spost <= 0 || stats.spost >= spre_eff) return false;
+  const double dfs_savings =
+      config_.dfs_cost_per_byte * stats.n1 * (spre_eff - stats.spost);
+  // Running the lookups reduce-side sacrifices map-slot parallelism.
+  const double slots_ratio =
+      config_.reduce_slots_per_node > 0
+          ? static_cast<double>(config_.map_slots_per_node) /
+                config_.reduce_slots_per_node
+          : 1.0;
+  const double slot_penalty =
+      lookup_cost_after_dedup * std::max(0.0, slots_ratio - 1.0);
+  return dfs_savings > slot_penalty;
+}
+
+double CostModel::ResultCost(const OperatorStats& stats,
+                             OperatorPosition position,
+                             double spre_eff) const {
+  return config_.dfs_cost_per_byte * stats.n1 *
+         MinBoundaryBytes(stats, position, spre_eff);
+}
+
+double CostModel::RepartitionCost(const OperatorStats& stats, int j,
+                                  OperatorPosition position,
+                                  double spre_eff) const {
+  if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  const double theta = std::max(1.0, is.theta);
+  const double per_lookup =
+      config_.RemoteLookupSeconds(
+          static_cast<uint64_t>(is.sik + is.siv)) +
+      is.remote_overhead + is.tj;
+  const double lookup_cost = stats.n1 * is.nik / theta * per_lookup;
+  return ShuffleCost(stats, spre_eff) +
+         ResultCost(stats, position, spre_eff) + lookup_cost +
+         ExtraJobSeconds() + ExtraPassCost(stats, spre_eff);
+}
+
+double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
+                                    OperatorPosition position,
+                                    double spre_eff) const {
+  if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  const double theta = std::max(1.0, is.theta);
+  const double lookup_cost =
+      stats.n1 * is.nik / theta * is.tj +
+      stats.n1 * spre_eff / config_.network_bw_bytes_per_sec;
+  // Index locality chunks each partition's grouped file across its replica
+  // hosts (finer tasks than plain re-partitioning): ~3 extra wave quanta
+  // of task startups.
+  const double granularity_overhead =
+      3.0 * config_.task_startup_sec * config_.map_slots_per_node;
+  return ShuffleCost(stats, spre_eff) +
+         ResultCost(stats, position, spre_eff) + lookup_cost +
+         ExtraJobSeconds() + ExtraPassCost(stats, spre_eff) +
+         granularity_overhead;
+}
+
+double CostModel::Cost(Strategy strategy, const OperatorStats& stats, int j,
+                       OperatorPosition position, double spre_eff) const {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      return BaselineCost(stats, j);
+    case Strategy::kLookupCache:
+      return CacheCost(stats, j);
+    case Strategy::kRepartition:
+      return RepartitionCost(stats, j, position, spre_eff);
+    case Strategy::kIndexLocality:
+      return IndexLocalityCost(stats, j, position, spre_eff);
+  }
+  return 0;
+}
+
+double CostModel::OperatorPlanCost(const OperatorPlan& plan,
+                                   const OperatorStats& stats,
+                                   OperatorPosition position) const {
+  double spre_eff = stats.spre;
+  double total = 0;
+  for (const IndexChoice& choice : plan.order) {
+    total += Cost(choice.strategy, stats, choice.index, position, spre_eff);
+    if (ValidIndex(stats, choice.index)) {
+      const IndexStats& is = stats.index[choice.index];
+      spre_eff += is.nik * is.siv;
+    }
+  }
+  return total;
+}
+
+}  // namespace efind

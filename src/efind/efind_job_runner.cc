@@ -1,0 +1,716 @@
+#include "efind/efind_job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "efind/cost_model.h"
+#include "efind/stages.h"
+
+namespace efind {
+
+struct EFindJobRunner::RunContext {
+  std::vector<std::unique_ptr<OperatorRuntime>> head;
+  std::vector<std::unique_ptr<OperatorRuntime>> body;
+  std::vector<std::unique_ptr<OperatorRuntime>> tail;
+
+  OperatorRuntime* Get(OperatorPosition pos, size_t i) {
+    switch (pos) {
+      case OperatorPosition::kHead:
+        return i < head.size() ? head[i].get() : nullptr;
+      case OperatorPosition::kBody:
+        return i < body.size() ? body[i].get() : nullptr;
+      case OperatorPosition::kTail:
+        return i < tail.size() ? tail[i].get() : nullptr;
+    }
+    return nullptr;
+  }
+};
+
+namespace {
+
+uint64_t BytesOfSplits(const std::vector<InputSplit>& splits) {
+  uint64_t n = 0;
+  for (const auto& s : splits) n += s.size_bytes();
+  return n;
+}
+
+const char* PosTag(OperatorPosition pos) {
+  switch (pos) {
+    case OperatorPosition::kHead:
+      return "h";
+    case OperatorPosition::kBody:
+      return "b";
+    case OperatorPosition::kTail:
+      return "t";
+  }
+  return "?";
+}
+
+/// Builds and executes the physical job pipeline for one (conf, plan) pair.
+/// See stages.h for the composition rules.
+class PipelineExecutor {
+ public:
+  PipelineExecutor(JobRunner* job_runner, const ClusterConfig& config,
+                   const EFindOptions& options, const IndexJobConf& conf,
+                   const JobPlan& plan, EFindJobRunner::RunContext* rc,
+                   const CollectedStats* stats_hint, EFindRunResult* result)
+      : job_runner_(job_runner),
+        config_(config),
+        options_(options),
+        conf_(conf),
+        plan_(plan),
+        rc_(rc),
+        stats_hint_(stats_hint),
+        result_(result),
+        cost_model_(config) {
+    StartJob();
+  }
+
+  /// Executes the whole pipeline; outputs land in result_->outputs.
+  void RunAll(const std::vector<InputSplit>& input) {
+    JobConfig final_job = Prepare(input);
+    if (!final_job.map_stages.empty() || final_job.reducer ||
+        !final_job.reduce_stages.empty()) {
+      cur_ = std::move(final_job);
+      FinishJob("final");
+    }
+    result_->outputs = std::move(data_);
+  }
+
+  /// Runs all intermediate jobs and returns the final job's config without
+  /// executing it (its input is `data()`). Requires that no tail operator
+  /// needs a shuffle (holds for baseline tail plans, which is what the
+  /// adaptive runtime uses this for).
+  JobConfig Prepare(const std::vector<InputSplit>& input) {
+    data_ = input;
+    reduce_side_ = false;
+    for (size_t i = 0; i < conf_.head_ops().size(); ++i) {
+      ExpandOperator(OperatorPosition::kHead, i);
+    }
+    if (conf_.mapper()) cur_.map_stages.push_back(conf_.mapper());
+    if (!conf_.head_ops().empty()) {
+      std::vector<OperatorRuntime*> rts;
+      for (auto& rt : rc_->head) rts.push_back(rt.get());
+      cur_.map_stages.push_back(std::make_shared<MapMeterStage>(rts));
+    }
+    for (size_t i = 0; i < conf_.body_ops().size(); ++i) {
+      ExpandOperator(OperatorPosition::kBody, i);
+    }
+    if (conf_.reducer()) {
+      cur_.reducer = conf_.reducer();
+      cur_.num_reduce_tasks = conf_.num_reduce_tasks();
+      reduce_side_ = true;
+    }
+    for (size_t i = 0; i < conf_.tail_ops().size(); ++i) {
+      ExpandOperator(OperatorPosition::kTail, i);
+    }
+    JobConfig final_job = std::move(cur_);
+    final_job.name = conf_.name() + ":main";
+    StartJob();
+    return final_job;
+  }
+
+  /// Expands only the tail operators as a map-side pipeline over `input`
+  /// (dynamic plan change in the middle of the reduce phase, Fig. 10b:
+  /// the remaining reduce tasks' outputs flow through the new tail plan).
+  void RunTailPipeline(const std::vector<InputSplit>& input) {
+    data_ = input;
+    reduce_side_ = false;
+    first_job_ = false;  // Input comes from a prior job: boundary applies.
+    for (size_t i = 0; i < conf_.tail_ops().size(); ++i) {
+      ExpandOperator(OperatorPosition::kTail, i);
+    }
+    if (!cur_.map_stages.empty() || cur_.reducer) FinishJob("tail");
+    result_->outputs = std::move(data_);
+  }
+
+  std::vector<InputSplit>& data() { return data_; }
+
+ private:
+  const std::vector<std::shared_ptr<IndexOperator>>& OpsAt(
+      OperatorPosition pos) const {
+    switch (pos) {
+      case OperatorPosition::kHead:
+        return conf_.head_ops();
+      case OperatorPosition::kBody:
+        return conf_.body_ops();
+      case OperatorPosition::kTail:
+        return conf_.tail_ops();
+    }
+    return conf_.head_ops();
+  }
+
+  const OperatorPlan* PlanAt(OperatorPosition pos, size_t i) const {
+    const std::vector<OperatorPlan>* group = nullptr;
+    switch (pos) {
+      case OperatorPosition::kHead:
+        group = &plan_.head;
+        break;
+      case OperatorPosition::kBody:
+        group = &plan_.body;
+        break;
+      case OperatorPosition::kTail:
+        group = &plan_.tail;
+        break;
+    }
+    return (group != nullptr && i < group->size()) ? &(*group)[i] : nullptr;
+  }
+
+  const OperatorStats* StatsHintAt(OperatorPosition pos, size_t i) const {
+    if (stats_hint_ == nullptr) return nullptr;
+    const std::vector<OperatorStats>* group = nullptr;
+    switch (pos) {
+      case OperatorPosition::kHead:
+        group = &stats_hint_->head;
+        break;
+      case OperatorPosition::kBody:
+        group = &stats_hint_->body;
+        break;
+      case OperatorPosition::kTail:
+        group = &stats_hint_->tail;
+        break;
+    }
+    if (group == nullptr || i >= group->size() || !(*group)[i].valid) {
+      return nullptr;
+    }
+    return &(*group)[i];
+  }
+
+  void StartJob() {
+    cur_ = JobConfig{};
+    cur_.name = conf_.name() + ":job" + std::to_string(job_counter_++);
+  }
+
+  void FinishJob(const char* label) {
+    cur_.name += std::string(":") + label;
+    JobStageSummary summary;
+    summary.name = cur_.name;
+    if (!first_job_) {
+      // The previous job stored its output in the DFS (replicated write,
+      // parallel across nodes); this job's map tasks charge the retrieval
+      // as their input read, so only the store side is added here.
+      summary.boundary_seconds =
+          config_.DfsStoreSeconds(BytesOfSplits(data_)) / config_.num_nodes;
+    }
+    JobResult job = job_runner_->Run(cur_, data_);
+    summary.map_seconds = job.map_seconds;
+    summary.reduce_seconds = job.reduce_seconds;
+    summary.map_tasks = job.num_map_tasks;
+    summary.reduce_tasks = job.num_reduce_tasks;
+    result_->jobs.push_back(summary);
+    result_->counters.Merge(job.counters);
+    result_->sim_seconds +=
+        job.sim_seconds + summary.boundary_seconds;
+    data_ = std::move(job.outputs);
+    first_job_ = false;
+    StartJob();
+  }
+
+  void ExpandOperator(OperatorPosition pos, size_t op_index) {
+    const auto& op = OpsAt(pos)[op_index];
+    const OperatorPlan* oplan = PlanAt(pos, op_index);
+    OperatorRuntime* rt = rc_->Get(pos, op_index);
+    const std::string prefix =
+        std::string("efind.") + PosTag(pos) + std::to_string(op_index);
+
+    auto side_stages = [&]() -> std::vector<std::shared_ptr<RecordStage>>* {
+      return reduce_side_ ? &cur_.reduce_stages : &cur_.map_stages;
+    };
+
+    side_stages()->push_back(
+        std::make_shared<PreProcessStage>(op, rt, prefix));
+
+    std::vector<IndexChoice> shuffled;
+    std::vector<InlineIndexTask> inline_tasks;
+    if (oplan != nullptr) {
+      for (const IndexChoice& c : oplan->order) {
+        if (c.strategy == Strategy::kRepartition ||
+            c.strategy == Strategy::kIndexLocality) {
+          shuffled.push_back(c);
+        } else {
+          inline_tasks.push_back(
+              {c.index, c.strategy == Strategy::kLookupCache});
+        }
+      }
+    } else {
+      for (int j = 0; j < op->num_indices(); ++j) {
+        inline_tasks.push_back({j, false});
+      }
+    }
+
+    const OperatorStats* stats = StatsHintAt(pos, op_index);
+    double spre_eff = stats != nullptr ? stats->spre : 0.0;
+
+    for (size_t s = 0; s < shuffled.size(); ++s) {
+      const IndexChoice& choice = shuffled[s];
+      if (reduce_side_) {
+        // The operator follows the user's Reduce: finish the job holding
+        // that reducer first; the shuffle becomes a fresh job.
+        FinishJob("pre-tail");
+        reduce_side_ = false;
+      }
+      const PartitionScheme* scheme =
+          op->accessors()[choice.index]->partition_scheme();
+      const bool idxloc =
+          choice.strategy == Strategy::kIndexLocality && scheme != nullptr;
+
+      cur_.map_stages.push_back(
+          std::make_shared<ShuffleKeyStage>(op, choice.index, prefix));
+      cur_.reducer = std::make_shared<GroupReducer>();
+      if (idxloc) {
+        cur_.partitioner = std::make_shared<SchemePartitioner>(scheme);
+        cur_.num_reduce_tasks = scheme->num_partitions();
+      } else {
+        // As many grouped output files as map slots, so the follow-up
+        // lookup job runs at full parallelism.
+        cur_.num_reduce_tasks = config_.total_map_slots();
+      }
+
+      // Job-boundary placement (Fig. 7): when this is the operator's last
+      // shuffle and statistics say the post-processed data is smaller than
+      // the pre-processed data, run the rest of the operator inside this
+      // job's reduce side so the smaller form is stored.
+      const bool last_shuffle = (s + 1 == shuffled.size());
+      bool post_boundary = false;
+      if (last_shuffle && !idxloc) {
+        switch (options_.boundary_policy) {
+          case BoundaryPolicy::kForcePre:
+            break;
+          case BoundaryPolicy::kForcePost:
+            post_boundary = true;
+            break;
+          case BoundaryPolicy::kAuto:
+            if (stats != nullptr) {
+              const double lookup_cost =
+                  cost_model_.RepartitionCost(*stats, choice.index, pos,
+                                              spre_eff) -
+                  cost_model_.ShuffleCost(*stats, spre_eff) -
+                  cost_model_.ExtraJobSeconds();
+              post_boundary = cost_model_.PreferPostBoundary(
+                  *stats, pos, spre_eff, std::max(0.0, lookup_cost));
+            }
+            break;
+        }
+      }
+      if (post_boundary) {
+        cur_.reduce_stages.push_back(std::make_shared<GroupedLookupStage>(
+            op, choice.index, /*local=*/false, rt, &config_, prefix));
+        if (!inline_tasks.empty()) {
+          cur_.reduce_stages.push_back(std::make_shared<InlineLookupStage>(
+              op, inline_tasks, rt, &config_, options_.cache_capacity,
+              prefix));
+        }
+        cur_.reduce_stages.push_back(
+            std::make_shared<PostProcessStage>(op, rt, prefix));
+        FinishJob("shuffle+post");
+        return;  // Operator fully expanded.
+      }
+
+      FinishJob("shuffle");
+      if (idxloc) {
+        // The follow-up tasks run at the index hosts (co-partitioned) and
+        // fetch their input over the network (Eq. 4's N1*Spre/BW term).
+        // Each partition's grouped file is chunked HDFS-style into several
+        // sub-splits spread over the partition's replica hosts, so the
+        // lookup phase is not limited to num_partitions-way parallelism
+        // (this is why the index being "replicated to three data nodes"
+        // matters). Chunk cuts fall between records; a group cut in two
+        // costs one extra lookup, nothing more.
+        uint64_t total_records = 0;
+        for (const auto& split : data_) total_records += split.records.size();
+        std::vector<InputSplit> resplit;
+        for (size_t r = 0; r < data_.size(); ++r) {
+          const int p = static_cast<int>(r);
+          std::vector<int> hosts;
+          for (int n = 0; n < config_.num_nodes; ++n) {
+            if (scheme->NodeHostsPartition(n, p)) hosts.push_back(n);
+          }
+          if (hosts.empty()) hosts.push_back(p % config_.num_nodes);
+          const auto& records = data_[r].records;
+          const size_t n_rec = records.size();
+          // Chunk count proportional to the partition's share of the data
+          // (big partitions = more HDFS chunks), so skewed partitions do
+          // not become stragglers; ~4 chunks per slot keeps the wave
+          // quantization loss small under skew.
+          const size_t target_chunks =
+              total_records > 0
+                  ? static_cast<size_t>(
+                        (static_cast<double>(n_rec) / total_records) *
+                            (4.0 * config_.total_map_slots()) +
+                        0.999)
+                  : 1;
+          const size_t n_chunks = std::max<size_t>(
+              1, std::min<size_t>(target_chunks, n_rec));
+          for (size_t c = 0; c < n_chunks; ++c) {
+            InputSplit chunk;
+            chunk.node = hosts[c % hosts.size()];
+            const size_t from = n_rec * c / n_chunks;
+            const size_t to = n_rec * (c + 1) / n_chunks;
+            chunk.records.assign(records.begin() + from,
+                                 records.begin() + to);
+            if (!chunk.records.empty() || c == 0) {
+              resplit.push_back(std::move(chunk));
+            }
+          }
+        }
+        data_ = std::move(resplit);
+        cur_.map_input_remote = true;
+      }
+      cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
+          op, choice.index, idxloc, rt, &config_, prefix));
+
+      if (stats != nullptr &&
+          choice.index < static_cast<int>(stats->index.size())) {
+        spre_eff += stats->index[choice.index].nik *
+                    stats->index[choice.index].siv;
+      }
+    }
+
+    if (!inline_tasks.empty()) {
+      side_stages()->push_back(std::make_shared<InlineLookupStage>(
+          op, inline_tasks, rt, &config_, options_.cache_capacity, prefix));
+    }
+    side_stages()->push_back(
+        std::make_shared<PostProcessStage>(op, rt, prefix));
+  }
+
+  JobRunner* job_runner_;
+  const ClusterConfig& config_;
+  const EFindOptions& options_;
+  const IndexJobConf& conf_;
+  const JobPlan& plan_;
+  EFindJobRunner::RunContext* rc_;
+  const CollectedStats* stats_hint_;
+  EFindRunResult* result_;
+  CostModel cost_model_;
+
+  JobConfig cur_;
+  std::vector<InputSplit> data_;
+  bool reduce_side_ = false;
+  bool first_job_ = true;
+  int job_counter_ = 0;
+};
+
+}  // namespace
+
+EFindJobRunner::EFindJobRunner(const ClusterConfig& config,
+                               const EFindOptions& options)
+    : config_(config),
+      options_(options),
+      job_runner_(config),
+      optimizer_(config, options.optimizer) {}
+
+std::unique_ptr<EFindJobRunner::RunContext> EFindJobRunner::MakeRunContext(
+    const IndexJobConf& conf) const {
+  auto rc = std::make_unique<RunContext>();
+  auto fill = [&](const std::vector<std::shared_ptr<IndexOperator>>& ops,
+                  std::vector<std::unique_ptr<OperatorRuntime>>* out) {
+    for (const auto& op : ops) {
+      out->push_back(std::make_unique<OperatorRuntime>(
+          op->num_indices(), config_.num_nodes, options_.cache_capacity));
+    }
+  };
+  fill(conf.head_ops(), &rc->head);
+  fill(conf.body_ops(), &rc->body);
+  fill(conf.tail_ops(), &rc->tail);
+  return rc;
+}
+
+namespace {
+
+void FillCapabilities(const std::vector<std::shared_ptr<IndexOperator>>& ops,
+                      std::vector<OperatorStats>* stats) {
+  for (size_t i = 0; i < ops.size() && i < stats->size(); ++i) {
+    auto& st = (*stats)[i];
+    for (int j = 0;
+         j < ops[i]->num_indices() && j < static_cast<int>(st.index.size());
+         ++j) {
+      const IndexAccessor& accessor = *ops[i]->accessors()[j];
+      st.index[j].idempotent = accessor.idempotent();
+      st.index[j].has_partition_scheme =
+          accessor.partition_scheme() != nullptr;
+      st.index[j].remote_overhead = accessor.RemoteOverheadSeconds();
+    }
+  }
+}
+
+}  // namespace
+
+CollectedStats EFindJobRunner::ComputeStatsWithConf(
+    const RunContext& rc, const IndexJobConf& conf,
+    double extrapolation) const {
+  CollectedStats stats;
+  for (const auto& rt : rc.head) {
+    stats.head.push_back(rt->Compute(config_.num_nodes, extrapolation));
+  }
+  for (const auto& rt : rc.body) {
+    stats.body.push_back(rt->Compute(config_.num_nodes, extrapolation));
+  }
+  for (const auto& rt : rc.tail) {
+    stats.tail.push_back(rt->Compute(config_.num_nodes, extrapolation));
+  }
+  FillCapabilities(conf.head_ops(), &stats.head);
+  FillCapabilities(conf.body_ops(), &stats.body);
+  FillCapabilities(conf.tail_ops(), &stats.tail);
+  return stats;
+}
+
+EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
+                                           const std::vector<InputSplit>& input,
+                                           const JobPlan& plan,
+                                           const CollectedStats* stats_hint) {
+  auto rc = MakeRunContext(conf);
+  EFindRunResult result;
+  result.plan = plan;
+  PipelineExecutor px(&job_runner_, config_, options_, conf, plan, rc.get(),
+                      stats_hint, &result);
+  px.RunAll(input);
+  result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
+  return result;
+}
+
+EFindRunResult EFindJobRunner::RunWithStrategy(
+    const IndexJobConf& conf, const std::vector<InputSplit>& input,
+    Strategy strategy) {
+  return RunWithPlan(conf, input, MakeUniformPlan(conf, strategy));
+}
+
+CollectedStats EFindJobRunner::CollectStatistics(
+    const IndexJobConf& conf, const std::vector<InputSplit>& input) {
+  EFindRunResult result =
+      RunWithPlan(conf, input, MakeUniformPlan(conf, Strategy::kBaseline));
+  return result.stats;
+}
+
+JobPlan EFindJobRunner::PlanFromStats(const IndexJobConf& conf,
+                                      const CollectedStats& stats) const {
+  return optimizer_.OptimizeJob(conf, stats.head, stats.body, stats.tail);
+}
+
+bool EFindJobRunner::Reoptimize(bool at_map_phase, const IndexJobConf& conf,
+                                const JobPlan& current,
+                                const CollectedStats& stats,
+                                JobPlan* new_plan) const {
+  (void)conf;
+  const CostModel& cm = optimizer_.cost_model();
+
+  // Algorithm 1, lines 1-3: the collected statistics must be stable.
+  bool any_valid = false;
+  auto gate = [&](const std::vector<OperatorStats>& group) {
+    for (const auto& st : group) {
+      if (!st.valid) continue;
+      any_valid = true;
+      // Gate on the relative standard error of the sample mean (the paper
+      // argues via the central limit theorem that the sample mean is
+      // trustworthy when its deviation is small): stddev/mean / sqrt(n).
+      if (st.tasks_sampled >= 2 &&
+          st.max_cov / std::sqrt(static_cast<double>(st.tasks_sampled)) >
+              options_.variance_threshold) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (at_map_phase) {
+    if (!gate(stats.head) || !gate(stats.body)) return false;
+  } else {
+    if (!gate(stats.tail)) return false;
+  }
+  if (!any_valid) return false;
+
+  // Lines 4-9: optimize the operators of the current phase only.
+  JobPlan candidate = current;
+  double current_cost = 0.0;
+  double candidate_cost = 0.0;
+  auto optimize_group = [&](const std::vector<OperatorStats>& group,
+                            OperatorPosition pos,
+                            const std::vector<OperatorPlan>& cur_group,
+                            std::vector<OperatorPlan>* out_group) {
+    for (size_t i = 0; i < group.size() && i < out_group->size(); ++i) {
+      if (!group[i].valid) continue;
+      current_cost += cm.OperatorPlanCost(cur_group[i], group[i], pos);
+      (*out_group)[i] = optimizer_.OptimizeOperator(group[i], pos);
+      candidate_cost +=
+          cm.OperatorPlanCost((*out_group)[i], group[i], pos);
+    }
+  };
+  if (at_map_phase) {
+    optimize_group(stats.head, OperatorPosition::kHead, current.head,
+                   &candidate.head);
+    optimize_group(stats.body, OperatorPosition::kBody, current.body,
+                   &candidate.body);
+  } else {
+    optimize_group(stats.tail, OperatorPosition::kTail, current.tail,
+                   &candidate.tail);
+  }
+
+  // Line 10: the improvement must exceed the plan-change overhead.
+  if (current_cost - candidate_cost <= options_.plan_change_cost_sec) {
+    return false;
+  }
+  *new_plan = candidate;
+  return true;
+}
+
+EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
+                                          const std::vector<InputSplit>& input) {
+  auto rc = MakeRunContext(conf);
+  EFindRunResult result;
+  const JobPlan base_plan = MakeUniformPlan(conf, Strategy::kBaseline);
+  result.plan = base_plan;
+
+  PipelineExecutor px(&job_runner_, config_, options_, conf, base_plan,
+                      rc.get(), nullptr, &result);
+  const size_t total_splits = input.size();
+  const size_t wave =
+      std::min(total_splits, static_cast<size_t>(config_.total_map_slots()));
+
+  // Hadoop assigns splits to the first round of map tasks in no particular
+  // file order (locality-driven), so the statistics sample is spread over
+  // the whole input. Model that with a strided schedule: the first wave
+  // takes every (num_waves)-th split, making phenomena like DUP10's
+  // file-level duplication visible to the collected statistics.
+  std::vector<InputSplit> scheduled;
+  scheduled.reserve(total_splits);
+  const size_t num_waves =
+      wave > 0 ? (total_splits + wave - 1) / wave : 1;
+  for (size_t r = 0; r < num_waves; ++r) {
+    for (size_t i = r; i < total_splits; i += num_waves) {
+      scheduled.push_back(input[i]);
+    }
+  }
+
+  JobConfig baseline_job = px.Prepare(scheduled);
+
+  // Statistics phase: the first round of map tasks runs the baseline plan
+  // (paper §4.1). Task results are kept for reuse (Fig. 10a).
+  MapPhaseResult first_wave =
+      job_runner_.RunMapPhase(baseline_job, scheduled, 0, wave);
+  double elapsed = first_wave.schedule.makespan;
+  result.stats_wave_seconds = elapsed;
+  for (const auto& t : first_wave.tasks) result.counters.Merge(t.counters);
+
+  const double extrapolation =
+      wave > 0 ? static_cast<double>(total_splits) / wave : 1.0;
+  CollectedStats wave_stats = ComputeStatsWithConf(*rc, conf, extrapolation);
+
+  // Re-optimizing the map phase only makes sense while map tasks remain
+  // (the paper assumes jobs run "much larger number of Map tasks than the
+  // number of machine nodes so that Map tasks are performed in multiple
+  // rounds", §4.1).
+  JobPlan new_plan;
+  bool changed = wave < total_splits &&
+                 Reoptimize(/*at_map_phase=*/true, conf, base_plan,
+                            wave_stats, &new_plan);
+
+  JobConfig final_job = baseline_job;
+  MapPhaseResult rest_wave;
+  if (!changed) {
+    rest_wave = job_runner_.RunMapPhase(baseline_job, scheduled, wave,
+                                        total_splits);
+  } else {
+    result.replanned = true;
+    result.plan = new_plan;
+    // Apply the new plan to the splits that have not started (Fig. 10a):
+    // the remaining input flows through the new pipeline (which may contain
+    // shuffle jobs), whose final job feeds the same reduce as the old plan.
+    EFindRunResult sub;
+    PipelineExecutor px2(&job_runner_, config_, options_, conf, new_plan,
+                         rc.get(), &wave_stats, &sub);
+    std::vector<InputSplit> remaining(scheduled.begin() + wave,
+                                      scheduled.end());
+    final_job = px2.Prepare(remaining);
+    elapsed += sub.sim_seconds;
+    for (auto& j : sub.jobs) result.jobs.push_back(j);
+    result.counters.Merge(sub.counters);
+    rest_wave =
+        job_runner_.RunMapPhase(final_job, px2.data(), 0, px2.data().size());
+  }
+  elapsed += rest_wave.schedule.makespan;
+  for (const auto& t : rest_wave.tasks) result.counters.Merge(t.counters);
+
+  // The reduce retrieves outputs from both the reused first-wave tasks and
+  // the new-plan map tasks.
+  std::vector<const MapTaskResult*> all_map_tasks;
+  for (const auto& t : first_wave.tasks) all_map_tasks.push_back(&t);
+  for (const auto& t : rest_wave.tasks) all_map_tasks.push_back(&t);
+
+  if (!final_job.reducer && final_job.reduce_stages.empty()) {
+    // Map-only job: gather outputs.
+    for (const MapTaskResult* t : all_map_tasks) {
+      InputSplit split;
+      split.node = t->node;
+      if (!t->partitioned_output.empty()) {
+        split.records = t->partitioned_output[0];
+      }
+      result.outputs.push_back(std::move(split));
+    }
+    result.sim_seconds += elapsed;
+    result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
+    return result;
+  }
+
+  const int num_reduce = job_runner_.ResolveNumReduceTasks(final_job);
+  const int reduce_slots = config_.total_reduce_slots();
+  const bool try_tail_replan = !changed && !conf.tail_ops().empty() &&
+                               num_reduce > reduce_slots;
+  if (!try_tail_replan) {
+    ReducePhaseResult reduce =
+        job_runner_.RunReducePhase(final_job, all_map_tasks);
+    elapsed += reduce.makespan();
+    for (const auto& c : reduce.task_counters) result.counters.Merge(c);
+    result.outputs = std::move(reduce.outputs);
+  } else {
+    // Plan change in the middle of the reduce phase (Fig. 10b): the first
+    // reduce wave runs the baseline tail stages; completed outputs "move to
+    // the output directory"; a better tail plan applies to the rest.
+    ReducePhaseResult wave1 =
+        job_runner_.RunReduceRange(final_job, all_map_tasks, 0, reduce_slots);
+    elapsed += wave1.makespan();
+    for (const auto& c : wave1.task_counters) result.counters.Merge(c);
+
+    CollectedStats tail_stats = ComputeStatsWithConf(
+        *rc, conf,
+        static_cast<double>(num_reduce) / static_cast<double>(reduce_slots));
+    JobPlan tail_plan;
+    const bool tail_changed = Reoptimize(/*at_map_phase=*/false, conf,
+                                         base_plan, tail_stats, &tail_plan);
+    if (!tail_changed) {
+      ReducePhaseResult wave2 = job_runner_.RunReduceRange(
+          final_job, all_map_tasks, reduce_slots, num_reduce);
+      elapsed += wave2.makespan();
+      for (const auto& c : wave2.task_counters) result.counters.Merge(c);
+      result.outputs = std::move(wave1.outputs);
+      for (auto& s : wave2.outputs) result.outputs.push_back(std::move(s));
+    } else {
+      result.replanned = true;
+      result.plan.tail = tail_plan.tail;
+      // Remaining reduce tasks run without the inline tail stages; their
+      // outputs flow through the new tail pipeline.
+      JobConfig bare = final_job;
+      bare.reduce_stages.clear();
+      ReducePhaseResult wave2 = job_runner_.RunReduceRange(
+          bare, all_map_tasks, reduce_slots, num_reduce);
+      elapsed += wave2.makespan();
+      for (const auto& c : wave2.task_counters) result.counters.Merge(c);
+
+      EFindRunResult sub;
+      PipelineExecutor px3(&job_runner_, config_, options_, conf, tail_plan,
+                           rc.get(), &tail_stats, &sub);
+      px3.RunTailPipeline(wave2.outputs);
+      elapsed += sub.sim_seconds;
+      for (auto& j : sub.jobs) result.jobs.push_back(j);
+      result.counters.Merge(sub.counters);
+
+      result.outputs = std::move(wave1.outputs);
+      for (auto& s : sub.outputs) result.outputs.push_back(std::move(s));
+    }
+  }
+
+  result.sim_seconds += elapsed;
+  result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
+  return result;
+}
+
+}  // namespace efind

@@ -1,0 +1,159 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_EFIND_EFIND_JOB_RUNNER_H_
+#define EFIND_EFIND_EFIND_JOB_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "efind/index_operator.h"
+#include "efind/optimizer.h"
+#include "efind/plan.h"
+#include "efind/statistics.h"
+#include "mapreduce/job_runner.h"
+
+namespace efind {
+
+/// Where a re-partitioned operator's remaining stages run relative to the
+/// extra job's boundary (Fig. 7 placements); kAuto lets the cost model pick.
+enum class BoundaryPolicy { kAuto, kForcePre, kForcePost };
+
+/// Runtime knobs for the EFind-enhanced system.
+struct EFindOptions {
+  /// Lookup-cache entries per node (paper: "The lookup cache contains up to
+  /// 1024 index key-value entries").
+  size_t cache_capacity = 1024;
+  /// Optimizer configuration (FullEnumerate limit, k of k-Repart).
+  OptimizerOptions optimizer;
+  /// Algorithm 1's variance gate: re-optimize only when every tracked
+  /// statistic's sample mean is trustworthy — relative standard error
+  /// (stddev / mean / sqrt(tasks)) below this (the paper's 0.05, applied
+  /// to the mean per its central-limit-theorem argument in §4.2).
+  double variance_threshold = 0.1;
+  /// Minimum estimated per-machine improvement (seconds) that justifies a
+  /// plan change (Algorithm 1 line 10, `planChangeCost`).
+  double plan_change_cost_sec = 0.02;
+  /// Job-boundary placement for shuffle strategies (ablation knob).
+  BoundaryPolicy boundary_policy = BoundaryPolicy::kAuto;
+};
+
+/// Statistics snapshot for every operator of a job, parallel to the conf's
+/// head/body/tail lists.
+struct CollectedStats {
+  std::vector<OperatorStats> head;
+  std::vector<OperatorStats> body;
+  std::vector<OperatorStats> tail;
+};
+
+/// Execution summary of one physical MapReduce job in an EFind pipeline.
+struct JobStageSummary {
+  std::string name;
+  double map_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  /// DFS store/retrieve time charged at the boundary *into* this job.
+  double boundary_seconds = 0.0;
+  size_t map_tasks = 0;
+  size_t reduce_tasks = 0;
+};
+
+/// Result of running an EFind-enhanced job.
+struct EFindRunResult {
+  std::vector<InputSplit> outputs;
+  /// Total simulated wall time across all physical jobs and boundaries.
+  double sim_seconds = 0.0;
+  /// The plan in effect at the end of the run.
+  JobPlan plan;
+  /// Dynamic mode: whether Algorithm 1 changed the plan mid-job.
+  bool replanned = false;
+  /// Dynamic mode: simulated time of the statistics (first-wave) phase.
+  double stats_wave_seconds = 0.0;
+  std::vector<JobStageSummary> jobs;
+  Counters counters;
+  /// Operator statistics observed during the run.
+  CollectedStats stats;
+
+  std::vector<Record> CollectRecords() const {
+    std::vector<Record> all;
+    for (const auto& s : outputs) {
+      all.insert(all.end(), s.records.begin(), s.records.end());
+    }
+    return all;
+  }
+};
+
+/// The EFind-enhanced MapReduce runtime (paper Fig. 8): plan implementer,
+/// statistics collection, and the adaptive job optimizer.
+///
+/// Modes:
+///  - `RunWithPlan` / `RunWithStrategy`: execute a fixed plan (the per-
+///    strategy experiment bars).
+///  - `CollectStatistics` + `PlanFromStats` + `RunWithPlan`: static
+///    optimization with sufficient statistics ("Optimized").
+///  - `RunDynamic`: start with baseline, collect statistics during the
+///    first map wave, re-optimize per Algorithm 1, change the plan mid-job
+///    reusing completed tasks ("Dynamic", Figures 9-10).
+class EFindJobRunner {
+ public:
+  explicit EFindJobRunner(const ClusterConfig& config,
+                          const EFindOptions& options = {});
+
+  /// Executes `conf` under a fixed `plan`. `stats_hint`, when provided,
+  /// informs the re-partitioning boundary placement (Fig. 7).
+  EFindRunResult RunWithPlan(const IndexJobConf& conf,
+                             const std::vector<InputSplit>& input,
+                             const JobPlan& plan,
+                             const CollectedStats* stats_hint = nullptr);
+
+  /// Executes with every index using `strategy` (downgraded per-index when
+  /// infeasible; see MakeUniformPlan).
+  EFindRunResult RunWithStrategy(const IndexJobConf& conf,
+                                 const std::vector<InputSplit>& input,
+                                 Strategy strategy);
+
+  /// Runs the job once under the baseline plan purely to gather Table-1
+  /// statistics (the timing result is discarded by "Optimized" callers).
+  CollectedStats CollectStatistics(const IndexJobConf& conf,
+                                   const std::vector<InputSplit>& input);
+
+  /// Cost-based plan from collected statistics (static optimization).
+  JobPlan PlanFromStats(const IndexJobConf& conf,
+                        const CollectedStats& stats) const;
+
+  /// Adaptive execution per Algorithm 1.
+  EFindRunResult RunDynamic(const IndexJobConf& conf,
+                            const std::vector<InputSplit>& input);
+
+  const ClusterConfig& config() const { return config_; }
+  const EFindOptions& options() const { return options_; }
+  const Optimizer& optimizer() const { return optimizer_; }
+
+  /// Per-run statistics collectors (public so the internal pipeline
+  /// executor can reach it; not part of the user-facing API).
+  struct RunContext;
+
+ private:
+
+  /// Fresh statistics collectors for every operator of `conf`.
+  std::unique_ptr<RunContext> MakeRunContext(const IndexJobConf& conf) const;
+  /// Table-1 statistics for every operator, with accessor capability flags.
+  CollectedStats ComputeStatsWithConf(const RunContext& rc,
+                                      const IndexJobConf& conf,
+                                      double extrapolation) const;
+  /// Gate + optimize + compare, per Algorithm 1. Returns true and fills
+  /// `*new_plan` when the plan should change.
+  bool Reoptimize(bool at_map_phase, const IndexJobConf& conf,
+                  const JobPlan& current, const CollectedStats& stats,
+                  JobPlan* new_plan) const;
+
+  ClusterConfig config_;
+  EFindOptions options_;
+  JobRunner job_runner_;
+  Optimizer optimizer_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_EFIND_EFIND_JOB_RUNNER_H_

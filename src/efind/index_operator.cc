@@ -1,0 +1,27 @@
+#include "efind/index_operator.h"
+
+namespace efind {
+
+const char* ToString(OperatorPosition position) {
+  switch (position) {
+    case OperatorPosition::kHead:
+      return "head";
+    case OperatorPosition::kBody:
+      return "body";
+    case OperatorPosition::kTail:
+      return "tail";
+  }
+  return "?";
+}
+
+std::vector<std::pair<OperatorPosition, std::shared_ptr<IndexOperator>>>
+IndexJobConf::AllOperators() const {
+  std::vector<std::pair<OperatorPosition, std::shared_ptr<IndexOperator>>>
+      all;
+  for (const auto& op : head_ops_) all.emplace_back(OperatorPosition::kHead, op);
+  for (const auto& op : body_ops_) all.emplace_back(OperatorPosition::kBody, op);
+  for (const auto& op : tail_ops_) all.emplace_back(OperatorPosition::kTail, op);
+  return all;
+}
+
+}  // namespace efind

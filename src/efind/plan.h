@@ -1,0 +1,90 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_EFIND_PLAN_H_
+#define EFIND_EFIND_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "efind/index_operator.h"
+
+namespace efind {
+
+/// The four index access strategies of paper Section 3.
+enum class Strategy {
+  /// §3.1: pre/lookup/post spliced as chained functions; every input key
+  /// triggers a (remote) lookup. Cost Eq. (1).
+  kBaseline,
+  /// §3.2: per-node LRU cache in front of `lookup`, removing local
+  /// redundancy. Cost Eq. (2).
+  kLookupCache,
+  /// §3.3: an extra shuffling job groups requests by lookup key, removing
+  /// cross-machine redundancy; one lookup per distinct key. Cost Eq. (3).
+  kRepartition,
+  /// §3.4: re-partitioning co-partitioned with the index's own scheme, with
+  /// post-shuffle tasks scheduled on index hosts so lookups are local.
+  /// Cost Eq. (4).
+  kIndexLocality,
+};
+
+/// Returns "base" / "cache" / "repart" / "idxloc".
+const char* ToString(Strategy strategy);
+
+/// Chosen strategy for one index (accessor) of an operator.
+struct IndexChoice {
+  /// Position of the accessor in the operator's accessor list.
+  int index = 0;
+  Strategy strategy = Strategy::kBaseline;
+  /// Optimizer's estimated per-machine cost for this index (seconds).
+  double estimated_cost = 0.0;
+};
+
+/// Plan for one `IndexOperator`: the order in which its (independent)
+/// indices are accessed, and each index's strategy. Per Property 4, indices
+/// using re-partitioning / index locality sort before baseline / cache ones.
+struct OperatorPlan {
+  std::vector<IndexChoice> order;
+  double estimated_cost = 0.0;
+
+  /// True if any index uses re-partitioning or index locality (the plan
+  /// then spawns extra shuffle jobs).
+  bool NeedsShuffle() const {
+    for (const auto& c : order) {
+      if (c.strategy == Strategy::kRepartition ||
+          c.strategy == Strategy::kIndexLocality) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Plan for a whole EFind-enhanced job: one `OperatorPlan` per operator,
+/// parallel to the `IndexJobConf`'s head/body/tail operator lists.
+struct JobPlan {
+  std::vector<OperatorPlan> head;
+  std::vector<OperatorPlan> body;
+  std::vector<OperatorPlan> tail;
+
+  double TotalEstimatedCost() const {
+    double c = 0;
+    for (const auto& p : head) c += p.estimated_cost;
+    for (const auto& p : body) c += p.estimated_cost;
+    for (const auto& p : tail) c += p.estimated_cost;
+    return c;
+  }
+
+  /// Human-readable plan dump, e.g.
+  /// "head0[idx0=cache] body0[idx1=repart,idx0=cache]".
+  std::string ToString() const;
+};
+
+/// A plan where every index of every operator uses `strategy`, in declared
+/// order. Used as the fixed plan of the per-strategy experiments and as the
+/// dynamic mode's starting plan (baseline).
+JobPlan MakeUniformPlan(const IndexJobConf& conf, Strategy strategy);
+
+}  // namespace efind
+
+#endif  // EFIND_EFIND_PLAN_H_

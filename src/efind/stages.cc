@@ -1,0 +1,417 @@
+#include "efind/stages.h"
+
+#include <utility>
+
+namespace efind {
+
+namespace {
+
+uint64_t ResultBytes(const CachedResult& values) {
+  uint64_t n = 0;
+  for (const auto& v : values) n += v.size_bytes();
+  return n;
+}
+
+// Copy-on-write helper for the shared attachment.
+std::shared_ptr<RecordAttachment> MutableAttachment(Record* record) {
+  if (record->attachment) {
+    return std::make_shared<RecordAttachment>(*record->attachment);
+  }
+  return std::make_shared<RecordAttachment>();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- caches --
+
+NodeCaches::NodeCaches(int num_nodes, size_t capacity) {
+  if (num_nodes <= 0) num_nodes = 1;
+  caches_.reserve(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    caches_.push_back(
+        std::make_unique<LruCache<std::string, CachedResult>>(capacity));
+  }
+}
+
+LruCache<std::string, CachedResult>& NodeCaches::ForNode(int node) {
+  if (node < 0 || node >= static_cast<int>(caches_.size())) node = 0;
+  return *caches_[node];
+}
+
+double NodeCaches::MissRatio() const {
+  uint64_t probes = 0, misses = 0;
+  for (const auto& c : caches_) {
+    probes += c->probes();
+    misses += c->misses();
+  }
+  return probes == 0 ? 1.0
+                     : static_cast<double>(misses) /
+                           static_cast<double>(probes);
+}
+
+// ------------------------------------------------------------ preprocess --
+
+PreProcessStage::PreProcessStage(std::shared_ptr<IndexOperator> op,
+                                 OperatorRuntime* runtime,
+                                 std::string counter_prefix)
+    : op_(std::move(op)),
+      runtime_(runtime),
+      counter_prefix_(std::move(counter_prefix)) {}
+
+std::string PreProcessStage::name() const {
+  return counter_prefix_ + ".pre";
+}
+
+void PreProcessStage::BeginTask(TaskContext* ctx) {
+  (void)ctx;
+  if (runtime_ != nullptr) runtime_->PreBeginTask();
+}
+
+void PreProcessStage::Process(Record record, TaskContext* ctx, Emitter* out) {
+  const uint64_t input_bytes = record.size_bytes();
+  IndexKeyLists keys(op_->num_indices());
+  op_->PreProcess(&record, &keys);
+
+  auto attachment = MutableAttachment(&record);
+  attachment->keys = keys;
+  attachment->results.assign(op_->num_indices(), {});
+  for (int j = 0; j < op_->num_indices(); ++j) {
+    attachment->results[j].resize(keys[j].size());
+  }
+  record.attachment = std::move(attachment);
+
+  if (runtime_ != nullptr) {
+    runtime_->PreRecord(input_bytes, record.size_bytes(), keys);
+  }
+  ctx->counters()->Increment(counter_prefix_ + ".pre.inputs");
+  out->Emit(std::move(record));
+}
+
+void PreProcessStage::EndTask(TaskContext* ctx, Emitter* out) {
+  (void)ctx;
+  (void)out;
+  if (runtime_ != nullptr) runtime_->PreEndTask();
+}
+
+// --------------------------------------------------------- inline lookup --
+
+InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
+                                     std::vector<InlineIndexTask> tasks,
+                                     OperatorRuntime* runtime,
+                                     const ClusterConfig* config,
+                                     size_t cache_capacity,
+                                     std::string counter_prefix)
+    : op_(std::move(op)),
+      tasks_(std::move(tasks)),
+      runtime_(runtime),
+      config_(config),
+      counter_prefix_(std::move(counter_prefix)) {
+  caches_.resize(tasks_.size());
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    if (tasks_[t].use_cache) {
+      caches_[t] =
+          std::make_unique<NodeCaches>(config_->num_nodes, cache_capacity);
+    }
+  }
+}
+
+std::string InlineLookupStage::name() const {
+  return counter_prefix_ + ".lookup";
+}
+
+CachedResult InlineLookupStage::LookupOne(int j, bool use_cache,
+                                          const std::string& ik,
+                                          TaskContext* ctx) {
+  const std::string counter_base =
+      counter_prefix_ + ".idx" + std::to_string(j);
+  // Locate this index's cache (if caching).
+  LruCache<std::string, CachedResult>* cache = nullptr;
+  if (use_cache) {
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+      if (tasks_[t].index == j && caches_[t]) {
+        cache = &caches_[t]->ForNode(ctx->node_id());
+        break;
+      }
+    }
+  }
+
+  if (cache != nullptr) {
+    ctx->AddSimTime(config_->cache_probe_sec);
+    CachedResult cached;
+    if (cache->Get(ik, &cached)) {
+      if (runtime_ != nullptr) runtime_->CacheProbe(j, /*miss=*/false);
+      ctx->counters()->Increment(counter_base + ".cache_hits");
+      return cached;
+    }
+    if (runtime_ != nullptr) runtime_->CacheProbe(j, /*miss=*/true);
+  } else if (runtime_ != nullptr) {
+    // No real cache: feed the shadow cache so R can be estimated for
+    // re-optimization (paper §4.2).
+    runtime_->ShadowProbe(j, ctx->node_id(), ik);
+  }
+
+  // Remote lookup: network round trip plus index service time.
+  CachedResult result;
+  const Status status = op_->accessors()[j]->Lookup(ik, &result);
+  if (!status.ok() && !status.IsNotFound()) {
+    ctx->counters()->Increment(counter_base + ".lookup_errors");
+    result.clear();
+  }
+  const uint64_t result_bytes = ResultBytes(result);
+  const double service = op_->accessors()[j]->ServiceSeconds(result_bytes);
+  ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
+                  config_->RemoteLookupSeconds(ik.size() + result_bytes));
+  ctx->counters()->Increment(counter_base + ".lookups");
+  if (runtime_ != nullptr) {
+    runtime_->LookupPerformed(j, ik.size(), result_bytes, service);
+  }
+  if (cache != nullptr) cache->Put(ik, result);
+  return result;
+}
+
+void InlineLookupStage::Process(Record record, TaskContext* ctx,
+                                Emitter* out) {
+  if (!record.attachment) {
+    out->Emit(std::move(record));
+    return;
+  }
+  auto attachment = MutableAttachment(&record);
+  for (const InlineIndexTask& task : tasks_) {
+    const int j = task.index;
+    if (j < 0 || j >= static_cast<int>(attachment->keys.size())) continue;
+    auto& keys = attachment->keys[j];
+    auto& results = attachment->results[j];
+    results.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      results[i] = LookupOne(j, task.use_cache, keys[i], ctx);
+    }
+  }
+  record.attachment = std::move(attachment);
+  out->Emit(std::move(record));
+}
+
+// ----------------------------------------------------------- postprocess --
+
+PostProcessStage::PostProcessStage(std::shared_ptr<IndexOperator> op,
+                                   OperatorRuntime* runtime,
+                                   std::string counter_prefix)
+    : op_(std::move(op)),
+      runtime_(runtime),
+      counter_prefix_(std::move(counter_prefix)) {}
+
+std::string PostProcessStage::name() const {
+  return counter_prefix_ + ".post";
+}
+
+void PostProcessStage::BeginTask(TaskContext* ctx) {
+  (void)ctx;
+  if (runtime_ != nullptr) runtime_->PostBeginTask();
+}
+
+namespace {
+
+// Wraps the downstream emitter to meter postProcess output sizes.
+class MeteringEmitter : public Emitter {
+ public:
+  MeteringEmitter(Emitter* out, OperatorRuntime* runtime)
+      : out_(out), runtime_(runtime) {}
+
+  void Emit(Record record) override {
+    if (runtime_ != nullptr) runtime_->PostRecord(record.size_bytes());
+    out_->Emit(std::move(record));
+  }
+
+ private:
+  Emitter* out_;
+  OperatorRuntime* runtime_;
+};
+
+}  // namespace
+
+void PostProcessStage::Process(Record record, TaskContext* ctx,
+                               Emitter* out) {
+  (void)ctx;
+  IndexResultLists results;
+  if (record.attachment) {
+    results = record.attachment->results;
+    if (record.attachment->has_saved_key) {
+      // Defensive: a record that skipped the grouped lookup still carries
+      // its original key.
+      record.key = record.attachment->saved_key;
+    }
+  }
+  results.resize(op_->num_indices());
+  record.attachment = nullptr;
+  MeteringEmitter metering(out, runtime_);
+  op_->PostProcess(record, results, &metering);
+}
+
+void PostProcessStage::EndTask(TaskContext* ctx, Emitter* out) {
+  (void)ctx;
+  (void)out;
+  if (runtime_ != nullptr) runtime_->PostEndTask();
+}
+
+// ------------------------------------------------------------ shuffle key --
+
+ShuffleKeyStage::ShuffleKeyStage(std::shared_ptr<IndexOperator> op, int index,
+                                 std::string counter_prefix)
+    : op_(std::move(op)),
+      index_(index),
+      counter_prefix_(std::move(counter_prefix)) {}
+
+std::string ShuffleKeyStage::name() const {
+  return counter_prefix_ + ".shufkey" + std::to_string(index_);
+}
+
+void ShuffleKeyStage::Process(Record record, TaskContext* ctx, Emitter* out) {
+  if (!record.attachment ||
+      index_ >= static_cast<int>(record.attachment->keys.size()) ||
+      record.attachment->keys[index_].size() != 1) {
+    ctx->counters()->Increment(counter_prefix_ + ".shuffle_skipped");
+    out->Emit(std::move(record));
+    return;
+  }
+  auto attachment = MutableAttachment(&record);
+  attachment->saved_key = record.key;
+  attachment->has_saved_key = true;
+  record.key = attachment->keys[index_][0];
+  record.attachment = std::move(attachment);
+  out->Emit(std::move(record));
+}
+
+// ----------------------------------------------------------- group reduce --
+
+void GroupReducer::Reduce(const std::string& key, std::vector<Record> values,
+                          TaskContext* ctx, Emitter* out) {
+  (void)key;
+  (void)ctx;
+  for (auto& v : values) out->Emit(std::move(v));
+}
+
+// --------------------------------------------------------- grouped lookup --
+
+GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
+                                       int index, bool local,
+                                       OperatorRuntime* runtime,
+                                       const ClusterConfig* config,
+                                       std::string counter_prefix)
+    : op_(std::move(op)),
+      index_(index),
+      local_(local),
+      runtime_(runtime),
+      config_(config),
+      counter_prefix_(std::move(counter_prefix)) {}
+
+std::string GroupedLookupStage::name() const {
+  return counter_prefix_ + ".grouped_lookup" + std::to_string(index_);
+}
+
+void GroupedLookupStage::BeginTask(TaskContext* ctx) {
+  (void)ctx;
+  memo_valid_ = false;
+  memo_key_.clear();
+  memo_result_.clear();
+}
+
+void GroupedLookupStage::Process(Record record, TaskContext* ctx,
+                                 Emitter* out) {
+  if (!record.attachment || !record.attachment->has_saved_key) {
+    // Record skipped the shuffle (it extracted zero or several keys for
+    // this index). Resolve its lookups directly (remote) so postProcess
+    // still sees complete results, then pass it through.
+    if (record.attachment &&
+        index_ < static_cast<int>(record.attachment->keys.size()) &&
+        !record.attachment->keys[index_].empty()) {
+      auto attachment = MutableAttachment(&record);
+      const auto& keys = attachment->keys[index_];
+      auto& results = attachment->results[index_];
+      results.resize(keys.size());
+      const std::string counter_base =
+          counter_prefix_ + ".idx" + std::to_string(index_);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        CachedResult result;
+        const Status status = op_->accessors()[index_]->Lookup(keys[i], &result);
+        if (!status.ok() && !status.IsNotFound()) {
+          ctx->counters()->Increment(counter_base + ".lookup_errors");
+          result.clear();
+        }
+        const uint64_t result_bytes = ResultBytes(result);
+        const double service =
+            op_->accessors()[index_]->ServiceSeconds(result_bytes);
+        ctx->AddSimTime(service +
+                        op_->accessors()[index_]->RemoteOverheadSeconds() +
+                        config_->RemoteLookupSeconds(keys[i].size() +
+                                                     result_bytes));
+        ctx->counters()->Increment(counter_base + ".lookups");
+        if (runtime_ != nullptr) {
+          runtime_->LookupPerformed(index_, keys[i].size(), result_bytes,
+                                    service);
+        }
+        results[i] = std::move(result);
+      }
+      record.attachment = std::move(attachment);
+    }
+    out->Emit(std::move(record));
+    return;
+  }
+  const std::string ik = record.key;
+  const std::string counter_base =
+      counter_prefix_ + ".idx" + std::to_string(index_);
+
+  if (!memo_valid_ || memo_key_ != ik) {
+    CachedResult result;
+    const Status status = op_->accessors()[index_]->Lookup(ik, &result);
+    if (!status.ok() && !status.IsNotFound()) {
+      ctx->counters()->Increment(counter_base + ".lookup_errors");
+      result.clear();
+    }
+    const uint64_t result_bytes = ResultBytes(result);
+    const double service =
+        op_->accessors()[index_]->ServiceSeconds(result_bytes);
+    if (local_) {
+      // Index locality: the task runs on a node hosting this partition, so
+      // the lookup is a local call (paper Eq. 4).
+      ctx->AddSimTime(service);
+    } else {
+      ctx->AddSimTime(service +
+                      op_->accessors()[index_]->RemoteOverheadSeconds() +
+                      config_->RemoteLookupSeconds(ik.size() + result_bytes));
+    }
+    ctx->counters()->Increment(counter_base + ".lookups");
+    if (runtime_ != nullptr) {
+      runtime_->LookupPerformed(index_, ik.size(), result_bytes, service);
+    }
+    memo_valid_ = true;
+    memo_key_ = ik;
+    memo_result_ = std::move(result);
+  } else {
+    ctx->counters()->Increment(counter_base + ".lookup_reuses");
+  }
+
+  auto attachment = MutableAttachment(&record);
+  record.key = attachment->saved_key;
+  attachment->saved_key.clear();
+  attachment->has_saved_key = false;
+  if (index_ < static_cast<int>(attachment->results.size())) {
+    attachment->results[index_].assign(1, memo_result_);
+  }
+  record.attachment = std::move(attachment);
+  out->Emit(std::move(record));
+}
+
+// -------------------------------------------------------------- map meter --
+
+MapMeterStage::MapMeterStage(std::vector<OperatorRuntime*> head_runtimes)
+    : head_runtimes_(std::move(head_runtimes)) {}
+
+void MapMeterStage::Process(Record record, TaskContext* ctx, Emitter* out) {
+  (void)ctx;
+  const uint64_t bytes = record.size_bytes();
+  for (OperatorRuntime* rt : head_runtimes_) {
+    if (rt != nullptr) rt->MapOutput(bytes);
+  }
+  out->Emit(std::move(record));
+}
+
+}  // namespace efind

@@ -1,0 +1,211 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The chained-function stages that EFind's plan implementer splices into
+// MapReduce jobs (paper Fig. 6-7). The runner composes them as follows:
+//
+//   baseline/cache:  PreProcessStage -> InlineLookupStage -> PostProcessStage
+//   repartitioning:  ... -> ShuffleKeyStage | GroupReducer | (job boundary)
+//                    -> GroupedLookupStage(remote) -> ... -> PostProcessStage
+//   index locality:  same, with the shuffle partitioned by the index's own
+//                    scheme, the next job's tasks placed on index hosts
+//                    (input fetched remotely), and local lookups.
+
+#ifndef EFIND_EFIND_STAGES_H_
+#define EFIND_EFIND_STAGES_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/lru_cache.h"
+#include "common/partition_scheme.h"
+#include "efind/index_operator.h"
+#include "efind/plan.h"
+#include "efind/statistics.h"
+#include "mapreduce/partitioner.h"
+#include "mapreduce/stage.h"
+
+namespace efind {
+
+/// Result list of one index lookup, cached per node.
+using CachedResult = std::vector<IndexValue>;
+
+/// The per-node lookup caches of one (operator, index) pair. Tasks running
+/// on the same simulated node share a cache (paper §3.2 reduces redundancy
+/// "at a single machine node").
+class NodeCaches {
+ public:
+  NodeCaches(int num_nodes, size_t capacity);
+  LruCache<std::string, CachedResult>& ForNode(int node);
+  /// Aggregate miss ratio across nodes.
+  double MissRatio() const;
+
+ private:
+  std::vector<std::unique_ptr<LruCache<std::string, CachedResult>>> caches_;
+};
+
+/// Runs `IndexOperator::PreProcess`, attaches the extracted key lists to the
+/// record, and feeds the operator's statistics collector.
+class PreProcessStage : public RecordStage {
+ public:
+  PreProcessStage(std::shared_ptr<IndexOperator> op, OperatorRuntime* runtime,
+                  std::string counter_prefix);
+
+  std::string name() const override;
+  void BeginTask(TaskContext* ctx) override;
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+  void EndTask(TaskContext* ctx, Emitter* out) override;
+
+ private:
+  std::shared_ptr<IndexOperator> op_;
+  OperatorRuntime* runtime_;
+  std::string counter_prefix_;
+};
+
+/// Which indices an `InlineLookupStage` serves, and how.
+struct InlineIndexTask {
+  int index = 0;
+  bool use_cache = false;
+};
+
+/// Performs baseline / lookup-cache index accesses in the task that holds
+/// the record (no extra job). Remote-lookup time `(Sik+Siv)/BW + T_j` is
+/// charged per actual lookup; cache probes charge T_cache.
+class InlineLookupStage : public RecordStage {
+ public:
+  InlineLookupStage(std::shared_ptr<IndexOperator> op,
+                    std::vector<InlineIndexTask> tasks,
+                    OperatorRuntime* runtime, const ClusterConfig* config,
+                    size_t cache_capacity, std::string counter_prefix);
+
+  std::string name() const override;
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+
+ private:
+  // Looks up `ik` on index j (through the cache if configured), charging
+  // simulated time to `ctx`, and returns the result list.
+  CachedResult LookupOne(int j, bool use_cache, const std::string& ik,
+                         TaskContext* ctx);
+
+  std::shared_ptr<IndexOperator> op_;
+  std::vector<InlineIndexTask> tasks_;
+  OperatorRuntime* runtime_;
+  const ClusterConfig* config_;
+  std::string counter_prefix_;
+  // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
+  std::vector<std::unique_ptr<NodeCaches>> caches_;
+};
+
+/// Runs `IndexOperator::PostProcess` on the record plus its attached lookup
+/// results, strips the attachment, and meters output sizes.
+class PostProcessStage : public RecordStage {
+ public:
+  PostProcessStage(std::shared_ptr<IndexOperator> op,
+                   OperatorRuntime* runtime, std::string counter_prefix);
+
+  std::string name() const override;
+  void BeginTask(TaskContext* ctx) override;
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+  void EndTask(TaskContext* ctx, Emitter* out) override;
+
+ private:
+  std::shared_ptr<IndexOperator> op_;
+  OperatorRuntime* runtime_;
+  std::string counter_prefix_;
+};
+
+/// Rekeys records by their (single) lookup key for index j, saving the
+/// original key in the attachment, so the shuffle groups equal lookup keys
+/// together (paper §3.3). Records that extracted a number of keys other
+/// than one pass through unchanged (they skip the re-partitioned access and
+/// resolve inline later; the optimizer only picks re-partitioning when every
+/// record extracts exactly one key).
+class ShuffleKeyStage : public RecordStage {
+ public:
+  ShuffleKeyStage(std::shared_ptr<IndexOperator> op, int index,
+                  std::string counter_prefix);
+
+  std::string name() const override;
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+
+ private:
+  std::shared_ptr<IndexOperator> op_;
+  int index_;
+  std::string counter_prefix_;
+};
+
+/// The shuffle job's reduce: passes records through in grouped order so the
+/// downstream `GroupedLookupStage` sees equal lookup keys contiguously.
+class GroupReducer : public Reducer {
+ public:
+  std::string name() const override { return "efind.group"; }
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override;
+};
+
+/// Performs one lookup per *run* of equal lookup keys (records arrive
+/// grouped after the shuffle job) and restores the original record keys.
+///
+/// `local` selects the index-locality cost model: lookups charge T_j only,
+/// because the task was scheduled on a node hosting the co-partitioned
+/// index partition; the input-movement cost `N1*Spre/BW` is charged by the
+/// job's remote-input flag. Remote mode charges `(Sik+Siv)/BW + T_j`.
+class GroupedLookupStage : public RecordStage {
+ public:
+  GroupedLookupStage(std::shared_ptr<IndexOperator> op, int index, bool local,
+                     OperatorRuntime* runtime, const ClusterConfig* config,
+                     std::string counter_prefix);
+
+  std::string name() const override;
+  void BeginTask(TaskContext* ctx) override;
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+
+ private:
+  std::shared_ptr<IndexOperator> op_;
+  int index_;
+  bool local_;
+  OperatorRuntime* runtime_;
+  const ClusterConfig* config_;
+  std::string counter_prefix_;
+  // Per-task memo of the last looked-up key.
+  bool memo_valid_ = false;
+  std::string memo_key_;
+  CachedResult memo_result_;
+};
+
+/// Meters the original Map function's output bytes into the head operators'
+/// statistics (the Smap term of Table 1). Pass-through otherwise.
+class MapMeterStage : public RecordStage {
+ public:
+  explicit MapMeterStage(std::vector<OperatorRuntime*> head_runtimes);
+
+  std::string name() const override { return "efind.map_meter"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override;
+
+ private:
+  std::vector<OperatorRuntime*> head_runtimes_;
+};
+
+/// MapReduce partitioner delegating to an index's partition scheme, so the
+/// shuffle output is co-partitioned with the index (paper §3.4).
+class SchemePartitioner : public Partitioner {
+ public:
+  explicit SchemePartitioner(const PartitionScheme* scheme)
+      : scheme_(scheme) {}
+
+  std::string name() const override { return "index_scheme"; }
+  int Partition(std::string_view key, int num_partitions) const override {
+    const int p = scheme_->PartitionOf(key);
+    return num_partitions > 0 ? p % num_partitions : 0;
+  }
+
+ private:
+  const PartitionScheme* scheme_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_EFIND_STAGES_H_

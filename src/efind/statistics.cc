@@ -1,0 +1,200 @@
+#include "efind/statistics.h"
+
+#include <algorithm>
+
+namespace efind {
+
+double OperatorStats::SidxAfter(const std::vector<int>& accessed) const {
+  double s = spre;
+  for (int j : accessed) {
+    if (j >= 0 && j < static_cast<int>(index.size())) {
+      s += index[j].nik * index[j].siv;
+    }
+  }
+  return s;
+}
+
+OperatorRuntime::OperatorRuntime(int num_indices, int num_nodes,
+                                 size_t cache_capacity)
+    : num_indices_(num_indices > 0 ? num_indices : 0),
+      num_nodes_(num_nodes > 0 ? num_nodes : 1),
+      cache_capacity_(cache_capacity),
+      per_index_(num_indices_) {
+  shadow_caches_.resize(static_cast<size_t>(num_nodes_) * num_indices_);
+}
+
+void OperatorRuntime::Reset() {
+  *this = OperatorRuntime(num_indices_, num_nodes_, cache_capacity_);
+}
+
+void OperatorRuntime::PreBeginTask() {
+  task_inputs_ = 0;
+  task_input_bytes_ = 0;
+  task_pre_bytes_ = 0;
+  for (auto& pi : per_index_) pi.task_keys = 0;
+}
+
+void OperatorRuntime::PreRecord(
+    uint64_t input_bytes, uint64_t pre_output_bytes,
+    const std::vector<std::vector<std::string>>& keys) {
+  ++total_inputs_;
+  ++task_inputs_;
+  total_input_bytes_ += input_bytes;
+  task_input_bytes_ += input_bytes;
+  total_pre_bytes_ += pre_output_bytes;
+  task_pre_bytes_ += pre_output_bytes;
+  for (int j = 0; j < num_indices_ && j < static_cast<int>(keys.size());
+       ++j) {
+    PerIndex& pi = per_index_[j];
+    pi.keys += keys[j].size();
+    pi.task_keys += keys[j].size();
+    if (keys[j].size() != 1) pi.multi_key_seen = true;
+    for (const auto& k : keys[j]) {
+      pi.key_bytes += k.size();
+      pi.sketch.Add(k);
+    }
+  }
+}
+
+void OperatorRuntime::PreEndTask() {
+  if (task_inputs_ == 0) return;
+  ++pre_tasks_;
+  const double n = static_cast<double>(task_inputs_);
+  inputs_samples_.Add(n);
+  s1_samples_.Add(static_cast<double>(task_input_bytes_) / n);
+  spre_samples_.Add(static_cast<double>(task_pre_bytes_) / n);
+  for (auto& pi : per_index_) {
+    pi.nik_samples.Add(static_cast<double>(pi.task_keys) / n);
+  }
+}
+
+void OperatorRuntime::LookupPerformed(int j, uint64_t key_bytes,
+                                      uint64_t result_bytes,
+                                      double service_sec) {
+  if (j < 0 || j >= num_indices_) return;
+  PerIndex& pi = per_index_[j];
+  ++pi.lookups;
+  (void)key_bytes;  // Key bytes are tracked at extraction time (PreRecord).
+  pi.lookup_result_bytes += result_bytes;
+  pi.service_time += service_sec;
+}
+
+void OperatorRuntime::CacheProbe(int j, bool miss) {
+  if (j < 0 || j >= num_indices_) return;
+  ++per_index_[j].cache_probes;
+  if (miss) ++per_index_[j].cache_misses;
+}
+
+void OperatorRuntime::ShadowProbe(int j, int node, const std::string& key) {
+  if (j < 0 || j >= num_indices_) return;
+  if (node < 0 || node >= num_nodes_) node = 0;
+  auto& cache = shadow_caches_[static_cast<size_t>(node) * num_indices_ + j];
+  if (!cache) {
+    cache = std::make_unique<LruCache<std::string, char>>(cache_capacity_);
+  }
+  char unused = 0;
+  const bool hit = cache->Get(key, &unused);
+  if (!hit) cache->Put(key, 0);
+  CacheProbe(j, /*miss=*/!hit);
+}
+
+void OperatorRuntime::PostBeginTask() {
+  task_post_records_ = 0;
+  task_post_bytes_ = 0;
+}
+
+void OperatorRuntime::PostRecord(uint64_t output_bytes) {
+  ++total_post_records_;
+  ++task_post_records_;
+  total_post_bytes_ += output_bytes;
+  task_post_bytes_ += output_bytes;
+}
+
+void OperatorRuntime::PostEndTask() {
+  if (task_post_records_ == 0) return;
+  ++post_tasks_;
+  spost_samples_.Add(static_cast<double>(task_post_bytes_) /
+                     static_cast<double>(task_post_records_));
+}
+
+void OperatorRuntime::MapOutput(uint64_t bytes) { map_output_bytes_ += bytes; }
+
+OperatorStats OperatorRuntime::Compute(int num_nodes,
+                                       double extrapolation) const {
+  OperatorStats stats;
+  if (num_nodes <= 0) num_nodes = 1;
+  if (extrapolation < 1.0) extrapolation = 1.0;
+  if (total_inputs_ == 0) {
+    // No preProcess samples yet: still surface the lookup-side statistics
+    // (siv, tj, miss ratio) but leave the stats invalid for planning.
+    stats.index.resize(num_indices_);
+    for (int j = 0; j < num_indices_; ++j) {
+      const PerIndex& pi = per_index_[j];
+      IndexStats& is = stats.index[j];
+      is.siv = pi.lookups > 0
+                   ? static_cast<double>(pi.lookup_result_bytes) /
+                         static_cast<double>(pi.lookups)
+                   : 0.0;
+      is.tj = pi.lookups > 0
+                  ? pi.service_time / static_cast<double>(pi.lookups)
+                  : 0.0;
+      is.miss_ratio = pi.cache_probes > 0
+                          ? static_cast<double>(pi.cache_misses) /
+                                static_cast<double>(pi.cache_probes)
+                          : 1.0;
+    }
+    return stats;
+  }
+
+  const double inputs = static_cast<double>(total_inputs_);
+  stats.n1 = inputs * extrapolation / num_nodes;
+  stats.s1 = static_cast<double>(total_input_bytes_) / inputs;
+  stats.spre = static_cast<double>(total_pre_bytes_) / inputs;
+  stats.spost = total_post_records_ > 0
+                    ? static_cast<double>(total_post_bytes_) /
+                          static_cast<double>(total_post_records_)
+                    : 0.0;
+  stats.smap = static_cast<double>(map_output_bytes_) / inputs;
+  stats.tasks_sampled = pre_tasks_;
+
+  stats.index.resize(num_indices_);
+  double max_cov = std::max(
+      {inputs_samples_.coefficient_of_variation(),
+       s1_samples_.coefficient_of_variation(),
+       spre_samples_.coefficient_of_variation(),
+       post_tasks_ >= 2 ? spost_samples_.coefficient_of_variation() : 0.0});
+  for (int j = 0; j < num_indices_; ++j) {
+    const PerIndex& pi = per_index_[j];
+    IndexStats& is = stats.index[j];
+    is.nik = static_cast<double>(pi.keys) / inputs;
+    is.sik = pi.keys > 0 ? static_cast<double>(pi.key_bytes) /
+                               static_cast<double>(pi.keys)
+                         : 0.0;
+    is.siv = pi.lookups > 0 ? static_cast<double>(pi.lookup_result_bytes) /
+                                  static_cast<double>(pi.lookups)
+                            : 0.0;
+    is.tj = pi.lookups > 0
+                ? pi.service_time / static_cast<double>(pi.lookups)
+                : 0.0;
+    const double distinct = pi.sketch.EstimateDistinct();
+    // FM estimates the distinct count of the *sampled* keys; scale both the
+    // total and distinct by the same extrapolation so Theta is unbiased
+    // under uniform duplication. (Distinct counts do not extrapolate
+    // linearly in general; treat Theta as the duplicate factor observed in
+    // the sample, which is what re-optimization acts on.)
+    is.theta = distinct > 0.5
+                   ? std::max(1.0, static_cast<double>(pi.keys) / distinct)
+                   : 1.0;
+    is.miss_ratio = pi.cache_probes > 0
+                        ? static_cast<double>(pi.cache_misses) /
+                              static_cast<double>(pi.cache_probes)
+                        : 1.0;
+    is.repartitionable = !pi.multi_key_seen;
+    max_cov = std::max(max_cov, pi.nik_samples.coefficient_of_variation());
+  }
+  stats.max_cov = max_cov;
+  stats.valid = true;
+  return stats;
+}
+
+}  // namespace efind

@@ -1,0 +1,174 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_EFIND_STATISTICS_H_
+#define EFIND_EFIND_STATISTICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fm_sketch.h"
+#include "common/lru_cache.h"
+#include "common/running_stats.h"
+
+namespace efind {
+
+/// Table-1 statistics for one index j of an operator.
+struct IndexStats {
+  /// Nik_j: average lookup keys per operator input record.
+  double nik = 0.0;
+  /// Sik_j: average key size in bytes.
+  double sik = 0.0;
+  /// Siv_j: average lookup result size per key, in bytes.
+  double siv = 0.0;
+  /// T_j: average index service time per lookup, in seconds.
+  double tj = 0.0;
+  /// Theta: average duplicates per distinct lookup key, cluster-wide
+  /// (estimated via OR-merged Flajolet-Martin sketches, paper §4.2).
+  double theta = 1.0;
+  /// R: lookup-cache miss ratio (real cache when caching, else a shadow
+  /// key-only cache sampling the lookup stream, paper §4.2).
+  double miss_ratio = 1.0;
+  /// Every observed record extracted exactly one key for this index; the
+  /// executable re-partitioning path requires this (DESIGN.md §3).
+  bool repartitionable = true;
+
+  // Capabilities copied from the accessor at planning time.
+  bool idempotent = true;
+  bool has_partition_scheme = false;
+  /// Per-call marshalling overhead of remote access (accessor property).
+  double remote_overhead = 0.0;
+};
+
+/// Table-1 statistics for one `IndexOperator` instance.
+struct OperatorStats {
+  /// N1: average operator input records per machine node.
+  double n1 = 0.0;
+  /// S1: average input record size.
+  double s1 = 0.0;
+  /// Spre: average preProcess output size per input record (record after
+  /// preProcess plus extracted keys).
+  double spre = 0.0;
+  /// Spost: average postProcess output size per input record.
+  double spost = 0.0;
+  /// Smap: average original-Map output size per operator input record
+  /// (head operators only; 0 when unknown).
+  double smap = 0.0;
+  /// Per-index statistics.
+  std::vector<IndexStats> index;
+
+  /// Tasks that contributed samples; the variance gate needs >= 2.
+  size_t tasks_sampled = 0;
+  /// max over tracked statistics of stddev/mean across task samples
+  /// (Eq. 5); the adaptive optimizer re-plans only when this is below its
+  /// threshold.
+  double max_cov = 0.0;
+  /// False until any samples have been collected.
+  bool valid = false;
+
+  /// Sidx per input record after accessing the indices listed in `order`
+  /// (prefix of an access order): spre + sum nik_j * siv_j.
+  double SidxAfter(const std::vector<int>& accessed) const;
+};
+
+/// Online statistics collector for one operator instance. EFind stages feed
+/// it during execution (single-threaded; parallelism is simulated), mirroring
+/// the paper's counter-based collection: per-task samples for the variance
+/// gate, OR-merged FM sketches for Theta, and a per-node shadow cache for R.
+class OperatorRuntime {
+ public:
+  /// `num_indices` accessors; `num_nodes` for per-node shadow caches of
+  /// `cache_capacity` entries.
+  OperatorRuntime(int num_indices, int num_nodes, size_t cache_capacity);
+
+  // --- preProcess-side hooks -------------------------------------------
+  void PreBeginTask();
+  /// One record through preProcess: its input size, its post-pre output
+  /// size (record + keys), and per-index extracted keys.
+  void PreRecord(uint64_t input_bytes, uint64_t pre_output_bytes,
+                 const std::vector<std::vector<std::string>>& keys);
+  void PreEndTask();
+
+  // --- lookup-side hooks ------------------------------------------------
+  /// An actual lookup of index `j` (cache miss or no cache) returning
+  /// `result_bytes` with service time `service_sec`.
+  void LookupPerformed(int j, uint64_t key_bytes, uint64_t result_bytes,
+                       double service_sec);
+  /// A probe of the real lookup cache for index `j`.
+  void CacheProbe(int j, bool miss);
+  /// Probes the shadow (key-only) cache on `node` for index `j` when the
+  /// real cache is not active; records the hit/miss for estimating R.
+  void ShadowProbe(int j, int node, const std::string& key);
+
+  // --- postProcess-side hooks --------------------------------------------
+  void PostBeginTask();
+  void PostRecord(uint64_t output_bytes);
+  void PostEndTask();
+
+  // --- original-Map metering (for Smap of head operators) ----------------
+  void MapOutput(uint64_t bytes);
+
+  /// Total operator input records observed so far (pre-side).
+  uint64_t total_inputs() const { return total_inputs_; }
+
+  /// Builds Table-1 statistics. `extrapolation` scales observed input
+  /// counts to the whole job (total tasks / sampled tasks) when only the
+  /// first wave has run; `num_nodes` converts totals to per-machine N1.
+  OperatorStats Compute(int num_nodes, double extrapolation) const;
+
+  /// Resets everything (fresh job).
+  void Reset();
+
+ private:
+  struct PerIndex {
+    uint64_t keys = 0;
+    uint64_t key_bytes = 0;
+    uint64_t lookups = 0;
+    uint64_t lookup_result_bytes = 0;
+    double service_time = 0.0;
+    uint64_t cache_probes = 0;
+    uint64_t cache_misses = 0;
+    FmSketch sketch{64};
+    // Per-task temporaries.
+    uint64_t task_keys = 0;
+    uint64_t task_records_with_one_key = 0;
+    RunningStats nik_samples;
+    bool multi_key_seen = false;
+  };
+
+  int num_indices_;
+  int num_nodes_;
+  size_t cache_capacity_;
+
+  uint64_t total_inputs_ = 0;
+  uint64_t total_input_bytes_ = 0;
+  uint64_t total_pre_bytes_ = 0;
+  uint64_t total_post_records_ = 0;
+  uint64_t total_post_bytes_ = 0;
+  uint64_t map_output_bytes_ = 0;
+
+  // Per-task temporaries (pre side).
+  uint64_t task_inputs_ = 0;
+  uint64_t task_input_bytes_ = 0;
+  uint64_t task_pre_bytes_ = 0;
+  size_t pre_tasks_ = 0;
+  // Per-task temporaries (post side).
+  uint64_t task_post_records_ = 0;
+  uint64_t task_post_bytes_ = 0;
+  size_t post_tasks_ = 0;
+
+  RunningStats inputs_samples_;
+  RunningStats s1_samples_;
+  RunningStats spre_samples_;
+  RunningStats spost_samples_;
+
+  std::vector<PerIndex> per_index_;
+  // shadow_caches_[node * num_indices_ + j]; key-only LRU, value unused.
+  std::vector<std::unique_ptr<LruCache<std::string, char>>> shadow_caches_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_EFIND_STATISTICS_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_COUNTERS_H_
+#define EFIND_MAPREDUCE_COUNTERS_H_
+
+#include <map>
+#include <string>
+
+namespace efind {
+
+/// Named, globally mergeable counters, mirroring Hadoop's counter facility
+/// that EFind leverages to collect Table-1 statistics on the fly (paper
+/// Section 4.2: "A counter can be incremented by individual Map or Reduce
+/// tasks and will be globally visible").
+///
+/// Values are doubles so byte totals and squared sums (for Eq. 5 variance)
+/// share one mechanism. Keys use a `group.name` convention, e.g.
+/// `efind.op0.idx1.lookup_bytes_out`.
+class Counters {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero if absent.
+  void Increment(const std::string& name, double delta = 1.0) {
+    values_[name] += delta;
+  }
+
+  /// Current value of `name`; 0 if never incremented.
+  double Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
+
+  /// Adds every counter of `other` into this one.
+  void Merge(const Counters& other) {
+    for (const auto& [name, v] : other.values_) values_[name] += v;
+  }
+
+  void Clear() { values_.clear(); }
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  /// Sorted iteration for deterministic dumps in tests and benches.
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,108 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_JOB_H_
+#define EFIND_MAPREDUCE_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/wave_scheduler.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/partitioner.h"
+#include "mapreduce/record.h"
+#include "mapreduce/stage.h"
+
+namespace efind {
+
+/// Configuration of one MapReduce job: a chain of map-side stages (the
+/// user's Map function plus any EFind-inserted pre/lookup/post functions),
+/// an optional Reduce function, and a chain of reduce-side stages after it.
+struct JobConfig {
+  std::string name = "job";
+
+  /// Map computation = chain of record-at-a-time stages.
+  std::vector<std::shared_ptr<RecordStage>> map_stages;
+  /// Reduce function; null makes this a map-only job (no shuffle).
+  std::shared_ptr<Reducer> reducer;
+  /// Stages chained after Reduce (EFind tail operators, Fig. 6c).
+  std::vector<std::shared_ptr<RecordStage>> reduce_stages;
+
+  /// Number of reduce tasks; <= 0 selects the cluster's total reduce slots.
+  int num_reduce_tasks = 0;
+  /// Map-output partitioner; null selects HashPartitioner.
+  std::shared_ptr<Partitioner> partitioner;
+  /// Node hosting each reduce task. Empty = round-robin. The index-locality
+  /// strategy sets this so lookups in the post-shuffle stage are node-local.
+  std::vector<int> reduce_task_nodes;
+  /// When true, map tasks are scheduled without data locality and fetch
+  /// their input split over the network instead of from local disk.
+  bool map_input_remote = false;
+};
+
+/// Execution record of one map task.
+struct MapTaskResult {
+  /// Map output partitioned by reduce bucket (one bucket for map-only jobs).
+  std::vector<std::vector<Record>> partitioned_output;
+  /// Simulated duration in seconds (I/O + CPU + stage-charged time).
+  double duration = 0.0;
+  /// Task-local counters (EFind statistics land here).
+  Counters counters;
+  int node = 0;
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  size_t input_records = 0;
+  size_t output_records = 0;
+};
+
+/// Execution record of the whole map phase.
+struct MapPhaseResult {
+  std::vector<MapTaskResult> tasks;
+  PhaseSchedule schedule;
+  double makespan() const { return schedule.makespan; }
+};
+
+/// Execution record of the reduce phase.
+struct ReducePhaseResult {
+  /// One output split per reduce task, placed on the task's node.
+  std::vector<InputSplit> outputs;
+  std::vector<double> durations;
+  std::vector<Counters> task_counters;
+  PhaseSchedule schedule;
+  double makespan() const { return schedule.makespan; }
+};
+
+/// Aggregate result of `JobRunner::Run`.
+struct JobResult {
+  /// Final output splits (per reduce task, or per map task for map-only).
+  std::vector<InputSplit> outputs;
+
+  /// Total simulated job time = map makespan + reduce makespan.
+  double sim_seconds = 0.0;
+  double map_seconds = 0.0;
+  double reduce_seconds = 0.0;
+
+  /// Job-wide merged counters.
+  Counters counters;
+  /// Per-map-task counters, the raw material for the adaptive optimizer's
+  /// variance gate (paper Eq. 5).
+  std::vector<Counters> map_task_counters;
+  std::vector<double> map_task_durations;
+
+  size_t num_map_tasks = 0;
+  size_t num_reduce_tasks = 0;
+
+  /// Flattens the outputs into one vector (test convenience).
+  std::vector<Record> CollectRecords() const {
+    std::vector<Record> all;
+    for (const auto& split : outputs) {
+      all.insert(all.end(), split.records.begin(), split.records.end());
+    }
+    return all;
+  }
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_JOB_H_

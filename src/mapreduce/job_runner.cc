@@ -1,0 +1,241 @@
+#include "mapreduce/job_runner.h"
+
+#include <map>
+#include <memory>
+
+#include "common/hash.h"
+#include <string>
+#include <utility>
+
+#include "mapreduce/stage_chain.h"
+
+namespace efind {
+
+namespace {
+
+const HashPartitioner kDefaultPartitioner;
+
+const Partitioner& EffectivePartitioner(const JobConfig& job) {
+  if (job.partitioner) return *job.partitioner;
+  return kDefaultPartitioner;
+}
+
+uint64_t BytesOf(const std::vector<Record>& records) {
+  uint64_t n = 0;
+  for (const auto& r : records) n += r.size_bytes();
+  return n;
+}
+
+}  // namespace
+
+int JobRunner::ResolveNumReduceTasks(const JobConfig& job) const {
+  if (!job.reducer) return 1;
+  if (job.num_reduce_tasks > 0) return job.num_reduce_tasks;
+  return config_.total_reduce_slots();
+}
+
+double JobRunner::ApplyFaults(double duration, int kind,
+                              int task_index) const {
+  if (config_.task_failure_rate <= 0 && config_.straggler_rate <= 0) {
+    return duration;
+  }
+  const uint64_t h = Mix64(config_.fault_seed ^
+                           (static_cast<uint64_t>(task_index) * 2654435761ULL +
+                            static_cast<uint64_t>(kind) * 40503ULL));
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // Uniform in [0,1).
+  if (u < config_.task_failure_rate) {
+    // The attempt is lost near completion and the task re-executes.
+    return 2.0 * duration;
+  }
+  if (u < config_.task_failure_rate + config_.straggler_rate) {
+    return config_.straggler_slowdown * duration;
+  }
+  return duration;
+}
+
+int JobRunner::ReduceTaskNode(const JobConfig& job, int reduce_index) const {
+  if (reduce_index < static_cast<int>(job.reduce_task_nodes.size())) {
+    const int n = job.reduce_task_nodes[reduce_index];
+    if (n >= 0 && n < config_.num_nodes) return n;
+  }
+  return reduce_index % config_.num_nodes;
+}
+
+MapTaskResult JobRunner::RunMapTask(const JobConfig& job,
+                                    const InputSplit& split, int task_index) {
+  MapTaskResult result;
+  result.node = split.node;
+  const int num_partitions =
+      job.reducer ? ResolveNumReduceTasks(job) : 1;
+  result.partitioned_output.resize(num_partitions);
+
+  TaskContext ctx(split.node, task_index, &result.counters);
+  std::vector<Record> sink;
+  StageChain chain(&job.map_stages, &ctx, &sink);
+  chain.Begin();
+
+  double cpu = 0.0;
+  for (const Record& r : split.records) {
+    result.input_bytes += r.size_bytes();
+    ++result.input_records;
+    cpu += config_.cpu_per_record_sec +
+           config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
+    chain.Push(r);
+  }
+  chain.Finish();
+
+  // Partition the map output.
+  const Partitioner& part = EffectivePartitioner(job);
+  for (auto& r : sink) {
+    result.output_bytes += r.size_bytes();
+    ++result.output_records;
+    cpu += config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
+    const int p = job.reducer ? part.Partition(r.key, num_partitions) : 0;
+    result.partitioned_output[p].push_back(std::move(r));
+  }
+
+  // Time model: startup + input read (local disk, or network when the
+  // scheduler sacrificed data locality) + CPU + stage-charged time +
+  // output spill to local disk.
+  double io = job.map_input_remote
+                  ? config_.TransferSeconds(result.input_bytes)
+                  : config_.DiskReadSeconds(result.input_bytes);
+  io += static_cast<double>(result.output_bytes) /
+        config_.disk_bw_bytes_per_sec;
+  result.duration = ApplyFaults(
+      config_.task_startup_sec + io + cpu + ctx.sim_time(), /*kind=*/0,
+      task_index);
+  return result;
+}
+
+MapPhaseResult JobRunner::RunMapPhase(const JobConfig& job,
+                                      const std::vector<InputSplit>& input,
+                                      size_t begin, size_t end) {
+  MapPhaseResult phase;
+  if (end > input.size()) end = input.size();
+  std::vector<double> durations;
+  for (size_t i = begin; i < end; ++i) {
+    phase.tasks.push_back(RunMapTask(job, input[i], static_cast<int>(i)));
+    durations.push_back(phase.tasks.back().duration);
+  }
+  phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
+  return phase;
+}
+
+ReducePhaseResult JobRunner::RunReducePhase(
+    const JobConfig& job,
+    const std::vector<const MapTaskResult*>& map_outputs) {
+  return RunReduceRange(job, map_outputs, 0, ResolveNumReduceTasks(job));
+}
+
+ReducePhaseResult JobRunner::RunReduceRange(
+    const JobConfig& job,
+    const std::vector<const MapTaskResult*>& map_outputs, int begin,
+    int end) {
+  ReducePhaseResult phase;
+  const int num_reduce = ResolveNumReduceTasks(job);
+  if (begin < 0) begin = 0;
+  if (end > num_reduce) end = num_reduce;
+  if (end < begin) end = begin;
+  phase.outputs.resize(end - begin);
+  phase.durations.resize(end - begin, 0.0);
+  phase.task_counters.resize(end - begin);
+
+  for (int r = begin; r < end; ++r) {
+    const int slot = r - begin;
+    const int node = ReduceTaskNode(job, r);
+    phase.outputs[slot].node = node;
+
+    // Gather this bucket from every map task in task order, grouping by key
+    // with deterministic within-key order.
+    std::map<std::string, std::vector<Record>> groups;
+    uint64_t received_bytes = 0;
+    size_t received_records = 0;
+    for (const MapTaskResult* mt : map_outputs) {
+      if (r >= static_cast<int>(mt->partitioned_output.size())) continue;
+      for (const Record& rec : mt->partitioned_output[r]) {
+        received_bytes += rec.size_bytes();
+        ++received_records;
+        groups[rec.key].push_back(rec);
+      }
+    }
+
+    TaskContext ctx(node, r, &phase.task_counters[slot]);
+    std::vector<Record> sink;
+    StageChain chain(&job.reduce_stages, &ctx, &sink);
+    chain.Begin();
+    if (job.reducer) job.reducer->BeginTask(&ctx);
+
+    double cpu = config_.cpu_per_byte_sec * static_cast<double>(received_bytes) +
+                 config_.cpu_per_record_sec * static_cast<double>(received_records);
+    if (job.reducer) {
+      for (auto& [key, values] : groups) {
+        job.reducer->Reduce(key, std::move(values), &ctx,
+                            chain.EmitterInto(0));
+      }
+      job.reducer->EndTask(&ctx, chain.EmitterInto(0));
+    } else {
+      for (auto& [key, values] : groups) {
+        for (auto& v : values) chain.Push(std::move(v));
+      }
+    }
+    chain.Finish();
+
+    const uint64_t out_bytes = BytesOf(sink);
+    cpu += config_.cpu_per_byte_sec * static_cast<double>(out_bytes);
+    phase.outputs[slot].records = std::move(sink);
+
+    // Time model: startup + shuffle transfer of the received bytes +
+    // CPU + stage-charged time + writing the final output.
+    phase.durations[slot] = ApplyFaults(
+        config_.task_startup_sec + config_.TransferSeconds(received_bytes) +
+            cpu + ctx.sim_time() +
+            static_cast<double>(out_bytes) / config_.disk_bw_bytes_per_sec,
+        /*kind=*/1, r);
+  }
+
+  phase.schedule =
+      ScheduleWaves(phase.durations, config_.total_reduce_slots());
+  return phase;
+}
+
+JobResult JobRunner::Run(const JobConfig& job,
+                         const std::vector<InputSplit>& input) {
+  JobResult result;
+  MapPhaseResult map_phase = RunMapPhase(job, input, 0, input.size());
+  result.num_map_tasks = map_phase.tasks.size();
+  result.map_seconds = map_phase.makespan();
+  for (auto& t : map_phase.tasks) {
+    result.counters.Merge(t.counters);
+    result.map_task_counters.push_back(t.counters);
+    result.map_task_durations.push_back(t.duration);
+  }
+
+  if (job.reducer || !job.reduce_stages.empty()) {
+    std::vector<const MapTaskResult*> ptrs;
+    ptrs.reserve(map_phase.tasks.size());
+    for (const auto& t : map_phase.tasks) ptrs.push_back(&t);
+    ReducePhaseResult reduce_phase = RunReducePhase(job, ptrs);
+    result.num_reduce_tasks = reduce_phase.outputs.size();
+    result.reduce_seconds = reduce_phase.makespan();
+    for (const auto& c : reduce_phase.task_counters) result.counters.Merge(c);
+    result.outputs = std::move(reduce_phase.outputs);
+  } else {
+    // Map-only job: each map task's single bucket becomes an output split
+    // hosted where the task ran.
+    for (auto& t : map_phase.tasks) {
+      InputSplit split;
+      split.node = t.node;
+      if (!t.partitioned_output.empty()) {
+        split.records = std::move(t.partitioned_output[0]);
+      }
+      result.outputs.push_back(std::move(split));
+    }
+  }
+
+  result.sim_seconds = result.map_seconds + result.reduce_seconds;
+  return result;
+}
+
+}  // namespace efind

@@ -1,0 +1,79 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_JOB_RUNNER_H_
+#define EFIND_MAPREDUCE_JOB_RUNNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mapreduce/job.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Executes MapReduce jobs over the simulated cluster.
+///
+/// Data flow is executed for real (records are actually transformed), while
+/// elapsed time is modeled per task from byte counts, CPU charges, and any
+/// time stages charged through `TaskContext::AddSimTime` (index lookups).
+/// Tasks run sequentially in program order; the wave scheduler converts
+/// per-task durations into a phase makespan over the cluster's slots.
+///
+/// The low-level phase methods exist so EFind's adaptive runtime can execute
+/// the first map wave, re-optimize, and resume with a different plan while
+/// reusing completed tasks (paper Figures 9-10).
+class JobRunner {
+ public:
+  explicit JobRunner(const ClusterConfig& config) : config_(config) {}
+
+  /// Runs the whole job: map phase over `input`, then (if a reducer is
+  /// configured) shuffle + reduce phase.
+  JobResult Run(const JobConfig& job, const std::vector<InputSplit>& input);
+
+  /// Executes one map task over `split` as task `task_index`. The task is
+  /// placed on `split.node` unless the job requests remote input.
+  MapTaskResult RunMapTask(const JobConfig& job, const InputSplit& split,
+                           int task_index);
+
+  /// Executes map tasks for splits [begin, end) and schedules them.
+  MapPhaseResult RunMapPhase(const JobConfig& job,
+                             const std::vector<InputSplit>& input,
+                             size_t begin, size_t end);
+
+  /// Shuffles the given map outputs and executes the reduce phase.
+  /// `map_outputs` may combine tasks from different plans (adaptive plan
+  /// change reuses completed old-plan map tasks, Fig. 10a), as long as all
+  /// were partitioned with the same partitioner and reducer count.
+  ReducePhaseResult RunReducePhase(
+      const JobConfig& job,
+      const std::vector<const MapTaskResult*>& map_outputs);
+
+  /// Executes only reduce tasks [begin, end) — used by the adaptive runtime
+  /// to change plans in the middle of the reduce phase while keeping the
+  /// outputs of already-completed reduce tasks (Fig. 10b).
+  ReducePhaseResult RunReduceRange(
+      const JobConfig& job,
+      const std::vector<const MapTaskResult*>& map_outputs, int begin,
+      int end);
+
+  /// Number of reduce tasks the job will use (resolves the <=0 default).
+  int ResolveNumReduceTasks(const JobConfig& job) const;
+
+  /// Applies the cluster's fault model to a task's base duration:
+  /// deterministic per-(kind, index) failures re-execute the task (2x) and
+  /// stragglers run `straggler_slowdown` times slower.
+  double ApplyFaults(double duration, int kind, int task_index) const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  int ReduceTaskNode(const JobConfig& job, int reduce_index) const;
+
+  ClusterConfig config_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_JOB_RUNNER_H_

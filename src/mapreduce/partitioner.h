@@ -1,0 +1,37 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_PARTITIONER_H_
+#define EFIND_MAPREDUCE_PARTITIONER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace efind {
+
+/// Assigns map-output records to reduce tasks by key. EFind's index-locality
+/// strategy swaps in a partitioner derived from the index's own partition
+/// scheme so shuffle output is co-partitioned with the index (paper §3.4).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string name() const = 0;
+  /// Returns the reduce task in [0, num_partitions) for `key`.
+  virtual int Partition(std::string_view key, int num_partitions) const = 0;
+};
+
+/// Hadoop's default: hash of the key modulo the reducer count.
+class HashPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "hash"; }
+  int Partition(std::string_view key, int num_partitions) const override {
+    return static_cast<int>(Hash64(key) %
+                            static_cast<uint64_t>(num_partitions));
+  }
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_PARTITIONER_H_

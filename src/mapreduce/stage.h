@@ -1,0 +1,93 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_STAGE_H_
+#define EFIND_MAPREDUCE_STAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Per-task execution context handed to stages and reducers.
+///
+/// Jobs execute single-threaded in submission order; parallelism is purely a
+/// property of the simulated schedule, so stages may keep per-node state and
+/// reset per-task state in `BeginTask`.
+class TaskContext {
+ public:
+  TaskContext(int node_id, int task_index, Counters* counters)
+      : node_id_(node_id), task_index_(task_index), counters_(counters) {}
+
+  /// Cluster node this task is (simulated to be) running on.
+  int node_id() const { return node_id_; }
+  /// Index of this task within its phase.
+  int task_index() const { return task_index_; }
+  /// Task-local counters, merged into the job's counters when the task ends.
+  Counters* counters() { return counters_; }
+
+  /// Charges `seconds` of modeled time to this task, e.g. an index lookup's
+  /// `(Sik + Siv)/BW + T_j`. The job runner adds this on top of the base
+  /// I/O + CPU model when computing the task's simulated duration.
+  void AddSimTime(double seconds) { sim_time_ += seconds; }
+  double sim_time() const { return sim_time_; }
+
+ private:
+  int node_id_;
+  int task_index_;
+  Counters* counters_;
+  double sim_time_ = 0.0;
+};
+
+/// Sink for records produced by a stage or reducer.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(Record record) = 0;
+};
+
+/// One link in a chain of record-at-a-time functions.
+///
+/// Hadoop's ChainMapper/ChainReducer is how the paper's baseline strategy
+/// splices `preProcess -> lookup -> postProcess` around the user's Map and
+/// Reduce functions (Fig. 6); this interface is the equivalent here. The
+/// user's Map function itself is just another stage.
+class RecordStage {
+ public:
+  virtual ~RecordStage() = default;
+
+  /// Human-readable stage name for plan dumps.
+  virtual std::string name() const = 0;
+
+  /// Called once before a task streams records through this stage.
+  virtual void BeginTask(TaskContext* ctx) { (void)ctx; }
+  /// Processes one record, emitting zero or more records downstream.
+  virtual void Process(Record record, TaskContext* ctx, Emitter* out) = 0;
+  /// Called once after the task's records have been processed; may flush.
+  virtual void EndTask(TaskContext* ctx, Emitter* out) {
+    (void)ctx;
+    (void)out;
+  }
+};
+
+/// The user's Reduce function: receives one key and all records grouped
+/// under it (values arrive in deterministic map-task order).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual std::string name() const = 0;
+  virtual void BeginTask(TaskContext* ctx) { (void)ctx; }
+  virtual void Reduce(const std::string& key, std::vector<Record> values,
+                      TaskContext* ctx, Emitter* out) = 0;
+  virtual void EndTask(TaskContext* ctx, Emitter* out) {
+    (void)ctx;
+    (void)out;
+  }
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_STAGE_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_MAPREDUCE_STAGE_CHAIN_H_
+#define EFIND_MAPREDUCE_STAGE_CHAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "mapreduce/record.h"
+#include "mapreduce/stage.h"
+
+namespace efind {
+
+/// Streams records through a chain of `RecordStage`s: the output of stage i
+/// is the input of stage i+1, and the last stage's output lands in a sink
+/// vector. This is the execution engine behind Hadoop-style chained
+/// functions (paper Fig. 6).
+///
+/// Usage: Begin() once, Push() per record, Finish() once (cascades each
+/// stage's EndTask output through the remainder of the chain).
+class StageChain {
+ public:
+  /// Neither `stages` nor `ctx` nor `sink` is owned; all must outlive the
+  /// chain. An empty stage list passes records straight to the sink.
+  StageChain(const std::vector<std::shared_ptr<RecordStage>>* stages,
+             TaskContext* ctx, std::vector<Record>* sink)
+      : stages_(stages), ctx_(ctx), sink_(sink) {
+    emitters_.reserve(stages_->size() + 1);
+    for (size_t i = 0; i <= stages_->size(); ++i) {
+      emitters_.push_back(LinkEmitter{this, i});
+    }
+  }
+
+  StageChain(const StageChain&) = delete;
+  StageChain& operator=(const StageChain&) = delete;
+
+  void Begin() {
+    for (const auto& s : *stages_) s->BeginTask(ctx_);
+  }
+
+  void Push(Record record) { ProcessFrom(0, std::move(record)); }
+
+  void Finish() {
+    for (size_t i = 0; i < stages_->size(); ++i) {
+      (*stages_)[i]->EndTask(ctx_, &emitters_[i + 1]);
+    }
+  }
+
+  /// Emitter delivering into stage `next` (or the sink when past the end).
+  Emitter* EmitterInto(size_t next) { return &emitters_[next]; }
+
+ private:
+  struct LinkEmitter : Emitter {
+    LinkEmitter(StageChain* c, size_t n) : chain(c), next(n) {}
+    void Emit(Record record) override {
+      chain->ProcessFrom(next, std::move(record));
+    }
+    StageChain* chain;
+    size_t next;
+  };
+
+  void ProcessFrom(size_t i, Record record) {
+    if (i >= stages_->size()) {
+      sink_->push_back(std::move(record));
+      return;
+    }
+    (*stages_)[i]->Process(std::move(record), ctx_, &emitters_[i + 1]);
+  }
+
+  const std::vector<std::shared_ptr<RecordStage>>* stages_;
+  TaskContext* ctx_;
+  std::vector<Record>* sink_;
+  std::vector<LinkEmitter> emitters_;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_STAGE_CHAIN_H_

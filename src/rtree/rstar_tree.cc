@@ -1,0 +1,406 @@
+#include "rtree/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace efind {
+
+namespace {
+// R* forced-reinsert fraction.
+constexpr double kReinsertFraction = 0.3;
+}  // namespace
+
+Rect Rect::Union(const Rect& o) const {
+  return {std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+          std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+}
+
+double Rect::OverlapArea(const Rect& o) const {
+  const double w = std::min(max_x, o.max_x) - std::max(min_x, o.min_x);
+  const double h = std::min(max_y, o.max_y) - std::max(min_y, o.min_y);
+  if (w <= 0 || h <= 0) return 0;
+  return w * h;
+}
+
+double Rect::MinDist2(double x, double y) const {
+  double dx = 0, dy = 0;
+  if (x < min_x) {
+    dx = min_x - x;
+  } else if (x > max_x) {
+    dx = x - max_x;
+  }
+  if (y < min_y) {
+    dy = min_y - y;
+  } else if (y > max_y) {
+    dy = y - max_y;
+  }
+  return dx * dx + dy * dy;
+}
+
+struct RStarTree::Node {
+  bool is_leaf = true;
+  Rect rect{};
+  std::vector<SpatialPoint> points;  // Leaf entries.
+  std::vector<Node*> children;       // Internal entries.
+  Node* parent = nullptr;
+
+  size_t count() const { return is_leaf ? points.size() : children.size(); }
+};
+
+RStarTree::RStarTree(int max_entries)
+    : max_entries_(max_entries < 4 ? 4 : max_entries),
+      min_entries_(std::max(2, static_cast<int>(max_entries_ * 0.4))) {}
+
+RStarTree::~RStarTree() { FreeTree(root_); }
+
+void RStarTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* c : node->children) FreeTree(c);
+  delete node;
+}
+
+Rect RStarTree::NodeRect(const Node* node) {
+  Rect r;
+  bool first = true;
+  if (node->is_leaf) {
+    for (const auto& p : node->points) {
+      r = first ? Rect::Of(p) : r.Union(Rect::Of(p));
+      first = false;
+    }
+  } else {
+    for (const Node* c : node->children) {
+      r = first ? c->rect : r.Union(c->rect);
+      first = false;
+    }
+  }
+  return r;
+}
+
+RStarTree::Node* RStarTree::ChooseSubtree(Node* node, const Rect& r,
+                                          int /*target_level*/) const {
+  // R* CS2: when children are leaves, minimize overlap enlargement;
+  // otherwise minimize area enlargement. Ties by smaller area.
+  const bool children_are_leaves = node->children.front()->is_leaf;
+  Node* best = nullptr;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  for (Node* c : node->children) {
+    const Rect enlarged = c->rect.Union(r);
+    double primary;
+    if (children_are_leaves) {
+      double overlap_before = 0, overlap_after = 0;
+      for (const Node* o : node->children) {
+        if (o == c) continue;
+        overlap_before += c->rect.OverlapArea(o->rect);
+        overlap_after += enlarged.OverlapArea(o->rect);
+      }
+      primary = overlap_after - overlap_before;
+    } else {
+      primary = enlarged.Area() - c->rect.Area();
+    }
+    const double secondary = enlarged.Area() - c->rect.Area();
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// One candidate entry during a split: its rect and its position in the
+// node's entry array.
+struct SplitEntry {
+  Rect rect;
+  size_t pos;
+};
+
+// R* split: choose the axis minimizing the sum of distribution margins,
+// then the distribution with minimal overlap (ties: minimal total area).
+// Returns the ordered entries and the split point (first `split_at` go
+// left).
+void ChooseSplit(std::vector<SplitEntry>* entries, int min_entries,
+                 size_t* split_at) {
+  const size_t n = entries->size();
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  int best_axis = 0;
+
+  auto sort_by_axis = [&](int axis) {
+    std::sort(entries->begin(), entries->end(),
+              [axis](const SplitEntry& a, const SplitEntry& b) {
+                const double alo = axis == 0 ? a.rect.min_x : a.rect.min_y;
+                const double blo = axis == 0 ? b.rect.min_x : b.rect.min_y;
+                if (alo != blo) return alo < blo;
+                const double ahi = axis == 0 ? a.rect.max_x : a.rect.max_y;
+                const double bhi = axis == 0 ? b.rect.max_x : b.rect.max_y;
+                if (ahi != bhi) return ahi < bhi;
+                return a.pos < b.pos;
+              });
+  };
+
+  for (int axis = 0; axis < 2; ++axis) {
+    sort_by_axis(axis);
+    double margin_sum = 0;
+    for (size_t k = min_entries; k + min_entries <= n; ++k) {
+      Rect left = (*entries)[0].rect;
+      for (size_t i = 1; i < k; ++i) left = left.Union((*entries)[i].rect);
+      Rect right = (*entries)[k].rect;
+      for (size_t i = k + 1; i < n; ++i) right = right.Union((*entries)[i].rect);
+      margin_sum += left.Margin() + right.Margin();
+    }
+    if (margin_sum < best_axis_margin) {
+      best_axis_margin = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  sort_by_axis(best_axis);
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  *split_at = min_entries;
+  for (size_t k = min_entries; k + min_entries <= n; ++k) {
+    Rect left = (*entries)[0].rect;
+    for (size_t i = 1; i < k; ++i) left = left.Union((*entries)[i].rect);
+    Rect right = (*entries)[k].rect;
+    for (size_t i = k + 1; i < n; ++i) right = right.Union((*entries)[i].rect);
+    const double overlap = left.OverlapArea(right);
+    const double area = left.Area() + right.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      *split_at = k;
+    }
+  }
+}
+
+}  // namespace
+
+void RStarTree::SplitNode(Node* node, Node** new_node) {
+  std::vector<SplitEntry> entries;
+  const size_t n = node->count();
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back({node->is_leaf ? Rect::Of(node->points[i])
+                                     : node->children[i]->rect,
+                       i});
+  }
+  size_t split_at = 0;
+  ChooseSplit(&entries, min_entries_, &split_at);
+
+  Node* right = new Node();
+  right->is_leaf = node->is_leaf;
+  right->parent = node->parent;
+  if (node->is_leaf) {
+    std::vector<SpatialPoint> left_pts, right_pts;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      auto& dst = (i < split_at) ? left_pts : right_pts;
+      dst.push_back(node->points[entries[i].pos]);
+    }
+    node->points = std::move(left_pts);
+    right->points = std::move(right_pts);
+  } else {
+    std::vector<Node*> left_ch, right_ch;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      Node* c = node->children[entries[i].pos];
+      if (i < split_at) {
+        left_ch.push_back(c);
+      } else {
+        c->parent = right;
+        right_ch.push_back(c);
+      }
+    }
+    node->children = std::move(left_ch);
+    right->children = std::move(right_ch);
+  }
+  node->rect = NodeRect(node);
+  right->rect = NodeRect(right);
+  *new_node = right;
+}
+
+void RStarTree::Reinsert(Node* node, bool* reinserted_at_level) {
+  // Remove the kReinsertFraction entries farthest from the node center and
+  // insert them again from the top (R* forced reinsertion).
+  const double cx = node->rect.CenterX();
+  const double cy = node->rect.CenterY();
+  auto dist2 = [&](const SpatialPoint& p) {
+    const double dx = p.x - cx, dy = p.y - cy;
+    return dx * dx + dy * dy;
+  };
+  std::sort(node->points.begin(), node->points.end(),
+            [&](const SpatialPoint& a, const SpatialPoint& b) {
+              const double da = dist2(a), db = dist2(b);
+              if (da != db) return da > db;  // Farthest first.
+              return a.id < b.id;
+            });
+  const size_t remove_n = std::max<size_t>(
+      1, static_cast<size_t>(node->points.size() * kReinsertFraction));
+  std::vector<SpatialPoint> removed(node->points.begin(),
+                                    node->points.begin() + remove_n);
+  node->points.erase(node->points.begin(),
+                     node->points.begin() + remove_n);
+  size_ -= removed.size();
+
+  // Shrink rects up the tree before re-inserting.
+  for (Node* n = node; n != nullptr; n = n->parent) n->rect = NodeRect(n);
+
+  // Close reinsertion (near entries first, i.e. reversed order).
+  for (auto it = removed.rbegin(); it != removed.rend(); ++it) {
+    InsertEntry(*it, reinserted_at_level);
+  }
+}
+
+void RStarTree::HandleOverflow(Node* node, std::vector<Node*>* /*path*/,
+                               bool* reinserted_at_level) {
+  while (node != nullptr &&
+         node->count() > static_cast<size_t>(max_entries_)) {
+    if (node->is_leaf && node != root_ && !*reinserted_at_level) {
+      *reinserted_at_level = true;
+      Reinsert(node, reinserted_at_level);
+      return;
+    }
+    Node* right = nullptr;
+    SplitNode(node, &right);
+    if (node == root_) {
+      Node* new_root = new Node();
+      new_root->is_leaf = false;
+      new_root->children = {node, right};
+      node->parent = new_root;
+      right->parent = new_root;
+      new_root->rect = NodeRect(new_root);
+      root_ = new_root;
+      ++height_;
+      return;
+    }
+    Node* parent = node->parent;
+    parent->children.push_back(right);
+    for (Node* n = parent; n != nullptr; n = n->parent) n->rect = NodeRect(n);
+    node = parent;
+  }
+}
+
+void RStarTree::InsertEntry(const SpatialPoint& p,
+                            bool* reinserted_at_level) {
+  if (root_ == nullptr) {
+    root_ = new Node();
+    height_ = 1;
+  }
+  const Rect r = Rect::Of(p);
+  Node* node = root_;
+  while (!node->is_leaf) node = ChooseSubtree(node, r, 0);
+  node->points.push_back(p);
+  ++size_;
+  for (Node* n = node; n != nullptr; n = n->parent) {
+    n->rect = (n->count() == 1 && n->is_leaf) ? r : n->rect.Union(r);
+  }
+  HandleOverflow(node, nullptr, reinserted_at_level);
+}
+
+void RStarTree::Insert(const SpatialPoint& p) {
+  bool reinserted = false;
+  InsertEntry(p, &reinserted);
+}
+
+std::vector<SpatialPoint> RStarTree::KNearest(double x, double y,
+                                              int k) const {
+  std::vector<SpatialPoint> result;
+  if (root_ == nullptr || k <= 0) return result;
+
+  struct QueueItem {
+    double dist2;
+    bool is_point;
+    SpatialPoint point;
+    const Node* node;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    if (a.dist2 != b.dist2) return a.dist2 > b.dist2;
+    // Points before nodes at equal distance; then by id, for determinism.
+    if (a.is_point != b.is_point) return !a.is_point;
+    return a.point.id > b.point.id;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push({root_->rect.MinDist2(x, y), false, {}, root_});
+
+  while (!queue.empty() && static_cast<int>(result.size()) < k) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.is_point) {
+      result.push_back(item.point);
+      continue;
+    }
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      for (const auto& p : node->points) {
+        const double dx = p.x - x, dy = p.y - y;
+        queue.push({dx * dx + dy * dy, true, p, nullptr});
+      }
+    } else {
+      for (const Node* c : node->children) {
+        queue.push({c->rect.MinDist2(x, y), false, {}, c});
+      }
+    }
+  }
+  return result;
+}
+
+void RStarTree::RangeQuery(const Rect& rect,
+                           std::vector<SpatialPoint>* out) const {
+  if (root_ == nullptr) return;
+  std::vector<const Node*> stack = {root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->rect.Intersects(rect)) continue;
+    if (node->is_leaf) {
+      for (const auto& p : node->points) {
+        if (rect.Contains(p)) out->push_back(p);
+      }
+    } else {
+      for (const Node* c : node->children) stack.push_back(c);
+    }
+  }
+}
+
+Rect RStarTree::bounds() const {
+  return root_ != nullptr ? root_->rect : Rect{};
+}
+
+bool RStarTree::CheckNode(const Node* node, int depth, int leaf_depth,
+                          bool is_root) const {
+  const size_t n = node->count();
+  if (n > static_cast<size_t>(max_entries_)) return false;
+  if (!is_root && n < static_cast<size_t>(min_entries_)) return false;
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;
+    for (const auto& p : node->points) {
+      if (!node->rect.Contains(p)) return false;
+    }
+    return true;
+  }
+  for (const Node* c : node->children) {
+    if (c->parent != node) return false;
+    const Rect u = node->rect.Union(c->rect);
+    // Child rect must be contained in the parent rect.
+    if (u.min_x != node->rect.min_x || u.min_y != node->rect.min_y ||
+        u.max_x != node->rect.max_x || u.max_y != node->rect.max_y) {
+      return false;
+    }
+    if (!CheckNode(c, depth + 1, leaf_depth, false)) return false;
+  }
+  return true;
+}
+
+bool RStarTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  if (size_ == 0) return root_->count() == 0;
+  return CheckNode(root_, 1, height_, true);
+}
+
+}  // namespace efind

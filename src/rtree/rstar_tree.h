@@ -1,0 +1,112 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_RTREE_RSTAR_TREE_H_
+#define EFIND_RTREE_RSTAR_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efind {
+
+/// A 2D point with a payload identifier.
+struct SpatialPoint {
+  double x = 0;
+  double y = 0;
+  uint64_t id = 0;
+
+  friend bool operator==(const SpatialPoint& a, const SpatialPoint& b) {
+    return a.x == b.x && a.y == b.y && a.id == b.id;
+  }
+};
+
+/// Axis-aligned bounding rectangle.
+struct Rect {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  static Rect Of(const SpatialPoint& p) { return {p.x, p.y, p.x, p.y}; }
+
+  double Area() const { return (max_x - min_x) * (max_y - min_y); }
+  double Margin() const { return 2 * ((max_x - min_x) + (max_y - min_y)); }
+
+  bool Contains(const SpatialPoint& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  Rect Union(const Rect& o) const;
+  /// Area of the intersection with `o` (0 when disjoint).
+  double OverlapArea(const Rect& o) const;
+  /// Squared distance from `p` to the nearest point of this rectangle
+  /// (0 when inside); the MINDIST bound of best-first kNN search.
+  double MinDist2(double x, double y) const;
+  double CenterX() const { return (min_x + max_x) / 2; }
+  double CenterY() const { return (min_y + max_y) / 2; }
+};
+
+/// An in-memory R*-tree over 2D points (Beckmann et al., SIGMOD 1990):
+/// ChooseSubtree with minimum overlap enlargement at the leaf level, the
+/// R* margin/overlap-driven split, and forced reinsertion of the 30%
+/// farthest entries on first overflow per level.
+///
+/// The paper's OSM experiment builds "an R*tree for each cell" of a 4x8 US
+/// grid to support k-nearest-neighbor search; `CellPartitionedRTree` (see
+/// cell_rtree.h) composes this class into that distributed index.
+class RStarTree {
+ public:
+  /// `max_entries` per node (min is 40% of max, per the R* paper).
+  explicit RStarTree(int max_entries = 32);
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  /// Inserts a point.
+  void Insert(const SpatialPoint& p);
+
+  /// Returns up to `k` nearest points to (x, y), closest first; ties broken
+  /// by point id for determinism.
+  std::vector<SpatialPoint> KNearest(double x, double y, int k) const;
+
+  /// Appends all points inside `rect` to `*out` (no order guarantee).
+  void RangeQuery(const Rect& rect, std::vector<SpatialPoint>* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+  /// Bounding box of the whole tree (undefined content when empty).
+  Rect bounds() const;
+
+  /// Verifies structural invariants: child MBRs contained in parents,
+  /// entry counts within [min, max] (root exempt), uniform leaf depth.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  void InsertEntry(const SpatialPoint& p, bool* reinserted_at_level);
+  Node* ChooseSubtree(Node* node, const Rect& r, int target_level) const;
+  void HandleOverflow(Node* node, std::vector<Node*>* path,
+                      bool* reinserted_at_level);
+  void SplitNode(Node* node, Node** new_node);
+  void Reinsert(Node* node, bool* reinserted_at_level);
+  void AdjustUpward(std::vector<Node*>* path);
+  static Rect NodeRect(const Node* node);
+  bool CheckNode(const Node* node, int depth, int leaf_depth,
+                 bool is_root) const;
+  void FreeTree(Node* node);
+
+  int max_entries_;
+  int min_entries_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_RTREE_RSTAR_TREE_H_

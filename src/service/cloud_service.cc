@@ -1,0 +1,55 @@
+#include "service/cloud_service.h"
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace efind {
+
+CloudService MakeGeoIpService(int num_regions,
+                              const CloudServiceOptions& options) {
+  if (num_regions <= 0) num_regions = 1;
+  return CloudService(
+      "geoip",
+      [num_regions](std::string_view ip, std::vector<IndexValue>* out) {
+        if (ip.empty()) return Status::InvalidArgument("empty ip");
+        const uint64_t r = Hash64(ip, /*seed=*/17) %
+                           static_cast<uint64_t>(num_regions);
+        out->emplace_back("region_" + std::to_string(r));
+        return Status::OK();
+      },
+      options);
+}
+
+CloudService MakeTopicService(int num_topics,
+                              const CloudServiceOptions& options) {
+  if (num_topics <= 0) num_topics = 1;
+  return CloudService(
+      "topic",
+      [num_topics](std::string_view keywords, std::vector<IndexValue>* out) {
+        // Stands in for the paper's machine-learning classifier: any input
+        // maps deterministically to a topic.
+        const uint64_t t = Hash64(keywords, /*seed=*/29) %
+                           static_cast<uint64_t>(num_topics);
+        out->emplace_back("topic_" + std::to_string(t));
+        return Status::OK();
+      },
+      options);
+}
+
+CloudService MakeEventDbService(const CloudServiceOptions& options) {
+  return CloudService(
+      "eventdb",
+      [](std::string_view city_day, std::vector<IndexValue>* out) {
+        const uint64_t h = Hash64(city_day, /*seed=*/41);
+        const int n = 1 + static_cast<int>(h % 3);
+        for (int i = 0; i < n; ++i) {
+          out->emplace_back("event_" +
+                            std::to_string(Mix64(h + i) % 100000));
+        }
+        return Status::OK();
+      },
+      options);
+}
+
+}  // namespace efind

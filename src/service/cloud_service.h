@@ -1,0 +1,89 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_SERVICE_CLOUD_SERVICE_H_
+#define EFIND_SERVICE_CLOUD_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Tunables for a simulated external service.
+struct CloudServiceOptions {
+  /// Fixed per-lookup latency. The paper's geo-IP service "incurs a
+  /// T = 0.8 ms delay for a lookup".
+  double base_latency_sec = 800e-6;
+  /// Extra injected delay (Fig. 11(a) sweeps 0..5 ms on top of the base).
+  double extra_latency_sec = 0.0;
+  /// Additional latency per result byte.
+  double serve_per_byte_sec = 0.0;
+  /// Cluster node hosting the service, or -1 when the service is external
+  /// to the cluster. Either way the service exposes no partition scheme, so
+  /// the index-locality strategy does not apply (paper §5.2: "index
+  /// locality does not apply to LOG because the cloud service is located on
+  /// a single machine").
+  int host_node = -1;
+};
+
+/// A *dynamic* index: the lookup result is computed from the key by an
+/// arbitrary deterministic function, so the set of valid keys is unbounded
+/// (paper §1: a knowledge-base service computing topics with ML classifiers
+/// "can compute results for any input text, thus the number of valid keys is
+/// infinite"). EFind treats it like any other index; only the idempotence
+/// assumption (same key -> same result during a job) is required.
+class CloudService {
+ public:
+  using ComputeFn =
+      std::function<Status(std::string_view key, std::vector<IndexValue>*)>;
+
+  CloudService(std::string name, ComputeFn fn,
+               const CloudServiceOptions& options)
+      : name_(std::move(name)), fn_(std::move(fn)), options_(options) {}
+
+  /// Invokes the service function for `key`.
+  Status Lookup(std::string_view key, std::vector<IndexValue>* out) const {
+    out->clear();
+    return fn_(key, out);
+  }
+
+  /// Service-side latency for one lookup returning `result_bytes`.
+  double ServiceSeconds(uint64_t result_bytes) const {
+    return options_.base_latency_sec + options_.extra_latency_sec +
+           options_.serve_per_byte_sec * static_cast<double>(result_bytes);
+  }
+
+  const std::string& name() const { return name_; }
+  const CloudServiceOptions& options() const { return options_; }
+
+ private:
+  std::string name_;
+  ComputeFn fn_;
+  CloudServiceOptions options_;
+};
+
+/// Geo-IP service for the LOG workload: maps an IPv4 string to a region
+/// label `region_<r>` with `num_regions` regions (deterministic hash).
+CloudService MakeGeoIpService(int num_regions,
+                              const CloudServiceOptions& options);
+
+/// Knowledge-base topic classifier for Example 2.1: maps a keyword list to
+/// a topic label `topic_<t>` among `num_topics` (stand-in for the paper's
+/// ML classifiers — deterministic, unbounded key domain).
+CloudService MakeTopicService(int num_topics,
+                              const CloudServiceOptions& options);
+
+/// Event database for Example 2.1: maps a "city|day" key to 1..3 event
+/// strings.
+CloudService MakeEventDbService(const CloudServiceOptions& options);
+
+}  // namespace efind
+
+#endif  // EFIND_SERVICE_CLOUD_SERVICE_H_

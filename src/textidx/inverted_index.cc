@@ -1,0 +1,102 @@
+#include "textidx/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace efind {
+
+InvertedIndex::InvertedIndex(const InvertedIndexOptions& options)
+    : options_(options),
+      scheme_(options.num_partitions, options.num_nodes, options.replication),
+      partitions_(scheme_.num_partitions()) {}
+
+std::string InvertedIndex::NormalizeTerm(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  for (unsigned char c : token) {
+    if (std::isalnum(c)) out.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return out;
+}
+
+Status InvertedIndex::AddDocument(uint64_t doc_id, std::string_view text) {
+  if (num_documents_ > 0 && doc_id <= last_doc_id_) {
+    return Status::InvalidArgument(
+        "documents must be added in increasing doc_id order");
+  }
+  // Term frequencies for this document.
+  std::unordered_map<std::string, uint32_t> counts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(' ', start);
+    const std::string term = NormalizeTerm(
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start));
+    if (!term.empty()) ++counts[term];
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  for (const auto& [term, tf] : counts) {
+    partitions_[scheme_.PartitionOf(term)][term].push_back({doc_id, tf});
+  }
+  ++num_documents_;
+  last_doc_id_ = doc_id;
+  return Status::OK();
+}
+
+Status InvertedIndex::Lookup(std::string_view term,
+                             std::vector<Posting>* out) const {
+  const std::string normalized = NormalizeTerm(term);
+  if (normalized.empty()) return Status::InvalidArgument("empty term");
+  const auto& partition = partitions_[scheme_.PartitionOf(normalized)];
+  auto it = partition.find(normalized);
+  if (it == partition.end()) return Status::NotFound();
+  *out = it->second;
+  return Status::OK();
+}
+
+std::vector<uint64_t> InvertedIndex::ConjunctiveQuery(
+    const std::vector<std::string>& terms) const {
+  std::vector<uint64_t> result;
+  bool first = true;
+  for (const auto& term : terms) {
+    std::vector<Posting> postings;
+    if (!Lookup(term, &postings).ok()) return {};
+    if (first) {
+      for (const auto& p : postings) result.push_back(p.doc_id);
+      first = false;
+      continue;
+    }
+    // Linear intersection of two sorted lists.
+    std::vector<uint64_t> merged;
+    size_t i = 0, j = 0;
+    while (i < result.size() && j < postings.size()) {
+      if (result[i] == postings[j].doc_id) {
+        merged.push_back(result[i]);
+        ++i;
+        ++j;
+      } else if (result[i] < postings[j].doc_id) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    result = std::move(merged);
+    if (result.empty()) return result;
+  }
+  return result;
+}
+
+size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  std::vector<Posting> postings;
+  if (!Lookup(term, &postings).ok()) return 0;
+  return postings.size();
+}
+
+size_t InvertedIndex::num_terms() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p.size();
+  return n;
+}
+
+}  // namespace efind

@@ -1,0 +1,102 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// An inverted index — the first index type the paper's introduction names
+// ("Text analysis often requires accessing indices, e.g., inverted indices
+// [23]"): term -> postings list of (document id, term frequency), hash-
+// partitioned by term across the cluster like the other distributed index
+// substrates, with the partition scheme exposed for index locality.
+
+#ifndef EFIND_TEXTIDX_INVERTED_INDEX_H_
+#define EFIND_TEXTIDX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/kv_store.h"
+
+namespace efind {
+
+/// One entry of a postings list.
+struct Posting {
+  uint64_t doc_id = 0;
+  uint32_t term_frequency = 0;
+
+  friend bool operator==(const Posting& a, const Posting& b) {
+    return a.doc_id == b.doc_id && a.term_frequency == b.term_frequency;
+  }
+};
+
+/// Tunables for an `InvertedIndex`.
+struct InvertedIndexOptions {
+  /// Term-space hash partitions (reuses the KV store's scheme defaults).
+  int num_partitions = 32;
+  int replication = 3;
+  int num_nodes = 12;
+  /// Fixed server time per term lookup (dictionary probe + postings seek).
+  double base_service_sec = 200e-6;
+  /// Server time per postings byte decoded.
+  double serve_per_byte_sec = 5e-9;
+};
+
+/// A distributed term -> postings index.
+///
+/// Documents are added whole (`AddDocument` tokenizes on whitespace and
+/// lower-cases ASCII); postings lists are kept sorted by document id, so
+/// conjunctive queries intersect in linear time. `Lookup` returns the
+/// postings of one term; `ConjunctiveQuery` intersects several.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const InvertedIndexOptions& options);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Tokenizes `text` and indexes every term under `doc_id`. Documents
+  /// must be added in increasing doc_id order (postings stay sorted);
+  /// returns InvalidArgument otherwise.
+  Status AddDocument(uint64_t doc_id, std::string_view text);
+
+  /// Postings of `term` (normalized), sorted by doc id. NotFound when the
+  /// term does not occur.
+  Status Lookup(std::string_view term, std::vector<Posting>* out) const;
+
+  /// Documents containing *all* `terms` (sorted doc ids). Unknown terms
+  /// make the result empty.
+  std::vector<uint64_t> ConjunctiveQuery(
+      const std::vector<std::string>& terms) const;
+
+  /// Number of documents containing `term` (0 when absent).
+  size_t DocumentFrequency(std::string_view term) const;
+
+  /// Service time T_j for a lookup whose postings total `result_bytes`.
+  double ServiceSeconds(uint64_t result_bytes) const {
+    return options_.base_service_sec +
+           options_.serve_per_byte_sec * static_cast<double>(result_bytes);
+  }
+
+  const HashPartitionScheme& scheme() const { return scheme_; }
+  size_t num_terms() const;
+  size_t num_documents() const { return num_documents_; }
+
+  /// Lower-cases ASCII and strips non-alphanumerics; empty result means
+  /// the token is dropped.
+  static std::string NormalizeTerm(std::string_view token);
+
+ private:
+  InvertedIndexOptions options_;
+  HashPartitionScheme scheme_;
+  /// partitions_[p]: term -> postings, for terms hashing to partition p.
+  std::vector<std::unordered_map<std::string, std::vector<Posting>>>
+      partitions_;
+  size_t num_documents_ = 0;
+  uint64_t last_doc_id_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_TEXTIDX_INVERTED_INDEX_H_

@@ -1,0 +1,133 @@
+#include "workloads/log_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "efind/accessors/accessors.h"
+
+namespace efind {
+
+namespace {
+
+std::string IpString(uint64_t ip_id) {
+  // Deterministic dotted-quad from the id.
+  return std::to_string(10 + (ip_id >> 16) % 90) + "." +
+         std::to_string((ip_id >> 12) & 0xF) + "." +
+         std::to_string((ip_id >> 6) & 0x3F) + "." +
+         std::to_string(ip_id & 0x3F) + "." + std::to_string(ip_id);
+}
+
+/// Head operator of the LOG job: looks the event's IP up in the geo
+/// service, rewrites the record to (region, url).
+class GeoIpOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "geoip_op"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto fields = Split(record->value, '|');
+    if (!fields.empty()) (*keys)[0].push_back(std::string(fields[0]));
+    // Project away the unparsed payload fields; only ip|url|ts travel on.
+    record->extra_bytes = 0;
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results.empty() || results[0].empty() || results[0][0].empty()) {
+      return;  // IP did not resolve; drop the event.
+    }
+    const auto fields = Split(record.value, '|');
+    if (fields.size() < 2) return;
+    const std::string& region = results[0][0][0].data;
+    out->Emit(Record(region, std::string(fields[1])));
+  }
+};
+
+/// Reduce: count URL visits per region, emit the top-k.
+class TopUrlsReducer : public Reducer {
+ public:
+  explicit TopUrlsReducer(int top_k) : top_k_(top_k) {}
+
+  std::string name() const override { return "top_urls"; }
+
+  void Reduce(const std::string& region, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    std::map<std::string, uint64_t> counts;
+    for (const auto& v : values) ++counts[v.value];
+    // Order by count desc, then URL asc, for a deterministic top-k that is
+    // independent of value arrival order.
+    std::vector<std::pair<std::string, uint64_t>> ranked(counts.begin(),
+                                                         counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (static_cast<int>(ranked.size()) > top_k_) ranked.resize(top_k_);
+    std::string summary;
+    for (const auto& [url, count] : ranked) {
+      if (!summary.empty()) summary += ',';
+      summary += url + ":" + std::to_string(count);
+    }
+    out->Emit(Record(region, std::move(summary)));
+  }
+
+ private:
+  int top_k_;
+};
+
+}  // namespace
+
+std::vector<InputSplit> GenerateLogTrace(const LogTraceOptions& options,
+                                         int num_nodes) {
+  Rng rng(options.seed);
+  ZipfGenerator ip_gen(options.num_ips, options.ip_zipf);
+  ZipfGenerator url_gen(options.num_urls, 0.8);
+
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 1;
+  std::vector<InputSplit> splits(num_splits);
+  if (num_nodes <= 0) num_nodes = 1;
+  for (int s = 0; s < num_splits; ++s) splits[s].node = s % num_nodes;
+
+  size_t event_id = 0;
+  uint64_t timestamp = 1720000000;
+  while (event_id < options.num_events) {
+    const std::string ip = IpString(ip_gen.Next(&rng));
+    const int visits =
+        options.session_min_visits +
+        static_cast<int>(rng.Uniform(options.session_max_visits -
+                                     options.session_min_visits + 1));
+    // The session's events land on a few of the site's web servers (log
+    // files), alternating between them.
+    const int servers = std::max(1, options.servers_per_session);
+    const int first_server = static_cast<int>(rng.Uniform(num_splits));
+    for (int v = 0; v < visits && event_id < options.num_events; ++v) {
+      const int split_index =
+          (first_server + v % servers * 7) % num_splits;
+      const std::string url = "url_" + std::to_string(url_gen.Next(&rng));
+      Record rec("E" + std::to_string(event_id),
+                 ip + "|" + url + "|" + std::to_string(timestamp),
+                 options.extra_record_bytes);
+      splits[split_index].records.push_back(std::move(rec));
+      ++event_id;
+      timestamp += rng.Uniform(20);
+    }
+  }
+  return splits;
+}
+
+IndexJobConf MakeLogTopUrlsJob(const CloudService* geo_service, int top_k) {
+  IndexJobConf conf;
+  conf.set_name("log_top_urls");
+  auto op = std::make_shared<GeoIpOperator>();
+  op->AddIndex(std::make_shared<CloudServiceAccessor>(geo_service));
+  conf.AddHeadIndexOperator(op);
+  conf.SetReducer(std::make_shared<TopUrlsReducer>(top_k));
+  return conf;
+}
+
+}  // namespace efind

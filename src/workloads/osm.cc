@@ -1,0 +1,133 @@
+#include "workloads/osm.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "efind/accessors/accessors.h"
+
+namespace efind {
+
+namespace {
+
+std::vector<SpatialPoint> GeneratePoints(size_t n, const OsmOptions& options,
+                                         uint64_t seed, uint64_t id_base) {
+  Rng rng(seed);
+  // Population centers shared by shape, not position, across sets.
+  std::vector<SpatialPoint> centers;
+  Rng center_rng(options.seed ^ 0xC0FFEE);
+  for (int c = 0; c < options.num_clusters; ++c) {
+    centers.push_back(
+        {center_rng.UniformDouble(options.bounds.min_x, options.bounds.max_x),
+         center_rng.UniformDouble(options.bounds.min_y, options.bounds.max_y),
+         0});
+  }
+  const double spread =
+      (options.bounds.max_x - options.bounds.min_x) / 60.0;
+
+  std::vector<SpatialPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SpatialPoint p;
+    p.id = id_base + i;
+    if (rng.NextDouble() < 0.7 && !centers.empty()) {
+      const auto& c = centers[rng.Uniform(centers.size())];
+      p.x = std::clamp(rng.Gaussian(c.x, spread), options.bounds.min_x,
+                       options.bounds.max_x);
+      p.y = std::clamp(rng.Gaussian(c.y, spread), options.bounds.min_y,
+                       options.bounds.max_y);
+    } else {
+      p.x = rng.UniformDouble(options.bounds.min_x, options.bounds.max_x);
+      p.y = rng.UniformDouble(options.bounds.min_y, options.bounds.max_y);
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+/// Head operator: query the B index for the record's point.
+class KnnJoinOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "knn_join"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    // The record value is already the encoded point.
+    (*keys)[0].push_back(record->value);
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty()) return;
+    std::string neighbors;
+    for (const IndexValue& iv : results[0][0]) {
+      // Each result is "id:x,y"; keep the id.
+      const size_t colon = iv.data.find(':');
+      if (!neighbors.empty()) neighbors += ',';
+      neighbors += iv.data.substr(0, colon);
+    }
+    out->Emit(Record(record.key, std::move(neighbors)));
+  }
+};
+
+}  // namespace
+
+OsmData GenerateOsm(const OsmOptions& options, int num_nodes) {
+  OsmData data;
+  data.a_points = GeneratePoints(options.num_a, options, options.seed + 1,
+                                 /*id_base=*/1000000);
+  data.b_points = GeneratePoints(options.num_b, options, options.seed + 2,
+                                 /*id_base=*/2000000);
+
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 1;
+  if (num_nodes <= 0) num_nodes = 1;
+  data.a_splits.resize(num_splits);
+  for (int s = 0; s < num_splits; ++s) data.a_splits[s].node = s % num_nodes;
+  for (size_t i = 0; i < data.a_points.size(); ++i) {
+    const SpatialPoint& p = data.a_points[i];
+    Record rec("A" + std::to_string(p.id), EncodePoint(p.x, p.y), 16);
+    data.a_splits[i % num_splits].records.push_back(std::move(rec));
+  }
+
+  CellRTreeOptions cell;
+  cell.grid_x = 4;
+  cell.grid_y = 8;
+  cell.num_nodes = num_nodes;
+  cell.base_service_sec = options.knn_service_sec;
+  cell.overlap = (options.bounds.max_x - options.bounds.min_x) / 100.0;
+  data.b_index =
+      std::make_unique<CellPartitionedRTree>(options.bounds, cell);
+  data.b_index->Load(data.b_points);
+  return data;
+}
+
+IndexJobConf MakeKnnJoinJob(const CellPartitionedRTree* b_index, int k,
+                            uint64_t neighbor_extra_bytes) {
+  IndexJobConf conf;
+  conf.set_name("knn_join");
+  auto op = std::make_shared<KnnJoinOperator>();
+  op->AddIndex(std::make_shared<RTreeKnnAccessor>("osm_b", b_index, k,
+                                                  neighbor_extra_bytes));
+  conf.AddHeadIndexOperator(op);
+  return conf;
+}
+
+std::vector<SpatialPoint> BruteForceKnn(const std::vector<SpatialPoint>& points,
+                                        double x, double y, int k) {
+  std::vector<SpatialPoint> sorted = points;
+  auto dist2 = [&](const SpatialPoint& p) {
+    const double dx = p.x - x, dy = p.y - y;
+    return dx * dx + dy * dy;
+  };
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const SpatialPoint& a, const SpatialPoint& b) {
+              const double da = dist2(a), db = dist2(b);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  if (static_cast<int>(sorted.size()) > k) sorted.resize(k);
+  return sorted;
+}
+
+}  // namespace efind

@@ -1,0 +1,65 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The OSM workload (paper §5.1/§5.4): k-nearest-neighbor join between two
+// point sets. The EFind implementation is an index nested-loop join — main
+// input A, a cell-partitioned R*-tree index on B (4x8 grid, replicated) —
+// compared against the hand-tuned H-zkNNJ algorithm (zknnj.h).
+
+#ifndef EFIND_WORKLOADS_OSM_H_
+#define EFIND_WORKLOADS_OSM_H_
+
+#include <memory>
+#include <vector>
+
+#include "efind/index_operator.h"
+#include "mapreduce/record.h"
+#include "rtree/cell_rtree.h"
+
+namespace efind {
+
+/// Generator parameters for the synthetic geographic point sets (stand-in
+/// for the paper's 42M-point US OpenStreetMap extract, DESIGN.md §2).
+struct OsmOptions {
+  size_t num_a = 100000;
+  size_t num_b = 60000;
+  int k = 10;
+  /// Continental-US-like bounding box.
+  Rect bounds{-125.0, 24.0, -66.0, 49.0};
+  /// Points cluster around this many population centers (70%), the rest
+  /// are uniform.
+  int num_clusters = 64;
+  int num_splits = 192;
+  /// Server-side time of one kNN query against a cell's R*-tree.
+  double knn_service_sec = 500e-6;
+  /// Modeled full-record payload per returned neighbor.
+  uint64_t neighbor_extra_bytes = 500;
+  uint64_t seed = 99;
+};
+
+/// Generated point sets and the index over B.
+struct OsmData {
+  std::vector<SpatialPoint> a_points;
+  std::vector<SpatialPoint> b_points;
+  /// A as MapReduce input: key = "A<id>", value = "x,y".
+  std::vector<InputSplit> a_splits;
+  std::unique_ptr<CellPartitionedRTree> b_index;
+};
+
+/// Generates both point sets, the input splits for A, and the R*-tree grid
+/// index over B.
+OsmData GenerateOsm(const OsmOptions& options, int num_nodes);
+
+/// EFind kNN join: a head IndexOperator that queries the B index for each
+/// A point's k nearest neighbors (map-only job; output records are
+/// key = "A<id>", value = comma-joined neighbor ids, nearest first).
+IndexJobConf MakeKnnJoinJob(const CellPartitionedRTree* b_index, int k,
+                            uint64_t neighbor_extra_bytes = 0);
+
+/// Brute-force exact kNN of (x, y) in `points` (test oracle).
+std::vector<SpatialPoint> BruteForceKnn(const std::vector<SpatialPoint>& points,
+                                        double x, double y, int k);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_OSM_H_

@@ -1,0 +1,74 @@
+#include "workloads/synthetic.h"
+
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "efind/accessors/accessors.h"
+
+namespace efind {
+
+namespace {
+
+/// Joins a record with the index on its key: the output record carries the
+/// index value's content and logical size.
+class SyntheticJoinOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "synthetic_join"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    (*keys)[0].push_back(record->key);
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results.empty() || results[0].empty() || results[0][0].empty()) {
+      return;  // Inner join: keys without an index entry drop out.
+    }
+    const IndexValue& iv = results[0][0][0];
+    Record joined = record;
+    joined.value = iv.data;
+    joined.extra_bytes += iv.extra_bytes;
+    out->Emit(std::move(joined));
+  }
+};
+
+}  // namespace
+
+std::vector<InputSplit> GenerateSynthetic(const SyntheticOptions& options,
+                                          int num_nodes) {
+  Rng rng(options.seed);
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 1;
+  if (num_nodes <= 0) num_nodes = 1;
+  std::vector<InputSplit> splits(num_splits);
+  for (int s = 0; s < num_splits; ++s) splits[s].node = s % num_nodes;
+
+  for (size_t i = 0; i < options.num_records; ++i) {
+    const uint64_t key = rng.Uniform(options.num_distinct_keys);
+    Record rec("k" + std::to_string(key), "", options.record_value_bytes);
+    splits[i % num_splits].records.push_back(std::move(rec));
+  }
+  return splits;
+}
+
+void LoadSyntheticIndex(const SyntheticOptions& options, KvStore* store) {
+  for (uint64_t k = 0; k < options.num_distinct_keys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    std::string data = "val_" + std::to_string(k);
+    uint64_t extra = options.index_value_bytes > data.size()
+                         ? options.index_value_bytes - data.size()
+                         : 0;
+    store->Put(key, IndexValue(std::move(data), extra)).ok();
+  }
+}
+
+IndexJobConf MakeSyntheticJoinJob(const KvStore* store) {
+  IndexJobConf conf;
+  conf.set_name("synthetic_join");
+  auto op = std::make_shared<SyntheticJoinOperator>();
+  op->AddIndex(std::make_shared<KvIndexAccessor>("synthetic", store));
+  conf.AddHeadIndexOperator(op);
+  return conf;
+}
+
+}  // namespace efind

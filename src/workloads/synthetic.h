@@ -1,0 +1,51 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Synthetic workload (paper §5.1): records with integer keys joined
+// against a KV index whose value size l is the experimental variable
+// (Fig. 11(f) sweeps l from 10 B to 30 KB; Fig. 12 measures raw lookup
+// latency over the same sweep). Keys are drawn uniformly from a domain half
+// the record count, so every key occurs twice on average (Theta = 2) and
+// the 1024-entry lookup cache sees a very high miss rate.
+
+#ifndef EFIND_WORKLOADS_SYNTHETIC_H_
+#define EFIND_WORKLOADS_SYNTHETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "efind/index_operator.h"
+#include "kvstore/kv_store.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Generator parameters (paper scale: 10M records, 5M distinct keys, 1 KB
+/// values; here 1:100 by default with the Theta=2 ratio preserved).
+struct SyntheticOptions {
+  size_t num_records = 200000;
+  size_t num_distinct_keys = 100000;
+  /// Record payload bytes (paper: "a 1KB-sized value"); virtual.
+  uint64_t record_value_bytes = 1000;
+  /// Index lookup result size l; virtual. The Fig. 11(f)/12 sweep variable.
+  uint64_t index_value_bytes = 1000;
+  int num_splits = 384;
+  uint64_t seed = 7;
+};
+
+/// Generates the record set. Record: key = "k<id>", value = "", virtual
+/// payload of `record_value_bytes`.
+std::vector<InputSplit> GenerateSynthetic(const SyntheticOptions& options,
+                                          int num_nodes);
+
+/// Loads the index: every distinct key maps to one value of
+/// `options.index_value_bytes` logical bytes.
+void LoadSyntheticIndex(const SyntheticOptions& options, KvStore* store);
+
+/// Builds the join job: a head IndexOperator joins each record with the
+/// index by key (map-only; the join result is the output).
+IndexJobConf MakeSyntheticJoinJob(const KvStore* store);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_SYNTHETIC_H_

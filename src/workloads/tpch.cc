@@ -1,0 +1,370 @@
+#include "workloads/tpch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "efind/accessors/accessors.h"
+
+namespace efind {
+
+namespace {
+
+double ToDouble(std::string_view s) {
+  return std::strtod(std::string(s).c_str(), nullptr);
+}
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "HOUSEHOLD", "MACHINERY"};
+constexpr const char* kColors[] = {"green", "red",  "blue",
+                                   "ivory", "plum", "khaki"};
+/// Q3 date cutoff: orders before this ship after it (days since epoch 0).
+constexpr int kQ3DateCutoff = 1200;
+constexpr int kDateRange = 2400;
+/// Days per "year" for Q9's group-by (six synthetic years).
+constexpr int kDaysPerYear = 400;
+
+// Supplier s of part p, s in [0, 2): the two suppliers stocking p.
+uint64_t SupplierOfPart(uint64_t part, int s, size_t num_suppliers) {
+  return (part * 7 + static_cast<uint64_t>(s) * 13) % num_suppliers;
+}
+
+// ------------------------------ Q3 operators ------------------------------
+
+/// LineItem |X| Orders with the Q3 filters: l_shipdate > cutoff,
+/// o_orderdate < cutoff. Appends custkey|orderdate|shippriority.
+class OrdersQ3Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q3_orders"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (!f.empty()) (*keys)[0].push_back("O" + std::string(f[0]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 7) return;
+    if (std::atoi(std::string(f[6]).c_str()) <= kQ3DateCutoff) return;
+    const auto o = Split(results[0][0][0].data, '|');
+    if (o.size() < 3) return;
+    if (std::atoi(std::string(o[1]).c_str()) >= kQ3DateCutoff) return;
+    Record joined = record;
+    joined.value += "|" + std::string(o[0]) + "|" + std::string(o[1]) + "|" +
+                    std::string(o[2]);
+    out->Emit(std::move(joined));
+  }
+};
+
+/// ... |X| Customer, keeping only the BUILDING market segment.
+class CustomerQ3Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q3_customer"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (f.size() >= 8) (*keys)[0].push_back("C" + std::string(f[7]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto c = Split(results[0][0][0].data, '|');
+    if (c.empty() || c[0] != "BUILDING") return;
+    out->Emit(record);
+  }
+};
+
+/// Map: (orderkey|orderdate|shippriority) -> revenue contribution.
+class Q3Mapper : public RecordStage {
+ public:
+  std::string name() const override { return "q3_map"; }
+
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 10) return;
+    const double revenue = ToDouble(f[4]) * (1.0 - ToDouble(f[5]));
+    out->Emit(Record(std::string(f[0]) + "|" + std::string(f[8]) + "|" +
+                         std::string(f[9]),
+                     Money(revenue)));
+  }
+};
+
+/// Reduce: sum revenue per group.
+class SumReducer : public Reducer {
+ public:
+  std::string name() const override { return "sum"; }
+
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    double sum = 0;
+    for (const auto& v : values) sum += ToDouble(v.value);
+    out->Emit(Record(key, Money(sum)));
+  }
+};
+
+// ------------------------------ Q9 operators ------------------------------
+
+/// LineItem |X| Supplier: appends s_nationkey.
+class SupplierQ9Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q9_supplier"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (f.size() >= 3) (*keys)[0].push_back("S" + std::string(f[2]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto s = Split(results[0][0][0].data, '|');
+    if (s.empty()) return;
+    Record joined = record;
+    joined.value += "|" + std::string(s[0]);  // s_nationkey at field 7.
+    out->Emit(std::move(joined));
+  }
+};
+
+/// ... |X| Part with the `p_name like '%green%'` filter. Following MySQL's
+/// join order, the selective part filter runs before the remaining joins,
+/// so PartSupp/Orders/Nation lookups only happen for surviving lineitems.
+class PartQ9Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q9_part"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (f.size() >= 2) (*keys)[0].push_back("P" + std::string(f[1]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto part = Split(results[0][0][0].data, '|');
+    if (part.empty() || part[0].find("green") == std::string_view::npos) {
+      return;  // p_name like '%green%'.
+    }
+    out->Emit(record);
+  }
+};
+
+/// One multi-index operator over {PartSupp, Orders} — two *independent*
+/// lookups per surviving lineitem (§3.5). Computes the profit amount and
+/// the order year: emits (lineitem key, "nationkey|year|amount").
+class PsOrdersQ9Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q9_ps_orders"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (f.size() >= 3) {
+      (*keys)[0].push_back("PS" + std::string(f[1]) + "_" +
+                           std::string(f[2]));
+      (*keys)[1].push_back("O" + std::string(f[0]));
+    }
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    for (int j = 0; j < 2; ++j) {
+      if (results[j].empty() || results[j][0].empty()) return;
+    }
+    const auto ps = Split(results[0][0][0].data, '|');
+    const auto order = Split(results[1][0][0].data, '|');
+    const auto f = Split(record.value, '|');
+    if (ps.empty() || order.size() < 2 || f.size() < 8) return;
+    const double amount = ToDouble(f[4]) * (1.0 - ToDouble(f[5])) -
+                          ToDouble(ps[0]) * ToDouble(f[3]);
+    const int year = std::atoi(std::string(order[1]).c_str()) / kDaysPerYear;
+    // nationkey|year|amount.
+    out->Emit(Record(record.key, std::string(f[7]) + "|" +
+                                     std::to_string(year) + "|" +
+                                     Money(amount)));
+  }
+};
+
+/// ... |X| Nation: final shape (nation|year) -> amount.
+class NationQ9Operator : public IndexOperator {
+ public:
+  std::string name() const override { return "q9_nation"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (!f.empty()) (*keys)[0].push_back("N" + std::string(f[0]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 3) return;
+    const auto n = Split(results[0][0][0].data, '|');
+    if (n.empty()) return;
+    out->Emit(Record(std::string(n[0]) + "|" + std::string(f[1]),
+                     std::string(f[2])));
+  }
+};
+
+}  // namespace
+
+TpchData GenerateTpch(const TpchOptions& options, int num_nodes) {
+  TpchData data;
+  Rng rng(options.seed);
+
+  KvStoreOptions kv;
+  kv.num_nodes = num_nodes > 0 ? num_nodes : 1;
+
+  data.orders = std::make_unique<KvStore>(kv);
+  data.customer = std::make_unique<KvStore>(kv);
+  data.supplier = std::make_unique<KvStore>(kv);
+  data.part = std::make_unique<KvStore>(kv);
+  data.partsupp = std::make_unique<KvStore>(kv);
+  data.nation = std::make_unique<KvStore>(kv);
+
+  for (size_t n = 0; n < options.num_nations; ++n) {
+    data.nation
+        ->Put("N" + std::to_string(n),
+              IndexValue("nation_" + std::to_string(n), 16))
+        .ok();
+  }
+  for (size_t c = 0; c < options.num_customers; ++c) {
+    const char* segment = kSegments[rng.Uniform(5)];
+    data.customer
+        ->Put("C" + std::to_string(c),
+              IndexValue(std::string(segment) + "|" +
+                             std::to_string(rng.Uniform(options.num_nations)),
+                         120))
+        .ok();
+  }
+  for (size_t s = 0; s < options.num_suppliers; ++s) {
+    // Suppliers carry address + comment fields: large values, making the
+    // Supplier index the expensive one in Q9 (as at paper scale).
+    data.supplier
+        ->Put("S" + std::to_string(s),
+              IndexValue(std::to_string(rng.Uniform(options.num_nations)) +
+                             "|supplier_" + std::to_string(s),
+                         500))
+        .ok();
+  }
+  for (size_t p = 0; p < options.num_parts; ++p) {
+    const char* color = kColors[rng.Uniform(6)];
+    data.part
+        ->Put("P" + std::to_string(p),
+              IndexValue("part_" + std::string(color) + "_" +
+                             std::to_string(p) + "|type" +
+                             std::to_string(rng.Uniform(25)),
+                         60))
+        .ok();
+    for (int s = 0; s < 2; ++s) {
+      const uint64_t supp = SupplierOfPart(p, s, options.num_suppliers);
+      data.partsupp
+          ->Put("PS" + std::to_string(p) + "_" + std::to_string(supp),
+                IndexValue(Money(1.0 + 99.0 * rng.NextDouble()), 24))
+          .ok();
+    }
+  }
+
+  // Orders + LineItem. Lineitems of one order are generated back to back,
+  // the property behind Q3's cache locality.
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 1;
+  std::vector<Record> lineitems;
+  for (size_t o = 0; o < options.num_orders; ++o) {
+    const int orderdate = static_cast<int>(rng.Uniform(kDateRange));
+    data.orders
+        ->Put("O" + std::to_string(o),
+              IndexValue(std::to_string(rng.Uniform(options.num_customers)) +
+                             "|" + std::to_string(orderdate) + "|" +
+                             std::to_string(rng.Uniform(3)),
+                         60))
+        .ok();
+    const int lines =
+        1 + static_cast<int>(rng.Uniform(options.max_lineitems_per_order));
+    for (int l = 0; l < lines; ++l) {
+      const uint64_t part = rng.Uniform(options.num_parts);
+      const uint64_t supp = SupplierOfPart(
+          part, static_cast<int>(rng.Uniform(2)), options.num_suppliers);
+      const int shipdate =
+          orderdate + 1 + static_cast<int>(rng.Uniform(120));
+      Record rec(
+          "L" + std::to_string(o) + "_" + std::to_string(l),
+          std::to_string(o) + "|" + std::to_string(part) + "|" +
+              std::to_string(supp) + "|" + std::to_string(1 + rng.Uniform(50)) +
+              "|" + Money(100.0 + 900.0 * rng.NextDouble()) + "|" +
+              Money(0.1 * rng.NextDouble()) + "|" + std::to_string(shipdate),
+          40);
+      lineitems.push_back(std::move(rec));
+    }
+  }
+
+  // DUP10: duplicate the LineItem table dup_factor times (paper §5.1).
+  const int dup = options.dup_factor > 0 ? options.dup_factor : 1;
+  data.lineitem.resize(num_splits);
+  for (int s = 0; s < num_splits; ++s) {
+    data.lineitem[s].node = s % kv.num_nodes;
+  }
+  // Contiguous chunks (like HDFS splits of a sorted file), preserving the
+  // lineitems-of-one-order-are-consecutive locality within splits.
+  const size_t total = lineitems.size() * static_cast<size_t>(dup);
+  size_t i = 0;
+  for (int d = 0; d < dup; ++d) {
+    for (const Record& rec : lineitems) {
+      const size_t split = i * static_cast<size_t>(num_splits) / total;
+      data.lineitem[split].records.push_back(rec);
+      ++i;
+    }
+  }
+  return data;
+}
+
+IndexJobConf MakeTpchQ3Job(const TpchData& data) {
+  IndexJobConf conf;
+  conf.set_name("tpch_q3");
+  auto op1 = std::make_shared<OrdersQ3Operator>();
+  op1->AddIndex(std::make_shared<KvIndexAccessor>("orders", data.orders.get()));
+  conf.AddHeadIndexOperator(op1);
+  auto op2 = std::make_shared<CustomerQ3Operator>();
+  op2->AddIndex(
+      std::make_shared<KvIndexAccessor>("customer", data.customer.get()));
+  conf.AddHeadIndexOperator(op2);
+  conf.SetMapper(std::make_shared<Q3Mapper>());
+  conf.SetReducer(std::make_shared<SumReducer>());
+  return conf;
+}
+
+IndexJobConf MakeTpchQ9Job(const TpchData& data) {
+  IndexJobConf conf;
+  conf.set_name("tpch_q9");
+  auto op1 = std::make_shared<SupplierQ9Operator>();
+  op1->AddIndex(
+      std::make_shared<KvIndexAccessor>("supplier", data.supplier.get()));
+  conf.AddHeadIndexOperator(op1);
+  auto op2 = std::make_shared<PartQ9Operator>();
+  op2->AddIndex(std::make_shared<KvIndexAccessor>("part", data.part.get()));
+  conf.AddHeadIndexOperator(op2);
+  auto op3 = std::make_shared<PsOrdersQ9Operator>();
+  op3->AddIndex(
+      std::make_shared<KvIndexAccessor>("partsupp", data.partsupp.get()));
+  op3->AddIndex(std::make_shared<KvIndexAccessor>("orders", data.orders.get()));
+  conf.AddHeadIndexOperator(op3);
+  auto op4 = std::make_shared<NationQ9Operator>();
+  op4->AddIndex(std::make_shared<KvIndexAccessor>("nation", data.nation.get()));
+  conf.AddHeadIndexOperator(op4);
+  conf.SetReducer(std::make_shared<SumReducer>());
+  return conf;
+}
+
+}  // namespace efind

@@ -1,0 +1,74 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// TPC-H workload (paper §5.1): Q3 and Q9 executed as MapReduce index
+// nested-loop joins following MySQL's join order, with LineItem as the main
+// input and KV indices on the other tables. "TPC-H DUP10" duplicates the
+// LineItem table 10 times.
+//
+// Scale substitution (DESIGN.md §2): the paper uses SF=10 (suppliers=100k,
+// far exceeding the 1024-entry lookup cache). This generator rescales
+// cardinalities so the *domain-size : cache-size ratios* that drive the
+// paper's results are preserved at laptop scale:
+//  - Q3: lineitems of one order are stored consecutively -> strong local
+//    cache locality on the Orders index;
+//  - Q9: supplier keys are uniform over a domain >> cache -> cache useless,
+//    while grouping by supplier removes all redundancy (re-partitioning).
+
+#ifndef EFIND_WORKLOADS_TPCH_H_
+#define EFIND_WORKLOADS_TPCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "efind/index_operator.h"
+#include "kvstore/kv_store.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Generator parameters (cardinality-rescaled TPC-H subset).
+struct TpchOptions {
+  size_t num_orders = 50000;
+  size_t num_customers = 10000;
+  size_t num_suppliers = 10000;
+  size_t num_parts = 20000;
+  size_t num_nations = 25;
+  /// Lineitems per order drawn uniformly from [1, this]; TPC-H averages 4.
+  int max_lineitems_per_order = 7;
+  /// LineItem duplication factor (1 = plain, 10 = DUP10).
+  int dup_factor = 1;
+  int num_splits = 384;
+  uint64_t seed = 13;
+};
+
+/// All generated state: the LineItem input and the table indices.
+struct TpchData {
+  std::vector<InputSplit> lineitem;
+  std::unique_ptr<KvStore> orders;
+  std::unique_ptr<KvStore> customer;
+  std::unique_ptr<KvStore> supplier;
+  std::unique_ptr<KvStore> part;
+  std::unique_ptr<KvStore> partsupp;
+  std::unique_ptr<KvStore> nation;
+};
+
+/// Generates tables and loads the indices. `num_nodes` places splits and
+/// sizes the KV stores' partition schemes.
+TpchData GenerateTpch(const TpchOptions& options, int num_nodes);
+
+/// Q3 (shipping priority): LineItem |X| Orders |X| Customer with the
+/// BUILDING-segment and date filters, revenue summed per
+/// (orderkey, orderdate, shippriority). Two chained head operators
+/// (dependent lookups), then Map + Reduce.
+IndexJobConf MakeTpchQ3Job(const TpchData& data);
+
+/// Q9 (product type profit), MySQL join order: LineItem |X| Supplier, then
+/// Part (with the selective p_name filter), then one multi-index operator
+/// over {PartSupp, Orders} (independent lookups, exercising §3.5), then
+/// Nation; profit summed per (nation, year).
+IndexJobConf MakeTpchQ9Job(const TpchData& data);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_TPCH_H_

@@ -1,0 +1,211 @@
+#include "workloads/tweets.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "efind/accessors/accessors.h"
+
+namespace efind {
+
+namespace {
+
+/// Head I1: user account -> city via the user-profile index (the paper's
+/// Fig. 3 `UserProfileIndexOperator`). Rewrites the tweet to
+/// "city|day|words..." and projects the user account away.
+class UserProfileOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "user_profile"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (!f.empty()) (*keys)[0].push_back(std::string(f[0]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto profile = Split(results[0][0][0].data, '|');
+    if (profile.empty()) return;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 3) return;
+    out->Emit(Record(record.key, std::string(profile[0]) + "|" +
+                                     std::string(f[1]) + "|" +
+                                     std::string(f[2])));
+  }
+};
+
+/// Map: keyword extraction — keep the tweet's distinctive words (here: the
+/// sorted unique words), keyed for the later group-by.
+class KeywordExtractMapper : public RecordStage {
+ public:
+  std::string name() const override { return "keyword_extract"; }
+
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 3) return;
+    std::vector<std::string> words;
+    for (const auto& w : Split(f[2], ' ')) {
+      if (!w.empty()) words.emplace_back(w);
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    out->Emit(Record(record.key, std::string(f[0]) + "|" + std::string(f[1]) +
+                                     "|" + Join(words, ' ')));
+  }
+};
+
+/// Body I2: keywords -> topic through the knowledge-base service. Emits
+/// (city|day, topic) ready for the group-by.
+class TopicOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "topic"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    const auto f = Split(record->value, '|');
+    if (f.size() >= 3) (*keys)[0].push_back(std::string(f[2]));
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    if (results[0].empty() || results[0][0].empty()) return;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 2) return;
+    out->Emit(Record(std::string(f[0]) + "|" + std::string(f[1]),
+                     results[0][0][0].data));
+  }
+};
+
+/// Reduce: top-k topics per (city, day).
+class TopTopicsReducer : public Reducer {
+ public:
+  explicit TopTopicsReducer(int top_k) : top_k_(top_k) {}
+
+  std::string name() const override { return "top_topics"; }
+
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    std::map<std::string, int> counts;
+    for (const auto& v : values) ++counts[v.value];
+    std::vector<std::pair<std::string, int>> ranked(counts.begin(),
+                                                    counts.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (static_cast<int>(ranked.size()) > top_k_) ranked.resize(top_k_);
+    std::string topics;
+    for (const auto& [topic, n] : ranked) {
+      if (!topics.empty()) topics += ',';
+      topics += topic + ":" + std::to_string(n);
+    }
+    out->Emit(Record(key, std::move(topics)));
+  }
+
+ private:
+  int top_k_;
+};
+
+/// Tail I3: enrich each (city, day) row with important events.
+class EventOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "events"; }
+
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    (*keys)[0].push_back(record->key);  // "city|day".
+  }
+
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    std::string events;
+    if (!results[0].empty()) {
+      for (const auto& iv : results[0][0]) {
+        if (!events.empty()) events += ',';
+        events += iv.data;
+      }
+    }
+    out->Emit(Record(record.key, record.value + " events=" + events));
+  }
+};
+
+}  // namespace
+
+TweetData GenerateTweets(const TweetOptions& options, int num_nodes) {
+  TweetData data;
+  Rng rng(options.seed);
+
+  KvStoreOptions kv;
+  kv.num_nodes = num_nodes > 0 ? num_nodes : 1;
+  data.user_profiles = std::make_unique<KvStore>(kv);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    data.user_profiles
+        ->Put("U" + std::to_string(u),
+              IndexValue("city_" + std::to_string(rng.Uniform(
+                                       options.num_cities)) +
+                             "|signup_" + std::to_string(rng.Uniform(1000)),
+                         80))
+        .ok();
+  }
+  data.topic_service = std::make_unique<CloudService>(
+      MakeTopicService(options.num_topics, CloudServiceOptions{}));
+  data.event_db =
+      std::make_unique<CloudService>(MakeEventDbService(CloudServiceOptions{}));
+
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 1;
+  data.tweets.resize(num_splits);
+  for (int s = 0; s < num_splits; ++s) {
+    data.tweets[s].node = s % kv.num_nodes;
+  }
+  ZipfGenerator user_gen(options.num_users, 0.8);
+  for (size_t t = 0; t < options.num_tweets; ++t) {
+    const uint64_t user = user_gen.Next(&rng);
+    const int day = static_cast<int>(rng.Uniform(options.num_days));
+    // 3-6 words from a topical vocabulary; tweets about the same subject
+    // share words, so the topic classifier maps them together.
+    const int subject = static_cast<int>(rng.Uniform(options.num_topics));
+    std::string words;
+    const int n_words = 3 + static_cast<int>(rng.Uniform(4));
+    for (int w = 0; w < n_words; ++w) {
+      if (w > 0) words += ' ';
+      words += "w" + std::to_string(subject * 5 + rng.Uniform(5));
+    }
+    data.tweets[t % num_splits].records.push_back(
+        Record("T" + std::to_string(t),
+               "U" + std::to_string(user) + "|" + std::to_string(day) + "|" +
+                   words,
+               60));
+  }
+  return data;
+}
+
+IndexJobConf MakeTweetTopicsJob(const TweetData& data,
+                                const TweetOptions& options) {
+  IndexJobConf conf;
+  conf.set_name("tweet_topics");
+
+  auto i1 = std::make_shared<UserProfileOperator>();
+  i1->AddIndex(std::make_shared<KvIndexAccessor>("userprofile",
+                                                 data.user_profiles.get()));
+  conf.AddHeadIndexOperator(i1);
+
+  conf.SetMapper(std::make_shared<KeywordExtractMapper>());
+
+  auto i2 = std::make_shared<TopicOperator>();
+  i2->AddIndex(
+      std::make_shared<CloudServiceAccessor>(data.topic_service.get()));
+  conf.AddBodyIndexOperator(i2);
+
+  conf.SetReducer(std::make_shared<TopTopicsReducer>(options.top_k));
+
+  auto i3 = std::make_shared<EventOperator>();
+  i3->AddIndex(std::make_shared<CloudServiceAccessor>(data.event_db.get()));
+  conf.AddTailIndexOperator(i3);
+  return conf;
+}
+
+}  // namespace efind

@@ -1,0 +1,61 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's running Example 2.1: spatio-temporal topic analysis of
+// tweets. Five steps map onto an EFind-enhanced job with an operator at
+// every flow position (paper Fig. 4):
+//   1) head  I1: user-profile index  -> city of each tweet
+//   2) Map       : keyword extraction
+//   3) body  I2: knowledge-base service -> topic of each tweet (a *dynamic*
+//                 index computed by "ML classifiers")
+//   4) Reduce    : top-k topics per (city, day)
+//   5) tail  I3: event database -> enrich each (city, day) with events
+
+#ifndef EFIND_WORKLOADS_TWEETS_H_
+#define EFIND_WORKLOADS_TWEETS_H_
+
+#include <memory>
+#include <vector>
+
+#include "efind/index_operator.h"
+#include "kvstore/kv_store.h"
+#include "mapreduce/record.h"
+#include "service/cloud_service.h"
+
+namespace efind {
+
+/// Generator parameters for the synthetic tweet stream.
+struct TweetOptions {
+  size_t num_tweets = 20000;
+  size_t num_users = 3000;
+  int num_cities = 40;
+  int num_days = 14;
+  int num_topics = 60;
+  int top_k = 3;
+  int num_splits = 48;
+  uint64_t seed = 77;
+};
+
+/// The workload's state: tweet splits plus the three indices.
+struct TweetData {
+  std::vector<InputSplit> tweets;
+  /// User profile index: "U<id>" -> "city_<c>|signup_<day>".
+  std::unique_ptr<KvStore> user_profiles;
+  /// Knowledge-base topic classifier (dynamic index).
+  std::unique_ptr<CloudService> topic_service;
+  /// Event database: "city|day" -> event list.
+  std::unique_ptr<CloudService> event_db;
+};
+
+/// Generates tweets (key = tweet id, value = "user|day|words...") and the
+/// three indices.
+TweetData GenerateTweets(const TweetOptions& options, int num_nodes);
+
+/// Builds the Example 2.1 job over the generated data (which must outlive
+/// the conf): head I1 + Map + body I2 + Reduce + tail I3.
+IndexJobConf MakeTweetTopicsJob(const TweetData& data,
+                                const TweetOptions& options);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_TWEETS_H_

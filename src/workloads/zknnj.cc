@@ -1,0 +1,359 @@
+#include "workloads/zknnj.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "workloads/zorder.h"
+
+namespace efind {
+
+namespace {
+
+struct Shift {
+  double dx = 0;
+  double dy = 0;
+};
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+// ------------------------------ Job 1: sampling ---------------------------
+
+/// Samples B's shifted z-values (hash-based Bernoulli sampling with rate
+/// epsilon) so quantile partition boundaries can be computed.
+class SampleMapper : public RecordStage {
+ public:
+  SampleMapper(const std::vector<Shift>* shifts, const Rect* z_bounds,
+               double epsilon)
+      : shifts_(shifts), z_bounds_(z_bounds), epsilon_(epsilon) {}
+
+  std::string name() const override { return "zknnj.sample_map"; }
+
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    const auto f = Split(record.value, ',');
+    if (f.size() != 2) return;
+    const double x = std::strtod(std::string(f[0]).c_str(), nullptr);
+    const double y = std::strtod(std::string(f[1]).c_str(), nullptr);
+    const uint64_t threshold = static_cast<uint64_t>(
+        epsilon_ * 18446744073709551615.0);
+    for (size_t i = 0; i < shifts_->size(); ++i) {
+      if (Hash64(record.key, /*seed=*/1000 + i) > threshold) continue;
+      const uint64_t z =
+          ZValue(x + (*shifts_)[i].dx, y + (*shifts_)[i].dy, *z_bounds_);
+      out->Emit(Record("sample_" + U64(i), U64(z)));
+    }
+  }
+
+ private:
+  const std::vector<Shift>* shifts_;
+  const Rect* z_bounds_;
+  double epsilon_;
+};
+
+/// Computes the quantile boundaries of each shift's sampled z-values.
+class QuantileReducer : public Reducer {
+ public:
+  explicit QuantileReducer(int num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  std::string name() const override { return "zknnj.quantiles"; }
+
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    std::vector<uint64_t> zs;
+    zs.reserve(values.size());
+    for (const auto& v : values) {
+      zs.push_back(std::strtoull(v.value.c_str(), nullptr, 10));
+    }
+    std::sort(zs.begin(), zs.end());
+    std::string boundaries;
+    for (int b = 1; b < num_partitions_ && !zs.empty(); ++b) {
+      const size_t idx = zs.size() * static_cast<size_t>(b) /
+                         static_cast<size_t>(num_partitions_);
+      if (!boundaries.empty()) boundaries += ',';
+      boundaries += U64(zs[idx]);
+    }
+    out->Emit(Record(key, std::move(boundaries)));
+  }
+
+ private:
+  int num_partitions_;
+};
+
+// --------------------------- Job 2: candidates ----------------------------
+
+int PartitionOfZ(uint64_t z, const std::vector<uint64_t>& boundaries) {
+  return static_cast<int>(
+      std::upper_bound(boundaries.begin(), boundaries.end(), z) -
+      boundaries.begin());
+}
+
+/// Routes shifted A and B points to z-range partitions; B points close to a
+/// partition boundary are also copied to the neighbor partition so every A
+/// point's z-neighbors are present in its group.
+class RouteMapper : public RecordStage {
+ public:
+  RouteMapper(const std::vector<Shift>* shifts, const Rect* z_bounds,
+              const std::vector<std::vector<uint64_t>>* boundaries)
+      : shifts_(shifts), z_bounds_(z_bounds), boundaries_(boundaries) {}
+
+  std::string name() const override { return "zknnj.route_map"; }
+
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    // Input records: key = "A<id>" or "B<id>", value = "x,y".
+    const auto f = Split(record.value, ',');
+    if (f.size() != 2 || record.key.empty()) return;
+    const char tag = record.key[0];
+    const double x = std::strtod(std::string(f[0]).c_str(), nullptr);
+    const double y = std::strtod(std::string(f[1]).c_str(), nullptr);
+    for (size_t i = 0; i < shifts_->size(); ++i) {
+      const uint64_t z =
+          ZValue(x + (*shifts_)[i].dx, y + (*shifts_)[i].dy, *z_bounds_);
+      const auto& bounds = (*boundaries_)[i];
+      const int part = PartitionOfZ(z, bounds);
+      const std::string payload = std::string(1, tag) + "|" +
+                                  record.key.substr(1) + "|" + U64(z) + "|" +
+                                  record.value;
+      auto emit_to = [&](int p) {
+        out->Emit(Record("g" + U64(i) + "_" + U64(p), payload));
+      };
+      emit_to(part);
+      if (tag == 'B') {
+        // Boundary copies: a B point within 10% of the partition's z-width
+        // of a boundary is also useful to the neighbor group.
+        const uint64_t lo = part > 0 ? bounds[part - 1] : 0;
+        const uint64_t hi = part < static_cast<int>(bounds.size())
+                                ? bounds[part]
+                                : ~0ULL;
+        const uint64_t width = hi - lo;
+        if (part > 0 && z - lo < width / 10) emit_to(part - 1);
+        if (part < static_cast<int>(bounds.size()) && hi - z < width / 10) {
+          emit_to(part + 1);
+        }
+      }
+    }
+  }
+
+ private:
+  const std::vector<Shift>* shifts_;
+  const Rect* z_bounds_;
+  const std::vector<std::vector<uint64_t>>* boundaries_;
+};
+
+/// Per (shift, partition) group: for each A point, the 2k candidates
+/// adjacent in z-order among the group's B points, with true distances.
+class CandidateReducer : public Reducer {
+ public:
+  explicit CandidateReducer(int k) : k_(k) {}
+
+  std::string name() const override { return "zknnj.candidates"; }
+
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    (void)key;
+    struct Pt {
+      uint64_t id;
+      uint64_t z;
+      double x, y;
+    };
+    std::vector<Pt> as, bs;
+    for (const auto& v : values) {
+      const auto f = Split(v.value, '|');
+      if (f.size() != 4) continue;
+      const auto xy = Split(f[3], ',');
+      if (xy.size() != 2) continue;
+      Pt p{std::strtoull(std::string(f[1]).c_str(), nullptr, 10),
+           std::strtoull(std::string(f[2]).c_str(), nullptr, 10),
+           std::strtod(std::string(xy[0]).c_str(), nullptr),
+           std::strtod(std::string(xy[1]).c_str(), nullptr)};
+      (f[0] == "A" ? as : bs).push_back(p);
+    }
+    std::sort(bs.begin(), bs.end(), [](const Pt& a, const Pt& b) {
+      if (a.z != b.z) return a.z < b.z;
+      return a.id < b.id;
+    });
+    // Dedupe boundary copies.
+    bs.erase(std::unique(bs.begin(), bs.end(),
+                         [](const Pt& a, const Pt& b) {
+                           return a.id == b.id && a.z == b.z;
+                         }),
+             bs.end());
+    for (const Pt& a : as) {
+      // 2k z-order neighbors: k at or after a's z position, k before.
+      const auto it = std::lower_bound(
+          bs.begin(), bs.end(), a.z,
+          [](const Pt& p, uint64_t z) { return p.z < z; });
+      const size_t pos = static_cast<size_t>(it - bs.begin());
+      const size_t from = pos > static_cast<size_t>(k_)
+                              ? pos - static_cast<size_t>(k_)
+                              : 0;
+      const size_t to =
+          std::min(bs.size(), pos + static_cast<size_t>(k_));
+      std::string candidates;
+      for (size_t i = from; i < to; ++i) {
+        const double dx = bs[i].x - a.x, dy = bs[i].y - a.y;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%.17g", bs[i].id,
+                      std::sqrt(dx * dx + dy * dy));
+        if (!candidates.empty()) candidates += ',';
+        candidates += buf;
+      }
+      out->Emit(Record("A" + U64(a.id), std::move(candidates)));
+    }
+  }
+
+ private:
+  int k_;
+};
+
+// ------------------------------ Job 3: merge ------------------------------
+
+/// Merges each A point's candidate lists from all shifts/partitions and
+/// keeps the k nearest.
+class MergeReducer : public Reducer {
+ public:
+  explicit MergeReducer(int k) : k_(k) {}
+
+  std::string name() const override { return "zknnj.merge"; }
+
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    std::map<uint64_t, double> best;  // candidate id -> distance
+    for (const auto& v : values) {
+      for (const auto& item : Split(v.value, ',')) {
+        const size_t colon = item.find(':');
+        if (colon == std::string_view::npos) continue;
+        const uint64_t id =
+            std::strtoull(std::string(item.substr(0, colon)).c_str(),
+                          nullptr, 10);
+        const double d = std::strtod(
+            std::string(item.substr(colon + 1)).c_str(), nullptr);
+        auto [it, inserted] = best.emplace(id, d);
+        if (!inserted && d < it->second) it->second = d;
+      }
+    }
+    std::vector<std::pair<double, uint64_t>> ranked;
+    ranked.reserve(best.size());
+    for (const auto& [id, d] : best) ranked.emplace_back(d, id);
+    std::sort(ranked.begin(), ranked.end());
+    if (static_cast<int>(ranked.size()) > k_) ranked.resize(k_);
+    std::string neighbors;
+    for (const auto& [d, id] : ranked) {
+      if (!neighbors.empty()) neighbors += ',';
+      neighbors += U64(id);
+    }
+    out->Emit(Record(key, std::move(neighbors)));
+  }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+ZknnjResult RunHZknnj(JobRunner* runner, const OsmData& data,
+                      const OsmOptions& osm_options,
+                      const ZknnjOptions& options) {
+  ZknnjResult result;
+  const ClusterConfig& config = runner->config();
+  Rng rng(options.seed);
+
+  // Random shift vectors (the first is the identity), and z-space bounds
+  // expanded so shifted points stay in range.
+  std::vector<Shift> shifts(std::max(1, options.alpha));
+  const double span_x = osm_options.bounds.max_x - osm_options.bounds.min_x;
+  const double span_y = osm_options.bounds.max_y - osm_options.bounds.min_y;
+  double max_shift = 0;
+  for (size_t i = 1; i < shifts.size(); ++i) {
+    shifts[i].dx = rng.NextDouble() * span_x;
+    shifts[i].dy = rng.NextDouble() * span_y;
+    max_shift = std::max({max_shift, shifts[i].dx, shifts[i].dy});
+  }
+  Rect z_bounds = osm_options.bounds;
+  z_bounds.max_x += max_shift;
+  z_bounds.max_y += max_shift;
+
+  // Combined A + B input (B gets its own splits, like a second HDFS file).
+  std::vector<InputSplit> combined = data.a_splits;
+  const int num_splits = std::max<size_t>(1, data.a_splits.size());
+  std::vector<InputSplit> b_splits(num_splits);
+  for (int s = 0; s < num_splits; ++s) {
+    b_splits[s].node = s % std::max(1, config.num_nodes);
+  }
+  for (size_t i = 0; i < data.b_points.size(); ++i) {
+    const SpatialPoint& p = data.b_points[i];
+    b_splits[i % num_splits].records.push_back(
+        Record("B" + U64(p.id), EncodePoint(p.x, p.y), 16));
+  }
+  std::vector<InputSplit> b_only = b_splits;
+  for (auto& s : b_splits) combined.push_back(std::move(s));
+
+  // Job 1: sampling + quantile boundaries over B.
+  JobConfig sample_job;
+  sample_job.name = "zknnj:sample";
+  sample_job.map_stages.push_back(
+      std::make_shared<SampleMapper>(&shifts, &z_bounds, options.epsilon));
+  sample_job.reducer =
+      std::make_shared<QuantileReducer>(options.num_partitions);
+  sample_job.num_reduce_tasks = std::max(1, options.alpha);
+  JobResult sampled = runner->Run(sample_job, b_only);
+  result.sample_job_seconds = sampled.sim_seconds;
+
+  std::vector<std::vector<uint64_t>> boundaries(shifts.size());
+  for (const Record& rec : sampled.CollectRecords()) {
+    if (rec.key.rfind("sample_", 0) != 0) continue;
+    const size_t i = std::strtoull(rec.key.c_str() + 7, nullptr, 10);
+    if (i >= boundaries.size()) continue;
+    for (const auto& b : Split(rec.value, ',')) {
+      if (!b.empty()) {
+        boundaries[i].push_back(
+            std::strtoull(std::string(b).c_str(), nullptr, 10));
+      }
+    }
+    std::sort(boundaries[i].begin(), boundaries[i].end());
+  }
+
+  // Job 2: route to z-range partitions and compute candidates.
+  JobConfig candidate_job;
+  candidate_job.name = "zknnj:candidates";
+  candidate_job.map_stages.push_back(
+      std::make_shared<RouteMapper>(&shifts, &z_bounds, &boundaries));
+  candidate_job.reducer = std::make_shared<CandidateReducer>(options.k);
+  JobResult candidates = runner->Run(candidate_job, combined);
+  result.candidate_job_seconds = candidates.sim_seconds;
+
+  // Job 3: merge candidates per A point.
+  JobConfig merge_job;
+  merge_job.name = "zknnj:merge";
+  merge_job.reducer = std::make_shared<MergeReducer>(options.k);
+  JobResult merged = runner->Run(merge_job, candidates.outputs);
+  result.merge_job_seconds = merged.sim_seconds;
+
+  // Inter-job DFS boundaries (candidate output is the big one).
+  double boundaries_cost = 0;
+  uint64_t candidate_bytes = 0;
+  for (const auto& s : candidates.outputs) candidate_bytes += s.size_bytes();
+  boundaries_cost +=
+      config.DfsRoundTripSeconds(candidate_bytes) / config.num_nodes;
+
+  result.outputs = std::move(merged.outputs);
+  result.sim_seconds = result.sample_job_seconds +
+                       result.candidate_job_seconds +
+                       result.merge_job_seconds + boundaries_cost;
+  return result;
+}
+
+}  // namespace efind

@@ -1,0 +1,60 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// H-zkNNJ: the hand-tuned MapReduce k-nearest-neighbor join of Zhang, Li &
+// Jestes (EDBT 2012), the paper's comparison point in Fig. 13. Implemented
+// here from scratch as a three-job MapReduce pipeline on the same engine
+// EFind runs on, so the simulated runtimes are directly comparable:
+//
+//   Job 1 (sampling): sample B's z-values per random shift and compute
+//          quantile partition boundaries (the epsilon parameter).
+//   Job 2 (candidates): shuffle shifted A and B points into z-range
+//          partitions (B copied to adjacent partitions for boundary
+//          correctness); each reduce group finds, for every A point, its
+//          2k z-order candidate neighbors with true distances.
+//   Job 3 (merge): per A point, merge candidates across shifts and keep
+//          the k nearest.
+//
+// Like zkNNJ, the result is approximate; with alpha = 2 shifts the recall
+// against exact kNN is high (tested in zknnj_test.cc).
+
+#ifndef EFIND_WORKLOADS_ZKNNJ_H_
+#define EFIND_WORKLOADS_ZKNNJ_H_
+
+#include <vector>
+
+#include "mapreduce/job_runner.h"
+#include "mapreduce/record.h"
+#include "workloads/osm.h"
+
+namespace efind {
+
+/// Parameters of H-zkNNJ (paper §5.4 sets alpha = 2, epsilon = 0.003).
+struct ZknnjOptions {
+  int k = 10;
+  int alpha = 2;
+  double epsilon = 0.003;
+  /// Number of z-range partitions per shift.
+  int num_partitions = 48;
+  uint64_t seed = 5;
+};
+
+/// Result of the hand-tuned join.
+struct ZknnjResult {
+  /// key = "A<id>", value = comma-joined neighbor ids, nearest first.
+  std::vector<InputSplit> outputs;
+  /// Total simulated time across the three jobs (+ boundaries).
+  double sim_seconds = 0.0;
+  double sample_job_seconds = 0.0;
+  double candidate_job_seconds = 0.0;
+  double merge_job_seconds = 0.0;
+};
+
+/// Runs H-zkNNJ over the generated point sets on the simulated cluster.
+ZknnjResult RunHZknnj(JobRunner* runner, const OsmData& data,
+                      const OsmOptions& osm_options,
+                      const ZknnjOptions& options);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_ZKNNJ_H_

@@ -1,0 +1,30 @@
+#include "workloads/zorder.h"
+
+#include <algorithm>
+
+namespace efind {
+
+uint64_t InterleaveBits(uint32_t x, uint32_t y) {
+  auto spread = [](uint64_t v) {
+    v &= 0x7FFFFFFF;  // 31 bits.
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+uint64_t ZValue(double x, double y, const Rect& bounds) {
+  const double w = bounds.max_x - bounds.min_x;
+  const double h = bounds.max_y - bounds.min_y;
+  const double fx = w > 0 ? std::clamp((x - bounds.min_x) / w, 0.0, 1.0) : 0.0;
+  const double fy = h > 0 ? std::clamp((y - bounds.min_y) / h, 0.0, 1.0) : 0.0;
+  constexpr double kScale = 2147483647.0;  // 2^31 - 1.
+  return InterleaveBits(static_cast<uint32_t>(fx * kScale),
+                        static_cast<uint32_t>(fy * kScale));
+}
+
+}  // namespace efind

@@ -1,0 +1,27 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef EFIND_WORKLOADS_ZORDER_H_
+#define EFIND_WORKLOADS_ZORDER_H_
+
+#include <cstdint>
+
+#include "rtree/rstar_tree.h"
+
+namespace efind {
+
+/// Interleaves the low 31 bits of x and y into a 62-bit Morton code
+/// (x in the even bit positions).
+uint64_t InterleaveBits(uint32_t x, uint32_t y);
+
+/// Z-value (Morton code) of a point, quantizing each coordinate to 31 bits
+/// within `bounds`. Out-of-bounds coordinates are clamped. This is the
+/// space-filling-curve transform at the heart of zkNNJ [Zhang et al.,
+/// EDBT 2012]: one-dimensional z-order neighbors approximate spatial
+/// neighbors, and random shifts of the data recover the cases where they
+/// do not.
+uint64_t ZValue(double x, double y, const Rect& bounds);
+
+}  // namespace efind
+
+#endif  // EFIND_WORKLOADS_ZORDER_H_

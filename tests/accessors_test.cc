@@ -1,0 +1,132 @@
+#include "efind/accessors/accessors.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/distributed_btree.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+
+TEST(KvIndexAccessorTest, LookupAndScheme) {
+  KvStore store{KvStoreOptions{}};
+  store.Put("a", IndexValue("1")).ok();
+  KvIndexAccessor accessor("users", &store);
+  EXPECT_EQ(accessor.name(), "kv:users");
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(accessor.Lookup("a", &out).ok());
+  EXPECT_EQ(out[0].data, "1");
+  EXPECT_TRUE(accessor.Lookup("zz", &out).IsNotFound());
+  ASSERT_NE(accessor.partition_scheme(), nullptr);
+  EXPECT_EQ(accessor.partition_scheme()->num_partitions(), 32);
+  EXPECT_TRUE(accessor.idempotent());
+  EXPECT_DOUBLE_EQ(accessor.RemoteOverheadSeconds(), 0.0);
+}
+
+TEST(BTreeIndexAccessorTest, LookupAndRangeScheme) {
+  DistributedBTreeOptions options;
+  auto tree = DistributedBTree::BulkLoad(
+      {{"alpha", "1"}, {"kilo", "2"}, {"zulu", "3"}}, options);
+  BTreeIndexAccessor accessor("dict", tree.get());
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(accessor.Lookup("kilo", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].data, "2");
+  EXPECT_TRUE(accessor.Lookup("missing", &out).IsNotFound());
+  EXPECT_NE(accessor.partition_scheme(), nullptr);
+}
+
+TEST(RTreeKnnAccessorTest, LookupFormatsNeighbors) {
+  CellRTreeOptions options;
+  CellPartitionedRTree index({0, 0, 10, 10}, options);
+  index.Insert({1, 1, 11});
+  index.Insert({2, 2, 22});
+  index.Insert({9, 9, 99});
+  RTreeKnnAccessor accessor("pts", &index, 2, /*per_result_extra_bytes=*/64);
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(accessor.Lookup(EncodePoint(0.5, 0.5), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].data.substr(0, 3), "11:");
+  EXPECT_EQ(out[1].data.substr(0, 3), "22:");
+  EXPECT_EQ(out[0].extra_bytes, 64u);
+  EXPECT_GT(accessor.RemoteOverheadSeconds(), 0.0);
+  EXPECT_TRUE(accessor.Lookup("garbage", &out).IsInvalidArgument());
+}
+
+TEST(CloudServiceAccessorTest, NoSchemeNoLocality) {
+  CloudService svc = MakeGeoIpService(5, {});
+  CloudServiceAccessor accessor(&svc);
+  EXPECT_EQ(accessor.partition_scheme(), nullptr);
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(accessor.Lookup("1.2.3.4", &out).ok());
+}
+
+// A full EFind job over the *B-tree* index substrate: exercises the range
+// partition scheme path of index locality end to end.
+class BTreeJoinOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "btree_join"; }
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    (*keys)[0].push_back(record->key);
+  }
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    const std::string joined =
+        (!results[0].empty() && !results[0][0].empty())
+            ? results[0][0][0].data
+            : "<miss>";
+    out->Emit(Record(record.key, record.value + ":" + joined));
+  }
+};
+
+TEST(BTreeIndexAccessorTest, EFindStrategiesAgreeOverBTree) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 2000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    pairs.emplace_back(key, "v" + std::to_string(i));
+  }
+  DistributedBTreeOptions options;
+  auto tree = DistributedBTree::BulkLoad(pairs, options);
+
+  IndexJobConf conf;
+  conf.set_name("btree_join");
+  auto op = std::make_shared<BTreeJoinOperator>();
+  op->AddIndex(std::make_shared<BTreeIndexAccessor>("dict", tree.get()));
+  conf.AddHeadIndexOperator(op);
+
+  Rng rng(9);
+  std::vector<InputSplit> input(24);
+  for (int s = 0; s < 24; ++s) {
+    input[s].node = s % 12;
+    for (int r = 0; r < 50; ++r) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "k%06d",
+                    static_cast<int>(rng.Uniform(800)));
+      input[s].records.push_back(Record(key, "rec"));
+    }
+  }
+
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto idxloc = runner.RunWithStrategy(conf, input, Strategy::kIndexLocality);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  const auto expected = Sorted(base.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(Sorted(idxloc.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  // Index locality used the tree's range scheme (16 partitions).
+  EXPECT_EQ(idxloc.jobs[0].reduce_tasks,
+            static_cast<size_t>(tree->scheme().num_partitions()));
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,145 @@
+#include "btree/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace efind {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  std::string v;
+  EXPECT_TRUE(tree.Get("x", &v).IsNotFound());
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.MinKey(), "");
+}
+
+TEST(BPlusTreeTest, SingleInsert) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert("a", "1").ok());
+  std::string v;
+  ASSERT_TRUE(tree.Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert("a", "1").ok());
+  EXPECT_TRUE(tree.Insert("a", "2").code() == StatusCode::kAlreadyExists);
+  std::string v;
+  tree.Get("a", &v).ok();
+  EXPECT_EQ(v, "1");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, UpsertOverwrites) {
+  BPlusTree tree;
+  tree.Upsert("a", "1");
+  tree.Upsert("a", "2");
+  std::string v;
+  ASSERT_TRUE(tree.Get("a", &v).ok());
+  EXPECT_EQ(v, "2");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree(4);  // Tiny fanout to force splits early.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), std::to_string(i)).ok());
+  }
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 100; ++i) {
+    std::string v;
+    ASSERT_TRUE(tree.Get(Key(i), &v).ok()) << i;
+    EXPECT_EQ(v, std::to_string(i));
+  }
+}
+
+TEST(BPlusTreeTest, ScanReturnsSortedRange) {
+  BPlusTree tree(8);
+  for (int i = 99; i >= 0; --i) tree.Insert(Key(i), std::to_string(i)).ok();
+  std::vector<std::pair<std::string, std::string>> out;
+  tree.Scan(Key(10), Key(20), &out);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().first, Key(10));
+  EXPECT_EQ(out.back().first, Key(19));
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(BPlusTreeTest, ScanToEnd) {
+  BPlusTree tree(8);
+  for (int i = 0; i < 50; ++i) tree.Insert(Key(i), "v").ok();
+  std::vector<std::pair<std::string, std::string>> out;
+  tree.Scan(Key(45), "", &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BPlusTreeTest, MinMaxKeys) {
+  BPlusTree tree(4);
+  for (int i : {5, 1, 9, 3, 7}) tree.Insert(Key(i), "v").ok();
+  EXPECT_EQ(tree.MinKey(), Key(1));
+  EXPECT_EQ(tree.MaxKey(), Key(9));
+}
+
+// Property test: random insertion orders at several fanouts must match a
+// std::map reference and keep structural invariants.
+class BPlusTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceMap) {
+  const int fanout = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  BPlusTree tree(fanout);
+  std::map<std::string, std::string> reference;
+  Rng rng(fanout * 1000 + n);
+  for (int i = 0; i < n; ++i) {
+    const std::string key = Key(static_cast<int>(rng.Uniform(n * 2)));
+    const std::string value = std::to_string(i);
+    const bool fresh = reference.emplace(key, value).second;
+    const Status status = tree.Insert(key, value);
+    EXPECT_EQ(status.ok(), fresh);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    std::string got;
+    ASSERT_TRUE(tree.Get(k, &got).ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+  // Full scan equals sorted reference.
+  std::vector<std::pair<std::string, std::string>> out;
+  tree.Scan("", "", &out);
+  ASSERT_EQ(out.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [k, v] : out) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSizes, BPlusTreePropertyTest,
+    ::testing::Combine(::testing::Values(4, 8, 64, 256),
+                       ::testing::Values(100, 2000, 20000)));
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,77 @@
+#include "service/cloud_service.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace efind {
+namespace {
+
+TEST(GeoIpServiceTest, DeterministicLookups) {
+  CloudServiceOptions options;
+  CloudService svc = MakeGeoIpService(50, options);
+  std::vector<IndexValue> a, b;
+  ASSERT_TRUE(svc.Lookup("10.1.2.3", &a).ok());
+  ASSERT_TRUE(svc.Lookup("10.1.2.3", &b).ok());
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].data, b[0].data);  // Idempotence (paper §3.2 assumption).
+  EXPECT_EQ(a[0].data.rfind("region_", 0), 0u);
+}
+
+TEST(GeoIpServiceTest, CoversManyRegions) {
+  CloudService svc = MakeGeoIpService(50, {});
+  std::set<std::string> regions;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<IndexValue> out;
+    svc.Lookup("ip" + std::to_string(i), &out).ok();
+    regions.insert(out[0].data);
+  }
+  EXPECT_GT(regions.size(), 40u);
+}
+
+TEST(GeoIpServiceTest, EmptyIpRejected) {
+  CloudService svc = MakeGeoIpService(50, {});
+  std::vector<IndexValue> out;
+  EXPECT_TRUE(svc.Lookup("", &out).IsInvalidArgument());
+}
+
+TEST(CloudServiceTest, LatencyModel) {
+  CloudServiceOptions options;
+  options.base_latency_sec = 800e-6;  // Paper: T = 0.8 ms.
+  options.extra_latency_sec = 2e-3;   // Fig. 11(a) extra delay.
+  CloudService svc = MakeGeoIpService(10, options);
+  EXPECT_DOUBLE_EQ(svc.ServiceSeconds(0), 2.8e-3);
+  options.serve_per_byte_sec = 1e-6;
+  CloudService svc2 = MakeGeoIpService(10, options);
+  EXPECT_DOUBLE_EQ(svc2.ServiceSeconds(100), 2.8e-3 + 100e-6);
+}
+
+TEST(TopicServiceTest, DynamicIndexAcceptsAnyKey) {
+  // The knowledge-base index "can compute results for any input text"
+  // (paper §1) — no fixed key domain.
+  CloudService svc = MakeTopicService(100, {});
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(svc.Lookup("completely novel keywords", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].data.rfind("topic_", 0), 0u);
+  // Deterministic for equal inputs.
+  std::vector<IndexValue> again;
+  svc.Lookup("completely novel keywords", &again).ok();
+  EXPECT_EQ(out[0].data, again[0].data);
+}
+
+TEST(EventDbServiceTest, ReturnsOneToThreeEvents) {
+  CloudService svc = MakeEventDbService({});
+  for (int i = 0; i < 100; ++i) {
+    std::vector<IndexValue> out;
+    ASSERT_TRUE(
+        svc.Lookup("city" + std::to_string(i) + "|day1", &out).ok());
+    EXPECT_GE(out.size(), 1u);
+    EXPECT_LE(out.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace efind

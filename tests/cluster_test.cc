@@ -1,0 +1,64 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace efind {
+namespace {
+
+TEST(ClusterConfigTest, DefaultsAreValid) {
+  ClusterConfig config;
+  const char* why = nullptr;
+  EXPECT_TRUE(ValidateClusterConfig(config, &why)) << why;
+}
+
+TEST(ClusterConfigTest, PaperDefaults) {
+  ClusterConfig config;
+  EXPECT_EQ(config.num_nodes, 12);
+  EXPECT_EQ(config.map_slots_per_node, 8);
+  EXPECT_EQ(config.reduce_slots_per_node, 4);
+  EXPECT_EQ(config.total_map_slots(), 96);
+  EXPECT_EQ(config.total_reduce_slots(), 48);
+  EXPECT_DOUBLE_EQ(config.network_bw_bytes_per_sec, 125.0e6);  // 1 Gbps.
+}
+
+TEST(ClusterConfigTest, RejectsBadValues) {
+  const char* why = nullptr;
+  ClusterConfig c;
+  c.num_nodes = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.network_bw_bytes_per_sec = -1;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.map_slots_per_node = -2;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.dfs_cost_per_byte = -1e-9;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+  EXPECT_NE(why, nullptr);
+}
+
+TEST(ClusterConfigTest, TransferSeconds) {
+  ClusterConfig c;
+  // 125 MB at 125 MB/s = 1 s.
+  EXPECT_DOUBLE_EQ(c.TransferSeconds(125000000), 1.0);
+}
+
+TEST(ClusterConfigTest, RemoteLookupIncludesRpcOverhead) {
+  ClusterConfig c;
+  EXPECT_DOUBLE_EQ(c.RemoteLookupSeconds(0), c.rpc_overhead_sec);
+  EXPECT_GT(c.RemoteLookupSeconds(30000), c.RemoteLookupSeconds(10));
+}
+
+TEST(ClusterConfigTest, DfsRoundTripScalesWithBytes) {
+  ClusterConfig c;
+  EXPECT_DOUBLE_EQ(c.DfsRoundTripSeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.DfsRoundTripSeconds(2000000),
+                   2.0 * c.DfsRoundTripSeconds(1000000));
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,188 @@
+#include "efind/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace efind {
+namespace {
+
+OperatorStats MakeStats(double n1, double nik, double sik, double siv,
+                        double tj, double theta, double miss_ratio) {
+  OperatorStats stats;
+  stats.valid = true;
+  stats.n1 = n1;
+  stats.s1 = 500;
+  stats.spre = 100;
+  stats.spost = 80;
+  IndexStats is;
+  is.nik = nik;
+  is.sik = sik;
+  is.siv = siv;
+  is.tj = tj;
+  is.theta = theta;
+  is.miss_ratio = miss_ratio;
+  is.repartitionable = true;
+  is.has_partition_scheme = true;
+  stats.index.push_back(is);
+  return stats;
+}
+
+ClusterConfig Config() { return ClusterConfig(); }
+
+TEST(CostModelTest, BaselineMatchesEquationOne) {
+  ClusterConfig config = Config();
+  CostModel model(config);
+  OperatorStats stats = MakeStats(10000, 1, 8, 200, 1e-3, 1, 1);
+  // N1 * Nik * ((Sik+Siv)/BW + rpc + Tj).
+  const double expected =
+      10000 * 1 * (208.0 / config.network_bw_bytes_per_sec +
+                   config.rpc_overhead_sec + 1e-3);
+  EXPECT_NEAR(model.BaselineCost(stats, 0), expected, 1e-9);
+}
+
+TEST(CostModelTest, CacheMatchesEquationTwo) {
+  ClusterConfig config = Config();
+  CostModel model(config);
+  OperatorStats stats = MakeStats(10000, 1, 8, 200, 1e-3, 1, 0.25);
+  const double per_lookup = 208.0 / config.network_bw_bytes_per_sec +
+                            config.rpc_overhead_sec + 1e-3;
+  const double expected =
+      10000 * (config.cache_probe_sec + 0.25 * per_lookup);
+  EXPECT_NEAR(model.CacheCost(stats, 0), expected, 1e-9);
+}
+
+TEST(CostModelTest, CacheBeatsBaselineOnlyWhenHitsExist) {
+  CostModel model(Config());
+  OperatorStats hot = MakeStats(10000, 1, 8, 200, 1e-3, 1, 0.2);
+  OperatorStats cold = MakeStats(10000, 1, 8, 200, 1e-3, 1, 1.0);
+  EXPECT_LT(model.CacheCost(hot, 0), model.BaselineCost(hot, 0));
+  // All-miss caching pays the probe on top of every lookup.
+  EXPECT_GT(model.CacheCost(cold, 0), model.BaselineCost(cold, 0));
+}
+
+TEST(CostModelTest, RepartitionBenefitsGrowWithTheta) {
+  CostModel model(Config());
+  OperatorStats theta1 = MakeStats(50000, 1, 8, 200, 1e-3, 1, 1);
+  OperatorStats theta10 = MakeStats(50000, 1, 8, 200, 1e-3, 10, 1);
+  const double c1 =
+      model.RepartitionCost(theta1, 0, OperatorPosition::kHead, 100);
+  const double c10 =
+      model.RepartitionCost(theta10, 0, OperatorPosition::kHead, 100);
+  EXPECT_LT(c10, c1);
+  // With high Theta and many lookups, re-partitioning beats baseline.
+  EXPECT_LT(c10, model.BaselineCost(theta10, 0));
+}
+
+TEST(CostModelTest, RepartitionPaysExtraJobOverhead) {
+  CostModel model(Config());
+  // Tiny job: one lookup total. The extra job can never pay off.
+  OperatorStats tiny = MakeStats(1, 1, 8, 200, 1e-3, 10, 1);
+  EXPECT_GT(model.RepartitionCost(tiny, 0, OperatorPosition::kHead, 100),
+            model.BaselineCost(tiny, 0));
+  EXPECT_GT(model.ExtraJobSeconds(), 0.0);
+}
+
+TEST(CostModelTest, IndexLocalityVsRepartitionCrossover) {
+  // Paper Fig. 11(f): index locality wins for large lookup results, plain
+  // re-partitioning for small ones (input transfer dominates).
+  ClusterConfig config = Config();
+  CostModel model(config);
+  OperatorStats small = MakeStats(20000, 1, 8, 10, 1e-4, 2, 1);
+  small.spre = 1000;  // 1 KB records travel to the index hosts.
+  OperatorStats large = MakeStats(20000, 1, 8, 30000, 1e-4, 2, 1);
+  large.spre = 1000;
+  EXPECT_LT(
+      model.RepartitionCost(small, 0, OperatorPosition::kHead, small.spre),
+      model.IndexLocalityCost(small, 0, OperatorPosition::kHead, small.spre));
+  EXPECT_GT(
+      model.RepartitionCost(large, 0, OperatorPosition::kHead, large.spre),
+      model.IndexLocalityCost(large, 0, OperatorPosition::kHead, large.spre));
+}
+
+TEST(CostModelTest, BoundaryPicksSmallerSide) {
+  CostModel model(Config());
+  OperatorStats stats = MakeStats(1000, 1, 8, 100, 1e-3, 2, 1);
+  stats.spre = 500;
+  stats.spost = 100;
+  EXPECT_DOUBLE_EQ(
+      model.MinBoundaryBytes(stats, OperatorPosition::kHead, 500), 100.0);
+  // Huge DFS savings, negligible lookup leg: post boundary pays.
+  stats.n1 = 1e9;
+  EXPECT_TRUE(
+      model.PreferPostBoundary(stats, OperatorPosition::kHead, 500, 0.001));
+  // A costly lookup leg must stay on the (more parallel) map side.
+  EXPECT_FALSE(
+      model.PreferPostBoundary(stats, OperatorPosition::kHead, 500, 1e9));
+  stats.n1 = 1000;
+  stats.spost = 900;
+  EXPECT_DOUBLE_EQ(
+      model.MinBoundaryBytes(stats, OperatorPosition::kHead, 500), 500.0);
+  EXPECT_FALSE(
+      model.PreferPostBoundary(stats, OperatorPosition::kHead, 500, 0.0));
+  // Tail operators always store the pre-processed form.
+  EXPECT_FALSE(
+      model.PreferPostBoundary(stats, OperatorPosition::kTail, 500, 0.0));
+}
+
+TEST(CostModelTest, CostDispatchMatchesPerStrategyMethods) {
+  CostModel model(Config());
+  OperatorStats stats = MakeStats(10000, 1, 8, 200, 1e-3, 4, 0.5);
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kBaseline, stats, 0,
+                              OperatorPosition::kHead, stats.spre),
+                   model.BaselineCost(stats, 0));
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kLookupCache, stats, 0,
+                              OperatorPosition::kHead, stats.spre),
+                   model.CacheCost(stats, 0));
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kRepartition, stats, 0,
+                              OperatorPosition::kHead, stats.spre),
+                   model.RepartitionCost(stats, 0, OperatorPosition::kHead,
+                                         stats.spre));
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kIndexLocality, stats, 0,
+                              OperatorPosition::kHead, stats.spre),
+                   model.IndexLocalityCost(stats, 0, OperatorPosition::kHead,
+                                           stats.spre));
+}
+
+TEST(CostModelTest, PlanCostAccumulatesSpreAcrossOrder) {
+  // Property 2: a later repart index shuffles the earlier results too.
+  CostModel model(Config());
+  OperatorStats stats;
+  stats.valid = true;
+  stats.n1 = 10000;
+  stats.spre = 100;
+  IndexStats big;
+  big.nik = 1;
+  big.sik = 8;
+  big.siv = 5000;
+  big.tj = 1e-3;
+  big.theta = 4;
+  IndexStats other = big;
+  other.siv = 100;
+  stats.index = {big, other};
+
+  OperatorPlan big_first;
+  big_first.order = {{0, Strategy::kRepartition, 0},
+                     {1, Strategy::kRepartition, 0}};
+  OperatorPlan big_last;
+  big_last.order = {{1, Strategy::kRepartition, 0},
+                    {0, Strategy::kRepartition, 0}};
+  // Shuffling the big results for the second index makes big-first worse.
+  EXPECT_GT(model.OperatorPlanCost(big_first, stats, OperatorPosition::kHead),
+            model.OperatorPlanCost(big_last, stats, OperatorPosition::kHead));
+}
+
+TEST(CostModelTest, PropertyOneBaseCacheOrderIndependent) {
+  CostModel model(Config());
+  OperatorStats stats = MakeStats(10000, 1, 8, 200, 1e-3, 4, 0.5);
+  // Costs of baseline/cache do not depend on spre_eff at all.
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kBaseline, stats, 0,
+                              OperatorPosition::kHead, 100),
+                   model.Cost(Strategy::kBaseline, stats, 0,
+                              OperatorPosition::kHead, 100000));
+  EXPECT_DOUBLE_EQ(model.Cost(Strategy::kLookupCache, stats, 0,
+                              OperatorPosition::kHead, 100),
+                   model.Cost(Strategy::kLookupCache, stats, 0,
+                              OperatorPosition::kHead, 100000));
+}
+
+}  // namespace
+}  // namespace efind

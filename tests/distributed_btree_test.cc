@@ -1,0 +1,113 @@
+#include "btree/distributed_btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace efind {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+DistributedBTreeOptions SmallOptions() {
+  DistributedBTreeOptions o;
+  o.num_partitions = 8;
+  o.num_nodes = 12;
+  o.replication = 3;
+  o.fanout = 16;
+  return o;
+}
+
+TEST(RangePartitionSchemeTest, PartitionByBoundaries) {
+  RangePartitionScheme scheme({"g", "n", "t"}, 12, 3);
+  EXPECT_EQ(scheme.num_partitions(), 4);
+  EXPECT_EQ(scheme.PartitionOf("a"), 0);
+  EXPECT_EQ(scheme.PartitionOf("g"), 1);  // Boundary belongs to the right.
+  EXPECT_EQ(scheme.PartitionOf("m"), 1);
+  EXPECT_EQ(scheme.PartitionOf("n"), 2);
+  EXPECT_EQ(scheme.PartitionOf("z"), 3);
+}
+
+TEST(RangePartitionSchemeTest, HostsAndReplicas) {
+  RangePartitionScheme scheme({"m"}, 4, 2);
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_TRUE(scheme.NodeHostsPartition(scheme.HostOfPartition(p), p));
+    int hosting = 0;
+    for (int n = 0; n < 4; ++n) {
+      if (scheme.NodeHostsPartition(n, p)) ++hosting;
+    }
+    EXPECT_EQ(hosting, 2);
+  }
+}
+
+TEST(DistributedBTreeTest, InsertGetAcrossPartitions) {
+  DistributedBTree tree({Key(250), Key(500), Key(750)}, SmallOptions());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), std::to_string(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string v;
+    ASSERT_TRUE(tree.Get(Key(i), &v).ok()) << i;
+    EXPECT_EQ(v, std::to_string(i));
+  }
+  // Every partition has roughly 250 keys.
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(tree.PartitionSize(p), 250u);
+  }
+}
+
+TEST(DistributedBTreeTest, EmptyKeyRejected) {
+  DistributedBTree tree({}, SmallOptions());
+  EXPECT_TRUE(tree.Insert("", "v").IsInvalidArgument());
+}
+
+TEST(DistributedBTreeTest, ScanSpansPartitions) {
+  DistributedBTree tree({Key(300), Key(600)}, SmallOptions());
+  for (int i = 0; i < 900; ++i) tree.Insert(Key(i), "v").ok();
+  std::vector<std::pair<std::string, std::string>> out;
+  tree.Scan(Key(250), Key(650), &out);
+  ASSERT_EQ(out.size(), 400u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.front().first, Key(250));
+  EXPECT_EQ(out.back().first, Key(649));
+}
+
+TEST(DistributedBTreeTest, BulkLoadBalancesPartitions) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    pairs.emplace_back(Key(static_cast<int>(rng.Uniform(1000000))),
+                       std::to_string(i));
+  }
+  auto tree = DistributedBTree::BulkLoad(pairs, SmallOptions());
+  ASSERT_NE(tree, nullptr);
+  for (int p = 0; p < tree->scheme().num_partitions(); ++p) {
+    EXPECT_GT(tree->PartitionSize(p), tree->size() / 16);
+  }
+  // Lookups work through the scheme.
+  std::string v;
+  std::sort(pairs.begin(), pairs.end());
+  ASSERT_TRUE(tree->Get(pairs[123].first, &v).ok());
+}
+
+TEST(DistributedBTreeTest, SchemeAgreesWithStorage) {
+  DistributedBTree tree({Key(500)}, SmallOptions());
+  tree.Insert(Key(100), "a").ok();
+  tree.Insert(Key(900), "b").ok();
+  EXPECT_EQ(tree.scheme().PartitionOf(Key(100)), 0);
+  EXPECT_EQ(tree.scheme().PartitionOf(Key(900)), 1);
+  EXPECT_EQ(tree.PartitionSize(0), 1u);
+  EXPECT_EQ(tree.PartitionSize(1), 1u);
+}
+
+}  // namespace
+}  // namespace efind

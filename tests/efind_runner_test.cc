@@ -1,0 +1,273 @@
+#include "efind/efind_job_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::JoinOperator;
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+class EFindRunnerTest : public ::testing::Test {
+ protected:
+  ClusterConfig config_;
+};
+
+// The cornerstone invariant: every strategy computes the same result.
+TEST_F(EFindRunnerTest, AllStrategiesProduceIdenticalOutput) {
+  ToyWorld world(300);
+  auto input = world.MakeInput(24, 50, /*key_domain=*/200);
+  IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/true);
+  EFindJobRunner runner(config_);
+
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto cache = runner.RunWithStrategy(conf, input, Strategy::kLookupCache);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto idxloc = runner.RunWithStrategy(conf, input, Strategy::kIndexLocality);
+
+  const auto expected = Sorted(base.CollectRecords());
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(Sorted(cache.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(idxloc.CollectRecords()), expected);
+}
+
+TEST_F(EFindRunnerTest, MapOnlyJobStrategiesAgree) {
+  ToyWorld world(300);
+  auto input = world.MakeInput(12, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/false);
+  EFindJobRunner runner(config_);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(Sorted(base.CollectRecords()), Sorted(repart.CollectRecords()));
+}
+
+TEST_F(EFindRunnerTest, MissingKeysJoinAsMiss) {
+  ToyWorld world(10);  // Only k0..k9 exist.
+  auto input = world.MakeInput(4, 25, 50);  // Keys up to k49.
+  IndexJobConf conf = world.MakeJoinJob(false);
+  EFindJobRunner runner(config_);
+  auto result = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  int misses = 0;
+  for (const auto& r : result.CollectRecords()) {
+    if (r.value.find("<miss>") != std::string::npos) ++misses;
+  }
+  EXPECT_GT(misses, 0);
+  // Re-partitioning agrees on misses too.
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(Sorted(result.CollectRecords()),
+            Sorted(repart.CollectRecords()));
+}
+
+TEST_F(EFindRunnerTest, CacheReducesLookupsUnderLocality) {
+  ToyWorld world(100);
+  // Key domain 50 << cache capacity: after cold misses, everything hits.
+  auto input = world.MakeInput(12, 100, 50);
+  IndexJobConf conf = world.MakeJoinJob(false);
+  EFindJobRunner runner(config_);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto cache = runner.RunWithStrategy(conf, input, Strategy::kLookupCache);
+  const double base_lookups = base.counters.Get("efind.h0.idx0.lookups");
+  const double cache_lookups = cache.counters.Get("efind.h0.idx0.lookups");
+  EXPECT_DOUBLE_EQ(base_lookups, 1200.0);
+  // At most one miss per (node, key): 12 nodes x 50 keys.
+  EXPECT_LE(cache_lookups, 600.0);
+  EXPECT_GT(cache.counters.Get("efind.h0.idx0.cache_hits"), 0.0);
+  EXPECT_LT(cache.sim_seconds, base.sim_seconds);
+}
+
+TEST_F(EFindRunnerTest, RepartitionDeduplicatesGlobally) {
+  ToyWorld world(100);
+  // 2400 records over 50 distinct keys: dedup should collapse lookups to
+  // at most 50 (one per distinct key; groups never split).
+  auto input = world.MakeInput(24, 100, 50);
+  IndexJobConf conf = world.MakeJoinJob(false);
+  EFindJobRunner runner(config_);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_LE(repart.counters.Get("efind.h0.idx0.lookups"), 50.0);
+  EXPECT_GT(repart.counters.Get("efind.h0.idx0.lookup_reuses"), 2000.0);
+  // It really ran as two jobs.
+  EXPECT_EQ(repart.jobs.size(), 2u);
+}
+
+TEST_F(EFindRunnerTest, IndexLocalitySchedulesAtIndexHosts) {
+  ToyWorld world(200);
+  auto input = world.MakeInput(12, 50, 100);
+  IndexJobConf conf = world.MakeJoinJob(false);
+  EFindJobRunner runner(config_);
+  auto result = runner.RunWithStrategy(conf, input, Strategy::kIndexLocality);
+  // Shuffle job + lookup job.
+  EXPECT_EQ(result.jobs.size(), 2u);
+  // The shuffle used the index's partition count.
+  EXPECT_EQ(result.jobs[0].reduce_tasks,
+            static_cast<size_t>(world.store->scheme().num_partitions()));
+}
+
+TEST_F(EFindRunnerTest, StatsCollectedDuringRun) {
+  ToyWorld world(100, /*value_bytes=*/64);
+  auto input = world.MakeInput(8, 50, 80);
+  IndexJobConf conf = world.MakeJoinJob(false);
+  EFindJobRunner runner(config_);
+  auto result = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  ASSERT_EQ(result.stats.head.size(), 1u);
+  const OperatorStats& stats = result.stats.head[0];
+  ASSERT_TRUE(stats.valid);
+  EXPECT_NEAR(stats.n1, 400.0 / 12, 1e-9);
+  ASSERT_EQ(stats.index.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.index[0].nik, 1.0);
+  EXPECT_GT(stats.index[0].siv, 60.0);
+  EXPECT_GT(stats.index[0].tj, 0.0);
+  EXPECT_GT(stats.index[0].theta, 2.0);  // 400 records over 80 keys.
+  EXPECT_TRUE(stats.index[0].has_partition_scheme);
+}
+
+TEST_F(EFindRunnerTest, OptimizedPlanNotWorseThanFixedStrategies) {
+  ToyWorld world(100, /*value_bytes=*/200);
+  auto input = world.MakeInput(48, 200, 60);  // Theta = 160, heavy dedup win.
+  IndexJobConf conf = world.MakeJoinJob(true);
+  EFindJobRunner runner(config_);
+
+  CollectedStats stats = runner.CollectStatistics(conf, input);
+  JobPlan plan = runner.PlanFromStats(conf, stats);
+  auto optimized = runner.RunWithPlan(conf, input, plan, &stats);
+
+  double best_fixed = 1e100;
+  for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
+                     Strategy::kRepartition, Strategy::kIndexLocality}) {
+    best_fixed =
+        std::min(best_fixed, runner.RunWithStrategy(conf, input, s).sim_seconds);
+  }
+  // Modeling slack: the optimizer reasons with per-machine averages
+  // (Eqs. 1-4) while the simulator schedules whole task waves, so allow
+  // 35% relative plus a fixed floor of a few wave-quantization periods.
+  EXPECT_LT(optimized.sim_seconds,
+            std::max(best_fixed * 1.35, best_fixed + 0.05));
+  // Output still correct.
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  EXPECT_EQ(Sorted(optimized.CollectRecords()),
+            Sorted(base.CollectRecords()));
+}
+
+// Multi-index operator: two independent indices on one operator.
+class TwoIndexOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "two_index"; }
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    (*keys)[0].push_back(record->key);
+    (*keys)[1].push_back("m" + record->value.substr(3, 1));
+  }
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    auto join = [](const std::vector<std::vector<IndexValue>>& r) {
+      return (!r.empty() && !r[0].empty()) ? r[0][0].data
+                                           : std::string("<miss>");
+    };
+    out->Emit(Record(record.key,
+                     record.value + ":" + join(results[0]) + ":" +
+                         join(results[1])));
+  }
+};
+
+TEST_F(EFindRunnerTest, MultiIndexOperatorStrategiesAgree) {
+  ToyWorld world(300);
+  KvStoreOptions kv;
+  KvStore meta(kv);
+  for (int i = 0; i < 10; ++i) {
+    meta.Put("m" + std::to_string(i), IndexValue("meta" + std::to_string(i)))
+        .ok();
+  }
+  IndexJobConf conf;
+  conf.set_name("two_index_job");
+  auto op = std::make_shared<TwoIndexOperator>();
+  op->AddIndex(
+      std::make_shared<KvIndexAccessor>("toy", world.store.get()));
+  op->AddIndex(std::make_shared<KvIndexAccessor>("meta", &meta));
+  conf.AddHeadIndexOperator(op);
+
+  auto input = world.MakeInput(12, 40, 150);
+  EFindJobRunner runner(config_);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto cache = runner.RunWithStrategy(conf, input, Strategy::kLookupCache);
+  const auto expected = Sorted(base.CollectRecords());
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(cache.CollectRecords()), expected);
+  // Uniform repart on two indices chains two shuffle jobs + final.
+  EXPECT_EQ(repart.jobs.size(), 3u);
+}
+
+TEST_F(EFindRunnerTest, TailOperatorStrategiesAgree) {
+  ToyWorld world(50);
+  auto input = world.MakeInput(8, 30, 30);
+  // Job: count per key (reduce), then join counts with the index (tail op).
+  IndexJobConf conf;
+  conf.set_name("tail_job");
+  conf.SetReducer(std::make_shared<testing_util::CountReducer>());
+  auto op = std::make_shared<JoinOperator>();
+  op->AddIndex(std::make_shared<KvIndexAccessor>("toy", world.store.get()));
+  conf.AddTailIndexOperator(op);
+
+  EFindJobRunner runner(config_);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  const auto expected = Sorted(base.CollectRecords());
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  // Tail repart: main job + shuffle job + lookup job.
+  EXPECT_GE(repart.jobs.size(), 2u);
+}
+
+TEST_F(EFindRunnerTest, BodyOperatorStrategiesAgree) {
+  ToyWorld world(200);
+  auto input = world.MakeInput(8, 30, 100);
+  IndexJobConf conf;
+  conf.set_name("body_job");
+  auto op = std::make_shared<JoinOperator>();
+  op->AddIndex(std::make_shared<KvIndexAccessor>("toy", world.store.get()));
+  conf.AddBodyIndexOperator(op);
+  conf.SetReducer(std::make_shared<testing_util::CountReducer>());
+
+  EFindJobRunner runner(config_);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto idxloc = runner.RunWithStrategy(conf, input, Strategy::kIndexLocality);
+  const auto expected = Sorted(base.CollectRecords());
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(idxloc.CollectRecords()), expected);
+}
+
+TEST_F(EFindRunnerTest, PlanStringIsReadable) {
+  ToyWorld world(10);
+  IndexJobConf conf = world.MakeJoinJob(false);
+  JobPlan plan = MakeUniformPlan(conf, Strategy::kRepartition);
+  EXPECT_EQ(plan.ToString(), "head0[idx0=repart]");
+}
+
+TEST_F(EFindRunnerTest, UniformPlanDowngradesInfeasibleChoices) {
+  // A cloud service exposes no scheme: index locality degrades to repart.
+  CloudService svc = MakeGeoIpService(10, {});
+  IndexJobConf conf;
+  auto op = std::make_shared<JoinOperator>();
+  op->AddIndex(std::make_shared<CloudServiceAccessor>(&svc));
+  conf.AddHeadIndexOperator(op);
+  JobPlan plan = MakeUniformPlan(conf, Strategy::kIndexLocality);
+  EXPECT_EQ(plan.head[0].order[0].strategy, Strategy::kRepartition);
+  // Non-idempotent services force baseline.
+  IndexJobConf conf2;
+  auto op2 = std::make_shared<JoinOperator>();
+  op2->AddIndex(
+      std::make_shared<CloudServiceAccessor>(&svc, /*idempotent=*/false));
+  conf2.AddHeadIndexOperator(op2);
+  JobPlan plan2 = MakeUniformPlan(conf2, Strategy::kLookupCache);
+  EXPECT_EQ(plan2.head[0].order[0].strategy, Strategy::kBaseline);
+}
+
+}  // namespace
+}  // namespace efind

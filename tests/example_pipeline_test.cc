@@ -1,0 +1,116 @@
+// Integration test of the paper's Example 2.1 pipeline (tweets -> user
+// profile -> keywords -> topic service -> top-k -> event db): index
+// operators at all three flow positions, three index types, all strategies
+// and the adaptive runtime agreeing on the output.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/strings.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+#include "workloads/tweets.h"
+
+namespace efind {
+namespace {
+
+TweetOptions SmallTweets() {
+  TweetOptions o;
+  o.num_tweets = 5000;
+  o.num_users = 800;
+  o.num_cities = 15;
+  o.num_days = 7;
+  o.num_splits = 24;
+  return o;
+}
+
+class ExamplePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_ = SmallTweets();
+    data_ = GenerateTweets(options_, 12);
+    conf_ = MakeTweetTopicsJob(data_, options_);
+  }
+
+  TweetOptions options_;
+  TweetData data_;
+  IndexJobConf conf_;
+  ClusterConfig config_;
+};
+
+TEST_F(ExamplePipelineTest, OutputShape) {
+  EFindJobRunner runner(config_);
+  auto result = runner.RunWithStrategy(conf_, data_.tweets,
+                                       Strategy::kBaseline);
+  const auto rows = result.CollectRecords();
+  ASSERT_FALSE(rows.empty());
+  // At most cities x days rows.
+  EXPECT_LE(rows.size(),
+            static_cast<size_t>(options_.num_cities * options_.num_days));
+  for (const auto& r : rows) {
+    // key = "city_<c>|<day>", value = "topic:n,..." + " events=...".
+    const auto key_fields = Split(r.key, '|');
+    ASSERT_EQ(key_fields.size(), 2u) << r.key;
+    EXPECT_EQ(key_fields[0].substr(0, 5), "city_");
+    EXPECT_NE(r.value.find("events="), std::string::npos);
+    EXPECT_NE(r.value.find("topic_"), std::string::npos);
+  }
+}
+
+TEST_F(ExamplePipelineTest, AllStrategiesAgree) {
+  EFindJobRunner runner(config_);
+  auto base =
+      runner.RunWithStrategy(conf_, data_.tweets, Strategy::kBaseline);
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  for (Strategy s : {Strategy::kLookupCache, Strategy::kRepartition,
+                     Strategy::kIndexLocality}) {
+    auto result = runner.RunWithStrategy(conf_, data_.tweets, s);
+    EXPECT_EQ(testing_util::Sorted(result.CollectRecords()), expected)
+        << ToString(s);
+  }
+}
+
+TEST_F(ExamplePipelineTest, UniformRepartitionSpawnsJobsPerOperator) {
+  EFindJobRunner runner(config_);
+  auto repart =
+      runner.RunWithStrategy(conf_, data_.tweets, Strategy::kRepartition);
+  // Head shuffle + (shuffle for body) + main + tail shuffle pipeline: at
+  // least 4 physical jobs.
+  EXPECT_GE(repart.jobs.size(), 4u);
+}
+
+TEST_F(ExamplePipelineTest, OptimizedAgreesAndUsesStats) {
+  EFindJobRunner runner(config_);
+  CollectedStats stats = runner.CollectStatistics(conf_, data_.tweets);
+  ASSERT_EQ(stats.head.size(), 1u);
+  ASSERT_EQ(stats.body.size(), 1u);
+  ASSERT_EQ(stats.tail.size(), 1u);
+  EXPECT_TRUE(stats.head[0].valid);
+  EXPECT_TRUE(stats.body[0].valid);
+  EXPECT_TRUE(stats.tail[0].valid);
+  // The user-profile index saw Zipf users: theta > 1.
+  EXPECT_GT(stats.head[0].index[0].theta, 2.0);
+  // The topic service has no partition scheme.
+  EXPECT_FALSE(stats.body[0].index[0].has_partition_scheme);
+
+  JobPlan plan = runner.PlanFromStats(conf_, stats);
+  auto optimized = runner.RunWithPlan(conf_, data_.tweets, plan, &stats);
+  auto base =
+      runner.RunWithStrategy(conf_, data_.tweets, Strategy::kBaseline);
+  EXPECT_EQ(testing_util::Sorted(optimized.CollectRecords()),
+            testing_util::Sorted(base.CollectRecords()));
+  EXPECT_LE(optimized.sim_seconds, base.sim_seconds * 1.05);
+}
+
+TEST_F(ExamplePipelineTest, DynamicAgrees) {
+  EFindJobRunner runner(config_);
+  auto dynamic = runner.RunDynamic(conf_, data_.tweets);
+  auto base =
+      runner.RunWithStrategy(conf_, data_.tweets, Strategy::kBaseline);
+  EXPECT_EQ(testing_util::Sorted(dynamic.CollectRecords()),
+            testing_util::Sorted(base.CollectRecords()));
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "mapreduce/job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+class PassThroughStage : public RecordStage {
+ public:
+  std::string name() const override { return "pass"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    out->Emit(std::move(record));
+  }
+};
+
+std::vector<InputSplit> MakeInput(int splits, int per_split) {
+  std::vector<InputSplit> input(splits);
+  int id = 0;
+  for (int s = 0; s < splits; ++s) {
+    input[s].node = s % 12;
+    for (int r = 0; r < per_split; ++r) {
+      input[s].records.push_back(
+          Record("k" + std::to_string(id % 7), std::to_string(id)));
+      ++id;
+    }
+  }
+  return input;
+}
+
+TEST(FaultModelTest, DisabledByDefault) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  EXPECT_DOUBLE_EQ(runner.ApplyFaults(1.0, 0, 42), 1.0);
+}
+
+TEST(FaultModelTest, FullFailureRateDoublesEveryTask) {
+  ClusterConfig config;
+  config.task_failure_rate = 1.0;
+  JobRunner runner(config);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(runner.ApplyFaults(1.5, 0, t), 3.0);
+  }
+}
+
+TEST(FaultModelTest, StragglerSlowdownApplied) {
+  ClusterConfig config;
+  config.straggler_rate = 1.0;
+  config.straggler_slowdown = 4.0;
+  JobRunner runner(config);
+  EXPECT_DOUBLE_EQ(runner.ApplyFaults(2.0, 1, 7), 8.0);
+}
+
+TEST(FaultModelTest, DeterministicPerTask) {
+  ClusterConfig config;
+  config.task_failure_rate = 0.3;
+  config.straggler_rate = 0.3;
+  JobRunner a(config), b(config);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_DOUBLE_EQ(a.ApplyFaults(1.0, 0, t), b.ApplyFaults(1.0, 0, t));
+  }
+}
+
+TEST(FaultModelTest, RateRoughlyRespected) {
+  ClusterConfig config;
+  config.task_failure_rate = 0.25;
+  JobRunner runner(config);
+  int failed = 0;
+  const int n = 2000;
+  for (int t = 0; t < n; ++t) {
+    if (runner.ApplyFaults(1.0, 0, t) > 1.5) ++failed;
+  }
+  EXPECT_GT(failed, n / 4 - n / 10);
+  EXPECT_LT(failed, n / 4 + n / 10);
+}
+
+TEST(FaultModelTest, FaultsLengthenJobsButPreserveOutput) {
+  ClusterConfig healthy, faulty;
+  faulty.task_failure_rate = 0.1;
+  faulty.straggler_rate = 0.1;
+  JobConfig job;
+  job.map_stages.push_back(std::make_shared<PassThroughStage>());
+  auto input = MakeInput(48, 20);
+
+  JobResult h = JobRunner(healthy).Run(job, input);
+  JobResult f = JobRunner(faulty).Run(job, input);
+  EXPECT_GT(f.sim_seconds, h.sim_seconds);
+  auto hr = h.CollectRecords();
+  auto fr = f.CollectRecords();
+  std::sort(hr.begin(), hr.end());
+  std::sort(fr.begin(), fr.end());
+  EXPECT_EQ(hr, fr);
+}
+
+// Strategy correctness is unaffected by faults — only timing moves.
+TEST(FaultModelTest, EFindStrategiesAgreeUnderFaults) {
+  ClusterConfig config;
+  config.task_failure_rate = 0.15;
+  config.straggler_rate = 0.1;
+  ToyWorld world(200);
+  auto input = world.MakeInput(24, 40, 120);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto idxloc = runner.RunWithStrategy(conf, input, Strategy::kIndexLocality);
+  auto dynamic = runner.RunDynamic(conf, input);
+  const auto expected = Sorted(base.CollectRecords());
+  EXPECT_EQ(Sorted(repart.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(idxloc.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(dynamic.CollectRecords()), expected);
+}
+
+// Stragglers hurt coarse-grained phases more: the index-locality pipeline
+// with its extra job has more task waves exposed to slow tasks, but its
+// proportional chunking keeps tasks small — both runs must stay within a
+// sane envelope of their healthy counterparts.
+TEST(FaultModelTest, StragglerImpactBounded) {
+  ClusterConfig healthy, faulty;
+  faulty.straggler_rate = 0.05;
+  faulty.straggler_slowdown = 5.0;
+  ToyWorld world(300, /*value_bytes=*/200);
+  auto input = world.MakeInput(96, 60, 200);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  for (Strategy s : {Strategy::kBaseline, Strategy::kIndexLocality}) {
+    auto h = EFindJobRunner(healthy).RunWithStrategy(conf, input, s);
+    auto f = EFindJobRunner(faulty).RunWithStrategy(conf, input, s);
+    EXPECT_GE(f.sim_seconds, h.sim_seconds);
+    EXPECT_LT(f.sim_seconds, h.sim_seconds * 6.0) << ToString(s);
+  }
+}
+
+}  // namespace
+}  // namespace efind

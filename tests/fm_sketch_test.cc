@@ -1,0 +1,109 @@
+#include "common/fm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace efind {
+namespace {
+
+TEST(FmSketchTest, EmptyEstimatesNearZero) {
+  FmSketch sketch;
+  EXPECT_LT(sketch.EstimateDistinct(), 128.0);  // m/phi lower floor.
+  EXPECT_EQ(sketch.num_added(), 0u);
+}
+
+TEST(FmSketchTest, CountsAdds) {
+  FmSketch sketch;
+  sketch.Add("a");
+  sketch.Add("b");
+  sketch.Add("a");
+  EXPECT_EQ(sketch.num_added(), 3u);
+}
+
+TEST(FmSketchTest, DuplicatesDoNotGrowEstimate) {
+  FmSketch once(64), many(64);
+  for (int i = 0; i < 1000; ++i) once.Add("key" + std::to_string(i));
+  for (int r = 0; r < 50; ++r) {
+    for (int i = 0; i < 1000; ++i) many.Add("key" + std::to_string(i));
+  }
+  EXPECT_DOUBLE_EQ(once.EstimateDistinct(), many.EstimateDistinct());
+}
+
+// Accuracy across scales: FM with 64 vectors should land within ~25% for
+// distinct counts well above the vector count.
+class FmAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmAccuracyTest, EstimateWithinTolerance) {
+  const int distinct = GetParam();
+  FmSketch sketch(64);
+  for (int i = 0; i < distinct; ++i) {
+    sketch.Add("item_" + std::to_string(i));
+  }
+  const double est = sketch.EstimateDistinct();
+  EXPECT_GT(est, distinct * 0.7) << "distinct=" << distinct;
+  EXPECT_LT(est, distinct * 1.4) << "distinct=" << distinct;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FmAccuracyTest,
+                         ::testing::Values(1000, 5000, 20000, 100000,
+                                           400000));
+
+// The property EFind relies on for Theta (paper §4.2): per-task sketches
+// OR-merged together estimate the global distinct count, so
+// total/distinct gives the cluster-wide duplicate factor.
+TEST(FmSketchTest, MergeEqualsUnion) {
+  FmSketch a(64), b(64), whole(64);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "k" + std::to_string(i % 10000);
+    whole.Add(key);
+    (i % 2 == 0 ? a : b).Add(key);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), whole.EstimateDistinct());
+  EXPECT_EQ(a.num_added(), 20000u);
+}
+
+TEST(FmSketchTest, MergeManyTaskSketches) {
+  // 48 "tasks" each seeing an overlapping slice of 30000 distinct keys
+  // with duplicates; merged estimate ~ 30000.
+  FmSketch merged(64);
+  for (int task = 0; task < 48; ++task) {
+    FmSketch local(64);
+    for (int i = 0; i < 2000; ++i) {
+      local.Add("k" + std::to_string((task * 613 + i * 7) % 30000));
+    }
+    merged.Merge(local);
+  }
+  const double est = merged.EstimateDistinct();
+  EXPECT_GT(est, 30000 * 0.7);
+  EXPECT_LT(est, 30000 * 1.4);
+}
+
+TEST(FmSketchTest, ThetaEstimation) {
+  // Every key appears exactly 4 times: Theta should be ~4.
+  FmSketch sketch(64);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 50000; ++i) sketch.Add("k" + std::to_string(i));
+  }
+  const double theta =
+      static_cast<double>(sketch.num_added()) / sketch.EstimateDistinct();
+  EXPECT_GT(theta, 4 * 0.7);
+  EXPECT_LT(theta, 4 * 1.4);
+}
+
+TEST(FmSketchTest, AddHashMatchesAdd) {
+  // AddHash is the primitive Add delegates to; mixing both paths over the
+  // same hashes must behave like one stream.
+  FmSketch a(32), b(32);
+  for (uint64_t h = 1; h < 5000; ++h) {
+    a.AddHash(h * 2654435761ULL);
+    b.AddHash(h * 2654435761ULL);
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), b.EstimateDistinct());
+}
+
+}  // namespace
+}  // namespace efind

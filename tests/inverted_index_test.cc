@@ -1,0 +1,190 @@
+#include "textidx/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "efind/accessors/accessors.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+InvertedIndexOptions TestOptions() { return InvertedIndexOptions{}; }
+
+TEST(InvertedIndexTest, NormalizeTerm) {
+  EXPECT_EQ(InvertedIndex::NormalizeTerm("Hello,"), "hello");
+  EXPECT_EQ(InvertedIndex::NormalizeTerm("C++20!"), "c20");
+  EXPECT_EQ(InvertedIndex::NormalizeTerm("..."), "");
+  EXPECT_EQ(InvertedIndex::NormalizeTerm("MiXeD"), "mixed");
+}
+
+TEST(InvertedIndexTest, AddAndLookup) {
+  InvertedIndex index(TestOptions());
+  ASSERT_TRUE(index.AddDocument(1, "the quick brown fox").ok());
+  ASSERT_TRUE(index.AddDocument(2, "the lazy dog").ok());
+  ASSERT_TRUE(index.AddDocument(3, "the quick dog dog").ok());
+
+  std::vector<Posting> postings;
+  ASSERT_TRUE(index.Lookup("quick", &postings).ok());
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].doc_id, 1u);
+  EXPECT_EQ(postings[1].doc_id, 3u);
+
+  ASSERT_TRUE(index.Lookup("dog", &postings).ok());
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[1].doc_id, 3u);
+  EXPECT_EQ(postings[1].term_frequency, 2u);  // "dog dog".
+
+  EXPECT_TRUE(index.Lookup("unicorn", &postings).IsNotFound());
+  EXPECT_TRUE(index.Lookup("...", &postings).IsInvalidArgument());
+  EXPECT_EQ(index.num_documents(), 3u);
+}
+
+TEST(InvertedIndexTest, LookupNormalizesQueryTerm) {
+  InvertedIndex index(TestOptions());
+  index.AddDocument(1, "Database Systems").ok();
+  std::vector<Posting> postings;
+  ASSERT_TRUE(index.Lookup("DATABASE", &postings).ok());
+  EXPECT_EQ(postings[0].doc_id, 1u);
+}
+
+TEST(InvertedIndexTest, RejectsOutOfOrderDocIds) {
+  InvertedIndex index(TestOptions());
+  ASSERT_TRUE(index.AddDocument(5, "a").ok());
+  EXPECT_TRUE(index.AddDocument(5, "b").IsInvalidArgument());
+  EXPECT_TRUE(index.AddDocument(3, "c").IsInvalidArgument());
+  EXPECT_TRUE(index.AddDocument(6, "d").ok());
+}
+
+TEST(InvertedIndexTest, ConjunctiveQueryIntersects) {
+  InvertedIndex index(TestOptions());
+  index.AddDocument(1, "alpha beta").ok();
+  index.AddDocument(2, "alpha gamma").ok();
+  index.AddDocument(3, "alpha beta gamma").ok();
+  EXPECT_EQ(index.ConjunctiveQuery({"alpha", "beta"}),
+            (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(index.ConjunctiveQuery({"alpha", "beta", "gamma"}),
+            (std::vector<uint64_t>{3}));
+  EXPECT_TRUE(index.ConjunctiveQuery({"alpha", "unicorn"}).empty());
+  EXPECT_EQ(index.ConjunctiveQuery({"alpha"}),
+            (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  InvertedIndex index(TestOptions());
+  index.AddDocument(1, "x y").ok();
+  index.AddDocument(2, "x").ok();
+  EXPECT_EQ(index.DocumentFrequency("x"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("y"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("z"), 0u);
+}
+
+// Property test against a naive reference on random documents.
+TEST(InvertedIndexTest, MatchesNaiveReference) {
+  InvertedIndex index(TestOptions());
+  std::map<std::string, std::set<uint64_t>> reference;
+  Rng rng(21);
+  for (uint64_t doc = 0; doc < 500; ++doc) {
+    std::string text;
+    const int words = 3 + static_cast<int>(rng.Uniform(10));
+    for (int w = 0; w < words; ++w) {
+      const std::string term = "w" + std::to_string(rng.Uniform(80));
+      text += term + " ";
+      reference[term].insert(doc);
+    }
+    ASSERT_TRUE(index.AddDocument(doc, text).ok());
+  }
+  for (const auto& [term, docs] : reference) {
+    std::vector<Posting> postings;
+    ASSERT_TRUE(index.Lookup(term, &postings).ok()) << term;
+    ASSERT_EQ(postings.size(), docs.size()) << term;
+    auto it = docs.begin();
+    for (const auto& p : postings) {
+      EXPECT_EQ(p.doc_id, *it++);
+    }
+    EXPECT_EQ(index.DocumentFrequency(term), docs.size());
+  }
+  EXPECT_EQ(index.num_terms(), reference.size());
+}
+
+TEST(InvertedIndexAccessorTest, SerializesPostings) {
+  InvertedIndex index(TestOptions());
+  index.AddDocument(7, "hello hello world").ok();
+  InvertedIndexAccessor accessor("docs", &index);
+  EXPECT_EQ(accessor.name(), "text:docs");
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(accessor.Lookup("hello", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].data, "7:2");
+  ASSERT_NE(accessor.partition_scheme(), nullptr);
+  EXPECT_GT(accessor.ServiceSeconds(1000), accessor.ServiceSeconds(0));
+}
+
+// Text analysis through EFind (the paper's first motivating application):
+// a job that joins query terms with the inverted index and counts matching
+// documents, identical across strategies (including index locality via the
+// term-hash partition scheme).
+class TermDocCountOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "term_doc_count"; }
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    (*keys)[0].push_back(record->key);  // The query term.
+  }
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    const size_t df = results[0].empty() ? 0 : results[0][0].size();
+    out->Emit(Record(record.key, std::to_string(df)));
+  }
+};
+
+TEST(InvertedIndexTest, EFindStrategiesAgreeOverTextIndex) {
+  InvertedIndex index(TestOptions());
+  Rng rng(33);
+  for (uint64_t doc = 0; doc < 2000; ++doc) {
+    std::string text;
+    for (int w = 0; w < 8; ++w) {
+      text += "term" + std::to_string(rng.Uniform(300)) + " ";
+    }
+    index.AddDocument(doc, text).ok();
+  }
+
+  IndexJobConf conf;
+  conf.set_name("text_df");
+  auto op = std::make_shared<TermDocCountOperator>();
+  op->AddIndex(std::make_shared<InvertedIndexAccessor>("docs", &index));
+  conf.AddHeadIndexOperator(op);
+
+  std::vector<InputSplit> queries(24);
+  for (int i = 0; i < 1200; ++i) {
+    queries[i % 24].node = (i % 24) % 12;
+    queries[i % 24].records.push_back(
+        Record("term" + std::to_string(rng.Uniform(400)), ""));
+  }
+
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, queries, Strategy::kBaseline);
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  for (Strategy s : {Strategy::kLookupCache, Strategy::kRepartition,
+                     Strategy::kIndexLocality}) {
+    auto result = runner.RunWithStrategy(conf, queries, s);
+    EXPECT_EQ(testing_util::Sorted(result.CollectRecords()), expected)
+        << ToString(s);
+  }
+  // Spot-check a document frequency against the index itself.
+  for (const auto& r : expected) {
+    EXPECT_EQ(static_cast<size_t>(std::stoul(r.value)),
+              index.DocumentFrequency(r.key));
+  }
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,301 @@
+#include "mapreduce/job_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/stage_chain.h"
+
+namespace efind {
+namespace {
+
+// Doubles the numeric value of each record.
+class DoubleStage : public RecordStage {
+ public:
+  std::string name() const override { return "double"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    record.value = std::to_string(2 * std::stoi(record.value));
+    out->Emit(std::move(record));
+  }
+};
+
+// Emits the record once per `copies`.
+class FanOutStage : public RecordStage {
+ public:
+  explicit FanOutStage(int copies) : copies_(copies) {}
+  std::string name() const override { return "fanout"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    for (int i = 0; i < copies_; ++i) out->Emit(record);
+  }
+
+ private:
+  int copies_;
+};
+
+// Drops records with odd values and charges simulated time per record.
+class FilterChargeStage : public RecordStage {
+ public:
+  std::string name() const override { return "filter"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    ctx->AddSimTime(0.01);
+    ctx->counters()->Increment("filter.seen");
+    if (std::stoi(record.value) % 2 == 0) out->Emit(std::move(record));
+  }
+};
+
+// Buffers records and flushes them at task end (exercises EndTask flow).
+class BufferStage : public RecordStage {
+ public:
+  std::string name() const override { return "buffer"; }
+  void BeginTask(TaskContext* ctx) override {
+    (void)ctx;
+    held_.clear();
+  }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    (void)out;
+    held_.push_back(std::move(record));
+  }
+  void EndTask(TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    for (auto& r : held_) out->Emit(std::move(r));
+    held_.clear();
+  }
+
+ private:
+  std::vector<Record> held_;
+};
+
+class CountReducer : public Reducer {
+ public:
+  std::string name() const override { return "count"; }
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    out->Emit(Record(key, std::to_string(values.size())));
+  }
+};
+
+std::vector<InputSplit> MakeInput(int splits, int records_per_split) {
+  std::vector<InputSplit> input(splits);
+  int v = 0;
+  for (int s = 0; s < splits; ++s) {
+    input[s].node = s % 12;
+    for (int r = 0; r < records_per_split; ++r) {
+      input[s].records.push_back(
+          Record("key" + std::to_string(v % 10), std::to_string(v)));
+      ++v;
+    }
+  }
+  return input;
+}
+
+TEST(StageChainTest, EmptyChainPassesThrough) {
+  std::vector<std::shared_ptr<RecordStage>> stages;
+  Counters counters;
+  TaskContext ctx(0, 0, &counters);
+  std::vector<Record> sink;
+  StageChain chain(&stages, &ctx, &sink);
+  chain.Begin();
+  chain.Push(Record("a", "1"));
+  chain.Finish();
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].key, "a");
+}
+
+TEST(StageChainTest, StagesComposeInOrder) {
+  std::vector<std::shared_ptr<RecordStage>> stages = {
+      std::make_shared<FanOutStage>(2), std::make_shared<DoubleStage>()};
+  Counters counters;
+  TaskContext ctx(0, 0, &counters);
+  std::vector<Record> sink;
+  StageChain chain(&stages, &ctx, &sink);
+  chain.Begin();
+  chain.Push(Record("a", "3"));
+  chain.Finish();
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink[0].value, "6");
+  EXPECT_EQ(sink[1].value, "6");
+}
+
+TEST(StageChainTest, EndTaskOutputFlowsThroughRestOfChain) {
+  std::vector<std::shared_ptr<RecordStage>> stages = {
+      std::make_shared<BufferStage>(), std::make_shared<DoubleStage>()};
+  Counters counters;
+  TaskContext ctx(0, 0, &counters);
+  std::vector<Record> sink;
+  StageChain chain(&stages, &ctx, &sink);
+  chain.Begin();
+  chain.Push(Record("a", "5"));
+  chain.Finish();  // Buffer flushes; Double must still apply.
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].value, "10");
+}
+
+TEST(JobRunnerTest, MapOnlyJobTransformsRecords) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.map_stages.push_back(std::make_shared<DoubleStage>());
+  JobResult result = runner.Run(job, MakeInput(4, 10));
+  EXPECT_EQ(result.num_map_tasks, 4u);
+  EXPECT_EQ(result.num_reduce_tasks, 0u);
+  auto records = result.CollectRecords();
+  ASSERT_EQ(records.size(), 40u);
+  // Spot check: value "0" doubled stays "0", "1" becomes "2".
+  std::sort(records.begin(), records.end());
+  bool found = false;
+  for (const auto& r : records) {
+    if (r.value == "2") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JobRunnerTest, MapReduceGroupsByKey) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.reducer = std::make_shared<CountReducer>();
+  job.num_reduce_tasks = 6;
+  JobResult result = runner.Run(job, MakeInput(4, 10));
+  EXPECT_EQ(result.num_reduce_tasks, 6u);
+  auto records = result.CollectRecords();
+  ASSERT_EQ(records.size(), 10u);  // 10 distinct keys.
+  for (const auto& r : records) EXPECT_EQ(r.value, "4");  // 40/10 each.
+}
+
+TEST(JobRunnerTest, AllKeyOccurrencesLandInOneReduceTask) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.reducer = std::make_shared<CountReducer>();
+  job.num_reduce_tasks = 4;
+  JobResult result = runner.Run(job, MakeInput(8, 25));
+  // Each key appears exactly once in the output: grouping is global.
+  auto records = result.CollectRecords();
+  std::vector<std::string> keys;
+  for (const auto& r : records) keys.push_back(r.key);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(JobRunnerTest, CountersAggregateAcrossTasks) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.map_stages.push_back(std::make_shared<FilterChargeStage>());
+  JobResult result = runner.Run(job, MakeInput(4, 10));
+  EXPECT_DOUBLE_EQ(result.counters.Get("filter.seen"), 40.0);
+  EXPECT_EQ(result.map_task_counters.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.map_task_counters[0].Get("filter.seen"), 10.0);
+}
+
+TEST(JobRunnerTest, StageSimTimeExtendsTaskDuration) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig plain, charged;
+  charged.map_stages.push_back(std::make_shared<FilterChargeStage>());
+  auto input = MakeInput(2, 100);
+  JobResult fast = runner.Run(plain, input);
+  JobResult slow = runner.Run(charged, input);
+  // 100 records x 0.01 s = 1 s of charged time per task.
+  EXPECT_GT(slow.map_seconds, fast.map_seconds + 0.9);
+}
+
+TEST(JobRunnerTest, RemoteInputCostsMoreThanLocal) {
+  ClusterConfig config;
+  config.network_bw_bytes_per_sec = 10e6;  // Slow network vs 100 MB/s disk.
+  JobRunner runner(config);
+  JobConfig local, remote;
+  remote.map_input_remote = true;
+  std::vector<InputSplit> input(1);
+  input[0].node = 0;
+  for (int i = 0; i < 1000; ++i) {
+    input[0].records.push_back(Record("k", std::string(1000, 'x')));
+  }
+  JobResult l = runner.Run(local, input);
+  JobResult r = runner.Run(remote, input);
+  EXPECT_GT(r.map_seconds, l.map_seconds);
+}
+
+TEST(JobRunnerTest, MoreSlotsShortenMakespan) {
+  ClusterConfig small, big;
+  small.num_nodes = 1;
+  small.map_slots_per_node = 1;
+  big.num_nodes = 12;
+  big.map_slots_per_node = 8;
+  JobConfig job;
+  job.map_stages.push_back(std::make_shared<FilterChargeStage>());
+  auto input = MakeInput(24, 50);
+  JobResult serial = JobRunner(small).Run(job, input);
+  JobResult parallel = JobRunner(big).Run(job, input);
+  EXPECT_GT(serial.map_seconds, 5 * parallel.map_seconds);
+}
+
+TEST(JobRunnerTest, ReduceTaskNodesRespected) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.reducer = std::make_shared<CountReducer>();
+  job.num_reduce_tasks = 3;
+  job.reduce_task_nodes = {5, 7, 2};
+  JobResult result = runner.Run(job, MakeInput(2, 10));
+  ASSERT_EQ(result.outputs.size(), 3u);
+  EXPECT_EQ(result.outputs[0].node, 5);
+  EXPECT_EQ(result.outputs[1].node, 7);
+  EXPECT_EQ(result.outputs[2].node, 2);
+}
+
+TEST(JobRunnerTest, ReduceRangeMatchesFullPhase) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.reducer = std::make_shared<CountReducer>();
+  job.num_reduce_tasks = 8;
+  auto input = MakeInput(4, 25);
+  MapPhaseResult mp = runner.RunMapPhase(job, input, 0, input.size());
+  std::vector<const MapTaskResult*> ptrs;
+  for (const auto& t : mp.tasks) ptrs.push_back(&t);
+
+  ReducePhaseResult whole = runner.RunReducePhase(job, ptrs);
+  ReducePhaseResult lo = runner.RunReduceRange(job, ptrs, 0, 3);
+  ReducePhaseResult hi = runner.RunReduceRange(job, ptrs, 3, 8);
+  ASSERT_EQ(lo.outputs.size() + hi.outputs.size(), whole.outputs.size());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(lo.outputs[i].records, whole.outputs[i].records);
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(hi.outputs[i].records, whole.outputs[i + 3].records);
+  }
+}
+
+TEST(JobRunnerTest, ReduceStagesRunAfterReducer) {
+  ClusterConfig config;
+  JobRunner runner(config);
+  JobConfig job;
+  job.reducer = std::make_shared<CountReducer>();
+  job.reduce_stages.push_back(std::make_shared<DoubleStage>());
+  job.num_reduce_tasks = 2;
+  JobResult result = runner.Run(job, MakeInput(2, 10));
+  for (const auto& r : result.CollectRecords()) {
+    EXPECT_EQ(r.value, "4");  // count 2 doubled... (20 records, 10 keys)
+  }
+}
+
+TEST(RecordTest, SizeIncludesVirtualBytesAndAttachment) {
+  Record r("key", "value", 100);
+  EXPECT_EQ(r.size_bytes(), 3u + 5u + 100u);
+  auto att = std::make_shared<RecordAttachment>();
+  att->keys = {{"ik1"}};
+  att->results = {{{IndexValue("res", 50)}}};
+  r.attachment = att;
+  EXPECT_EQ(r.size_bytes(), 108u + 3u + 53u);
+}
+
+}  // namespace
+}  // namespace efind

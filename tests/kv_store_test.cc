@@ -1,0 +1,119 @@
+#include "kvstore/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace efind {
+namespace {
+
+KvStoreOptions PaperOptions() {
+  KvStoreOptions o;
+  o.num_partitions = 32;
+  o.replication = 3;
+  o.num_nodes = 12;
+  return o;
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  KvStore store(PaperOptions());
+  ASSERT_TRUE(store.Put("user1", IndexValue("profile1")).ok());
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(store.Get("user1", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].data, "profile1");
+}
+
+TEST(KvStoreTest, GetMissingReturnsNotFound) {
+  KvStore store(PaperOptions());
+  std::vector<IndexValue> out;
+  EXPECT_TRUE(store.Get("ghost", &out).IsNotFound());
+  EXPECT_FALSE(store.Contains("ghost"));
+}
+
+TEST(KvStoreTest, EmptyKeyRejected) {
+  KvStore store(PaperOptions());
+  EXPECT_TRUE(store.Put("", IndexValue("x")).IsInvalidArgument());
+}
+
+TEST(KvStoreTest, MultipleValuesPerKey) {
+  // An index lookup returns a list {iv} (paper Fig. 2).
+  KvStore store(PaperOptions());
+  store.Put("k", IndexValue("v1")).ok();
+  store.Put("k", IndexValue("v2")).ok();
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].data, "v1");
+  EXPECT_EQ(out[1].data, "v2");
+}
+
+TEST(KvStoreTest, KeysSpreadAcrossPartitions) {
+  KvStore store(PaperOptions());
+  for (int i = 0; i < 32000; ++i) {
+    store.Put("key" + std::to_string(i), IndexValue("v")).ok();
+  }
+  EXPECT_EQ(store.num_keys(), 32000u);
+  for (int p = 0; p < 32; ++p) {
+    EXPECT_GT(store.PartitionKeyCount(p), 500u);
+    EXPECT_LT(store.PartitionKeyCount(p), 1500u);
+  }
+}
+
+TEST(KvStoreTest, ServiceTimeGrowsWithResultSize) {
+  KvStore store(PaperOptions());
+  EXPECT_GT(store.ServiceSeconds(30000), store.ServiceSeconds(10));
+  EXPECT_DOUBLE_EQ(store.ServiceSeconds(0),
+                   store.options().base_service_sec);
+}
+
+TEST(HashPartitionSchemeTest, PartitionOfIsStableAndInRange) {
+  HashPartitionScheme scheme(32, 12, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const int p = scheme.PartitionOf(key);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 32);
+    EXPECT_EQ(p, scheme.PartitionOf(key));
+  }
+}
+
+TEST(HashPartitionSchemeTest, ReplicationPlacement) {
+  HashPartitionScheme scheme(32, 12, 3);
+  for (int p = 0; p < 32; ++p) {
+    const auto replicas = scheme.ReplicasOf(p);
+    ASSERT_EQ(replicas.size(), 3u);
+    // The primary host is a replica, and all replicas host the partition.
+    EXPECT_EQ(replicas[0], scheme.HostOfPartition(p));
+    for (int node : replicas) {
+      EXPECT_TRUE(scheme.NodeHostsPartition(node, p));
+    }
+    // Some node does not host it (3 of 12).
+    int hosting = 0;
+    for (int n = 0; n < 12; ++n) {
+      if (scheme.NodeHostsPartition(n, p)) ++hosting;
+    }
+    EXPECT_EQ(hosting, 3);
+  }
+}
+
+TEST(HashPartitionSchemeTest, ReplicationClampedToNodes) {
+  HashPartitionScheme scheme(4, 2, 5);
+  EXPECT_EQ(scheme.replication(), 2);
+}
+
+TEST(HashPartitionSchemeTest, StoreAgreesWithScheme) {
+  // The scheme EFind obtains must describe where the store actually keeps
+  // keys — that is what index locality relies on.
+  KvStore store(PaperOptions());
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    store.Put(key, IndexValue("v")).ok();
+    const int p = store.scheme().PartitionOf(key);
+    EXPECT_GT(store.PartitionKeyCount(p), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace efind

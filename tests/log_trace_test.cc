@@ -1,0 +1,120 @@
+#include "workloads/log_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+LogTraceOptions SmallLog() {
+  LogTraceOptions o;
+  o.num_events = 6000;
+  o.num_ips = 2000;
+  o.num_urls = 500;
+  o.num_splits = 24;
+  return o;
+}
+
+TEST(LogTraceTest, GeneratesRequestedEvents) {
+  auto splits = GenerateLogTrace(SmallLog(), 12);
+  size_t total = 0;
+  std::set<std::string> event_ids;
+  for (const auto& s : splits) {
+    for (const auto& r : s.records) {
+      ++total;
+      event_ids.insert(r.key);
+      const auto f = Split(r.value, '|');
+      ASSERT_EQ(f.size(), 3u);
+      EXPECT_FALSE(f[0].empty());  // ip
+      EXPECT_EQ(f[1].substr(0, 4), "url_");
+    }
+  }
+  EXPECT_EQ(total, 6000u);
+  EXPECT_EQ(event_ids.size(), 6000u);  // Unique event ids.
+}
+
+TEST(LogTraceTest, Deterministic) {
+  auto a = GenerateLogTrace(SmallLog(), 12);
+  auto b = GenerateLogTrace(SmallLog(), 12);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].records, b[s].records);
+  }
+}
+
+TEST(LogTraceTest, SessionsCreateLocalAndCrossSplitRedundancy) {
+  auto splits = GenerateLogTrace(SmallLog(), 12);
+  // Local redundancy: within a split, consecutive records often repeat an
+  // IP (sessions are appended contiguously).
+  int consecutive_repeats = 0, pairs = 0;
+  // Cross-split redundancy: many IPs appear in more than one split.
+  std::map<std::string, std::set<int>> ip_splits;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    std::string prev;
+    for (const auto& r : splits[s].records) {
+      const std::string ip(Split(r.value, '|')[0]);
+      if (!prev.empty()) {
+        ++pairs;
+        if (prev == ip) ++consecutive_repeats;
+      }
+      prev = ip;
+      ip_splits[ip].insert(static_cast<int>(s));
+    }
+  }
+  EXPECT_GT(consecutive_repeats, pairs / 4);
+  int multi_split_ips = 0;
+  for (const auto& [ip, ss] : ip_splits) {
+    if (ss.size() > 1) ++multi_split_ips;
+  }
+  EXPECT_GT(multi_split_ips, static_cast<int>(ip_splits.size()) / 3);
+}
+
+TEST(LogTraceTest, JobComputesTopUrlsIdenticallyAcrossStrategies) {
+  auto splits = GenerateLogTrace(SmallLog(), 12);
+  CloudServiceOptions svc_options;
+  CloudService geo = MakeGeoIpService(20, svc_options);
+  IndexJobConf conf = MakeLogTopUrlsJob(&geo, 5);
+
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, splits, Strategy::kBaseline);
+  auto cache = runner.RunWithStrategy(conf, splits, Strategy::kLookupCache);
+  auto repart = runner.RunWithStrategy(conf, splits, Strategy::kRepartition);
+
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_LE(expected.size(), 20u);  // One row per region.
+  for (const auto& r : expected) {
+    EXPECT_EQ(r.key.rfind("region_", 0), 0u);
+    EXPECT_LE(Split(r.value, ',').size(), 5u);  // top-k
+  }
+  EXPECT_EQ(testing_util::Sorted(cache.CollectRecords()), expected);
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()), expected);
+}
+
+TEST(LogTraceTest, CacheAndRepartCutLookups) {
+  auto splits = GenerateLogTrace(SmallLog(), 12);
+  CloudService geo = MakeGeoIpService(20, {});
+  IndexJobConf conf = MakeLogTopUrlsJob(&geo, 5);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, splits, Strategy::kBaseline);
+  auto cache = runner.RunWithStrategy(conf, splits, Strategy::kLookupCache);
+  auto repart = runner.RunWithStrategy(conf, splits, Strategy::kRepartition);
+  const double base_lk = base.counters.Get("efind.h0.idx0.lookups");
+  const double cache_lk = cache.counters.Get("efind.h0.idx0.lookups");
+  const double repart_lk = repart.counters.Get("efind.h0.idx0.lookups");
+  EXPECT_DOUBLE_EQ(base_lk, 6000.0);
+  EXPECT_LT(cache_lk, base_lk * 0.7);   // Strong local redundancy.
+  EXPECT_LT(repart_lk, cache_lk);       // Global dedup is strictly better.
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,121 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace efind {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache<std::string, int> cache(4);
+  int v = 0;
+  EXPECT_FALSE(cache.Get("a", &v));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.probes(), 1u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  int v = 0;
+  ASSERT_TRUE(cache.Get("a", &v));
+  EXPECT_EQ(v, 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  int v = 0;
+  ASSERT_TRUE(cache.Get("a", &v));  // "a" is now most recently used.
+  cache.Put("c", 3);                // Evicts "b".
+  EXPECT_FALSE(cache.Get("b", &v));
+  EXPECT_TRUE(cache.Get("a", &v));
+  EXPECT_TRUE(cache.Get("c", &v));
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("a", 10);  // Refresh "a": "b" becomes LRU.
+  cache.Put("c", 3);   // Evicts "b".
+  int v = 0;
+  EXPECT_FALSE(cache.Get("b", &v));
+  ASSERT_TRUE(cache.Get("a", &v));
+  EXPECT_EQ(v, 10);
+}
+
+TEST(LruCacheTest, CapacityNeverExceeded) {
+  LruCache<int, int> cache(8);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(i, i);
+    EXPECT_LE(cache.size(), 8u);
+  }
+  // The newest 8 keys must be present.
+  int v = 0;
+  for (int i = 92; i < 100; ++i) EXPECT_TRUE(cache.Get(i, &v));
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, MissRatioTracksProbes) {
+  LruCache<int, int> cache(4);
+  int v = 0;
+  cache.Get(1, &v);  // miss
+  cache.Put(1, 1);
+  cache.Get(1, &v);  // hit
+  cache.Get(1, &v);  // hit
+  cache.Get(2, &v);  // miss
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 0.5);
+}
+
+TEST(LruCacheTest, MissRatioOneWhenUnprobed) {
+  LruCache<int, int> cache(4);
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 1.0);
+}
+
+TEST(LruCacheTest, ClearResetsEverything) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  int v = 0;
+  cache.Get(1, &v);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.probes(), 0u);
+  EXPECT_FALSE(cache.Get(1, &v));
+}
+
+TEST(LruCacheTest, VectorValues) {
+  LruCache<std::string, std::vector<int>> cache(2);
+  cache.Put("k", {1, 2, 3});
+  std::vector<int> v;
+  ASSERT_TRUE(cache.Get("k", &v));
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+// Sequential scan over a domain larger than the cache: every probe must
+// miss (classic LRU worst case), which is what makes the paper's Synthetic
+// workload cache-hostile.
+TEST(LruCacheTest, SequentialScanLargerThanCapacityAlwaysMisses) {
+  LruCache<int, int> cache(16);
+  int v = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_FALSE(cache.Get(i, &v));
+      cache.Put(i, i);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,108 @@
+#include "workloads/osm.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+OsmOptions SmallOsm() {
+  OsmOptions o;
+  o.num_a = 2000;
+  o.num_b = 3000;
+  o.k = 10;
+  o.num_splits = 24;
+  return o;
+}
+
+TEST(OsmGenTest, PointsInBounds) {
+  const auto options = SmallOsm();
+  OsmData data = GenerateOsm(options, 12);
+  EXPECT_EQ(data.a_points.size(), options.num_a);
+  EXPECT_EQ(data.b_points.size(), options.num_b);
+  for (const auto& p : data.a_points) {
+    EXPECT_GE(p.x, options.bounds.min_x);
+    EXPECT_LE(p.x, options.bounds.max_x);
+    EXPECT_GE(p.y, options.bounds.min_y);
+    EXPECT_LE(p.y, options.bounds.max_y);
+  }
+  EXPECT_EQ(data.b_index->size(), options.num_b);
+}
+
+TEST(OsmGenTest, SplitsCarryEncodedPoints) {
+  OsmData data = GenerateOsm(SmallOsm(), 12);
+  size_t total = 0;
+  for (const auto& s : data.a_splits) {
+    for (const auto& r : s.records) {
+      ++total;
+      double x, y;
+      ASSERT_TRUE(DecodePoint(r.value, &x, &y)) << r.value;
+      EXPECT_EQ(r.key[0], 'A');
+    }
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+// The EFind kNN join must be exact: compare every A point's neighbor list
+// with brute force over B.
+TEST(OsmKnnJoinTest, ExactAgainstBruteForce) {
+  OsmOptions options = SmallOsm();
+  options.num_a = 300;
+  options.num_b = 2000;
+  OsmData data = GenerateOsm(options, 12);
+  IndexJobConf conf = MakeKnnJoinJob(data.b_index.get(), options.k);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto result =
+      runner.RunWithStrategy(conf, data.a_splits, Strategy::kBaseline);
+
+  std::map<std::string, const SpatialPoint*> a_by_key;
+  for (const auto& p : data.a_points) {
+    a_by_key["A" + std::to_string(p.id)] = &p;
+  }
+  const auto records = result.CollectRecords();
+  ASSERT_EQ(records.size(), options.num_a);
+  for (const auto& r : records) {
+    const SpatialPoint* a = a_by_key.at(r.key);
+    const auto want = BruteForceKnn(data.b_points, a->x, a->y, options.k);
+    const auto got = Split(r.value, ',');
+    ASSERT_EQ(got.size(), want.size()) << r.key;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(std::string(got[i]), std::to_string(want[i].id))
+          << r.key << " rank " << i;
+    }
+  }
+}
+
+TEST(OsmKnnJoinTest, StrategiesAgree) {
+  OsmData data = GenerateOsm(SmallOsm(), 12);
+  IndexJobConf conf = MakeKnnJoinJob(data.b_index.get(), 10);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base =
+      runner.RunWithStrategy(conf, data.a_splits, Strategy::kBaseline);
+  auto idxloc =
+      runner.RunWithStrategy(conf, data.a_splits, Strategy::kIndexLocality);
+  auto repart =
+      runner.RunWithStrategy(conf, data.a_splits, Strategy::kRepartition);
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  EXPECT_EQ(testing_util::Sorted(idxloc.CollectRecords()), expected);
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()), expected);
+}
+
+TEST(OsmKnnJoinTest, GridSchemeEnablesIndexLocality) {
+  OsmData data = GenerateOsm(SmallOsm(), 12);
+  IndexJobConf conf = MakeKnnJoinJob(data.b_index.get(), 10);
+  const IndexAccessor& accessor = *conf.head_ops()[0]->accessors()[0];
+  ASSERT_NE(accessor.partition_scheme(), nullptr);
+  EXPECT_EQ(accessor.partition_scheme()->num_partitions(), 32);  // 4x8.
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,120 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace efind {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble(-3.0, 5.0);
+    ASSERT_GE(d, -3.0);
+    ASSERT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(ZipfTest, ValuesInDomain) {
+  Rng rng(19);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(23);
+  ZipfGenerator zipf(100000, 0.99);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(&rng)];
+  // Rank 0 should dominate, and the top 100 of 100k values should carry a
+  // large share of the mass.
+  int top100 = 0;
+  for (uint64_t v = 0; v < 100; ++v) {
+    auto it = counts.find(v);
+    if (it != counts.end()) top100 += it->second;
+  }
+  EXPECT_GT(counts[0], n / 100);  // >1% on the single hottest value.
+  EXPECT_GT(top100, n / 4);       // >25% on the top 100.
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(29);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfTest, RankFrequencyRoughlyPowerLaw) {
+  Rng rng(31);
+  const double theta = 0.8;
+  ZipfGenerator zipf(100000, theta);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next(&rng)];
+  // f(rank 1)/f(rank 10) should be near 10^theta.
+  const double expected = std::pow(10.0, theta);
+  const double observed =
+      static_cast<double>(counts[0]) / std::max(1, counts[9]);
+  EXPECT_GT(observed, expected * 0.5);
+  EXPECT_LT(observed, expected * 2.0);
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,154 @@
+#include "rtree/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/osm.h"
+
+namespace efind {
+namespace {
+
+TEST(RectTest, Basics) {
+  Rect r{0, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 12.0);
+  EXPECT_TRUE(r.Contains({1, 1, 0}));
+  EXPECT_FALSE(r.Contains({5, 1, 0}));
+}
+
+TEST(RectTest, UnionAndOverlap) {
+  Rect a{0, 0, 2, 2}, b{1, 1, 3, 3}, c{5, 5, 6, 6};
+  const Rect u = a.Union(b);
+  EXPECT_DOUBLE_EQ(u.min_x, 0);
+  EXPECT_DOUBLE_EQ(u.max_x, 3);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(RectTest, MinDist2) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(r.MinDist2(1, 1), 0.0);   // Inside.
+  EXPECT_DOUBLE_EQ(r.MinDist2(3, 1), 1.0);   // Right of.
+  EXPECT_DOUBLE_EQ(r.MinDist2(3, 3), 2.0);   // Corner.
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.KNearest(0, 0, 5).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, SinglePoint) {
+  RStarTree tree;
+  tree.Insert({1, 2, 7});
+  auto nn = tree.KNearest(0, 0, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, InvariantsAfterManyInserts) {
+  RStarTree tree(8);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    tree.Insert({rng.NextDouble() * 100, rng.NextDouble() * 100,
+                 static_cast<uint64_t>(i)});
+  }
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, RangeQueryExact) {
+  RStarTree tree(16);
+  for (int x = 0; x < 30; ++x) {
+    for (int y = 0; y < 30; ++y) {
+      tree.Insert({static_cast<double>(x), static_cast<double>(y),
+                   static_cast<uint64_t>(x * 100 + y)});
+    }
+  }
+  std::vector<SpatialPoint> out;
+  tree.RangeQuery({5, 5, 9, 9}, &out);
+  EXPECT_EQ(out.size(), 25u);  // 5..9 inclusive in both axes.
+  for (const auto& p : out) {
+    EXPECT_GE(p.x, 5);
+    EXPECT_LE(p.x, 9);
+  }
+}
+
+TEST(RStarTreeTest, KnnOrderedByDistance) {
+  RStarTree tree;
+  for (int i = 1; i <= 10; ++i) {
+    tree.Insert({static_cast<double>(i), 0, static_cast<uint64_t>(i)});
+  }
+  auto nn = tree.KNearest(0, 0, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 1u);
+  EXPECT_EQ(nn[1].id, 2u);
+  EXPECT_EQ(nn[2].id, 3u);
+}
+
+TEST(RStarTreeTest, KnnWithKLargerThanTree) {
+  RStarTree tree;
+  tree.Insert({0, 0, 1});
+  tree.Insert({1, 1, 2});
+  auto nn = tree.KNearest(0, 0, 10);
+  EXPECT_EQ(nn.size(), 2u);
+}
+
+TEST(RStarTreeTest, DuplicateCoordinatesTieBreakById) {
+  RStarTree tree;
+  for (uint64_t id = 10; id > 0; --id) tree.Insert({5, 5, id});
+  auto nn = tree.KNearest(5, 5, 4);
+  ASSERT_EQ(nn.size(), 4u);
+  EXPECT_EQ(nn[0].id, 1u);
+  EXPECT_EQ(nn[1].id, 2u);
+}
+
+// Property test: kNN against brute force over clustered and uniform data,
+// across node capacities.
+class RStarKnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RStarKnnPropertyTest, MatchesBruteForce) {
+  const int max_entries = GetParam();
+  RStarTree tree(max_entries);
+  Rng rng(max_entries);
+  std::vector<SpatialPoint> points;
+  for (int i = 0; i < 3000; ++i) {
+    SpatialPoint p;
+    if (i % 3 == 0) {
+      p = {rng.Gaussian(30, 2), rng.Gaussian(70, 2),
+           static_cast<uint64_t>(i)};
+    } else {
+      p = {rng.NextDouble() * 100, rng.NextDouble() * 100,
+           static_cast<uint64_t>(i)};
+    }
+    points.push_back(p);
+    tree.Insert(p);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.NextDouble() * 100;
+    const double y = rng.NextDouble() * 100;
+    const auto got = tree.KNearest(x, y, 10);
+    const auto want = BruteForceKnn(points, x, y, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id)
+          << "query " << q << " rank " << i << " cap " << max_entries;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCapacities, RStarKnnPropertyTest,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,98 @@
+#include "common/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace efind {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, IdenticalSamplesHaveZeroCoV) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningStatsTest, CoVIsScaleInvariant) {
+  RunningStats small, big;
+  for (double x : {1.0, 2.0, 3.0}) {
+    small.Add(x);
+    big.Add(x * 1000);
+  }
+  EXPECT_NEAR(small.coefficient_of_variation(),
+              big.coefficient_of_variation(), 1e-12);
+}
+
+TEST(RunningStatsTest, ZeroMeanVaryingSamplesGiveInfiniteCoV) {
+  RunningStats s;
+  s.Add(-1.0);
+  s.Add(1.0);
+  EXPECT_TRUE(std::isinf(s.coefficient_of_variation()));
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(7.0, 3.0);
+    whole.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+// Numerical stability: large offset with small spread (Welford's reason to
+// exist).
+TEST(RunningStatsTest, StableUnderLargeOffset) {
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.Add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace efind

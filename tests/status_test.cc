@@ -1,0 +1,72 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace efind {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodes) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_FALSE(Status::Internal("x").ok());
+  EXPECT_EQ(Status::OutOfRange().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, MessageRoundTrips) {
+  Status s = Status::NotFound("key k42");
+  EXPECT_EQ(s.message(), "key k42");
+  EXPECT_EQ(s.ToString(), "NotFound: key k42");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::InvalidArgument().ToString(), "InvalidArgument");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::OK());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy.ToString(), "Internal: boom");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.ToString(), "Internal: boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,106 @@
+// Property sweep: for any workload shape — key-domain skew, record size,
+// map-only or map+reduce, any seed — all four fixed strategies, the static
+// optimizer, and the adaptive runtime must compute identical results, and
+// the counters must respect basic conservation laws.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+// (key_domain, value_bytes, with_reduce, seed)
+using Params = std::tuple<int, int, bool, int>;
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(StrategyEquivalenceTest, AllExecutionModesAgree) {
+  const auto [key_domain, value_bytes, with_reduce, seed] = GetParam();
+  ToyWorld world(/*num_keys=*/key_domain,
+                 static_cast<uint64_t>(value_bytes));
+  auto input = world.MakeInput(24, 40, key_domain,
+                               static_cast<uint64_t>(seed));
+  IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+
+  auto base = runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  const auto expected = Sorted(base.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+
+  for (Strategy s : {Strategy::kLookupCache, Strategy::kRepartition,
+                     Strategy::kIndexLocality}) {
+    auto result = runner.RunWithStrategy(conf, input, s);
+    EXPECT_EQ(Sorted(result.CollectRecords()), expected) << ToString(s);
+    // Conservation: never more lookups than baseline performed.
+    EXPECT_LE(result.counters.Get("efind.h0.idx0.lookups"),
+              base.counters.Get("efind.h0.idx0.lookups"))
+        << ToString(s);
+    // Timing is positive and bounded by a sane envelope.
+    EXPECT_GT(result.sim_seconds, 0.0);
+    EXPECT_LT(result.sim_seconds, base.sim_seconds * 50);
+  }
+
+  CollectedStats stats = runner.CollectStatistics(conf, input);
+  auto optimized =
+      runner.RunWithPlan(conf, input, runner.PlanFromStats(conf, stats),
+                         &stats);
+  EXPECT_EQ(Sorted(optimized.CollectRecords()), expected) << "optimized";
+
+  auto dynamic = runner.RunDynamic(conf, input);
+  EXPECT_EQ(Sorted(dynamic.CollectRecords()), expected) << "dynamic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrategyEquivalenceTest,
+    ::testing::Values(
+        // Heavy duplication, small values.
+        Params{20, 30, false, 1}, Params{20, 30, true, 2},
+        // Moderate duplication, bigger values.
+        Params{200, 500, false, 3}, Params{200, 500, true, 4},
+        // Nearly distinct keys (Theta ~ 1).
+        Params{5000, 100, true, 5},
+        // Single hot key (extreme skew: one reduce group).
+        Params{1, 50, true, 6},
+        // Different seeds on the same shape.
+        Params{200, 500, true, 7}, Params{200, 500, true, 8}));
+
+// Per-strategy timing sanity on a duplication-heavy shape: cache and
+// repart must not be slower than baseline by more than the overhead of an
+// extra job, regardless of the seed.
+class StrategyTimingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyTimingTest, OptimizationsNeverCatastrophic) {
+  const int seed = GetParam();
+  ToyWorld world(60, 200);
+  auto input = world.MakeInput(48, 100, 60, static_cast<uint64_t>(seed));
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  const double base =
+      runner.RunWithStrategy(conf, input, Strategy::kBaseline).sim_seconds;
+  const double cache =
+      runner.RunWithStrategy(conf, input, Strategy::kLookupCache)
+          .sim_seconds;
+  const double repart =
+      runner.RunWithStrategy(conf, input, Strategy::kRepartition)
+          .sim_seconds;
+  // 60 hot keys, 4800 records: both optimizations must win here.
+  EXPECT_LT(cache, base);
+  EXPECT_LT(repart, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyTimingTest,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace efind

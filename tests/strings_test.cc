@@ -1,0 +1,77 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace efind {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto f = Split("a|b|c", '|');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto f = Split("a||b|", '|');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const auto f = Split("abc", '|');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto f = Split("", '|');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::string joined = Join({"x", "y", "z"}, ',');
+  EXPECT_EQ(joined, "x,y,z");
+  const auto f = Split(joined, ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "z");
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({"only"}, '|'), "only");
+  EXPECT_EQ(Join({}, '|'), "");
+}
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Hash64("abc"), Hash64("abc"));
+  EXPECT_NE(Hash64("abc"), Hash64("abd"));
+  EXPECT_NE(Hash64("abc", 1), Hash64("abc", 2));
+}
+
+TEST(HashTest, LowBitsWellDistributed) {
+  // Partitioners take hash % P; short sequential keys must not collide
+  // into few buckets.
+  int buckets[16] = {0};
+  for (int i = 0; i < 16000; ++i) {
+    ++buckets[Hash64("key" + std::to_string(i)) % 16];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 700);
+    EXPECT_LT(b, 1300);
+  }
+}
+
+TEST(HashTest, Mix64Injective) {
+  // Spot-check distinctness over a contiguous range.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace efind

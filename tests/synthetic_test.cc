@@ -1,0 +1,117 @@
+#include "workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+SyntheticOptions SmallSynthetic() {
+  SyntheticOptions o;
+  o.num_records = 4000;
+  o.num_distinct_keys = 2000;
+  o.record_value_bytes = 1000;
+  o.index_value_bytes = 500;
+  o.num_splits = 24;
+  return o;
+}
+
+TEST(SyntheticTest, GeneratorShape) {
+  const auto options = SmallSynthetic();
+  auto splits = GenerateSynthetic(options, 12);
+  size_t total = 0;
+  std::set<std::string> keys;
+  for (const auto& s : splits) {
+    for (const auto& r : s.records) {
+      ++total;
+      keys.insert(r.key);
+      EXPECT_EQ(r.extra_bytes, options.record_value_bytes);
+    }
+  }
+  EXPECT_EQ(total, options.num_records);
+  // Uniform draw of 4000 from 2000: nearly every key should be seen;
+  // expected distinct ~ 2000*(1-e^-2) ~ 1729.
+  EXPECT_GT(keys.size(), 1500u);
+  EXPECT_LE(keys.size(), 2000u);
+}
+
+TEST(SyntheticTest, IndexLoadsEveryKeyAtRequestedSize) {
+  const auto options = SmallSynthetic();
+  KvStoreOptions kv;
+  KvStore store(kv);
+  LoadSyntheticIndex(options, &store);
+  EXPECT_EQ(store.num_keys(), options.num_distinct_keys);
+  std::vector<IndexValue> out;
+  ASSERT_TRUE(store.Get("k123", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size_bytes(), options.index_value_bytes);
+}
+
+TEST(SyntheticTest, JoinOutputsMatchAcrossStrategies) {
+  const auto options = SmallSynthetic();
+  auto splits = GenerateSynthetic(options, 12);
+  KvStoreOptions kv;
+  KvStore store(kv);
+  LoadSyntheticIndex(options, &store);
+  IndexJobConf conf = MakeSyntheticJoinJob(&store);
+
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, splits, Strategy::kBaseline);
+  auto repart = runner.RunWithStrategy(conf, splits, Strategy::kRepartition);
+  auto idxloc = runner.RunWithStrategy(conf, splits, Strategy::kIndexLocality);
+
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  EXPECT_EQ(expected.size(), options.num_records);  // Inner join, all hit.
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()), expected);
+  EXPECT_EQ(testing_util::Sorted(idxloc.CollectRecords()), expected);
+  // Joined records carry the index payload bytes.
+  EXPECT_GE(expected[0].extra_bytes, options.record_value_bytes);
+}
+
+TEST(SyntheticTest, CacheIsUselessOnUniformKeys) {
+  // The paper's point for Fig. 11(f): random keys over a domain much larger
+  // than the 1024-entry cache see a very high miss rate.
+  SyntheticOptions options = SmallSynthetic();
+  options.num_records = 8000;
+  options.num_distinct_keys = 100000;
+  auto splits = GenerateSynthetic(options, 12);
+  KvStoreOptions kv;
+  KvStore store(kv);
+  // Load only the keys present (loading 100k values is wasteful here).
+  for (const auto& s : splits) {
+    for (const auto& r : s.records) {
+      if (!store.Contains(r.key)) {
+        store.Put(r.key, IndexValue("v", 100)).ok();
+      }
+    }
+  }
+  IndexJobConf conf = MakeSyntheticJoinJob(&store);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto cache = runner.RunWithStrategy(conf, splits, Strategy::kLookupCache);
+  const double hits = cache.counters.Get("efind.h0.idx0.cache_hits");
+  EXPECT_LT(hits, 8000 * 0.05);
+}
+
+TEST(SyntheticTest, RepartHalvesLookupsAtThetaTwo) {
+  const auto options = SmallSynthetic();  // 4000 records, 2000 keys.
+  auto splits = GenerateSynthetic(options, 12);
+  KvStoreOptions kv;
+  KvStore store(kv);
+  LoadSyntheticIndex(options, &store);
+  IndexJobConf conf = MakeSyntheticJoinJob(&store);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto repart = runner.RunWithStrategy(conf, splits, Strategy::kRepartition);
+  // One lookup per distinct key observed (<= 2000 vs 4000 baseline).
+  EXPECT_LE(repart.counters.Get("efind.h0.idx0.lookups"), 2000.0);
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,179 @@
+#include "workloads/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+TpchOptions SmallTpch() {
+  TpchOptions o;
+  o.num_orders = 1500;
+  o.num_customers = 400;
+  o.num_suppliers = 300;
+  o.num_parts = 600;
+  o.num_splits = 24;
+  return o;
+}
+
+TEST(TpchGenTest, TableCardinalities) {
+  const auto options = SmallTpch();
+  TpchData data = GenerateTpch(options, 12);
+  EXPECT_EQ(data.orders->num_keys(), options.num_orders);
+  EXPECT_EQ(data.customer->num_keys(), options.num_customers);
+  EXPECT_EQ(data.supplier->num_keys(), options.num_suppliers);
+  EXPECT_EQ(data.part->num_keys(), options.num_parts);
+  EXPECT_EQ(data.nation->num_keys(), options.num_nations);
+  EXPECT_LE(data.partsupp->num_keys(), options.num_parts * 2);
+}
+
+TEST(TpchGenTest, LineItemsReferenceValidKeys) {
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  size_t checked = 0;
+  for (const auto& split : data.lineitem) {
+    for (const auto& rec : split.records) {
+      const auto f = Split(rec.value, '|');
+      ASSERT_EQ(f.size(), 7u);
+      EXPECT_TRUE(data.orders->Contains("O" + std::string(f[0])));
+      EXPECT_TRUE(data.part->Contains("P" + std::string(f[1])));
+      EXPECT_TRUE(data.supplier->Contains("S" + std::string(f[2])));
+      // Referential integrity of the compound partsupp key.
+      EXPECT_TRUE(data.partsupp->Contains("PS" + std::string(f[1]) + "_" +
+                                          std::string(f[2])));
+      if (++checked > 500) return;
+    }
+  }
+}
+
+TEST(TpchGenTest, LineitemsOfAnOrderAreConsecutive) {
+  // The property behind Q3's cache locality.
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  int switches = 0, records = 0;
+  std::string prev;
+  for (const auto& rec : data.lineitem[0].records) {
+    const std::string orderkey(Split(rec.value, '|')[0]);
+    if (orderkey != prev) ++switches;
+    prev = orderkey;
+    ++records;
+  }
+  // With ~4 lineitems per order, switches should be well below records...
+  // but splits are round-robin so each split sees every 24th record.
+  // Check the raw stream instead: regenerate with one split.
+  TpchOptions one_split = SmallTpch();
+  one_split.num_splits = 1;
+  TpchData stream = GenerateTpch(one_split, 12);
+  switches = 0;
+  records = 0;
+  prev.clear();
+  for (const auto& rec : stream.lineitem[0].records) {
+    const std::string orderkey(Split(rec.value, '|')[0]);
+    if (orderkey != prev) ++switches;
+    prev = orderkey;
+    ++records;
+  }
+  EXPECT_LT(switches, records / 2);
+}
+
+TEST(TpchGenTest, Dup10MultipliesLineitems) {
+  TpchOptions options = SmallTpch();
+  TpchData plain = GenerateTpch(options, 12);
+  options.dup_factor = 10;
+  TpchData dup = GenerateTpch(options, 12);
+  size_t plain_n = 0, dup_n = 0;
+  for (const auto& s : plain.lineitem) plain_n += s.records.size();
+  for (const auto& s : dup.lineitem) dup_n += s.records.size();
+  EXPECT_EQ(dup_n, plain_n * 10);
+  // Same index contents.
+  EXPECT_EQ(plain.orders->num_keys(), dup.orders->num_keys());
+}
+
+TEST(TpchQ3Test, StrategiesAgree) {
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  IndexJobConf conf = MakeTpchQ3Job(data);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, data.lineitem, Strategy::kBaseline);
+  auto cache =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kLookupCache);
+  auto repart =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kRepartition);
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(testing_util::Sorted(cache.CollectRecords()), expected);
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()), expected);
+  // Output rows: orderkey|orderdate|shippriority -> revenue.
+  const auto f = Split(expected[0].key, '|');
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_GT(std::strtod(expected[0].value.c_str(), nullptr), 0.0);
+}
+
+TEST(TpchQ3Test, OrdersCacheSeesLocality) {
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  IndexJobConf conf = MakeTpchQ3Job(data);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto cache =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kLookupCache);
+  ASSERT_EQ(cache.stats.head.size(), 2u);
+  // Orders (head op 0): consecutive lineitems share an order with
+  // round-robin split assignment spreading them, still decent hit rates
+  // at this small scale because 1500 orders fit in the 1024-entry caches.
+  EXPECT_LT(cache.stats.head[0].index[0].miss_ratio, 0.9);
+}
+
+TEST(TpchQ9Test, StrategiesAgree) {
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  IndexJobConf conf = MakeTpchQ9Job(data);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, data.lineitem, Strategy::kBaseline);
+  auto cache =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kLookupCache);
+  auto repart =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kRepartition);
+  const auto expected = testing_util::Sorted(base.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(testing_util::Sorted(cache.CollectRecords()), expected);
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()), expected);
+  // Output rows: nation|year -> amount; every nation|year key unique.
+  for (const auto& r : expected) {
+    EXPECT_EQ(r.key.rfind("nation_", 0), 0u);
+  }
+}
+
+TEST(TpchQ9Test, Dup10AgreesAndInflatesTheta) {
+  TpchOptions options = SmallTpch();
+  options.num_orders = 400;
+  options.dup_factor = 10;
+  TpchData data = GenerateTpch(options, 12);
+  IndexJobConf conf = MakeTpchQ9Job(data);
+  ClusterConfig config;
+  EFindJobRunner runner(config);
+  auto base = runner.RunWithStrategy(conf, data.lineitem, Strategy::kBaseline);
+  auto repart =
+      runner.RunWithStrategy(conf, data.lineitem, Strategy::kRepartition);
+  EXPECT_EQ(testing_util::Sorted(repart.CollectRecords()),
+            testing_util::Sorted(base.CollectRecords()));
+  // DUP10 drives the supplier duplicate factor way up.
+  EXPECT_GT(base.stats.head[0].index[0].theta, 5.0);
+}
+
+TEST(TpchQ9Test, FollowsMySqlJoinOrder) {
+  TpchData data = GenerateTpch(SmallTpch(), 12);
+  IndexJobConf conf = MakeTpchQ9Job(data);
+  ASSERT_EQ(conf.head_ops().size(), 4u);
+  EXPECT_EQ(conf.head_ops()[0]->name(), "q9_supplier");
+  EXPECT_EQ(conf.head_ops()[1]->name(), "q9_part");
+  // {PartSupp, Orders} are independent lookups on one operator (SS3.5).
+  EXPECT_EQ(conf.head_ops()[2]->num_indices(), 2);
+  EXPECT_EQ(conf.head_ops()[3]->name(), "q9_nation");
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,80 @@
+#include "workloads/tweets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+
+namespace efind {
+namespace {
+
+TweetOptions SmallTweets() {
+  TweetOptions o;
+  o.num_tweets = 3000;
+  o.num_users = 500;
+  o.num_cities = 10;
+  o.num_days = 5;
+  o.num_splits = 12;
+  return o;
+}
+
+TEST(TweetsTest, GeneratorShape) {
+  const auto options = SmallTweets();
+  TweetData data = GenerateTweets(options, 12);
+  EXPECT_EQ(data.user_profiles->num_keys(), options.num_users);
+  size_t total = 0;
+  for (const auto& split : data.tweets) {
+    for (const auto& rec : split.records) {
+      ++total;
+      const auto f = Split(rec.value, '|');
+      ASSERT_EQ(f.size(), 3u);
+      EXPECT_EQ(f[0].substr(0, 1), "U");
+      EXPECT_TRUE(data.user_profiles->Contains(std::string(f[0])));
+      const int day = std::stoi(std::string(f[1]));
+      EXPECT_GE(day, 0);
+      EXPECT_LT(day, options.num_days);
+      EXPECT_FALSE(f[2].empty());  // Keywords.
+    }
+  }
+  EXPECT_EQ(total, options.num_tweets);
+}
+
+TEST(TweetsTest, ProfilesCoverAllCities) {
+  const auto options = SmallTweets();
+  TweetData data = GenerateTweets(options, 12);
+  std::set<std::string> cities;
+  for (int u = 0; u < static_cast<int>(options.num_users); ++u) {
+    std::vector<IndexValue> out;
+    ASSERT_TRUE(
+        data.user_profiles->Get("U" + std::to_string(u), &out).ok());
+    cities.insert(std::string(Split(out[0].data, '|')[0]));
+  }
+  EXPECT_EQ(cities.size(), static_cast<size_t>(options.num_cities));
+}
+
+TEST(TweetsTest, JobHasOperatorsAtAllThreePositions) {
+  const auto options = SmallTweets();
+  TweetData data = GenerateTweets(options, 12);
+  IndexJobConf conf = MakeTweetTopicsJob(data, options);
+  EXPECT_EQ(conf.head_ops().size(), 1u);
+  EXPECT_EQ(conf.body_ops().size(), 1u);
+  EXPECT_EQ(conf.tail_ops().size(), 1u);
+  EXPECT_NE(conf.mapper(), nullptr);
+  EXPECT_NE(conf.reducer(), nullptr);
+  EXPECT_EQ(conf.AllOperators().size(), 3u);
+}
+
+TEST(TweetsTest, Deterministic) {
+  const auto options = SmallTweets();
+  TweetData a = GenerateTweets(options, 12);
+  TweetData b = GenerateTweets(options, 12);
+  ASSERT_EQ(a.tweets.size(), b.tweets.size());
+  for (size_t s = 0; s < a.tweets.size(); ++s) {
+    EXPECT_EQ(a.tweets[s].records, b.tweets[s].records);
+  }
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,90 @@
+#include "cluster/wave_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace efind {
+namespace {
+
+TEST(WaveSchedulerTest, EmptyInput) {
+  PhaseSchedule s = ScheduleWaves({}, 4);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_EQ(s.first_wave_size, 0u);
+}
+
+TEST(WaveSchedulerTest, SingleTask) {
+  PhaseSchedule s = ScheduleWaves({2.5}, 4);
+  EXPECT_DOUBLE_EQ(s.makespan, 2.5);
+  EXPECT_DOUBLE_EQ(s.first_wave_finish, 2.5);
+  EXPECT_EQ(s.first_wave_size, 1u);
+}
+
+TEST(WaveSchedulerTest, FewerTasksThanSlotsRunInParallel) {
+  PhaseSchedule s = ScheduleWaves({1.0, 2.0, 3.0}, 8);
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+  for (const auto& t : s.tasks) EXPECT_DOUBLE_EQ(t.start, 0.0);
+}
+
+TEST(WaveSchedulerTest, TwoWavesOnOneSlot) {
+  PhaseSchedule s = ScheduleWaves({1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(s.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start, 3.0);
+  EXPECT_EQ(s.first_wave_size, 1u);
+  EXPECT_DOUBLE_EQ(s.first_wave_finish, 1.0);
+}
+
+TEST(WaveSchedulerTest, FifoAssignsEarliestFreeSlot) {
+  // Slots: 2. Tasks 4,1,1,1: task1 -> slot0 (4s), task2 -> slot1 (1s),
+  // task3 -> slot1 at t=1, task4 -> slot1 at t=2. Makespan 4.
+  PhaseSchedule s = ScheduleWaves({4.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(s.tasks[3].start, 2.0);
+}
+
+TEST(WaveSchedulerTest, FirstWaveFinishIsMaxOfFirstSlotCount) {
+  PhaseSchedule s = ScheduleWaves({1.0, 5.0, 1.0, 1.0}, 2);
+  EXPECT_EQ(s.first_wave_size, 2u);
+  EXPECT_DOUBLE_EQ(s.first_wave_finish, 5.0);
+}
+
+TEST(WaveSchedulerTest, NonPositiveSlotsTreatedAsOne) {
+  PhaseSchedule s = ScheduleWaves({1.0, 1.0}, 0);
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+class WaveSchedulerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveSchedulerPropertyTest, MakespanBounds) {
+  const int slots = GetParam();
+  Rng rng(slots);
+  std::vector<double> durations;
+  double total = 0, longest = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double d = 0.1 + rng.NextDouble();
+    durations.push_back(d);
+    total += d;
+    longest = std::max(longest, d);
+  }
+  PhaseSchedule s = ScheduleWaves(durations, slots);
+  // Classic list-scheduling bounds: max(longest, total/slots) <= makespan
+  // <= total/slots + longest.
+  EXPECT_GE(s.makespan + 1e-9, std::max(longest, total / slots));
+  EXPECT_LE(s.makespan, total / slots + longest + 1e-9);
+  // No slot runs two tasks at once.
+  std::vector<double> slot_free(slots, 0.0);
+  for (const auto& t : s.tasks) {
+    EXPECT_GE(t.start + 1e-12, slot_free[t.slot]);
+    slot_free[t.slot] = t.finish;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, WaveSchedulerPropertyTest,
+                         ::testing::Values(1, 2, 7, 48, 96));
+
+}  // namespace
+}  // namespace efind

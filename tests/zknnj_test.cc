@@ -1,0 +1,137 @@
+#include "workloads/zknnj.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+#include "workloads/osm.h"
+
+namespace efind {
+namespace {
+
+OsmOptions SmallOsm() {
+  OsmOptions o;
+  o.num_a = 500;
+  o.num_b = 3000;
+  o.k = 10;
+  o.num_splits = 24;
+  return o;
+}
+
+ZknnjOptions DefaultZknnj() {
+  ZknnjOptions o;
+  o.k = 10;
+  o.alpha = 2;
+  o.epsilon = 0.05;  // Higher sampling at small scale for stable quantiles.
+  o.num_partitions = 16;
+  return o;
+}
+
+TEST(ZknnjTest, ProducesOneRowPerAPoint) {
+  OsmData data = GenerateOsm(SmallOsm(), 12);
+  ClusterConfig config;
+  JobRunner runner(config);
+  ZknnjResult result =
+      RunHZknnj(&runner, data, SmallOsm(), DefaultZknnj());
+  std::set<std::string> keys;
+  size_t rows = 0;
+  for (const auto& s : result.outputs) {
+    for (const auto& r : s.records) {
+      ++rows;
+      keys.insert(r.key);
+      EXPECT_EQ(r.key[0], 'A');
+      EXPECT_LE(Split(r.value, ',').size(), 10u);
+    }
+  }
+  EXPECT_EQ(rows, 500u);
+  EXPECT_EQ(keys.size(), 500u);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_GT(result.candidate_job_seconds, 0.0);
+}
+
+// zkNNJ is approximate; with alpha=2 shifts its recall against exact kNN
+// must be high (the H-zkNNJ paper reports very high quality at alpha=2).
+TEST(ZknnjTest, RecallAgainstBruteForce) {
+  const OsmOptions osm = SmallOsm();
+  OsmData data = GenerateOsm(osm, 12);
+  ClusterConfig config;
+  JobRunner runner(config);
+  ZknnjResult result = RunHZknnj(&runner, data, osm, DefaultZknnj());
+
+  std::map<std::string, const SpatialPoint*> a_by_key;
+  for (const auto& p : data.a_points) {
+    a_by_key["A" + std::to_string(p.id)] = &p;
+  }
+  size_t found = 0, total = 0;
+  for (const auto& s : result.outputs) {
+    for (const auto& r : s.records) {
+      const SpatialPoint* a = a_by_key.at(r.key);
+      const auto exact = BruteForceKnn(data.b_points, a->x, a->y, osm.k);
+      std::set<std::string> got;
+      for (const auto& id : Split(r.value, ',')) {
+        got.insert(std::string(id));
+      }
+      for (const auto& p : exact) {
+        ++total;
+        if (got.count(std::to_string(p.id))) ++found;
+      }
+    }
+  }
+  const double recall = static_cast<double>(found) / total;
+  EXPECT_GT(recall, 0.85) << "recall=" << recall;
+}
+
+TEST(ZknnjTest, MoreShiftsImproveRecall) {
+  const OsmOptions osm = SmallOsm();
+  OsmData data = GenerateOsm(osm, 12);
+  ClusterConfig config;
+  JobRunner runner(config);
+
+  auto recall_of = [&](int alpha) {
+    ZknnjOptions options = DefaultZknnj();
+    options.alpha = alpha;
+    ZknnjResult result = RunHZknnj(&runner, data, osm, options);
+    std::map<std::string, const SpatialPoint*> a_by_key;
+    for (const auto& p : data.a_points) {
+      a_by_key["A" + std::to_string(p.id)] = &p;
+    }
+    size_t found = 0, total = 0;
+    for (const auto& s : result.outputs) {
+      for (const auto& r : s.records) {
+        const SpatialPoint* a = a_by_key.at(r.key);
+        const auto exact = BruteForceKnn(data.b_points, a->x, a->y, osm.k);
+        std::set<std::string> got;
+        for (const auto& id : Split(r.value, ',')) {
+          got.insert(std::string(id));
+        }
+        for (const auto& p : exact) {
+          ++total;
+          if (got.count(std::to_string(p.id))) ++found;
+        }
+      }
+    }
+    return static_cast<double>(found) / total;
+  };
+
+  EXPECT_GE(recall_of(3) + 0.02, recall_of(1));
+}
+
+TEST(ZknnjTest, DeterministicAcrossRuns) {
+  const OsmOptions osm = SmallOsm();
+  OsmData data = GenerateOsm(osm, 12);
+  ClusterConfig config;
+  JobRunner runner(config);
+  ZknnjResult a = RunHZknnj(&runner, data, osm, DefaultZknnj());
+  ZknnjResult b = RunHZknnj(&runner, data, osm, DefaultZknnj());
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].records, b.outputs[i].records);
+  }
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,72 @@
+#include "workloads/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace efind {
+namespace {
+
+TEST(InterleaveBitsTest, KnownValues) {
+  EXPECT_EQ(InterleaveBits(0, 0), 0u);
+  EXPECT_EQ(InterleaveBits(1, 0), 1u);
+  EXPECT_EQ(InterleaveBits(0, 1), 2u);
+  EXPECT_EQ(InterleaveBits(1, 1), 3u);
+  EXPECT_EQ(InterleaveBits(2, 0), 4u);
+  EXPECT_EQ(InterleaveBits(0b11, 0b11), 0b1111u);
+  EXPECT_EQ(InterleaveBits(0b10, 0b01), 0b0110u);
+}
+
+TEST(InterleaveBitsTest, MonotoneInEachCoordinate) {
+  // Fixing one coordinate, the z-value grows with the other.
+  for (uint32_t y : {0u, 5u, 1000u}) {
+    uint64_t prev = InterleaveBits(0, y);
+    for (uint32_t x = 1; x < 100; ++x) {
+      const uint64_t z = InterleaveBits(x, y);
+      EXPECT_GT(z, prev);
+      prev = z;
+    }
+  }
+}
+
+TEST(ZValueTest, CornersOfBounds) {
+  const Rect bounds{0, 0, 1, 1};
+  EXPECT_EQ(ZValue(0, 0, bounds), 0u);
+  // The top corner uses all 62 bits.
+  EXPECT_GT(ZValue(1, 1, bounds), (1ULL << 60));
+}
+
+TEST(ZValueTest, ClampsOutOfBounds) {
+  const Rect bounds{0, 0, 1, 1};
+  EXPECT_EQ(ZValue(-5, -5, bounds), ZValue(0, 0, bounds));
+  EXPECT_EQ(ZValue(7, 9, bounds), ZValue(1, 1, bounds));
+}
+
+// The property zkNNJ rests on: points close in z-value are close in space
+// (the converse fails sometimes, which is what the random shifts fix).
+TEST(ZValueTest, ZNeighborsAreSpatiallyClose) {
+  const Rect bounds{0, 0, 100, 100};
+  Rng rng(4);
+  std::vector<std::pair<uint64_t, std::pair<double, double>>> pts;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    const double y = rng.NextDouble() * 100;
+    pts.push_back({ZValue(x, y, bounds), {x, y}});
+  }
+  std::sort(pts.begin(), pts.end());
+  double total_dist = 0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double dx = pts[i].second.first - pts[i - 1].second.first;
+    const double dy = pts[i].second.second - pts[i - 1].second.second;
+    total_dist += std::sqrt(dx * dx + dy * dy);
+  }
+  // Average distance between z-adjacent points is near the expected
+  // nearest-neighbor distance (~0.5 * 100/sqrt(5000) ~ 0.7), far below the
+  // ~52 expected for random pairs.
+  EXPECT_LT(total_dist / (pts.size() - 1), 5.0);
+}
+
+}  // namespace
+}  // namespace efind
