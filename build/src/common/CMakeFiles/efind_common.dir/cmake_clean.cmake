@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_common.dir/fm_sketch.cc.o"
+  "CMakeFiles/efind_common.dir/fm_sketch.cc.o.d"
+  "CMakeFiles/efind_common.dir/random.cc.o"
+  "CMakeFiles/efind_common.dir/random.cc.o.d"
+  "CMakeFiles/efind_common.dir/running_stats.cc.o"
+  "CMakeFiles/efind_common.dir/running_stats.cc.o.d"
+  "CMakeFiles/efind_common.dir/status.cc.o"
+  "CMakeFiles/efind_common.dir/status.cc.o.d"
+  "libefind_common.a"
+  "libefind_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
