@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("ablation_boundary");
 
   ClusterConfig config;

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("ablation_cache_size");
 
   ClusterConfig config;

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   using testing_util::ToyWorld;
   bench::FigureHarness harness("ablation_cost_model");
 

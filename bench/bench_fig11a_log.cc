@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig11a_log");
 
   ClusterConfig config;

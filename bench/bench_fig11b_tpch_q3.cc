@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig11b_tpch_q3");
   TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/1), 12);
   IndexJobConf conf = MakeTpchQ3Job(data);

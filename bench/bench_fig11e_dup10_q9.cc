@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig11e_dup10_q9");
   TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/10), 12);
   IndexJobConf conf = MakeTpchQ9Job(data);

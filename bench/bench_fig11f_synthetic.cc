@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig11f_synthetic");
 
   ClusterConfig config;

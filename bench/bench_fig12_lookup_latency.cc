@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig12_lookup_latency");
 
   ClusterConfig config;

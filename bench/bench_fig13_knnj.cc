@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
+  bench::InitThreads(&argc, argv);
   bench::FigureHarness harness("fig13_knnj");
 
   ClusterConfig config;

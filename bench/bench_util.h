@@ -4,42 +4,76 @@
 // Shared harness for the per-figure benchmarks. Each bench binary:
 //   1. builds its workload and runs every experiment configuration once,
 //      printing a paper-style table (strategy rows, speedups vs baseline);
-//   2. registers the measured simulated times as google-benchmark entries
+//   2. prints one JSON line per configuration with the host wall-clock time
+//      (the execution-engine speedup signal; see --threads below);
+//   3. registers the measured simulated times as google-benchmark entries
 //      (manual time), so standard benchmark tooling sees one entry per bar.
 //
 // Times are SIMULATED cluster seconds (see DESIGN.md §3) — the shapes, not
-// the absolute values, are the reproduction target.
+// the absolute values, are the reproduction target. Wall-clock milliseconds
+// measure the engine itself, not the modeled cluster.
+//
+// `--threads=N` (or EFIND_THREADS=N in the environment) selects the
+// execution engine's worker-thread count; results are bit-identical for any
+// value. Call `InitThreads(&argc, argv)` first thing in main.
 
 #ifndef EFIND_BENCH_BENCH_UTIL_H_
 #define EFIND_BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "efind/efind_job_runner.h"
 
 namespace efind {
 namespace bench {
 
-/// One measured bar: configuration label -> simulated seconds.
+/// Strips a `--threads=N` argument from the command line and exports it as
+/// EFIND_THREADS so every runner (and nested JobRunner) picks it up.
+/// Returns the resolved worker-thread count.
+inline int InitThreads(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int n = std::atoi(argv[i] + 10);
+      if (n > 0) {
+        const std::string value = std::to_string(n);
+        setenv("EFIND_THREADS", value.c_str(), /*overwrite=*/1);
+      }
+      continue;  // Consumed: benchmark's own flag parser must not see it.
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return ResolveThreadCount(0);
+}
+
+/// One measured bar: configuration label -> simulated seconds, plus the
+/// host wall-clock time the engine took to produce it.
 struct Measurement {
   std::string name;
   double sim_seconds = 0;
   std::string plan;
+  double wall_ms = 0;
 };
 
-/// Collects measurements and emits both the table and benchmark entries.
+/// Collects measurements and emits the table, the JSON wall-clock report,
+/// and benchmark entries.
 class FigureHarness {
  public:
   explicit FigureHarness(std::string figure) : figure_(std::move(figure)) {}
 
   void Add(const std::string& name, double sim_seconds,
-           const std::string& plan = "") {
-    measurements_.push_back({name, sim_seconds, plan});
+           const std::string& plan = "", double wall_ms = 0) {
+    measurements_.push_back({name, sim_seconds, plan, wall_ms});
   }
 
   /// Runs the six paper configurations for one (conf, input) point:
@@ -57,31 +91,57 @@ class FigureHarness {
     auto label = [&](const char* s) {
       return prefix.empty() ? std::string(s) : prefix + "/" + s;
     };
-    auto base = runner->RunWithStrategy(conf, input, Strategy::kBaseline);
-    Add(label("base"), base.sim_seconds, base.plan.ToString());
-    auto cache = runner->RunWithStrategy(conf, input, Strategy::kLookupCache);
-    Add(label("cache"), cache.sim_seconds, cache.plan.ToString());
-    auto repart =
-        repart_plan != nullptr
-            ? runner->RunWithPlan(conf, input, *repart_plan)
-            : runner->RunWithStrategy(conf, input, Strategy::kRepartition);
-    Add(label("repart"), repart.sim_seconds, repart.plan.ToString());
+    auto timed = [&](const std::string& name, auto&& run) {
+      const auto start = std::chrono::steady_clock::now();
+      auto result = run();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      return std::pair<decltype(result), double>(std::move(result), wall_ms);
+    };
+    auto [base, base_ms] = timed(label("base"), [&] {
+      return runner->RunWithStrategy(conf, input, Strategy::kBaseline);
+    });
+    Add(label("base"), base.sim_seconds, base.plan.ToString(), base_ms);
+    auto [cache, cache_ms] = timed(label("cache"), [&] {
+      return runner->RunWithStrategy(conf, input, Strategy::kLookupCache);
+    });
+    Add(label("cache"), cache.sim_seconds, cache.plan.ToString(), cache_ms);
+    auto [repart, repart_ms] = timed(label("repart"), [&] {
+      return repart_plan != nullptr
+                 ? runner->RunWithPlan(conf, input, *repart_plan)
+                 : runner->RunWithStrategy(conf, input,
+                                           Strategy::kRepartition);
+    });
+    Add(label("repart"), repart.sim_seconds, repart.plan.ToString(),
+        repart_ms);
     if (include_idxloc) {
-      auto idxloc =
-          idxloc_plan != nullptr
-              ? runner->RunWithPlan(conf, input, *idxloc_plan)
-              : runner->RunWithStrategy(conf, input,
-                                        Strategy::kIndexLocality);
-      Add(label("idxloc"), idxloc.sim_seconds, idxloc.plan.ToString());
+      auto [idxloc, idxloc_ms] = timed(label("idxloc"), [&] {
+        return idxloc_plan != nullptr
+                   ? runner->RunWithPlan(conf, input, *idxloc_plan)
+                   : runner->RunWithStrategy(conf, input,
+                                             Strategy::kIndexLocality);
+      });
+      Add(label("idxloc"), idxloc.sim_seconds, idxloc.plan.ToString(),
+          idxloc_ms);
     }
-    CollectedStats stats = runner->CollectStatistics(conf, input);
-    JobPlan plan = runner->PlanFromStats(conf, stats);
-    auto optimized = runner->RunWithPlan(conf, input, plan, &stats);
-    Add(label("optimized"), optimized.sim_seconds, plan.ToString());
-    auto dynamic = runner->RunDynamic(conf, input);
+    auto [optimized, optimized_ms] = timed(label("optimized"), [&] {
+      CollectedStats stats = runner->CollectStatistics(conf, input);
+      JobPlan plan = runner->PlanFromStats(conf, stats);
+      auto result = runner->RunWithPlan(conf, input, plan, &stats);
+      result.plan = plan;
+      return result;
+    });
+    Add(label("optimized"), optimized.sim_seconds,
+        optimized.plan.ToString(), optimized_ms);
+    auto [dynamic, dynamic_ms] = timed(label("dynamic"), [&] {
+      return runner->RunDynamic(conf, input);
+    });
     Add(label("dynamic"), dynamic.sim_seconds,
         dynamic.plan.ToString() +
-            (dynamic.replanned ? " [replanned]" : " [kept]"));
+            (dynamic.replanned ? " [replanned]" : " [kept]"),
+        dynamic_ms);
   }
 
   /// Prints the paper-style table. Speedups are relative to the first
@@ -117,6 +177,18 @@ class FigureHarness {
     std::fflush(stdout);
   }
 
+  /// Prints one JSON line per measurement with the engine's host wall-clock
+  /// time; `threads` is the worker-thread count used.
+  void PrintJsonReport() const {
+    const int threads = ResolveThreadCount(0);
+    for (const auto& m : measurements_) {
+      std::printf(
+          "{\"bench\": \"%s/%s\", \"wall_ms\": %.3f, \"threads\": %d}\n",
+          figure_.c_str(), m.name.c_str(), m.wall_ms, threads);
+    }
+    std::fflush(stdout);
+  }
+
   /// Registers one manual-time benchmark per measurement.
   void RegisterBenchmarks() const {
     for (const auto& m : measurements_) {
@@ -143,9 +215,11 @@ class FigureHarness {
   std::vector<Measurement> measurements_;
 };
 
-/// Standard main body: print the table, then hand over to benchmark.
+/// Standard main body: print the table and JSON report, then hand over to
+/// benchmark.
 inline int FinishBench(FigureHarness& harness, int argc, char** argv) {
   harness.PrintTable();
+  harness.PrintJsonReport();
   harness.RegisterBenchmarks();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -29,10 +29,17 @@ struct EFindJobRunner::RunContext {
 
 namespace {
 
-uint64_t BytesOfSplits(const std::vector<InputSplit>& splits) {
+uint64_t BytesOfView(const std::vector<const InputSplit*>& splits) {
   uint64_t n = 0;
-  for (const auto& s : splits) n += s.size_bytes();
+  for (const InputSplit* s : splits) n += s->size_bytes();
   return n;
+}
+
+std::vector<const InputSplit*> MakeView(const std::vector<InputSplit>& splits) {
+  std::vector<const InputSplit*> view;
+  view.reserve(splits.size());
+  for (const auto& s : splits) view.push_back(&s);
+  return view;
 }
 
 const char* PosTag(OperatorPosition pos) {
@@ -75,15 +82,23 @@ class PipelineExecutor {
       cur_ = std::move(final_job);
       FinishJob("final");
     }
-    result_->outputs = std::move(data_);
+    TakeOutputs();
   }
 
   /// Runs all intermediate jobs and returns the final job's config without
-  /// executing it (its input is `data()`). Requires that no tail operator
+  /// executing it (its input is `view()`). Requires that no tail operator
   /// needs a shuffle (holds for baseline tail plans, which is what the
   /// adaptive runtime uses this for).
   JobConfig Prepare(const std::vector<InputSplit>& input) {
-    data_ = input;
+    return Prepare(MakeView(input));
+  }
+
+  /// As above over a borrowed view of splits; the pointed-to splits must
+  /// stay valid until the next job boundary consumes them. No records are
+  /// copied.
+  JobConfig Prepare(std::vector<const InputSplit*> input) {
+    view_ = std::move(input);
+    view_is_data_ = false;
     reduce_side_ = false;
     for (size_t i = 0; i < conf_.head_ops().size(); ++i) {
       ExpandOperator(OperatorPosition::kHead, i);
@@ -115,17 +130,19 @@ class PipelineExecutor {
   /// (dynamic plan change in the middle of the reduce phase, Fig. 10b:
   /// the remaining reduce tasks' outputs flow through the new tail plan).
   void RunTailPipeline(const std::vector<InputSplit>& input) {
-    data_ = input;
+    view_ = MakeView(input);
+    view_is_data_ = false;
     reduce_side_ = false;
     first_job_ = false;  // Input comes from a prior job: boundary applies.
     for (size_t i = 0; i < conf_.tail_ops().size(); ++i) {
       ExpandOperator(OperatorPosition::kTail, i);
     }
     if (!cur_.map_stages.empty() || cur_.reducer) FinishJob("tail");
-    result_->outputs = std::move(data_);
+    TakeOutputs();
   }
 
-  std::vector<InputSplit>& data() { return data_; }
+  /// The current intermediate data as a borrowed view.
+  const std::vector<const InputSplit*>& view() const { return view_; }
 
  private:
   const std::vector<std::shared_ptr<IndexOperator>>& OpsAt(
@@ -191,9 +208,9 @@ class PipelineExecutor {
       // parallel across nodes); this job's map tasks charge the retrieval
       // as their input read, so only the store side is added here.
       summary.boundary_seconds =
-          config_.DfsStoreSeconds(BytesOfSplits(data_)) / config_.num_nodes;
+          config_.DfsStoreSeconds(BytesOfView(view_)) / config_.num_nodes;
     }
-    JobResult job = job_runner_->Run(cur_, data_);
+    JobResult job = job_runner_->Run(cur_, view_);
     summary.map_seconds = job.map_seconds;
     summary.reduce_seconds = job.reduce_seconds;
     summary.map_tasks = job.num_map_tasks;
@@ -202,9 +219,32 @@ class PipelineExecutor {
     result_->counters.Merge(job.counters);
     result_->sim_seconds +=
         job.sim_seconds + summary.boundary_seconds;
-    data_ = std::move(job.outputs);
+    AdoptData(std::move(job.outputs));
     first_job_ = false;
     StartJob();
+  }
+
+  /// Takes ownership of `splits` as the current intermediate data and
+  /// points the view at it.
+  void AdoptData(std::vector<InputSplit> splits) {
+    data_ = std::move(splits);
+    view_ = MakeView(data_);
+    view_is_data_ = true;
+  }
+
+  /// Moves the current data into result_->outputs (materializing borrowed
+  /// splits only if no job ever ran, i.e. the pipeline was empty).
+  void TakeOutputs() {
+    if (view_is_data_) {
+      result_->outputs = std::move(data_);
+    } else {
+      result_->outputs.clear();
+      result_->outputs.reserve(view_.size());
+      for (const InputSplit* s : view_) result_->outputs.push_back(*s);
+    }
+    data_.clear();
+    view_.clear();
+    view_is_data_ = false;
   }
 
   void ExpandOperator(OperatorPosition pos, size_t op_index) {
@@ -318,16 +358,18 @@ class PipelineExecutor {
         // matters). Chunk cuts fall between records; a group cut in two
         // costs one extra lookup, nothing more.
         uint64_t total_records = 0;
-        for (const auto& split : data_) total_records += split.records.size();
+        for (const InputSplit* split : view_) {
+          total_records += split->records.size();
+        }
         std::vector<InputSplit> resplit;
-        for (size_t r = 0; r < data_.size(); ++r) {
+        for (size_t r = 0; r < view_.size(); ++r) {
           const int p = static_cast<int>(r);
           std::vector<int> hosts;
           for (int n = 0; n < config_.num_nodes; ++n) {
             if (scheme->NodeHostsPartition(n, p)) hosts.push_back(n);
           }
           if (hosts.empty()) hosts.push_back(p % config_.num_nodes);
-          const auto& records = data_[r].records;
+          const auto& records = view_[r]->records;
           const size_t n_rec = records.size();
           // Chunk count proportional to the partition's share of the data
           // (big partitions = more HDFS chunks), so skewed partitions do
@@ -354,7 +396,7 @@ class PipelineExecutor {
             }
           }
         }
-        data_ = std::move(resplit);
+        AdoptData(std::move(resplit));
         cur_.map_input_remote = true;
       }
       cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
@@ -386,7 +428,12 @@ class PipelineExecutor {
   CostModel cost_model_;
 
   JobConfig cur_;
+  /// Intermediate splits owned by the executor (outputs of the last job),
+  /// when `view_is_data_`. `view_` is what the next job reads — it points
+  /// either into `data_` or into caller-owned splits (zero-copy input).
   std::vector<InputSplit> data_;
+  std::vector<const InputSplit*> view_;
+  bool view_is_data_ = false;
   bool reduce_side_ = false;
   bool first_job_ = true;
   int job_counter_ = 0;
@@ -399,7 +446,9 @@ EFindJobRunner::EFindJobRunner(const ClusterConfig& config,
     : config_(config),
       options_(options),
       job_runner_(config),
-      optimizer_(config, options.optimizer) {}
+      optimizer_(config, options.optimizer) {
+  job_runner_.set_num_threads(options_.threads);
+}
 
 std::unique_ptr<EFindJobRunner::RunContext> EFindJobRunner::MakeRunContext(
     const IndexJobConf& conf) const {
@@ -570,14 +619,15 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
   // file order (locality-driven), so the statistics sample is spread over
   // the whole input. Model that with a strided schedule: the first wave
   // takes every (num_waves)-th split, making phenomena like DUP10's
-  // file-level duplication visible to the collected statistics.
-  std::vector<InputSplit> scheduled;
+  // file-level duplication visible to the collected statistics. The
+  // schedule is a view of the caller's splits — no records are copied.
+  std::vector<const InputSplit*> scheduled;
   scheduled.reserve(total_splits);
   const size_t num_waves =
       wave > 0 ? (total_splits + wave - 1) / wave : 1;
   for (size_t r = 0; r < num_waves; ++r) {
     for (size_t i = r; i < total_splits; i += num_waves) {
-      scheduled.push_back(input[i]);
+      scheduled.push_back(&input[i]);
     }
   }
 
@@ -618,14 +668,14 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
     EFindRunResult sub;
     PipelineExecutor px2(&job_runner_, config_, options_, conf, new_plan,
                          rc.get(), &wave_stats, &sub);
-    std::vector<InputSplit> remaining(scheduled.begin() + wave,
-                                      scheduled.end());
-    final_job = px2.Prepare(remaining);
+    std::vector<const InputSplit*> remaining(scheduled.begin() + wave,
+                                             scheduled.end());
+    final_job = px2.Prepare(std::move(remaining));
     elapsed += sub.sim_seconds;
     for (auto& j : sub.jobs) result.jobs.push_back(j);
     result.counters.Merge(sub.counters);
     rest_wave =
-        job_runner_.RunMapPhase(final_job, px2.data(), 0, px2.data().size());
+        job_runner_.RunMapPhase(final_job, px2.view(), 0, px2.view().size());
   }
   elapsed += rest_wave.schedule.makespan;
   for (const auto& t : rest_wave.tasks) result.counters.Merge(t.counters);

@@ -38,6 +38,10 @@ struct EFindOptions {
   double plan_change_cost_sec = 0.02;
   /// Job-boundary placement for shuffle strategies (ablation knob).
   BoundaryPolicy boundary_policy = BoundaryPolicy::kAuto;
+  /// Worker threads for task execution. 0 (default) resolves via
+  /// EFIND_THREADS, else hardware concurrency; results are bit-identical
+  /// for any value (see JobRunner::set_num_threads).
+  int threads = 0;
 };
 
 /// Statistics snapshot for every operator of a job, parallel to the conf's

@@ -56,15 +56,17 @@ PreProcessStage::PreProcessStage(std::shared_ptr<IndexOperator> op,
                                  std::string counter_prefix)
     : op_(std::move(op)),
       runtime_(runtime),
-      counter_prefix_(std::move(counter_prefix)) {}
+      counter_prefix_(std::move(counter_prefix)),
+      pre_inputs_(counter_prefix_ + ".pre.inputs") {}
 
 std::string PreProcessStage::name() const {
   return counter_prefix_ + ".pre";
 }
 
 void PreProcessStage::BeginTask(TaskContext* ctx) {
-  (void)ctx;
-  if (runtime_ != nullptr) runtime_->PreBeginTask();
+  // Register this task's collector up front so its merge runs even for
+  // tasks that see no records.
+  if (runtime_ != nullptr) runtime_->TaskLocal(ctx);
 }
 
 void PreProcessStage::Process(Record record, TaskContext* ctx, Emitter* out) {
@@ -81,16 +83,11 @@ void PreProcessStage::Process(Record record, TaskContext* ctx, Emitter* out) {
   record.attachment = std::move(attachment);
 
   if (runtime_ != nullptr) {
-    runtime_->PreRecord(input_bytes, record.size_bytes(), keys);
+    runtime_->TaskLocal(ctx)->PreRecord(input_bytes, record.size_bytes(),
+                                        keys);
   }
-  ctx->counters()->Increment(counter_prefix_ + ".pre.inputs");
+  ctx->counters()->Increment(pre_inputs_);
   out->Emit(std::move(record));
-}
-
-void PreProcessStage::EndTask(TaskContext* ctx, Emitter* out) {
-  (void)ctx;
-  (void)out;
-  if (runtime_ != nullptr) runtime_->PreEndTask();
 }
 
 // --------------------------------------------------------- inline lookup --
@@ -107,11 +104,17 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
       config_(config),
       counter_prefix_(std::move(counter_prefix)) {
   caches_.resize(tasks_.size());
+  counter_names_.reserve(tasks_.size());
   for (size_t t = 0; t < tasks_.size(); ++t) {
     if (tasks_[t].use_cache) {
       caches_[t] =
           std::make_unique<NodeCaches>(config_->num_nodes, cache_capacity);
     }
+    const std::string base =
+        counter_prefix_ + ".idx" + std::to_string(tasks_[t].index);
+    counter_names_.push_back({CounterHandle(base + ".lookups"),
+                              CounterHandle(base + ".cache_hits"),
+                              CounterHandle(base + ".lookup_errors")});
   }
 }
 
@@ -119,51 +122,45 @@ std::string InlineLookupStage::name() const {
   return counter_prefix_ + ".lookup";
 }
 
-CachedResult InlineLookupStage::LookupOne(int j, bool use_cache,
-                                          const std::string& ik,
-                                          TaskContext* ctx) {
-  const std::string counter_base =
-      counter_prefix_ + ".idx" + std::to_string(j);
-  // Locate this index's cache (if caching).
-  LruCache<std::string, CachedResult>* cache = nullptr;
-  if (use_cache) {
-    for (size_t t = 0; t < tasks_.size(); ++t) {
-      if (tasks_[t].index == j && caches_[t]) {
-        cache = &caches_[t]->ForNode(ctx->node_id());
-        break;
-      }
-    }
-  }
+CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
+                                          TaskContext* ctx,
+                                          OperatorTaskStats* stats) {
+  const int j = tasks_[t].index;
+  const TaskCounters& names = counter_names_[t];
+  // This task slot's cache for the node the task runs on (if caching).
+  // Safe as a member: a node's tasks are serialized on one strand.
+  LruCache<std::string, CachedResult>* cache =
+      caches_[t] ? &caches_[t]->ForNode(ctx->node_id()) : nullptr;
 
   if (cache != nullptr) {
     ctx->AddSimTime(config_->cache_probe_sec);
     CachedResult cached;
     if (cache->Get(ik, &cached)) {
-      if (runtime_ != nullptr) runtime_->CacheProbe(j, /*miss=*/false);
-      ctx->counters()->Increment(counter_base + ".cache_hits");
+      if (stats != nullptr) stats->CacheProbe(j, /*miss=*/false);
+      ctx->counters()->Increment(names.cache_hits);
       return cached;
     }
-    if (runtime_ != nullptr) runtime_->CacheProbe(j, /*miss=*/true);
-  } else if (runtime_ != nullptr) {
+    if (stats != nullptr) stats->CacheProbe(j, /*miss=*/true);
+  } else if (stats != nullptr) {
     // No real cache: feed the shadow cache so R can be estimated for
     // re-optimization (paper §4.2).
-    runtime_->ShadowProbe(j, ctx->node_id(), ik);
+    stats->ShadowProbe(j, ctx->node_id(), ik);
   }
 
   // Remote lookup: network round trip plus index service time.
   CachedResult result;
   const Status status = op_->accessors()[j]->Lookup(ik, &result);
   if (!status.ok() && !status.IsNotFound()) {
-    ctx->counters()->Increment(counter_base + ".lookup_errors");
+    ctx->counters()->Increment(names.lookup_errors);
     result.clear();
   }
   const uint64_t result_bytes = ResultBytes(result);
   const double service = op_->accessors()[j]->ServiceSeconds(result_bytes);
   ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
                   config_->RemoteLookupSeconds(ik.size() + result_bytes));
-  ctx->counters()->Increment(counter_base + ".lookups");
-  if (runtime_ != nullptr) {
-    runtime_->LookupPerformed(j, ik.size(), result_bytes, service);
+  ctx->counters()->Increment(names.lookups);
+  if (stats != nullptr) {
+    stats->LookupPerformed(j, ik.size(), result_bytes, service);
   }
   if (cache != nullptr) cache->Put(ik, result);
   return result;
@@ -175,15 +172,17 @@ void InlineLookupStage::Process(Record record, TaskContext* ctx,
     out->Emit(std::move(record));
     return;
   }
+  OperatorTaskStats* stats =
+      runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr;
   auto attachment = MutableAttachment(&record);
-  for (const InlineIndexTask& task : tasks_) {
-    const int j = task.index;
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const int j = tasks_[t].index;
     if (j < 0 || j >= static_cast<int>(attachment->keys.size())) continue;
     auto& keys = attachment->keys[j];
     auto& results = attachment->results[j];
     results.resize(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
-      results[i] = LookupOne(j, task.use_cache, keys[i], ctx);
+      results[i] = LookupOne(t, keys[i], ctx, stats);
     }
   }
   record.attachment = std::move(attachment);
@@ -204,33 +203,32 @@ std::string PostProcessStage::name() const {
 }
 
 void PostProcessStage::BeginTask(TaskContext* ctx) {
-  (void)ctx;
-  if (runtime_ != nullptr) runtime_->PostBeginTask();
+  if (runtime_ != nullptr) runtime_->TaskLocal(ctx);
 }
 
 namespace {
 
-// Wraps the downstream emitter to meter postProcess output sizes.
+// Wraps the downstream emitter to meter postProcess output sizes into the
+// current task's collector.
 class MeteringEmitter : public Emitter {
  public:
-  MeteringEmitter(Emitter* out, OperatorRuntime* runtime)
-      : out_(out), runtime_(runtime) {}
+  MeteringEmitter(Emitter* out, OperatorTaskStats* stats)
+      : out_(out), stats_(stats) {}
 
   void Emit(Record record) override {
-    if (runtime_ != nullptr) runtime_->PostRecord(record.size_bytes());
+    if (stats_ != nullptr) stats_->PostRecord(record.size_bytes());
     out_->Emit(std::move(record));
   }
 
  private:
   Emitter* out_;
-  OperatorRuntime* runtime_;
+  OperatorTaskStats* stats_;
 };
 
 }  // namespace
 
 void PostProcessStage::Process(Record record, TaskContext* ctx,
                                Emitter* out) {
-  (void)ctx;
   IndexResultLists results;
   if (record.attachment) {
     results = record.attachment->results;
@@ -242,14 +240,9 @@ void PostProcessStage::Process(Record record, TaskContext* ctx,
   }
   results.resize(op_->num_indices());
   record.attachment = nullptr;
-  MeteringEmitter metering(out, runtime_);
+  MeteringEmitter metering(
+      out, runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr);
   op_->PostProcess(record, results, &metering);
-}
-
-void PostProcessStage::EndTask(TaskContext* ctx, Emitter* out) {
-  (void)ctx;
-  (void)out;
-  if (runtime_ != nullptr) runtime_->PostEndTask();
 }
 
 // ------------------------------------------------------------ shuffle key --
@@ -258,7 +251,8 @@ ShuffleKeyStage::ShuffleKeyStage(std::shared_ptr<IndexOperator> op, int index,
                                  std::string counter_prefix)
     : op_(std::move(op)),
       index_(index),
-      counter_prefix_(std::move(counter_prefix)) {}
+      counter_prefix_(std::move(counter_prefix)),
+      shuffle_skipped_(counter_prefix_ + ".shuffle_skipped") {}
 
 std::string ShuffleKeyStage::name() const {
   return counter_prefix_ + ".shufkey" + std::to_string(index_);
@@ -268,7 +262,7 @@ void ShuffleKeyStage::Process(Record record, TaskContext* ctx, Emitter* out) {
   if (!record.attachment ||
       index_ >= static_cast<int>(record.attachment->keys.size()) ||
       record.attachment->keys[index_].size() != 1) {
-    ctx->counters()->Increment(counter_prefix_ + ".shuffle_skipped");
+    ctx->counters()->Increment(shuffle_skipped_);
     out->Emit(std::move(record));
     return;
   }
@@ -301,21 +295,31 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
       local_(local),
       runtime_(runtime),
       config_(config),
-      counter_prefix_(std::move(counter_prefix)) {}
+      counter_prefix_(std::move(counter_prefix)),
+      lookups_(counter_prefix_ + ".idx" + std::to_string(index_) +
+               ".lookups"),
+      lookup_errors_(counter_prefix_ + ".idx" + std::to_string(index_) +
+                     ".lookup_errors"),
+      lookup_reuses_(counter_prefix_ + ".idx" + std::to_string(index_) +
+                     ".lookup_reuses") {}
 
 std::string GroupedLookupStage::name() const {
   return counter_prefix_ + ".grouped_lookup" + std::to_string(index_);
 }
 
-void GroupedLookupStage::BeginTask(TaskContext* ctx) {
-  (void)ctx;
-  memo_valid_ = false;
-  memo_key_.clear();
-  memo_result_.clear();
+GroupedLookupStage::Memo* GroupedLookupStage::MemoFor(TaskContext* ctx) const {
+  auto* existing = static_cast<Memo*>(ctx->FindTaskState(this));
+  if (existing != nullptr) return existing;
+  auto memo = std::make_shared<Memo>();
+  Memo* raw = memo.get();
+  ctx->AddTaskState(this, std::move(memo));
+  return raw;
 }
 
 void GroupedLookupStage::Process(Record record, TaskContext* ctx,
                                  Emitter* out) {
+  OperatorTaskStats* stats =
+      runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr;
   if (!record.attachment || !record.attachment->has_saved_key) {
     // Record skipped the shuffle (it extracted zero or several keys for
     // this index). Resolve its lookups directly (remote) so postProcess
@@ -327,13 +331,11 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
       const auto& keys = attachment->keys[index_];
       auto& results = attachment->results[index_];
       results.resize(keys.size());
-      const std::string counter_base =
-          counter_prefix_ + ".idx" + std::to_string(index_);
       for (size_t i = 0; i < keys.size(); ++i) {
         CachedResult result;
         const Status status = op_->accessors()[index_]->Lookup(keys[i], &result);
         if (!status.ok() && !status.IsNotFound()) {
-          ctx->counters()->Increment(counter_base + ".lookup_errors");
+          ctx->counters()->Increment(lookup_errors_);
           result.clear();
         }
         const uint64_t result_bytes = ResultBytes(result);
@@ -343,10 +345,10 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
                         op_->accessors()[index_]->RemoteOverheadSeconds() +
                         config_->RemoteLookupSeconds(keys[i].size() +
                                                      result_bytes));
-        ctx->counters()->Increment(counter_base + ".lookups");
-        if (runtime_ != nullptr) {
-          runtime_->LookupPerformed(index_, keys[i].size(), result_bytes,
-                                    service);
+        ctx->counters()->Increment(lookups_);
+        if (stats != nullptr) {
+          stats->LookupPerformed(index_, keys[i].size(), result_bytes,
+                                 service);
         }
         results[i] = std::move(result);
       }
@@ -356,14 +358,13 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
     return;
   }
   const std::string ik = record.key;
-  const std::string counter_base =
-      counter_prefix_ + ".idx" + std::to_string(index_);
+  Memo* memo = MemoFor(ctx);
 
-  if (!memo_valid_ || memo_key_ != ik) {
+  if (!memo->valid || memo->key != ik) {
     CachedResult result;
     const Status status = op_->accessors()[index_]->Lookup(ik, &result);
     if (!status.ok() && !status.IsNotFound()) {
-      ctx->counters()->Increment(counter_base + ".lookup_errors");
+      ctx->counters()->Increment(lookup_errors_);
       result.clear();
     }
     const uint64_t result_bytes = ResultBytes(result);
@@ -378,15 +379,15 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
                       op_->accessors()[index_]->RemoteOverheadSeconds() +
                       config_->RemoteLookupSeconds(ik.size() + result_bytes));
     }
-    ctx->counters()->Increment(counter_base + ".lookups");
-    if (runtime_ != nullptr) {
-      runtime_->LookupPerformed(index_, ik.size(), result_bytes, service);
+    ctx->counters()->Increment(lookups_);
+    if (stats != nullptr) {
+      stats->LookupPerformed(index_, ik.size(), result_bytes, service);
     }
-    memo_valid_ = true;
-    memo_key_ = ik;
-    memo_result_ = std::move(result);
+    memo->valid = true;
+    memo->key = ik;
+    memo->result = std::move(result);
   } else {
-    ctx->counters()->Increment(counter_base + ".lookup_reuses");
+    ctx->counters()->Increment(lookup_reuses_);
   }
 
   auto attachment = MutableAttachment(&record);
@@ -394,7 +395,7 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
   attachment->saved_key.clear();
   attachment->has_saved_key = false;
   if (index_ < static_cast<int>(attachment->results.size())) {
-    attachment->results[index_].assign(1, memo_result_);
+    attachment->results[index_].assign(1, memo->result);
   }
   record.attachment = std::move(attachment);
   out->Emit(std::move(record));
@@ -406,10 +407,9 @@ MapMeterStage::MapMeterStage(std::vector<OperatorRuntime*> head_runtimes)
     : head_runtimes_(std::move(head_runtimes)) {}
 
 void MapMeterStage::Process(Record record, TaskContext* ctx, Emitter* out) {
-  (void)ctx;
   const uint64_t bytes = record.size_bytes();
   for (OperatorRuntime* rt : head_runtimes_) {
-    if (rt != nullptr) rt->MapOutput(bytes);
+    if (rt != nullptr) rt->TaskLocal(ctx)->MapOutput(bytes);
   }
   out->Emit(std::move(record));
 }

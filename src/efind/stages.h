@@ -10,6 +10,14 @@
 //   index locality:  same, with the shuffle partitioned by the index's own
 //                    scheme, the next job's tasks placed on index hosts
 //                    (input fetched remotely), and local lookups.
+//
+// Threading: one stage instance serves every task of a phase and tasks on
+// different simulated nodes run concurrently (see stage.h). Stages therefore
+// keep per-task state in the TaskContext, feed statistics through per-task
+// collectors (`OperatorRuntime::TaskLocal`), and only keep per-node
+// structures (lookup caches) in members — safe because a node's tasks are
+// serialized on one strand. Counter names are interned once at construction
+// (`CounterHandle`) so per-record increments build no strings.
 
 #ifndef EFIND_EFIND_STAGES_H_
 #define EFIND_EFIND_STAGES_H_
@@ -57,12 +65,12 @@ class PreProcessStage : public RecordStage {
   std::string name() const override;
   void BeginTask(TaskContext* ctx) override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
-  void EndTask(TaskContext* ctx, Emitter* out) override;
 
  private:
   std::shared_ptr<IndexOperator> op_;
   OperatorRuntime* runtime_;
   std::string counter_prefix_;
+  CounterHandle pre_inputs_;
 };
 
 /// Which indices an `InlineLookupStage` serves, and how.
@@ -85,16 +93,25 @@ class InlineLookupStage : public RecordStage {
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
 
  private:
-  // Looks up `ik` on index j (through the cache if configured), charging
-  // simulated time to `ctx`, and returns the result list.
-  CachedResult LookupOne(int j, bool use_cache, const std::string& ik,
-                         TaskContext* ctx);
+  // Pre-built counter names for tasks_[t]'s index.
+  struct TaskCounters {
+    CounterHandle lookups;
+    CounterHandle cache_hits;
+    CounterHandle lookup_errors;
+  };
+
+  // Serves tasks_[t] for `ik` (through the cache if configured), charging
+  // simulated time to `ctx` and statistics to `stats` (may be null), and
+  // returns the result list.
+  CachedResult LookupOne(size_t t, const std::string& ik, TaskContext* ctx,
+                         OperatorTaskStats* stats);
 
   std::shared_ptr<IndexOperator> op_;
   std::vector<InlineIndexTask> tasks_;
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
   std::string counter_prefix_;
+  std::vector<TaskCounters> counter_names_;  // Parallel to tasks_.
   // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
   std::vector<std::unique_ptr<NodeCaches>> caches_;
 };
@@ -109,7 +126,6 @@ class PostProcessStage : public RecordStage {
   std::string name() const override;
   void BeginTask(TaskContext* ctx) override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
-  void EndTask(TaskContext* ctx, Emitter* out) override;
 
  private:
   std::shared_ptr<IndexOperator> op_;
@@ -135,6 +151,7 @@ class ShuffleKeyStage : public RecordStage {
   std::shared_ptr<IndexOperator> op_;
   int index_;
   std::string counter_prefix_;
+  CounterHandle shuffle_skipped_;
 };
 
 /// The shuffle job's reduce: passes records through in grouped order so the
@@ -160,20 +177,26 @@ class GroupedLookupStage : public RecordStage {
                      std::string counter_prefix);
 
   std::string name() const override;
-  void BeginTask(TaskContext* ctx) override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
 
  private:
+  // Per-task memo of the last looked-up key, kept in the TaskContext.
+  struct Memo {
+    bool valid = false;
+    std::string key;
+    CachedResult result;
+  };
+  Memo* MemoFor(TaskContext* ctx) const;
+
   std::shared_ptr<IndexOperator> op_;
   int index_;
   bool local_;
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
   std::string counter_prefix_;
-  // Per-task memo of the last looked-up key.
-  bool memo_valid_ = false;
-  std::string memo_key_;
-  CachedResult memo_result_;
+  CounterHandle lookups_;
+  CounterHandle lookup_errors_;
+  CounterHandle lookup_reuses_;
 };
 
 /// Meters the original Map function's output bytes into the head operators'

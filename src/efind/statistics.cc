@@ -14,6 +14,63 @@ double OperatorStats::SidxAfter(const std::vector<int>& accessed) const {
   return s;
 }
 
+// ------------------------------------------------------ per-task collector --
+
+OperatorTaskStats::OperatorTaskStats(OperatorRuntime* runtime)
+    : runtime_(runtime), index_(runtime->num_indices_) {}
+
+void OperatorTaskStats::PreRecord(
+    uint64_t input_bytes, uint64_t pre_output_bytes,
+    const std::vector<std::vector<std::string>>& keys) {
+  ++inputs_;
+  input_bytes_ += input_bytes;
+  pre_bytes_ += pre_output_bytes;
+  const int n = static_cast<int>(index_.size());
+  for (int j = 0; j < n && j < static_cast<int>(keys.size()); ++j) {
+    PerIndexTask& pi = index_[j];
+    pi.keys += keys[j].size();
+    if (keys[j].size() != 1) pi.multi_key_seen = true;
+    for (const auto& k : keys[j]) {
+      pi.key_bytes += k.size();
+      pi.sketch.Add(k);
+    }
+  }
+}
+
+void OperatorTaskStats::LookupPerformed(int j, uint64_t key_bytes,
+                                        uint64_t result_bytes,
+                                        double service_sec) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  PerIndexTask& pi = index_[j];
+  ++pi.lookups;
+  (void)key_bytes;  // Key bytes are tracked at extraction time (PreRecord).
+  pi.lookup_result_bytes += result_bytes;
+  pi.service_time += service_sec;
+}
+
+void OperatorTaskStats::CacheProbe(int j, bool miss) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  ++index_[j].cache_probes;
+  if (miss) ++index_[j].cache_misses;
+}
+
+void OperatorTaskStats::ShadowProbe(int j, int node, const std::string& key) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  const bool hit = runtime_->ShadowCacheTouch(j, node, key);
+  CacheProbe(j, /*miss=*/!hit);
+}
+
+void OperatorTaskStats::PostRecord(uint64_t output_bytes) {
+  ++post_records_;
+  post_bytes_ += output_bytes;
+}
+
+void OperatorTaskStats::MapOutput(uint64_t bytes) {
+  map_output_bytes_ += bytes;
+}
+
+// ---------------------------------------------------------------- runtime --
+
 OperatorRuntime::OperatorRuntime(int num_indices, int num_nodes,
                                  size_t cache_capacity)
     : num_indices_(num_indices > 0 ? num_indices : 0),
@@ -25,6 +82,69 @@ OperatorRuntime::OperatorRuntime(int num_indices, int num_nodes,
 
 void OperatorRuntime::Reset() {
   *this = OperatorRuntime(num_indices_, num_nodes_, cache_capacity_);
+}
+
+OperatorTaskStats* OperatorRuntime::TaskLocal(TaskContext* ctx) {
+  auto* existing = static_cast<OperatorTaskStats*>(ctx->FindTaskState(this));
+  if (existing != nullptr) return existing;
+  auto state = std::make_shared<OperatorTaskStats>(this);
+  OperatorTaskStats* raw = state.get();
+  ctx->AddTaskState(this, std::move(state),
+                    [this, raw] { AbsorbTask(*raw); });
+  return raw;
+}
+
+void OperatorRuntime::AbsorbTask(const OperatorTaskStats& task) {
+  total_inputs_ += task.inputs_;
+  total_input_bytes_ += task.input_bytes_;
+  total_pre_bytes_ += task.pre_bytes_;
+  for (int j = 0;
+       j < num_indices_ && j < static_cast<int>(task.index_.size()); ++j) {
+    PerIndex& pi = per_index_[j];
+    const OperatorTaskStats::PerIndexTask& ti = task.index_[j];
+    pi.keys += ti.keys;
+    pi.key_bytes += ti.key_bytes;
+    pi.sketch.Merge(ti.sketch);
+    if (ti.multi_key_seen) pi.multi_key_seen = true;
+    pi.lookups += ti.lookups;
+    pi.lookup_result_bytes += ti.lookup_result_bytes;
+    pi.service_time += ti.service_time;
+    pi.cache_probes += ti.cache_probes;
+    pi.cache_misses += ti.cache_misses;
+  }
+  if (task.inputs_ > 0) {
+    ++pre_tasks_;
+    const double n = static_cast<double>(task.inputs_);
+    inputs_samples_.Add(n);
+    s1_samples_.Add(static_cast<double>(task.input_bytes_) / n);
+    spre_samples_.Add(static_cast<double>(task.pre_bytes_) / n);
+    for (int j = 0; j < num_indices_; ++j) {
+      const uint64_t task_keys =
+          j < static_cast<int>(task.index_.size()) ? task.index_[j].keys : 0;
+      per_index_[j].nik_samples.Add(static_cast<double>(task_keys) / n);
+    }
+  }
+  total_post_records_ += task.post_records_;
+  total_post_bytes_ += task.post_bytes_;
+  if (task.post_records_ > 0) {
+    ++post_tasks_;
+    spost_samples_.Add(static_cast<double>(task.post_bytes_) /
+                       static_cast<double>(task.post_records_));
+  }
+  map_output_bytes_ += task.map_output_bytes_;
+}
+
+bool OperatorRuntime::ShadowCacheTouch(int j, int node,
+                                       const std::string& key) {
+  if (node < 0 || node >= num_nodes_) node = 0;
+  auto& cache = shadow_caches_[static_cast<size_t>(node) * num_indices_ + j];
+  if (!cache) {
+    cache = std::make_unique<LruCache<std::string, char>>(cache_capacity_);
+  }
+  char unused = 0;
+  const bool hit = cache->Get(key, &unused);
+  if (!hit) cache->Put(key, 0);
+  return hit;
 }
 
 void OperatorRuntime::PreBeginTask() {
@@ -87,14 +207,7 @@ void OperatorRuntime::CacheProbe(int j, bool miss) {
 
 void OperatorRuntime::ShadowProbe(int j, int node, const std::string& key) {
   if (j < 0 || j >= num_indices_) return;
-  if (node < 0 || node >= num_nodes_) node = 0;
-  auto& cache = shadow_caches_[static_cast<size_t>(node) * num_indices_ + j];
-  if (!cache) {
-    cache = std::make_unique<LruCache<std::string, char>>(cache_capacity_);
-  }
-  char unused = 0;
-  const bool hit = cache->Get(key, &unused);
-  if (!hit) cache->Put(key, 0);
+  const bool hit = ShadowCacheTouch(j, node, key);
   CacheProbe(j, /*miss=*/!hit);
 }
 

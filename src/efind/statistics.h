@@ -12,8 +12,11 @@
 #include "common/fm_sketch.h"
 #include "common/lru_cache.h"
 #include "common/running_stats.h"
+#include "mapreduce/stage.h"
 
 namespace efind {
+
+class OperatorRuntime;
 
 /// Table-1 statistics for one index j of an operator.
 struct IndexStats {
@@ -73,15 +76,87 @@ struct OperatorStats {
   double SidxAfter(const std::vector<int>& accessed) const;
 };
 
-/// Online statistics collector for one operator instance. EFind stages feed
-/// it during execution (single-threaded; parallelism is simulated), mirroring
-/// the paper's counter-based collection: per-task samples for the variance
-/// gate, OR-merged FM sketches for Theta, and a per-node shadow cache for R.
+/// One task's private statistics accumulator for an operator. Stages obtain
+/// it via `OperatorRuntime::TaskLocal(ctx)` and feed it with no shared-state
+/// writes, so concurrent tasks never contend; the execution engine folds it
+/// back into the runtime (`AbsorbTask`) in task-index order when the task's
+/// state bag merges.
+///
+/// The only shared structure it touches is the runtime's per-node shadow
+/// cache (`ShadowProbe`), which is safe because the engine serializes tasks
+/// of one node on a single strand.
+class OperatorTaskStats {
+ public:
+  explicit OperatorTaskStats(OperatorRuntime* runtime);
+
+  /// One record through preProcess (see OperatorRuntime::PreRecord).
+  void PreRecord(uint64_t input_bytes, uint64_t pre_output_bytes,
+                 const std::vector<std::vector<std::string>>& keys);
+  /// An actual lookup of index `j` returning `result_bytes` with service
+  /// time `service_sec`.
+  void LookupPerformed(int j, uint64_t key_bytes, uint64_t result_bytes,
+                       double service_sec);
+  /// A probe of the real lookup cache for index `j`.
+  void CacheProbe(int j, bool miss);
+  /// Probes the runtime's shadow (key-only) cache on `node` for index `j`
+  /// and records the hit/miss in this task's counts.
+  void ShadowProbe(int j, int node, const std::string& key);
+  /// One postProcess output record.
+  void PostRecord(uint64_t output_bytes);
+  /// Original-Map output metering (Smap term).
+  void MapOutput(uint64_t bytes);
+
+ private:
+  friend class OperatorRuntime;
+
+  struct PerIndexTask {
+    uint64_t keys = 0;
+    uint64_t key_bytes = 0;
+    uint64_t lookups = 0;
+    uint64_t lookup_result_bytes = 0;
+    double service_time = 0.0;
+    uint64_t cache_probes = 0;
+    uint64_t cache_misses = 0;
+    FmSketch sketch{64};
+    bool multi_key_seen = false;
+  };
+
+  OperatorRuntime* runtime_;
+  uint64_t inputs_ = 0;
+  uint64_t input_bytes_ = 0;
+  uint64_t pre_bytes_ = 0;
+  uint64_t post_records_ = 0;
+  uint64_t post_bytes_ = 0;
+  uint64_t map_output_bytes_ = 0;
+  std::vector<PerIndexTask> index_;
+};
+
+/// Online statistics collector for one operator instance, mirroring the
+/// paper's counter-based collection: per-task samples for the variance gate,
+/// OR-merged FM sketches for Theta, and a per-node shadow cache for R.
+///
+/// Two feeding modes exist:
+///  - Per-task collection (the execution engine): stages call
+///    `TaskLocal(ctx)` and feed the returned `OperatorTaskStats`; the engine
+///    absorbs every task's collector in task-index order, so results are
+///    bit-identical at any thread count. Used by all EFind stages.
+///  - Direct serial hooks (`PreBeginTask`/`PreRecord`/.../`PostEndTask`):
+///    single-threaded convenience API for standalone drivers and tests.
+/// The two modes must not be interleaved within one phase.
 class OperatorRuntime {
  public:
   /// `num_indices` accessors; `num_nodes` for per-node shadow caches of
   /// `cache_capacity` entries.
   OperatorRuntime(int num_indices, int num_nodes, size_t cache_capacity);
+
+  // --- per-task collection (execution engine) ---------------------------
+  /// Returns this task's private collector, creating and registering it in
+  /// `ctx`'s state bag on first use (with an AbsorbTask merge closure the
+  /// engine runs in task-index order).
+  OperatorTaskStats* TaskLocal(TaskContext* ctx);
+  /// Folds one task's collected statistics into the shared totals, exactly
+  /// as the serial hook sequence for that task would have.
+  void AbsorbTask(const OperatorTaskStats& task);
 
   // --- preProcess-side hooks -------------------------------------------
   void PreBeginTask();
@@ -122,6 +197,14 @@ class OperatorRuntime {
   void Reset();
 
  private:
+  friend class OperatorTaskStats;
+
+  /// Touches the per-node shadow LRU for (j, node): returns whether `key`
+  /// was present, inserting it if not. No probe counters are updated (the
+  /// caller counts). Safe across tasks because a node's tasks run on one
+  /// strand.
+  bool ShadowCacheTouch(int j, int node, const std::string& key);
+
   struct PerIndex {
     uint64_t keys = 0;
     uint64_t key_bytes = 0;
@@ -131,7 +214,7 @@ class OperatorRuntime {
     uint64_t cache_probes = 0;
     uint64_t cache_misses = 0;
     FmSketch sketch{64};
-    // Per-task temporaries.
+    // Per-task temporaries (serial hook mode only).
     uint64_t task_keys = 0;
     uint64_t task_records_with_one_key = 0;
     RunningStats nik_samples;
@@ -149,12 +232,12 @@ class OperatorRuntime {
   uint64_t total_post_bytes_ = 0;
   uint64_t map_output_bytes_ = 0;
 
-  // Per-task temporaries (pre side).
+  // Per-task temporaries (pre side; serial hook mode only).
   uint64_t task_inputs_ = 0;
   uint64_t task_input_bytes_ = 0;
   uint64_t task_pre_bytes_ = 0;
   size_t pre_tasks_ = 0;
-  // Per-task temporaries (post side).
+  // Per-task temporaries (post side; serial hook mode only).
   uint64_t task_post_records_ = 0;
   uint64_t task_post_bytes_ = 0;
   size_t post_tasks_ = 0;

@@ -6,8 +6,26 @@
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace efind {
+
+/// A pre-built ("interned") counter name. Hot-path stages construct the full
+/// `group.name` string once at stage-construction time and increment through
+/// the handle, so per-record and per-lookup updates do no string
+/// concatenation or temporary allocation.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  operator std::string_view() const { return name_; }
+
+ private:
+  std::string name_;
+};
 
 /// Named, globally mergeable counters, mirroring Hadoop's counter facility
 /// that EFind leverages to collect Table-1 statistics on the fly (paper
@@ -16,21 +34,31 @@ namespace efind {
 ///
 /// Values are doubles so byte totals and squared sums (for Eq. 5 variance)
 /// share one mechanism. Keys use a `group.name` convention, e.g.
-/// `efind.op0.idx1.lookup_bytes_out`.
+/// `efind.op0.idx1.lookup_bytes_out`. Lookups are heterogeneous
+/// (`std::string_view`, including `CounterHandle`), so callers never
+/// materialize a temporary `std::string` key.
+///
+/// A Counters instance is not thread-safe; the execution engine gives every
+/// task its own instance and merges them in task-index order.
 class Counters {
  public:
   /// Adds `delta` to counter `name`, creating it at zero if absent.
-  void Increment(const std::string& name, double delta = 1.0) {
-    values_[name] += delta;
+  void Increment(std::string_view name, double delta = 1.0) {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_.emplace(std::string(name), delta);
+    } else {
+      it->second += delta;
+    }
   }
 
   /// Current value of `name`; 0 if never incremented.
-  double Get(const std::string& name) const {
+  double Get(std::string_view name) const {
     auto it = values_.find(name);
     return it == values_.end() ? 0.0 : it->second;
   }
 
-  bool Has(const std::string& name) const {
+  bool Has(std::string_view name) const {
     return values_.find(name) != values_.end();
   }
 
@@ -44,10 +72,12 @@ class Counters {
   size_t size() const { return values_.size(); }
 
   /// Sorted iteration for deterministic dumps in tests and benches.
-  const std::map<std::string, double>& values() const { return values_; }
+  const std::map<std::string, double, std::less<>>& values() const {
+    return values_;
+  }
 
  private:
-  std::map<std::string, double> values_;
+  std::map<std::string, double, std::less<>> values_;
 };
 
 }  // namespace efind

@@ -1,12 +1,13 @@
 #include "mapreduce/job_runner.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
-
-#include "common/hash.h"
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "common/hash.h"
 #include "mapreduce/stage_chain.h"
 
 namespace efind {
@@ -62,8 +63,40 @@ int JobRunner::ReduceTaskNode(const JobConfig& job, int reduce_index) const {
   return reduce_index % config_.num_nodes;
 }
 
-MapTaskResult JobRunner::RunMapTask(const JobConfig& job,
-                                    const InputSplit& split, int task_index) {
+void JobRunner::RunStrands(size_t count,
+                           const std::function<int(size_t)>& strand_of,
+                           const std::function<void(size_t)>& body) {
+  const int threads = effective_threads();
+  if (threads <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Bucket task indices by strand key; each bucket preserves ascending
+  // index order, so per-node stateful structures (lookup caches, shadow
+  // caches) see exactly the serial probe sequence.
+  std::map<int, std::vector<size_t>> strands;
+  for (size_t i = 0; i < count; ++i) strands[strand_of(i)].push_back(i);
+  if (strands.size() <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  if (!pool_ || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  for (auto& [key, indices] : strands) {
+    (void)key;
+    const std::vector<size_t>* strand = &indices;
+    pool_->Submit([strand, &body] {
+      for (size_t i : *strand) body(i);
+    });
+  }
+  pool_->Wait();
+}
+
+MapTaskResult JobRunner::RunMapTaskDeferred(const JobConfig& job,
+                                            const InputSplit& split,
+                                            int task_index,
+                                            TaskStateBag* bag) {
   MapTaskResult result;
   result.node = split.node;
   const int num_partitions =
@@ -106,19 +139,51 @@ MapTaskResult JobRunner::RunMapTask(const JobConfig& job,
   result.duration = ApplyFaults(
       config_.task_startup_sec + io + cpu + ctx.sim_time(), /*kind=*/0,
       task_index);
+  *bag = ctx.TakeTaskState();
+  return result;
+}
+
+MapTaskResult JobRunner::RunMapTask(const JobConfig& job,
+                                    const InputSplit& split, int task_index) {
+  TaskStateBag bag;
+  MapTaskResult result = RunMapTaskDeferred(job, split, task_index, &bag);
+  bag.Merge();
   return result;
 }
 
 MapPhaseResult JobRunner::RunMapPhase(const JobConfig& job,
                                       const std::vector<InputSplit>& input,
                                       size_t begin, size_t end) {
+  std::vector<const InputSplit*> view;
+  view.reserve(input.size());
+  for (const auto& s : input) view.push_back(&s);
+  return RunMapPhase(job, view, begin, end);
+}
+
+MapPhaseResult JobRunner::RunMapPhase(
+    const JobConfig& job, const std::vector<const InputSplit*>& input,
+    size_t begin, size_t end) {
   MapPhaseResult phase;
   if (end > input.size()) end = input.size();
+  if (begin > end) begin = end;
+  const size_t count = end - begin;
+  phase.tasks.resize(count);
+  std::vector<TaskStateBag> bags(count);
+  RunStrands(
+      count,
+      [&](size_t k) { return input[begin + k]->node; },
+      [&](size_t k) {
+        phase.tasks[k] = RunMapTaskDeferred(job, *input[begin + k],
+                                            static_cast<int>(begin + k),
+                                            &bags[k]);
+      });
+  // Deterministic collection: fold per-task state into shared structures in
+  // task-index order, exactly as serial execution would have.
+  for (auto& bag : bags) bag.Merge();
+
   std::vector<double> durations;
-  for (size_t i = begin; i < end; ++i) {
-    phase.tasks.push_back(RunMapTask(job, input[i], static_cast<int>(i)));
-    durations.push_back(phase.tasks.back().duration);
-  }
+  durations.reserve(count);
+  for (const auto& t : phase.tasks) durations.push_back(t.duration);
   phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
   return phase;
 }
@@ -138,18 +203,21 @@ ReducePhaseResult JobRunner::RunReduceRange(
   if (begin < 0) begin = 0;
   if (end > num_reduce) end = num_reduce;
   if (end < begin) end = begin;
-  phase.outputs.resize(end - begin);
-  phase.durations.resize(end - begin, 0.0);
-  phase.task_counters.resize(end - begin);
+  const size_t count = end - begin;
+  phase.outputs.resize(count);
+  phase.durations.resize(count, 0.0);
+  phase.task_counters.resize(count);
+  std::vector<TaskStateBag> bags(count);
 
-  for (int r = begin; r < end; ++r) {
-    const int slot = r - begin;
+  auto run_reduce_task = [&](size_t slot) {
+    const int r = begin + static_cast<int>(slot);
     const int node = ReduceTaskNode(job, r);
     phase.outputs[slot].node = node;
 
-    // Gather this bucket from every map task in task order, grouping by key
-    // with deterministic within-key order.
-    std::map<std::string, std::vector<Record>> groups;
+    // Gather this bucket from every map task in task order. Grouping is a
+    // hash map (O(1) per record); reducers then iterate the keys in sorted
+    // order, matching the ordered-map grouping bit for bit.
+    std::unordered_map<std::string, std::vector<Record>> groups;
     uint64_t received_bytes = 0;
     size_t received_records = 0;
     for (const MapTaskResult* mt : map_outputs) {
@@ -160,6 +228,11 @@ ReducePhaseResult JobRunner::RunReduceRange(
         groups[rec.key].push_back(rec);
       }
     }
+    std::vector<std::pair<const std::string, std::vector<Record>>*> ordered;
+    ordered.reserve(groups.size());
+    for (auto& kv : groups) ordered.push_back(&kv);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
 
     TaskContext ctx(node, r, &phase.task_counters[slot]);
     std::vector<Record> sink;
@@ -167,17 +240,18 @@ ReducePhaseResult JobRunner::RunReduceRange(
     chain.Begin();
     if (job.reducer) job.reducer->BeginTask(&ctx);
 
-    double cpu = config_.cpu_per_byte_sec * static_cast<double>(received_bytes) +
-                 config_.cpu_per_record_sec * static_cast<double>(received_records);
+    double cpu =
+        config_.cpu_per_byte_sec * static_cast<double>(received_bytes) +
+        config_.cpu_per_record_sec * static_cast<double>(received_records);
     if (job.reducer) {
-      for (auto& [key, values] : groups) {
-        job.reducer->Reduce(key, std::move(values), &ctx,
+      for (auto* kv : ordered) {
+        job.reducer->Reduce(kv->first, std::move(kv->second), &ctx,
                             chain.EmitterInto(0));
       }
       job.reducer->EndTask(&ctx, chain.EmitterInto(0));
     } else {
-      for (auto& [key, values] : groups) {
-        for (auto& v : values) chain.Push(std::move(v));
+      for (auto* kv : ordered) {
+        for (auto& v : kv->second) chain.Push(std::move(v));
       }
     }
     chain.Finish();
@@ -193,7 +267,16 @@ ReducePhaseResult JobRunner::RunReduceRange(
             cpu + ctx.sim_time() +
             static_cast<double>(out_bytes) / config_.disk_bw_bytes_per_sec,
         /*kind=*/1, r);
-  }
+    bags[slot] = ctx.TakeTaskState();
+  };
+
+  RunStrands(
+      count,
+      [&](size_t slot) {
+        return ReduceTaskNode(job, begin + static_cast<int>(slot));
+      },
+      run_reduce_task);
+  for (auto& bag : bags) bag.Merge();
 
   phase.schedule =
       ScheduleWaves(phase.durations, config_.total_reduce_slots());
@@ -202,6 +285,14 @@ ReducePhaseResult JobRunner::RunReduceRange(
 
 JobResult JobRunner::Run(const JobConfig& job,
                          const std::vector<InputSplit>& input) {
+  std::vector<const InputSplit*> view;
+  view.reserve(input.size());
+  for (const auto& s : input) view.push_back(&s);
+  return Run(job, view);
+}
+
+JobResult JobRunner::Run(const JobConfig& job,
+                         const std::vector<const InputSplit*>& input) {
   JobResult result;
   MapPhaseResult map_phase = RunMapPhase(job, input, 0, input.size());
   result.num_map_tasks = map_phase.tasks.size();

@@ -5,9 +5,12 @@
 #define EFIND_MAPREDUCE_JOB_RUNNER_H_
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "mapreduce/job.h"
 #include "mapreduce/record.h"
 
@@ -18,8 +21,14 @@ namespace efind {
 /// Data flow is executed for real (records are actually transformed), while
 /// elapsed time is modeled per task from byte counts, CPU charges, and any
 /// time stages charged through `TaskContext::AddSimTime` (index lookups).
-/// Tasks run sequentially in program order; the wave scheduler converts
-/// per-task durations into a phase makespan over the cluster's slots.
+///
+/// Independent tasks execute concurrently on a fixed-size thread pool,
+/// grouped into per-node strands (one simulated node's tasks run serially in
+/// ascending task index on one thread), and all cross-task merges happen in
+/// task-index order after the phase — so outputs, counters, and simulated
+/// times are bit-identical for every thread count (DESIGN.md "Execution
+/// engine"). The wave scheduler then converts per-task durations into a
+/// phase makespan over the cluster's slots.
 ///
 /// The low-level phase methods exist so EFind's adaptive runtime can execute
 /// the first map wave, re-optimize, and resume with a different plan while
@@ -28,9 +37,21 @@ class JobRunner {
  public:
   explicit JobRunner(const ClusterConfig& config) : config_(config) {}
 
+  /// Sets the worker-thread count for task execution. 0 (the default)
+  /// resolves via `ResolveThreadCount` (EFIND_THREADS env var, else
+  /// hardware concurrency) at first use; 1 runs tasks inline. Results are
+  /// bit-identical for any value.
+  void set_num_threads(int n) { num_threads_ = n; }
+  /// The resolved worker-thread count this runner executes with.
+  int effective_threads() const { return ResolveThreadCount(num_threads_); }
+
   /// Runs the whole job: map phase over `input`, then (if a reducer is
   /// configured) shuffle + reduce phase.
   JobResult Run(const JobConfig& job, const std::vector<InputSplit>& input);
+  /// As above over a borrowed view of splits (no copies; pointers must stay
+  /// valid for the duration of the call).
+  JobResult Run(const JobConfig& job,
+                const std::vector<const InputSplit*>& input);
 
   /// Executes one map task over `split` as task `task_index`. The task is
   /// placed on `split.node` unless the job requests remote input.
@@ -40,6 +61,12 @@ class JobRunner {
   /// Executes map tasks for splits [begin, end) and schedules them.
   MapPhaseResult RunMapPhase(const JobConfig& job,
                              const std::vector<InputSplit>& input,
+                             size_t begin, size_t end);
+  /// As above over a borrowed view of splits. Task index i corresponds to
+  /// `input[i]`; the adaptive runtime schedules strided views this way
+  /// without deep-copying records.
+  MapPhaseResult RunMapPhase(const JobConfig& job,
+                             const std::vector<const InputSplit*>& input,
                              size_t begin, size_t end);
 
   /// Shuffles the given map outputs and executes the reduce phase.
@@ -71,7 +98,21 @@ class JobRunner {
  private:
   int ReduceTaskNode(const JobConfig& job, int reduce_index) const;
 
+  /// RunMapTask with the task's deferred state handed back to the caller
+  /// instead of merged immediately (the engine merges bags in task order).
+  MapTaskResult RunMapTaskDeferred(const JobConfig& job,
+                                   const InputSplit& split, int task_index,
+                                   TaskStateBag* bag);
+
+  /// Executes `body(i)` for every i in [0, count). Tasks sharing a strand
+  /// key run serially in ascending i on one thread; distinct strands run
+  /// concurrently on the pool (serially when the pool has one thread).
+  void RunStrands(size_t count, const std::function<int(size_t)>& strand_of,
+                  const std::function<void(size_t)>& body);
+
   ClusterConfig config_;
+  int num_threads_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace efind

@@ -4,7 +4,10 @@
 #ifndef EFIND_MAPREDUCE_STAGE_H_
 #define EFIND_MAPREDUCE_STAGE_H_
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mapreduce/counters.h"
@@ -12,15 +15,65 @@
 
 namespace efind {
 
+/// One entry of a task's private state: an opaque object registered by a
+/// stage (keyed by the stage's address) plus an optional merge closure the
+/// engine runs after the task completes.
+struct TaskStateEntry {
+  const void* owner = nullptr;
+  std::shared_ptr<void> state;
+  std::function<void()> merge;
+};
+
+/// The per-task state a `TaskContext` accumulated during execution. The
+/// execution engine moves it out of the context when the task ends and runs
+/// the merge closures serially, in ascending task-index order across the
+/// phase — that ordering is what makes parallel execution bit-identical to
+/// serial execution (see DESIGN.md "Execution engine").
+class TaskStateBag {
+ public:
+  void Add(TaskStateEntry entry) { entries_.push_back(std::move(entry)); }
+
+  void* Find(const void* owner) const {
+    for (const auto& e : entries_) {
+      if (e.owner == owner) return e.state.get();
+    }
+    return nullptr;
+  }
+
+  /// Runs and clears the merge closures. Idempotent once drained.
+  void Merge() {
+    for (auto& e : entries_) {
+      if (e.merge) e.merge();
+    }
+    entries_.clear();
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<TaskStateEntry> entries_;
+};
+
 /// Per-task execution context handed to stages and reducers.
 ///
-/// Jobs execute single-threaded in submission order; parallelism is purely a
-/// property of the simulated schedule, so stages may keep per-node state and
-/// reset per-task state in `BeginTask`.
+/// Tasks of one simulated node execute serially, in ascending task index, on
+/// a single OS thread ("strand"); tasks of different nodes may run
+/// concurrently. Stages are therefore shared across threads and must keep
+/// per-task state in this context (`FindTaskState` / `AddTaskState`), not in
+/// stage members. Per-*node* state on a stage (e.g. a node's lookup cache)
+/// is safe without locks because a node's tasks never run concurrently.
 class TaskContext {
  public:
   TaskContext(int node_id, int task_index, Counters* counters)
       : node_id_(node_id), task_index_(task_index), counters_(counters) {}
+
+  /// Contexts not drained by the engine (standalone stage drivers, unit
+  /// tests) absorb their pending merges on destruction, preserving the
+  /// immediate-update semantics of serial execution.
+  ~TaskContext() { state_.Merge(); }
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
 
   /// Cluster node this task is (simulated to be) running on.
   int node_id() const { return node_id_; }
@@ -35,11 +88,33 @@ class TaskContext {
   void AddSimTime(double seconds) { sim_time_ += seconds; }
   double sim_time() const { return sim_time_; }
 
+  /// Returns the task-local state registered under `owner`, or null.
+  void* FindTaskState(const void* owner) const { return state_.Find(owner); }
+
+  /// Registers task-local `state` under `owner` (typically the registering
+  /// stage's address). `merge`, when non-null, is deferred: the engine runs
+  /// it after the task completes, serially and in task-index order across
+  /// the phase, so it may fold per-task accumulators into shared structures
+  /// without locking.
+  void AddTaskState(const void* owner, std::shared_ptr<void> state,
+                    std::function<void()> merge = nullptr) {
+    state_.Add({owner, std::move(state), std::move(merge)});
+  }
+
+  /// Moves out the accumulated task state (engine use; afterwards the
+  /// destructor has nothing left to merge).
+  TaskStateBag TakeTaskState() { return std::move(state_); }
+
+  /// Runs pending merges now (standalone drivers that inspect shared state
+  /// mid-context-lifetime, e.g. unit tests).
+  void FinalizeTaskState() { state_.Merge(); }
+
  private:
   int node_id_;
   int task_index_;
   Counters* counters_;
   double sim_time_ = 0.0;
+  TaskStateBag state_;
 };
 
 /// Sink for records produced by a stage or reducer.
@@ -55,6 +130,11 @@ class Emitter {
 /// splices `preProcess -> lookup -> postProcess` around the user's Map and
 /// Reduce functions (Fig. 6); this interface is the equivalent here. The
 /// user's Map function itself is just another stage.
+///
+/// One stage instance serves every task of a phase, and tasks on different
+/// simulated nodes run on different threads: implementations must keep
+/// per-task state in the `TaskContext` (see above) and may only keep
+/// immutable or per-node state in members.
 class RecordStage {
  public:
   virtual ~RecordStage() = default;
@@ -74,7 +154,8 @@ class RecordStage {
 };
 
 /// The user's Reduce function: receives one key and all records grouped
-/// under it (values arrive in deterministic map-task order).
+/// under it (values arrive in deterministic map-task order). The same
+/// threading contract as `RecordStage` applies.
 class Reducer {
  public:
   virtual ~Reducer() = default;

@@ -1,0 +1,166 @@
+// Determinism of the parallel execution engine: the simulated results —
+// outputs (including order), simulated seconds, merged counters, and chosen
+// plans — must be bit-identical for every worker-thread count (DESIGN.md
+// "Execution engine"). Runs every strategy, the adaptive runtime, and the
+// plain JobRunner at threads=1 vs threads=8 over the shared toy-join
+// workloads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::ToyWorld;
+
+void ExpectSameSplits(const std::vector<InputSplit>& a,
+                      const std::vector<InputSplit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "split " << i;
+    EXPECT_EQ(a[i].records, b[i].records) << "split " << i;
+  }
+}
+
+void ExpectSameResult(const EFindRunResult& a, const EFindRunResult& b) {
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);  // Exact, not approximate.
+  EXPECT_EQ(a.stats_wave_seconds, b.stats_wave_seconds);
+  EXPECT_EQ(a.replanned, b.replanned);
+  EXPECT_EQ(a.plan.ToString(), b.plan.ToString());
+  EXPECT_EQ(a.counters.values(), b.counters.values());
+  ExpectSameSplits(a.outputs, b.outputs);
+}
+
+struct RunnerPair {
+  explicit RunnerPair(const ClusterConfig& config, size_t cache_capacity = 64)
+      : serial_options([&] {
+          EFindOptions o;
+          o.cache_capacity = cache_capacity;
+          o.threads = 1;
+          return o;
+        }()),
+        parallel_options([&] {
+          EFindOptions o;
+          o.cache_capacity = cache_capacity;
+          o.threads = 8;
+          return o;
+        }()),
+        serial(config, serial_options),
+        parallel(config, parallel_options) {}
+
+  EFindOptions serial_options;
+  EFindOptions parallel_options;
+  EFindJobRunner serial;
+  EFindJobRunner parallel;
+};
+
+class DeterminismTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DeterminismTest, AllStrategiesMatchAcrossThreadCounts) {
+  const bool with_reduce = GetParam();
+  ToyWorld world;
+  const IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  // 30 splits on 12 nodes: several strands, several tasks per strand.
+  const auto input = world.MakeInput(30, 40, 400);
+
+  ClusterConfig config;
+  RunnerPair pair(config);
+  for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
+                     Strategy::kRepartition, Strategy::kIndexLocality}) {
+    auto a = pair.serial.RunWithStrategy(conf, input, s);
+    auto b = pair.parallel.RunWithStrategy(conf, input, s);
+    ExpectSameResult(a, b);
+  }
+}
+
+TEST_P(DeterminismTest, OptimizedPathMatchesAcrossThreadCounts) {
+  const bool with_reduce = GetParam();
+  ToyWorld world;
+  const IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  const auto input = world.MakeInput(30, 40, 400);
+
+  ClusterConfig config;
+  RunnerPair pair(config);
+  CollectedStats stats_a = pair.serial.CollectStatistics(conf, input);
+  CollectedStats stats_b = pair.parallel.CollectStatistics(conf, input);
+  JobPlan plan_a = pair.serial.PlanFromStats(conf, stats_a);
+  JobPlan plan_b = pair.parallel.PlanFromStats(conf, stats_b);
+  EXPECT_EQ(plan_a.ToString(), plan_b.ToString());
+  auto a = pair.serial.RunWithPlan(conf, input, plan_a, &stats_a);
+  auto b = pair.parallel.RunWithPlan(conf, input, plan_b, &stats_b);
+  ExpectSameResult(a, b);
+}
+
+TEST_P(DeterminismTest, DynamicRunMatchesAcrossThreadCounts) {
+  const bool with_reduce = GetParam();
+  ToyWorld world;
+  const IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  // Enough splits for several map waves so Algorithm 1 engages.
+  const auto input = world.MakeInput(200, 20, 100);
+
+  ClusterConfig config;
+  RunnerPair pair(config);
+  auto a = pair.serial.RunDynamic(conf, input);
+  auto b = pair.parallel.RunDynamic(conf, input);
+  ExpectSameResult(a, b);
+}
+
+TEST_P(DeterminismTest, FaultModelMatchesAcrossThreadCounts) {
+  const bool with_reduce = GetParam();
+  ToyWorld world;
+  const IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  const auto input = world.MakeInput(30, 40, 400);
+
+  ClusterConfig config;
+  config.task_failure_rate = 0.05;
+  config.straggler_rate = 0.1;
+  RunnerPair pair(config);
+  auto a = pair.serial.RunWithStrategy(conf, input, Strategy::kLookupCache);
+  auto b = pair.parallel.RunWithStrategy(conf, input, Strategy::kLookupCache);
+  ExpectSameResult(a, b);
+  auto da = pair.serial.RunDynamic(conf, input);
+  auto db = pair.parallel.RunDynamic(conf, input);
+  ExpectSameResult(da, db);
+}
+
+INSTANTIATE_TEST_SUITE_P(MapOnlyAndReduce, DeterminismTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithReduce" : "MapOnly";
+                         });
+
+// The plain JobRunner (no EFind stages) must also be thread-count
+// invariant, including per-task counters and the reduce-side grouping.
+TEST(JobRunnerDeterminismTest, PlainJobMatchesAcrossThreadCounts) {
+  ToyWorld world;
+  const auto input = world.MakeInput(24, 50, 200);
+  ClusterConfig config;
+  JobConfig job;
+  job.reducer = std::make_shared<testing_util::CountReducer>();
+  job.num_reduce_tasks = 16;
+
+  JobRunner serial(config);
+  serial.set_num_threads(1);
+  JobRunner parallel(config);
+  parallel.set_num_threads(8);
+  JobResult a = serial.Run(job, input);
+  JobResult b = parallel.Run(job, input);
+
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.map_task_durations, b.map_task_durations);
+  EXPECT_EQ(a.counters.values(), b.counters.values());
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].node, b.outputs[i].node);
+    EXPECT_EQ(a.outputs[i].records, b.outputs[i].records);
+  }
+}
+
+}  // namespace
+}  // namespace efind

@@ -48,27 +48,32 @@ class FilterChargeStage : public RecordStage {
   }
 };
 
-// Buffers records and flushes them at task end (exercises EndTask flow).
+// Buffers records and flushes them at task end (exercises EndTask flow and
+// the per-task state registry: one stage instance serves concurrent tasks,
+// so the buffer lives in the TaskContext, not the stage).
 class BufferStage : public RecordStage {
  public:
   std::string name() const override { return "buffer"; }
-  void BeginTask(TaskContext* ctx) override {
-    (void)ctx;
-    held_.clear();
-  }
   void Process(Record record, TaskContext* ctx, Emitter* out) override {
-    (void)ctx;
     (void)out;
-    held_.push_back(std::move(record));
+    Held(ctx)->push_back(std::move(record));
   }
   void EndTask(TaskContext* ctx, Emitter* out) override {
-    (void)ctx;
-    for (auto& r : held_) out->Emit(std::move(r));
-    held_.clear();
+    std::vector<Record>* held = Held(ctx);
+    for (auto& r : *held) out->Emit(std::move(r));
+    held->clear();
   }
 
  private:
-  std::vector<Record> held_;
+  std::vector<Record>* Held(TaskContext* ctx) const {
+    auto* existing =
+        static_cast<std::vector<Record>*>(ctx->FindTaskState(this));
+    if (existing != nullptr) return existing;
+    auto held = std::make_shared<std::vector<Record>>();
+    auto* raw = held.get();
+    ctx->AddTaskState(this, std::move(held));
+    return raw;
+  }
 };
 
 class CountReducer : public Reducer {

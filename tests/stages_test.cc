@@ -80,6 +80,9 @@ TEST(PreProcessStageTest, AttachesKeysAndMeters) {
   ASSERT_EQ(r.attachment->keys.size(), 1u);
   EXPECT_EQ(r.attachment->keys[0], std::vector<std::string>{"k1"});
   EXPECT_EQ(r.attachment->results[0].size(), 1u);  // Sized, unfilled.
+  // Statistics are collected per task and folded in at task end; flush the
+  // context's pending merges to observe them mid-lifetime.
+  h.ctx.FinalizeTaskState();
   EXPECT_EQ(rt.total_inputs(), 1u);
   EXPECT_DOUBLE_EQ(h.counters.Get("efind.t.pre.inputs"), 1.0);
 }
