@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_boundary.dir/bench_ablation_boundary.cc.o"
+  "CMakeFiles/bench_ablation_boundary.dir/bench_ablation_boundary.cc.o.d"
+  "bench_ablation_boundary"
+  "bench_ablation_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_log.dir/bench_fig11a_log.cc.o"
+  "CMakeFiles/bench_fig11a_log.dir/bench_fig11a_log.cc.o.d"
+  "bench_fig11a_log"
+  "bench_fig11a_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

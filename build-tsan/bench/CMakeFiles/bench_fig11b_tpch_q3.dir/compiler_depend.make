@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11b_tpch_q3.
+# This may be replaced when dependencies are built.

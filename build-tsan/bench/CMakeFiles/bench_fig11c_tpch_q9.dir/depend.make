@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11c_tpch_q9.
+# This may be replaced when dependencies are built.

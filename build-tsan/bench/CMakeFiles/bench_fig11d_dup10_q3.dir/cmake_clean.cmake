@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11d_dup10_q3.dir/bench_fig11d_dup10_q3.cc.o"
+  "CMakeFiles/bench_fig11d_dup10_q3.dir/bench_fig11d_dup10_q3.cc.o.d"
+  "bench_fig11d_dup10_q3"
+  "bench_fig11d_dup10_q3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11d_dup10_q3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11e_dup10_q9.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_knnj.dir/bench_fig13_knnj.cc.o"
+  "CMakeFiles/bench_fig13_knnj.dir/bench_fig13_knnj.cc.o.d"
+  "bench_fig13_knnj"
+  "bench_fig13_knnj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_knnj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_knn.dir/spatial_knn.cpp.o"
+  "CMakeFiles/spatial_knn.dir/spatial_knn.cpp.o.d"
+  "spatial_knn"
+  "spatial_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q3_join.dir/tpch_q3_join.cpp.o"
+  "CMakeFiles/tpch_q3_join.dir/tpch_q3_join.cpp.o.d"
+  "tpch_q3_join"
+  "tpch_q3_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q3_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpch_q3_join.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_topics.dir/tweet_topics.cpp.o"
+  "CMakeFiles/tweet_topics.dir/tweet_topics.cpp.o.d"
+  "tweet_topics"
+  "tweet_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

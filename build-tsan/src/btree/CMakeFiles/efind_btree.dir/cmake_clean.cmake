@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/efind_btree.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/efind_btree.dir/distributed_btree.cc.o"
+  "CMakeFiles/efind_btree.dir/distributed_btree.cc.o.d"
+  "libefind_btree.a"
+  "libefind_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_cluster.dir/cluster.cc.o"
+  "CMakeFiles/efind_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/efind_cluster.dir/wave_scheduler.cc.o"
+  "CMakeFiles/efind_cluster.dir/wave_scheduler.cc.o.d"
+  "libefind_cluster.a"
+  "libefind_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

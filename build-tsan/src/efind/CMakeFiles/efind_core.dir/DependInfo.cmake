@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efind/accessors/accessors.cc" "src/efind/CMakeFiles/efind_core.dir/accessors/accessors.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/accessors/accessors.cc.o.d"
+  "/root/repo/src/efind/cost_model.cc" "src/efind/CMakeFiles/efind_core.dir/cost_model.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/efind/efind_job_runner.cc" "src/efind/CMakeFiles/efind_core.dir/efind_job_runner.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/efind_job_runner.cc.o.d"
+  "/root/repo/src/efind/index_operator.cc" "src/efind/CMakeFiles/efind_core.dir/index_operator.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/index_operator.cc.o.d"
+  "/root/repo/src/efind/optimizer.cc" "src/efind/CMakeFiles/efind_core.dir/optimizer.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/efind/plan.cc" "src/efind/CMakeFiles/efind_core.dir/plan.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/plan.cc.o.d"
+  "/root/repo/src/efind/stages.cc" "src/efind/CMakeFiles/efind_core.dir/stages.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/stages.cc.o.d"
+  "/root/repo/src/efind/statistics.cc" "src/efind/CMakeFiles/efind_core.dir/statistics.cc.o" "gcc" "src/efind/CMakeFiles/efind_core.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/efind_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/efind_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapreduce/CMakeFiles/efind_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kvstore/CMakeFiles/efind_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/efind_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rtree/CMakeFiles/efind_rtree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/service/CMakeFiles/efind_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/textidx/CMakeFiles/efind_textidx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_core.dir/accessors/accessors.cc.o"
+  "CMakeFiles/efind_core.dir/accessors/accessors.cc.o.d"
+  "CMakeFiles/efind_core.dir/cost_model.cc.o"
+  "CMakeFiles/efind_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/efind_core.dir/efind_job_runner.cc.o"
+  "CMakeFiles/efind_core.dir/efind_job_runner.cc.o.d"
+  "CMakeFiles/efind_core.dir/index_operator.cc.o"
+  "CMakeFiles/efind_core.dir/index_operator.cc.o.d"
+  "CMakeFiles/efind_core.dir/optimizer.cc.o"
+  "CMakeFiles/efind_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/efind_core.dir/plan.cc.o"
+  "CMakeFiles/efind_core.dir/plan.cc.o.d"
+  "CMakeFiles/efind_core.dir/stages.cc.o"
+  "CMakeFiles/efind_core.dir/stages.cc.o.d"
+  "CMakeFiles/efind_core.dir/statistics.cc.o"
+  "CMakeFiles/efind_core.dir/statistics.cc.o.d"
+  "libefind_core.a"
+  "libefind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

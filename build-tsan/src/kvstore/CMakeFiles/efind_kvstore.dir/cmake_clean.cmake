@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_kvstore.dir/kv_store.cc.o"
+  "CMakeFiles/efind_kvstore.dir/kv_store.cc.o.d"
+  "libefind_kvstore.a"
+  "libefind_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_mapreduce.dir/job_runner.cc.o"
+  "CMakeFiles/efind_mapreduce.dir/job_runner.cc.o.d"
+  "libefind_mapreduce.a"
+  "libefind_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_rtree.dir/cell_rtree.cc.o"
+  "CMakeFiles/efind_rtree.dir/cell_rtree.cc.o.d"
+  "CMakeFiles/efind_rtree.dir/rstar_tree.cc.o"
+  "CMakeFiles/efind_rtree.dir/rstar_tree.cc.o.d"
+  "libefind_rtree.a"
+  "libefind_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_service.dir/cloud_service.cc.o"
+  "CMakeFiles/efind_service.dir/cloud_service.cc.o.d"
+  "libefind_service.a"
+  "libefind_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

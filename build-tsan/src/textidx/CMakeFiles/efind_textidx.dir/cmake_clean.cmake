@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_textidx.dir/inverted_index.cc.o"
+  "CMakeFiles/efind_textidx.dir/inverted_index.cc.o.d"
+  "libefind_textidx.a"
+  "libefind_textidx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_textidx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

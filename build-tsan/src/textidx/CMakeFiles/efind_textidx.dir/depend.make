@@ -1,0 +1,2 @@
+# Empty dependencies file for efind_textidx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_workloads.dir/log_trace.cc.o"
+  "CMakeFiles/efind_workloads.dir/log_trace.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/osm.cc.o"
+  "CMakeFiles/efind_workloads.dir/osm.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/efind_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/tpch.cc.o"
+  "CMakeFiles/efind_workloads.dir/tpch.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/tweets.cc.o"
+  "CMakeFiles/efind_workloads.dir/tweets.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/zknnj.cc.o"
+  "CMakeFiles/efind_workloads.dir/zknnj.cc.o.d"
+  "CMakeFiles/efind_workloads.dir/zorder.cc.o"
+  "CMakeFiles/efind_workloads.dir/zorder.cc.o.d"
+  "libefind_workloads.a"
+  "libefind_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

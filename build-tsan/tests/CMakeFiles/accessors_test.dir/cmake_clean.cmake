@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessors_test.dir/accessors_test.cc.o"
+  "CMakeFiles/accessors_test.dir/accessors_test.cc.o.d"
+  "accessors_test"
+  "accessors_test.pdb"
+  "accessors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cell_rtree_test.cc" "tests/CMakeFiles/cell_rtree_test.dir/cell_rtree_test.cc.o" "gcc" "tests/CMakeFiles/cell_rtree_test.dir/cell_rtree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/efind_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/efind/CMakeFiles/efind_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapreduce/CMakeFiles/efind_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/efind_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/efind_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rtree/CMakeFiles/efind_rtree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/service/CMakeFiles/efind_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/textidx/CMakeFiles/efind_textidx.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kvstore/CMakeFiles/efind_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/efind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

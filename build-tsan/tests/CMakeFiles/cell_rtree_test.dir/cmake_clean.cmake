@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_rtree_test.dir/cell_rtree_test.cc.o"
+  "CMakeFiles/cell_rtree_test.dir/cell_rtree_test.cc.o.d"
+  "cell_rtree_test"
+  "cell_rtree_test.pdb"
+  "cell_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

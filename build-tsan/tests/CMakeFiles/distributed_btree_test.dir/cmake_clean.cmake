@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_btree_test.dir/distributed_btree_test.cc.o"
+  "CMakeFiles/distributed_btree_test.dir/distributed_btree_test.cc.o.d"
+  "distributed_btree_test"
+  "distributed_btree_test.pdb"
+  "distributed_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efind_runner_test.dir/efind_runner_test.cc.o"
+  "CMakeFiles/efind_runner_test.dir/efind_runner_test.cc.o.d"
+  "efind_runner_test"
+  "efind_runner_test.pdb"
+  "efind_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efind_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/cluster.cc.o" "gcc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/wave_scheduler.cc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/wave_scheduler.cc.o" "gcc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/wave_scheduler.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/common/thread_pool.cc.o" "gcc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/mapreduce/job_runner.cc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/mapreduce/job_runner.cc.o" "gcc" "tests/CMakeFiles/engine_tsan_smoke.dir/__/src/mapreduce/job_runner.cc.o.d"
+  "/root/repo/tests/engine_tsan_smoke.cc" "tests/CMakeFiles/engine_tsan_smoke.dir/engine_tsan_smoke.cc.o" "gcc" "tests/CMakeFiles/engine_tsan_smoke.dir/engine_tsan_smoke.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

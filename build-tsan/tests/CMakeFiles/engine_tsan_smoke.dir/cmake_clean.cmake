@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/cluster.cc.o"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/cluster.cc.o.d"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/wave_scheduler.cc.o"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/cluster/wave_scheduler.cc.o.d"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/common/thread_pool.cc.o"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/common/thread_pool.cc.o.d"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/mapreduce/job_runner.cc.o"
+  "CMakeFiles/engine_tsan_smoke.dir/__/src/mapreduce/job_runner.cc.o.d"
+  "CMakeFiles/engine_tsan_smoke.dir/engine_tsan_smoke.cc.o"
+  "CMakeFiles/engine_tsan_smoke.dir/engine_tsan_smoke.cc.o.d"
+  "engine_tsan_smoke"
+  "engine_tsan_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tsan_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_test.dir/example_pipeline_test.cc.o"
+  "CMakeFiles/example_pipeline_test.dir/example_pipeline_test.cc.o.d"
+  "example_pipeline_test"
+  "example_pipeline_test.pdb"
+  "example_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

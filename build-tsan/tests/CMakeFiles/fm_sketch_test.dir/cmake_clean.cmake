@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_sketch_test.dir/fm_sketch_test.cc.o"
+  "CMakeFiles/fm_sketch_test.dir/fm_sketch_test.cc.o.d"
+  "fm_sketch_test"
+  "fm_sketch_test.pdb"
+  "fm_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

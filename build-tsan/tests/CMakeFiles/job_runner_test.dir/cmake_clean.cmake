@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_runner_test.dir/job_runner_test.cc.o"
+  "CMakeFiles/job_runner_test.dir/job_runner_test.cc.o.d"
+  "job_runner_test"
+  "job_runner_test.pdb"
+  "job_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_trace_test.dir/log_trace_test.cc.o"
+  "CMakeFiles/log_trace_test.dir/log_trace_test.cc.o.d"
+  "log_trace_test"
+  "log_trace_test.pdb"
+  "log_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_test.dir/osm_test.cc.o"
+  "CMakeFiles/osm_test.dir/osm_test.cc.o.d"
+  "osm_test"
+  "osm_test.pdb"
+  "osm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stages_test.dir/stages_test.cc.o"
+  "CMakeFiles/stages_test.dir/stages_test.cc.o.d"
+  "stages_test"
+  "stages_test.pdb"
+  "stages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_property_test.dir/strategy_property_test.cc.o"
+  "CMakeFiles/strategy_property_test.dir/strategy_property_test.cc.o.d"
+  "strategy_property_test"
+  "strategy_property_test.pdb"
+  "strategy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweets_test.dir/tweets_test.cc.o"
+  "CMakeFiles/tweets_test.dir/tweets_test.cc.o.d"
+  "tweets_test"
+  "tweets_test.pdb"
+  "tweets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_scheduler_test.dir/wave_scheduler_test.cc.o"
+  "CMakeFiles/wave_scheduler_test.dir/wave_scheduler_test.cc.o.d"
+  "wave_scheduler_test"
+  "wave_scheduler_test.pdb"
+  "wave_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zknnj_test.dir/zknnj_test.cc.o"
+  "CMakeFiles/zknnj_test.dir/zknnj_test.cc.o.d"
+  "zknnj_test"
+  "zknnj_test.pdb"
+  "zknnj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zknnj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

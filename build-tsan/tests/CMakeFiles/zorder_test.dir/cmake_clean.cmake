@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zorder_test.dir/zorder_test.cc.o"
+  "CMakeFiles/zorder_test.dir/zorder_test.cc.o.d"
+  "zorder_test"
+  "zorder_test.pdb"
+  "zorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

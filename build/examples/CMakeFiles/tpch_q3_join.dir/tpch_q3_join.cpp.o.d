@@ -204,23 +204,39 @@ examples/CMakeFiles/tpch_q3_join.dir/tpch_q3_join.cpp.o: \
  /root/repo/src/efind/index_accessor.h \
  /root/repo/src/common/partition_scheme.h /root/repo/src/common/status.h \
  /root/repo/src/mapreduce/record.h /root/repo/src/mapreduce/stage.h \
- /root/repo/src/mapreduce/counters.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/efind/optimizer.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/mapreduce/counters.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/efind/optimizer.h \
  /usr/include/c++/12/cstddef /root/repo/src/efind/cost_model.h \
  /root/repo/src/efind/plan.h /root/repo/src/efind/statistics.h \
  /root/repo/src/common/fm_sketch.h /root/repo/src/common/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/common/running_stats.h \
- /root/repo/src/mapreduce/job_runner.h /root/repo/src/mapreduce/job.h \
- /root/repo/src/cluster/wave_scheduler.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/running_stats.h \
+ /root/repo/src/mapreduce/job_runner.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/mapreduce/job.h /root/repo/src/cluster/wave_scheduler.h \
  /root/repo/src/mapreduce/partitioner.h /root/repo/src/common/hash.h \
  /root/repo/src/workloads/tpch.h /root/repo/src/kvstore/kv_store.h

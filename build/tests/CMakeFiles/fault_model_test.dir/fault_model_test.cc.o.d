@@ -304,8 +304,19 @@ tests/CMakeFiles/fault_model_test.dir/fault_model_test.cc.o: \
  /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/running_stats.h \
- /root/repo/src/mapreduce/job_runner.h /root/repo/src/mapreduce/job.h \
- /root/repo/src/cluster/wave_scheduler.h \
+ /root/repo/src/mapreduce/job_runner.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/mapreduce/job.h /root/repo/src/cluster/wave_scheduler.h \
  /root/repo/src/mapreduce/partitioner.h /root/repo/src/common/hash.h \
  /root/repo/tests/test_util.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
