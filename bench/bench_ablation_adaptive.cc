@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("ablation_adaptive");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   CloudService geo = MakeGeoIpService(50, {});
   IndexJobConf conf = MakeLogTopUrlsJob(&geo, 10);
 

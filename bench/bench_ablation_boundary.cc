@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("ablation_boundary");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   LogTraceOptions log_options;
   auto input = GenerateLogTrace(log_options, config.num_nodes);
   CloudService geo = MakeGeoIpService(50, {});

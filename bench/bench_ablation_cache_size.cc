@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("ablation_cache_size");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
 
   LogTraceOptions log_options;
   auto log_input = GenerateLogTrace(log_options, config.num_nodes);

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("ablation_cost_model");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   const Strategy kStrategies[] = {Strategy::kBaseline, Strategy::kLookupCache,
                                   Strategy::kRepartition,
                                   Strategy::kIndexLocality};

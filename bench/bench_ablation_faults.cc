@@ -1,0 +1,127 @@
+// Ablation: failure-aware execution (DESIGN.md §7). Two experiments on the
+// Synthetic join workload (index-locality feasible: the KV store exposes its
+// partition scheme):
+//
+//  (1) Index-host outages: every strategy fault-free vs. with two index
+//      hosts down for the whole run, a transient outage, and one degraded
+//      host. The index-locality plan must complete with identical output
+//      within 2x of its fault-free time (the PR's acceptance criterion):
+//      the placement filter moves its chunks to live replicas and the
+//      retry/failover path absorbs the rest. Emitted as one JSON line per
+//      (strategy, condition) plus a "within_2x" verdict line.
+//
+//  (2) Stragglers with and without speculative backup tasks: speculation
+//      must claw back straggler inflation on the baseline plan.
+//
+// Extra faults can be layered on top from the command line via the shared
+// --fault-* flags (bench_util.h), which apply to the *fault-free* arm too —
+// useful for exploring, not for the acceptance check.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+efind::ClusterConfig IndexHostDownConfig(const efind::ClusterConfig& base) {
+  efind::ClusterConfig config = base;
+  config.host_downtimes.push_back({3});
+  config.host_downtimes.push_back({7});
+  config.host_downtimes.push_back({2, 0.0, 0.002});
+  config.degraded_hosts.push_back(5);
+  // Retry backoff proportionate to the bench's simulated job scale.
+  config.lookup_retry_backoff_sec = 0.001;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::InitThreads(&argc, argv);
+  ClusterConfig base;
+  bench::ApplyFaultFlags(&argc, argv, &base);
+  bench::FigureHarness harness("ablation_faults");
+
+  SyntheticOptions options;
+  options.num_records = 50000;
+  options.num_distinct_keys = 25000;
+  options.num_splits = 96;
+  auto input = GenerateSynthetic(options, base.num_nodes);
+  KvStoreOptions kv;
+  kv.num_nodes = base.num_nodes;
+  kv.base_service_sec = 800e-6;
+  KvStore store(kv);
+  LoadSyntheticIndex(options, &store);
+  IndexJobConf conf = MakeSyntheticJoinJob(&store);
+
+  // (1) Index-host outages across all four strategies.
+  const ClusterConfig faulted = IndexHostDownConfig(base);
+  bool all_outputs_identical = true;
+  bool idxloc_within_2x = false;
+  for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
+                     Strategy::kRepartition, Strategy::kIndexLocality}) {
+    EFindJobRunner clean_runner(base);
+    EFindJobRunner fault_runner(faulted);
+    auto clean = clean_runner.RunWithStrategy(conf, input, s);
+    auto fault = fault_runner.RunWithStrategy(conf, input, s);
+    auto sorted = [](std::vector<Record> r) {
+      std::sort(r.begin(), r.end(), [](const Record& a, const Record& b) {
+        return a.key != b.key ? a.key < b.key : a.value < b.value;
+      });
+      return r;
+    };
+    const bool identical =
+        sorted(clean.CollectRecords()) == sorted(fault.CollectRecords());
+    all_outputs_identical = all_outputs_identical && identical;
+    const double ratio = fault.sim_seconds / clean.sim_seconds;
+    if (s == Strategy::kIndexLocality) {
+      idxloc_within_2x = identical && ratio < 2.0;
+    }
+    harness.Add(std::string(ToString(s)) + "/clean", clean.sim_seconds,
+                clean.plan.ToString());
+    harness.Add(std::string(ToString(s)) + "/index_host_down",
+                fault.sim_seconds, fault.plan.ToString());
+    std::printf(
+        "{\"bench\": \"ablation_faults/index_host_down\", "
+        "\"strategy\": \"%s\", \"clean_sim_seconds\": %.6f, "
+        "\"faulted_sim_seconds\": %.6f, \"ratio\": %.3f, "
+        "\"output_identical\": %s, \"failovers\": %.0f}\n",
+        ToString(s), clean.sim_seconds, fault.sim_seconds, ratio,
+        identical ? "true" : "false",
+        fault.counters.Get("efind.h0.idx0.lookup_failovers"));
+  }
+  std::printf(
+      "{\"bench\": \"ablation_faults/acceptance\", "
+      "\"idxloc_within_2x_of_fault_free\": %s, "
+      "\"all_outputs_identical\": %s}\n",
+      idxloc_within_2x ? "true" : "false",
+      all_outputs_identical ? "true" : "false");
+
+  // (2) Stragglers, with and without speculative execution.
+  ClusterConfig slow = base;
+  slow.straggler_rate = 0.1;
+  slow.straggler_slowdown = 8.0;
+  ClusterConfig spec = slow;
+  spec.speculative_execution = true;
+  spec.speculation_threshold = 1.5;
+  auto without = EFindJobRunner(slow).RunWithStrategy(conf, input,
+                                                      Strategy::kBaseline);
+  auto with =
+      EFindJobRunner(spec).RunWithStrategy(conf, input, Strategy::kBaseline);
+  harness.Add("stragglers/no_speculation", without.sim_seconds);
+  harness.Add("stragglers/speculation", with.sim_seconds);
+  std::printf(
+      "{\"bench\": \"ablation_faults/speculation\", "
+      "\"no_speculation_sim_seconds\": %.6f, "
+      "\"speculation_sim_seconds\": %.6f, \"recovered\": %s}\n",
+      without.sim_seconds, with.sim_seconds,
+      with.sim_seconds < without.sim_seconds ? "true" : "false");
+
+  std::fflush(stdout);
+  const int rc = bench::FinishBench(harness, argc, argv);
+  return idxloc_within_2x && all_outputs_identical ? rc : 1;
+}

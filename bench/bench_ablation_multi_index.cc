@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("ablation_multi_index");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   Optimizer optimizer(config);
   Rng rng(17);
 

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("fig11a_log");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   LogTraceOptions log_options;  // 150k events, Zipf IPs, bursty sessions.
   // Many small log files (one per server per time window): 12 map waves,
   // so the adaptive optimizer's baseline statistics wave is ~8% of the job

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("fig11f_synthetic");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   for (uint64_t l : {10, 100, 1000, 10000, 30000}) {
     SyntheticOptions options;  // 200k records, 100k keys (Theta = 2), 1 KB.
     options.index_value_bytes = l;

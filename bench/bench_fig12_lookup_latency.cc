@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("fig12_lookup_latency");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   KvStoreOptions kv;
   kv.num_nodes = config.num_nodes;
   kv.base_service_sec = 800e-6;  // Same store the Fig. 11(f) sweep uses.

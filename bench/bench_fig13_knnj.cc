@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::FigureHarness harness("fig13_knnj");
 
   ClusterConfig config;
+  bench::ApplyFaultFlags(&argc, argv, &config);
   OsmOptions osm;  // 60k |X| 60k points, k = 10, 4x8 cell grid.
   OsmData data = GenerateOsm(osm, config.num_nodes);
   IndexJobConf conf =

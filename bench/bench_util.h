@@ -56,6 +56,79 @@ inline int InitThreads(int* argc, char** argv) {
   return ResolveThreadCount(0);
 }
 
+/// Strips `--fault-*` arguments from the command line and applies them to
+/// `*config`, so any bench can be re-run under an injected fault load
+/// (DESIGN.md §7). Call after InitThreads and before building runners.
+/// Flags (all optional; defaults leave the cluster fault-free):
+///   --fault-task-failure-rate=X    share of tasks that fail and re-run
+///   --fault-straggler-rate=X       share of tasks inflated as stragglers
+///   --fault-straggler-slowdown=X   straggler inflation factor (>= 1)
+///   --fault-seed=N                 deterministic fault-injection seed
+///   --fault-down-hosts=N           N seeded random whole-run host outages
+///   --fault-down-host=K            host K down whole run (repeatable)
+///   --fault-degraded-host=K        host K degraded (repeatable)
+///   --fault-degraded-factor=X      degraded-host service stretch (>= 1)
+///   --fault-speculation            enable speculative backup tasks
+///   --fault-speculation-threshold=X  backup trigger vs wave median (> 1)
+///   --fault-backoff=X              lookup retry backoff seconds
+///   --fault-max-attempts=N         lookup attempts before failover
+///   --fault-failover-replicas=N    replica hosts tried per lookup
+/// Exits with an error message if the resulting config is invalid.
+inline void ApplyFaultFlags(int* argc, char** argv, ClusterConfig* config) {
+  int out = 1;
+  bool touched = false;
+  auto value = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1
+                                                            : nullptr;
+  };
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if ((v = value(arg, "--fault-task-failure-rate")) != nullptr) {
+      config->task_failure_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-straggler-rate")) != nullptr) {
+      config->straggler_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-straggler-slowdown")) != nullptr) {
+      config->straggler_slowdown = std::atof(v);
+    } else if ((v = value(arg, "--fault-seed")) != nullptr) {
+      config->fault_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = value(arg, "--fault-down-hosts")) != nullptr) {
+      config->random_down_hosts = std::atoi(v);
+    } else if ((v = value(arg, "--fault-down-host")) != nullptr) {
+      config->host_downtimes.push_back({std::atoi(v)});
+    } else if ((v = value(arg, "--fault-degraded-host")) != nullptr) {
+      config->degraded_hosts.push_back(std::atoi(v));
+    } else if ((v = value(arg, "--fault-degraded-factor")) != nullptr) {
+      config->degraded_service_factor = std::atof(v);
+    } else if (std::strcmp(arg, "--fault-speculation") == 0) {
+      config->speculative_execution = true;
+    } else if ((v = value(arg, "--fault-speculation-threshold")) != nullptr) {
+      config->speculation_threshold = std::atof(v);
+      config->speculative_execution = true;
+    } else if ((v = value(arg, "--fault-backoff")) != nullptr) {
+      config->lookup_retry_backoff_sec = std::atof(v);
+    } else if ((v = value(arg, "--fault-max-attempts")) != nullptr) {
+      config->lookup_max_attempts = std::atoi(v);
+    } else if ((v = value(arg, "--fault-failover-replicas")) != nullptr) {
+      config->failover_replicas = std::atoi(v);
+    } else {
+      argv[out++] = argv[i];
+      continue;  // Not ours: leave for benchmark's flag parser.
+    }
+    touched = true;
+  }
+  *argc = out;
+  if (touched) {
+    const char* why = nullptr;
+    if (!ValidateClusterConfig(*config, &why)) {
+      std::fprintf(stderr, "invalid --fault-* configuration: %s\n",
+                   why != nullptr ? why : "unknown");
+      std::exit(2);
+    }
+  }
+}
+
 /// One measured bar: configuration label -> simulated seconds, plus the
 /// host wall-clock time the engine took to produce it.
 struct Measurement {

@@ -56,8 +56,8 @@ inline JobPlan SingleIndexPlan(const IndexJobConf& conf, size_t op, int idx,
 
 inline void RunTpchFigure(FigureHarness* harness, const IndexJobConf& conf,
                           const std::vector<InputSplit>& input,
-                          size_t repart_op) {
-  ClusterConfig config;
+                          size_t repart_op,
+                          const ClusterConfig& config = ClusterConfig()) {
   EFindJobRunner runner(config);
   const JobPlan repart_plan =
       SingleIndexPlan(conf, repart_op, 0, Strategy::kRepartition);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the EFind reproduction repo:
+#   1. configure + build everything,
+#   2. full ctest suite,
+#   3. the fault-injection suite alone (ctest -L faults) — includes the
+#      faults_tsan_smoke / engine_tsan_smoke ThreadSanitizer binaries when
+#      the toolchain supports -fsanitize=thread,
+#   4. the failure-aware acceptance bench (exits nonzero unless the
+#      index-locality plan rides out index-host outages within 2x with
+#      byte-identical output).
+# Usage: scripts/verify.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j"$(nproc)"
+
+(cd "$BUILD" && ctest --output-on-failure -j"$(nproc)")
+(cd "$BUILD" && ctest --output-on-failure -L faults)
+
+"$BUILD"/bench/bench_ablation_faults --benchmark_list_tests=true \
+  | grep -E '"(acceptance|speculation)"' || true
+"$BUILD"/bench/bench_ablation_faults --benchmark_list_tests=true \
+  > /dev/null
+
+echo "verify: OK"

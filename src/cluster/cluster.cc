@@ -1,5 +1,10 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
 namespace efind {
 
 bool ValidateClusterConfig(const ClusterConfig& config, const char** why) {
@@ -22,12 +27,120 @@ bool ValidateClusterConfig(const ClusterConfig& config, const char** why) {
     reason = "cache_probe_sec must be non-negative";
   } else if (config.task_startup_sec < 0) {
     reason = "task_startup_sec must be non-negative";
+  } else if (config.task_failure_rate < 0 || config.task_failure_rate > 1) {
+    reason = "task_failure_rate must be in [0, 1]";
+  } else if (config.straggler_rate < 0 || config.straggler_rate > 1) {
+    reason = "straggler_rate must be in [0, 1]";
+  } else if (config.straggler_slowdown < 1) {
+    reason = "straggler_slowdown must be >= 1";
+  } else if (config.random_down_hosts < 0 ||
+             config.random_down_hosts >= config.num_nodes) {
+    reason = "random_down_hosts must be in [0, num_nodes)";
+  } else if (config.degraded_service_factor < 1) {
+    reason = "degraded_service_factor must be >= 1";
+  } else if (config.lookup_max_attempts < 1) {
+    reason = "lookup_max_attempts must be >= 1";
+  } else if (config.lookup_retry_backoff_sec < 0) {
+    reason = "lookup_retry_backoff_sec must be non-negative";
+  } else if (config.failover_replicas < 1) {
+    reason = "failover_replicas must be >= 1";
+  } else if (config.speculation_threshold <= 1) {
+    reason = "speculation_threshold must be > 1";
+  }
+  if (reason == nullptr) {
+    for (const HostDowntime& d : config.host_downtimes) {
+      if (d.node < 0 || d.node >= config.num_nodes) {
+        reason = "host_downtimes node out of range";
+        break;
+      }
+      if (d.from_sec < 0 || d.for_sec < 0 || std::isnan(d.from_sec) ||
+          std::isnan(d.for_sec)) {
+        reason = "host_downtimes times must be non-negative";
+        break;
+      }
+    }
+  }
+  if (reason == nullptr) {
+    for (int n : config.degraded_hosts) {
+      if (n < 0 || n >= config.num_nodes) {
+        reason = "degraded_hosts node out of range";
+        break;
+      }
+    }
   }
   if (reason != nullptr) {
     if (why != nullptr) *why = reason;
     return false;
   }
   return true;
+}
+
+HostAvailability::HostAvailability(const ClusterConfig& config) {
+  const int n = config.num_nodes > 0 ? config.num_nodes : 1;
+  intervals_.resize(n);
+  degrade_.assign(n, 1.0);
+
+  for (const HostDowntime& d : config.host_downtimes) {
+    if (d.node < 0 || d.node >= n || d.for_sec <= 0) continue;
+    intervals_[d.node].push_back({d.from_sec, d.from_sec + d.for_sec});
+    any_faults_ = true;
+  }
+  // `random_down_hosts` whole-run outages, picked deterministically from
+  // the fault seed (distinct hosts; same pick for any thread count).
+  int remaining = std::min(config.random_down_hosts, n - 1);
+  uint64_t h = config.fault_seed;
+  while (remaining > 0) {
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+    const int node = static_cast<int>(h % static_cast<uint64_t>(n));
+    if (IsDownWholeRun(node)) continue;  // Already down; pick another.
+    intervals_[node].push_back(
+        {0.0, std::numeric_limits<double>::infinity()});
+    any_faults_ = true;
+    --remaining;
+  }
+  for (auto& list : intervals_) {
+    std::sort(list.begin(), list.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.from < b.from;
+              });
+  }
+  for (int node : config.degraded_hosts) {
+    if (node < 0 || node >= n) continue;
+    degrade_[node] = std::max(1.0, config.degraded_service_factor);
+    if (degrade_[node] > 1.0) any_faults_ = true;
+  }
+}
+
+bool HostAvailability::IsDown(int node, double at_sec) const {
+  if (node < 0 || node >= num_nodes()) return false;
+  for (const Interval& i : intervals_[node]) {
+    if (at_sec >= i.from && at_sec < i.to) return true;
+  }
+  return false;
+}
+
+bool HostAvailability::IsDownWholeRun(int node) const {
+  if (node < 0 || node >= num_nodes()) return false;
+  for (const Interval& i : intervals_[node]) {
+    if (i.from <= 0.0 && std::isinf(i.to)) return true;
+  }
+  return false;
+}
+
+double HostAvailability::UpAgainAt(int node, double at_sec) const {
+  if (node < 0 || node >= num_nodes()) return at_sec;
+  double t = at_sec;
+  // Intervals are sorted by start; chase t through any that cover it so
+  // overlapping outages chain correctly.
+  for (const Interval& i : intervals_[node]) {
+    if (t >= i.from && t < i.to) t = i.to;
+  }
+  return t;
+}
+
+double HostAvailability::DegradeFactor(int node) const {
+  if (node < 0 || node >= static_cast<int>(degrade_.size())) return 1.0;
+  return degrade_[node];
 }
 
 }  // namespace efind

@@ -13,8 +13,22 @@
 #define EFIND_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 namespace efind {
+
+/// One planned outage of a worker / index host. `for_sec` defaults to
+/// "for the rest of the run"; finite values model transient outages that
+/// retry-with-backoff can ride out.
+struct HostDowntime {
+  int node = 0;
+  /// Outage start, in simulated seconds from phase start (task-local clock;
+  /// see DESIGN.md §7 for the clock semantics).
+  double from_sec = 0.0;
+  /// Outage length; infinity = down for the whole run.
+  double for_sec = std::numeric_limits<double>::infinity();
+};
 
 /// Static description of the simulated cluster and its cost constants.
 /// All times are in seconds, all sizes in bytes.
@@ -62,8 +76,45 @@ struct ClusterConfig {
   /// Fraction of tasks that run `straggler_slowdown` times slower.
   double straggler_rate = 0.0;
   double straggler_slowdown = 3.0;
-  /// Seed of the deterministic per-task fault assignment.
+  /// Seed of the deterministic per-task fault assignment (also seeds the
+  /// `random_down_hosts` pick below).
   uint64_t fault_seed = 1;
+
+  // --- index-host availability (failure-aware execution) -------------------
+  // The paper's footnote 3 is specifically about *index host* availability
+  // ("the unavailability of the machine can slow down the entire MapReduce
+  // job" when reducers are pinned to single index hosts). These knobs model
+  // down and degraded index hosts; the accessor runtime reacts with
+  // retry-with-backoff and replica failover (src/efind/failover.h), and the
+  // scheduler avoids placing index-locality tasks on whole-run-down hosts.
+  /// Explicit per-node outages.
+  std::vector<HostDowntime> host_downtimes;
+  /// Additionally marks this many distinct hosts down for the whole run,
+  /// picked deterministically from `fault_seed`. Must be < num_nodes.
+  int random_down_hosts = 0;
+  /// Hosts whose index service runs `degraded_service_factor` times slower
+  /// (overloaded / failing-disk nodes; HAIL-style heterogeneous replicas).
+  std::vector<int> degraded_hosts;
+  double degraded_service_factor = 4.0;
+
+  /// Lookup retry policy against a down index host: up to this many
+  /// attempts total (>= 1), waiting `lookup_retry_backoff_sec * attempt`
+  /// before each retry, then failing over to a replica host.
+  int lookup_max_attempts = 3;
+  double lookup_retry_backoff_sec = 0.05;
+  /// Replica hosts a failed-over lookup may try (the paper's index
+  /// partitions are "replicated to three data nodes").
+  int failover_replicas = 3;
+
+  // --- speculative execution ----------------------------------------------
+  /// Launch a backup copy of a task whose duration exceeds
+  /// `speculation_threshold` times its wave's median; the first finisher
+  /// wins (Hadoop's speculative execution). Purely a time-domain transform:
+  /// outputs are byte-identical with or without it (DESIGN.md §7).
+  bool speculative_execution = false;
+  /// Slowdown multiple relative to the wave median that triggers a backup
+  /// task. Must be > 1.
+  double speculation_threshold = 1.5;
 
   int total_map_slots() const { return num_nodes * map_slots_per_node; }
   int total_reduce_slots() const { return num_nodes * reduce_slots_per_node; }
@@ -95,6 +146,46 @@ struct ClusterConfig {
 /// Validates a configuration (positive node/slot counts and rates).
 /// Returns false and leaves `*why` with a reason when invalid.
 bool ValidateClusterConfig(const ClusterConfig& config, const char** why);
+
+/// Immutable per-run view of which hosts are down or degraded, resolved
+/// from a `ClusterConfig` (explicit `host_downtimes` plus the
+/// deterministically seeded `random_down_hosts` pick). Down intervals are
+/// evaluated against the asking task's local clock — the simulator has no
+/// global clock while a task runs (scheduling is post-hoc), so an outage at
+/// `[from, from+for)` means "down when a task has been running that long";
+/// whole-run outages (the default `for_sec`) are clock-independent.
+class HostAvailability {
+ public:
+  /// An availability view with no faults (every host up, factor 1).
+  HostAvailability() = default;
+  explicit HostAvailability(const ClusterConfig& config);
+
+  /// True when any outage or degradation is configured (fast path gate).
+  bool any_faults() const { return any_faults_; }
+
+  /// Is `node` down at task-local time `at_sec`?
+  bool IsDown(int node, double at_sec) const;
+  /// Is `node` down from time 0 to the end of the run? Placement decisions
+  /// (index locality) avoid such hosts entirely.
+  bool IsDownWholeRun(int node) const;
+  /// Earliest time >= `at_sec` at which `node` is up again (at_sec itself
+  /// when up; +inf when down for the rest of the run).
+  double UpAgainAt(int node, double at_sec) const;
+  /// Service-time multiplier of `node` (1.0 when healthy).
+  double DegradeFactor(int node) const;
+
+  int num_nodes() const { return static_cast<int>(intervals_.size()); }
+
+ private:
+  struct Interval {
+    double from = 0.0;
+    double to = 0.0;  // Exclusive; may be +inf.
+  };
+  // intervals_[node] = outages of that node, merged and sorted by `from`.
+  std::vector<std::vector<Interval>> intervals_;
+  std::vector<double> degrade_;  // Per-node service factor.
+  bool any_faults_ = false;
+};
 
 }  // namespace efind
 

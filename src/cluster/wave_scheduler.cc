@@ -40,4 +40,49 @@ PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
   return out;
 }
 
+PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
+                            const std::vector<double>& base_durations,
+                            int num_slots, double threshold) {
+  if (threshold <= 1.0 || durations.empty() ||
+      base_durations.size() != durations.size()) {
+    return ScheduleWaves(durations, num_slots);
+  }
+  if (num_slots <= 0) num_slots = 1;
+
+  // A task's wave is its FIFO submission round (i / num_slots); the median
+  // of each wave is the speculation baseline, as Hadoop compares a task's
+  // progress against its peers launched in the same round.
+  const size_t slots = static_cast<size_t>(num_slots);
+  size_t speculative_launched = 0;
+  size_t speculative_wins = 0;
+  std::vector<double> effective(durations);
+  std::vector<double> wave_sorted;
+  for (size_t wave_begin = 0; wave_begin < durations.size();
+       wave_begin += slots) {
+    const size_t wave_end = std::min(durations.size(), wave_begin + slots);
+    wave_sorted.assign(durations.begin() + wave_begin,
+                       durations.begin() + wave_end);
+    std::sort(wave_sorted.begin(), wave_sorted.end());
+    const double median = wave_sorted[wave_sorted.size() / 2];
+    if (median <= 0.0) continue;
+    const double trigger = threshold * median;
+    for (size_t i = wave_begin; i < wave_end; ++i) {
+      if (durations[i] <= trigger) continue;
+      // The backup launches when the primary exceeds the trigger and runs
+      // at the task's un-faulted speed (a fresh attempt on a healthy slot).
+      ++speculative_launched;
+      const double backup_finish = trigger + base_durations[i];
+      if (backup_finish < durations[i]) {
+        ++speculative_wins;
+        effective[i] = backup_finish;
+      }
+    }
+  }
+
+  PhaseSchedule out = ScheduleWaves(effective, num_slots);
+  out.speculative_launched = speculative_launched;
+  out.speculative_wins = speculative_wins;
+  return out;
+}
+
 }  // namespace efind

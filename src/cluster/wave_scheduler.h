@@ -28,6 +28,10 @@ struct PhaseSchedule {
   double first_wave_finish = 0.0;
   /// Number of tasks in the first wave.
   size_t first_wave_size = 0;
+  /// Speculative execution (the three-argument overload): how many backup
+  /// tasks launched, and how many finished before their primary.
+  size_t speculative_launched = 0;
+  size_t speculative_wins = 0;
 };
 
 /// Schedules tasks with the given durations onto `num_slots` identical slots
@@ -36,6 +40,20 @@ struct PhaseSchedule {
 /// A non-positive `num_slots` is treated as 1.
 PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
                             int num_slots);
+
+/// As above with Hadoop-style speculative execution: a task whose (possibly
+/// fault-inflated) duration exceeds `threshold` times the median duration of
+/// its wave gets a backup copy launched once that threshold passes; the
+/// backup runs for the task's un-faulted `base_durations[i]`, and the first
+/// finisher wins. Both inputs are per-task durations collected *before*
+/// scheduling, so this is a deterministic post-hoc transform on the time
+/// domain only — data flow, counters and outputs are untouched, and results
+/// are bit-identical at any worker-thread count (DESIGN.md §7). The backup's
+/// slot occupancy is deliberately not modeled (second-order on a cluster
+/// with free slots); `threshold` <= 1 disables speculation.
+PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
+                            const std::vector<double>& base_durations,
+                            int num_slots, double threshold);
 
 }  // namespace efind
 

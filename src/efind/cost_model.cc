@@ -15,10 +15,13 @@ bool ValidIndex(const OperatorStats& stats, int j) {
 double CostModel::BaselineCost(const OperatorStats& stats, int j) const {
   if (!ValidIndex(stats, j)) return 0;
   const IndexStats& is = stats.index[j];
+  // `avail_excess` folds the observed per-lookup fault penalty (retries,
+  // backoff, failover round trips, degraded service) into the remote leg;
+  // it is 0 on a healthy cluster, leaving Eq. 1 untouched.
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj;
+      is.remote_overhead + is.tj + is.avail_excess;
   return stats.n1 * is.nik * per_lookup;
 }
 
@@ -28,7 +31,7 @@ double CostModel::CacheCost(const OperatorStats& stats, int j) const {
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj;
+      is.remote_overhead + is.tj + is.avail_excess;
   return stats.n1 * is.nik *
          (config_.cache_probe_sec + is.miss_ratio * per_lookup);
 }
@@ -115,7 +118,7 @@ double CostModel::RepartitionCost(const OperatorStats& stats, int j,
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj;
+      is.remote_overhead + is.tj + is.avail_excess;
   const double lookup_cost = stats.n1 * is.nik / theta * per_lookup;
   return ShuffleCost(stats, spre_eff) +
          ResultCost(stats, position, spre_eff) + lookup_cost +
@@ -128,8 +131,21 @@ double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
   if (!ValidIndex(stats, j)) return 0;
   const IndexStats& is = stats.index[j];
   const double theta = std::max(1.0, is.theta);
+  // Under host faults, a `down_share` fraction of the node-local lookups
+  // loses locality and is forced through the remote failover path; the
+  // remainder serves locally at the clean T_j. This is how Algorithm 1's
+  // mid-phase re-optimization abandons index locality when its target hosts
+  // degrade: observed down/excess statistics inflate this term past the
+  // cache/repartition alternatives.
+  const double remote_per_lookup =
+      config_.RemoteLookupSeconds(
+          static_cast<uint64_t>(is.sik + is.siv)) +
+      is.remote_overhead + is.tj;
+  const double local_per_lookup =
+      (1.0 - is.down_share) * is.tj +
+      is.down_share * (remote_per_lookup + is.avail_excess);
   const double lookup_cost =
-      stats.n1 * is.nik / theta * is.tj +
+      stats.n1 * is.nik / theta * local_per_lookup +
       stats.n1 * spre_eff / config_.network_bw_bytes_per_sec;
   // Index locality chunks each partition's grouped file across its replica
   // hosts (finer tasks than plain re-partitioning): ~3 extra wave quanta

@@ -61,7 +61,8 @@ class PipelineExecutor {
   PipelineExecutor(JobRunner* job_runner, const ClusterConfig& config,
                    const EFindOptions& options, const IndexJobConf& conf,
                    const JobPlan& plan, EFindJobRunner::RunContext* rc,
-                   const CollectedStats* stats_hint, EFindRunResult* result)
+                   const CollectedStats* stats_hint, EFindRunResult* result,
+                   const LookupFailover* failover = nullptr)
       : job_runner_(job_runner),
         config_(config),
         options_(options),
@@ -70,6 +71,7 @@ class PipelineExecutor {
         rc_(rc),
         stats_hint_(stats_hint),
         result_(result),
+        failover_(failover),
         cost_model_(config) {
     StartJob();
   }
@@ -335,11 +337,12 @@ class PipelineExecutor {
       }
       if (post_boundary) {
         cur_.reduce_stages.push_back(std::make_shared<GroupedLookupStage>(
-            op, choice.index, /*local=*/false, rt, &config_, prefix));
+            op, choice.index, /*local=*/false, rt, &config_, prefix,
+            failover_));
         if (!inline_tasks.empty()) {
           cur_.reduce_stages.push_back(std::make_shared<InlineLookupStage>(
               op, inline_tasks, rt, &config_, options_.cache_capacity,
-              prefix));
+              prefix, failover_));
         }
         cur_.reduce_stages.push_back(
             std::make_shared<PostProcessStage>(op, rt, prefix));
@@ -364,9 +367,20 @@ class PipelineExecutor {
         std::vector<InputSplit> resplit;
         for (size_t r = 0; r < view_.size(); ++r) {
           const int p = static_cast<int>(r);
+          // Failure-aware placement: skip replica hosts that are down for
+          // the whole run — their chunks would only lose locality later.
+          // Transiently-down hosts keep their chunks (the lookup path rides
+          // the outage out with retries/failover).
+          const HostAvailability* avail =
+              failover_ != nullptr && failover_->active()
+                  ? failover_->availability()
+                  : nullptr;
           std::vector<int> hosts;
           for (int n = 0; n < config_.num_nodes; ++n) {
-            if (scheme->NodeHostsPartition(n, p)) hosts.push_back(n);
+            if (scheme->NodeHostsPartition(n, p) &&
+                (avail == nullptr || !avail->IsDownWholeRun(n))) {
+              hosts.push_back(n);
+            }
           }
           if (hosts.empty()) hosts.push_back(p % config_.num_nodes);
           const auto& records = view_[r]->records;
@@ -400,7 +414,7 @@ class PipelineExecutor {
         cur_.map_input_remote = true;
       }
       cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
-          op, choice.index, idxloc, rt, &config_, prefix));
+          op, choice.index, idxloc, rt, &config_, prefix, failover_));
 
       if (stats != nullptr &&
           choice.index < static_cast<int>(stats->index.size())) {
@@ -411,7 +425,8 @@ class PipelineExecutor {
 
     if (!inline_tasks.empty()) {
       side_stages()->push_back(std::make_shared<InlineLookupStage>(
-          op, inline_tasks, rt, &config_, options_.cache_capacity, prefix));
+          op, inline_tasks, rt, &config_, options_.cache_capacity, prefix,
+          failover_));
     }
     side_stages()->push_back(
         std::make_shared<PostProcessStage>(op, rt, prefix));
@@ -425,6 +440,7 @@ class PipelineExecutor {
   EFindJobRunner::RunContext* rc_;
   const CollectedStats* stats_hint_;
   EFindRunResult* result_;
+  const LookupFailover* failover_;
   CostModel cost_model_;
 
   JobConfig cur_;
@@ -446,7 +462,9 @@ EFindJobRunner::EFindJobRunner(const ClusterConfig& config,
     : config_(config),
       options_(options),
       job_runner_(config),
-      optimizer_(config, options.optimizer) {
+      optimizer_(config, options.optimizer),
+      avail_(config_),
+      failover_(&config_, &avail_) {
   job_runner_.set_num_threads(options_.threads);
 }
 
@@ -513,7 +531,7 @@ EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
   EFindRunResult result;
   result.plan = plan;
   PipelineExecutor px(&job_runner_, config_, options_, conf, plan, rc.get(),
-                      stats_hint, &result);
+                      stats_hint, &result, &failover_);
   px.RunAll(input);
   result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
   return result;
@@ -610,7 +628,7 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
   result.plan = base_plan;
 
   PipelineExecutor px(&job_runner_, config_, options_, conf, base_plan,
-                      rc.get(), nullptr, &result);
+                      rc.get(), nullptr, &result, &failover_);
   const size_t total_splits = input.size();
   const size_t wave =
       std::min(total_splits, static_cast<size_t>(config_.total_map_slots()));
@@ -667,7 +685,7 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
     // shuffle jobs), whose final job feeds the same reduce as the old plan.
     EFindRunResult sub;
     PipelineExecutor px2(&job_runner_, config_, options_, conf, new_plan,
-                         rc.get(), &wave_stats, &sub);
+                         rc.get(), &wave_stats, &sub, &failover_);
     std::vector<const InputSplit*> remaining(scheduled.begin() + wave,
                                              scheduled.end());
     final_job = px2.Prepare(std::move(remaining));
@@ -747,7 +765,7 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
 
       EFindRunResult sub;
       PipelineExecutor px3(&job_runner_, config_, options_, conf, tail_plan,
-                           rc.get(), &tail_stats, &sub);
+                           rc.get(), &tail_stats, &sub, &failover_);
       px3.RunTailPipeline(wave2.outputs);
       elapsed += sub.sim_seconds;
       for (auto& j : sub.jobs) result.jobs.push_back(j);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "efind/failover.h"
 #include "efind/index_operator.h"
 #include "efind/optimizer.h"
 #include "efind/plan.h"
@@ -133,6 +134,9 @@ class EFindJobRunner {
   const ClusterConfig& config() const { return config_; }
   const EFindOptions& options() const { return options_; }
   const Optimizer& optimizer() const { return optimizer_; }
+  /// The host-availability model the run executes under (derived from the
+  /// config's fault knobs; no faults when none are configured).
+  const HostAvailability& availability() const { return avail_; }
 
   /// Per-run statistics collectors (public so the internal pipeline
   /// executor can reach it; not part of the user-facing API).
@@ -156,6 +160,10 @@ class EFindJobRunner {
   EFindOptions options_;
   JobRunner job_runner_;
   Optimizer optimizer_;
+  /// Host fault model + lookup charger shared by every run of this runner
+  /// (both reference `config_`, which outlives them).
+  HostAvailability avail_;
+  LookupFailover failover_;
 };
 
 }  // namespace efind

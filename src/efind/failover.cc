@@ -1,0 +1,138 @@
+#include "efind/failover.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace efind {
+
+double LookupFailover::HealthyRemoteSeconds(const IndexAccessor& accessor,
+                                            const std::string& ik,
+                                            uint64_t result_bytes,
+                                            double service_sec) const {
+  return service_sec + accessor.RemoteOverheadSeconds() +
+         config_->RemoteLookupSeconds(ik.size() + result_bytes);
+}
+
+LookupCharge LookupFailover::Remote(const IndexAccessor& accessor,
+                                    const std::string& ik,
+                                    uint64_t result_bytes, double service_sec,
+                                    double task_clock) const {
+  LookupCharge charge;
+  const double healthy =
+      HealthyRemoteSeconds(accessor, ik, result_bytes, service_sec);
+  const PartitionScheme* scheme = accessor.partition_scheme();
+  if (!active() || scheme == nullptr) {
+    // No host model: an external service (no scheme) has no machine of ours
+    // to take down; charge the healthy path.
+    charge.seconds = healthy;
+    return charge;
+  }
+
+  const int p = scheme->PartitionOf(ik);
+  const int primary = scheme->HostOfPartition(p);
+  // Serving cost from `host`: the service leg stretches by the host's
+  // degrade factor; the network legs are unchanged.
+  auto serve_from = [&](int host) {
+    return healthy + (avail_->DegradeFactor(host) - 1.0) * service_sec;
+  };
+
+  double waited = 0.0;  // Backoff / outage wait time, charged to the task.
+  if (!avail_->IsDown(primary, task_clock)) {
+    charge.seconds = serve_from(primary);
+    charge.excess_sec = charge.seconds - healthy;
+    return charge;
+  }
+  charge.primary_down = true;
+
+  // Retry against the primary with linear backoff; a short outage can be
+  // ridden out without leaving the host.
+  for (int attempt = 1; attempt < config_->lookup_max_attempts; ++attempt) {
+    waited += config_->lookup_retry_backoff_sec * attempt;
+    ++charge.attempts;
+    if (!avail_->IsDown(primary, task_clock + waited)) {
+      charge.seconds = waited + serve_from(primary);
+      charge.excess_sec = charge.seconds - healthy;
+      return charge;
+    }
+  }
+
+  // Failover: try the partition's other replica hosts, up to
+  // `failover_replicas` hosts in total (primary included). Each candidate
+  // costs one extra routing round trip.
+  std::vector<int> candidates;
+  candidates.push_back(primary);
+  for (int n = 0; n < avail_->num_nodes() &&
+                  static_cast<int>(candidates.size()) <
+                      config_->failover_replicas;
+       ++n) {
+    if (n != primary && scheme->NodeHostsPartition(n, p)) {
+      candidates.push_back(n);
+    }
+  }
+  for (size_t c = 1; c < candidates.size(); ++c) {
+    waited += config_->rpc_overhead_sec;  // Re-route to the next replica.
+    ++charge.attempts;
+    if (!avail_->IsDown(candidates[c], task_clock + waited)) {
+      charge.failed_over = true;
+      charge.seconds = waited + serve_from(candidates[c]);
+      charge.excess_sec = charge.seconds - healthy;
+      return charge;
+    }
+  }
+
+  // Every replica is down right now: wait for the earliest one to come
+  // back. All down for the rest of the run degenerates to a cold restore
+  // of the partition from the DFS (3x-replicated files survive the hosts).
+  double earliest = std::numeric_limits<double>::infinity();
+  int earliest_host = primary;
+  for (int host : candidates) {
+    const double up = avail_->UpAgainAt(host, task_clock + waited);
+    if (up < earliest) {
+      earliest = up;
+      earliest_host = host;
+    }
+  }
+  if (std::isfinite(earliest)) {
+    waited += earliest - (task_clock + waited);
+    charge.failed_over = earliest_host != primary;
+    charge.seconds = waited + serve_from(earliest_host);
+  } else {
+    charge.failed_over = true;
+    charge.seconds = waited +
+                     config_->DfsRoundTripSeconds(ik.size() + result_bytes) +
+                     healthy;
+  }
+  charge.excess_sec = charge.seconds - healthy;
+  return charge;
+}
+
+LookupCharge LookupFailover::Local(const IndexAccessor& accessor,
+                                   const std::string& ik,
+                                   uint64_t result_bytes, double service_sec,
+                                   int task_node, double task_clock) const {
+  LookupCharge charge;
+  if (!active()) {
+    charge.seconds = service_sec;
+    return charge;
+  }
+  const PartitionScheme* scheme = accessor.partition_scheme();
+  const int p = scheme != nullptr ? scheme->PartitionOf(ik) : -1;
+  const bool hosted =
+      scheme != nullptr && scheme->NodeHostsPartition(task_node, p);
+  if (hosted && !avail_->IsDown(task_node, task_clock)) {
+    // The local replica serves; a degraded host stretches the service leg.
+    charge.seconds = avail_->DegradeFactor(task_node) * service_sec;
+    charge.excess_sec = charge.seconds - service_sec;
+    return charge;
+  }
+  // Locality lost: the task's node does not hold (or cannot serve) the
+  // partition, so the lookup leaves the node through the remote failover
+  // path. The entire difference vs. the healthy local cost is excess.
+  charge = Remote(accessor, ik, result_bytes, service_sec, task_clock);
+  charge.failed_over = true;
+  charge.excess_sec = charge.seconds - service_sec;
+  return charge;
+}
+
+}  // namespace efind

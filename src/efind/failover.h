@@ -1,0 +1,99 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Failure-aware accessor runtime: retry-with-backoff and replica failover
+// for index lookups against down or degraded hosts. The paper's footnote 3
+// rejects pinning work to single index hosts because "the unavailability of
+// the machine can slow down the entire MapReduce job"; this module is the
+// reacting half of that story — a lookup that would hit a down index host
+// retries with linear backoff, then fails over to a replica host of the
+// index partition, charging the extra network/wait time to the task's
+// simulated clock. Everything here is time-domain only: the data flow (the
+// actual `Lookup` call against the in-memory index) is untouched, so job
+// outputs are byte-identical with and without injected faults (DESIGN.md
+// §7).
+
+#ifndef EFIND_EFIND_FAILOVER_H_
+#define EFIND_EFIND_FAILOVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "efind/index_accessor.h"
+
+namespace efind {
+
+/// Time accounting of one (possibly retried / failed-over) index lookup.
+struct LookupCharge {
+  /// Total simulated seconds to charge the task for this lookup.
+  double seconds = 0.0;
+  /// Seconds beyond what the same lookup costs on a healthy cluster —
+  /// retries, backoff waits, failover round trips, degraded service. This
+  /// feeds the optimizer's availability statistics; the clean service time
+  /// (T_j) and lookup counters are reported separately so Θ/R estimates
+  /// never move under faults.
+  double excess_sec = 0.0;
+  /// Lookup attempts issued (1 on the healthy path).
+  int attempts = 1;
+  /// The partition's primary host was down when the lookup was issued.
+  bool primary_down = false;
+  /// The lookup was served by a host other than the one it targeted
+  /// (replica failover, or an index-locality lookup forced off-node).
+  bool failed_over = false;
+};
+
+/// Charges index lookups under the cluster's host-availability model.
+///
+/// Stateless and const: safe to share across concurrently executing tasks.
+/// Down intervals are evaluated against the calling task's local clock
+/// (`TaskContext::sim_time()` at lookup issue) — the simulator has no global
+/// clock during a phase. Hosts are resolved through the accessor's partition
+/// scheme; accessors without a scheme (external cloud services) expose no
+/// host to take down and always charge healthy-path time.
+class LookupFailover {
+ public:
+  /// Inactive charger (no faults configured); `active()` is false and the
+  /// stages keep their original single-expression time charges.
+  LookupFailover() = default;
+  /// `config` and `avail` are borrowed and must outlive this object.
+  LookupFailover(const ClusterConfig* config, const HostAvailability* avail)
+      : config_(config), avail_(avail) {}
+
+  /// True when any host fault is configured; false routes stages onto the
+  /// exact pre-existing charge expressions (bit-identical timings).
+  bool active() const {
+    return config_ != nullptr && avail_ != nullptr && avail_->any_faults();
+  }
+
+  /// Charges a remote lookup of `ik` (returning `result_bytes`) with clean
+  /// service time `service_sec`, issued at task-local time `task_clock`.
+  LookupCharge Remote(const IndexAccessor& accessor, const std::string& ik,
+                      uint64_t result_bytes, double service_sec,
+                      double task_clock) const;
+
+  /// Charges an index-locality (node-local) lookup issued from `task_node`.
+  /// When the node does not host the key's partition, or is down, the
+  /// lookup is forced off-node through the remote failover path and the
+  /// whole difference vs. the local healthy cost is reported as excess.
+  LookupCharge Local(const IndexAccessor& accessor, const std::string& ik,
+                     uint64_t result_bytes, double service_sec, int task_node,
+                     double task_clock) const;
+
+  const HostAvailability* availability() const { return avail_; }
+
+ private:
+  /// The healthy-cluster cost of a remote lookup (same expression, and
+  /// floating-point evaluation order, as the stages' original charge).
+  double HealthyRemoteSeconds(const IndexAccessor& accessor,
+                              const std::string& ik,
+                              uint64_t result_bytes,
+                              double service_sec) const;
+
+  const ClusterConfig* config_ = nullptr;
+  const HostAvailability* avail_ = nullptr;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_EFIND_FAILOVER_H_

@@ -13,7 +13,13 @@ std::vector<Strategy> Optimizer::FeasibleStrategies(const IndexStats& is) {
   out.push_back(Strategy::kLookupCache);
   if (is.repartitionable) {
     out.push_back(Strategy::kRepartition);
-    if (is.has_partition_scheme) out.push_back(Strategy::kIndexLocality);
+    // Index locality pins lookups to the partition hosts; when observation
+    // says most lookups found their host down, the strategy is infeasible
+    // regardless of its (inflated) cost estimate — the paper's footnote 3
+    // concern made concrete.
+    if (is.has_partition_scheme && is.down_share <= 0.5) {
+      out.push_back(Strategy::kIndexLocality);
+    }
   }
   return out;
 }

@@ -97,11 +97,13 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
                                      OperatorRuntime* runtime,
                                      const ClusterConfig* config,
                                      size_t cache_capacity,
-                                     std::string counter_prefix)
+                                     std::string counter_prefix,
+                                     const LookupFailover* failover)
     : op_(std::move(op)),
       tasks_(std::move(tasks)),
       runtime_(runtime),
       config_(config),
+      failover_(failover),
       counter_prefix_(std::move(counter_prefix)) {
   caches_.resize(tasks_.size());
   counter_names_.reserve(tasks_.size());
@@ -114,7 +116,8 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
         counter_prefix_ + ".idx" + std::to_string(tasks_[t].index);
     counter_names_.push_back({CounterHandle(base + ".lookups"),
                               CounterHandle(base + ".cache_hits"),
-                              CounterHandle(base + ".lookup_errors")});
+                              CounterHandle(base + ".lookup_errors"),
+                              CounterHandle(base + ".lookup_failovers")});
   }
 }
 
@@ -156,8 +159,21 @@ CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
   }
   const uint64_t result_bytes = ResultBytes(result);
   const double service = op_->accessors()[j]->ServiceSeconds(result_bytes);
-  ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
-                  config_->RemoteLookupSeconds(ik.size() + result_bytes));
+  if (failover_ != nullptr && failover_->active()) {
+    const LookupCharge charge = failover_->Remote(
+        *op_->accessors()[j], ik, result_bytes, service, ctx->sim_time());
+    ctx->AddSimTime(charge.seconds);
+    if (charge.failed_over) {
+      ctx->counters()->Increment(names.lookup_failovers);
+    }
+    if (stats != nullptr) {
+      stats->LookupAvailability(j, charge.excess_sec, charge.primary_down,
+                                charge.failed_over);
+    }
+  } else {
+    ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
+                    config_->RemoteLookupSeconds(ik.size() + result_bytes));
+  }
   ctx->counters()->Increment(names.lookups);
   if (stats != nullptr) {
     stats->LookupPerformed(j, ik.size(), result_bytes, service);
@@ -289,19 +305,23 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
                                        int index, bool local,
                                        OperatorRuntime* runtime,
                                        const ClusterConfig* config,
-                                       std::string counter_prefix)
+                                       std::string counter_prefix,
+                                       const LookupFailover* failover)
     : op_(std::move(op)),
       index_(index),
       local_(local),
       runtime_(runtime),
       config_(config),
+      failover_(failover),
       counter_prefix_(std::move(counter_prefix)),
       lookups_(counter_prefix_ + ".idx" + std::to_string(index_) +
                ".lookups"),
       lookup_errors_(counter_prefix_ + ".idx" + std::to_string(index_) +
                      ".lookup_errors"),
       lookup_reuses_(counter_prefix_ + ".idx" + std::to_string(index_) +
-                     ".lookup_reuses") {}
+                     ".lookup_reuses"),
+      lookup_failovers_(counter_prefix_ + ".idx" + std::to_string(index_) +
+                        ".lookup_failovers") {}
 
 std::string GroupedLookupStage::name() const {
   return counter_prefix_ + ".grouped_lookup" + std::to_string(index_);
@@ -341,10 +361,25 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
         const uint64_t result_bytes = ResultBytes(result);
         const double service =
             op_->accessors()[index_]->ServiceSeconds(result_bytes);
-        ctx->AddSimTime(service +
-                        op_->accessors()[index_]->RemoteOverheadSeconds() +
-                        config_->RemoteLookupSeconds(keys[i].size() +
-                                                     result_bytes));
+        if (failover_ != nullptr && failover_->active()) {
+          const LookupCharge charge =
+              failover_->Remote(*op_->accessors()[index_], keys[i],
+                                result_bytes, service, ctx->sim_time());
+          ctx->AddSimTime(charge.seconds);
+          if (charge.failed_over) {
+            ctx->counters()->Increment(lookup_failovers_);
+          }
+          if (stats != nullptr) {
+            stats->LookupAvailability(index_, charge.excess_sec,
+                                      charge.primary_down,
+                                      charge.failed_over);
+          }
+        } else {
+          ctx->AddSimTime(service +
+                          op_->accessors()[index_]->RemoteOverheadSeconds() +
+                          config_->RemoteLookupSeconds(keys[i].size() +
+                                                       result_bytes));
+        }
         ctx->counters()->Increment(lookups_);
         if (stats != nullptr) {
           stats->LookupPerformed(index_, keys[i].size(), result_bytes,
@@ -370,7 +405,22 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
     const uint64_t result_bytes = ResultBytes(result);
     const double service =
         op_->accessors()[index_]->ServiceSeconds(result_bytes);
-    if (local_) {
+    if (failover_ != nullptr && failover_->active()) {
+      const LookupCharge charge =
+          local_ ? failover_->Local(*op_->accessors()[index_], ik,
+                                    result_bytes, service, ctx->node_id(),
+                                    ctx->sim_time())
+                 : failover_->Remote(*op_->accessors()[index_], ik,
+                                     result_bytes, service, ctx->sim_time());
+      ctx->AddSimTime(charge.seconds);
+      if (charge.failed_over) {
+        ctx->counters()->Increment(lookup_failovers_);
+      }
+      if (stats != nullptr) {
+        stats->LookupAvailability(index_, charge.excess_sec,
+                                  charge.primary_down, charge.failed_over);
+      }
+    } else if (local_) {
       // Index locality: the task runs on a node hosting this partition, so
       // the lookup is a local call (paper Eq. 4).
       ctx->AddSimTime(service);

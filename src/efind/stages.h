@@ -30,6 +30,7 @@
 #include "cluster/cluster.h"
 #include "common/lru_cache.h"
 #include "common/partition_scheme.h"
+#include "efind/failover.h"
 #include "efind/index_operator.h"
 #include "efind/plan.h"
 #include "efind/statistics.h"
@@ -84,10 +85,15 @@ struct InlineIndexTask {
 /// charged per actual lookup; cache probes charge T_cache.
 class InlineLookupStage : public RecordStage {
  public:
+  /// `failover` (optional, borrowed) activates the failure-aware charge
+  /// path: down/degraded index hosts cost retries, backoff and replica
+  /// failover time (DESIGN.md §7). Null or inactive keeps the original
+  /// healthy-path charges bit-identical.
   InlineLookupStage(std::shared_ptr<IndexOperator> op,
                     std::vector<InlineIndexTask> tasks,
                     OperatorRuntime* runtime, const ClusterConfig* config,
-                    size_t cache_capacity, std::string counter_prefix);
+                    size_t cache_capacity, std::string counter_prefix,
+                    const LookupFailover* failover = nullptr);
 
   std::string name() const override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
@@ -98,6 +104,7 @@ class InlineLookupStage : public RecordStage {
     CounterHandle lookups;
     CounterHandle cache_hits;
     CounterHandle lookup_errors;
+    CounterHandle lookup_failovers;
   };
 
   // Serves tasks_[t] for `ik` (through the cache if configured), charging
@@ -110,6 +117,7 @@ class InlineLookupStage : public RecordStage {
   std::vector<InlineIndexTask> tasks_;
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
+  const LookupFailover* failover_;
   std::string counter_prefix_;
   std::vector<TaskCounters> counter_names_;  // Parallel to tasks_.
   // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
@@ -172,9 +180,13 @@ class GroupReducer : public Reducer {
 /// job's remote-input flag. Remote mode charges `(Sik+Siv)/BW + T_j`.
 class GroupedLookupStage : public RecordStage {
  public:
+  /// `failover` as in `InlineLookupStage`; in `local` mode a down or
+  /// non-hosting task node forces the lookup off-node through the remote
+  /// failover path (graceful index-locality degradation).
   GroupedLookupStage(std::shared_ptr<IndexOperator> op, int index, bool local,
                      OperatorRuntime* runtime, const ClusterConfig* config,
-                     std::string counter_prefix);
+                     std::string counter_prefix,
+                     const LookupFailover* failover = nullptr);
 
   std::string name() const override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
@@ -193,10 +205,12 @@ class GroupedLookupStage : public RecordStage {
   bool local_;
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
+  const LookupFailover* failover_;
   std::string counter_prefix_;
   CounterHandle lookups_;
   CounterHandle lookup_errors_;
   CounterHandle lookup_reuses_;
+  CounterHandle lookup_failovers_;
 };
 
 /// Meters the original Map function's output bytes into the head operators'

@@ -48,6 +48,16 @@ void OperatorTaskStats::LookupPerformed(int j, uint64_t key_bytes,
   pi.service_time += service_sec;
 }
 
+void OperatorTaskStats::LookupAvailability(int j, double excess_sec,
+                                           bool primary_down,
+                                           bool failed_over) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  PerIndexTask& pi = index_[j];
+  pi.avail_excess_sec += excess_sec;
+  if (primary_down) ++pi.down_lookups;
+  if (failed_over) ++pi.failovers;
+}
+
 void OperatorTaskStats::CacheProbe(int j, bool miss) {
   if (j < 0 || j >= static_cast<int>(index_.size())) return;
   ++index_[j].cache_probes;
@@ -111,6 +121,9 @@ void OperatorRuntime::AbsorbTask(const OperatorTaskStats& task) {
     pi.service_time += ti.service_time;
     pi.cache_probes += ti.cache_probes;
     pi.cache_misses += ti.cache_misses;
+    pi.avail_excess_sec += ti.avail_excess_sec;
+    pi.down_lookups += ti.down_lookups;
+    pi.failovers += ti.failovers;
   }
   if (task.inputs_ > 0) {
     ++pre_tasks_;
@@ -255,6 +268,12 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
                           ? static_cast<double>(pi.cache_misses) /
                                 static_cast<double>(pi.cache_probes)
                           : 1.0;
+      if (pi.lookups > 0) {
+        const double lookups = static_cast<double>(pi.lookups);
+        is.avail_excess = pi.avail_excess_sec / lookups;
+        is.down_share = static_cast<double>(pi.down_lookups) / lookups;
+        is.failover_share = static_cast<double>(pi.failovers) / lookups;
+      }
     }
     return stats;
   }
@@ -303,6 +322,12 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
                               static_cast<double>(pi.cache_probes)
                         : 1.0;
     is.repartitionable = !pi.multi_key_seen;
+    if (pi.lookups > 0) {
+      const double lookups = static_cast<double>(pi.lookups);
+      is.avail_excess = pi.avail_excess_sec / lookups;
+      is.down_share = static_cast<double>(pi.down_lookups) / lookups;
+      is.failover_share = static_cast<double>(pi.failovers) / lookups;
+    }
     max_cov = std::max(max_cov, pi.nik_samples.coefficient_of_variation());
   }
   stats.max_cov = max_cov;

@@ -38,6 +38,17 @@ struct IndexStats {
   /// executable re-partitioning path requires this (DESIGN.md §3).
   bool repartitionable = true;
 
+  // Host-availability observations (failure-aware execution, DESIGN.md §7).
+  // Fed by LookupFailover charges; deliberately separate from the clean
+  // `tj` so Θ/R/T_j estimates are identical with and without faults.
+  /// Average extra seconds per lookup caused by down/degraded hosts
+  /// (retries, backoff waits, failover round trips, degraded service).
+  double avail_excess = 0.0;
+  /// Fraction of lookups that found their partition's primary host down.
+  double down_share = 0.0;
+  /// Fraction of lookups served by replica failover (or forced off-node).
+  double failover_share = 0.0;
+
   // Capabilities copied from the accessor at planning time.
   bool idempotent = true;
   bool has_partition_scheme = false;
@@ -96,6 +107,12 @@ class OperatorTaskStats {
   /// time `service_sec`.
   void LookupPerformed(int j, uint64_t key_bytes, uint64_t result_bytes,
                        double service_sec);
+  /// Host-availability outcome of an actual lookup of index `j` (the
+  /// failure-aware runtime's extra time and down/failover flags). Reported
+  /// separately from `LookupPerformed` so the clean statistics are
+  /// untouched by faults.
+  void LookupAvailability(int j, double excess_sec, bool primary_down,
+                          bool failed_over);
   /// A probe of the real lookup cache for index `j`.
   void CacheProbe(int j, bool miss);
   /// Probes the runtime's shadow (key-only) cache on `node` for index `j`
@@ -117,6 +134,9 @@ class OperatorTaskStats {
     double service_time = 0.0;
     uint64_t cache_probes = 0;
     uint64_t cache_misses = 0;
+    double avail_excess_sec = 0.0;
+    uint64_t down_lookups = 0;
+    uint64_t failovers = 0;
     FmSketch sketch{64};
     bool multi_key_seen = false;
   };
@@ -213,6 +233,9 @@ class OperatorRuntime {
     double service_time = 0.0;
     uint64_t cache_probes = 0;
     uint64_t cache_misses = 0;
+    double avail_excess_sec = 0.0;
+    uint64_t down_lookups = 0;
+    uint64_t failovers = 0;
     FmSketch sketch{64};
     // Per-task temporaries (serial hook mode only).
     uint64_t task_keys = 0;

@@ -45,8 +45,12 @@ struct JobConfig {
 struct MapTaskResult {
   /// Map output partitioned by reduce bucket (one bucket for map-only jobs).
   std::vector<std::vector<Record>> partitioned_output;
-  /// Simulated duration in seconds (I/O + CPU + stage-charged time).
+  /// Simulated duration in seconds (I/O + CPU + stage-charged time),
+  /// after the cluster's fault model inflated it.
   double duration = 0.0;
+  /// The same duration before fault inflation — what a speculative backup
+  /// attempt of this task would take.
+  double base_duration = 0.0;
   /// Task-local counters (EFind statistics land here).
   Counters counters;
   int node = 0;
@@ -68,6 +72,8 @@ struct ReducePhaseResult {
   /// One output split per reduce task, placed on the task's node.
   std::vector<InputSplit> outputs;
   std::vector<double> durations;
+  /// Fault-free counterparts of `durations` (speculative backup speed).
+  std::vector<double> base_durations;
   std::vector<Counters> task_counters;
   PhaseSchedule schedule;
   double makespan() const { return schedule.makespan; }
@@ -92,6 +98,10 @@ struct JobResult {
 
   size_t num_map_tasks = 0;
   size_t num_reduce_tasks = 0;
+
+  /// Speculative execution totals across both phases (0 when disabled).
+  size_t speculative_launched = 0;
+  size_t speculative_wins = 0;
 
   /// Flattens the outputs into one vector (test convenience).
   std::vector<Record> CollectRecords() const {

@@ -136,9 +136,8 @@ MapTaskResult JobRunner::RunMapTaskDeferred(const JobConfig& job,
                   : config_.DiskReadSeconds(result.input_bytes);
   io += static_cast<double>(result.output_bytes) /
         config_.disk_bw_bytes_per_sec;
-  result.duration = ApplyFaults(
-      config_.task_startup_sec + io + cpu + ctx.sim_time(), /*kind=*/0,
-      task_index);
+  result.base_duration = config_.task_startup_sec + io + cpu + ctx.sim_time();
+  result.duration = ApplyFaults(result.base_duration, /*kind=*/0, task_index);
   *bag = ctx.TakeTaskState();
   return result;
 }
@@ -184,7 +183,16 @@ MapPhaseResult JobRunner::RunMapPhase(
   std::vector<double> durations;
   durations.reserve(count);
   for (const auto& t : phase.tasks) durations.push_back(t.duration);
-  phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
+  if (config_.speculative_execution) {
+    std::vector<double> base;
+    base.reserve(count);
+    for (const auto& t : phase.tasks) base.push_back(t.base_duration);
+    phase.schedule = ScheduleWaves(durations, base,
+                                   config_.total_map_slots(),
+                                   config_.speculation_threshold);
+  } else {
+    phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
+  }
   return phase;
 }
 
@@ -206,6 +214,7 @@ ReducePhaseResult JobRunner::RunReduceRange(
   const size_t count = end - begin;
   phase.outputs.resize(count);
   phase.durations.resize(count, 0.0);
+  phase.base_durations.resize(count, 0.0);
   phase.task_counters.resize(count);
   std::vector<TaskStateBag> bags(count);
 
@@ -262,11 +271,12 @@ ReducePhaseResult JobRunner::RunReduceRange(
 
     // Time model: startup + shuffle transfer of the received bytes +
     // CPU + stage-charged time + writing the final output.
-    phase.durations[slot] = ApplyFaults(
+    phase.base_durations[slot] =
         config_.task_startup_sec + config_.TransferSeconds(received_bytes) +
-            cpu + ctx.sim_time() +
-            static_cast<double>(out_bytes) / config_.disk_bw_bytes_per_sec,
-        /*kind=*/1, r);
+        cpu + ctx.sim_time() +
+        static_cast<double>(out_bytes) / config_.disk_bw_bytes_per_sec;
+    phase.durations[slot] =
+        ApplyFaults(phase.base_durations[slot], /*kind=*/1, r);
     bags[slot] = ctx.TakeTaskState();
   };
 
@@ -278,8 +288,15 @@ ReducePhaseResult JobRunner::RunReduceRange(
       run_reduce_task);
   for (auto& bag : bags) bag.Merge();
 
-  phase.schedule =
-      ScheduleWaves(phase.durations, config_.total_reduce_slots());
+  if (config_.speculative_execution) {
+    phase.schedule =
+        ScheduleWaves(phase.durations, phase.base_durations,
+                      config_.total_reduce_slots(),
+                      config_.speculation_threshold);
+  } else {
+    phase.schedule =
+        ScheduleWaves(phase.durations, config_.total_reduce_slots());
+  }
   return phase;
 }
 
@@ -297,6 +314,8 @@ JobResult JobRunner::Run(const JobConfig& job,
   MapPhaseResult map_phase = RunMapPhase(job, input, 0, input.size());
   result.num_map_tasks = map_phase.tasks.size();
   result.map_seconds = map_phase.makespan();
+  result.speculative_launched += map_phase.schedule.speculative_launched;
+  result.speculative_wins += map_phase.schedule.speculative_wins;
   for (auto& t : map_phase.tasks) {
     result.counters.Merge(t.counters);
     result.map_task_counters.push_back(t.counters);
@@ -310,6 +329,8 @@ JobResult JobRunner::Run(const JobConfig& job,
     ReducePhaseResult reduce_phase = RunReducePhase(job, ptrs);
     result.num_reduce_tasks = reduce_phase.outputs.size();
     result.reduce_seconds = reduce_phase.makespan();
+    result.speculative_launched += reduce_phase.schedule.speculative_launched;
+    result.speculative_wins += reduce_phase.schedule.speculative_wins;
     for (const auto& c : reduce_phase.task_counters) result.counters.Merge(c);
     result.outputs = std::move(reduce_phase.outputs);
   } else {

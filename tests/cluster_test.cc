@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace efind {
 namespace {
 
@@ -39,6 +41,148 @@ TEST(ClusterConfigTest, RejectsBadValues) {
   c.dfs_cost_per_byte = -1e-9;
   EXPECT_FALSE(ValidateClusterConfig(c, &why));
   EXPECT_NE(why, nullptr);
+}
+
+TEST(ClusterConfigTest, RejectsBadFaultKnobs) {
+  const char* why = nullptr;
+  ClusterConfig c;
+  c.task_failure_rate = 1.5;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.straggler_slowdown = 0.5;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.random_down_hosts = -1;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.random_down_hosts = c.num_nodes;  // Every host down: no cluster left.
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.degraded_service_factor = 0.5;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.lookup_max_attempts = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.lookup_retry_backoff_sec = -0.1;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.failover_replicas = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.speculation_threshold = 1.0;  // Must be strictly > 1.
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.host_downtimes.push_back({c.num_nodes, 0.0, 1.0});
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.host_downtimes.push_back({0, -1.0, 1.0});
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+
+  c = ClusterConfig();
+  c.degraded_hosts.push_back(-3);
+  EXPECT_FALSE(ValidateClusterConfig(c, &why));
+  EXPECT_NE(why, nullptr);
+}
+
+TEST(ClusterConfigTest, AcceptsValidFaultKnobs) {
+  ClusterConfig c;
+  c.host_downtimes.push_back({2, 0.5, 1.0});
+  c.host_downtimes.push_back({3});  // Whole-run outage.
+  c.random_down_hosts = 2;
+  c.degraded_hosts.push_back(5);
+  c.speculative_execution = true;
+  const char* why = nullptr;
+  EXPECT_TRUE(ValidateClusterConfig(c, &why)) << why;
+}
+
+TEST(HostAvailabilityTest, DefaultHasNoFaults) {
+  ClusterConfig c;
+  HostAvailability avail(c);
+  EXPECT_FALSE(avail.any_faults());
+  for (int n = 0; n < c.num_nodes; ++n) {
+    EXPECT_FALSE(avail.IsDown(n, 0.0));
+    EXPECT_FALSE(avail.IsDownWholeRun(n));
+    EXPECT_DOUBLE_EQ(avail.DegradeFactor(n), 1.0);
+  }
+  HostAvailability empty;  // Default-constructed: likewise fault-free.
+  EXPECT_FALSE(empty.any_faults());
+  EXPECT_FALSE(empty.IsDown(0, 0.0));
+}
+
+TEST(HostAvailabilityTest, TransientOutageWindow) {
+  ClusterConfig c;
+  c.host_downtimes.push_back({4, 1.0, 2.0});  // Down during [1, 3).
+  HostAvailability avail(c);
+  EXPECT_TRUE(avail.any_faults());
+  EXPECT_FALSE(avail.IsDown(4, 0.5));
+  EXPECT_TRUE(avail.IsDown(4, 1.0));
+  EXPECT_TRUE(avail.IsDown(4, 2.9));
+  EXPECT_FALSE(avail.IsDown(4, 3.0));
+  EXPECT_FALSE(avail.IsDownWholeRun(4));
+  EXPECT_DOUBLE_EQ(avail.UpAgainAt(4, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(avail.UpAgainAt(4, 0.5), 0.5);  // Already up.
+}
+
+TEST(HostAvailabilityTest, WholeRunOutage) {
+  ClusterConfig c;
+  c.host_downtimes.push_back({7});  // Default for_sec = infinity.
+  HostAvailability avail(c);
+  EXPECT_TRUE(avail.IsDown(7, 0.0));
+  EXPECT_TRUE(avail.IsDown(7, 1e9));
+  EXPECT_TRUE(avail.IsDownWholeRun(7));
+  EXPECT_TRUE(std::isinf(avail.UpAgainAt(7, 0.0)));
+  EXPECT_FALSE(avail.IsDownWholeRun(6));
+}
+
+TEST(HostAvailabilityTest, OverlappingOutagesChain) {
+  ClusterConfig c;
+  c.host_downtimes.push_back({1, 0.0, 2.0});  // [0, 2)
+  c.host_downtimes.push_back({1, 1.5, 2.0});  // [1.5, 3.5)
+  HostAvailability avail(c);
+  EXPECT_DOUBLE_EQ(avail.UpAgainAt(1, 0.5), 3.5);
+}
+
+TEST(HostAvailabilityTest, RandomDownHostsDeterministic) {
+  ClusterConfig c;
+  c.random_down_hosts = 2;
+  c.fault_seed = 42;
+  HostAvailability a(c), b(c);
+  int down = 0;
+  for (int n = 0; n < c.num_nodes; ++n) {
+    EXPECT_EQ(a.IsDownWholeRun(n), b.IsDownWholeRun(n));
+    if (a.IsDownWholeRun(n)) ++down;
+  }
+  EXPECT_EQ(down, 2);
+  // A different seed picks a (generally) different set but the same count.
+  c.fault_seed = 43;
+  HostAvailability d(c);
+  int down2 = 0;
+  for (int n = 0; n < c.num_nodes; ++n) {
+    if (d.IsDownWholeRun(n)) ++down2;
+  }
+  EXPECT_EQ(down2, 2);
+}
+
+TEST(HostAvailabilityTest, DegradedHosts) {
+  ClusterConfig c;
+  c.degraded_hosts.push_back(3);
+  c.degraded_service_factor = 4.0;
+  HostAvailability avail(c);
+  EXPECT_TRUE(avail.any_faults());
+  EXPECT_DOUBLE_EQ(avail.DegradeFactor(3), 4.0);
+  EXPECT_DOUBLE_EQ(avail.DegradeFactor(2), 1.0);
+  EXPECT_FALSE(avail.IsDown(3, 0.0));  // Degraded is slow, not down.
 }
 
 TEST(ClusterConfigTest, TransferSeconds) {

@@ -1,0 +1,210 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Deterministic fault-injection matrix (DESIGN.md §7): every strategy ×
+// every fault scenario must produce output byte-identical to the fault-free
+// run — faults in this simulator are time-domain-only by construction — and
+// must stay bit-identical between threads=1 and threads=8. Timing must only
+// move up (or stay put) under faults, and the index-locality plan must ride
+// out whole-run index-host outages within a small factor because the
+// placement filter and replica failover absorb them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+enum class FaultScenario {
+  kNone,
+  kTaskFailures,
+  kStragglersWithSpeculation,
+  kIndexHostDown,
+};
+
+const char* ToString(FaultScenario s) {
+  switch (s) {
+    case FaultScenario::kNone:
+      return "none";
+    case FaultScenario::kTaskFailures:
+      return "task_failures";
+    case FaultScenario::kStragglersWithSpeculation:
+      return "stragglers_speculation";
+    case FaultScenario::kIndexHostDown:
+      return "index_host_down";
+  }
+  return "?";
+}
+
+ClusterConfig MakeFaultConfig(FaultScenario scenario) {
+  ClusterConfig config;
+  switch (scenario) {
+    case FaultScenario::kNone:
+      break;
+    case FaultScenario::kTaskFailures:
+      config.task_failure_rate = 0.2;
+      break;
+    case FaultScenario::kStragglersWithSpeculation:
+      config.straggler_rate = 0.2;
+      config.straggler_slowdown = 4.0;
+      config.speculative_execution = true;
+      config.speculation_threshold = 1.5;
+      break;
+    case FaultScenario::kIndexHostDown:
+      // Two hosts down for the whole run, one transient outage lookups ride
+      // out with retries, and one degraded (4x slower) host. The retry
+      // backoff is scaled to this toy job (tasks simulate ~ms, so the
+      // 50 ms Hadoop-scale default would dwarf the work being retried).
+      config.host_downtimes.push_back({3});
+      config.host_downtimes.push_back({7});
+      config.host_downtimes.push_back({2, 0.0, 0.002});
+      config.degraded_hosts.push_back(5);
+      config.lookup_retry_backoff_sec = 0.001;
+      break;
+  }
+  const char* why = nullptr;
+  EXPECT_TRUE(ValidateClusterConfig(config, &why)) << why;
+  return config;
+}
+
+EFindOptions WithThreads(int threads) {
+  EFindOptions o;
+  o.threads = threads;
+  return o;
+}
+
+// (strategy, scenario)
+using MatrixParams = std::tuple<Strategy, FaultScenario>;
+
+class FaultInjectionMatrixTest
+    : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(FaultInjectionMatrixTest, OutputIdenticalTimingDeterministic) {
+  const auto [strategy, scenario] = GetParam();
+  ToyWorld world(/*num_keys=*/200);
+  const auto input = world.MakeInput(24, 40, 120);
+  const IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/true);
+
+  // Fault-free serial reference.
+  EFindJobRunner clean(ClusterConfig{}, WithThreads(1));
+  const auto reference = clean.RunWithStrategy(conf, input, strategy);
+  const auto expected = Sorted(reference.CollectRecords());
+  ASSERT_FALSE(expected.empty());
+
+  const ClusterConfig faulted = MakeFaultConfig(scenario);
+  EFindJobRunner serial(faulted, WithThreads(1));
+  EFindJobRunner parallel(faulted, WithThreads(8));
+  const auto f1 = serial.RunWithStrategy(conf, input, strategy);
+  const auto f8 = parallel.RunWithStrategy(conf, input, strategy);
+
+  // Faults never touch the data plane: byte-identical output.
+  EXPECT_EQ(Sorted(f1.CollectRecords()), expected);
+  EXPECT_EQ(Sorted(f8.CollectRecords()), expected);
+
+  // Faults only add simulated time (speculation can only claw back fault
+  // inflation, never beat the fault-free duration).
+  EXPECT_GE(f1.sim_seconds, reference.sim_seconds - 1e-9)
+      << ToString(strategy) << " x " << ToString(scenario);
+
+  // threads=1 and threads=8 are bit-identical, faults included.
+  EXPECT_EQ(f1.sim_seconds, f8.sim_seconds);
+  EXPECT_EQ(f1.counters.values(), f8.counters.values());
+  ASSERT_EQ(f1.outputs.size(), f8.outputs.size());
+  for (size_t i = 0; i < f1.outputs.size(); ++i) {
+    EXPECT_EQ(f1.outputs[i].records, f8.outputs[i].records) << "split " << i;
+  }
+
+  if (scenario == FaultScenario::kIndexHostDown &&
+      strategy == Strategy::kIndexLocality) {
+    // Acceptance criterion: index locality completes within 2x of fault-free
+    // despite two of its index hosts being down for the whole run — the
+    // placement filter moves chunks to live replicas and the failover path
+    // absorbs the rest.
+    EXPECT_LT(f1.sim_seconds, reference.sim_seconds * 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FaultInjectionMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(Strategy::kBaseline, Strategy::kLookupCache,
+                          Strategy::kRepartition, Strategy::kIndexLocality),
+        ::testing::Values(FaultScenario::kNone, FaultScenario::kTaskFailures,
+                          FaultScenario::kStragglersWithSpeculation,
+                          FaultScenario::kIndexHostDown)),
+    [](const ::testing::TestParamInfo<MatrixParams>& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             ToString(std::get<1>(info.param));
+    });
+
+// The adaptive runtime under every scenario: same output, deterministic
+// across thread counts (its mid-job re-optimization must not be confused by
+// fault-inflated timings, because the statistics it reads are fault-clean).
+class FaultInjectionDynamicTest
+    : public ::testing::TestWithParam<FaultScenario> {};
+
+TEST_P(FaultInjectionDynamicTest, DynamicSurvivesFaults) {
+  const FaultScenario scenario = GetParam();
+  ToyWorld world(/*num_keys=*/200);
+  const auto input = world.MakeInput(24, 40, 120);
+  const IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/true);
+
+  EFindJobRunner clean(ClusterConfig{}, WithThreads(1));
+  const auto expected =
+      Sorted(clean.RunDynamic(conf, input).CollectRecords());
+
+  const ClusterConfig faulted = MakeFaultConfig(scenario);
+  EFindJobRunner serial(faulted, WithThreads(1));
+  EFindJobRunner parallel(faulted, WithThreads(8));
+  const auto f1 = serial.RunDynamic(conf, input);
+  const auto f8 = parallel.RunDynamic(conf, input);
+  EXPECT_EQ(Sorted(f1.CollectRecords()), expected);
+  EXPECT_EQ(f1.sim_seconds, f8.sim_seconds);
+  EXPECT_EQ(f1.plan.ToString(), f8.plan.ToString());
+  EXPECT_EQ(Sorted(f8.CollectRecords()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, FaultInjectionDynamicTest,
+    ::testing::Values(FaultScenario::kNone, FaultScenario::kTaskFailures,
+                      FaultScenario::kStragglersWithSpeculation,
+                      FaultScenario::kIndexHostDown),
+    [](const ::testing::TestParamInfo<FaultScenario>& info) {
+      return ToString(info.param);
+    });
+
+// Speculative execution claws back straggler inflation on a workload where
+// stragglers dominate the wave tail.
+TEST(FaultInjectionMatrixTest, SpeculationRecoversStragglerTime) {
+  ToyWorld world(/*num_keys=*/200);
+  const auto input = world.MakeInput(96, 40, 120);
+  const IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/true);
+
+  ClusterConfig slow;
+  slow.straggler_rate = 0.1;
+  slow.straggler_slowdown = 8.0;
+  ClusterConfig spec = slow;
+  spec.speculative_execution = true;
+  spec.speculation_threshold = 1.5;
+
+  const auto without =
+      EFindJobRunner(slow, WithThreads(1))
+          .RunWithStrategy(conf, input, Strategy::kBaseline);
+  const auto with =
+      EFindJobRunner(spec, WithThreads(1))
+          .RunWithStrategy(conf, input, Strategy::kBaseline);
+  EXPECT_EQ(Sorted(with.CollectRecords()), Sorted(without.CollectRecords()));
+  EXPECT_LT(with.sim_seconds, without.sim_seconds);
+}
+
+}  // namespace
+}  // namespace efind

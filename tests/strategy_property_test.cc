@@ -102,5 +102,87 @@ TEST_P(StrategyTimingTest, OptimizationsNeverCatastrophic) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StrategyTimingTest,
                          ::testing::Range(1, 6));
 
+// Fault isolation of the statistics pipeline: the counters feeding the
+// Table-1 estimates (N_ik, S_ik, S_iv, T_j, Theta, R) are collected from
+// the clean data path, so injected host faults, failover and speculation
+// must leave them bit-identical — only the separate availability channel
+// (avail_excess / down_share / failover_share) may move. This is what makes
+// re-optimization under faults trustworthy.
+class StatsFaultInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsFaultInvarianceTest, CleanEstimatesIdenticalUnderFaults) {
+  const int seed = GetParam();
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150, static_cast<uint64_t>(seed));
+  IndexJobConf conf = world.MakeJoinJob(true);
+
+  ClusterConfig clean;
+  ClusterConfig faulted;
+  faulted.task_failure_rate = 0.2;
+  faulted.straggler_rate = 0.1;
+  faulted.speculative_execution = true;
+  faulted.host_downtimes.push_back({3});
+  faulted.host_downtimes.push_back({7});
+  faulted.degraded_hosts.push_back(5);
+
+  for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
+                     Strategy::kRepartition, Strategy::kIndexLocality}) {
+    auto h = EFindJobRunner(clean).RunWithStrategy(conf, input, s);
+    auto f = EFindJobRunner(faulted).RunWithStrategy(conf, input, s);
+    ASSERT_FALSE(h.stats.head.empty());
+    const IndexStats& hi = h.stats.head[0].index[0];
+    const IndexStats& fi = f.stats.head[0].index[0];
+    EXPECT_EQ(hi.nik, fi.nik) << ToString(s);
+    EXPECT_EQ(hi.sik, fi.sik) << ToString(s);
+    EXPECT_EQ(hi.siv, fi.siv) << ToString(s);
+    EXPECT_EQ(hi.tj, fi.tj) << ToString(s);
+    EXPECT_EQ(hi.theta, fi.theta) << ToString(s);
+    EXPECT_EQ(hi.miss_ratio, fi.miss_ratio) << ToString(s);
+    EXPECT_EQ(h.stats.head[0].n1, f.stats.head[0].n1) << ToString(s);
+    EXPECT_EQ(h.stats.head[0].spre, f.stats.head[0].spre) << ToString(s);
+    // The clean run reports zero availability excess; the faulted run
+    // reports it on the separate channel (remote strategies hit the two
+    // whole-run-down hosts; index locality may dodge them via placement).
+    EXPECT_EQ(hi.avail_excess, 0.0) << ToString(s);
+    EXPECT_EQ(hi.down_share, 0.0) << ToString(s);
+    if (s == Strategy::kBaseline) {
+      EXPECT_GT(fi.avail_excess, 0.0);
+      EXPECT_GT(fi.down_share, 0.0);
+    }
+    // Lookup counters (data-plane) match exactly.
+    EXPECT_EQ(f.counters.Get("efind.h0.idx0.lookups"),
+              h.counters.Get("efind.h0.idx0.lookups"))
+        << ToString(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsFaultInvarianceTest,
+                         ::testing::Range(1, 5));
+
+// With faults disabled, the fault seed is inert: the adaptive runtime must
+// pick the same plan and the same simulated time for any seed value.
+class FaultSeedInertTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSeedInertTest, DynamicPlanUnchangedByFaultSeed) {
+  const int seed = GetParam();
+  ToyWorld world(60);
+  auto input = world.MakeInput(48, 60, 60);
+  IndexJobConf conf = world.MakeJoinJob(true);
+
+  ClusterConfig reference_config;  // fault_seed = 1, all faults off.
+  auto reference = EFindJobRunner(reference_config).RunDynamic(conf, input);
+
+  ClusterConfig config;
+  config.fault_seed = static_cast<uint64_t>(seed) * 7919 + 17;
+  auto run = EFindJobRunner(config).RunDynamic(conf, input);
+  EXPECT_EQ(run.plan.ToString(), reference.plan.ToString());
+  EXPECT_EQ(run.sim_seconds, reference.sim_seconds);
+  EXPECT_EQ(run.replanned, reference.replanned);
+  EXPECT_EQ(Sorted(run.CollectRecords()),
+            Sorted(reference.CollectRecords()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSeedInertTest, ::testing::Range(1, 6));
+
 }  // namespace
 }  // namespace efind

@@ -57,6 +57,85 @@ TEST(WaveSchedulerTest, NonPositiveSlotsTreatedAsOne) {
   EXPECT_DOUBLE_EQ(s.makespan, 2.0);
 }
 
+TEST(SpeculativeWaveTest, BackupWinsCapsStraggler) {
+  // Wave of 4: median 1, trigger 2; the 10s task's backup launches at t=2
+  // and runs its 1s base duration, finishing at 3.
+  PhaseSchedule s =
+      ScheduleWaves({1.0, 1.0, 1.0, 10.0}, {1.0, 1.0, 1.0, 1.0}, 4, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+  EXPECT_EQ(s.speculative_launched, 1u);
+  EXPECT_EQ(s.speculative_wins, 1u);
+}
+
+TEST(SpeculativeWaveTest, BackupLosesKeepsPrimary) {
+  // The straggler triggers a backup (2.5 > 2) but the backup would finish
+  // at 2 + 2.4 = 4.4, after the primary: the primary's finish stands.
+  PhaseSchedule s =
+      ScheduleWaves({1.0, 1.0, 1.0, 2.5}, {1.0, 1.0, 1.0, 2.4}, 4, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 2.5);
+  EXPECT_EQ(s.speculative_launched, 1u);
+  EXPECT_EQ(s.speculative_wins, 0u);
+}
+
+TEST(SpeculativeWaveTest, ThresholdAtOrBelowOneDisables) {
+  PhaseSchedule plain = ScheduleWaves({1.0, 1.0, 8.0}, 4);
+  PhaseSchedule spec = ScheduleWaves({1.0, 1.0, 8.0}, {1.0, 1.0, 1.0}, 4, 1.0);
+  EXPECT_DOUBLE_EQ(spec.makespan, plain.makespan);
+  EXPECT_EQ(spec.speculative_launched, 0u);
+}
+
+TEST(SpeculativeWaveTest, UniformWaveLaunchesNothing) {
+  PhaseSchedule s = ScheduleWaves({2.0, 2.0, 2.0, 2.0},
+                                  {2.0, 2.0, 2.0, 2.0}, 2, 1.5);
+  EXPECT_EQ(s.speculative_launched, 0u);
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+}
+
+TEST(SpeculativeWaveTest, MedianIsPerWave) {
+  // Slots 3: wave 0 = {1,1,1} (trigger 2, nothing), wave 1 = {2,2,20}
+  // (median 2, trigger 4, the 20s task's backup finishes at 4 + 2 = 6).
+  PhaseSchedule s =
+      ScheduleWaves({1.0, 1.0, 1.0, 2.0, 2.0, 20.0},
+                    {1.0, 1.0, 1.0, 2.0, 2.0, 2.0}, 3, 2.0);
+  EXPECT_EQ(s.speculative_launched, 1u);
+  EXPECT_EQ(s.speculative_wins, 1u);
+  EXPECT_DOUBLE_EQ(s.makespan, 1.0 + 6.0);
+}
+
+TEST(SpeculativeWaveTest, MismatchedBaseVectorFallsBackToPlain) {
+  PhaseSchedule plain = ScheduleWaves({1.0, 9.0}, 2);
+  PhaseSchedule spec = ScheduleWaves({1.0, 9.0}, {1.0}, 2, 1.5);
+  EXPECT_DOUBLE_EQ(spec.makespan, plain.makespan);
+  EXPECT_EQ(spec.speculative_launched, 0u);
+}
+
+class SpeculativeWavePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpeculativeWavePropertyTest, NeverSlowerThanPlainSchedule) {
+  const int slots = GetParam();
+  Rng rng(1000 + slots);
+  std::vector<double> base, faulted;
+  for (int i = 0; i < 150; ++i) {
+    const double b = 0.1 + rng.NextDouble();
+    base.push_back(b);
+    // A third of the tasks are inflated stragglers.
+    faulted.push_back(rng.Uniform(3) == 0 ? b * (2.0 + 5 * rng.NextDouble())
+                                          : b);
+  }
+  PhaseSchedule plain = ScheduleWaves(faulted, slots);
+  PhaseSchedule spec = ScheduleWaves(faulted, base, slots, 1.5);
+  EXPECT_LE(spec.makespan, plain.makespan + 1e-9);
+  EXPECT_GE(spec.speculative_launched, spec.speculative_wins);
+  // Identical inputs give identical schedules (determinism).
+  PhaseSchedule again = ScheduleWaves(faulted, base, slots, 1.5);
+  EXPECT_EQ(spec.makespan, again.makespan);
+  EXPECT_EQ(spec.speculative_launched, again.speculative_launched);
+  EXPECT_EQ(spec.speculative_wins, again.speculative_wins);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, SpeculativeWavePropertyTest,
+                         ::testing::Values(1, 2, 7, 48, 96));
+
 class WaveSchedulerPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(WaveSchedulerPropertyTest, MakespanBounds) {
