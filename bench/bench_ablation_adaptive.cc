@@ -13,11 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("ablation_adaptive");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   CloudService geo = MakeGeoIpService(50, {});
   IndexJobConf conf = MakeLogTopUrlsJob(&geo, 10);
 
@@ -26,7 +25,8 @@ int main(int argc, char** argv) {
     LogTraceOptions log_options;
     log_options.num_splits = splits;
     auto input = GenerateLogTrace(log_options, config.num_nodes);
-    EFindJobRunner runner(config);
+    EFindJobRunner runner(config, opts.MakeEFindOptions());
+    runner.set_obs(opts.obs());
 
     CollectedStats stats = runner.CollectStatistics(conf, input);
     auto optimized = runner.RunWithPlan(
@@ -44,22 +44,24 @@ int main(int argc, char** argv) {
   LogTraceOptions log_options;
   auto input = GenerateLogTrace(log_options, config.num_nodes);
   for (double threshold : {0.01, 0.1, 1.0}) {
-    EFindOptions options;
+    EFindOptions options = opts.MakeEFindOptions();
     options.variance_threshold = threshold;
     EFindJobRunner runner(config, options);
+    runner.set_obs(opts.obs());
     auto dynamic = runner.RunDynamic(conf, input);
     harness.Add("variance_threshold=" + std::to_string(threshold),
                 dynamic.sim_seconds,
                 dynamic.replanned ? "replanned" : "kept");
   }
   for (double cost : {0.001, 0.02, 10.0}) {
-    EFindOptions options;
+    EFindOptions options = opts.MakeEFindOptions();
     options.plan_change_cost_sec = cost;
     EFindJobRunner runner(config, options);
+    runner.set_obs(opts.obs());
     auto dynamic = runner.RunDynamic(conf, input);
     harness.Add("plan_change_cost=" + std::to_string(cost),
                 dynamic.sim_seconds,
                 dynamic.replanned ? "replanned" : "kept");
   }
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

@@ -9,11 +9,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("ablation_boundary");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   LogTraceOptions log_options;
   auto input = GenerateLogTrace(log_options, config.num_nodes);
   CloudService geo = MakeGeoIpService(50, {});
@@ -23,14 +22,15 @@ int main(int argc, char** argv) {
        {std::pair{BoundaryPolicy::kForcePre, "force_pre"},
         std::pair{BoundaryPolicy::kForcePost, "force_post"},
         std::pair{BoundaryPolicy::kAuto, "auto"}}) {
-    EFindOptions options;
+    EFindOptions options = opts.MakeEFindOptions();
     options.boundary_policy = policy;
     EFindJobRunner runner(config, options);
+    runner.set_obs(opts.obs());
     CollectedStats stats = runner.CollectStatistics(conf, input);
     auto run = runner.RunWithPlan(
         conf, input, MakeUniformPlan(conf, Strategy::kRepartition), &stats);
     harness.Add(std::string("log_repart/") + name, run.sim_seconds,
                 std::to_string(run.jobs.size()) + " jobs");
   }
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

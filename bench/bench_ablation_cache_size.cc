@@ -11,11 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("ablation_cache_size");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
 
   LogTraceOptions log_options;
   auto log_input = GenerateLogTrace(log_options, config.num_nodes);
@@ -32,10 +31,12 @@ int main(int argc, char** argv) {
   LoadSyntheticIndex(syn_options, &store);
   IndexJobConf syn_conf = MakeSyntheticJoinJob(&store);
 
+  // The sweep overrides --cache-capacity: varying it is the experiment.
   for (size_t capacity : {64, 256, 1024, 4096, 16384, 65536}) {
-    EFindOptions options;
+    EFindOptions options = opts.MakeEFindOptions();
     options.cache_capacity = capacity;
     EFindJobRunner runner(config, options);
+    runner.set_obs(opts.obs());
     auto log_run =
         runner.RunWithStrategy(log_conf, log_input, Strategy::kLookupCache);
     harness.Add("log/cap=" + std::to_string(capacity), log_run.sim_seconds,
@@ -48,5 +49,5 @@ int main(int argc, char** argv) {
                 "R=" + std::to_string(
                            syn_run.stats.head[0].index[0].miss_ratio));
   }
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

@@ -15,12 +15,11 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   using testing_util::ToyWorld;
   bench::FigureHarness harness("ablation_cost_model");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   const Strategy kStrategies[] = {Strategy::kBaseline, Strategy::kLookupCache,
                                   Strategy::kRepartition,
                                   Strategy::kIndexLocality};
@@ -31,7 +30,8 @@ int main(int argc, char** argv) {
       ToyWorld world(std::min(key_domain, 40000), value_bytes);
       auto input = world.MakeInput(192, 120, key_domain);
       IndexJobConf conf = world.MakeJoinJob(true);
-      EFindJobRunner runner(config);
+      EFindJobRunner runner(config, opts.MakeEFindOptions());
+      runner.set_obs(opts.obs());
       CollectedStats stats = runner.CollectStatistics(conf, input);
       const CostModel& model = runner.optimizer().cost_model();
 
@@ -75,5 +75,5 @@ int main(int argc, char** argv) {
               "%d/%d (%.0f%%)\n",
               top1_hits, points, pair_hits, pair_total,
               100.0 * pair_hits / pair_total);
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

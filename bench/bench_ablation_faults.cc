@@ -41,9 +41,8 @@ efind::ClusterConfig IndexHostDownConfig(const efind::ClusterConfig& base) {
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
-  ClusterConfig base;
-  bench::ApplyFaultFlags(&argc, argv, &base);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
+  const ClusterConfig& base = opts.config;
   bench::FigureHarness harness("ablation_faults");
 
   SyntheticOptions options;
@@ -64,8 +63,10 @@ int main(int argc, char** argv) {
   bool idxloc_within_2x = false;
   for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
                      Strategy::kRepartition, Strategy::kIndexLocality}) {
-    EFindJobRunner clean_runner(base);
-    EFindJobRunner fault_runner(faulted);
+    EFindJobRunner clean_runner(base, opts.MakeEFindOptions());
+    EFindJobRunner fault_runner(faulted, opts.MakeEFindOptions());
+    clean_runner.set_obs(opts.obs());
+    fault_runner.set_obs(opts.obs());
     auto clean = clean_runner.RunWithStrategy(conf, input, s);
     auto fault = fault_runner.RunWithStrategy(conf, input, s);
     auto sorted = [](std::vector<Record> r) {
@@ -108,10 +109,13 @@ int main(int argc, char** argv) {
   ClusterConfig spec = slow;
   spec.speculative_execution = true;
   spec.speculation_threshold = 1.5;
-  auto without = EFindJobRunner(slow).RunWithStrategy(conf, input,
-                                                      Strategy::kBaseline);
-  auto with =
-      EFindJobRunner(spec).RunWithStrategy(conf, input, Strategy::kBaseline);
+  EFindJobRunner slow_runner(slow, opts.MakeEFindOptions());
+  EFindJobRunner spec_runner(spec, opts.MakeEFindOptions());
+  slow_runner.set_obs(opts.obs());
+  spec_runner.set_obs(opts.obs());
+  auto without =
+      slow_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto with = spec_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
   harness.Add("stragglers/no_speculation", without.sim_seconds);
   harness.Add("stragglers/speculation", with.sim_seconds);
   std::printf(
@@ -122,6 +126,6 @@ int main(int argc, char** argv) {
       with.sim_seconds < without.sim_seconds ? "true" : "false");
 
   std::fflush(stdout);
-  const int rc = bench::FinishBench(harness, argc, argv);
+  const int rc = bench::FinishBench(harness, opts, argc, argv);
   return idxloc_within_2x && all_outputs_identical ? rc : 1;
 }

@@ -13,12 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("ablation_multi_index");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
-  Optimizer optimizer(config);
+  Optimizer optimizer(opts.config);
   Rng rng(17);
 
   for (int m = 2; m <= 8; ++m) {
@@ -61,5 +59,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(values are estimated per-machine plan costs in seconds; "
               "k-Repart is near-optimal at a fraction of the candidates)\n");
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

@@ -10,11 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("fig11a_log");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   LogTraceOptions log_options;  // 150k events, Zipf IPs, bursty sessions.
   // Many small log files (one per server per time window): 12 map waves,
   // so the adaptive optimizer's baseline statistics wave is ~8% of the job
@@ -29,12 +28,13 @@ int main(int argc, char** argv) {
     CloudService geo = MakeGeoIpService(50, svc);
     IndexJobConf conf = MakeLogTopUrlsJob(&geo, 10);
 
-    EFindJobRunner runner(config);
+    EFindJobRunner runner(config, opts.MakeEFindOptions());
+    runner.set_obs(opts.obs());
     // The cloud service exposes no partition scheme: index locality does
     // not apply to LOG (paper §5.2).
     harness.RunAllStrategies(&runner, conf, input,
                              "delay=" + std::to_string(extra_ms) + "ms",
                              nullptr, nullptr, /*include_idxloc=*/false);
   }
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

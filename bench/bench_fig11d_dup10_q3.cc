@@ -9,12 +9,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("fig11d_dup10_q3");
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
   TpchData data = GenerateTpch(bench::BenchTpch(/*dup_factor=*/10), 12);
   IndexJobConf conf = MakeTpchQ3Job(data);
-  bench::RunTpchFigure(&harness, conf, data.lineitem, /*repart_op=*/0, config);
-  return bench::FinishBench(harness, argc, argv);
+  bench::RunTpchFigure(&harness, conf, data.lineitem, /*repart_op=*/0, opts);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

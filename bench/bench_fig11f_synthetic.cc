@@ -15,11 +15,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("fig11f_synthetic");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   for (uint64_t l : {10, 100, 1000, 10000, 30000}) {
     SyntheticOptions options;  // 200k records, 100k keys (Theta = 2), 1 KB.
     options.index_value_bytes = l;
@@ -33,9 +32,10 @@ int main(int argc, char** argv) {
     LoadSyntheticIndex(options, &store);
     IndexJobConf conf = MakeSyntheticJoinJob(&store);
 
-    EFindJobRunner runner(config);
+    EFindJobRunner runner(config, opts.MakeEFindOptions());
+    runner.set_obs(opts.obs());
     harness.RunAllStrategies(&runner, conf, input,
                              "l=" + std::to_string(l) + "B");
   }
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

@@ -12,11 +12,10 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("fig12_lookup_latency");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   KvStoreOptions kv;
   kv.num_nodes = config.num_nodes;
   kv.base_service_sec = 800e-6;  // Same store the Fig. 11(f) sweep uses.
@@ -37,5 +36,5 @@ int main(int argc, char** argv) {
 
   std::printf("\n(gap = remote - local; grows with the result size because "
               "it is transfer-dominated)\n");
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

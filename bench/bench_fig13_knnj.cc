@@ -13,17 +13,17 @@
 
 int main(int argc, char** argv) {
   using namespace efind;
-  bench::InitThreads(&argc, argv);
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
   bench::FigureHarness harness("fig13_knnj");
 
-  ClusterConfig config;
-  bench::ApplyFaultFlags(&argc, argv, &config);
+  const ClusterConfig& config = opts.config;
   OsmOptions osm;  // 60k |X| 60k points, k = 10, 4x8 cell grid.
   OsmData data = GenerateOsm(osm, config.num_nodes);
   IndexJobConf conf =
       MakeKnnJoinJob(data.b_index.get(), osm.k, osm.neighbor_extra_bytes);
 
-  EFindJobRunner runner(config);
+  EFindJobRunner runner(config, opts.MakeEFindOptions());
+  runner.set_obs(opts.obs());
   harness.RunAllStrategies(&runner, conf, data.a_splits, "");
 
   ZknnjOptions zknnj;
@@ -31,9 +31,10 @@ int main(int argc, char** argv) {
   zknnj.alpha = 2;
   zknnj.epsilon = 0.02;
   JobRunner plain_runner(config);
+  plain_runner.set_obs(opts.obs());
   ZknnjResult hand_tuned = RunHZknnj(&plain_runner, data, osm, zknnj);
   harness.Add("h-zknnj", hand_tuned.sim_seconds,
               "hand-tuned (3 jobs: sample, candidates, merge)");
 
-  return bench::FinishBench(harness, argc, argv);
+  return bench::FinishBench(harness, opts, argc, argv);
 }

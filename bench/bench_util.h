@@ -13,9 +13,12 @@
 // the absolute values, are the reproduction target. Wall-clock milliseconds
 // measure the engine itself, not the modeled cluster.
 //
-// `--threads=N` (or EFIND_THREADS=N in the environment) selects the
-// execution engine's worker-thread count; results are bit-identical for any
-// value. Call `InitThreads(&argc, argv)` first thing in main.
+// Every bench parses one shared flag family via `ParseBenchOptions(&argc,
+// argv)` first thing in main: `--threads` (worker threads; results are
+// bit-identical for any value), the `--fault-*` fault-injection knobs,
+// `--cache-capacity`, and the observability outputs `--trace-out` /
+// `--report` / `--report-text` (DESIGN.md §8). The JSON report echoes the
+// full effective configuration so stored results are self-describing.
 
 #ifndef EFIND_BENCH_BENCH_UTIL_H_
 #define EFIND_BENCH_BENCH_UTIL_H_
@@ -27,11 +30,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "efind/efind_job_runner.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace efind {
 namespace bench {
@@ -129,6 +136,132 @@ inline void ApplyFaultFlags(int* argc, char** argv, ClusterConfig* config) {
   }
 }
 
+/// Every shared bench option, parsed once by `ParseBenchOptions`. Benches
+/// read the cluster config from `config`, seed runner options from
+/// `MakeEFindOptions()`, and attach observability to every runner they
+/// create with `runner.set_obs(opts.obs())` (a null session is a no-op).
+struct BenchOptions {
+  /// Resolved worker-thread count (--threads / EFIND_THREADS).
+  int threads = 1;
+  /// Cluster configuration with every --fault-* flag applied.
+  ClusterConfig config;
+  /// Lookup-cache entries per node (--cache-capacity).
+  size_t cache_capacity = 1024;
+  /// Observability output paths; empty = off.
+  std::string trace_out;        // Chrome trace-event JSON.
+  std::string report_out;       // Run report, JSON.
+  std::string report_text_out;  // Run report, human-readable.
+
+  /// The bench-wide observability session; non-null iff any of the output
+  /// paths was given. Shared by every runner of the bench, so the exported
+  /// trace covers the whole invocation end to end.
+  std::unique_ptr<obs::ObsSession> session;
+  obs::ObsSession* obs() const { return session.get(); }
+
+  /// Runner options seeded with the parsed cache capacity.
+  EFindOptions MakeEFindOptions() const {
+    EFindOptions out;
+    out.cache_capacity = cache_capacity;
+    return out;
+  }
+};
+
+/// Parses and strips the shared bench flag family — consolidating the
+/// former per-bench InitThreads + ApplyFaultFlags pairs — leaving unknown
+/// arguments for benchmark's own parser. On top of `--threads=N` and the
+/// `--fault-*` family above:
+///   --cache-capacity=N   lookup-cache entries per node (default 1024)
+///   --trace-out=PATH     write a Chrome trace-event JSON of the whole
+///                        bench run (open in chrome://tracing or Perfetto)
+///   --report=PATH        write a JSON run report (config echo, metric
+///                        snapshots, trace summary)
+///   --report-text=PATH   write the human-readable run report
+inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
+  BenchOptions opts;
+  opts.threads = InitThreads(argc, argv);
+  auto value = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1
+                                                            : nullptr;
+  };
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if ((v = value(arg, "--cache-capacity")) != nullptr) {
+      const long long n = std::atoll(v);
+      if (n <= 0) {
+        std::fprintf(stderr, "invalid --cache-capacity=%s\n", v);
+        std::exit(2);
+      }
+      opts.cache_capacity = static_cast<size_t>(n);
+    } else if ((v = value(arg, "--trace-out")) != nullptr) {
+      opts.trace_out = v;
+    } else if ((v = value(arg, "--report")) != nullptr) {
+      opts.report_out = v;
+    } else if ((v = value(arg, "--report-text")) != nullptr) {
+      opts.report_text_out = v;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  ApplyFaultFlags(argc, argv, &opts.config);
+  if (!opts.trace_out.empty() || !opts.report_out.empty() ||
+      !opts.report_text_out.empty()) {
+    opts.session = std::make_unique<obs::ObsSession>();
+  }
+  return opts;
+}
+
+/// The full effective configuration of a bench run as (key, value) string
+/// pairs — echoed as a JSON line by `PrintJsonReport` and into the run
+/// reports, so a stored result records exactly what produced it.
+inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
+    const BenchOptions& opts) {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  auto hosts = [](const std::vector<int>& nodes) {
+    std::string s;
+    for (int n : nodes) {
+      if (!s.empty()) s += " ";
+      s += std::to_string(n);
+    }
+    return s;
+  };
+  const ClusterConfig& c = opts.config;
+  std::vector<int> down;
+  for (const auto& d : c.host_downtimes) down.push_back(d.node);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("threads", std::to_string(opts.threads));
+  out.emplace_back("num_nodes", std::to_string(c.num_nodes));
+  out.emplace_back("map_slots_per_node",
+                   std::to_string(c.map_slots_per_node));
+  out.emplace_back("reduce_slots_per_node",
+                   std::to_string(c.reduce_slots_per_node));
+  out.emplace_back("cache_capacity", std::to_string(opts.cache_capacity));
+  out.emplace_back("fault_seed", std::to_string(c.fault_seed));
+  out.emplace_back("task_failure_rate", num(c.task_failure_rate));
+  out.emplace_back("straggler_rate", num(c.straggler_rate));
+  out.emplace_back("straggler_slowdown", num(c.straggler_slowdown));
+  out.emplace_back("random_down_hosts", std::to_string(c.random_down_hosts));
+  out.emplace_back("down_hosts", hosts(down));
+  out.emplace_back("degraded_hosts", hosts(c.degraded_hosts));
+  out.emplace_back("degraded_factor", num(c.degraded_service_factor));
+  out.emplace_back("speculation",
+                   c.speculative_execution ? "true" : "false");
+  out.emplace_back("speculation_threshold", num(c.speculation_threshold));
+  out.emplace_back("lookup_backoff_sec", num(c.lookup_retry_backoff_sec));
+  out.emplace_back("lookup_max_attempts",
+                   std::to_string(c.lookup_max_attempts));
+  out.emplace_back("failover_replicas",
+                   std::to_string(c.failover_replicas));
+  return out;
+}
+
 /// One measured bar: configuration label -> simulated seconds, plus the
 /// host wall-clock time the engine took to produce it.
 struct Measurement {
@@ -164,7 +297,7 @@ class FigureHarness {
     auto label = [&](const char* s) {
       return prefix.empty() ? std::string(s) : prefix + "/" + s;
     };
-    auto timed = [&](const std::string& name, auto&& run) {
+    auto timed = [&](auto&& run) {
       const auto start = std::chrono::steady_clock::now();
       auto result = run();
       const double wall_ms =
@@ -173,15 +306,15 @@ class FigureHarness {
               .count();
       return std::pair<decltype(result), double>(std::move(result), wall_ms);
     };
-    auto [base, base_ms] = timed(label("base"), [&] {
+    auto [base, base_ms] = timed([&] {
       return runner->RunWithStrategy(conf, input, Strategy::kBaseline);
     });
     Add(label("base"), base.sim_seconds, base.plan.ToString(), base_ms);
-    auto [cache, cache_ms] = timed(label("cache"), [&] {
+    auto [cache, cache_ms] = timed([&] {
       return runner->RunWithStrategy(conf, input, Strategy::kLookupCache);
     });
     Add(label("cache"), cache.sim_seconds, cache.plan.ToString(), cache_ms);
-    auto [repart, repart_ms] = timed(label("repart"), [&] {
+    auto [repart, repart_ms] = timed([&] {
       return repart_plan != nullptr
                  ? runner->RunWithPlan(conf, input, *repart_plan)
                  : runner->RunWithStrategy(conf, input,
@@ -190,7 +323,7 @@ class FigureHarness {
     Add(label("repart"), repart.sim_seconds, repart.plan.ToString(),
         repart_ms);
     if (include_idxloc) {
-      auto [idxloc, idxloc_ms] = timed(label("idxloc"), [&] {
+      auto [idxloc, idxloc_ms] = timed([&] {
         return idxloc_plan != nullptr
                    ? runner->RunWithPlan(conf, input, *idxloc_plan)
                    : runner->RunWithStrategy(conf, input,
@@ -199,7 +332,7 @@ class FigureHarness {
       Add(label("idxloc"), idxloc.sim_seconds, idxloc.plan.ToString(),
           idxloc_ms);
     }
-    auto [optimized, optimized_ms] = timed(label("optimized"), [&] {
+    auto [optimized, optimized_ms] = timed([&] {
       CollectedStats stats = runner->CollectStatistics(conf, input);
       JobPlan plan = runner->PlanFromStats(conf, stats);
       auto result = runner->RunWithPlan(conf, input, plan, &stats);
@@ -208,7 +341,7 @@ class FigureHarness {
     });
     Add(label("optimized"), optimized.sim_seconds,
         optimized.plan.ToString(), optimized_ms);
-    auto [dynamic, dynamic_ms] = timed(label("dynamic"), [&] {
+    auto [dynamic, dynamic_ms] = timed([&] {
       return runner->RunDynamic(conf, input);
     });
     Add(label("dynamic"), dynamic.sim_seconds,
@@ -251,9 +384,19 @@ class FigureHarness {
   }
 
   /// Prints one JSON line per measurement with the engine's host wall-clock
-  /// time; `threads` is the worker-thread count used.
-  void PrintJsonReport() const {
-    const int threads = ResolveThreadCount(0);
+  /// time, preceded (when `opts` is given) by a `<figure>/config` line
+  /// echoing the full effective configuration.
+  void PrintJsonReport(const BenchOptions* opts = nullptr) const {
+    const int threads =
+        opts != nullptr ? opts->threads : ResolveThreadCount(0);
+    if (opts != nullptr) {
+      std::string cfg;
+      for (const auto& [key, val] : ConfigPairs(*opts)) {
+        cfg += ", \"" + key + "\": \"" + obs::JsonEscape(val) + "\"";
+      }
+      std::printf("{\"bench\": \"%s/config\"%s}\n", figure_.c_str(),
+                  cfg.c_str());
+    }
     for (const auto& m : measurements_) {
       std::printf(
           "{\"bench\": \"%s/%s\", \"wall_ms\": %.3f, \"threads\": %d}\n",
@@ -282,22 +425,59 @@ class FigureHarness {
   const std::vector<Measurement>& measurements() const {
     return measurements_;
   }
+  const std::string& figure() const { return figure_; }
 
  private:
   std::string figure_;
   std::vector<Measurement> measurements_;
 };
 
-/// Standard main body: print the table and JSON report, then hand over to
-/// benchmark.
-inline int FinishBench(FigureHarness& harness, int argc, char** argv) {
+/// Writes the observability outputs requested on the command line (no-op
+/// without a session). Returns false after printing the error when a file
+/// could not be written.
+inline bool WriteObsOutputs(const FigureHarness& harness,
+                            const BenchOptions& opts) {
+  if (opts.obs() == nullptr) return true;
+  bool ok = true;
+  auto write = [&](const std::string& path, const std::string& content) {
+    if (path.empty()) return;
+    std::string error;
+    if (obs::WriteFile(path, content, &error)) {
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      ok = false;
+    }
+  };
+  write(opts.trace_out,
+        obs::ChromeTraceJson(opts.obs()->trace(), opts.config.num_nodes));
+  if (!opts.report_out.empty() || !opts.report_text_out.empty()) {
+    obs::RunReportInput in;
+    in.name = harness.figure();
+    for (const auto& m : harness.measurements()) {
+      in.sim_seconds += m.sim_seconds;
+    }
+    in.metrics = &opts.obs()->metrics();
+    in.trace = &opts.obs()->trace();
+    in.config = ConfigPairs(opts);
+    write(opts.report_out, obs::RunReportJson(in));
+    write(opts.report_text_out, obs::RunReportText(in));
+  }
+  return ok;
+}
+
+/// Standard main body: print the table and JSON report (with config echo),
+/// write any requested observability outputs, then hand over to benchmark.
+inline int FinishBench(FigureHarness& harness, const BenchOptions& opts,
+                       int argc, char** argv) {
   harness.PrintTable();
-  harness.PrintJsonReport();
+  harness.PrintJsonReport(&opts);
+  const bool obs_ok = WriteObsOutputs(harness, opts);
   harness.RegisterBenchmarks();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return 0;
+  return obs_ok ? 0 : 1;
 }
 
 }  // namespace bench

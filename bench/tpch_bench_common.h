@@ -56,9 +56,9 @@ inline JobPlan SingleIndexPlan(const IndexJobConf& conf, size_t op, int idx,
 
 inline void RunTpchFigure(FigureHarness* harness, const IndexJobConf& conf,
                           const std::vector<InputSplit>& input,
-                          size_t repart_op,
-                          const ClusterConfig& config = ClusterConfig()) {
-  EFindJobRunner runner(config);
+                          size_t repart_op, const BenchOptions& opts) {
+  EFindJobRunner runner(opts.config, opts.MakeEFindOptions());
+  runner.set_obs(opts.obs());
   const JobPlan repart_plan =
       SingleIndexPlan(conf, repart_op, 0, Strategy::kRepartition);
   const JobPlan idxloc_plan =

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file against the EFind span schema.
+
+The observability exporter (src/obs/export.cc, DESIGN.md §8) emits the
+trace-event "JSON object format": {"traceEvents": [...], ...}. This linter
+checks that a produced file is structurally sound — parseable, every event
+carrying the fields chrome://tracing / Perfetto need, with sane values —
+and optionally that required span/instant names are present, so CI catches
+a wiring regression that silently stops emitting (say) map_task spans.
+
+Usage:
+  trace_lint.py TRACE.json [--require-span NAME]... [--require-instant NAME]...
+                [--require-any-instant A,B,C]...
+
+Exit status: 0 when valid, 1 with diagnostics on stderr otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+
+
+def lint(doc, require_spans, require_instants, require_any):
+    errors = []
+
+    def err(msg):
+        if len(errors) < 50:
+            errors.append(msg)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+
+    span_names, instant_names = set(), set()
+    for i, e in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(e, dict):
+            err("%s: not an object" % where)
+            continue
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            err("%s: missing name" % where)
+            continue
+        where = "event %d (%s)" % (i, name)
+        ph = e.get("ph")
+        if ph not in VALID_PHASES:
+            err("%s: ph must be one of %s, got %r"
+                % (where, sorted(VALID_PHASES), ph))
+            continue
+        if not isinstance(e.get("pid"), int) or e["pid"] < 0:
+            err("%s: pid must be a non-negative integer" % where)
+        if ph == "M":
+            if name != "process_name":
+                err("%s: unexpected metadata event" % where)
+            elif not isinstance(e.get("args", {}).get("name"), str):
+                err("%s: process_name must carry args.name" % where)
+            continue
+        if not isinstance(e.get("tid"), int) or e["tid"] < 0:
+            err("%s: tid must be a non-negative integer" % where)
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err("%s: ts must be a non-negative number, got %r" % (where, ts))
+        if not isinstance(e.get("cat"), str):
+            err("%s: missing cat" % where)
+        args = e.get("args", {})
+        if not isinstance(args, dict) or any(
+                not isinstance(v, str) for v in args.values()):
+            err("%s: args must be an object with string values" % where)
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err("%s: span dur must be a non-negative number, got %r"
+                    % (where, dur))
+            span_names.add(name)
+        else:  # ph == "i"
+            if e.get("s") != "t":
+                err("%s: instant must carry scope \"s\": \"t\"" % where)
+            instant_names.add(name)
+
+    for name in require_spans:
+        if name not in span_names:
+            err("required span %r not present (spans seen: %s)"
+                % (name, sorted(span_names)))
+    for name in require_instants:
+        if name not in instant_names:
+            err("required instant %r not present (instants seen: %s)"
+                % (name, sorted(instant_names)))
+    for group in require_any:
+        names = [n for n in group.split(",") if n]
+        if not instant_names.intersection(names):
+            err("none of the instants %s present (instants seen: %s)"
+                % (names, sorted(instant_names)))
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span with this name is present")
+    parser.add_argument("--require-instant", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless an instant with this name is present")
+    parser.add_argument("--require-any-instant", action="append", default=[],
+                        metavar="A,B,C",
+                        help="fail unless at least one of the comma-separated "
+                             "instant names is present")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("trace_lint: %s: %s" % (args.trace, e), file=sys.stderr)
+        return 1
+
+    errors = lint(doc, args.require_span, args.require_instant,
+                  args.require_any_instant)
+    if errors:
+        for msg in errors:
+            print("trace_lint: %s" % msg, file=sys.stderr)
+        print("trace_lint: %s: FAILED (%d error%s)"
+              % (args.trace, len(errors), "" if len(errors) == 1 else "s"),
+              file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    instants = sum(1 for e in events if e.get("ph") == "i")
+    print("trace_lint: %s: OK (%d spans, %d instants)"
+          % (args.trace, spans, instants))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

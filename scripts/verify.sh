@@ -7,7 +7,13 @@
 #      the toolchain supports -fsanitize=thread,
 #   4. the failure-aware acceptance bench (exits nonzero unless the
 #      index-locality plan rides out index-host outages within 2x with
-#      byte-identical output).
+#      byte-identical output),
+#   5. the observability suite alone (ctest -L obs) plus an end-to-end
+#      bench trace: run a bench with --trace-out under the fault matrix
+#      and validate the produced Chrome trace with scripts/trace_lint.py,
+#   6. the obs overhead bench (exits nonzero if a detached session is
+#      slower than an attached one, i.e. tracing is no longer free when
+#      off).
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -24,5 +30,18 @@ cmake --build "$BUILD" -j"$(nproc)"
   | grep -E '"(acceptance|speculation)"' || true
 "$BUILD"/bench/bench_ablation_faults --benchmark_list_tests=true \
   > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L obs)
+if command -v python3 > /dev/null; then
+  "$BUILD"/bench/bench_ablation_faults --benchmark_list_tests=true \
+    --trace-out="$BUILD"/ablation_faults_trace.json \
+    --report="$BUILD"/ablation_faults_report.json > /dev/null
+  python3 scripts/trace_lint.py "$BUILD"/ablation_faults_trace.json \
+    --require-span map_task \
+    --require-span lookup_batch \
+    --require-any-instant task_fault,lookup_failover,speculation_trigger
+fi
+
+"$BUILD"/bench/bench_obs_overhead --benchmark_list_tests=true > /dev/null
 
 echo "verify: OK"

@@ -56,6 +56,13 @@ PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
   size_t speculative_launched = 0;
   size_t speculative_wins = 0;
   std::vector<double> effective(durations);
+  struct BackupInfo {
+    bool launched = false;
+    bool won = false;
+    double rel_start = 0.0;
+    double rel_finish = 0.0;
+  };
+  std::vector<BackupInfo> backups(durations.size());
   std::vector<double> wave_sorted;
   for (size_t wave_begin = 0; wave_begin < durations.size();
        wave_begin += slots) {
@@ -72,8 +79,12 @@ PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
       // at the task's un-faulted speed (a fresh attempt on a healthy slot).
       ++speculative_launched;
       const double backup_finish = trigger + base_durations[i];
+      backups[i].launched = true;
+      backups[i].rel_start = trigger;
+      backups[i].rel_finish = backup_finish;
       if (backup_finish < durations[i]) {
         ++speculative_wins;
+        backups[i].won = true;
         effective[i] = backup_finish;
       }
     }
@@ -82,6 +93,13 @@ PhaseSchedule ScheduleWaves(const std::vector<double>& durations,
   PhaseSchedule out = ScheduleWaves(effective, num_slots);
   out.speculative_launched = speculative_launched;
   out.speculative_wins = speculative_wins;
+  for (size_t i = 0; i < out.tasks.size(); ++i) {
+    out.tasks[i].backup_launched = backups[i].launched;
+    out.tasks[i].backup_won = backups[i].won;
+    out.tasks[i].backup_rel_start = backups[i].rel_start;
+    out.tasks[i].backup_rel_finish = backups[i].rel_finish;
+    out.tasks[i].primary_duration = durations[i];
+  }
   return out;
 }
 

@@ -14,6 +14,17 @@ struct TaskSchedule {
   double start = 0.0;
   double finish = 0.0;
   int slot = 0;
+  /// Speculative backup attempt of this task (three-argument ScheduleWaves
+  /// overload only). Times are relative to the primary's start; when the
+  /// backup wins, `finish - start` already reflects the backup's finish.
+  bool backup_launched = false;
+  bool backup_won = false;
+  /// Backup launch offset (the speculation trigger) and the offset at which
+  /// the backup would finish, both relative to the primary's start.
+  double backup_rel_start = 0.0;
+  double backup_rel_finish = 0.0;
+  /// The primary attempt's full duration, even if the backup won.
+  double primary_duration = 0.0;
 };
 
 /// Result of scheduling a phase of tasks onto a fixed number of slots.

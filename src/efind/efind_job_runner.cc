@@ -6,6 +6,7 @@
 
 #include "efind/cost_model.h"
 #include "efind/stages.h"
+#include "obs/obs.h"
 
 namespace efind {
 
@@ -72,6 +73,7 @@ class PipelineExecutor {
         stats_hint_(stats_hint),
         result_(result),
         failover_(failover),
+        obs_(job_runner->obs()),
         cost_model_(config) {
     StartJob();
   }
@@ -212,11 +214,42 @@ class PipelineExecutor {
       summary.boundary_seconds =
           config_.DfsStoreSeconds(BytesOfView(view_)) / config_.num_nodes;
     }
+#if EFIND_OBS
+    double job_t0 = 0.0;
+    if (obs_ != nullptr) {
+      obs::TraceRecorder& tr = obs_->trace();
+      const uint64_t boundary_bytes = BytesOfView(view_);
+      if (summary.boundary_seconds > 0.0) {
+        tr.Span("dfs_boundary", "boundary", tr.clock(),
+                summary.boundary_seconds, obs::kClusterTrack, 0,
+                {{"bytes", std::to_string(boundary_bytes)},
+                 {"into_job", cur_.name}});
+        tr.AdvanceClock(summary.boundary_seconds);
+        obs_->metrics().Add(obs_->metrics().Counter("efind.dfs_boundary_bytes"),
+                            static_cast<double>(boundary_bytes));
+        obs_->metrics().Add(
+            obs_->metrics().Counter(std::string("efind.dfs_bytes.") + label),
+            static_cast<double>(boundary_bytes));
+      }
+      job_t0 = tr.clock();
+    }
+#endif
     JobResult job = job_runner_->Run(cur_, view_);
     summary.map_seconds = job.map_seconds;
     summary.reduce_seconds = job.reduce_seconds;
     summary.map_tasks = job.num_map_tasks;
     summary.reduce_tasks = job.num_reduce_tasks;
+#if EFIND_OBS
+    // The map/reduce phase spans advanced the clock by job.sim_seconds, so
+    // the job span covers exactly the phases it contains.
+    if (obs_ != nullptr) {
+      obs_->trace().Span(cur_.name, "job", job_t0, job.sim_seconds,
+                         obs::kClusterTrack, 0,
+                         {{"map_tasks", std::to_string(job.num_map_tasks)},
+                          {"reduce_tasks",
+                           std::to_string(job.num_reduce_tasks)}});
+    }
+#endif
     result_->jobs.push_back(summary);
     result_->counters.Merge(job.counters);
     result_->sim_seconds +=
@@ -338,11 +371,11 @@ class PipelineExecutor {
       if (post_boundary) {
         cur_.reduce_stages.push_back(std::make_shared<GroupedLookupStage>(
             op, choice.index, /*local=*/false, rt, &config_, prefix,
-            failover_));
+            failover_, obs_));
         if (!inline_tasks.empty()) {
           cur_.reduce_stages.push_back(std::make_shared<InlineLookupStage>(
               op, inline_tasks, rt, &config_, options_.cache_capacity,
-              prefix, failover_));
+              prefix, failover_, obs_));
         }
         cur_.reduce_stages.push_back(
             std::make_shared<PostProcessStage>(op, rt, prefix));
@@ -414,7 +447,7 @@ class PipelineExecutor {
         cur_.map_input_remote = true;
       }
       cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
-          op, choice.index, idxloc, rt, &config_, prefix, failover_));
+          op, choice.index, idxloc, rt, &config_, prefix, failover_, obs_));
 
       if (stats != nullptr &&
           choice.index < static_cast<int>(stats->index.size())) {
@@ -426,7 +459,7 @@ class PipelineExecutor {
     if (!inline_tasks.empty()) {
       side_stages()->push_back(std::make_shared<InlineLookupStage>(
           op, inline_tasks, rt, &config_, options_.cache_capacity, prefix,
-          failover_));
+          failover_, obs_));
     }
     side_stages()->push_back(
         std::make_shared<PostProcessStage>(op, rt, prefix));
@@ -441,6 +474,7 @@ class PipelineExecutor {
   const CollectedStats* stats_hint_;
   EFindRunResult* result_;
   const LookupFailover* failover_;
+  obs::ObsSession* obs_;
   CostModel cost_model_;
 
   JobConfig cur_;
@@ -523,6 +557,27 @@ CollectedStats EFindJobRunner::ComputeStatsWithConf(
   return stats;
 }
 
+#if EFIND_OBS
+namespace {
+
+/// Gauges comparing a cost-model plan estimate made from one statistics
+/// snapshot (first-wave extrapolation, or a prior collection run) with the
+/// same estimate recomputed from the full run's measured statistics — the
+/// observable error of the prediction the optimizer acted on.
+void RecordCostModelError(obs::ObsSession* session, const std::string& scope,
+                          double predicted, double actual) {
+  obs::MetricsRegistry& mx = session->metrics();
+  mx.Set(mx.Gauge("efind.cost_model." + scope + ".predicted_sec"), predicted);
+  mx.Set(mx.Gauge("efind.cost_model." + scope + ".actual_sec"), actual);
+  if (actual > 0.0) {
+    mx.Set(mx.Gauge("efind.cost_model." + scope + ".rel_error"),
+           (predicted - actual) / actual);
+  }
+}
+
+}  // namespace
+#endif  // EFIND_OBS
+
 EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
                                            const std::vector<InputSplit>& input,
                                            const JobPlan& plan,
@@ -534,6 +589,12 @@ EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
                       stats_hint, &result, &failover_);
   px.RunAll(input);
   result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
+#if EFIND_OBS
+  if (obs_ != nullptr && stats_hint != nullptr) {
+    RecordCostModelError(obs_, "static", PlanCost(plan, *stats_hint),
+                         PlanCost(plan, result.stats));
+  }
+#endif
   return result;
 }
 
@@ -620,6 +681,22 @@ bool EFindJobRunner::Reoptimize(bool at_map_phase, const IndexJobConf& conf,
   return true;
 }
 
+double EFindJobRunner::PlanCost(const JobPlan& plan,
+                                const CollectedStats& stats) const {
+  const CostModel& cm = optimizer_.cost_model();
+  double total = 0.0;
+  auto add = [&](const std::vector<OperatorPlan>& group,
+                 const std::vector<OperatorStats>& sg, OperatorPosition pos) {
+    for (size_t i = 0; i < group.size() && i < sg.size(); ++i) {
+      if (sg[i].valid) total += cm.OperatorPlanCost(group[i], sg[i], pos);
+    }
+  };
+  add(plan.head, stats.head, OperatorPosition::kHead);
+  add(plan.body, stats.body, OperatorPosition::kBody);
+  add(plan.tail, stats.tail, OperatorPosition::kTail);
+  return total;
+}
+
 EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
                                           const std::vector<InputSplit>& input) {
   auto rc = MakeRunContext(conf);
@@ -671,6 +748,22 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
   bool changed = wave < total_splits &&
                  Reoptimize(/*at_map_phase=*/true, conf, base_plan,
                             wave_stats, &new_plan);
+#if EFIND_OBS
+  // Algorithm 1's decision point: the simulated moment the first map wave
+  // finished and statistics were inspected.
+  if (obs_ != nullptr) {
+    obs::TraceRecorder& tr = obs_->trace();
+    if (changed) {
+      tr.Instant("plan_switch", "plan", tr.clock(), obs::kClusterTrack,
+                 {{"phase", "map"}, {"plan", new_plan.ToString()}});
+      obs_->metrics().Add(obs_->metrics().Counter("efind.plan_switches"),
+                          1.0);
+    } else {
+      tr.Instant("plan_kept", "plan", tr.clock(), obs::kClusterTrack,
+                 {{"phase", "map"}});
+    }
+  }
+#endif
 
   JobConfig final_job = baseline_job;
   MapPhaseResult rest_wave;
@@ -754,6 +847,16 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
     } else {
       result.replanned = true;
       result.plan.tail = tail_plan.tail;
+#if EFIND_OBS
+      if (obs_ != nullptr) {
+        obs_->trace().Instant("plan_switch", "plan", obs_->trace().clock(),
+                              obs::kClusterTrack,
+                              {{"phase", "tail"},
+                               {"plan", tail_plan.ToString()}});
+        obs_->metrics().Add(obs_->metrics().Counter("efind.plan_switches"),
+                            1.0);
+      }
+#endif
       // Remaining reduce tasks run without the inline tail stages; their
       // outputs flow through the new tail pipeline.
       JobConfig bare = final_job;
@@ -778,6 +881,12 @@ EFindRunResult EFindJobRunner::RunDynamic(const IndexJobConf& conf,
 
   result.sim_seconds += elapsed;
   result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
+#if EFIND_OBS
+  if (obs_ != nullptr) {
+    RecordCostModelError(obs_, "dynamic", PlanCost(result.plan, wave_stats),
+                         PlanCost(result.plan, result.stats));
+  }
+#endif
   return result;
 }
 

@@ -105,6 +105,17 @@ class EFindJobRunner {
   explicit EFindJobRunner(const ClusterConfig& config,
                           const EFindOptions& options = {});
 
+  /// Attaches an observability session (null detaches): the underlying
+  /// JobRunner emits phase/task spans, pipeline execution adds DFS-boundary
+  /// spans, lookup-stage instrumentation, Algorithm-1 plan-switch instants,
+  /// and cost-model predicted-vs-actual gauges (DESIGN.md §8). Purely
+  /// additive — results and simulated times are unchanged.
+  void set_obs(obs::ObsSession* session) {
+    obs_ = session;
+    job_runner_.set_obs(session);
+  }
+  obs::ObsSession* obs() const { return obs_; }
+
   /// Executes `conf` under a fixed `plan`. `stats_hint`, when provided,
   /// informs the re-partitioning boundary placement (Fig. 7).
   EFindRunResult RunWithPlan(const IndexJobConf& conf,
@@ -155,9 +166,14 @@ class EFindJobRunner {
   bool Reoptimize(bool at_map_phase, const IndexJobConf& conf,
                   const JobPlan& current, const CollectedStats& stats,
                   JobPlan* new_plan) const;
+  /// Cost-model estimate (per-machine seconds) of `plan` over the operators
+  /// with valid statistics in `stats` — the quantity Algorithm 1 compares;
+  /// used for the predicted-vs-actual observability gauges.
+  double PlanCost(const JobPlan& plan, const CollectedStats& stats) const;
 
   ClusterConfig config_;
   EFindOptions options_;
+  obs::ObsSession* obs_ = nullptr;
   JobRunner job_runner_;
   Optimizer optimizer_;
   /// Host fault model + lookup charger shared by every run of this runner

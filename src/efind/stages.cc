@@ -1,6 +1,9 @@
 #include "efind/stages.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace efind {
 
@@ -11,6 +14,14 @@ uint64_t ResultBytes(const CachedResult& values) {
   for (const auto& v : values) n += v.size_bytes();
   return n;
 }
+
+#if EFIND_OBS
+std::string RatioStr(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+#endif
 
 // Copy-on-write helper for the shared attachment.
 std::shared_ptr<RecordAttachment> MutableAttachment(Record* record) {
@@ -98,12 +109,14 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
                                      const ClusterConfig* config,
                                      size_t cache_capacity,
                                      std::string counter_prefix,
-                                     const LookupFailover* failover)
+                                     const LookupFailover* failover,
+                                     obs::ObsSession* session)
     : op_(std::move(op)),
       tasks_(std::move(tasks)),
       runtime_(runtime),
       config_(config),
       failover_(failover),
+      obs_(session),
       counter_prefix_(std::move(counter_prefix)) {
   caches_.resize(tasks_.size());
   counter_names_.reserve(tasks_.size());
@@ -118,6 +131,14 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
                               CounterHandle(base + ".cache_hits"),
                               CounterHandle(base + ".lookup_errors"),
                               CounterHandle(base + ".lookup_failovers")});
+#if EFIND_OBS
+    // Metric handles intern here, on the orchestration thread at plan
+    // expansion; hot-path updates go through integer ids only.
+    if (obs_ != nullptr) {
+      latency_hist_.push_back(
+          obs_->metrics().Histogram(base + ".lookup_latency_sec"));
+    }
+#endif
   }
 }
 
@@ -165,6 +186,14 @@ CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
     ctx->AddSimTime(charge.seconds);
     if (charge.failed_over) {
       ctx->counters()->Increment(names.lookup_failovers);
+#if EFIND_OBS
+      if (obs_ != nullptr) {
+        obs_->trace().TaskLocal(ctx)->Instant(
+            "lookup_failover", "fault", ctx->sim_time(),
+            {{"index", std::to_string(j)},
+             {"attempts", std::to_string(charge.attempts)}});
+      }
+#endif
     }
     if (stats != nullptr) {
       stats->LookupAvailability(j, charge.excess_sec, charge.primary_down,
@@ -190,6 +219,14 @@ void InlineLookupStage::Process(Record record, TaskContext* ctx,
   }
   OperatorTaskStats* stats =
       runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr;
+#if EFIND_OBS
+  obs::TaskTrace* tt =
+      obs_ != nullptr ? obs_->trace().TaskLocal(ctx) : nullptr;
+  obs::TaskMetrics* tm =
+      obs_ != nullptr ? obs_->metrics().TaskLocal(ctx) : nullptr;
+  const double batch_t0 = ctx->sim_time();
+  size_t batch_keys = 0;
+#endif
   auto attachment = MutableAttachment(&record);
   for (size_t t = 0; t < tasks_.size(); ++t) {
     const int j = tasks_[t].index;
@@ -198,11 +235,50 @@ void InlineLookupStage::Process(Record record, TaskContext* ctx,
     auto& results = attachment->results[j];
     results.resize(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
+#if EFIND_OBS
+      const double lk_t0 = ctx->sim_time();
+#endif
       results[i] = LookupOne(t, keys[i], ctx, stats);
+#if EFIND_OBS
+      if (tm != nullptr && t < latency_hist_.size()) {
+        tm->Observe(latency_hist_[t], ctx->sim_time() - lk_t0);
+      }
+      ++batch_keys;
+#endif
     }
   }
+#if EFIND_OBS
+  if (tt != nullptr && batch_keys > 0) {
+    tt->Span("lookup_batch", "lookup", batch_t0, ctx->sim_time() - batch_t0,
+             {{"keys", std::to_string(batch_keys)}});
+  }
+#endif
   record.attachment = std::move(attachment);
   out->Emit(std::move(record));
+}
+
+void InlineLookupStage::EndTask(TaskContext* ctx, Emitter* out) {
+  (void)ctx;
+  (void)out;
+#if EFIND_OBS
+  // Cache hit/miss snapshot at end of task: the node cache is shared by the
+  // node's (serially executed) tasks, so the ratio is the node's cumulative
+  // state at this point of the serial order — deterministic at any thread
+  // count.
+  if (obs_ == nullptr) return;
+  obs::TaskTrace* tt = obs_->trace().TaskLocal(ctx);
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    if (!caches_[t]) continue;
+    const auto& cache = caches_[t]->ForNode(ctx->node_id());
+    if (cache.probes() == 0) continue;
+    const double hit_ratio = 1.0 - static_cast<double>(cache.misses()) /
+                                       static_cast<double>(cache.probes());
+    tt->Instant("cache_snapshot", "cache", ctx->sim_time(),
+                {{"index", std::to_string(tasks_[t].index)},
+                 {"hit_ratio", RatioStr(hit_ratio)},
+                 {"probes", std::to_string(cache.probes())}});
+  }
+#endif
 }
 
 // ----------------------------------------------------------- postprocess --
@@ -306,13 +382,15 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
                                        OperatorRuntime* runtime,
                                        const ClusterConfig* config,
                                        std::string counter_prefix,
-                                       const LookupFailover* failover)
+                                       const LookupFailover* failover,
+                                       obs::ObsSession* session)
     : op_(std::move(op)),
       index_(index),
       local_(local),
       runtime_(runtime),
       config_(config),
       failover_(failover),
+      obs_(session),
       counter_prefix_(std::move(counter_prefix)),
       lookups_(counter_prefix_ + ".idx" + std::to_string(index_) +
                ".lookups"),
@@ -321,7 +399,15 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
       lookup_reuses_(counter_prefix_ + ".idx" + std::to_string(index_) +
                      ".lookup_reuses"),
       lookup_failovers_(counter_prefix_ + ".idx" + std::to_string(index_) +
-                        ".lookup_failovers") {}
+                        ".lookup_failovers") {
+#if EFIND_OBS
+  if (obs_ != nullptr) {
+    latency_hist_ = obs_->metrics().Histogram(
+        counter_prefix_ + ".idx" + std::to_string(index_) +
+        ".grouped_lookup_latency_sec");
+  }
+#endif
+}
 
 std::string GroupedLookupStage::name() const {
   return counter_prefix_ + ".grouped_lookup" + std::to_string(index_);
@@ -352,6 +438,9 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
       auto& results = attachment->results[index_];
       results.resize(keys.size());
       for (size_t i = 0; i < keys.size(); ++i) {
+#if EFIND_OBS
+        const double lk_t0 = ctx->sim_time();
+#endif
         CachedResult result;
         const Status status = op_->accessors()[index_]->Lookup(keys[i], &result);
         if (!status.ok() && !status.IsNotFound()) {
@@ -368,6 +457,14 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
           ctx->AddSimTime(charge.seconds);
           if (charge.failed_over) {
             ctx->counters()->Increment(lookup_failovers_);
+#if EFIND_OBS
+            if (obs_ != nullptr) {
+              obs_->trace().TaskLocal(ctx)->Instant(
+                  "lookup_failover", "fault", ctx->sim_time(),
+                  {{"index", std::to_string(index_)},
+                   {"attempts", std::to_string(charge.attempts)}});
+            }
+#endif
           }
           if (stats != nullptr) {
             stats->LookupAvailability(index_, charge.excess_sec,
@@ -385,6 +482,12 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
           stats->LookupPerformed(index_, keys[i].size(), result_bytes,
                                  service);
         }
+#if EFIND_OBS
+        if (obs_ != nullptr) {
+          obs_->metrics().TaskLocal(ctx)->Observe(latency_hist_,
+                                                  ctx->sim_time() - lk_t0);
+        }
+#endif
         results[i] = std::move(result);
       }
       record.attachment = std::move(attachment);
@@ -396,6 +499,9 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
   Memo* memo = MemoFor(ctx);
 
   if (!memo->valid || memo->key != ik) {
+#if EFIND_OBS
+    const double lk_t0 = ctx->sim_time();
+#endif
     CachedResult result;
     const Status status = op_->accessors()[index_]->Lookup(ik, &result);
     if (!status.ok() && !status.IsNotFound()) {
@@ -415,6 +521,14 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
       ctx->AddSimTime(charge.seconds);
       if (charge.failed_over) {
         ctx->counters()->Increment(lookup_failovers_);
+#if EFIND_OBS
+        if (obs_ != nullptr) {
+          obs_->trace().TaskLocal(ctx)->Instant(
+              "lookup_failover", "fault", ctx->sim_time(),
+              {{"index", std::to_string(index_)},
+               {"attempts", std::to_string(charge.attempts)}});
+        }
+#endif
       }
       if (stats != nullptr) {
         stats->LookupAvailability(index_, charge.excess_sec,
@@ -433,6 +547,16 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
     if (stats != nullptr) {
       stats->LookupPerformed(index_, ik.size(), result_bytes, service);
     }
+#if EFIND_OBS
+    if (obs_ != nullptr) {
+      const double charged = ctx->sim_time() - lk_t0;
+      obs_->metrics().TaskLocal(ctx)->Observe(latency_hist_, charged);
+      obs_->trace().TaskLocal(ctx)->Span(
+          "grouped_lookup", "lookup", lk_t0, charged,
+          {{"index", std::to_string(index_)},
+           {"mode", local_ ? "local" : "remote"}});
+    }
+#endif
     memo->valid = true;
     memo->key = ik;
     memo->result = std::move(result);

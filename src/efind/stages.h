@@ -39,6 +39,10 @@
 
 namespace efind {
 
+namespace obs {
+class ObsSession;
+}  // namespace obs
+
 /// Result list of one index lookup, cached per node.
 using CachedResult = std::vector<IndexValue>;
 
@@ -88,15 +92,20 @@ class InlineLookupStage : public RecordStage {
   /// `failover` (optional, borrowed) activates the failure-aware charge
   /// path: down/degraded index hosts cost retries, backoff and replica
   /// failover time (DESIGN.md §7). Null or inactive keeps the original
-  /// healthy-path charges bit-identical.
+  /// healthy-path charges bit-identical. `session` (optional, borrowed)
+  /// attaches observability: per-record lookup-batch spans, failover
+  /// instants, a per-task cache snapshot instant, and lookup latency
+  /// histograms (DESIGN.md §8); null records nothing.
   InlineLookupStage(std::shared_ptr<IndexOperator> op,
                     std::vector<InlineIndexTask> tasks,
                     OperatorRuntime* runtime, const ClusterConfig* config,
                     size_t cache_capacity, std::string counter_prefix,
-                    const LookupFailover* failover = nullptr);
+                    const LookupFailover* failover = nullptr,
+                    obs::ObsSession* session = nullptr);
 
   std::string name() const override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
+  void EndTask(TaskContext* ctx, Emitter* out) override;
 
  private:
   // Pre-built counter names for tasks_[t]'s index.
@@ -118,8 +127,12 @@ class InlineLookupStage : public RecordStage {
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
   const LookupFailover* failover_;
+  obs::ObsSession* obs_;
   std::string counter_prefix_;
   std::vector<TaskCounters> counter_names_;  // Parallel to tasks_.
+  // Interned lookup-latency histogram ids, parallel to tasks_ (empty when
+  // observability is off).
+  std::vector<int> latency_hist_;
   // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
   std::vector<std::unique_ptr<NodeCaches>> caches_;
 };
@@ -182,11 +195,14 @@ class GroupedLookupStage : public RecordStage {
  public:
   /// `failover` as in `InlineLookupStage`; in `local` mode a down or
   /// non-hosting task node forces the lookup off-node through the remote
-  /// failover path (graceful index-locality degradation).
+  /// failover path (graceful index-locality degradation). `session` as in
+  /// `InlineLookupStage` (lookup spans, failover instants, latency
+  /// histogram).
   GroupedLookupStage(std::shared_ptr<IndexOperator> op, int index, bool local,
                      OperatorRuntime* runtime, const ClusterConfig* config,
                      std::string counter_prefix,
-                     const LookupFailover* failover = nullptr);
+                     const LookupFailover* failover = nullptr,
+                     obs::ObsSession* session = nullptr);
 
   std::string name() const override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
@@ -206,6 +222,9 @@ class GroupedLookupStage : public RecordStage {
   OperatorRuntime* runtime_;
   const ClusterConfig* config_;
   const LookupFailover* failover_;
+  obs::ObsSession* obs_;
+  // Interned lookup-latency histogram id (kInvalidMetric when off).
+  int latency_hist_ = -1;
   std::string counter_prefix_;
   CounterHandle lookups_;
   CounterHandle lookup_errors_;

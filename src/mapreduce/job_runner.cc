@@ -1,6 +1,7 @@
 #include "mapreduce/job_runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "common/hash.h"
 #include "mapreduce/stage_chain.h"
+#include "obs/obs.h"
 
 namespace efind {
 
@@ -26,6 +28,108 @@ uint64_t BytesOf(const std::vector<Record>& records) {
   for (const auto& r : records) n += r.size_bytes();
   return n;
 }
+
+#if EFIND_OBS
+std::string ShortNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// Emits one executed phase onto the session and advances its clock by the
+/// phase makespan: a phase span on the cluster track, a task span per task
+/// on its node track (lane = schedule slot), backup-task spans and
+/// speculation-trigger instants, fault instants where the fault model
+/// inflated a task, and the per-task stage events (staged by the state-bag
+/// merges with task-relative timestamps) rebased onto the schedule. Runs on
+/// the orchestration thread after the phase's bags merged, so every
+/// emission order is the serial task-index order.
+void TracePhase(obs::ObsSession* session, const char* kind,
+                const PhaseSchedule& schedule, const std::vector<int>& nodes,
+                const std::vector<double>& durations,
+                const std::vector<double>& base_durations, int num_slots,
+                int first_task_index) {
+  obs::TraceRecorder& tr = session->trace();
+  obs::MetricsRegistry& mx = session->metrics();
+  const double t0 = tr.clock();
+  const size_t count = schedule.tasks.size();
+
+  tr.Span(std::string(kind) + "_phase", "phase", t0, schedule.makespan,
+          obs::kClusterTrack, 0,
+          {{"tasks", std::to_string(count)},
+           {"first_wave", std::to_string(schedule.first_wave_size)},
+           {"speculative_launched",
+            std::to_string(schedule.speculative_launched)},
+           {"speculative_wins", std::to_string(schedule.speculative_wins)}});
+
+  // Stage buffers are keyed by the phase-global task index; buffers staged
+  // outside this phase's range (stray direct RunMapTask calls) are dropped.
+  std::map<int, obs::TraceRecorder::StagedTask> staged;
+  for (auto& s : tr.TakeStaged()) staged.emplace(s.task_index, std::move(s));
+
+  const obs::MetricId task_hist =
+      mx.Histogram(std::string("mr.") + kind + ".task_duration_sec");
+  double busy = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    const TaskSchedule& ts = schedule.tasks[i];
+    const int task_index = first_task_index + static_cast<int>(i);
+    const std::string index_str = std::to_string(task_index);
+    const int node = i < nodes.size() ? nodes[i] : 0;
+    const double dur = ts.finish - ts.start;
+    busy += dur;
+    mx.Observe(task_hist, dur);
+
+    std::vector<obs::TraceArg> args = {{"task_index", index_str}};
+    if (ts.backup_launched) {
+      args.push_back(
+          {"speculated", ts.backup_won ? "backup_won" : "backup_lost"});
+    }
+    tr.Span(std::string(kind) + "_task", "task", t0 + ts.start, dur, node,
+            ts.slot, std::move(args));
+
+    if (ts.backup_launched) {
+      tr.Instant("speculation_trigger", "spec",
+                 t0 + ts.start + ts.backup_rel_start, node,
+                 {{"task_index", index_str}});
+      tr.Span("backup_task", "spec", t0 + ts.start + ts.backup_rel_start,
+              ts.backup_rel_finish - ts.backup_rel_start, node, ts.slot,
+              {{"task_index", index_str},
+               {"won", ts.backup_won ? "true" : "false"}});
+    }
+    if (i < durations.size() && i < base_durations.size() &&
+        base_durations[i] > 0.0 &&
+        durations[i] > base_durations[i] * (1.0 + 1e-9)) {
+      tr.Instant("task_fault", "fault", t0 + ts.start, node,
+                 {{"task_index", index_str},
+                  {"factor", ShortNum(durations[i] / base_durations[i])}});
+    }
+
+    auto it = staged.find(task_index);
+    if (it != staged.end()) {
+      tr.AppendRebased(it->second, t0 + ts.start, ts.slot);
+      if (it->second.dropped > 0) {
+        tr.Instant("trace_truncated", "trace", t0 + ts.finish, node,
+                   {{"task_index", index_str},
+                    {"dropped", std::to_string(it->second.dropped)}});
+      }
+      staged.erase(it);
+    }
+  }
+
+  const std::string prefix = std::string("mr.") + kind;
+  mx.Add(mx.Counter(prefix + ".tasks"), static_cast<double>(count));
+  mx.Add(mx.Counter(prefix + ".speculative_launched"),
+         static_cast<double>(schedule.speculative_launched));
+  mx.Add(mx.Counter(prefix + ".speculative_wins"),
+         static_cast<double>(schedule.speculative_wins));
+  if (schedule.makespan > 0.0 && num_slots > 0) {
+    mx.Set(mx.Gauge(prefix + ".wave_occupancy"),
+           busy / (schedule.makespan * static_cast<double>(num_slots)));
+  }
+
+  tr.AdvanceClock(schedule.makespan);
+}
+#endif  // EFIND_OBS
 
 }  // namespace
 
@@ -193,6 +297,20 @@ MapPhaseResult JobRunner::RunMapPhase(
   } else {
     phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
   }
+#if EFIND_OBS
+  if (obs_ != nullptr) {
+    std::vector<int> nodes;
+    std::vector<double> base;
+    nodes.reserve(count);
+    base.reserve(count);
+    for (const auto& t : phase.tasks) {
+      nodes.push_back(t.node);
+      base.push_back(t.base_duration);
+    }
+    TracePhase(obs_, "map", phase.schedule, nodes, durations, base,
+               config_.total_map_slots(), static_cast<int>(begin));
+  }
+#endif
   return phase;
 }
 
@@ -297,6 +415,15 @@ ReducePhaseResult JobRunner::RunReduceRange(
     phase.schedule =
         ScheduleWaves(phase.durations, config_.total_reduce_slots());
   }
+#if EFIND_OBS
+  if (obs_ != nullptr) {
+    std::vector<int> nodes;
+    nodes.reserve(count);
+    for (const auto& o : phase.outputs) nodes.push_back(o.node);
+    TracePhase(obs_, "reduce", phase.schedule, nodes, phase.durations,
+               phase.base_durations, config_.total_reduce_slots(), begin);
+  }
+#endif
   return phase;
 }
 

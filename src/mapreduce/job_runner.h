@@ -16,6 +16,10 @@
 
 namespace efind {
 
+namespace obs {
+class ObsSession;
+}  // namespace obs
+
 /// Executes MapReduce jobs over the simulated cluster.
 ///
 /// Data flow is executed for real (records are actually transformed), while
@@ -44,6 +48,16 @@ class JobRunner {
   void set_num_threads(int n) { num_threads_ = n; }
   /// The resolved worker-thread count this runner executes with.
   int effective_threads() const { return ResolveThreadCount(num_threads_); }
+
+  /// Attaches an observability session (null detaches). While attached,
+  /// every phase emits a phase span, per-task spans on the task's node
+  /// track, speculation/fault instants, and slot-occupancy metrics onto the
+  /// session, laid out on its simulated clock; per-task stage events staged
+  /// through `TraceRecorder::TaskLocal` are rebased onto the phase schedule
+  /// (DESIGN.md §8). No-op for timing/results: attached and detached runs
+  /// produce identical outputs, counters, and simulated seconds.
+  void set_obs(obs::ObsSession* session) { obs_ = session; }
+  obs::ObsSession* obs() const { return obs_; }
 
   /// Runs the whole job: map phase over `input`, then (if a reducer is
   /// configured) shuffle + reduce phase.
@@ -112,6 +126,7 @@ class JobRunner {
 
   ClusterConfig config_;
   int num_threads_ = 0;
+  obs::ObsSession* obs_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,0 +1,51 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Observability session: one TraceRecorder + one MetricsRegistry covering
+// one run (or one bench invocation). Engine and stage code holds an
+// `ObsSession*` that is null when observability is off — the hot path pays
+// a single pointer test. Compiling with -DEFIND_OBS=0 removes even that:
+// every instrumentation site is guarded by `#if EFIND_OBS`, so the engine
+// compiles back to its pre-observability form (the disabled overhead is
+// guarded by bench_obs_overhead).
+
+#ifndef EFIND_OBS_OBS_H_
+#define EFIND_OBS_OBS_H_
+
+// Compile-time gate for all observability call sites. Default on; build
+// with -DEFIND_OBS=0 (or cmake -DEFIND_ENABLE_OBS=OFF) to compile the
+// instrumentation out entirely.
+#ifndef EFIND_OBS
+#define EFIND_OBS 1
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace efind {
+namespace obs {
+
+/// The trace + metrics pair of one observed run. Create one per run (or per
+/// bench process), hand its address to `EFindJobRunner::set_obs` /
+/// `JobRunner::set_obs`, and export with obs/export.h when done.
+class ObsSession {
+ public:
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  void Clear() {
+    trace_.Clear();
+    metrics_.Clear();
+  }
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace obs
+}  // namespace efind
+
+#endif  // EFIND_OBS_OBS_H_

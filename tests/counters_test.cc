@@ -1,0 +1,114 @@
+// Merge semantics of the MapReduce counter facility (mapreduce/counters.h).
+// The execution engine merges per-task Counters instances in task-index
+// order; these tests pin down the algebra that makes that fold correct:
+// empty merge is an identity and merging is associative (exactly, for
+// exactly-representable values — doubles with small dyadic fractions).
+
+#include "mapreduce/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace efind {
+namespace {
+
+TEST(CountersTest, IncrementCreatesAtZero) {
+  Counters c;
+  EXPECT_FALSE(c.Has("a"));
+  EXPECT_DOUBLE_EQ(c.Get("a"), 0.0);
+  c.Increment("a");
+  EXPECT_TRUE(c.Has("a"));
+  EXPECT_DOUBLE_EQ(c.Get("a"), 1.0);
+  c.Increment("a", 2.5);
+  EXPECT_DOUBLE_EQ(c.Get("a"), 3.5);
+}
+
+TEST(CountersTest, HandleLookupAvoidsTemporaries) {
+  Counters c;
+  const CounterHandle handle("group.metric");
+  c.Increment(handle, 4.0);
+  EXPECT_DOUBLE_EQ(c.Get(handle), 4.0);
+  EXPECT_DOUBLE_EQ(c.Get("group.metric"), 4.0);
+}
+
+TEST(CountersTest, MergeAddsAndUnions) {
+  Counters a, b;
+  a.Increment("shared", 1.0);
+  a.Increment("only_a", 2.0);
+  b.Increment("shared", 3.0);
+  b.Increment("only_b", 4.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get("shared"), 4.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_a"), 2.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_b"), 4.0);
+  EXPECT_EQ(a.size(), 3u);
+  // The source is untouched.
+  EXPECT_DOUBLE_EQ(b.Get("shared"), 3.0);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(CountersTest, EmptyMergeIsIdentity) {
+  Counters a, empty;
+  a.Increment("x", 0.25);
+  a.Increment("y", 7.0);
+  const auto before = a.values();
+  a.Merge(empty);
+  EXPECT_EQ(a.values(), before);
+
+  Counters onto_empty;
+  onto_empty.Merge(a);
+  EXPECT_EQ(onto_empty.values(), a.values());
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(CountersTest, MergeIsAssociativeForExactValues) {
+  // Dyadic fractions stay exactly representable under addition, so the two
+  // association orders must agree bit-for-bit — the property the engine's
+  // task-index-ordered fold depends on.
+  auto make = [](double x, double y) {
+    Counters c;
+    c.Increment("x", x);
+    c.Increment("y", y);
+    return c;
+  };
+  const Counters a = make(0.5, 8.0);
+  const Counters b = make(0.25, -2.0);
+  const Counters c = make(1024.0, 0.125);
+
+  Counters left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Counters bc = b;  // a + (b + c)
+  bc.Merge(c);
+  Counters right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.values(), right.values());
+  EXPECT_DOUBLE_EQ(left.Get("x"), 1024.75);
+  EXPECT_DOUBLE_EQ(left.Get("y"), 6.125);
+}
+
+TEST(CountersTest, ValuesAreSortedByName) {
+  Counters c;
+  c.Increment("zeta");
+  c.Increment("alpha");
+  c.Increment("mid");
+  std::string prev;
+  for (const auto& [name, value] : c.values()) {
+    EXPECT_LT(prev, name);
+    prev = name;
+  }
+  EXPECT_EQ(c.values().begin()->first, "alpha");
+}
+
+TEST(CountersTest, ClearEmpties) {
+  Counters c;
+  c.Increment("a");
+  c.Clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.Has("a"));
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,82 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Produces a Chrome trace for scripts/trace_lint.py to validate (the
+// `trace_lint` ctest entry, label `obs`). Runs the toy join workload under
+// the full fault matrix — re-executions, stragglers, speculation, a down
+// index host, a degraded one — with both a fixed strategy and the adaptive
+// runtime, so the exported trace exercises every event kind the schema
+// defines: map/reduce task spans, lookup-stage spans, phase spans, and
+// fault/plan instants.
+//
+// Usage: obs_trace_demo TRACE_OUT.json [REPORT_OUT.json]
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "tests/test_util.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE_OUT.json [REPORT_OUT.json]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  efind::ClusterConfig config;
+  config.task_failure_rate = 0.08;
+  config.straggler_rate = 0.1;
+  config.straggler_slowdown = 4.0;
+  config.speculative_execution = true;
+  config.speculation_threshold = 1.5;
+  config.host_downtimes.push_back({3});
+  config.degraded_hosts.push_back(5);
+  config.lookup_retry_backoff_sec = 1e-3;
+  config.fault_seed = 7;
+
+  efind::testing_util::ToyWorld world(400, 60);
+  const auto input = world.MakeInput(60, 30, 500);
+  const efind::IndexJobConf conf = world.MakeJoinJob(true);
+
+  efind::EFindOptions options;
+  options.cache_capacity = 64;
+  options.threads = 4;
+  efind::EFindJobRunner runner(config, options);
+  efind::obs::ObsSession session;
+  runner.set_obs(&session);
+  runner.RunWithStrategy(conf, input, efind::Strategy::kLookupCache);
+  runner.RunWithStrategy(conf, input, efind::Strategy::kRepartition);
+  const efind::EFindRunResult result = runner.RunDynamic(conf, input);
+
+  std::string error;
+  if (!efind::obs::WriteFile(
+          argv[1],
+          efind::obs::ChromeTraceJson(session.trace(), config.num_nodes),
+          &error)) {
+    std::fprintf(stderr, "obs_trace_demo: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "obs_trace_demo: wrote %s (%zu events, %zu dropped)\n",
+               argv[1], session.trace().events().size(),
+               session.trace().dropped_events());
+
+  if (argc > 2) {
+    efind::obs::RunReportInput report;
+    report.name = "obs_trace_demo";
+    report.sim_seconds = result.sim_seconds;
+    report.plan = result.plan.ToString();
+    report.replanned = result.replanned;
+    report.counters = &result.counters;
+    report.metrics = &session.metrics();
+    report.trace = &session.trace();
+    if (!efind::obs::WriteFile(argv[2], efind::obs::RunReportJson(report),
+                               &error)) {
+      std::fprintf(stderr, "obs_trace_demo: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "obs_trace_demo: wrote %s\n", argv[2]);
+  }
+  return 0;
+}

@@ -73,6 +73,29 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
 }
 
+// The engine folds per-task accumulators in a fixed order, but the gate
+// only needs associativity up to rounding: (a+b)+c and a+(b+c) must agree
+// to within floating-point noise.
+TEST(RunningStatsTest, MergeIsAssociative) {
+  Rng rng(11);
+  RunningStats a, b, c;
+  for (int i = 0; i < 300; ++i) a.Add(rng.Gaussian(5.0, 2.0));
+  for (int i = 0; i < 10; ++i) b.Add(rng.Gaussian(-3.0, 0.5));
+  for (int i = 0; i < 77; ++i) c.Add(rng.Gaussian(100.0, 10.0));
+
+  RunningStats left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  RunningStats bc = b;  // a + (b + c)
+  bc.Merge(c);
+  RunningStats right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-6);
+}
+
 TEST(RunningStatsTest, MergeWithEmpty) {
   RunningStats a, empty;
   a.Add(1.0);
