@@ -1,0 +1,157 @@
+// Ablation: cross-job materialization & reuse (DESIGN.md §9). A multi-job
+// sequence over one TPC-H dataset exercising the ReStore-style artifact
+// store end to end:
+//
+//   q3_cold        Q3 under re-partitioning with an empty store attached:
+//                  the shuffle outputs are published as artifacts.
+//   followup_warm  The Q3 follow-up job (same first operator + Orders
+//                  index) against the now-warm store: its first shuffle is
+//                  fingerprint-identical to Q3's, so the store serves it —
+//                  no second shuffle job, only the reuse-resolution charge.
+//   followup_fresh The same follow-up against a fresh (empty) store.
+//   followup_nostore  ... and with no store at all. Miss-is-free: this and
+//                  followup_fresh must be bit-identical (cold-with-store
+//                  costs exactly what no-store costs).
+//   q9_warm_miss   Q9 against the warm store: a different operator chain,
+//                  so reuse must NOT trigger (hit count unchanged).
+//   optimized      PlanFromStats for the follow-up with the warm store
+//                  annotated vs. without: the live artifact zeroes the
+//                  repartition term, so the reuse-aware plan can only get
+//                  cheaper.
+//
+// Verdict line `ablation_reuse/acceptance`: reuse_hits > 0, warm strictly
+// faster than fresh, warm and fresh outputs identical, no-store identity,
+// and Q9 adding no hits. Exit is nonzero when the verdict fails. Under
+// --no-reuse the store arms run storeless and only the (then trivial)
+// identity checks apply — output must match today's store-less runs bit
+// for bit.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "reuse/materialized_store.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+std::vector<efind::Record> Sorted(std::vector<efind::Record> r) {
+  std::sort(r.begin(), r.end(),
+            [](const efind::Record& a, const efind::Record& b) {
+              return a.key != b.key ? a.key < b.key : a.value < b.value;
+            });
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
+  bench::FigureHarness harness("ablation_reuse");
+
+  TpchOptions options;
+  TpchData data = GenerateTpch(options, opts.config.num_nodes);
+  const IndexJobConf q3 = MakeTpchQ3Job(data);
+  const IndexJobConf followup = MakeTpchQ3FollowupJob(data);
+  const IndexJobConf q9 = MakeTpchQ9Job(data);
+  const std::vector<InputSplit>& input = data.lineitem;
+
+  auto make_runner = [&](reuse::MaterializedStore* store) {
+    auto runner =
+        std::make_unique<EFindJobRunner>(opts.config, opts.MakeEFindOptions());
+    runner->set_obs(opts.obs());
+    runner->set_reuse(store);
+    return runner;
+  };
+
+  // The bench-wide store (null under --no-reuse), warmed by Q3.
+  reuse::MaterializedStore* warm = opts.reuse();
+  auto warm_runner = make_runner(warm);
+  auto q3_cold =
+      warm_runner->RunWithStrategy(q3, input, Strategy::kRepartition);
+  harness.Add("q3_cold", q3_cold.sim_seconds, q3_cold.plan.ToString());
+  const uint64_t hits_after_q3 = warm != nullptr ? warm->stats().hits : 0;
+  const uint64_t publishes = warm != nullptr ? warm->stats().publishes : 0;
+
+  auto followup_warm =
+      warm_runner->RunWithStrategy(followup, input, Strategy::kRepartition);
+  harness.Add("followup_warm", followup_warm.sim_seconds,
+              followup_warm.plan.ToString());
+  const uint64_t hits_after_followup =
+      warm != nullptr ? warm->stats().hits : 0;
+
+  // Cold store: attached but empty, so every probe misses (miss-is-free).
+  reuse::MaterializedStore fresh_store(opts.reuse_capacity,
+                                       opts.config.num_nodes);
+  auto fresh_runner = make_runner(&fresh_store);
+  auto followup_fresh =
+      fresh_runner->RunWithStrategy(followup, input, Strategy::kRepartition);
+  harness.Add("followup_fresh", followup_fresh.sim_seconds,
+              followup_fresh.plan.ToString());
+
+  // No store at all: the pre-reuse execution path, byte for byte.
+  auto nostore_runner = make_runner(nullptr);
+  auto followup_nostore = nostore_runner->RunWithStrategy(
+      followup, input, Strategy::kRepartition);
+  harness.Add("followup_nostore", followup_nostore.sim_seconds,
+              followup_nostore.plan.ToString());
+
+  // Q9 shares the dataset but no operator chain: warm store must not fire.
+  auto q9_result =
+      warm_runner->RunWithStrategy(q9, input, Strategy::kRepartition);
+  harness.Add("q9_warm_miss", q9_result.sim_seconds,
+              q9_result.plan.ToString());
+  const uint64_t hits_after_q9 = warm != nullptr ? warm->stats().hits : 0;
+
+  // Reuse-aware optimization: the warm runner's PlanFromStats sees the live
+  // artifact (repartition term zeroed), the store-less runner does not.
+  CollectedStats stats = nostore_runner->CollectStatistics(followup, input);
+  const JobPlan plan_warm =
+      warm_runner->PlanFromStats(followup, stats, &input);
+  const JobPlan plan_fresh = nostore_runner->PlanFromStats(followup, stats);
+  std::printf(
+      "{\"bench\": \"ablation_reuse/optimized\", "
+      "\"plan_warm\": \"%s\", \"plan_fresh\": \"%s\", "
+      "\"warm_cost\": %.6f, \"fresh_cost\": %.6f}\n",
+      plan_warm.ToString().c_str(), plan_fresh.ToString().c_str(),
+      plan_warm.TotalEstimatedCost(), plan_fresh.TotalEstimatedCost());
+
+  const uint64_t reuse_hits = hits_after_followup - hits_after_q3;
+  const bool reuse_fired = warm == nullptr || reuse_hits > 0;
+  const bool warm_faster =
+      warm == nullptr ||
+      followup_warm.sim_seconds < followup_fresh.sim_seconds;
+  const bool outputs_identical =
+      Sorted(followup_warm.CollectRecords()) ==
+      Sorted(followup_fresh.CollectRecords());
+  // Bit-identical, not approximately: a cold probe must charge nothing.
+  const bool miss_is_free =
+      followup_fresh.sim_seconds == followup_nostore.sim_seconds &&
+      Sorted(followup_fresh.CollectRecords()) ==
+          Sorted(followup_nostore.CollectRecords());
+  const bool q9_missed = hits_after_q9 == hits_after_followup;
+  const bool warm_plan_no_worse =
+      plan_warm.TotalEstimatedCost() <= plan_fresh.TotalEstimatedCost();
+  const bool pass = reuse_fired && warm_faster && outputs_identical &&
+                    miss_is_free && q9_missed && warm_plan_no_worse;
+  std::printf(
+      "{\"bench\": \"ablation_reuse/acceptance\", \"reuse_hit\": %llu, "
+      "\"publishes\": %llu, \"warm_sim_seconds\": %.6f, "
+      "\"fresh_sim_seconds\": %.6f, \"nostore_sim_seconds\": %.6f, "
+      "\"warm_faster\": %s, \"outputs_identical\": %s, "
+      "\"miss_is_free\": %s, \"q9_no_hit\": %s, "
+      "\"warm_plan_no_worse\": %s, \"pass\": %s}\n",
+      static_cast<unsigned long long>(reuse_hits),
+      static_cast<unsigned long long>(publishes), followup_warm.sim_seconds,
+      followup_fresh.sim_seconds, followup_nostore.sim_seconds,
+      warm_faster ? "true" : "false", outputs_identical ? "true" : "false",
+      miss_is_free ? "true" : "false", q9_missed ? "true" : "false",
+      warm_plan_no_worse ? "true" : "false", pass ? "true" : "false");
+
+  std::fflush(stdout);
+  const int rc = bench::FinishBench(harness, opts, argc, argv);
+  return pass ? rc : 1;
+}

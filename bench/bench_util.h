@@ -16,9 +16,11 @@
 // Every bench parses one shared flag family via `ParseBenchOptions(&argc,
 // argv)` first thing in main: `--threads` (worker threads; results are
 // bit-identical for any value), the `--fault-*` fault-injection knobs,
-// `--cache-capacity`, and the observability outputs `--trace-out` /
-// `--report` / `--report-text` (DESIGN.md §8). The JSON report echoes the
-// full effective configuration so stored results are self-describing.
+// `--cache-capacity`, the cross-job materialization knobs
+// `--reuse-capacity` / `--reuse-dir` / `--no-reuse` (DESIGN.md §9), and the
+// observability outputs `--trace-out` / `--report` / `--report-text`
+// (DESIGN.md §8). The JSON report echoes the full effective configuration
+// so stored results are self-describing.
 
 #ifndef EFIND_BENCH_BENCH_UTIL_H_
 #define EFIND_BENCH_BENCH_UTIL_H_
@@ -39,6 +41,7 @@
 #include "efind/efind_job_runner.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "reuse/materialized_store.h"
 
 namespace efind {
 namespace bench {
@@ -147,6 +150,13 @@ struct BenchOptions {
   ClusterConfig config;
   /// Lookup-cache entries per node (--cache-capacity).
   size_t cache_capacity = 1024;
+  /// Materialized-artifact store capacity in bytes (--reuse-capacity).
+  uint64_t reuse_capacity = 64ull << 20;
+  /// Directory for the store manifest dump (--reuse-dir); empty = off.
+  std::string reuse_dir;
+  /// Disables cross-job reuse entirely (--no-reuse): `reuse()` returns
+  /// null, so reuse-aware benches run exactly the store-less path.
+  bool no_reuse = false;
   /// Observability output paths; empty = off.
   std::string trace_out;        // Chrome trace-event JSON.
   std::string report_out;       // Run report, JSON.
@@ -157,6 +167,20 @@ struct BenchOptions {
   /// trace covers the whole invocation end to end.
   std::unique_ptr<obs::ObsSession> session;
   obs::ObsSession* obs() const { return session.get(); }
+
+  /// The bench-wide artifact store, lazily built on first use so benches
+  /// that never call this pay nothing. Null under --no-reuse. Only benches
+  /// that opt into cross-job reuse attach it (`runner.set_reuse(...)`);
+  /// everything else ignores the knobs, keeping their results identical.
+  mutable std::unique_ptr<reuse::MaterializedStore> reuse_store;
+  reuse::MaterializedStore* reuse() const {
+    if (no_reuse) return nullptr;
+    if (reuse_store == nullptr) {
+      reuse_store = std::make_unique<reuse::MaterializedStore>(
+          reuse_capacity, config.num_nodes);
+    }
+    return reuse_store.get();
+  }
 
   /// Runner options seeded with the parsed cache capacity.
   EFindOptions MakeEFindOptions() const {
@@ -171,6 +195,10 @@ struct BenchOptions {
 /// arguments for benchmark's own parser. On top of `--threads=N` and the
 /// `--fault-*` family above:
 ///   --cache-capacity=N   lookup-cache entries per node (default 1024)
+///   --reuse-capacity=N   artifact-store capacity in bytes (default 64 MiB)
+///   --reuse-dir=PATH     write the store manifest to PATH/manifest.json
+///                        after the run (reuse-aware benches only)
+///   --no-reuse           disable the cross-job artifact store
 ///   --trace-out=PATH     write a Chrome trace-event JSON of the whole
 ///                        bench run (open in chrome://tracing or Perfetto)
 ///   --report=PATH        write a JSON run report (config echo, metric
@@ -195,6 +223,17 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
         std::exit(2);
       }
       opts.cache_capacity = static_cast<size_t>(n);
+    } else if ((v = value(arg, "--reuse-capacity")) != nullptr) {
+      const long long n = std::atoll(v);
+      if (n <= 0) {
+        std::fprintf(stderr, "invalid --reuse-capacity=%s\n", v);
+        std::exit(2);
+      }
+      opts.reuse_capacity = static_cast<uint64_t>(n);
+    } else if ((v = value(arg, "--reuse-dir")) != nullptr) {
+      opts.reuse_dir = v;
+    } else if (std::strcmp(arg, "--no-reuse") == 0) {
+      opts.no_reuse = true;
     } else if ((v = value(arg, "--trace-out")) != nullptr) {
       opts.trace_out = v;
     } else if ((v = value(arg, "--report")) != nullptr) {
@@ -243,6 +282,9 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
   out.emplace_back("reduce_slots_per_node",
                    std::to_string(c.reduce_slots_per_node));
   out.emplace_back("cache_capacity", std::to_string(opts.cache_capacity));
+  out.emplace_back("reuse", opts.no_reuse ? "off" : "on");
+  out.emplace_back("reuse_capacity", std::to_string(opts.reuse_capacity));
+  out.emplace_back("reuse_dir", opts.reuse_dir);
   out.emplace_back("fault_seed", std::to_string(c.fault_seed));
   out.emplace_back("task_failure_rate", num(c.task_failure_rate));
   out.emplace_back("straggler_rate", num(c.straggler_rate));
@@ -467,12 +509,24 @@ inline bool WriteObsOutputs(const FigureHarness& harness,
 }
 
 /// Standard main body: print the table and JSON report (with config echo),
-/// write any requested observability outputs, then hand over to benchmark.
+/// write any requested observability outputs and the artifact-store
+/// manifest (--reuse-dir, when the bench used the store), then hand over
+/// to benchmark.
 inline int FinishBench(FigureHarness& harness, const BenchOptions& opts,
                        int argc, char** argv) {
   harness.PrintTable();
   harness.PrintJsonReport(&opts);
-  const bool obs_ok = WriteObsOutputs(harness, opts);
+  bool obs_ok = WriteObsOutputs(harness, opts);
+  if (!opts.reuse_dir.empty() && opts.reuse_store != nullptr) {
+    const std::string path = opts.reuse_dir + "/manifest.json";
+    std::string error;
+    if (opts.reuse_store->DumpManifest(path, &error)) {
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      obs_ok = false;
+    }
+  }
   harness.RegisterBenchmarks();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

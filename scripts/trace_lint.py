@@ -17,9 +17,45 @@ Exit status: 0 when valid, 1 with diagnostics on stderr otherwise.
 
 import argparse
 import json
+import string
 import sys
 
 VALID_PHASES = {"X", "i", "M"}
+
+# Cross-job reuse events (DESIGN.md §9) carry a fixed schema on top of the
+# generic rules: category "reuse", a 16-hex-digit artifact fingerprint, and
+# the operator that produced/consumed the artifact. Maps name -> (expected
+# phase, required arg keys).
+REUSE_EVENTS = {
+    "materialize": ("X", ("fingerprint", "operator", "bytes", "stored",
+                          "evicted")),
+    "reuse_hit": ("i", ("fingerprint", "operator")),
+    "reuse_miss": ("i", ("fingerprint", "operator")),
+}
+
+
+def lint_reuse_event(e, name, ph, args, err, where):
+    expected_ph, required = REUSE_EVENTS[name]
+    if ph != expected_ph:
+        err("%s: reuse event must have ph %r, got %r"
+            % (where, expected_ph, ph))
+    if e.get("cat") != "reuse":
+        err("%s: reuse event must have cat \"reuse\", got %r"
+            % (where, e.get("cat")))
+    for key in required:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    fp = args.get("fingerprint", "")
+    if len(fp) != 16 or any(c not in string.hexdigits for c in fp):
+        err("%s: fingerprint must be 16 hex digits, got %r" % (where, fp))
+    if name == "materialize":
+        for key in ("bytes", "evicted"):
+            if not args.get(key, "").isdigit():
+                err("%s: arg %r must be a decimal count, got %r"
+                    % (where, key, args.get(key)))
+        if args.get("stored") not in ("0", "1"):
+            err("%s: arg \"stored\" must be \"0\" or \"1\", got %r"
+                % (where, args.get("stored")))
 
 
 def lint(doc, require_spans, require_instants, require_any):
@@ -80,6 +116,8 @@ def lint(doc, require_spans, require_instants, require_any):
             if e.get("s") != "t":
                 err("%s: instant must carry scope \"s\": \"t\"" % where)
             instant_names.add(name)
+        if name in REUSE_EVENTS and isinstance(args, dict):
+            lint_reuse_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

@@ -13,7 +13,12 @@
 #      and validate the produced Chrome trace with scripts/trace_lint.py,
 #   6. the obs overhead bench (exits nonzero if a detached session is
 #      slower than an attached one, i.e. tracing is no longer free when
-#      off).
+#      off),
+#   7. the cross-job reuse suite alone (ctest -L reuse) — includes the
+#      reuse_tsan_smoke ThreadSanitizer binary and the reuse trace lint —
+#      and the reuse acceptance bench (exits nonzero unless a warm store
+#      serves the follow-up job's shuffle, a cold store is bit-identical
+#      to no store, and Q9 stays a miss).
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -43,5 +48,12 @@ if command -v python3 > /dev/null; then
 fi
 
 "$BUILD"/bench/bench_obs_overhead --benchmark_list_tests=true > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L reuse)
+"$BUILD"/bench/bench_ablation_reuse --benchmark_list_tests=true \
+  | grep -E '"(ablation_reuse/acceptance|ablation_reuse/optimized)"' || true
+"$BUILD"/bench/bench_ablation_reuse --benchmark_list_tests=true > /dev/null
+"$BUILD"/bench/bench_ablation_reuse --benchmark_list_tests=true \
+  --no-reuse > /dev/null
 
 echo "verify: OK"

@@ -106,6 +106,12 @@ struct ClusterConfig {
   /// partitions are "replicated to three data nodes").
   int failover_replicas = 3;
 
+  // --- cross-job artifact reuse --------------------------------------------
+  /// Fixed cost of resolving a materialized artifact from the reuse store
+  /// at job start (namenode round trip + manifest read; DESIGN.md §9). The
+  /// artifact's retrieval bytes are charged as ordinary remote map input.
+  double reuse_resolve_sec = 0.002;
+
   // --- speculative execution ----------------------------------------------
   /// Launch a backup copy of a task whose duration exceeds
   /// `speculation_threshold` times its wave's median; the first finisher

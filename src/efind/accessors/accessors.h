@@ -38,6 +38,7 @@ class KvIndexAccessor : public IndexAccessor {
   const PartitionScheme* partition_scheme() const override {
     return &store_->scheme();
   }
+  uint64_t VersionFingerprint() const override { return store_->version(); }
 
  private:
   std::string name_;
@@ -99,6 +100,14 @@ class RTreeKnnAccessor : public IndexAccessor {
   double RemoteOverheadSeconds() const override {
     return remote_overhead_sec_;
   }
+  uint64_t ConfigFingerprint() const override {
+    // k and the result-size model change the artifact's attachments, so
+    // they must split the reuse equivalence class.
+    uint64_t fp = Hash64(name());
+    fp = Mix64(fp ^ Mix64(static_cast<uint64_t>(k_)));
+    fp = Mix64(fp ^ Mix64(per_result_extra_bytes_));
+    return fp;
+  }
 
   int k() const { return k_; }
 
@@ -152,6 +161,9 @@ class CloudServiceAccessor : public IndexAccessor {
     return service_->ServiceSeconds(result_bytes);
   }
   bool idempotent() const override { return idempotent_; }
+  uint64_t ConfigFingerprint() const override {
+    return Mix64(Hash64(name()) ^ (idempotent_ ? 1 : 2));
+  }
 
  private:
   const CloudService* service_;

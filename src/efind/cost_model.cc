@@ -120,6 +120,18 @@ double CostModel::RepartitionCost(const OperatorStats& stats, int j,
           static_cast<uint64_t>(is.sik + is.siv)) +
       is.remote_overhead + is.tj + is.avail_excess;
   const double lookup_cost = stats.n1 * is.nik / theta * per_lookup;
+  // Cross-job reuse (DESIGN.md §9): when the materialized store holds a
+  // live artifact for this operator's *first* shuffle (spre_eff still at
+  // its base value — later shuffles regroup augmented data the store does
+  // not hold), Eq. 3 degenerates: the shuffle, the DFS store, the extra
+  // job and its data pass all vanish, leaving the resolve overhead, the
+  // remote retrieval of the grouped artifact, and the deduplicated lookups.
+  if (is.artifact_repart && spre_eff == stats.spre) {
+    const double retrieval =
+        stats.n1 * spre_eff * (1.0 / config_.network_bw_bytes_per_sec +
+                               config_.cpu_per_byte_sec);
+    return config_.reuse_resolve_sec + retrieval + lookup_cost;
+  }
   return ShuffleCost(stats, spre_eff) +
          ResultCost(stats, position, spre_eff) + lookup_cost +
          ExtraJobSeconds() + ExtraPassCost(stats, spre_eff);
@@ -152,6 +164,14 @@ double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
   // of task startups.
   const double granularity_overhead =
       3.0 * config_.task_startup_sec * config_.map_slots_per_node;
+  // Reuse gate, mirroring RepartitionCost: a live co-partitioned artifact
+  // replaces shuffle + store + extra job with resolve + the lookup leg
+  // (whose data-move term already prices reading the artifact at the index
+  // hosts). The chunked-task granularity overhead remains — the re-split
+  // across replica hosts happens on the adopted data too.
+  if (is.artifact_idxloc && spre_eff == stats.spre) {
+    return config_.reuse_resolve_sec + lookup_cost + granularity_overhead;
+  }
   return ShuffleCost(stats, spre_eff) +
          ResultCost(stats, position, spre_eff) + lookup_cost +
          ExtraJobSeconds() + ExtraPassCost(stats, spre_eff) +

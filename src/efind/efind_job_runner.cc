@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "efind/cost_model.h"
 #include "efind/stages.h"
 #include "obs/obs.h"
+#include "reuse/materialized_store.h"
 
 namespace efind {
 
@@ -43,6 +45,15 @@ std::vector<const InputSplit*> MakeView(const std::vector<InputSplit>& splits) {
   return view;
 }
 
+#if EFIND_OBS
+std::string FpHex(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+#endif
+
 const char* PosTag(OperatorPosition pos) {
   switch (pos) {
     case OperatorPosition::kHead:
@@ -63,7 +74,9 @@ class PipelineExecutor {
                    const EFindOptions& options, const IndexJobConf& conf,
                    const JobPlan& plan, EFindJobRunner::RunContext* rc,
                    const CollectedStats* stats_hint, EFindRunResult* result,
-                   const LookupFailover* failover = nullptr)
+                   const LookupFailover* failover = nullptr,
+                   reuse::MaterializedStore* store = nullptr,
+                   uint64_t dataset_fp = 0)
       : job_runner_(job_runner),
         config_(config),
         options_(options),
@@ -74,7 +87,9 @@ class PipelineExecutor {
         result_(result),
         failover_(failover),
         obs_(job_runner->obs()),
-        cost_model_(config) {
+        cost_model_(config),
+        store_(store),
+        dataset_fp_(dataset_fp) {
     StartJob();
   }
 
@@ -207,13 +222,16 @@ class PipelineExecutor {
     cur_.name += std::string(":") + label;
     JobStageSummary summary;
     summary.name = cur_.name;
-    if (!first_job_) {
+    if (!first_job_ && !artifact_adopted_) {
       // The previous job stored its output in the DFS (replicated write,
       // parallel across nodes); this job's map tasks charge the retrieval
-      // as their input read, so only the store side is added here.
+      // as their input read, so only the store side is added here. An
+      // adopted artifact is already DFS-resident — no job wrote it this
+      // run, so only its retrieval (the map input read) is charged.
       summary.boundary_seconds =
           config_.DfsStoreSeconds(BytesOfView(view_)) / config_.num_nodes;
     }
+    artifact_adopted_ = false;
 #if EFIND_OBS
     double job_t0 = 0.0;
     if (obs_ != nullptr) {
@@ -282,6 +300,140 @@ class PipelineExecutor {
     view_is_data_ = false;
   }
 
+  /// Adopts a resolved artifact as the current intermediate data in place
+  /// of the accumulated pipeline stages (which the artifact's fingerprint
+  /// certifies it equals, shuffled and grouped). Charges the fixed resolve
+  /// overhead; the artifact's retrieval bytes are charged by the follow-up
+  /// job's remote map input read.
+  void AdoptArtifact(std::vector<InputSplit> splits, uint64_t fp,
+                     const std::string& op_name) {
+#if EFIND_OBS
+    if (obs_ != nullptr) {
+      obs::TraceRecorder& tr = obs_->trace();
+      tr.Instant("reuse_hit", "reuse", tr.clock(), obs::kClusterTrack,
+                 {{"fingerprint", FpHex(fp)}, {"operator", op_name}});
+      tr.AdvanceClock(config_.reuse_resolve_sec);
+      obs_->metrics().Add(obs_->metrics().Counter("efind.reuse.hits"), 1.0);
+    }
+#endif
+    StartJob();
+    reduce_side_ = false;
+    AdoptData(std::move(splits));
+    JobStageSummary summary;
+    summary.name = conf_.name() + ":reuse:" + op_name;
+    summary.boundary_seconds = config_.reuse_resolve_sec;
+    result_->jobs.push_back(summary);
+    result_->sim_seconds += config_.reuse_resolve_sec;
+    first_job_ = false;
+    artifact_adopted_ = true;
+  }
+
+  /// Offers the just-shuffled grouped output (the current `view_`) to the
+  /// store. Free in simulated time by design: the follow-up job's DFS
+  /// boundary already pays for storing this data, and keeping it past the
+  /// job's end costs capacity, not seconds.
+  void PublishArtifact(uint64_t fp, const std::string& op_name,
+                       reuse::ArtifactLayout layout, int partitions) {
+    std::vector<InputSplit> copy;
+    copy.reserve(view_.size());
+    for (const InputSplit* s : view_) copy.push_back(*s);
+    const uint64_t bytes = BytesOfView(view_);
+    // Benefit estimate for eviction (Eq. 3's shuffle + extra-job terms,
+    // from the artifact's actual bytes): what a future hit saves. Derived
+    // without statistics so plain RunWithStrategy runs can publish too.
+    const double saved =
+        static_cast<double>(bytes) / config_.num_nodes *
+            (1.0 / config_.network_bw_bytes_per_sec +
+             config_.dfs_cost_per_byte) +
+        cost_model_.ExtraJobSeconds();
+    const reuse::MaterializedStore::PublishResult pr = store_->Publish(
+        fp, std::move(copy), saved, layout, partitions,
+        conf_.name() + ":" + op_name);
+#if EFIND_OBS
+    if (obs_ != nullptr) {
+      obs::TraceRecorder& tr = obs_->trace();
+      tr.Span("materialize", "reuse", tr.clock(), 0.0, obs::kClusterTrack, 0,
+              {{"fingerprint", FpHex(fp)},
+               {"operator", op_name},
+               {"bytes", std::to_string(bytes)},
+               {"stored", pr.stored ? "1" : "0"},
+               {"evicted", std::to_string(pr.evicted)}});
+      obs::MetricsRegistry& mx = obs_->metrics();
+      mx.Add(mx.Counter("efind.reuse.publishes"), pr.stored ? 1.0 : 0.0);
+      mx.Add(mx.Counter("efind.reuse.rejects"), pr.stored ? 0.0 : 1.0);
+      mx.Add(mx.Counter("efind.reuse.evictions"),
+             static_cast<double>(pr.evicted));
+      if (pr.stored) {
+        mx.Add(mx.Counter("efind.reuse.materialized_bytes"),
+               static_cast<double>(bytes));
+      }
+    }
+#endif
+  }
+
+  /// Re-splits the current grouped data for index locality: the follow-up
+  /// tasks run at the index hosts (co-partitioned) and fetch their input
+  /// over the network (Eq. 4's N1*Spre/BW term). Each partition's grouped
+  /// file is chunked HDFS-style into several sub-splits spread over the
+  /// partition's replica hosts, so the lookup phase is not limited to
+  /// num_partitions-way parallelism (this is why the index being
+  /// "replicated to three data nodes" matters). Chunk cuts fall between
+  /// records; a group cut in two costs one extra lookup, nothing more.
+  void ResplitForLocality(const PartitionScheme* scheme) {
+    uint64_t total_records = 0;
+    for (const InputSplit* split : view_) {
+      total_records += split->records.size();
+    }
+    std::vector<InputSplit> resplit;
+    for (size_t r = 0; r < view_.size(); ++r) {
+      const int p = static_cast<int>(r);
+      // Failure-aware placement: skip replica hosts that are down for
+      // the whole run — their chunks would only lose locality later.
+      // Transiently-down hosts keep their chunks (the lookup path rides
+      // the outage out with retries/failover).
+      const HostAvailability* avail =
+          failover_ != nullptr && failover_->active()
+              ? failover_->availability()
+              : nullptr;
+      std::vector<int> hosts;
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        if (scheme->NodeHostsPartition(n, p) &&
+            (avail == nullptr || !avail->IsDownWholeRun(n))) {
+          hosts.push_back(n);
+        }
+      }
+      if (hosts.empty()) hosts.push_back(p % config_.num_nodes);
+      const auto& records = view_[r]->records;
+      const size_t n_rec = records.size();
+      // Chunk count proportional to the partition's share of the data
+      // (big partitions = more HDFS chunks), so skewed partitions do
+      // not become stragglers; ~4 chunks per slot keeps the wave
+      // quantization loss small under skew.
+      const size_t target_chunks =
+          total_records > 0
+              ? static_cast<size_t>(
+                    (static_cast<double>(n_rec) / total_records) *
+                        (4.0 * config_.total_map_slots()) +
+                    0.999)
+              : 1;
+      const size_t n_chunks = std::max<size_t>(
+          1, std::min<size_t>(target_chunks, n_rec));
+      for (size_t c = 0; c < n_chunks; ++c) {
+        InputSplit chunk;
+        chunk.node = hosts[c % hosts.size()];
+        const size_t from = n_rec * c / n_chunks;
+        const size_t to = n_rec * (c + 1) / n_chunks;
+        chunk.records.assign(records.begin() + from,
+                             records.begin() + to);
+        if (!chunk.records.empty() || c == 0) {
+          resplit.push_back(std::move(chunk));
+        }
+      }
+    }
+    AdoptData(std::move(resplit));
+    cur_.map_input_remote = true;
+  }
+
   void ExpandOperator(OperatorPosition pos, size_t op_index) {
     const auto& op = OpsAt(pos)[op_index];
     const OperatorPlan* oplan = PlanAt(pos, op_index);
@@ -319,28 +471,84 @@ class PipelineExecutor {
 
     for (size_t s = 0; s < shuffled.size(); ++s) {
       const IndexChoice& choice = shuffled[s];
+      const PartitionScheme* scheme =
+          op->accessors()[choice.index]->partition_scheme();
+      const bool idxloc =
+          choice.strategy == Strategy::kIndexLocality && scheme != nullptr;
+      const int partitions =
+          idxloc ? scheme->num_partitions() : config_.total_map_slots();
+      const reuse::ArtifactLayout layout =
+          idxloc ? reuse::ArtifactLayout::kIndexLocality
+                 : reuse::ArtifactLayout::kRepartition;
+
+      // Cross-job reuse (DESIGN.md §9): only an operator's *first* shuffle
+      // is materializable — later shuffles regroup data already augmented
+      // with earlier indices' lookup results, which the store does not
+      // name. The fingerprint is derived from the same parameters the
+      // execution below would use, so publish and resolve cannot disagree.
+      const bool store_eligible = s == 0 && store_ != nullptr;
+      uint64_t artifact_fp = 0;
+      if (store_eligible) {
+        artifact_fp = reuse::ArtifactFingerprint(
+            reuse::ChainFingerprint(conf_, dataset_fp_, pos,
+                                    static_cast<int>(op_index)),
+            *op, {choice.index}, layout, partitions);
+        const HostAvailability* avail =
+            failover_ != nullptr && failover_->active()
+                ? failover_->availability()
+                : nullptr;
+        const std::vector<InputSplit>* artifact =
+            store_->Resolve(artifact_fp, avail);
+        if (artifact != nullptr) {
+          // Hit: the artifact *is* the grouped output of everything the
+          // pipeline has accumulated so far plus this shuffle (equal by
+          // fingerprint construction), so the accumulated stages are
+          // dropped and the stored splits adopted in their place.
+          AdoptArtifact(reuse::CopySplits(*artifact), artifact_fp,
+                        op->name());
+          if (idxloc) {
+            ResplitForLocality(scheme);
+          }
+          // The adopted splits live in the DFS, not on this job's nodes.
+          cur_.map_input_remote = true;
+          cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
+              op, choice.index, idxloc, rt, &config_, prefix, failover_,
+              obs_));
+          if (stats != nullptr &&
+              choice.index < static_cast<int>(stats->index.size())) {
+            spre_eff += stats->index[choice.index].nik *
+                        stats->index[choice.index].siv;
+          }
+          continue;
+        }
+#if EFIND_OBS
+        if (obs_ != nullptr) {
+          obs_->trace().Instant("reuse_miss", "reuse", obs_->trace().clock(),
+                                obs::kClusterTrack,
+                                {{"fingerprint", FpHex(artifact_fp)},
+                                 {"operator", op->name()}});
+          obs_->metrics().Add(obs_->metrics().Counter("efind.reuse.misses"),
+                              1.0);
+        }
+#endif
+      }
+
       if (reduce_side_) {
         // The operator follows the user's Reduce: finish the job holding
         // that reducer first; the shuffle becomes a fresh job.
         FinishJob("pre-tail");
         reduce_side_ = false;
       }
-      const PartitionScheme* scheme =
-          op->accessors()[choice.index]->partition_scheme();
-      const bool idxloc =
-          choice.strategy == Strategy::kIndexLocality && scheme != nullptr;
 
       cur_.map_stages.push_back(
           std::make_shared<ShuffleKeyStage>(op, choice.index, prefix));
       cur_.reducer = std::make_shared<GroupReducer>();
       if (idxloc) {
         cur_.partitioner = std::make_shared<SchemePartitioner>(scheme);
-        cur_.num_reduce_tasks = scheme->num_partitions();
-      } else {
-        // As many grouped output files as map slots, so the follow-up
-        // lookup job runs at full parallelism.
-        cur_.num_reduce_tasks = config_.total_map_slots();
       }
+      // Non-idxloc: as many grouped output files as map slots, so the
+      // follow-up lookup job runs at full parallelism.
+      cur_.num_reduce_tasks = partitions;
 
       // Job-boundary placement (Fig. 7): when this is the operator's last
       // shuffle and statistics say the post-processed data is smaller than
@@ -384,67 +592,14 @@ class PipelineExecutor {
       }
 
       FinishJob("shuffle");
+      if (store_eligible) {
+        // Publish before the locality re-split: the artifact is the
+        // placement-independent grouped output; a future adopter re-splits
+        // against *its* run's host availability.
+        PublishArtifact(artifact_fp, op->name(), layout, partitions);
+      }
       if (idxloc) {
-        // The follow-up tasks run at the index hosts (co-partitioned) and
-        // fetch their input over the network (Eq. 4's N1*Spre/BW term).
-        // Each partition's grouped file is chunked HDFS-style into several
-        // sub-splits spread over the partition's replica hosts, so the
-        // lookup phase is not limited to num_partitions-way parallelism
-        // (this is why the index being "replicated to three data nodes"
-        // matters). Chunk cuts fall between records; a group cut in two
-        // costs one extra lookup, nothing more.
-        uint64_t total_records = 0;
-        for (const InputSplit* split : view_) {
-          total_records += split->records.size();
-        }
-        std::vector<InputSplit> resplit;
-        for (size_t r = 0; r < view_.size(); ++r) {
-          const int p = static_cast<int>(r);
-          // Failure-aware placement: skip replica hosts that are down for
-          // the whole run — their chunks would only lose locality later.
-          // Transiently-down hosts keep their chunks (the lookup path rides
-          // the outage out with retries/failover).
-          const HostAvailability* avail =
-              failover_ != nullptr && failover_->active()
-                  ? failover_->availability()
-                  : nullptr;
-          std::vector<int> hosts;
-          for (int n = 0; n < config_.num_nodes; ++n) {
-            if (scheme->NodeHostsPartition(n, p) &&
-                (avail == nullptr || !avail->IsDownWholeRun(n))) {
-              hosts.push_back(n);
-            }
-          }
-          if (hosts.empty()) hosts.push_back(p % config_.num_nodes);
-          const auto& records = view_[r]->records;
-          const size_t n_rec = records.size();
-          // Chunk count proportional to the partition's share of the data
-          // (big partitions = more HDFS chunks), so skewed partitions do
-          // not become stragglers; ~4 chunks per slot keeps the wave
-          // quantization loss small under skew.
-          const size_t target_chunks =
-              total_records > 0
-                  ? static_cast<size_t>(
-                        (static_cast<double>(n_rec) / total_records) *
-                            (4.0 * config_.total_map_slots()) +
-                        0.999)
-                  : 1;
-          const size_t n_chunks = std::max<size_t>(
-              1, std::min<size_t>(target_chunks, n_rec));
-          for (size_t c = 0; c < n_chunks; ++c) {
-            InputSplit chunk;
-            chunk.node = hosts[c % hosts.size()];
-            const size_t from = n_rec * c / n_chunks;
-            const size_t to = n_rec * (c + 1) / n_chunks;
-            chunk.records.assign(records.begin() + from,
-                                 records.begin() + to);
-            if (!chunk.records.empty() || c == 0) {
-              resplit.push_back(std::move(chunk));
-            }
-          }
-        }
-        AdoptData(std::move(resplit));
-        cur_.map_input_remote = true;
+        ResplitForLocality(scheme);
       }
       cur_.map_stages.push_back(std::make_shared<GroupedLookupStage>(
           op, choice.index, idxloc, rt, &config_, prefix, failover_, obs_));
@@ -476,6 +631,10 @@ class PipelineExecutor {
   const LookupFailover* failover_;
   obs::ObsSession* obs_;
   CostModel cost_model_;
+  /// Cross-job artifact store (null = reuse disabled) and the fingerprint
+  /// of the dataset this pipeline runs over (DESIGN.md §9).
+  reuse::MaterializedStore* store_;
+  uint64_t dataset_fp_;
 
   JobConfig cur_;
   /// Intermediate splits owned by the executor (outputs of the last job),
@@ -486,6 +645,10 @@ class PipelineExecutor {
   bool view_is_data_ = false;
   bool reduce_side_ = false;
   bool first_job_ = true;
+  /// Set between adopting an artifact and the next FinishJob: that job's
+  /// input came from the DFS-resident store, not from a job of this run,
+  /// so no boundary store cost applies.
+  bool artifact_adopted_ = false;
   int job_counter_ = 0;
 };
 
@@ -585,8 +748,10 @@ EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
   auto rc = MakeRunContext(conf);
   EFindRunResult result;
   result.plan = plan;
+  const uint64_t dataset_fp =
+      reuse_ != nullptr ? reuse::DatasetFingerprint(conf, input) : 0;
   PipelineExecutor px(&job_runner_, config_, options_, conf, plan, rc.get(),
-                      stats_hint, &result, &failover_);
+                      stats_hint, &result, &failover_, reuse_, dataset_fp);
   px.RunAll(input);
   result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
 #if EFIND_OBS
@@ -611,9 +776,57 @@ CollectedStats EFindJobRunner::CollectStatistics(
   return result.stats;
 }
 
-JobPlan EFindJobRunner::PlanFromStats(const IndexJobConf& conf,
-                                      const CollectedStats& stats) const {
-  return optimizer_.OptimizeJob(conf, stats.head, stats.body, stats.tail);
+JobPlan EFindJobRunner::PlanFromStats(
+    const IndexJobConf& conf, const CollectedStats& stats,
+    const std::vector<InputSplit>* input) const {
+  if (reuse_ == nullptr || input == nullptr) {
+    return optimizer_.OptimizeJob(conf, stats.head, stats.body, stats.tail);
+  }
+  // Reuse-aware optimization: flag every index whose first-shuffle artifact
+  // the store can serve; the cost model then prices those shuffles at
+  // resolve + retrieval instead of Eq. 3/4's full shuffle + extra job, so
+  // the optimizer picks among fresh / run-and-materialize / reuse on cost.
+  CollectedStats annotated = stats;
+  AnnotateReuse(conf, reuse::DatasetFingerprint(conf, *input), &annotated);
+  return optimizer_.OptimizeJob(conf, annotated.head, annotated.body,
+                                annotated.tail);
+}
+
+void EFindJobRunner::AnnotateReuse(const IndexJobConf& conf,
+                                   uint64_t dataset_fp,
+                                   CollectedStats* stats) const {
+  if (reuse_ == nullptr) return;
+  const HostAvailability* avail = avail_.any_faults() ? &avail_ : nullptr;
+  auto annotate = [&](const std::vector<std::shared_ptr<IndexOperator>>& ops,
+                      OperatorPosition pos,
+                      std::vector<OperatorStats>* group) {
+    for (size_t i = 0; i < ops.size() && i < group->size(); ++i) {
+      const uint64_t chain_fp =
+          reuse::ChainFingerprint(conf, dataset_fp, pos, static_cast<int>(i));
+      OperatorStats& st = (*group)[i];
+      for (int j = 0; j < ops[i]->num_indices() &&
+                      j < static_cast<int>(st.index.size());
+           ++j) {
+        st.index[j].artifact_repart = reuse_->Reachable(
+            reuse::ArtifactFingerprint(chain_fp, *ops[i], {j},
+                                       reuse::ArtifactLayout::kRepartition,
+                                       config_.total_map_slots()),
+            avail);
+        const PartitionScheme* scheme =
+            ops[i]->accessors()[j]->partition_scheme();
+        if (scheme != nullptr) {
+          st.index[j].artifact_idxloc = reuse_->Reachable(
+              reuse::ArtifactFingerprint(chain_fp, *ops[i], {j},
+                                         reuse::ArtifactLayout::kIndexLocality,
+                                         scheme->num_partitions()),
+              avail);
+        }
+      }
+    }
+  };
+  annotate(conf.head_ops(), OperatorPosition::kHead, &stats->head);
+  annotate(conf.body_ops(), OperatorPosition::kBody, &stats->body);
+  annotate(conf.tail_ops(), OperatorPosition::kTail, &stats->tail);
 }
 
 bool EFindJobRunner::Reoptimize(bool at_map_phase, const IndexJobConf& conf,

@@ -18,6 +18,10 @@
 
 namespace efind {
 
+namespace reuse {
+class MaterializedStore;
+}  // namespace reuse
+
 /// Where a re-partitioned operator's remaining stages run relative to the
 /// extra job's boundary (Fig. 7 placements); kAuto lets the cost model pick.
 enum class BoundaryPolicy { kAuto, kForcePre, kForcePost };
@@ -116,6 +120,19 @@ class EFindJobRunner {
   }
   obs::ObsSession* obs() const { return obs_; }
 
+  /// Attaches a cross-job materialized-artifact store (null detaches;
+  /// DESIGN.md §9). With a store attached, plan expansion resolves each
+  /// operator's first re-partitioning shuffle against the store (a hit
+  /// adopts the stored splits instead of running the shuffle job) and
+  /// publishes fresh shuffle outputs back; `PlanFromStats` annotates the
+  /// statistics so the cost model prices reuse. The store is not owned and
+  /// is only touched from the orchestration thread. Dynamic mode
+  /// (`RunDynamic`) never touches the store: its re-planned pipelines run
+  /// over partial inputs, whose shuffle outputs are not the full-input
+  /// artifact.
+  void set_reuse(reuse::MaterializedStore* store) { reuse_ = store; }
+  reuse::MaterializedStore* reuse() const { return reuse_; }
+
   /// Executes `conf` under a fixed `plan`. `stats_hint`, when provided,
   /// informs the re-partitioning boundary placement (Fig. 7).
   EFindRunResult RunWithPlan(const IndexJobConf& conf,
@@ -135,8 +152,12 @@ class EFindJobRunner {
                                    const std::vector<InputSplit>& input);
 
   /// Cost-based plan from collected statistics (static optimization).
-  JobPlan PlanFromStats(const IndexJobConf& conf,
-                        const CollectedStats& stats) const;
+  /// When a reuse store is attached and `input` is provided, the statistics
+  /// are first annotated with which artifacts the store can serve for this
+  /// (conf, input) pair, letting the optimizer choose between fresh
+  /// execution, run-and-materialize, and reuse (DESIGN.md §9).
+  JobPlan PlanFromStats(const IndexJobConf& conf, const CollectedStats& stats,
+                        const std::vector<InputSplit>* input = nullptr) const;
 
   /// Adaptive execution per Algorithm 1.
   EFindRunResult RunDynamic(const IndexJobConf& conf,
@@ -161,6 +182,11 @@ class EFindJobRunner {
   CollectedStats ComputeStatsWithConf(const RunContext& rc,
                                       const IndexJobConf& conf,
                                       double extrapolation) const;
+  /// Sets `IndexStats::artifact_repart` / `artifact_idxloc` for every index
+  /// whose first-shuffle artifact is live and reachable in the attached
+  /// store (no-op without a store).
+  void AnnotateReuse(const IndexJobConf& conf, uint64_t dataset_fp,
+                     CollectedStats* stats) const;
   /// Gate + optimize + compare, per Algorithm 1. Returns true and fills
   /// `*new_plan` when the plan should change.
   bool Reoptimize(bool at_map_phase, const IndexJobConf& conf,
@@ -180,6 +206,7 @@ class EFindJobRunner {
   /// (both reference `config_`, which outlives them).
   HostAvailability avail_;
   LookupFailover failover_;
+  reuse::MaterializedStore* reuse_ = nullptr;
 };
 
 }  // namespace efind

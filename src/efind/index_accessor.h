@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/partition_scheme.h"
 #include "common/status.h"
 #include "mapreduce/record.h"
@@ -58,6 +59,17 @@ class IndexAccessor {
   /// Whether repeated lookups of one key return identical results within a
   /// job. When false, EFind restricts this index to the baseline strategy.
   virtual bool idempotent() const { return true; }
+
+  /// Stable hash of the accessor's identity and every behaviour-relevant
+  /// configuration knob (used by cross-job reuse fingerprints, DESIGN.md
+  /// §9). Accessors with tunables — a kNN's k, a service's idempotence —
+  /// must fold them in: any config change must change the fingerprint.
+  virtual uint64_t ConfigFingerprint() const { return Hash64(name()); }
+
+  /// Monotonic version of the backing data. Bump on every mutation so
+  /// artifacts derived from older index contents become unreachable
+  /// (reuse invalidation by construction). Immutable indices return 0.
+  virtual uint64_t VersionFingerprint() const { return 0; }
 };
 
 }  // namespace efind

@@ -39,6 +39,13 @@ class IndexOperator {
   /// Name for plan dumps.
   virtual std::string name() const = 0;
 
+  /// Identity token for cross-job reuse fingerprints (DESIGN.md §9). Two
+  /// operators sharing a token claim byte-identical `PreProcess` /
+  /// `PostProcess` behaviour, so their re-partitioned artifacts are
+  /// interchangeable. Defaults to `name()`; override only when distinct
+  /// classes are genuinely equivalent (or to force-split a shared name).
+  virtual std::string ReuseToken() const { return name(); }
+
   /// Extracts, for every configured index j, the key list {ik_j} from the
   /// input record, optionally modifying the record (e.g. projecting away
   /// fields). `keys` arrives sized to the number of accessors.
@@ -80,6 +87,17 @@ class IndexJobConf {
 
   void set_name(std::string name) { name_ = std::move(name); }
   const std::string& name() const { return name_; }
+
+  /// Registers the job's input as a named, versioned dataset (ReStore-style
+  /// catalog identity). When set, reuse fingerprints hash `(id, version)`
+  /// instead of the input's full content — bump the version whenever the
+  /// dataset changes. Unset (empty id) falls back to content hashing.
+  void set_input_dataset(std::string id, uint64_t version) {
+    input_dataset_ = std::move(id);
+    input_dataset_version_ = version;
+  }
+  const std::string& input_dataset() const { return input_dataset_; }
+  uint64_t input_dataset_version() const { return input_dataset_version_; }
 
   /// Sets the user's Map function (a record-at-a-time stage). Optional —
   /// jobs whose work is entirely index access may omit it.
@@ -124,6 +142,8 @@ class IndexJobConf {
 
  private:
   std::string name_ = "efind_job";
+  std::string input_dataset_;
+  uint64_t input_dataset_version_ = 0;
   std::shared_ptr<RecordStage> mapper_;
   std::shared_ptr<Reducer> reducer_;
   int num_reduce_tasks_ = 0;

@@ -137,6 +137,16 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
     if (obs_ != nullptr) {
       latency_hist_.push_back(
           obs_->metrics().Histogram(base + ".lookup_latency_sec"));
+      std::vector<int> hits, misses;
+      if (tasks_[t].use_cache) {
+        for (int n = 0; n < config_->num_nodes; ++n) {
+          const std::string node = base + ".cache.node" + std::to_string(n);
+          hits.push_back(obs_->metrics().Gauge(node + ".hits"));
+          misses.push_back(obs_->metrics().Gauge(node + ".misses"));
+        }
+      }
+      cache_hit_gauges_.push_back(std::move(hits));
+      cache_miss_gauges_.push_back(std::move(misses));
     }
 #endif
   }
@@ -267,9 +277,11 @@ void InlineLookupStage::EndTask(TaskContext* ctx, Emitter* out) {
   // count.
   if (obs_ == nullptr) return;
   obs::TaskTrace* tt = obs_->trace().TaskLocal(ctx);
+  obs::TaskMetrics* tm = obs_->metrics().TaskLocal(ctx);
+  const int node = ctx->node_id();
   for (size_t t = 0; t < tasks_.size(); ++t) {
     if (!caches_[t]) continue;
-    const auto& cache = caches_[t]->ForNode(ctx->node_id());
+    const auto& cache = caches_[t]->ForNode(node);
     if (cache.probes() == 0) continue;
     const double hit_ratio = 1.0 - static_cast<double>(cache.misses()) /
                                        static_cast<double>(cache.probes());
@@ -277,6 +289,17 @@ void InlineLookupStage::EndTask(TaskContext* ctx, Emitter* out) {
                 {{"index", std::to_string(tasks_[t].index)},
                  {"hit_ratio", RatioStr(hit_ratio)},
                  {"probes", std::to_string(cache.probes())}});
+    // Per-node gauge export of the shared LRU's cumulative hit/miss state.
+    // Gauge semantics (last write in task-index absorb order) make the
+    // surviving value the node's end-of-job totals, bit-identical at any
+    // thread count.
+    if (t < cache_hit_gauges_.size() &&
+        node < static_cast<int>(cache_hit_gauges_[t].size())) {
+      tm->Set(cache_hit_gauges_[t][node],
+              static_cast<double>(cache.probes() - cache.misses()));
+      tm->Set(cache_miss_gauges_[t][node],
+              static_cast<double>(cache.misses()));
+    }
   }
 #endif
 }

@@ -133,6 +133,12 @@ class InlineLookupStage : public RecordStage {
   // Interned lookup-latency histogram ids, parallel to tasks_ (empty when
   // observability is off).
   std::vector<int> latency_hist_;
+  // Interned per-node cache hit/miss gauge ids: [t][node], only for cached
+  // tasks with observability on (empty vectors otherwise). Gauges take the
+  // last write in task-index absorb order — the node cache's cumulative
+  // state after its final task, i.e. the run's end-of-job totals.
+  std::vector<std::vector<int>> cache_hit_gauges_;
+  std::vector<std::vector<int>> cache_miss_gauges_;
   // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
   std::vector<std::unique_ptr<NodeCaches>> caches_;
 };

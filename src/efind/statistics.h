@@ -54,6 +54,13 @@ struct IndexStats {
   bool has_partition_scheme = false;
   /// Per-call marshalling overhead of remote access (accessor property).
   double remote_overhead = 0.0;
+
+  // Cross-job reuse annotations (DESIGN.md §9), set at planning time when
+  // the materialized store holds a live, reachable artifact for this
+  // index's first shuffle. The cost model then replaces Eq. 3/4's shuffle
+  // term with the resolve + retrieval cost.
+  bool artifact_repart = false;
+  bool artifact_idxloc = false;
 };
 
 /// Table-1 statistics for one `IndexOperator` instance.

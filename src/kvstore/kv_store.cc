@@ -48,6 +48,7 @@ KvStore::KvStore(const KvStoreOptions& options)
 Status KvStore::Put(const std::string& key, IndexValue value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   partitions_[scheme_.PartitionOf(key)][key].push_back(std::move(value));
+  ++version_;
   return Status::OK();
 }
 

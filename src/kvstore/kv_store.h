@@ -90,6 +90,11 @@ class KvStore {
   const HashPartitionScheme& scheme() const { return scheme_; }
   const KvStoreOptions& options() const { return options_; }
 
+  /// Monotonic mutation counter: bumped by every successful `Put`. Feeds
+  /// `KvIndexAccessor::VersionFingerprint`, so cross-job reuse artifacts
+  /// derived from older store contents become unreachable (DESIGN.md §9).
+  uint64_t version() const { return version_; }
+
   /// Total number of distinct keys.
   size_t num_keys() const;
   /// Number of keys in partition `p` (load-balance inspection).
@@ -98,6 +103,7 @@ class KvStore {
  private:
   KvStoreOptions options_;
   HashPartitionScheme scheme_;
+  uint64_t version_ = 0;
   /// partitions_[p] = the hash table of partition p. Replication is a
   /// placement property (scheme_), not duplicated storage, since replicas
   /// are byte-identical by construction.

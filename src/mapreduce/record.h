@@ -113,6 +113,15 @@ struct InputSplit {
   }
 };
 
+/// Summed logical size of a whole input — what a job's DFS read/write of
+/// these splits costs in the time model, and what a materialized artifact
+/// of them occupies in the reuse store.
+inline uint64_t TotalSizeBytes(const std::vector<InputSplit>& splits) {
+  uint64_t n = 0;
+  for (const auto& s : splits) n += s.size_bytes();
+  return n;
+}
+
 }  // namespace efind
 
 #endif  // EFIND_MAPREDUCE_RECORD_H_

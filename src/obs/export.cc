@@ -37,6 +37,20 @@ void AppendArgs(const std::vector<TraceArg>& args, std::string* out) {
   out->push_back('}');
 }
 
+/// The `efind.reuse.*` counters from the artifact store (DESIGN.md §9),
+/// short-named, in registry order. Empty when no store was attached.
+std::vector<std::pair<std::string, double>> ReuseCounters(
+    const MetricsRegistry& metrics) {
+  static constexpr char kPrefix[] = "efind.reuse.";
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, v] : metrics.CounterValues()) {
+    if (name.rfind(kPrefix, 0) == 0) {
+      out.emplace_back(name.substr(sizeof(kPrefix) - 1), v);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string JsonEscape(const std::string& s) {
@@ -226,6 +240,20 @@ std::string RunReportJson(const RunReportInput& in) {
       AppendHistogramJson(h, &out);
     }
     out.append("}}");
+    const auto reuse = ReuseCounters(*in.metrics);
+    if (!reuse.empty()) {
+      out.append(",\"reuse\":{");
+      bool first_r = true;
+      for (const auto& [name, v] : reuse) {
+        if (!first_r) out.push_back(',');
+        first_r = false;
+        out.push_back('"');
+        out.append(JsonEscape(name));
+        out.append("\":");
+        out.append(Num(v));
+      }
+      out.push_back('}');
+    }
   }
 
   if (in.trace != nullptr) {
@@ -284,6 +312,16 @@ std::string RunReportText(const RunReportInput& in) {
                     name.c_str(), h.count, h.mean(),
                     h.count > 0 ? h.min : 0.0, h.count > 0 ? h.max : 0.0);
       out.append(buf);
+    }
+  }
+  if (in.metrics != nullptr) {
+    const auto reuse = ReuseCounters(*in.metrics);
+    if (!reuse.empty()) {
+      out.append("-- reuse --\n");
+      for (const auto& [name, v] : reuse) {
+        std::snprintf(buf, sizeof(buf), "  %-52s %.6g\n", name.c_str(), v);
+        out.append(buf);
+      }
     }
   }
   if (in.counters != nullptr && !in.counters->empty()) {

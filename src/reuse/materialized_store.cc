@@ -1,0 +1,230 @@
+#include "reuse/materialized_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace efind {
+namespace reuse {
+
+std::vector<InputSplit> CopySplits(const std::vector<InputSplit>& splits) {
+  std::vector<InputSplit> out;
+  out.reserve(splits.size());
+  for (const InputSplit& s : splits) {
+    InputSplit copy;
+    copy.node = s.node;
+    copy.records = s.records;  // Attachments are shared immutable pointers.
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+MaterializedStore::MaterializedStore(uint64_t capacity_bytes, int num_nodes,
+                                     int replication)
+    : capacity_bytes_(capacity_bytes),
+      num_nodes_(num_nodes > 0 ? num_nodes : 1),
+      replication_(replication > 0 ? replication : 1) {
+  if (replication_ > num_nodes_) replication_ = num_nodes_;
+}
+
+uint64_t MaterializedStore::SplitsBytes(const std::vector<InputSplit>& splits) {
+  return TotalSizeBytes(splits);
+}
+
+double MaterializedStore::Density(const Entry& e) const {
+  if (e.meta.bytes == 0) return 0.0;
+  return e.meta.saved_seconds *
+         static_cast<double>(1 + e.meta.reuse_count) /
+         static_cast<double>(e.meta.bytes);
+}
+
+MaterializedStore::PublishResult MaterializedStore::Publish(
+    uint64_t fingerprint, std::vector<InputSplit> splits, double saved_seconds,
+    ArtifactLayout layout, int partition_count, std::string label) {
+  PublishResult result;
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    // Same fingerprint = same content by construction; just refresh the
+    // benefit estimate (statistics may have sharpened since last time).
+    it->second.meta.saved_seconds = saved_seconds;
+    result.stored = true;
+    return result;
+  }
+
+  const uint64_t bytes = SplitsBytes(splits);
+  if (bytes > capacity_bytes_) {
+    ++stats_.rejects;
+    return result;
+  }
+  const double candidate_density =
+      bytes == 0 ? 0.0 : saved_seconds / static_cast<double>(bytes);
+
+  // Cost-benefit eviction: only entries no denser than the candidate may
+  // make room. Among those, lowest density goes first, oldest insert on
+  // ties — a total order, so the victim set is deterministic. Selection is
+  // two-phase: if even evicting every eligible entry cannot make room, the
+  // publish is rejected and the store is left untouched.
+  std::vector<uint64_t> victims;
+  uint64_t freed = 0;
+  while (stats_.bytes_used - freed + bytes > capacity_bytes_) {
+    const Entry* victim = nullptr;
+    uint64_t victim_fp = 0;
+    for (const auto& [fp, entry] : entries_) {
+      bool chosen = false;
+      for (uint64_t v : victims) chosen = chosen || v == fp;
+      if (chosen || Density(entry) > candidate_density) continue;
+      if (victim == nullptr || Density(entry) < Density(*victim) ||
+          (Density(entry) == Density(*victim) &&
+           entry.meta.insert_seq < victim->meta.insert_seq)) {
+        victim = &entry;
+        victim_fp = fp;
+      }
+    }
+    if (victim == nullptr) {
+      ++stats_.rejects;
+      return result;  // Everything resident earns its bytes better.
+    }
+    victims.push_back(victim_fp);
+    freed += victim->meta.bytes;
+  }
+  for (uint64_t fp : victims) {
+    auto vit = entries_.find(fp);
+    result.evicted_bytes += vit->second.meta.bytes;
+    ++result.evicted;
+    ++stats_.evictions;
+    stats_.bytes_used -= vit->second.meta.bytes;
+    entries_.erase(vit);
+  }
+
+  Entry entry;
+  entry.meta.fingerprint = fingerprint;
+  entry.meta.label = std::move(label);
+  entry.meta.bytes = bytes;
+  entry.meta.saved_seconds = saved_seconds;
+  entry.meta.layout = layout;
+  entry.meta.partition_count = partition_count;
+  entry.meta.insert_seq = next_seq_++;
+  entry.splits = std::move(splits);
+  stats_.bytes_used += bytes;
+  entries_.emplace(fingerprint, std::move(entry));
+  ++stats_.publishes;
+  stats_.entries = entries_.size();
+  result.stored = true;
+  return result;
+}
+
+const std::vector<InputSplit>* MaterializedStore::Resolve(
+    uint64_t fingerprint, const HostAvailability* avail) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (avail != nullptr && avail->any_faults()) {
+    bool any_home_up = false;
+    for (int node : ReplicaHomes(fingerprint)) {
+      if (!avail->IsDownWholeRun(node)) {
+        any_home_up = true;
+        break;
+      }
+    }
+    if (!any_home_up) {
+      // Every DFS replica is gone for this run: the artifact exists but is
+      // unreachable, so the caller rebuilds. The entry stays — the hosts
+      // may be back next run.
+      ++stats_.misses;
+      return nullptr;
+    }
+  }
+  ++stats_.hits;
+  ++it->second.meta.reuse_count;
+  return &it->second.splits;
+}
+
+bool MaterializedStore::Contains(uint64_t fingerprint) const {
+  return entries_.find(fingerprint) != entries_.end();
+}
+
+bool MaterializedStore::Reachable(uint64_t fingerprint,
+                                  const HostAvailability* avail) const {
+  if (entries_.find(fingerprint) == entries_.end()) return false;
+  if (avail == nullptr || !avail->any_faults()) return true;
+  for (int node : ReplicaHomes(fingerprint)) {
+    if (!avail->IsDownWholeRun(node)) return true;
+  }
+  return false;
+}
+
+void MaterializedStore::Invalidate(uint64_t fingerprint) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return;
+  stats_.bytes_used -= it->second.meta.bytes;
+  entries_.erase(it);
+  stats_.entries = entries_.size();
+}
+
+std::vector<int> MaterializedStore::ReplicaHomes(uint64_t fingerprint) const {
+  std::vector<int> homes;
+  const int want = replication_ < num_nodes_ ? replication_ : num_nodes_;
+  for (uint64_t r = 0; static_cast<int>(homes.size()) < want &&
+                       r < static_cast<uint64_t>(num_nodes_) + 3; ++r) {
+    const int node = static_cast<int>(Mix64(fingerprint + r) %
+                                      static_cast<uint64_t>(num_nodes_));
+    bool seen = false;
+    for (int h : homes) seen = seen || h == node;
+    if (!seen) homes.push_back(node);
+  }
+  return homes;
+}
+
+std::vector<ArtifactMeta> MaterializedStore::Entries() const {
+  std::vector<ArtifactMeta> out;
+  out.reserve(entries_.size());
+  for (const auto& [fp, entry] : entries_) out.push_back(entry.meta);
+  // Insert order reads better in manifests than fingerprint order.
+  for (size_t i = 1; i < out.size(); ++i) {
+    ArtifactMeta m = out[i];
+    size_t j = i;
+    while (j > 0 && out[j - 1].insert_seq > m.insert_seq) {
+      out[j] = out[j - 1];
+      --j;
+    }
+    out[j] = m;
+  }
+  return out;
+}
+
+bool MaterializedStore::DumpManifest(const std::string& path,
+                                     std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::fprintf(f,
+               "{\"capacity_bytes\":%" PRIu64 ",\"bytes_used\":%" PRIu64
+               ",\"entries\":%" PRIu64 ",\"hits\":%" PRIu64
+               ",\"misses\":%" PRIu64 ",\"publishes\":%" PRIu64
+               ",\"rejects\":%" PRIu64 ",\"evictions\":%" PRIu64 "}\n",
+               capacity_bytes_, stats_.bytes_used, stats_.entries, stats_.hits,
+               stats_.misses, stats_.publishes, stats_.rejects,
+               stats_.evictions);
+  for (const ArtifactMeta& m : Entries()) {
+    std::fprintf(f,
+                 "{\"fingerprint\":\"%016" PRIx64 "\",\"label\":\"%s\""
+                 ",\"bytes\":%" PRIu64 ",\"saved_seconds\":%.9g"
+                 ",\"layout\":\"%s\",\"partitions\":%d"
+                 ",\"reuse_count\":%" PRIu64 ",\"insert_seq\":%" PRIu64 "}\n",
+                 m.fingerprint, m.label.c_str(), m.bytes, m.saved_seconds,
+                 ToString(m.layout), m.partition_count, m.reuse_count,
+                 m.insert_seq);
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace reuse
+}  // namespace efind

@@ -1,0 +1,146 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The cross-job artifact store (DESIGN.md §9): a capacity-bounded,
+// DFS-resident cache of re-partitioned inputs keyed by plan fingerprint
+// (reuse/fingerprint.h). ReStore-style lifecycle:
+//
+//  - Publish: a job that just paid a re-partitioning shuffle offers the
+//    grouped splits. If they fit — possibly after cost-benefit eviction —
+//    the store keeps them; otherwise the publish is rejected and nothing
+//    else changes.
+//  - Resolve: at plan-expansion time a job asks for an artifact by
+//    fingerprint. A hit returns the stored splits (the caller deep-copies;
+//    stored data is immutable) unless every DFS replica home of the
+//    artifact is down for the whole run, in which case the artifact is
+//    unreachable this run and the job deterministically rebuilds.
+//  - Eviction: benefit density = saved_seconds * (1 + reuse_count) / bytes
+//    (ReStore's "saved work x observed reuse frequency", per byte). A
+//    publish may only evict entries whose density is <= its own; ties
+//    evict the oldest insert first. Deterministic by construction.
+//  - Invalidation: dataset / index versions are folded into the
+//    fingerprint itself, so a version bump makes stale artifacts
+//    unreachable by construction; they age out under eviction pressure.
+//    `Invalidate` exists for explicit drops (tests, admin).
+//
+// Threading contract: like the optimizer and the trace recorder, the store
+// is orchestration-thread-only — all calls happen between phases / at job
+// boundaries, never inside tasks. Resolved splits are immutable and may be
+// read concurrently (tests/reuse_tsan_smoke.cc races exactly that).
+
+#ifndef EFIND_REUSE_MATERIALIZED_STORE_H_
+#define EFIND_REUSE_MATERIALIZED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mapreduce/record.h"
+#include "reuse/fingerprint.h"
+
+namespace efind {
+namespace reuse {
+
+/// Deep copy of a split vector. Record attachments are
+/// `shared_ptr<const RecordAttachment>` and therefore shared, not cloned —
+/// they are immutable by type, so sharing is safe across jobs.
+std::vector<InputSplit> CopySplits(const std::vector<InputSplit>& splits);
+
+/// Descriptive snapshot of one stored artifact (manifest / test surface).
+struct ArtifactMeta {
+  uint64_t fingerprint = 0;
+  std::string label;       ///< "job:operator" provenance, for manifests.
+  uint64_t bytes = 0;      ///< Logical artifact size (record size model).
+  double saved_seconds = 0.0;  ///< Shuffle cost a reuse hit avoids (Eq. 3).
+  ArtifactLayout layout = ArtifactLayout::kRepartition;
+  int partition_count = 0;
+  uint64_t reuse_count = 0;    ///< Successful resolves so far.
+  uint64_t insert_seq = 0;     ///< Monotonic publish order (tie-breaker).
+};
+
+class MaterializedStore {
+ public:
+  /// `capacity_bytes` bounds the summed logical artifact size; `num_nodes`
+  /// and `replication` shape the simulated DFS replica placement used by
+  /// the availability check in `Resolve`.
+  explicit MaterializedStore(uint64_t capacity_bytes, int num_nodes = 12,
+                             int replication = 3);
+
+  struct PublishResult {
+    bool stored = false;
+    int evicted = 0;
+    uint64_t evicted_bytes = 0;
+  };
+
+  /// Offers an artifact. Publishing an already-present fingerprint only
+  /// refreshes `saved_seconds` (the data is identical by construction).
+  PublishResult Publish(uint64_t fingerprint, std::vector<InputSplit> splits,
+                        double saved_seconds, ArtifactLayout layout,
+                        int partition_count, std::string label);
+
+  /// The stored splits for `fingerprint`, or null on a miss. A present
+  /// artifact still misses when every replica home is down for the whole
+  /// run (`avail` may be null = all hosts up). A hit bumps `reuse_count`.
+  const std::vector<InputSplit>* Resolve(uint64_t fingerprint,
+                                         const HostAvailability* avail);
+
+  /// Live-entry test without touching hit/miss accounting.
+  bool Contains(uint64_t fingerprint) const;
+
+  /// Would `Resolve` hit right now? Same availability rule, but read-only:
+  /// no counters move, no reuse_count bump. The optimizer's planning-time
+  /// probe (planning must not distort the observed hit/miss stream).
+  bool Reachable(uint64_t fingerprint, const HostAvailability* avail) const;
+
+  /// Drops an artifact if present.
+  void Invalidate(uint64_t fingerprint);
+
+  /// The simulated DFS nodes holding `fingerprint`'s replicas (derived
+  /// deterministically from the fingerprint; stable across runs).
+  std::vector<int> ReplicaHomes(uint64_t fingerprint) const;
+
+  struct ReuseStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t publishes = 0;   ///< Accepted publishes.
+    uint64_t rejects = 0;     ///< Publishes refused (capacity / density).
+    uint64_t evictions = 0;
+    uint64_t bytes_used = 0;
+    uint64_t entries = 0;
+  };
+  const ReuseStats& stats() const { return stats_; }
+
+  /// Metadata of every live artifact, in insert order.
+  std::vector<ArtifactMeta> Entries() const;
+
+  /// Writes a JSON-lines manifest of the live entries + stats to `path`.
+  bool DumpManifest(const std::string& path, std::string* error = nullptr)
+      const;
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    ArtifactMeta meta;
+    std::vector<InputSplit> splits;
+  };
+
+  static uint64_t SplitsBytes(const std::vector<InputSplit>& splits);
+  double Density(const Entry& e) const;
+
+  uint64_t capacity_bytes_;
+  int num_nodes_;
+  int replication_;
+  uint64_t next_seq_ = 0;
+  // Ordered map: iteration (eviction scans, Entries, manifests) is
+  // deterministic without extra bookkeeping.
+  std::map<uint64_t, Entry> entries_;
+  ReuseStats stats_;
+};
+
+}  // namespace reuse
+}  // namespace efind
+
+#endif  // EFIND_REUSE_MATERIALIZED_STORE_H_

@@ -102,6 +102,23 @@ class Q3Mapper : public RecordStage {
   }
 };
 
+/// Map of the Q3 follow-up query: revenue per (shippriority, order year).
+/// Runs over OrdersQ3Operator's output (same fields as Q3Mapper's input).
+class Q3FollowupMapper : public RecordStage {
+ public:
+  std::string name() const override { return "q3_followup_map"; }
+
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    const auto f = Split(record.value, '|');
+    if (f.size() < 10) return;
+    const double revenue = ToDouble(f[4]) * (1.0 - ToDouble(f[5]));
+    const int year = std::atoi(std::string(f[8]).c_str()) / kDaysPerYear;
+    out->Emit(Record(std::string(f[9]) + "|" + std::to_string(year),
+                     Money(revenue)));
+  }
+};
+
 /// Reduce: sum revenue per group.
 class SumReducer : public Reducer {
  public:
@@ -341,6 +358,19 @@ IndexJobConf MakeTpchQ3Job(const TpchData& data) {
       std::make_shared<KvIndexAccessor>("customer", data.customer.get()));
   conf.AddHeadIndexOperator(op2);
   conf.SetMapper(std::make_shared<Q3Mapper>());
+  conf.SetReducer(std::make_shared<SumReducer>());
+  return conf;
+}
+
+IndexJobConf MakeTpchQ3FollowupJob(const TpchData& data) {
+  IndexJobConf conf;
+  conf.set_name("tpch_q3_followup");
+  // Deliberately the same operator class and index as Q3's first join: the
+  // cross-job reuse fingerprint collides with Q3's first shuffle artifact.
+  auto op1 = std::make_shared<OrdersQ3Operator>();
+  op1->AddIndex(std::make_shared<KvIndexAccessor>("orders", data.orders.get()));
+  conf.AddHeadIndexOperator(op1);
+  conf.SetMapper(std::make_shared<Q3FollowupMapper>());
   conf.SetReducer(std::make_shared<SumReducer>());
   return conf;
 }

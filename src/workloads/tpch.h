@@ -63,6 +63,15 @@ TpchData GenerateTpch(const TpchOptions& options, int num_nodes);
 /// (dependent lookups), then Map + Reduce.
 IndexJobConf MakeTpchQ3Job(const TpchData& data);
 
+/// Shared-prefix follow-up to Q3 (cross-job reuse, DESIGN.md §9): LineItem
+/// |X| Orders through the *same* first operator and Orders index as Q3,
+/// then a different aggregation (revenue per ship priority and order year).
+/// Because artifact fingerprints name (dataset, upstream chain, operator,
+/// shuffled index), this job's first re-partitioning shuffle is
+/// fingerprint-identical to Q3's: a store warmed by Q3 serves it without a
+/// second shuffle, while Q9 (different operator chain) stays a miss.
+IndexJobConf MakeTpchQ3FollowupJob(const TpchData& data);
+
 /// Q9 (product type profit), MySQL join order: LineItem |X| Supplier, then
 /// Part (with the selective p_name filter), then one multi-index operator
 /// over {PartSupp, Orders} (independent lookups, exercising §3.5), then

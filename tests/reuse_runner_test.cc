@@ -1,0 +1,274 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Integration tests of cross-job artifact reuse through EFindJobRunner
+// (DESIGN.md §9): a warm store replaces the re-partitioning shuffle of a
+// *different* job sharing the same first operator; a cold store costs
+// exactly nothing; index writes invalidate by fingerprint; whole-run
+// outages of every replica home force a deterministic rebuild; results and
+// times are bit-identical across thread counts, store attached, under the
+// fault matrix; and dynamic mode never touches the store.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "reuse/materialized_store.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+bool HasJobNamed(const EFindRunResult& r, const std::string& needle) {
+  for (const auto& j : r.jobs) {
+    if (j.name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ReuseRunnerTest, WarmStoreServesAFollowUpJobWithoutItsShuffle) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  // Two distinct jobs (separate operator/accessor instances, different
+  // reducers) sharing dataset + first operator: the cross-job collision
+  // the store exists for.
+  IndexJobConf first = world.MakeJoinJob(/*with_reduce=*/false);
+  IndexJobConf followup = world.MakeJoinJob(/*with_reduce=*/true);
+  ClusterConfig config;
+
+  // Reference: the follow-up with no store at all.
+  EFindJobRunner plain(config);
+  auto reference =
+      plain.RunWithStrategy(followup, input, Strategy::kRepartition);
+
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+  auto cold = runner.RunWithStrategy(first, input, Strategy::kRepartition);
+  EXPECT_EQ(store.stats().publishes, 1u);
+  EXPECT_EQ(store.stats().hits, 0u);
+  ASSERT_TRUE(HasJobNamed(cold, ":shuffle"));
+
+  auto warm =
+      runner.RunWithStrategy(followup, input, Strategy::kRepartition);
+  EXPECT_EQ(store.stats().hits, 1u);
+  // The shuffle job is gone, replaced by the artifact-adoption summary.
+  EXPECT_FALSE(HasJobNamed(warm, ":shuffle"));
+  EXPECT_TRUE(HasJobNamed(warm, ":reuse:"));
+  // Same answer, strictly cheaper than paying the shuffle.
+  EXPECT_EQ(Sorted(warm.CollectRecords()),
+            Sorted(reference.CollectRecords()));
+  EXPECT_LT(warm.sim_seconds, reference.sim_seconds);
+}
+
+TEST(ReuseRunnerTest, ColdStoreIsBitIdenticalToNoStore) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+
+  EFindJobRunner without(config);
+  auto plain = without.RunWithStrategy(conf, input, Strategy::kRepartition);
+
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner with(config);
+  with.set_reuse(&store);
+  auto probed = with.RunWithStrategy(conf, input, Strategy::kRepartition);
+
+  // Miss-is-free: probing and publishing charge zero simulated time, so a
+  // cold store must not perturb a single bit of the result.
+  EXPECT_EQ(probed.sim_seconds, plain.sim_seconds);
+  EXPECT_EQ(probed.jobs.size(), plain.jobs.size());
+  EXPECT_EQ(Sorted(probed.CollectRecords()),
+            Sorted(plain.CollectRecords()));
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().publishes, 1u);
+}
+
+TEST(ReuseRunnerTest, IndexWriteInvalidatesByFingerprint) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  // Map-only: the joined index values survive into the output.
+  IndexJobConf conf = world.MakeJoinJob(/*with_reduce=*/false);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+
+  runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  ASSERT_EQ(store.stats().publishes, 1u);
+
+  // A write to the backing index bumps its version: the stale artifact's
+  // fingerprint no longer matches, so the re-run misses, shuffles fresh,
+  // and publishes a *second* artifact under the new fingerprint.
+  world.store->Put("k0", IndexValue("fresh_v0", 40)).ok();
+  auto rerun = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(store.stats().hits, 0u);
+  EXPECT_EQ(store.stats().entries, 2u);  // Old + new artifact coexist.
+  EXPECT_TRUE(HasJobNamed(rerun, ":shuffle"));
+  const auto entries = store.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_NE(entries[0].fingerprint, entries[1].fingerprint);
+
+  // And the rebuilt answer matches a store-less run over the new index
+  // state exactly (no stale data leaked in).
+  auto reference =
+      EFindJobRunner(config).RunWithStrategy(conf, input,
+                                             Strategy::kRepartition);
+  EXPECT_EQ(Sorted(rerun.CollectRecords()),
+            Sorted(reference.CollectRecords()));
+}
+
+TEST(ReuseRunnerTest, AllReplicaHomesDownForcesDeterministicRebuild) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  {
+    EFindJobRunner warmer(config);
+    warmer.set_reuse(&store);
+    warmer.RunWithStrategy(conf, input, Strategy::kRepartition);
+  }
+  ASSERT_EQ(store.stats().entries, 1u);
+  const uint64_t fp = store.Entries()[0].fingerprint;
+
+  // Every DFS replica home of the artifact down for the whole run: the
+  // entry is unreachable, the job rebuilds, and the answer is unchanged.
+  ClusterConfig downed = config;
+  for (int node : store.ReplicaHomes(fp)) {
+    downed.host_downtimes.push_back({node});
+  }
+  downed.lookup_retry_backoff_sec = 1e-3;
+  EFindJobRunner faulted(downed);
+  faulted.set_reuse(&store);
+  auto rebuilt = faulted.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(store.stats().hits, 0u);
+  EXPECT_GE(store.stats().misses, 1u);
+  EXPECT_TRUE(HasJobNamed(rebuilt, ":shuffle"));
+
+  EFindJobRunner clean(config);
+  auto reference = clean.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(Sorted(rebuilt.CollectRecords()),
+            Sorted(reference.CollectRecords()));
+
+  // Deterministic: the faulted rebuild times identically on a second run.
+  EFindJobRunner faulted2(downed);
+  faulted2.set_reuse(&store);
+  auto again = faulted2.RunWithStrategy(conf, input, Strategy::kRepartition);
+  EXPECT_EQ(again.sim_seconds, rebuilt.sim_seconds);
+}
+
+// threads=1 and threads=N must agree bit-for-bit with a store attached —
+// cold and warm, fault-free and across a small fault matrix (the §7
+// conditions the fault suite exercises at full size).
+TEST(ReuseRunnerTest, ThreadCountInvariantWithStoreUnderFaultMatrix) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf first = world.MakeJoinJob(false);
+  IndexJobConf followup = world.MakeJoinJob(true);
+
+  std::vector<ClusterConfig> conditions(4);
+  conditions[1].task_failure_rate = 0.2;
+  conditions[2].straggler_rate = 0.1;
+  conditions[2].straggler_slowdown = 4.0;
+  conditions[2].speculative_execution = true;
+  conditions[3].host_downtimes.push_back({3});
+  conditions[3].degraded_hosts.push_back(5);
+  conditions[3].lookup_retry_backoff_sec = 1e-3;
+
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    struct Observation {
+      double cold_sec, warm_sec;
+      std::vector<Record> warm_records;
+      uint64_t hits;
+    };
+    std::vector<Observation> per_threads;
+    for (int threads : {1, 4}) {
+      EFindOptions options;
+      options.threads = threads;
+      reuse::MaterializedStore store(64ull << 20,
+                                     conditions[c].num_nodes);
+      EFindJobRunner runner(conditions[c], options);
+      runner.set_reuse(&store);
+      auto cold = runner.RunWithStrategy(first, input,
+                                         Strategy::kRepartition);
+      auto warm = runner.RunWithStrategy(followup, input,
+                                         Strategy::kRepartition);
+      per_threads.push_back({cold.sim_seconds, warm.sim_seconds,
+                             Sorted(warm.CollectRecords()),
+                             store.stats().hits});
+    }
+    EXPECT_EQ(per_threads[0].cold_sec, per_threads[1].cold_sec)
+        << "condition " << c;
+    EXPECT_EQ(per_threads[0].warm_sec, per_threads[1].warm_sec)
+        << "condition " << c;
+    EXPECT_EQ(per_threads[0].warm_records, per_threads[1].warm_records)
+        << "condition " << c;
+    EXPECT_EQ(per_threads[0].hits, per_threads[1].hits)
+        << "condition " << c;
+  }
+}
+
+TEST(ReuseRunnerTest, PlanFromStatsPricesLiveArtifacts) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+
+  CollectedStats stats = runner.CollectStatistics(conf, input);
+  const JobPlan before = runner.PlanFromStats(conf, stats, &input);
+
+  runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  ASSERT_EQ(store.stats().publishes, 1u);
+  const JobPlan warm = runner.PlanFromStats(conf, stats, &input);
+  // A live artifact can only make plans cheaper, never worse.
+  EXPECT_LE(warm.TotalEstimatedCost(), before.TotalEstimatedCost());
+  // Without the input there is no fingerprint, hence no annotation: the
+  // plan must equal the plain optimizer's.
+  EXPECT_EQ(runner.PlanFromStats(conf, stats).ToString(),
+            EFindJobRunner(config).PlanFromStats(conf, stats).ToString());
+  // The artifact covers the repartition shuffle, so the reuse-aware plan
+  // picks it up for the operator's only index.
+  ASSERT_FALSE(warm.head.empty());
+  ASSERT_FALSE(warm.head[0].order.empty());
+  EXPECT_EQ(warm.head[0].order[0].strategy, Strategy::kRepartition);
+}
+
+TEST(ReuseRunnerTest, DynamicModeNeverTouchesTheStore) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+
+  EFindJobRunner plain(config);
+  auto reference = plain.RunDynamic(conf, input);
+
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+  // Warm the store first so a hit *would* be possible if dynamic probed.
+  runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  const auto before = store.stats();
+  auto dynamic = runner.RunDynamic(conf, input);
+
+  // Dynamic replans over partial inputs whose shuffle outputs are not the
+  // full-input artifact: it must neither resolve nor publish.
+  EXPECT_EQ(store.stats().hits, before.hits);
+  EXPECT_EQ(store.stats().misses, before.misses);
+  EXPECT_EQ(store.stats().publishes, before.publishes);
+  EXPECT_EQ(dynamic.sim_seconds, reference.sim_seconds);
+  EXPECT_EQ(Sorted(dynamic.CollectRecords()),
+            Sorted(reference.CollectRecords()));
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,229 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Unit tests of the cross-job artifact store (DESIGN.md §9): publish /
+// resolve round trips, the cost-benefit eviction order and its two-phase
+// reject guarantee, DFS-replica availability under whole-run host outages,
+// and the manifest dump.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "reuse/materialized_store.h"
+
+namespace efind {
+namespace reuse {
+namespace {
+
+/// `count` records of ~`record_bytes` each in one split.
+std::vector<InputSplit> MakeSplits(int count, uint64_t record_bytes,
+                                   const std::string& tag = "r") {
+  std::vector<InputSplit> splits(1);
+  for (int i = 0; i < count; ++i) {
+    splits[0].records.push_back(
+        Record(tag + std::to_string(i), "v", record_bytes));
+  }
+  return splits;
+}
+
+TEST(MaterializedStoreTest, PublishResolveRoundTrip) {
+  MaterializedStore store(1 << 20);
+  auto splits = MakeSplits(10, 100);
+  const uint64_t expected_bytes = TotalSizeBytes(splits);
+  auto pr = store.Publish(0xABCD, CopySplits(splits), 1.0,
+                          ArtifactLayout::kRepartition, 48, "job:op");
+  EXPECT_TRUE(pr.stored);
+  EXPECT_EQ(pr.evicted, 0);
+  EXPECT_TRUE(store.Contains(0xABCD));
+  EXPECT_EQ(store.stats().bytes_used, expected_bytes);
+
+  const std::vector<InputSplit>* hit = store.Resolve(0xABCD, nullptr);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].records, splits[0].records);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.Entries()[0].reuse_count, 1u);
+
+  EXPECT_EQ(store.Resolve(0x1234, nullptr), nullptr);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(MaterializedStoreTest, RepublishRefreshesWithoutDoubleCounting) {
+  MaterializedStore store(1 << 20);
+  auto splits = MakeSplits(5, 50);
+  store.Publish(1, CopySplits(splits), 1.0, ArtifactLayout::kRepartition,
+                48, "a");
+  const uint64_t bytes = store.stats().bytes_used;
+  auto pr = store.Publish(1, CopySplits(splits), 2.5,
+                          ArtifactLayout::kRepartition, 48, "a");
+  EXPECT_TRUE(pr.stored);
+  EXPECT_EQ(store.stats().bytes_used, bytes);
+  EXPECT_EQ(store.stats().entries, 1u);
+  EXPECT_DOUBLE_EQ(store.Entries()[0].saved_seconds, 2.5);
+}
+
+TEST(MaterializedStoreTest, OversizedPublishRejected) {
+  MaterializedStore store(/*capacity_bytes=*/100);
+  auto pr = store.Publish(1, MakeSplits(10, 100), 5.0,
+                          ArtifactLayout::kRepartition, 48, "big");
+  EXPECT_FALSE(pr.stored);
+  EXPECT_EQ(store.stats().rejects, 1u);
+  EXPECT_EQ(store.stats().bytes_used, 0u);
+}
+
+TEST(MaterializedStoreTest, EvictsLowestDensityFirst) {
+  // Three ~1 KB artifacts fill a 3 KB store; densities via saved_seconds.
+  MaterializedStore store(3200);
+  auto splits = [] { return MakeSplits(10, 100); };
+  store.Publish(1, splits(), /*saved=*/0.5, ArtifactLayout::kRepartition,
+                48, "low");
+  store.Publish(2, splits(), /*saved=*/5.0, ArtifactLayout::kRepartition,
+                48, "high");
+  store.Publish(3, splits(), /*saved=*/1.0, ArtifactLayout::kRepartition,
+                48, "mid");
+  ASSERT_EQ(store.stats().entries, 3u);
+
+  // A candidate denser than "low" and "mid" but not "high": evicts exactly
+  // the two cheaper entries (lowest density first), keeps "high".
+  auto pr = store.Publish(4, MakeSplits(20, 100), /*saved=*/4.0,
+                          ArtifactLayout::kRepartition, 48, "new");
+  EXPECT_TRUE(pr.stored);
+  EXPECT_EQ(pr.evicted, 2);
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_FALSE(store.Contains(3));
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_TRUE(store.Contains(4));
+  EXPECT_EQ(store.stats().evictions, 2u);
+}
+
+TEST(MaterializedStoreTest, RejectWhenResidentsEarnTheirBytes) {
+  MaterializedStore store(2100);
+  store.Publish(1, MakeSplits(10, 100), /*saved=*/10.0,
+                ArtifactLayout::kRepartition, 48, "dense_a");
+  store.Publish(2, MakeSplits(10, 100), /*saved=*/10.0,
+                ArtifactLayout::kRepartition, 48, "dense_b");
+  // A sparse candidate may not evict denser residents: two-phase selection
+  // rejects it and leaves the store byte-identical.
+  const uint64_t before = store.stats().bytes_used;
+  auto pr = store.Publish(3, MakeSplits(10, 100), /*saved=*/0.1,
+                          ArtifactLayout::kRepartition, 48, "sparse");
+  EXPECT_FALSE(pr.stored);
+  EXPECT_EQ(pr.evicted, 0);
+  EXPECT_EQ(store.stats().bytes_used, before);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_EQ(store.stats().rejects, 1u);
+}
+
+TEST(MaterializedStoreTest, ReuseFrequencyProtectsFromEviction) {
+  MaterializedStore store(2100);
+  store.Publish(1, MakeSplits(10, 100), /*saved=*/1.0,
+                ArtifactLayout::kRepartition, 48, "reused");
+  store.Publish(2, MakeSplits(10, 100), /*saved=*/1.0,
+                ArtifactLayout::kRepartition, 48, "idle");
+  // Two resolves double entry 1's density: saved * (1 + reuse_count).
+  store.Resolve(1, nullptr);
+  store.Resolve(1, nullptr);
+  // A candidate between the two densities evicts only the idle entry.
+  auto pr = store.Publish(3, MakeSplits(10, 100), /*saved=*/1.5,
+                          ArtifactLayout::kRepartition, 48, "new");
+  EXPECT_TRUE(pr.stored);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_FALSE(store.Contains(2));
+}
+
+TEST(MaterializedStoreTest, WholeRunOutageOfAllHomesMisses) {
+  ClusterConfig config;
+  MaterializedStore store(1 << 20, config.num_nodes);
+  store.Publish(7, MakeSplits(4, 10), 1.0, ArtifactLayout::kRepartition,
+                48, "a");
+  const std::vector<int> homes = store.ReplicaHomes(7);
+  ASSERT_FALSE(homes.empty());
+
+  // Every replica home down for the whole run: present but unreachable.
+  ClusterConfig all_down = config;
+  for (int node : homes) all_down.host_downtimes.push_back({node});
+  HostAvailability none(all_down);
+  EXPECT_EQ(store.Resolve(7, &none), nullptr);
+  EXPECT_TRUE(store.Contains(7));  // Kept: hosts may return next run.
+  EXPECT_FALSE(store.Reachable(7, &none));
+
+  // One home back up: reachable again.
+  ClusterConfig partial = config;
+  for (size_t i = 1; i < homes.size(); ++i) {
+    partial.host_downtimes.push_back({homes[i]});
+  }
+  partial.degraded_hosts.push_back(homes[0]);  // Degraded still serves.
+  HostAvailability some(partial);
+  EXPECT_TRUE(store.Reachable(7, &some));
+  EXPECT_NE(store.Resolve(7, &some), nullptr);
+}
+
+TEST(MaterializedStoreTest, ReachableMovesNoCounters) {
+  MaterializedStore store(1 << 20);
+  store.Publish(7, MakeSplits(4, 10), 1.0, ArtifactLayout::kRepartition,
+                48, "a");
+  EXPECT_TRUE(store.Reachable(7, nullptr));
+  EXPECT_FALSE(store.Reachable(8, nullptr));
+  EXPECT_EQ(store.stats().hits, 0u);
+  EXPECT_EQ(store.stats().misses, 0u);
+  EXPECT_EQ(store.Entries()[0].reuse_count, 0u);
+}
+
+TEST(MaterializedStoreTest, ReplicaHomesDeterministicAndDistinct) {
+  MaterializedStore store(1 << 20, /*num_nodes=*/12, /*replication=*/3);
+  const auto homes = store.ReplicaHomes(0xFEED);
+  EXPECT_EQ(homes, store.ReplicaHomes(0xFEED));
+  EXPECT_EQ(homes.size(), 3u);
+  for (size_t i = 0; i < homes.size(); ++i) {
+    EXPECT_GE(homes[i], 0);
+    EXPECT_LT(homes[i], 12);
+    for (size_t j = i + 1; j < homes.size(); ++j) {
+      EXPECT_NE(homes[i], homes[j]);
+    }
+  }
+  EXPECT_NE(homes, store.ReplicaHomes(0xBEEF));  // Spread, in practice.
+}
+
+TEST(MaterializedStoreTest, InvalidateDropsEntry) {
+  MaterializedStore store(1 << 20);
+  store.Publish(1, MakeSplits(4, 10), 1.0, ArtifactLayout::kRepartition,
+                48, "a");
+  store.Invalidate(1);
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_EQ(store.stats().bytes_used, 0u);
+  store.Invalidate(1);  // Idempotent.
+}
+
+TEST(MaterializedStoreTest, ManifestListsEntriesInInsertOrder) {
+  MaterializedStore store(1 << 20);
+  store.Publish(0xB, MakeSplits(2, 10), 1.0, ArtifactLayout::kRepartition,
+                48, "first");
+  store.Publish(0xA, MakeSplits(2, 10), 1.0, ArtifactLayout::kIndexLocality,
+                12, "second");
+  const auto entries = store.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, "first");
+  EXPECT_EQ(entries[1].label, "second");
+  EXPECT_EQ(entries[1].layout, ArtifactLayout::kIndexLocality);
+
+  const std::string path =
+      ::testing::TempDir() + "/reuse_store_manifest.json";
+  ASSERT_TRUE(store.DumpManifest(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"label\":\"first\""), std::string::npos);
+  EXPECT_NE(content.find("\"layout\":\"idxloc\""), std::string::npos);
+  EXPECT_NE(content.find("000000000000000a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reuse
+}  // namespace efind

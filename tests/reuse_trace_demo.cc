@@ -1,0 +1,63 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Produces a Chrome trace exercising every cross-job reuse event the schema
+// defines (DESIGN.md §9), for scripts/trace_lint.py to validate (the
+// `reuse_trace_lint` ctest entry, labels `obs`/`reuse`): the toy join runs
+// re-partitioned against an empty store (a `reuse_miss` instant, then a
+// `materialize` span when the shuffle output is published), then again
+// against the now-warm store (a `reuse_hit` instant).
+//
+// Usage: reuse_trace_demo TRACE_OUT.json
+
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "reuse/materialized_store.h"
+#include "tests/test_util.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE_OUT.json\n", argv[0]);
+    return 2;
+  }
+
+  efind::ClusterConfig config;
+  efind::testing_util::ToyWorld world(200, 60);
+  const auto input = world.MakeInput(24, 40, 200);
+  const efind::IndexJobConf conf = world.MakeJoinJob(true);
+
+  efind::EFindOptions options;
+  options.threads = 4;
+  efind::EFindJobRunner runner(config, options);
+  efind::obs::ObsSession session;
+  efind::reuse::MaterializedStore store(/*capacity_bytes=*/64ull << 20,
+                                        config.num_nodes);
+  runner.set_obs(&session);
+  runner.set_reuse(&store);
+  runner.RunWithStrategy(conf, input, efind::Strategy::kRepartition);
+  runner.RunWithStrategy(conf, input, efind::Strategy::kRepartition);
+  if (store.stats().hits == 0 || store.stats().misses == 0 ||
+      store.stats().publishes == 0) {
+    std::fprintf(stderr,
+                 "reuse_trace_demo: expected a miss, a publish and a hit "
+                 "(got %llu/%llu/%llu)\n",
+                 static_cast<unsigned long long>(store.stats().misses),
+                 static_cast<unsigned long long>(store.stats().publishes),
+                 static_cast<unsigned long long>(store.stats().hits));
+    return 1;
+  }
+
+  std::string error;
+  if (!efind::obs::WriteFile(
+          argv[1],
+          efind::obs::ChromeTraceJson(session.trace(), config.num_nodes),
+          &error)) {
+    std::fprintf(stderr, "reuse_trace_demo: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "reuse_trace_demo: wrote %s (%zu events)\n", argv[1],
+               session.trace().events().size());
+  return 0;
+}

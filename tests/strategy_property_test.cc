@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "efind/efind_job_runner.h"
+#include "reuse/fingerprint.h"
 #include "tests/test_util.h"
 
 namespace efind {
@@ -183,6 +185,167 @@ TEST_P(FaultSeedInertTest, DynamicPlanUnchangedByFaultSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultSeedInertTest, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Artifact-fingerprint canonicalization (DESIGN.md §9): the fingerprint must
+// be *invariant* under every plan rewriting Properties 1-4 permit (they do
+// not change the shuffle's output) and *distinct* under anything that can
+// change artifact content or reuse safety.
+
+/// Three independent indices, one key each per record (the §3.5 shape).
+class TriJoinOperator : public IndexOperator {
+ public:
+  std::string name() const override { return "tri_join"; }
+  void PreProcess(Record* record, IndexKeyLists* keys) override {
+    for (auto& k : *keys) k.push_back(record->key);
+  }
+  void PostProcess(const Record& record, const IndexResultLists& results,
+                   Emitter* out) override {
+    (void)results;
+    out->Emit(record);
+  }
+};
+
+struct TriWorld {
+  explicit TriWorld(const char* a = "ia", const char* b = "ib",
+                    const char* c = "ic") {
+    KvStoreOptions kv;
+    for (auto* s : {&sa, &sb, &sc}) *s = std::make_unique<KvStore>(kv);
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      sa->Put(key, IndexValue("a", 8)).ok();
+      sb->Put(key, IndexValue("b", 8)).ok();
+      sc->Put(key, IndexValue("c", 8)).ok();
+    }
+    auto op = std::make_shared<TriJoinOperator>();
+    op->AddIndex(std::make_shared<KvIndexAccessor>(a, sa.get()));
+    op->AddIndex(std::make_shared<KvIndexAccessor>(b, sb.get()));
+    op->AddIndex(std::make_shared<KvIndexAccessor>(c, sc.get()));
+    conf.set_name("tri");
+    conf.AddHeadIndexOperator(op);
+    conf.set_input_dataset("tri_input", 1);
+  }
+
+  uint64_t Fp(const OperatorPlan& oplan, int ordinal = 0,
+              int partitions = 48) const {
+    const uint64_t dataset_fp = reuse::DatasetFingerprint(conf, {});
+    return reuse::PlanArtifactFingerprint(conf, dataset_fp,
+                                          OperatorPosition::kHead, 0, oplan,
+                                          ordinal, partitions);
+  }
+
+  std::unique_ptr<KvStore> sa, sb, sc;
+  IndexJobConf conf;
+};
+
+OperatorPlan PlanOf(std::vector<IndexChoice> order) {
+  OperatorPlan p;
+  p.order = std::move(order);
+  return p;
+}
+
+TEST(FingerprintCanonTest, InvariantUnderPermittedPlanRewrites) {
+  TriWorld w;
+  // Reference: shuffle index 0, indices 1 and 2 resolved inline.
+  const uint64_t ref = w.Fp(PlanOf({{0, Strategy::kRepartition},
+                                    {1, Strategy::kLookupCache},
+                                    {2, Strategy::kBaseline}}));
+  ASSERT_NE(ref, 0u);
+  // Property 1/4: inline accesses commute freely behind the shuffle.
+  EXPECT_EQ(ref, w.Fp(PlanOf({{0, Strategy::kRepartition},
+                              {2, Strategy::kBaseline},
+                              {1, Strategy::kLookupCache}})));
+  // Properties 2/3: base <-> cache swaps never change the shuffle output.
+  EXPECT_EQ(ref, w.Fp(PlanOf({{0, Strategy::kRepartition},
+                              {1, Strategy::kBaseline},
+                              {2, Strategy::kLookupCache}})));
+  EXPECT_EQ(ref, w.Fp(PlanOf({{0, Strategy::kRepartition},
+                              {1, Strategy::kLookupCache},
+                              {2, Strategy::kLookupCache}})));
+  // A later shuffle cannot reach back into the first artifact.
+  EXPECT_EQ(ref, w.Fp(PlanOf({{0, Strategy::kRepartition},
+                              {1, Strategy::kRepartition},
+                              {2, Strategy::kBaseline}}),
+                      /*ordinal=*/0));
+}
+
+TEST(FingerprintCanonTest, ShuffledPrefixOrderMatters) {
+  TriWorld w;
+  const auto ab = PlanOf({{0, Strategy::kRepartition},
+                          {1, Strategy::kRepartition},
+                          {2, Strategy::kBaseline}});
+  const auto ba = PlanOf({{1, Strategy::kRepartition},
+                          {0, Strategy::kRepartition},
+                          {2, Strategy::kBaseline}});
+  // The second shuffle's input depends on which index shuffled first
+  // (Property 4 keeps the shuffled prefix ordered for exactly this reason).
+  EXPECT_NE(w.Fp(ab, 1), w.Fp(ba, 1));
+  // And the first artifacts group by different indices outright.
+  EXPECT_NE(w.Fp(ab, 0), w.Fp(ba, 0));
+  // No third shuffle exists: no artifact, sentinel zero.
+  EXPECT_EQ(w.Fp(ab, 2), 0u);
+}
+
+TEST(FingerprintCanonTest, DistinctUnderContentChangingEdits) {
+  TriWorld w;
+  const auto plan = PlanOf({{0, Strategy::kRepartition},
+                            {1, Strategy::kLookupCache},
+                            {2, Strategy::kBaseline}});
+  const uint64_t ref = w.Fp(plan);
+
+  // Accessor configuration: a differently-configured index is a different
+  // artifact even when everything else matches.
+  TriWorld renamed("ia2");
+  EXPECT_NE(ref, renamed.Fp(plan));
+
+  // Index version: a write to the shuffled index's backing store must
+  // invalidate (the artifact's attachments embed looked-up state).
+  w.sa->Put("k0", IndexValue("a'", 8)).ok();
+  const uint64_t bumped = w.Fp(plan);
+  EXPECT_NE(ref, bumped);
+  // ... and a write to an *inline* index too: PreProcess extracts keys for
+  // every index, so all accessors shape the artifact.
+  w.sb->Put("k0", IndexValue("b'", 8)).ok();
+  EXPECT_NE(bumped, w.Fp(plan));
+
+  // Dataset version (ReStore-style named input).
+  TriWorld v2;
+  v2.conf.set_input_dataset("tri_input", 2);
+  EXPECT_NE(ref, v2.Fp(plan));
+
+  // Layout: co-partitioned (idxloc) and hash-partitioned (repart)
+  // artifacts are physically different.
+  EXPECT_NE(ref, w.Fp(PlanOf({{0, Strategy::kIndexLocality},
+                              {1, Strategy::kLookupCache},
+                              {2, Strategy::kBaseline}})));
+
+  // Partition count.
+  EXPECT_NE(w.Fp(plan, 0, 48), w.Fp(plan, 0, 64));
+}
+
+// The cross-job collision the store exists for: two jobs sharing the
+// dataset and the first head operator have equal first-shuffle
+// fingerprints regardless of their (downstream) mapper and reducer.
+TEST(FingerprintCanonTest, HeadArtifactSharedAcrossJobs) {
+  ToyWorld world(50);
+  auto input = world.MakeInput(8, 20, 50);
+  IndexJobConf job_a = world.MakeJoinJob(/*with_reduce=*/false);
+  IndexJobConf job_b = world.MakeJoinJob(/*with_reduce=*/true);
+  const auto plan = PlanOf({{0, Strategy::kRepartition}});
+  const uint64_t fp_a = reuse::PlanArtifactFingerprint(
+      job_a, reuse::DatasetFingerprint(job_a, input),
+      OperatorPosition::kHead, 0, plan, 0, 48);
+  const uint64_t fp_b = reuse::PlanArtifactFingerprint(
+      job_b, reuse::DatasetFingerprint(job_b, input),
+      OperatorPosition::kHead, 0, plan, 0, 48);
+  ASSERT_NE(fp_a, 0u);
+  EXPECT_EQ(fp_a, fp_b);
+  // A different input, though, names a different dataset (content hash).
+  auto other = world.MakeInput(8, 20, 50, /*seed=*/99);
+  EXPECT_NE(fp_a, reuse::PlanArtifactFingerprint(
+                      job_a, reuse::DatasetFingerprint(job_a, other),
+                      OperatorPosition::kHead, 0, plan, 0, 48));
+}
 
 }  // namespace
 }  // namespace efind
