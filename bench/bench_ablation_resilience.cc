@@ -1,0 +1,158 @@
+// Ablation: service-level resilience (DESIGN.md §10). Two experiments on
+// the Synthetic join workload, both acceptance-gated (nonzero exit on
+// violation):
+//
+//  (1) Hedged lookups under injected heavy-tail latency spikes: the same
+//      seeded spike schedule is run with hedging off and on. Hedging must
+//      cut the injected slow-tail excess (simulated seconds above the
+//      fault-free run), win at least one race, and leave the output
+//      byte-identical — resilience is time-domain only.
+//
+//  (2) End-to-end integrity under injected corruption, on both fault
+//      surfaces: lookup responses (baseline strategy) and materialized
+//      artifact chunks (re-partitioning with a reuse store, warm second
+//      run). Every injected corruption must be detected and re-fetched
+//      (efind.integrity.injected == efind.integrity.detected, nonzero),
+//      nothing may reach the output (efind.integrity.served_corrupt == 0),
+//      and the output must equal the fault-free run's byte for byte.
+//
+// Extra faults can be layered on from the command line via the shared
+// --fault-* / --hedge-* / --breaker-* flags (bench_util.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+std::vector<efind::Record> Sorted(std::vector<efind::Record> r) {
+  std::sort(r.begin(), r.end(),
+            [](const efind::Record& a, const efind::Record& b) {
+              return a.key != b.key ? a.key < b.key : a.value < b.value;
+            });
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
+  const ClusterConfig& base = opts.config;
+  bench::FigureHarness harness("ablation_resilience");
+
+  SyntheticOptions options;
+  options.num_records = 50000;
+  options.num_distinct_keys = 25000;
+  options.num_splits = 96;
+  auto input = GenerateSynthetic(options, base.num_nodes);
+  KvStoreOptions kv;
+  kv.num_nodes = base.num_nodes;
+  kv.base_service_sec = 800e-6;
+  KvStore store(kv);
+  LoadSyntheticIndex(options, &store);
+  IndexJobConf conf = MakeSyntheticJoinJob(&store);
+
+  EFindJobRunner clean_runner(base, opts.MakeEFindOptions());
+  clean_runner.set_obs(opts.obs());
+  auto clean = clean_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  const auto clean_records = Sorted(clean.CollectRecords());
+  harness.Add("clean/base", clean.sim_seconds, clean.plan.ToString());
+
+  // (1) Heavy-tail latency spikes, hedging off vs on (same seed).
+  ClusterConfig spiky = base;
+  spiky.lookup_latency_spike_rate = 0.10;
+  spiky.lookup_latency_spike_factor = 25.0;
+  ClusterConfig hedged_cfg = spiky;
+  hedged_cfg.hedged_lookups = true;
+  hedged_cfg.hedge_quantile = 0.95;
+  EFindJobRunner spiky_runner(spiky, opts.MakeEFindOptions());
+  EFindJobRunner hedged_runner(hedged_cfg, opts.MakeEFindOptions());
+  spiky_runner.set_obs(opts.obs());
+  hedged_runner.set_obs(opts.obs());
+  auto unhedged =
+      spiky_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  auto hedged =
+      hedged_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  harness.Add("latency_spikes/no_hedge", unhedged.sim_seconds);
+  harness.Add("latency_spikes/hedge", hedged.sim_seconds);
+  const double unhedged_excess = unhedged.sim_seconds - clean.sim_seconds;
+  const double hedged_excess = hedged.sim_seconds - clean.sim_seconds;
+  const double hedge_wins = hedged.counters.Get("efind.h0.idx0.hedge_wins");
+  const bool hedge_outputs_ok =
+      Sorted(unhedged.CollectRecords()) == clean_records &&
+      Sorted(hedged.CollectRecords()) == clean_records;
+  const bool hedge_ok = hedge_outputs_ok && unhedged_excess > 0.0 &&
+                        hedged_excess < unhedged_excess && hedge_wins > 0.0;
+  std::printf(
+      "{\"bench\": \"ablation_resilience/hedging\", "
+      "\"clean_sim_seconds\": %.6f, \"no_hedge_sim_seconds\": %.6f, "
+      "\"hedge_sim_seconds\": %.6f, \"no_hedge_excess\": %.6f, "
+      "\"hedge_excess\": %.6f, \"hedges\": %.0f, \"hedge_wins\": %.0f, "
+      "\"output_identical\": %s, \"tail_excess_cut\": %s}\n",
+      clean.sim_seconds, unhedged.sim_seconds, hedged.sim_seconds,
+      unhedged_excess, hedged_excess,
+      hedged.counters.Get("efind.h0.idx0.hedges"), hedge_wins,
+      hedge_outputs_ok ? "true" : "false", hedge_ok ? "true" : "false");
+
+  // (2a) Lookup-response corruption on the baseline strategy.
+  ClusterConfig corrupt = base;
+  corrupt.lookup_corrupt_rate = 0.05;
+  EFindJobRunner corrupt_runner(corrupt, opts.MakeEFindOptions());
+  corrupt_runner.set_obs(opts.obs());
+  auto corrupted =
+      corrupt_runner.RunWithStrategy(conf, input, Strategy::kBaseline);
+  harness.Add("corruption/lookup", corrupted.sim_seconds);
+  const double lk_injected = corrupted.counters.Get("efind.integrity.injected");
+  const double lk_detected = corrupted.counters.Get("efind.integrity.detected");
+  const double lk_served = corrupted.counters.Get("efind.integrity.served_corrupt");
+  const bool lookup_integrity_ok =
+      lk_injected > 0.0 && lk_injected == lk_detected && lk_served == 0.0 &&
+      Sorted(corrupted.CollectRecords()) == clean_records;
+
+  // (2b) Artifact-chunk corruption on a warm reuse resolve.
+  ClusterConfig art = base;
+  art.artifact_corrupt_rate = 0.25;
+  reuse::MaterializedStore artifact_store(64ull << 20, art.num_nodes);
+  EFindJobRunner art_runner(art, opts.MakeEFindOptions());
+  art_runner.set_obs(opts.obs());
+  art_runner.set_reuse(&artifact_store);
+  auto cold = art_runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto warm = art_runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  harness.Add("corruption/artifact_cold", cold.sim_seconds);
+  harness.Add("corruption/artifact_warm", warm.sim_seconds);
+  const double art_injected = warm.counters.Get("efind.integrity.injected");
+  const double art_detected = warm.counters.Get("efind.integrity.detected");
+  const double art_served =
+      warm.counters.Get("efind.integrity.served_corrupt");
+  const bool artifact_integrity_ok =
+      artifact_store.stats().hits > 0 && art_injected > 0.0 &&
+      art_injected == art_detected && art_served == 0.0 &&
+      Sorted(cold.CollectRecords()) == clean_records &&
+      Sorted(warm.CollectRecords()) == clean_records;
+  const bool integrity_ok = lookup_integrity_ok && artifact_integrity_ok;
+  std::printf(
+      "{\"bench\": \"ablation_resilience/integrity\", "
+      "\"lookup_injected\": %.0f, \"lookup_detected\": %.0f, "
+      "\"lookup_served_corrupt\": %.0f, \"artifact_injected\": %.0f, "
+      "\"artifact_detected\": %.0f, \"artifact_served_corrupt\": %.0f, "
+      "\"reuse_hits\": %llu, \"zero_undetected\": %s}\n",
+      lk_injected, lk_detected, lk_served, art_injected, art_detected,
+      art_served,
+      static_cast<unsigned long long>(artifact_store.stats().hits),
+      integrity_ok ? "true" : "false");
+
+  std::printf(
+      "{\"bench\": \"ablation_resilience/acceptance\", "
+      "\"hedging_cuts_tail_excess\": %s, \"zero_undetected_mismatches\": "
+      "%s}\n",
+      hedge_ok ? "true" : "false", integrity_ok ? "true" : "false");
+
+  std::fflush(stdout);
+  const int rc = bench::FinishBench(harness, opts, argc, argv);
+  return hedge_ok && integrity_ok ? rc : 1;
+}

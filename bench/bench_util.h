@@ -83,6 +83,18 @@ inline int InitThreads(int* argc, char** argv) {
 ///   --fault-backoff=X              lookup retry backoff seconds
 ///   --fault-max-attempts=N         lookup attempts before failover
 ///   --fault-failover-replicas=N    replica hosts tried per lookup
+/// Service-level fault model + resilience layer (DESIGN.md §10):
+///   --fault-latency-rate=X         share of lookups hit by latency spikes
+///   --fault-latency-factor=X       heavy-tail spike stretch scale (>= 1)
+///   --fault-flaky-rate=X           per-attempt transient lookup error rate
+///   --fault-corrupt-rate=X         lookup-response corruption rate
+///   --fault-corrupt-artifact-rate=X  artifact-chunk corruption rate
+///   --fault-integrity-refetches=N  fast re-fetches before the slow path
+///   --hedge                        enable hedged (backup) lookups
+///   --hedge-quantile=X             latency quantile deriving hedge delay
+///   --breaker-threshold=N          consecutive failures opening a breaker
+///                                  (0 disables circuit breakers)
+///   --breaker-open-lookups=N       lookups an open breaker stays open for
 /// Exits with an error message if the resulting config is invalid.
 inline void ApplyFaultFlags(int* argc, char** argv, ClusterConfig* config) {
   int out = 1;
@@ -122,6 +134,27 @@ inline void ApplyFaultFlags(int* argc, char** argv, ClusterConfig* config) {
       config->lookup_max_attempts = std::atoi(v);
     } else if ((v = value(arg, "--fault-failover-replicas")) != nullptr) {
       config->failover_replicas = std::atoi(v);
+    } else if ((v = value(arg, "--fault-latency-rate")) != nullptr) {
+      config->lookup_latency_spike_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-latency-factor")) != nullptr) {
+      config->lookup_latency_spike_factor = std::atof(v);
+    } else if ((v = value(arg, "--fault-flaky-rate")) != nullptr) {
+      config->lookup_flaky_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-corrupt-rate")) != nullptr) {
+      config->lookup_corrupt_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-corrupt-artifact-rate")) != nullptr) {
+      config->artifact_corrupt_rate = std::atof(v);
+    } else if ((v = value(arg, "--fault-integrity-refetches")) != nullptr) {
+      config->integrity_max_refetches = std::atoi(v);
+    } else if (std::strcmp(arg, "--hedge") == 0) {
+      config->hedged_lookups = true;
+    } else if ((v = value(arg, "--hedge-quantile")) != nullptr) {
+      config->hedge_quantile = std::atof(v);
+      config->hedged_lookups = true;
+    } else if ((v = value(arg, "--breaker-threshold")) != nullptr) {
+      config->breaker_failure_threshold = std::atoi(v);
+    } else if ((v = value(arg, "--breaker-open-lookups")) != nullptr) {
+      config->breaker_open_lookups = std::atoi(v);
     } else {
       argv[out++] = argv[i];
       continue;  // Not ours: leave for benchmark's flag parser.
@@ -301,6 +334,20 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
                    std::to_string(c.lookup_max_attempts));
   out.emplace_back("failover_replicas",
                    std::to_string(c.failover_replicas));
+  out.emplace_back("latency_spike_rate", num(c.lookup_latency_spike_rate));
+  out.emplace_back("latency_spike_factor",
+                   num(c.lookup_latency_spike_factor));
+  out.emplace_back("flaky_rate", num(c.lookup_flaky_rate));
+  out.emplace_back("lookup_corrupt_rate", num(c.lookup_corrupt_rate));
+  out.emplace_back("artifact_corrupt_rate", num(c.artifact_corrupt_rate));
+  out.emplace_back("integrity_max_refetches",
+                   std::to_string(c.integrity_max_refetches));
+  out.emplace_back("hedged_lookups", c.hedged_lookups ? "true" : "false");
+  out.emplace_back("hedge_quantile", num(c.hedge_quantile));
+  out.emplace_back("breaker_threshold",
+                   std::to_string(c.breaker_failure_threshold));
+  out.emplace_back("breaker_open_lookups",
+                   std::to_string(c.breaker_open_lookups));
   return out;
 }
 

@@ -34,6 +34,59 @@ REUSE_EVENTS = {
 }
 
 
+# Service-level resilience events (DESIGN.md §10): category "resilience",
+# instant-only. breaker_transition records a (node, partition) cell moving
+# between named states; lookup_hedge records a hedged lookup and whether the
+# backup won the race; integrity_retry records detected payload corruption
+# (kind "lookup" for lookup responses, "artifact" for materialized chunks)
+# and how many re-fetches it cost. Maps name -> required arg keys.
+RESILIENCE_EVENTS = {
+    "breaker_transition": ("node", "partition", "from", "to"),
+    "lookup_hedge": ("index", "won"),
+    "integrity_retry": ("kind", "attempts"),
+}
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+def lint_resilience_event(e, name, ph, args, err, where):
+    if ph != "i":
+        err("%s: resilience event must be an instant, got ph %r" % (where, ph))
+    if e.get("cat") != "resilience":
+        err("%s: resilience event must have cat \"resilience\", got %r"
+            % (where, e.get("cat")))
+    for key in RESILIENCE_EVENTS[name]:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    if name == "breaker_transition":
+        for key in ("node", "partition"):
+            if not args.get(key, "").lstrip("-").isdigit():
+                err("%s: arg %r must be a decimal integer, got %r"
+                    % (where, key, args.get(key)))
+        for key in ("from", "to"):
+            if args.get(key) not in BREAKER_STATES:
+                err("%s: arg %r must be one of %s, got %r"
+                    % (where, key, list(BREAKER_STATES), args.get(key)))
+        if args.get("from") == args.get("to"):
+            err("%s: breaker transition must change state, got %r -> %r"
+                % (where, args.get("from"), args.get("to")))
+    elif name == "lookup_hedge":
+        if not args.get("index", "").isdigit():
+            err("%s: arg \"index\" must be a decimal count, got %r"
+                % (where, args.get("index")))
+        if args.get("won") not in ("0", "1"):
+            err("%s: arg \"won\" must be \"0\" or \"1\", got %r"
+                % (where, args.get("won")))
+    elif name == "integrity_retry":
+        if args.get("kind") not in ("lookup", "artifact"):
+            err("%s: arg \"kind\" must be \"lookup\" or \"artifact\", got %r"
+                % (where, args.get("kind")))
+        if not args.get("attempts", "").isdigit() or \
+                args.get("attempts") == "0":
+            err("%s: arg \"attempts\" must be a positive decimal, got %r"
+                % (where, args.get("attempts")))
+
+
 def lint_reuse_event(e, name, ph, args, err, where):
     expected_ph, required = REUSE_EVENTS[name]
     if ph != expected_ph:
@@ -118,6 +171,8 @@ def lint(doc, require_spans, require_instants, require_any):
             instant_names.add(name)
         if name in REUSE_EVENTS and isinstance(args, dict):
             lint_reuse_event(e, name, ph, args, err, where)
+        if name in RESILIENCE_EVENTS and isinstance(args, dict):
+            lint_resilience_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

@@ -18,7 +18,14 @@
 #      reuse_tsan_smoke ThreadSanitizer binary and the reuse trace lint —
 #      and the reuse acceptance bench (exits nonzero unless a warm store
 #      serves the follow-up job's shuffle, a cold store is bit-identical
-#      to no store, and Q9 stays a miss).
+#      to no store, and Q9 stays a miss),
+#   8. the service-level resilience acceptance bench (exits nonzero unless
+#      hedging cuts the injected slow-replica tail excess vs the same seed
+#      unhedged and corruption injection yields zero undetected
+#      mismatches, outputs byte-identical throughout). The resilience
+#      tests themselves (resilience_determinism_test,
+#      resilience_tsan_smoke, resilience_trace_lint) ride in the
+#      `faults` leg above.
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -55,5 +62,9 @@ fi
 "$BUILD"/bench/bench_ablation_reuse --benchmark_list_tests=true > /dev/null
 "$BUILD"/bench/bench_ablation_reuse --benchmark_list_tests=true \
   --no-reuse > /dev/null
+
+"$BUILD"/bench/bench_ablation_resilience \
+  | grep -E '"ablation_resilience/(hedging|integrity|acceptance)"' || true
+"$BUILD"/bench/bench_ablation_resilience > /dev/null
 
 echo "verify: OK"

@@ -46,6 +46,27 @@ bool ValidateClusterConfig(const ClusterConfig& config, const char** why) {
     reason = "failover_replicas must be >= 1";
   } else if (config.speculation_threshold <= 1) {
     reason = "speculation_threshold must be > 1";
+  } else if (config.lookup_latency_spike_rate < 0 ||
+             config.lookup_latency_spike_rate > 1) {
+    reason = "lookup_latency_spike_rate must be in [0, 1]";
+  } else if (config.lookup_latency_spike_factor < 1) {
+    reason = "lookup_latency_spike_factor must be >= 1";
+  } else if (config.lookup_flaky_rate < 0 || config.lookup_flaky_rate > 1) {
+    reason = "lookup_flaky_rate must be in [0, 1]";
+  } else if (config.lookup_corrupt_rate < 0 ||
+             config.lookup_corrupt_rate > 1) {
+    reason = "lookup_corrupt_rate must be in [0, 1]";
+  } else if (config.artifact_corrupt_rate < 0 ||
+             config.artifact_corrupt_rate > 1) {
+    reason = "artifact_corrupt_rate must be in [0, 1]";
+  } else if (config.integrity_max_refetches < 0) {
+    reason = "integrity_max_refetches must be non-negative";
+  } else if (config.hedge_quantile <= 0 || config.hedge_quantile >= 1) {
+    reason = "hedge_quantile must be in (0, 1)";
+  } else if (config.breaker_failure_threshold < 0) {
+    reason = "breaker_failure_threshold must be non-negative";
+  } else if (config.breaker_open_lookups < 1) {
+    reason = "breaker_open_lookups must be >= 1";
   }
   if (reason == nullptr) {
     for (const HostDowntime& d : config.host_downtimes) {
@@ -141,6 +162,80 @@ double HostAvailability::UpAgainAt(int node, double at_sec) const {
 double HostAvailability::DegradeFactor(int node) const {
   if (node < 0 || node >= static_cast<int>(degrade_.size())) return 1.0;
   return degrade_[node];
+}
+
+namespace {
+
+// Distinct draw streams of the fault model. Changing one knob must not
+// reshuffle another fault kind's draws, so each gets its own salt.
+constexpr uint64_t kSaltSpike = 0x5350494b45ULL;      // "SPIKE"
+constexpr uint64_t kSaltSpikeMag = 0x4d41474e49ULL;   // "MAGNI"
+constexpr uint64_t kSaltFlaky = 0x464c414b59ULL;      // "FLAKY"
+constexpr uint64_t kSaltCorrupt = 0x434f525255ULL;    // "CORRU"
+constexpr uint64_t kSaltArtifact = 0x41525449ULL;     // "ARTI"
+
+// Conditional spike magnitude at tail position p in [0, 1): an exponential
+// tail of scale `factor`, capped at 64x so a pathological draw cannot
+// produce an effectively infinite charge.
+double SpikeMagnitude(double factor, double p) {
+  const double clamped = std::min(p, 1.0 - 1e-12);
+  return std::min(factor * (1.0 - std::log1p(-clamped)), factor * 64.0);
+}
+
+}  // namespace
+
+double FaultModel::Uniform(uint64_t salt, int host, std::string_view key,
+                           int n) const {
+  uint64_t seed = config_->fault_seed ^ salt;
+  seed = Mix64(seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(host + 3));
+  seed = Mix64(seed + static_cast<uint64_t>(n));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(Hash64(key, seed) >> 11) * 0x1.0p-53;
+}
+
+double FaultModel::LatencySpikeFactor(int host, std::string_view key,
+                                      int attempt) const {
+  if (config_ == nullptr) return 1.0;
+  const double rate = config_->lookup_latency_spike_rate;
+  if (rate <= 0.0) return 1.0;
+  if (Uniform(kSaltSpike, host, key, attempt) >= rate) return 1.0;
+  return SpikeMagnitude(config_->lookup_latency_spike_factor,
+                        Uniform(kSaltSpikeMag, host, key, attempt));
+}
+
+bool FaultModel::FlakyError(int host, std::string_view key,
+                            int attempt) const {
+  if (config_ == nullptr || config_->lookup_flaky_rate <= 0.0) return false;
+  return Uniform(kSaltFlaky, host, key, attempt) < config_->lookup_flaky_rate;
+}
+
+bool FaultModel::CorruptLookup(int host, std::string_view key,
+                               int fetch) const {
+  if (config_ == nullptr || config_->lookup_corrupt_rate <= 0.0) return false;
+  return Uniform(kSaltCorrupt, host, key, fetch) <
+         config_->lookup_corrupt_rate;
+}
+
+bool FaultModel::CorruptArtifactChunk(uint64_t fingerprint, int chunk,
+                                      int fetch) const {
+  if (config_ == nullptr || config_->artifact_corrupt_rate <= 0.0) {
+    return false;
+  }
+  // No key string here; mix the fingerprint and chunk index into the host
+  // slot instead so every (artifact, chunk, fetch) gets its own draw.
+  const uint64_t slot =
+      Mix64(fingerprint + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(chunk));
+  return Uniform(kSaltArtifact, static_cast<int>(slot & 0x7fffffff), "",
+                 fetch) < config_->artifact_corrupt_rate;
+}
+
+double FaultModel::StretchQuantile(double q) const {
+  if (config_ == nullptr) return 1.0;
+  const double rate = config_->lookup_latency_spike_rate;
+  if (rate <= 0.0 || q <= 1.0 - rate) return 1.0;
+  // Conditional tail position of q inside the spike mass.
+  const double p = (q - (1.0 - rate)) / rate;
+  return SpikeMagnitude(config_->lookup_latency_spike_factor, p);
 }
 
 }  // namespace efind

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 namespace efind {
@@ -106,6 +107,49 @@ struct ClusterConfig {
   /// partitions are "replicated to three data nodes").
   int failover_replicas = 3;
 
+  // --- service-level resilience (DESIGN.md §10) ----------------------------
+  // Beyond binary host outages, external index services exhibit tail-latency
+  // spikes, transient (flaky) errors, and corrupted payloads. These knobs
+  // inject those deterministically (pure functions of `fault_seed`, the
+  // target host, the key, and the attempt number — see FaultModel below);
+  // the client-side resilience layer (hedged lookups, circuit breakers,
+  // end-to-end checksums; src/efind/failover.h) reacts. All of it is
+  // time-domain only: outputs are byte-identical with and without it.
+  /// Probability that one lookup attempt's service leg suffers a heavy-tail
+  /// latency spike (0 disables).
+  double lookup_latency_spike_rate = 0.0;
+  /// Scale of a spike: the service leg stretches by `factor * (1 - ln u)`
+  /// for a seeded uniform u — an exponential tail, capped at 64x `factor`.
+  double lookup_latency_spike_factor = 8.0;
+  /// Per-attempt probability of a transient lookup error (connection reset
+  /// / timeout); the client retries with backoff (0 disables).
+  double lookup_flaky_rate = 0.0;
+  /// Per-fetch probability that a lookup payload arrives corrupted; the
+  /// end-to-end checksum detects it and the client re-fetches (0 disables).
+  double lookup_corrupt_rate = 0.0;
+  /// Per-chunk probability that a materialized-artifact read is corrupted
+  /// (detected by the artifact checksum; the chunk is re-fetched from
+  /// another DFS replica and the transfer re-charged).
+  double artifact_corrupt_rate = 0.0;
+  /// Bounded fast re-fetches after a detected corruption; past the bound
+  /// the transfer falls back to a DFS-verified slow path. Keeps charges
+  /// finite at corruption rate 1.0.
+  int integrity_max_refetches = 2;
+
+  /// Hedged lookups: when a remote lookup is outstanding past the
+  /// `hedge_quantile` of its healthy latency distribution, issue a backup
+  /// request to a replica, take the first clean response, and charge both
+  /// requests (the loser's issue cost is real work).
+  bool hedged_lookups = false;
+  double hedge_quantile = 0.95;
+
+  /// Per-(task node, index partition) circuit breaker: after this many
+  /// consecutive primary failures the circuit opens and lookups route
+  /// straight to replicas; after `breaker_open_lookups` short-circuited
+  /// lookups a half-open probe re-tries the primary. 0 disables.
+  int breaker_failure_threshold = 0;
+  int breaker_open_lookups = 16;
+
   // --- cross-job artifact reuse --------------------------------------------
   /// Fixed cost of resolving a materialized artifact from the reuse store
   /// at job start (namenode round trip + manifest read; DESIGN.md §9). The
@@ -191,6 +235,69 @@ class HostAvailability {
   std::vector<std::vector<Interval>> intervals_;
   std::vector<double> degrade_;  // Per-node service factor.
   bool any_faults_ = false;
+};
+
+/// Deterministic service-level fault model layered over `HostAvailability`
+/// (DESIGN.md §10): heavy-tail latency spikes, transient (flaky) lookup
+/// errors, and payload corruption. Every draw is a pure function of
+/// (fault_seed, host, key, attempt) — independent of thread schedule, RNG
+/// state, and clocks — so any execution order sees identical injections and
+/// threads=1 stays bit-identical to threads=N. Const and stateless after
+/// construction: safe to share across concurrently executing tasks.
+class FaultModel {
+ public:
+  FaultModel() = default;
+  /// Borrows `config` and `avail`; both must outlive this object.
+  FaultModel(const ClusterConfig* config, const HostAvailability* avail)
+      : config_(config), avail_(avail) {}
+
+  const ClusterConfig* config() const { return config_; }
+  const HostAvailability* availability() const { return avail_; }
+
+  /// Pseudo-host for accessors without a partition scheme (external cloud
+  /// services, paper Example 2.1): no machine of ours to take down, but
+  /// their tail latency / flakiness / corruption is exactly what the
+  /// service-level fault model covers.
+  static constexpr int kServiceHost = -2;
+
+  /// Any latency/flaky/corruption injection configured?
+  bool service_faults() const {
+    return config_ != nullptr &&
+           (latency_faults() || flaky_faults() || corruption_faults());
+  }
+  bool latency_faults() const {
+    return config_ != nullptr && config_->lookup_latency_spike_rate > 0.0;
+  }
+  bool flaky_faults() const {
+    return config_ != nullptr && config_->lookup_flaky_rate > 0.0;
+  }
+  bool corruption_faults() const {
+    return config_ != nullptr && (config_->lookup_corrupt_rate > 0.0 ||
+                                  config_->artifact_corrupt_rate > 0.0);
+  }
+
+  /// Service-time multiplier of one lookup attempt (1.0 = no spike; spikes
+  /// draw an exponential tail of scale `lookup_latency_spike_factor`).
+  double LatencySpikeFactor(int host, std::string_view key,
+                            int attempt) const;
+  /// Transient error on this attempt?
+  bool FlakyError(int host, std::string_view key, int attempt) const;
+  /// Corrupted payload on this fetch of the lookup response?
+  bool CorruptLookup(int host, std::string_view key, int fetch) const;
+  /// Corrupted chunk `chunk` on this fetch of a materialized artifact?
+  bool CorruptArtifactChunk(uint64_t fingerprint, int chunk, int fetch) const;
+
+  /// The q-quantile of the per-attempt service-stretch distribution in
+  /// closed form (1.0 below the spike mass, else the spike tail's
+  /// conditional quantile). The hedge delay derives from it.
+  double StretchQuantile(double q) const;
+
+ private:
+  /// Seeded uniform in [0, 1) for draw stream `salt` at (host, key, n).
+  double Uniform(uint64_t salt, int host, std::string_view key, int n) const;
+
+  const ClusterConfig* config_ = nullptr;
+  const HostAvailability* avail_ = nullptr;
 };
 
 }  // namespace efind

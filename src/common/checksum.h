@@ -1,0 +1,94 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// End-to-end 64-bit content checksum (xxhash-style: wide multiply-rotate
+// lanes, endian-stable byte order, strong finalizer). Used by the
+// service-level resilience layer (DESIGN.md §10) to verify lookup payloads
+// and materialized-artifact chunks: a mismatch is *detected and charged*,
+// never surfaced as data. Not cryptographic — it guards against torn/
+// corrupted transfers, not adversaries.
+
+#ifndef EFIND_COMMON_CHECKSUM_H_
+#define EFIND_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace efind {
+
+/// Streaming 64-bit checksum. Feed any byte slices in order; equal byte
+/// streams yield equal digests regardless of how they were sliced only if
+/// sliced identically — callers that need slice-independence (e.g. record
+/// lists) should frame each piece with `UpdateLength`.
+class Checksum64 {
+ public:
+  explicit Checksum64(uint64_t seed = 0)
+      : state_(kPrime5 + seed * kPrime1), length_(0) {}
+
+  /// Absorbs `data` byte by byte (xxhash-style single-lane variant: the
+  /// inputs here are short keys/records, so lane parallelism buys nothing).
+  void Update(std::string_view data) {
+    for (unsigned char c : data) {
+      state_ ^= static_cast<uint64_t>(c) * kPrime5;
+      state_ = Rotl(state_, 11) * kPrime1;
+    }
+    length_ += data.size();
+  }
+
+  /// Absorbs a 64-bit value (frame lengths, virtual byte counts).
+  void UpdateU64(uint64_t v) {
+    state_ ^= Mix(v);
+    state_ = Rotl(state_, 27) * kPrime1 + kPrime4;
+    length_ += sizeof(v);
+  }
+
+  /// Frames a variable-length piece: length then bytes, so ("ab","c") and
+  /// ("a","bc") digest differently.
+  void UpdateFramed(std::string_view data) {
+    UpdateU64(data.size());
+    Update(data);
+  }
+
+  /// The digest of everything absorbed so far (does not reset the state).
+  uint64_t Digest() const {
+    uint64_t h = state_ + length_;
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  static constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+  static constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+  static constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+  static constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+  static constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+  static uint64_t Rotl(uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+  static uint64_t Mix(uint64_t v) {
+    v *= kPrime2;
+    v = Rotl(v, 31);
+    v *= kPrime1;
+    return v;
+  }
+
+  uint64_t state_;
+  uint64_t length_;
+};
+
+/// One-shot checksum of a byte slice.
+inline uint64_t ChecksumBytes(std::string_view data, uint64_t seed = 0) {
+  Checksum64 c(seed);
+  c.Update(data);
+  return c.Digest();
+}
+
+}  // namespace efind
+
+#endif  // EFIND_COMMON_CHECKSUM_H_

@@ -115,6 +115,10 @@ double CostModel::RepartitionCost(const OperatorStats& stats, int j,
   if (!ValidIndex(stats, j)) return 0;
   const IndexStats& is = stats.index[j];
   const double theta = std::max(1.0, is.theta);
+  // `avail_excess` is the observed per-lookup cost of every resilience
+  // mechanism — host retries/failover plus the service-level hedges, flaky
+  // retries and corruption re-fetches (DESIGN.md §10) — so faulty services
+  // inflate this strategy exactly as the runtime experienced them.
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
@@ -144,8 +148,12 @@ double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
   const IndexStats& is = stats.index[j];
   const double theta = std::max(1.0, is.theta);
   // Under host faults, a `down_share` fraction of the node-local lookups
-  // loses locality and is forced through the remote failover path; the
-  // remainder serves locally at the clean T_j. This is how Algorithm 1's
+  // loses locality and is forced through the remote failover path — and
+  // under the service-level fault model a `breaker_share` fraction is
+  // short-circuited off its primary the same way; the remainder serves
+  // locally at the clean T_j. `avail_excess` carries every resilience
+  // charge (retries, backoff, failover round trips, hedges, flaky retries,
+  // corruption re-fetches; DESIGN.md §10). This is how Algorithm 1's
   // mid-phase re-optimization abandons index locality when its target hosts
   // degrade: observed down/excess statistics inflate this term past the
   // cache/repartition alternatives.
@@ -153,9 +161,11 @@ double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
       is.remote_overhead + is.tj;
+  const double off_node_share =
+      std::min(1.0, is.down_share + is.breaker_share);
   const double local_per_lookup =
-      (1.0 - is.down_share) * is.tj +
-      is.down_share * (remote_per_lookup + is.avail_excess);
+      (1.0 - off_node_share) * is.tj +
+      off_node_share * (remote_per_lookup + is.avail_excess);
   const double lookup_cost =
       stats.n1 * is.nik / theta * local_per_lookup +
       stats.n1 * spre_eff / config_.network_bw_bytes_per_sec;

@@ -303,16 +303,38 @@ class PipelineExecutor {
   /// Adopts a resolved artifact as the current intermediate data in place
   /// of the accumulated pipeline stages (which the artifact's fingerprint
   /// certifies it equals, shuffled and grouped). Charges the fixed resolve
-  /// overhead; the artifact's retrieval bytes are charged by the follow-up
-  /// job's remote map input read.
+  /// overhead plus any corruption re-fetch traffic detected during the
+  /// resolve (DESIGN.md §10); the artifact's retrieval bytes are charged by
+  /// the follow-up job's remote map input read.
   void AdoptArtifact(std::vector<InputSplit> splits, uint64_t fp,
-                     const std::string& op_name) {
+                     const std::string& op_name,
+                     const reuse::MaterializedStore::ResolveOutcome& outcome) {
+    const double refetch_sec = config_.TransferSeconds(outcome.refetch_bytes);
+    if (outcome.corrupt_chunks > 0) {
+      // Every injected artifact corruption is detected by construction —
+      // the bench asserts injected == detected and served_corrupt == 0.
+      result_->counters.Increment("efind.integrity.injected",
+                                  outcome.corrupt_chunks);
+      result_->counters.Increment("efind.integrity.detected",
+                                  outcome.corrupt_chunks);
+    }
 #if EFIND_OBS
     if (obs_ != nullptr) {
       obs::TraceRecorder& tr = obs_->trace();
       tr.Instant("reuse_hit", "reuse", tr.clock(), obs::kClusterTrack,
                  {{"fingerprint", FpHex(fp)}, {"operator", op_name}});
-      tr.AdvanceClock(config_.reuse_resolve_sec);
+      if (outcome.corrupt_chunks > 0) {
+        tr.Instant("integrity_retry", "resilience", tr.clock(),
+                   obs::kClusterTrack,
+                   {{"kind", "artifact"},
+                    {"attempts", std::to_string(outcome.corrupt_chunks)}});
+        obs::MetricsRegistry& mx = obs_->metrics();
+        mx.Add(mx.Counter("efind.integrity.injected"),
+               static_cast<double>(outcome.corrupt_chunks));
+        mx.Add(mx.Counter("efind.integrity.detected"),
+               static_cast<double>(outcome.corrupt_chunks));
+      }
+      tr.AdvanceClock(config_.reuse_resolve_sec + refetch_sec);
       obs_->metrics().Add(obs_->metrics().Counter("efind.reuse.hits"), 1.0);
     }
 #endif
@@ -321,9 +343,9 @@ class PipelineExecutor {
     AdoptData(std::move(splits));
     JobStageSummary summary;
     summary.name = conf_.name() + ":reuse:" + op_name;
-    summary.boundary_seconds = config_.reuse_resolve_sec;
+    summary.boundary_seconds = config_.reuse_resolve_sec + refetch_sec;
     result_->jobs.push_back(summary);
-    result_->sim_seconds += config_.reuse_resolve_sec;
+    result_->sim_seconds += config_.reuse_resolve_sec + refetch_sec;
     first_job_ = false;
     artifact_adopted_ = true;
   }
@@ -497,15 +519,17 @@ class PipelineExecutor {
             failover_ != nullptr && failover_->active()
                 ? failover_->availability()
                 : nullptr;
-        const std::vector<InputSplit>* artifact =
-            store_->Resolve(artifact_fp, avail);
+        reuse::MaterializedStore::ResolveOutcome outcome;
+        const std::vector<InputSplit>* artifact = store_->Resolve(
+            artifact_fp, avail,
+            failover_ != nullptr ? failover_->faults() : nullptr, &outcome);
         if (artifact != nullptr) {
           // Hit: the artifact *is* the grouped output of everything the
           // pipeline has accumulated so far plus this shuffle (equal by
           // fingerprint construction), so the accumulated stages are
           // dropped and the stored splits adopted in their place.
           AdoptArtifact(reuse::CopySplits(*artifact), artifact_fp,
-                        op->name());
+                        op->name(), outcome);
           if (idxloc) {
             ResplitForLocality(scheme);
           }
@@ -661,7 +685,8 @@ EFindJobRunner::EFindJobRunner(const ClusterConfig& config,
       job_runner_(config),
       optimizer_(config, options.optimizer),
       avail_(config_),
-      failover_(&config_, &avail_) {
+      faults_(&config_, &avail_),
+      failover_(&config_, &avail_, &faults_) {
   job_runner_.set_num_threads(options_.threads);
 }
 

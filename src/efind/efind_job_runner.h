@@ -202,9 +202,11 @@ class EFindJobRunner {
   obs::ObsSession* obs_ = nullptr;
   JobRunner job_runner_;
   Optimizer optimizer_;
-  /// Host fault model + lookup charger shared by every run of this runner
-  /// (both reference `config_`, which outlives them).
+  /// Host fault model, service-level fault model, and lookup charger shared
+  /// by every run of this runner (all reference `config_`, which outlives
+  /// them; `faults_` also borrows `avail_`, declared above it).
   HostAvailability avail_;
+  FaultModel faults_;
   LookupFailover failover_;
   reuse::MaterializedStore* reuse_ = nullptr;
 };

@@ -14,10 +14,12 @@ std::vector<Strategy> Optimizer::FeasibleStrategies(const IndexStats& is) {
   if (is.repartitionable) {
     out.push_back(Strategy::kRepartition);
     // Index locality pins lookups to the partition hosts; when observation
-    // says most lookups found their host down, the strategy is infeasible
-    // regardless of its (inflated) cost estimate — the paper's footnote 3
-    // concern made concrete.
-    if (is.has_partition_scheme && is.down_share <= 0.5) {
+    // says most lookups found their host down — or the circuit breaker is
+    // routing most of them away from their primary — the strategy is
+    // infeasible regardless of its (inflated) cost estimate — the paper's
+    // footnote 3 concern made concrete.
+    if (is.has_partition_scheme && is.down_share <= 0.5 &&
+        is.breaker_share <= 0.5) {
       out.push_back(Strategy::kIndexLocality);
     }
   }

@@ -31,6 +31,93 @@ std::shared_ptr<RecordAttachment> MutableAttachment(Record* record) {
   return std::make_shared<RecordAttachment>();
 }
 
+// Post-charge bookkeeping shared by every failure-aware lookup site:
+// failover/resilience counters, the fault-clean statistics channel, obs
+// instants (lookup_failover, lookup_hedge, integrity_retry,
+// breaker_transition), and the injected-latency histogram (DESIGN.md §10).
+void RecordChargeOutcome(const LookupCharge& charge, int j,
+                         const CounterHandle& failovers,
+                         const ResilienceCounters& rc, int injected_hist,
+                         TaskContext* ctx, OperatorTaskStats* stats,
+                         obs::ObsSession* obs) {
+  Counters* counters = ctx->counters();
+  if (charge.failed_over) counters->Increment(failovers);
+  if (charge.hedges > 0) {
+    counters->Increment(rc.hedges, charge.hedges);
+    if (charge.hedge_won) counters->Increment(rc.hedge_wins);
+  }
+  if (charge.flaky_errors > 0) {
+    counters->Increment(rc.flaky_retries, charge.flaky_errors);
+  }
+  if (charge.corrupt_detected > 0) {
+    counters->Increment(rc.corrupt_detected, charge.corrupt_detected);
+    counters->Increment(rc.integrity_injected, charge.corrupt_detected);
+    counters->Increment(rc.integrity_detected, charge.corrupt_detected);
+  }
+  if (charge.breaker_short_circuit) {
+    counters->Increment(rc.breaker_short_circuits);
+  }
+  if (charge.breaker_transition_to != 0) {
+    counters->Increment(rc.breaker_transitions);
+  }
+  if (stats != nullptr) {
+    stats->LookupAvailability(j, charge.excess_sec, charge.primary_down,
+                              charge.failed_over);
+    stats->LookupResilience(j, charge.hedges, charge.hedge_won,
+                            charge.flaky_errors, charge.corrupt_detected,
+                            charge.breaker_short_circuit);
+  }
+#if EFIND_OBS
+  if (obs != nullptr) {
+    obs::TaskTrace* tt = obs->trace().TaskLocal(ctx);
+    if (charge.failed_over) {
+      tt->Instant("lookup_failover", "fault", ctx->sim_time(),
+                  {{"index", std::to_string(j)},
+                   {"attempts", std::to_string(charge.attempts)}});
+    }
+    if (charge.hedges > 0) {
+      tt->Instant("lookup_hedge", "resilience", ctx->sim_time(),
+                  {{"index", std::to_string(j)},
+                   {"won", charge.hedge_won ? "1" : "0"}});
+    }
+    if (charge.corrupt_detected > 0) {
+      tt->Instant("integrity_retry", "resilience", ctx->sim_time(),
+                  {{"kind", "lookup"},
+                   {"attempts", std::to_string(charge.corrupt_detected)}});
+    }
+    if (charge.breaker_transition_to != 0) {
+      tt->Instant("breaker_transition", "resilience", ctx->sim_time(),
+                  {{"node", std::to_string(ctx->node_id())},
+                   {"partition", std::to_string(charge.partition)},
+                   {"from", BreakerBank::ToString(static_cast<BreakerBank::State>(
+                                charge.breaker_transition_from - 1))},
+                   {"to", BreakerBank::ToString(static_cast<BreakerBank::State>(
+                              charge.breaker_transition_to - 1))}});
+    }
+    if (charge.injected_latency_sec > 0.0 && injected_hist >= 0) {
+      obs->metrics().TaskLocal(ctx)->Observe(injected_hist,
+                                             charge.injected_latency_sec);
+    }
+  }
+#else
+  (void)injected_hist;
+  (void)obs;
+#endif
+}
+
+// A breaker bank for one lookup site, or null when the breaker is disabled
+// or the accessor exposes no partition scheme to route around.
+std::unique_ptr<BreakerBank> MakeBreakers(const ClusterConfig* config,
+                                          const IndexAccessor* accessor) {
+  if (config == nullptr || accessor == nullptr ||
+      config->breaker_failure_threshold <= 0 ||
+      accessor->partition_scheme() == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<BreakerBank>(
+      config->num_nodes, accessor->partition_scheme()->num_partitions());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- caches --
@@ -131,12 +218,19 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
                               CounterHandle(base + ".cache_hits"),
                               CounterHandle(base + ".lookup_errors"),
                               CounterHandle(base + ".lookup_failovers")});
+    resilience_.emplace_back(base);
+    breakers_.push_back(
+        failover_ != nullptr
+            ? MakeBreakers(config_, op_->accessors()[tasks_[t].index].get())
+            : nullptr);
 #if EFIND_OBS
     // Metric handles intern here, on the orchestration thread at plan
     // expansion; hot-path updates go through integer ids only.
     if (obs_ != nullptr) {
       latency_hist_.push_back(
           obs_->metrics().Histogram(base + ".lookup_latency_sec"));
+      injected_hist_.push_back(
+          obs_->metrics().Histogram(base + ".latency_injected_sec"));
       std::vector<int> hits, misses;
       if (tasks_[t].use_cache) {
         for (int n = 0; n < config_->num_nodes; ++n) {
@@ -191,24 +285,13 @@ CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
   const uint64_t result_bytes = ResultBytes(result);
   const double service = op_->accessors()[j]->ServiceSeconds(result_bytes);
   if (failover_ != nullptr && failover_->active()) {
-    const LookupCharge charge = failover_->Remote(
-        *op_->accessors()[j], ik, result_bytes, service, ctx->sim_time());
+    const LookupCharge charge = failover_->Resilient(
+        *op_->accessors()[j], ik, result_bytes, service, ctx->node_id(),
+        /*local=*/false, ctx->sim_time(), breakers_[t].get());
     ctx->AddSimTime(charge.seconds);
-    if (charge.failed_over) {
-      ctx->counters()->Increment(names.lookup_failovers);
-#if EFIND_OBS
-      if (obs_ != nullptr) {
-        obs_->trace().TaskLocal(ctx)->Instant(
-            "lookup_failover", "fault", ctx->sim_time(),
-            {{"index", std::to_string(j)},
-             {"attempts", std::to_string(charge.attempts)}});
-      }
-#endif
-    }
-    if (stats != nullptr) {
-      stats->LookupAvailability(j, charge.excess_sec, charge.primary_down,
-                                charge.failed_over);
-    }
+    RecordChargeOutcome(charge, j, names.lookup_failovers, resilience_[t],
+                        t < injected_hist_.size() ? injected_hist_[t] : -1,
+                        ctx, stats, obs_);
   } else {
     ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
                     config_->RemoteLookupSeconds(ik.size() + result_bytes));
@@ -422,12 +505,19 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
       lookup_reuses_(counter_prefix_ + ".idx" + std::to_string(index_) +
                      ".lookup_reuses"),
       lookup_failovers_(counter_prefix_ + ".idx" + std::to_string(index_) +
-                        ".lookup_failovers") {
+                        ".lookup_failovers"),
+      resilience_(counter_prefix_ + ".idx" + std::to_string(index_)) {
+  if (failover_ != nullptr) {
+    breakers_ = MakeBreakers(config_, op_->accessors()[index_].get());
+  }
 #if EFIND_OBS
   if (obs_ != nullptr) {
     latency_hist_ = obs_->metrics().Histogram(
         counter_prefix_ + ".idx" + std::to_string(index_) +
         ".grouped_lookup_latency_sec");
+    injected_hist_ = obs_->metrics().Histogram(
+        counter_prefix_ + ".idx" + std::to_string(index_) +
+        ".latency_injected_sec");
   }
 #endif
 }
@@ -474,26 +564,13 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
         const double service =
             op_->accessors()[index_]->ServiceSeconds(result_bytes);
         if (failover_ != nullptr && failover_->active()) {
-          const LookupCharge charge =
-              failover_->Remote(*op_->accessors()[index_], keys[i],
-                                result_bytes, service, ctx->sim_time());
+          const LookupCharge charge = failover_->Resilient(
+              *op_->accessors()[index_], keys[i], result_bytes, service,
+              ctx->node_id(), /*local=*/false, ctx->sim_time(),
+              breakers_.get());
           ctx->AddSimTime(charge.seconds);
-          if (charge.failed_over) {
-            ctx->counters()->Increment(lookup_failovers_);
-#if EFIND_OBS
-            if (obs_ != nullptr) {
-              obs_->trace().TaskLocal(ctx)->Instant(
-                  "lookup_failover", "fault", ctx->sim_time(),
-                  {{"index", std::to_string(index_)},
-                   {"attempts", std::to_string(charge.attempts)}});
-            }
-#endif
-          }
-          if (stats != nullptr) {
-            stats->LookupAvailability(index_, charge.excess_sec,
-                                      charge.primary_down,
-                                      charge.failed_over);
-          }
+          RecordChargeOutcome(charge, index_, lookup_failovers_, resilience_,
+                              injected_hist_, ctx, stats, obs_);
         } else {
           ctx->AddSimTime(service +
                           op_->accessors()[index_]->RemoteOverheadSeconds() +
@@ -535,28 +612,12 @@ void GroupedLookupStage::Process(Record record, TaskContext* ctx,
     const double service =
         op_->accessors()[index_]->ServiceSeconds(result_bytes);
     if (failover_ != nullptr && failover_->active()) {
-      const LookupCharge charge =
-          local_ ? failover_->Local(*op_->accessors()[index_], ik,
-                                    result_bytes, service, ctx->node_id(),
-                                    ctx->sim_time())
-                 : failover_->Remote(*op_->accessors()[index_], ik,
-                                     result_bytes, service, ctx->sim_time());
+      const LookupCharge charge = failover_->Resilient(
+          *op_->accessors()[index_], ik, result_bytes, service,
+          ctx->node_id(), local_, ctx->sim_time(), breakers_.get());
       ctx->AddSimTime(charge.seconds);
-      if (charge.failed_over) {
-        ctx->counters()->Increment(lookup_failovers_);
-#if EFIND_OBS
-        if (obs_ != nullptr) {
-          obs_->trace().TaskLocal(ctx)->Instant(
-              "lookup_failover", "fault", ctx->sim_time(),
-              {{"index", std::to_string(index_)},
-               {"attempts", std::to_string(charge.attempts)}});
-        }
-#endif
-      }
-      if (stats != nullptr) {
-        stats->LookupAvailability(index_, charge.excess_sec,
-                                  charge.primary_down, charge.failed_over);
-      }
+      RecordChargeOutcome(charge, index_, lookup_failovers_, resilience_,
+                          injected_hist_, ctx, stats, obs_);
     } else if (local_) {
       // Index locality: the task runs on a node hosting this partition, so
       // the lookup is a local call (paper Eq. 4).

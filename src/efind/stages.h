@@ -78,6 +78,33 @@ class PreProcessStage : public RecordStage {
   CounterHandle pre_inputs_;
 };
 
+/// Interned resilience counter handles of one lookup site (stage × index),
+/// shared by the inline and grouped lookup stages (DESIGN.md §10). The
+/// `efind.integrity.*` names are run-global: `injected == detected` by
+/// construction (every injected corruption is caught by the end-to-end
+/// checksum), and `efind.integrity.served_corrupt` is incremented nowhere —
+/// the benches assert it stays 0.
+struct ResilienceCounters {
+  explicit ResilienceCounters(const std::string& base)
+      : hedges(base + ".hedges"),
+        hedge_wins(base + ".hedge_wins"),
+        flaky_retries(base + ".flaky_retries"),
+        corrupt_detected(base + ".corrupt_detected"),
+        breaker_transitions(base + ".breaker_transitions"),
+        breaker_short_circuits(base + ".breaker_short_circuits"),
+        integrity_injected("efind.integrity.injected"),
+        integrity_detected("efind.integrity.detected") {}
+
+  CounterHandle hedges;
+  CounterHandle hedge_wins;
+  CounterHandle flaky_retries;
+  CounterHandle corrupt_detected;
+  CounterHandle breaker_transitions;
+  CounterHandle breaker_short_circuits;
+  CounterHandle integrity_injected;
+  CounterHandle integrity_detected;
+};
+
 /// Which indices an `InlineLookupStage` serves, and how.
 struct InlineIndexTask {
   int index = 0;
@@ -130,9 +157,19 @@ class InlineLookupStage : public RecordStage {
   obs::ObsSession* obs_;
   std::string counter_prefix_;
   std::vector<TaskCounters> counter_names_;  // Parallel to tasks_.
+  // Resilience counter handles, parallel to tasks_.
+  std::vector<ResilienceCounters> resilience_;
+  // Circuit breakers, parallel to tasks_ (null when the breaker is off or
+  // the index has no partition scheme). Stage members are safe for the same
+  // reason the node caches are: a node's tasks serialize on one strand, and
+  // a breaker cell is (node, partition)-local.
+  std::vector<std::unique_ptr<BreakerBank>> breakers_;
   // Interned lookup-latency histogram ids, parallel to tasks_ (empty when
   // observability is off).
   std::vector<int> latency_hist_;
+  // Interned injected-latency histogram ids (latency-spike seconds added by
+  // the fault model), parallel to tasks_ (empty when observability is off).
+  std::vector<int> injected_hist_;
   // Interned per-node cache hit/miss gauge ids: [t][node], only for cached
   // tasks with observability on (empty vectors otherwise). Gauges take the
   // last write in task-index absorb order — the node cache's cumulative
@@ -231,11 +268,16 @@ class GroupedLookupStage : public RecordStage {
   obs::ObsSession* obs_;
   // Interned lookup-latency histogram id (kInvalidMetric when off).
   int latency_hist_ = -1;
+  // Interned injected-latency histogram id (kInvalidMetric when off).
+  int injected_hist_ = -1;
   std::string counter_prefix_;
   CounterHandle lookups_;
   CounterHandle lookup_errors_;
   CounterHandle lookup_reuses_;
   CounterHandle lookup_failovers_;
+  ResilienceCounters resilience_;
+  // Circuit breaker cells for this index (see InlineLookupStage::breakers_).
+  std::unique_ptr<BreakerBank> breakers_;
 };
 
 /// Meters the original Map function's output bytes into the head operators'

@@ -58,6 +58,19 @@ void OperatorTaskStats::LookupAvailability(int j, double excess_sec,
   if (failed_over) ++pi.failovers;
 }
 
+void OperatorTaskStats::LookupResilience(int j, int hedges, bool hedge_won,
+                                         int flaky_errors,
+                                         int corrupt_detected,
+                                         bool breaker_short_circuit) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  PerIndexTask& pi = index_[j];
+  if (hedges > 0) ++pi.hedges;
+  if (hedge_won) ++pi.hedge_wins;
+  if (flaky_errors > 0) ++pi.flaky_lookups;
+  if (corrupt_detected > 0) ++pi.corrupt_lookups;
+  if (breaker_short_circuit) ++pi.breaker_short_circuits;
+}
+
 void OperatorTaskStats::CacheProbe(int j, bool miss) {
   if (j < 0 || j >= static_cast<int>(index_.size())) return;
   ++index_[j].cache_probes;
@@ -124,6 +137,11 @@ void OperatorRuntime::AbsorbTask(const OperatorTaskStats& task) {
     pi.avail_excess_sec += ti.avail_excess_sec;
     pi.down_lookups += ti.down_lookups;
     pi.failovers += ti.failovers;
+    pi.hedges += ti.hedges;
+    pi.hedge_wins += ti.hedge_wins;
+    pi.flaky_lookups += ti.flaky_lookups;
+    pi.corrupt_lookups += ti.corrupt_lookups;
+    pi.breaker_short_circuits += ti.breaker_short_circuits;
   }
   if (task.inputs_ > 0) {
     ++pre_tasks_;
@@ -273,6 +291,12 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
         is.avail_excess = pi.avail_excess_sec / lookups;
         is.down_share = static_cast<double>(pi.down_lookups) / lookups;
         is.failover_share = static_cast<double>(pi.failovers) / lookups;
+        is.hedge_share = static_cast<double>(pi.hedges) / lookups;
+        is.hedge_win_share = static_cast<double>(pi.hedge_wins) / lookups;
+        is.flaky_share = static_cast<double>(pi.flaky_lookups) / lookups;
+        is.corrupt_share = static_cast<double>(pi.corrupt_lookups) / lookups;
+        is.breaker_share =
+            static_cast<double>(pi.breaker_short_circuits) / lookups;
       }
     }
     return stats;
@@ -327,6 +351,12 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
       is.avail_excess = pi.avail_excess_sec / lookups;
       is.down_share = static_cast<double>(pi.down_lookups) / lookups;
       is.failover_share = static_cast<double>(pi.failovers) / lookups;
+      is.hedge_share = static_cast<double>(pi.hedges) / lookups;
+      is.hedge_win_share = static_cast<double>(pi.hedge_wins) / lookups;
+      is.flaky_share = static_cast<double>(pi.flaky_lookups) / lookups;
+      is.corrupt_share = static_cast<double>(pi.corrupt_lookups) / lookups;
+      is.breaker_share =
+          static_cast<double>(pi.breaker_short_circuits) / lookups;
     }
     max_cov = std::max(max_cov, pi.nik_samples.coefficient_of_variation());
   }

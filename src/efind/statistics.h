@@ -49,6 +49,22 @@ struct IndexStats {
   /// Fraction of lookups served by replica failover (or forced off-node).
   double failover_share = 0.0;
 
+  // Service-level resilience observations (DESIGN.md §10). Same fault-clean
+  // contract: the time cost of hedges/retries/re-fetches is already inside
+  // `avail_excess`; these shares describe how often each mechanism fired.
+  /// Fraction of lookups that issued a hedged backup request.
+  double hedge_share = 0.0;
+  /// Fraction of lookups whose hedged backup beat the primary.
+  double hedge_win_share = 0.0;
+  /// Fraction of lookups that rode out at least one transient error.
+  double flaky_share = 0.0;
+  /// Fraction of lookups with at least one detected payload corruption.
+  double corrupt_share = 0.0;
+  /// Fraction of lookups short-circuited past their primary by an open
+  /// circuit breaker; past 50% the index-locality premise is gone
+  /// (FeasibleStrategies drops the strategy, like `down_share`).
+  double breaker_share = 0.0;
+
   // Capabilities copied from the accessor at planning time.
   bool idempotent = true;
   bool has_partition_scheme = false;
@@ -120,6 +136,12 @@ class OperatorTaskStats {
   /// untouched by faults.
   void LookupAvailability(int j, double excess_sec, bool primary_down,
                           bool failed_over);
+  /// Service-level resilience outcome of an actual lookup of index `j`
+  /// (hedge issued/won, transient errors ridden out, corruptions detected,
+  /// breaker short-circuit). Time cost arrives via `LookupAvailability`'s
+  /// excess; this only counts mechanism firings.
+  void LookupResilience(int j, int hedges, bool hedge_won, int flaky_errors,
+                        int corrupt_detected, bool breaker_short_circuit);
   /// A probe of the real lookup cache for index `j`.
   void CacheProbe(int j, bool miss);
   /// Probes the runtime's shadow (key-only) cache on `node` for index `j`
@@ -144,6 +166,11 @@ class OperatorTaskStats {
     double avail_excess_sec = 0.0;
     uint64_t down_lookups = 0;
     uint64_t failovers = 0;
+    uint64_t hedges = 0;
+    uint64_t hedge_wins = 0;
+    uint64_t flaky_lookups = 0;
+    uint64_t corrupt_lookups = 0;
+    uint64_t breaker_short_circuits = 0;
     FmSketch sketch{64};
     bool multi_key_seen = false;
   };
@@ -243,6 +270,11 @@ class OperatorRuntime {
     double avail_excess_sec = 0.0;
     uint64_t down_lookups = 0;
     uint64_t failovers = 0;
+    uint64_t hedges = 0;
+    uint64_t hedge_wins = 0;
+    uint64_t flaky_lookups = 0;
+    uint64_t corrupt_lookups = 0;
+    uint64_t breaker_short_circuits = 0;
     FmSketch sketch{64};
     // Per-task temporaries (serial hook mode only).
     uint64_t task_keys = 0;

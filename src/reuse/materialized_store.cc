@@ -2,8 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/hash.h"
 
 namespace efind {
@@ -19,6 +22,19 @@ std::vector<InputSplit> CopySplits(const std::vector<InputSplit>& splits) {
     out.push_back(std::move(copy));
   }
   return out;
+}
+
+uint64_t ChecksumSplits(const std::vector<InputSplit>& splits) {
+  Checksum64 c;
+  for (const InputSplit& s : splits) {
+    c.UpdateU64(static_cast<uint64_t>(s.records.size()));
+    for (const Record& r : s.records) {
+      c.UpdateFramed(r.key);
+      c.UpdateFramed(r.value);
+      c.UpdateU64(r.extra_bytes);
+    }
+  }
+  return c.Digest();
 }
 
 MaterializedStore::MaterializedStore(uint64_t capacity_bytes, int num_nodes,
@@ -106,6 +122,7 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
   entry.meta.layout = layout;
   entry.meta.partition_count = partition_count;
   entry.meta.insert_seq = next_seq_++;
+  entry.meta.checksum = ChecksumSplits(splits);
   entry.splits = std::move(splits);
   stats_.bytes_used += bytes;
   entries_.emplace(fingerprint, std::move(entry));
@@ -116,7 +133,8 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
 }
 
 const std::vector<InputSplit>* MaterializedStore::Resolve(
-    uint64_t fingerprint, const HostAvailability* avail) {
+    uint64_t fingerprint, const HostAvailability* avail,
+    const FaultModel* faults, ResolveOutcome* outcome) {
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -136,6 +154,50 @@ const std::vector<InputSplit>* MaterializedStore::Resolve(
       // may be back next run.
       ++stats_.misses;
       return nullptr;
+    }
+  }
+  // End-to-end verification against the publish-time digest: a mismatch
+  // means the resident content is no longer what was published (torn write,
+  // bit rot) — the artifact is treated as absent and the caller rebuilds.
+  // Detected and charged, never surfaced as data.
+  if (it->second.meta.checksum != ChecksumSplits(it->second.splits)) {
+    ++stats_.integrity_failures;
+    ++stats_.misses;
+    if (outcome != nullptr) outcome->checksum_failed = true;
+    return nullptr;
+  }
+  // Injected per-chunk (per-split) corruption: each detection re-reads the
+  // chunk from another DFS replica (bounded fast re-fetches, then one
+  // verified slow read), and the re-moved bytes are charged by the caller.
+  if (faults != nullptr && faults->config() != nullptr &&
+      faults->config()->artifact_corrupt_rate > 0.0) {
+    const int max_refetches = faults->config()->integrity_max_refetches;
+    for (size_t i = 0; i < it->second.splits.size(); ++i) {
+      uint64_t split_bytes = 0;
+      for (const Record& r : it->second.splits[i].records) {
+        split_bytes += r.size_bytes();
+      }
+      const int chunk = static_cast<int>(i);
+      int fetch = 0;
+      while (fetch < max_refetches &&
+             faults->CorruptArtifactChunk(fingerprint, chunk, fetch)) {
+        ++stats_.corrupt_refetches;
+        if (outcome != nullptr) {
+          ++outcome->corrupt_chunks;
+          outcome->refetch_bytes += split_bytes;
+        }
+        ++fetch;
+      }
+      if (fetch == max_refetches &&
+          faults->CorruptArtifactChunk(fingerprint, chunk, fetch)) {
+        // Still corrupt at the re-fetch bound: one DFS-verified slow read
+        // settles the chunk (3x replication guarantees a clean copy).
+        ++stats_.corrupt_refetches;
+        if (outcome != nullptr) {
+          ++outcome->corrupt_chunks;
+          outcome->refetch_bytes += split_bytes;
+        }
+      }
     }
   }
   ++stats_.hits;
@@ -216,14 +278,68 @@ bool MaterializedStore::DumpManifest(const std::string& path,
                  "{\"fingerprint\":\"%016" PRIx64 "\",\"label\":\"%s\""
                  ",\"bytes\":%" PRIu64 ",\"saved_seconds\":%.9g"
                  ",\"layout\":\"%s\",\"partitions\":%d"
-                 ",\"reuse_count\":%" PRIu64 ",\"insert_seq\":%" PRIu64 "}\n",
+                 ",\"reuse_count\":%" PRIu64 ",\"insert_seq\":%" PRIu64
+                 ",\"checksum\":\"%016" PRIx64 "\"}\n",
                  m.fingerprint, m.label.c_str(), m.bytes, m.saved_seconds,
                  ToString(m.layout), m.partition_count, m.reuse_count,
-                 m.insert_seq);
+                 m.insert_seq, m.checksum);
   }
   const bool ok = std::fclose(f) == 0;
   if (!ok && error != nullptr) *error = "short write to " + path;
   return ok;
+}
+
+MaterializedStore::ManifestLoad MaterializedStore::LoadManifest(
+    const std::string& path) {
+  ManifestLoad load;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return load;
+  load.ok = true;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char fp_hex[17] = {0};
+    char label[256] = {0};
+    char layout[32] = {0};
+    char ck_hex[17] = {0};
+    unsigned long long bytes = 0, reuse = 0, seq = 0;
+    double saved = 0.0;
+    int partitions = 0;
+    const int matched = std::sscanf(
+        line,
+        "{\"fingerprint\":\"%16[0-9a-fA-F]\",\"label\":\"%255[^\"]\""
+        ",\"bytes\":%llu,\"saved_seconds\":%lg"
+        ",\"layout\":\"%31[^\"]\",\"partitions\":%d"
+        ",\"reuse_count\":%llu,\"insert_seq\":%llu"
+        ",\"checksum\":\"%16[0-9a-fA-F]\"}",
+        fp_hex, label, &bytes, &saved, layout, &partitions, &reuse, &seq,
+        ck_hex);
+    if (matched == 9) {
+      ArtifactMeta m;
+      m.fingerprint = std::strtoull(fp_hex, nullptr, 16);
+      m.label = label;
+      m.bytes = bytes;
+      m.saved_seconds = saved;
+      m.layout = std::strcmp(layout, "idxloc") == 0
+                     ? ArtifactLayout::kIndexLocality
+                     : ArtifactLayout::kRepartition;
+      m.partition_count = partitions;
+      m.reuse_count = reuse;
+      m.insert_seq = seq;
+      m.checksum = std::strtoull(ck_hex, nullptr, 16);
+      load.metas.push_back(std::move(m));
+      ++load.entries;
+      continue;
+    }
+    unsigned long long cap = 0;
+    if (std::sscanf(line, "{\"capacity_bytes\":%llu,", &cap) == 1) {
+      continue;  // Stats header line: informational, not an artifact.
+    }
+    // A torn / truncated / garbled line (crashed writer, partial copy):
+    // the artifact it described is simply absent — count and move on.
+    ++load.skipped;
+  }
+  std::fclose(f);
+  return load;
 }
 
 }  // namespace reuse

@@ -48,6 +48,12 @@ namespace reuse {
 /// they are immutable by type, so sharing is safe across jobs.
 std::vector<InputSplit> CopySplits(const std::vector<InputSplit>& splits);
 
+/// End-to-end content checksum of an artifact's splits (every record's key
+/// and value length-framed, plus its virtual byte count). Computed at
+/// publish, carried in the manifest, and re-verified at resolve — a
+/// mismatch makes the artifact absent (deterministic rebuild), never data.
+uint64_t ChecksumSplits(const std::vector<InputSplit>& splits);
+
 /// Descriptive snapshot of one stored artifact (manifest / test surface).
 struct ArtifactMeta {
   uint64_t fingerprint = 0;
@@ -58,6 +64,7 @@ struct ArtifactMeta {
   int partition_count = 0;
   uint64_t reuse_count = 0;    ///< Successful resolves so far.
   uint64_t insert_seq = 0;     ///< Monotonic publish order (tie-breaker).
+  uint64_t checksum = 0;       ///< `ChecksumSplits` digest of the content.
 };
 
 class MaterializedStore {
@@ -80,11 +87,27 @@ class MaterializedStore {
                         double saved_seconds, ArtifactLayout layout,
                         int partition_count, std::string label);
 
+  /// Integrity accounting of one `Resolve` (DESIGN.md §10): injected
+  /// corruption detected on artifact chunks and the re-fetch traffic it
+  /// cost. Data is never affected — a detected corruption re-reads the
+  /// chunk from another DFS replica, so adoption stays byte-identical.
+  struct ResolveOutcome {
+    int corrupt_chunks = 0;        ///< Detected-and-refetched corruptions.
+    uint64_t refetch_bytes = 0;    ///< Extra bytes moved by re-fetches.
+    bool checksum_failed = false;  ///< End-to-end verify failed → miss.
+  };
+
   /// The stored splits for `fingerprint`, or null on a miss. A present
   /// artifact still misses when every replica home is down for the whole
-  /// run (`avail` may be null = all hosts up). A hit bumps `reuse_count`.
+  /// run (`avail` may be null = all hosts up), or when its end-to-end
+  /// checksum no longer matches (never served corrupt — the caller
+  /// rebuilds). `faults` (may be null) injects deterministic per-chunk
+  /// corruption whose detection and re-fetch cost land in `outcome`.
+  /// A hit bumps `reuse_count`.
   const std::vector<InputSplit>* Resolve(uint64_t fingerprint,
-                                         const HostAvailability* avail);
+                                         const HostAvailability* avail,
+                                         const FaultModel* faults = nullptr,
+                                         ResolveOutcome* outcome = nullptr);
 
   /// Live-entry test without touching hit/miss accounting.
   bool Contains(uint64_t fingerprint) const;
@@ -109,6 +132,10 @@ class MaterializedStore {
     uint64_t evictions = 0;
     uint64_t bytes_used = 0;
     uint64_t entries = 0;
+    /// Resolves refused because the end-to-end checksum did not match.
+    uint64_t integrity_failures = 0;
+    /// Injected chunk corruptions detected (and re-fetched) at resolve.
+    uint64_t corrupt_refetches = 0;
   };
   const ReuseStats& stats() const { return stats_; }
 
@@ -118,6 +145,22 @@ class MaterializedStore {
   /// Writes a JSON-lines manifest of the live entries + stats to `path`.
   bool DumpManifest(const std::string& path, std::string* error = nullptr)
       const;
+
+  /// Result of a manifest replay (metadata only — the in-memory store
+  /// cannot serve artifact *data* across runs, so a replayed entry is
+  /// "known but absent": the job deterministically rebuilds and republishes
+  /// under the same fingerprint).
+  struct ManifestLoad {
+    bool ok = false;  ///< The manifest file could be opened.
+    int entries = 0;  ///< Well-formed artifact lines parsed.
+    int skipped = 0;  ///< Truncated / unparseable lines tolerated.
+    std::vector<ArtifactMeta> metas;
+  };
+
+  /// Replays a JSON-lines manifest written by `DumpManifest`. A truncated
+  /// or unparseable line — a crashed writer, a torn copy — is counted in
+  /// `skipped` and treated as "artifact absent"; the replay never aborts.
+  static ManifestLoad LoadManifest(const std::string& path);
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
 

@@ -1,0 +1,74 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Produces a Chrome trace exercising every service-level resilience event
+// the schema defines (DESIGN.md §10), for scripts/trace_lint.py to validate
+// (the `resilience_trace_lint` ctest entry, labels `obs`/`faults`): the toy
+// join runs under an aggressive service-fault matrix — high flaky rate with
+// a low breaker threshold (breaker_transition instants through the full
+// closed → open → half-open cycle), latency spikes with hedging on
+// (lookup_hedge instants and the injected-latency histogram), and lookup
+// corruption (integrity_retry instants).
+//
+// Usage: resilience_trace_demo TRACE_OUT.json
+
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "tests/test_util.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE_OUT.json\n", argv[0]);
+    return 2;
+  }
+
+  efind::ClusterConfig config;
+  config.lookup_retry_backoff_sec = 1e-3;
+  config.lookup_latency_spike_rate = 0.15;
+  config.lookup_latency_spike_factor = 12.0;
+  config.lookup_flaky_rate = 0.5;
+  config.lookup_corrupt_rate = 0.2;
+  config.hedged_lookups = true;
+  config.hedge_quantile = 0.9;
+  config.breaker_failure_threshold = 2;
+  config.breaker_open_lookups = 4;
+
+  efind::testing_util::ToyWorld world(200, 60);
+  const auto input = world.MakeInput(24, 40, 200);
+  const efind::IndexJobConf conf = world.MakeJoinJob(true);
+
+  efind::EFindOptions options;
+  options.threads = 4;
+  efind::EFindJobRunner runner(config, options);
+  efind::obs::ObsSession session;
+  runner.set_obs(&session);
+  const auto result =
+      runner.RunWithStrategy(conf, input, efind::Strategy::kBaseline);
+
+  const double hedges = result.counters.Get("efind.h0.idx0.hedges");
+  const double transitions =
+      result.counters.Get("efind.h0.idx0.breaker_transitions");
+  const double corrupt =
+      result.counters.Get("efind.h0.idx0.corrupt_detected");
+  if (hedges <= 0 || transitions <= 0 || corrupt <= 0) {
+    std::fprintf(stderr,
+                 "resilience_trace_demo: expected hedges, breaker "
+                 "transitions and corruption detections (got %g/%g/%g)\n",
+                 hedges, transitions, corrupt);
+    return 1;
+  }
+
+  std::string error;
+  if (!efind::obs::WriteFile(
+          argv[1],
+          efind::obs::ChromeTraceJson(session.trace(), config.num_nodes),
+          &error)) {
+    std::fprintf(stderr, "resilience_trace_demo: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "resilience_trace_demo: wrote %s (%zu events)\n",
+               argv[1], session.trace().events().size());
+  return 0;
+}
