@@ -23,9 +23,19 @@ std::string RatioStr(double v) {
 }
 #endif
 
-// Copy-on-write helper for the shared attachment.
+// Copy-on-write helper for the shared attachment. When this record holds
+// the only reference (the common case: PreProcess creates a fresh
+// attachment and downstream stages hand the record along one at a time),
+// the attachment is mutated in place; a genuinely shared one (records
+// still referenced by an input split or a shuffle batch) is deep-copied.
+// The uniqueness check is race-free: holding the sole reference means no
+// other thread has a handle to copy from.
 std::shared_ptr<RecordAttachment> MutableAttachment(Record* record) {
   if (record->attachment) {
+    if (record->attachment.use_count() == 1) {
+      return std::const_pointer_cast<RecordAttachment>(
+          std::move(record->attachment));
+    }
     return std::make_shared<RecordAttachment>(*record->attachment);
   }
   return std::make_shared<RecordAttachment>();
@@ -173,16 +183,16 @@ void PreProcessStage::Process(Record record, TaskContext* ctx, Emitter* out) {
   op_->PreProcess(&record, &keys);
 
   auto attachment = MutableAttachment(&record);
-  attachment->keys = keys;
+  attachment->keys = std::move(keys);
   attachment->results.assign(op_->num_indices(), {});
   for (int j = 0; j < op_->num_indices(); ++j) {
-    attachment->results[j].resize(keys[j].size());
+    attachment->results[j].resize(attachment->keys[j].size());
   }
   record.attachment = std::move(attachment);
 
   if (runtime_ != nullptr) {
     runtime_->TaskLocal(ctx)->PreRecord(input_bytes, record.size_bytes(),
-                                        keys);
+                                        record.attachment->keys);
   }
   ctx->counters()->Increment(pre_inputs_);
   out->Emit(std::move(record));
@@ -429,11 +439,18 @@ void PostProcessStage::Process(Record record, TaskContext* ctx,
                                Emitter* out) {
   IndexResultLists results;
   if (record.attachment) {
-    results = record.attachment->results;
     if (record.attachment->has_saved_key) {
       // Defensive: a record that skipped the grouped lookup still carries
       // its original key.
       record.key = record.attachment->saved_key;
+    }
+    if (record.attachment.use_count() == 1) {
+      // Sole owner: steal the result lists instead of deep-copying them.
+      auto owned = std::const_pointer_cast<RecordAttachment>(
+          std::move(record.attachment));
+      results = std::move(owned->results);
+    } else {
+      results = record.attachment->results;
     }
   }
   results.resize(op_->num_indices());

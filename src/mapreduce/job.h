@@ -12,6 +12,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/partitioner.h"
 #include "mapreduce/record.h"
+#include "mapreduce/record_batch.h"
 #include "mapreduce/stage.h"
 
 namespace efind {
@@ -44,7 +45,18 @@ struct JobConfig {
 /// Execution record of one map task.
 struct MapTaskResult {
   /// Map output partitioned by reduce bucket (one bucket for map-only jobs).
+  /// Populated on the legacy per-record path; empty when `batched`.
   std::vector<std::vector<Record>> partitioned_output;
+  /// Map output partitioned by reduce bucket as contiguous batches —
+  /// populated instead of `partitioned_output` when `batched` (the default
+  /// shuffle path, DESIGN.md §11).
+  std::vector<RecordBatch> partitioned_batches;
+  /// Per-bucket content digest (`ChecksumRecord` framing), computed in the
+  /// fused partition sweep; the reduce side re-derives it from the received
+  /// bytes and counts `mr.shuffle.checksum_mismatch` on disagreement.
+  std::vector<uint64_t> partition_checksums;
+  /// Which of the two partitioned representations is populated.
+  bool batched = false;
   /// Simulated duration in seconds (I/O + CPU + stage-charged time),
   /// after the cluster's fault model inflated it.
   double duration = 0.0;

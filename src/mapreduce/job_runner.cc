@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/hash.h"
+#include "mapreduce/record_batch.h"
 #include "mapreduce/stage_chain.h"
 #include "obs/obs.h"
 
@@ -27,6 +32,20 @@ uint64_t BytesOf(const std::vector<Record>& records) {
   uint64_t n = 0;
   for (const auto& r : records) n += r.size_bytes();
   return n;
+}
+
+// Interned hot-path counter names (see counters.h).
+const CounterHandle kAllocBytes("efind.alloc.bytes");
+const CounterHandle kAllocCount("efind.alloc.count");
+const CounterHandle kShuffleRecords("mr.shuffle.records");
+const CounterHandle kShuffleBatchBytes("mr.shuffle.batch_bytes");
+const CounterHandle kShuffleChecksumMismatch("mr.shuffle.checksum_mismatch");
+
+bool ResolveBatchShuffle() {
+  const char* env = std::getenv("EFIND_BATCH_SHUFFLE");
+  if (env == nullptr || *env == '\0') return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
 }
 
 #if EFIND_OBS
@@ -133,6 +152,9 @@ void TracePhase(obs::ObsSession* session, const char* kind,
 
 }  // namespace
 
+JobRunner::JobRunner(const ClusterConfig& config)
+    : config_(config), batch_shuffle_(ResolveBatchShuffle()) {}
+
 int JobRunner::ResolveNumReduceTasks(const JobConfig& job) const {
   if (!job.reducer) return 1;
   if (job.num_reduce_tasks > 0) return job.num_reduce_tasks;
@@ -201,6 +223,12 @@ MapTaskResult JobRunner::RunMapTaskDeferred(const JobConfig& job,
                                             const InputSplit& split,
                                             int task_index,
                                             TaskStateBag* bag) {
+  // Batching applies to jobs with a reduce phase; map-only output is
+  // consumed as `std::vector<Record>` splits either way, so the legacy
+  // representation is already the final one there.
+  if (batch_shuffle_ && (job.reducer || !job.reduce_stages.empty())) {
+    return RunMapTaskBatched(job, split, task_index, bag);
+  }
   MapTaskResult result;
   result.node = split.node;
   const int num_partitions =
@@ -235,6 +263,92 @@ MapTaskResult JobRunner::RunMapTaskDeferred(const JobConfig& job,
   // Time model: startup + input read (local disk, or network when the
   // scheduler sacrificed data locality) + CPU + stage-charged time +
   // output spill to local disk.
+  double io = job.map_input_remote
+                  ? config_.TransferSeconds(result.input_bytes)
+                  : config_.DiskReadSeconds(result.input_bytes);
+  io += static_cast<double>(result.output_bytes) /
+        config_.disk_bw_bytes_per_sec;
+  result.base_duration = config_.task_startup_sec + io + cpu + ctx.sim_time();
+  result.duration = ApplyFaults(result.base_duration, /*kind=*/0, task_index);
+  *bag = ctx.TakeTaskState();
+  return result;
+}
+
+MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
+                                           const InputSplit& split,
+                                           int task_index, TaskStateBag* bag) {
+  MapTaskResult result;
+  result.node = split.node;
+  result.batched = true;
+  const int num_partitions = job.reducer ? ResolveNumReduceTasks(job) : 1;
+  result.partitioned_batches.resize(num_partitions);
+
+  TaskContext ctx(split.node, task_index, &result.counters);
+  // The arena backs the staging buffer and dies with this frame — after the
+  // fused sweep below has copied the survivors into the heap-owned
+  // per-bucket batches that cross the task boundary (DESIGN.md §11).
+  Arena arena;
+  RecordBatch staging(&arena);
+  StageChain chain(&job.map_stages, &ctx, &staging);
+  chain.Begin();
+
+  double cpu = 0.0;
+  for (const Record& r : split.records) {
+    result.input_bytes += r.size_bytes();
+    ++result.input_records;
+    cpu += config_.cpu_per_record_sec +
+           config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
+    chain.Push(r);
+  }
+  chain.Finish();
+
+  // Fused sweep: partition mapping, per-bucket content digest, and byte
+  // accounting in one sequential pass over the staging buffer. Logical
+  // sizes were computed once at append time — no attachment re-walks.
+  const Partitioner& part = EffectivePartitioner(job);
+  std::vector<Checksum64> digests(num_partitions);
+  if (!staging.empty()) {
+    const size_t est_records = staging.size() / num_partitions + 1;
+    const size_t est_bytes = staging.buffer_bytes() / num_partitions + 64;
+    for (auto& b : result.partitioned_batches) {
+      b.Reserve(est_records, est_bytes);
+    }
+  }
+  for (size_t i = 0; i < staging.size(); ++i) {
+    const uint64_t bytes = staging.LogicalBytesAt(i);
+    result.output_bytes += bytes;
+    ++result.output_records;
+    cpu += config_.cpu_per_byte_sec * static_cast<double>(bytes);
+    const int p =
+        job.reducer ? part.Partition(staging.KeyAt(i), num_partitions) : 0;
+    result.partitioned_batches[p].AppendFrom(staging, i);
+    ChecksumRecord(&digests[p], staging.KeyAt(i), staging.ValueAt(i),
+                   staging.ExtraAt(i));
+  }
+  result.partition_checksums.reserve(num_partitions);
+  for (const auto& d : digests) {
+    result.partition_checksums.push_back(d.Digest());
+  }
+
+  // Allocation telemetry: the real heap traffic this task's shuffle path
+  // performed (arena block acquisitions + batch buffer/table growths).
+  uint64_t alloc_count = arena.heap_allocations() + staging.heap_allocations();
+  uint64_t alloc_bytes = arena.bytes_reserved();
+  uint64_t batch_bytes = staging.buffer_bytes();
+  for (const auto& b : result.partitioned_batches) {
+    alloc_count += b.heap_allocations();
+    alloc_bytes += b.buffer_reserved_bytes();
+    batch_bytes += b.buffer_bytes();
+  }
+  result.counters.Increment(kAllocCount, static_cast<double>(alloc_count));
+  result.counters.Increment(kAllocBytes, static_cast<double>(alloc_bytes));
+  result.counters.Increment(kShuffleRecords,
+                            static_cast<double>(result.output_records));
+  result.counters.Increment(kShuffleBatchBytes,
+                            static_cast<double>(batch_bytes));
+
+  // Time model: identical inputs and accumulation order as the legacy path,
+  // so simulated durations agree bit for bit.
   double io = job.map_input_remote
                   ? config_.TransferSeconds(result.input_bytes)
                   : config_.DiskReadSeconds(result.input_bytes);
@@ -336,7 +450,116 @@ ReducePhaseResult JobRunner::RunReduceRange(
   phase.task_counters.resize(count);
   std::vector<TaskStateBag> bags(count);
 
+  // Batched gather: group `string_view` keys pointing straight into the
+  // map-side shuffle buffers; each record is materialized exactly once, for
+  // the reducer's value vector. The map side's per-bucket digest is
+  // re-derived in the same sweep, verifying the in-memory shuffle hand-off
+  // end to end (counted as `mr.shuffle.checksum_mismatch`, expected 0).
+  auto run_reduce_task_batched = [&](size_t slot) {
+    const int r = begin + static_cast<int>(slot);
+    const int node = ReduceTaskNode(job, r);
+    phase.outputs[slot].node = node;
+
+    struct Ref {
+      const RecordBatch* batch;  // Null for a legacy map output.
+      const Record* rec;         // Null for a batched map output.
+      uint32_t index;
+    };
+    std::unordered_map<std::string_view, std::vector<Ref>> groups;
+    uint64_t received_bytes = 0;
+    size_t received_records = 0;
+    uint64_t mismatches = 0;
+    for (const MapTaskResult* mt : map_outputs) {
+      if (mt->batched) {
+        if (r >= static_cast<int>(mt->partitioned_batches.size())) continue;
+        const RecordBatch& b = mt->partitioned_batches[r];
+        Checksum64 digest;
+        for (size_t i = 0; i < b.size(); ++i) {
+          received_bytes += b.LogicalBytesAt(i);
+          ++received_records;
+          ChecksumRecord(&digest, b.KeyAt(i), b.ValueAt(i), b.ExtraAt(i));
+          groups[b.KeyAt(i)].push_back(
+              Ref{&b, nullptr, static_cast<uint32_t>(i)});
+        }
+        if (r < static_cast<int>(mt->partition_checksums.size()) &&
+            digest.Digest() != mt->partition_checksums[r]) {
+          ++mismatches;
+        }
+      } else {
+        // A plan change may hand this phase map outputs from both paths.
+        if (r >= static_cast<int>(mt->partitioned_output.size())) continue;
+        for (const Record& rec : mt->partitioned_output[r]) {
+          received_bytes += rec.size_bytes();
+          ++received_records;
+          groups[std::string_view(rec.key)].push_back(Ref{nullptr, &rec, 0});
+        }
+      }
+    }
+    std::vector<std::pair<std::string_view, std::vector<Ref>*>> ordered;
+    ordered.reserve(groups.size());
+    for (auto& kv : groups) ordered.push_back({kv.first, &kv.second});
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    TaskContext ctx(node, r, &phase.task_counters[slot]);
+    std::vector<Record> sink;
+    StageChain chain(&job.reduce_stages, &ctx, &sink);
+    chain.Begin();
+    if (job.reducer) job.reducer->BeginTask(&ctx);
+
+    double cpu =
+        config_.cpu_per_byte_sec * static_cast<double>(received_bytes) +
+        config_.cpu_per_record_sec * static_cast<double>(received_records);
+    auto materialize = [](const Ref& ref) {
+      return ref.batch ? ref.batch->MaterializeRecord(ref.index) : *ref.rec;
+    };
+    if (job.reducer) {
+      for (auto& [key, refs] : ordered) {
+        std::vector<Record> values;
+        values.reserve(refs->size());
+        for (const Ref& ref : *refs) values.push_back(materialize(ref));
+        job.reducer->Reduce(std::string(key), std::move(values), &ctx,
+                            chain.EmitterInto(0));
+      }
+      job.reducer->EndTask(&ctx, chain.EmitterInto(0));
+    } else {
+      for (auto& [key, refs] : ordered) {
+        (void)key;
+        for (const Ref& ref : *refs) chain.Push(materialize(ref));
+      }
+    }
+    chain.Finish();
+    if (mismatches > 0) {
+      phase.task_counters[slot].Increment(kShuffleChecksumMismatch,
+                                          static_cast<double>(mismatches));
+    }
+
+    const uint64_t out_bytes = BytesOf(sink);
+    cpu += config_.cpu_per_byte_sec * static_cast<double>(out_bytes);
+    phase.outputs[slot].records = std::move(sink);
+
+    phase.base_durations[slot] =
+        config_.task_startup_sec + config_.TransferSeconds(received_bytes) +
+        cpu + ctx.sim_time() +
+        static_cast<double>(out_bytes) / config_.disk_bw_bytes_per_sec;
+    phase.durations[slot] =
+        ApplyFaults(phase.base_durations[slot], /*kind=*/1, r);
+    bags[slot] = ctx.TakeTaskState();
+  };
+
+  bool any_batched = false;
+  for (const MapTaskResult* mt : map_outputs) {
+    if (mt->batched) {
+      any_batched = true;
+      break;
+    }
+  }
+
   auto run_reduce_task = [&](size_t slot) {
+    if (any_batched) {
+      run_reduce_task_batched(slot);
+      return;
+    }
     const int r = begin + static_cast<int>(slot);
     const int node = ReduceTaskNode(job, r);
     phase.outputs[slot].node = node;

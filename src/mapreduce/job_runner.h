@@ -39,7 +39,7 @@ class ObsSession;
 /// reusing completed tasks (paper Figures 9-10).
 class JobRunner {
  public:
-  explicit JobRunner(const ClusterConfig& config) : config_(config) {}
+  explicit JobRunner(const ClusterConfig& config);
 
   /// Sets the worker-thread count for task execution. 0 (the default)
   /// resolves via `ResolveThreadCount` (EFIND_THREADS env var, else
@@ -58,6 +58,16 @@ class JobRunner {
   /// produce identical outputs, counters, and simulated seconds.
   void set_obs(obs::ObsSession* session) { obs_ = session; }
   obs::ObsSession* obs() const { return obs_; }
+
+  /// Selects the shuffle representation for jobs with a reduce phase: true
+  /// (the default, overridable via EFIND_BATCH_SHUFFLE=0) moves map output
+  /// through contiguous `RecordBatch` buffers with the fused
+  /// partition+checksum+accounting sweep; false keeps the legacy
+  /// record-at-a-time `std::vector<Record>` path. Outputs and simulated
+  /// times are identical either way — only wall-clock cost and the
+  /// `efind.alloc.*` / `mr.shuffle.*` counters differ.
+  void set_batch_shuffle(bool on) { batch_shuffle_ = on; }
+  bool batch_shuffle() const { return batch_shuffle_; }
 
   /// Runs the whole job: map phase over `input`, then (if a reducer is
   /// configured) shuffle + reduce phase.
@@ -118,6 +128,14 @@ class JobRunner {
                                    const InputSplit& split, int task_index,
                                    TaskStateBag* bag);
 
+  /// Batched variant of RunMapTaskDeferred: stage output lands in an
+  /// arena-backed contiguous batch, then one fused sweep partitions it into
+  /// per-bucket heap batches while computing content digests and byte
+  /// accounting (DESIGN.md §11).
+  MapTaskResult RunMapTaskBatched(const JobConfig& job,
+                                  const InputSplit& split, int task_index,
+                                  TaskStateBag* bag);
+
   /// Executes `body(i)` for every i in [0, count). Tasks sharing a strand
   /// key run serially in ascending i on one thread; distinct strands run
   /// concurrently on the pool (serially when the pool has one thread).
@@ -126,6 +144,7 @@ class JobRunner {
 
   ClusterConfig config_;
   int num_threads_ = 0;
+  bool batch_shuffle_ = true;  // Constructor resolves EFIND_BATCH_SHUFFLE.
   obs::ObsSession* obs_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -1,0 +1,158 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Contiguous record batch layout (DESIGN.md §11). A RecordBatch packs the
+// key/value bytes of many records into one buffer with a per-record
+// offset/length table, replacing `std::vector<Record>` on the shuffle hot
+// path so that moving N records costs a handful of buffer growths instead
+// of 2N string allocations. The per-record *logical* size (key + value +
+// extra_bytes + attachment walk) is computed exactly once at append time
+// and stored in the table, so downstream passes (partitioning, byte
+// accounting, checksums) never re-walk attachments.
+//
+// Attachments stay as shared_ptr references in a side array: they are
+// immutable in flight (copy-on-write, see efind/stages.cc) and shared, not
+// serialized, when a batch hands records across task boundaries in-process.
+
+#ifndef EFIND_MAPREDUCE_RECORD_BATCH_H_
+#define EFIND_MAPREDUCE_RECORD_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/checksum.h"
+#include "mapreduce/record.h"
+
+namespace efind {
+
+/// Absorbs one record into a streaming checksum with the canonical framing
+/// (length-framed key, length-framed value, raw extra_bytes). This is THE
+/// record framing: the reuse store's artifact digests, the batch content
+/// checksum, and the fused shuffle partition digests all use it, so a batch
+/// of records and a `std::vector<Record>` of the same content digest
+/// identically. Attachments are deliberately excluded (they are in-flight
+/// operator state, not record content).
+inline void ChecksumRecord(Checksum64* sum, std::string_view key,
+                           std::string_view value, uint64_t extra_bytes) {
+  sum->UpdateFramed(key);
+  sum->UpdateFramed(value);
+  sum->UpdateU64(extra_bytes);
+}
+
+/// One contiguous byte buffer plus an offset/length table.
+///
+/// With an `Arena`, the byte buffer grows from the arena (task-confined:
+/// the batch must not outlive the arena); without one it owns heap memory
+/// and may cross task boundaries. Either way the offset table and the
+/// attachment side array are small amortized-growth vectors.
+class RecordBatch {
+ public:
+  /// Per-record view into the batch (valid until the batch is mutated).
+  struct View {
+    std::string_view key;
+    std::string_view value;
+    uint64_t extra_bytes = 0;
+    const std::shared_ptr<const RecordAttachment>* attachment = nullptr;
+    uint64_t logical_bytes = 0;
+  };
+
+  explicit RecordBatch(Arena* arena = nullptr) : arena_(arena) {}
+  RecordBatch(RecordBatch&&) = default;
+  RecordBatch& operator=(RecordBatch&&) = default;
+  RecordBatch(const RecordBatch&) = delete;
+  RecordBatch& operator=(const RecordBatch&) = delete;
+
+  /// Pre-sizes the table and buffer (`bytes` of key+value payload).
+  void Reserve(size_t records, size_t bytes);
+
+  void Append(const Record& record) {
+    Append(record.key, record.value, record.extra_bytes, record.attachment);
+  }
+  void Append(std::string_view key, std::string_view value,
+              uint64_t extra_bytes,
+              std::shared_ptr<const RecordAttachment> attachment);
+  /// Copies record `i` of `other` (memcpy of payload; the precomputed
+  /// logical size is carried over, no attachment walk).
+  void AppendFrom(const RecordBatch& other, size_t i);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  std::string_view KeyAt(size_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(buf_ + e.key_off, e.key_len);
+  }
+  std::string_view ValueAt(size_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(buf_ + e.key_off + e.key_len, e.value_len);
+  }
+  uint64_t ExtraAt(size_t i) const { return entries_[i].extra_bytes; }
+  /// Logical record size (same value `Record::size_bytes()` would return),
+  /// computed once at append time.
+  uint64_t LogicalBytesAt(size_t i) const {
+    return entries_[i].logical_bytes;
+  }
+  const std::shared_ptr<const RecordAttachment>& AttachmentAt(size_t i) const;
+  View at(size_t i) const;
+
+  /// Rebuilds record `i` as an owning `Record`.
+  Record MaterializeRecord(size_t i) const;
+  /// Materializes the whole batch (conversion boundary to the legacy path).
+  std::vector<Record> ToRecords() const;
+  static RecordBatch FromRecords(const std::vector<Record>& records,
+                                 Arena* arena = nullptr);
+
+  /// Sum of per-record logical sizes — equals summing `size_bytes()` over
+  /// the materialized records, with zero attachment walks at read time.
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Key+value bytes resident in the buffer.
+  uint64_t buffer_bytes() const { return buf_size_; }
+  /// Bytes currently reserved for the buffer (heap-owned mode only; an
+  /// arena-backed buffer is accounted by its arena).
+  uint64_t buffer_reserved_bytes() const { return arena_ ? 0 : buf_cap_; }
+  /// Heap allocation events this batch performed itself (buffer growths in
+  /// heap mode plus table/side-array growths). Arena-backed buffer growth
+  /// is counted by the arena, not here.
+  uint64_t heap_allocations() const { return heap_allocations_; }
+
+  /// Digest of the batch content in `ChecksumRecord` framing, one
+  /// sequential sweep over the buffer.
+  uint64_t ContentChecksum(uint64_t seed = 0) const;
+
+  /// Forgets all records; keeps buffer capacity in heap mode.
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t key_off = 0;       // Buffer offset of key; value follows key.
+    uint32_t key_len = 0;
+    uint32_t value_len = 0;
+    int32_t attach = -1;        // Index into attachments_, -1 if none.
+    uint64_t extra_bytes = 0;
+    uint64_t logical_bytes = 0; // Full Record::size_bytes() equivalent.
+  };
+
+  char* EnsureRoom(size_t bytes);
+  template <typename Vec>
+  void CountGrowth(const Vec& v) {
+    if (v.size() == v.capacity()) ++heap_allocations_;
+  }
+
+  Arena* arena_ = nullptr;
+  char* buf_ = nullptr;
+  size_t buf_size_ = 0;
+  size_t buf_cap_ = 0;
+  std::unique_ptr<char[]> owned_;  // Backs buf_ in heap mode.
+  std::vector<Entry> entries_;
+  std::vector<std::shared_ptr<const RecordAttachment>> attachments_;
+  uint64_t payload_bytes_ = 0;
+  uint64_t heap_allocations_ = 0;
+};
+
+}  // namespace efind
+
+#endif  // EFIND_MAPREDUCE_RECORD_BATCH_H_

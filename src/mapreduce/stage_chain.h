@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mapreduce/record.h"
+#include "mapreduce/record_batch.h"
 #include "mapreduce/stage.h"
 
 namespace efind {
@@ -26,6 +27,18 @@ class StageChain {
   StageChain(const std::vector<std::shared_ptr<RecordStage>>* stages,
              TaskContext* ctx, std::vector<Record>* sink)
       : stages_(stages), ctx_(ctx), sink_(sink) {
+    emitters_.reserve(stages_->size() + 1);
+    for (size_t i = 0; i <= stages_->size(); ++i) {
+      emitters_.push_back(LinkEmitter{this, i});
+    }
+  }
+
+  /// Batch-sink variant: the last stage's output is appended into a
+  /// `RecordBatch` (contiguous bytes) instead of a record vector — the map
+  /// task's shuffle staging path (DESIGN.md §11).
+  StageChain(const std::vector<std::shared_ptr<RecordStage>>* stages,
+             TaskContext* ctx, RecordBatch* sink)
+      : stages_(stages), ctx_(ctx), batch_sink_(sink) {
     emitters_.reserve(stages_->size() + 1);
     for (size_t i = 0; i <= stages_->size(); ++i) {
       emitters_.push_back(LinkEmitter{this, i});
@@ -62,7 +75,11 @@ class StageChain {
 
   void ProcessFrom(size_t i, Record record) {
     if (i >= stages_->size()) {
-      sink_->push_back(std::move(record));
+      if (batch_sink_ != nullptr) {
+        batch_sink_->Append(record);
+      } else {
+        sink_->push_back(std::move(record));
+      }
       return;
     }
     (*stages_)[i]->Process(std::move(record), ctx_, &emitters_[i + 1]);
@@ -70,7 +87,8 @@ class StageChain {
 
   const std::vector<std::shared_ptr<RecordStage>>* stages_;
   TaskContext* ctx_;
-  std::vector<Record>* sink_;
+  std::vector<Record>* sink_ = nullptr;
+  RecordBatch* batch_sink_ = nullptr;
   std::vector<LinkEmitter> emitters_;
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/checksum.h"
 #include "common/hash.h"
+#include "mapreduce/record_batch.h"
 
 namespace efind {
 namespace reuse {
@@ -29,9 +30,10 @@ uint64_t ChecksumSplits(const std::vector<InputSplit>& splits) {
   for (const InputSplit& s : splits) {
     c.UpdateU64(static_cast<uint64_t>(s.records.size()));
     for (const Record& r : s.records) {
-      c.UpdateFramed(r.key);
-      c.UpdateFramed(r.value);
-      c.UpdateU64(r.extra_bytes);
+      // Canonical record framing shared with the batched shuffle digests
+      // (record_batch.h), so artifact digests and batch content checksums
+      // agree on identical record content.
+      ChecksumRecord(&c, r.key, r.value, r.extra_bytes);
     }
   }
   return c.Digest();

@@ -1,0 +1,270 @@
+#include "mapreduce/record_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/job_runner.h"
+#include "reuse/materialized_store.h"
+
+namespace efind {
+namespace {
+
+Record MakeAttachedRecord(int i) {
+  Record r("key" + std::to_string(i % 7), "value" + std::to_string(i),
+           static_cast<uint64_t>(i) * 10);
+  if (i % 3 == 0) {
+    auto att = std::make_shared<RecordAttachment>();
+    att->keys = {{"ik" + std::to_string(i)}};
+    att->results = {{{IndexValue("res" + std::to_string(i), 5)}}};
+    r.attachment = att;
+  }
+  return r;
+}
+
+std::vector<Record> MakeRecords(int n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) records.push_back(MakeAttachedRecord(i));
+  return records;
+}
+
+TEST(RecordBatchTest, RoundTripsByteIdenticallyWithRecordVector) {
+  const std::vector<Record> original = MakeRecords(200);
+  RecordBatch batch = RecordBatch::FromRecords(original);
+  ASSERT_EQ(batch.size(), original.size());
+
+  const std::vector<Record> back = batch.ToRecords();
+  ASSERT_EQ(back.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(back[i].key, original[i].key);
+    EXPECT_EQ(back[i].value, original[i].value);
+    EXPECT_EQ(back[i].extra_bytes, original[i].extra_bytes);
+    // Attachments are shared, not cloned.
+    EXPECT_EQ(back[i].attachment, original[i].attachment);
+    EXPECT_EQ(back[i].size_bytes(), original[i].size_bytes());
+  }
+}
+
+TEST(RecordBatchTest, RandomizedRoundTripProperty) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Record> original;
+    const int n = static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < n; ++i) {
+      std::string key, value;
+      const int klen = static_cast<int>(rng.Uniform(20));
+      const int vlen = static_cast<int>(rng.Uniform(200));
+      for (int c = 0; c < klen; ++c) {
+        key.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+      for (int c = 0; c < vlen; ++c) {
+        value.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+      original.emplace_back(std::move(key), std::move(value), rng.Uniform(1000));
+    }
+    RecordBatch batch = RecordBatch::FromRecords(original);
+    const std::vector<Record> back = batch.ToRecords();
+    ASSERT_EQ(back.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(back[i], original[i]) << "trial " << trial << " record " << i;
+      EXPECT_EQ(batch.LogicalBytesAt(i), original[i].size_bytes());
+    }
+  }
+}
+
+TEST(RecordBatchTest, ViewsAndAccessorsMatchRecords) {
+  const std::vector<Record> original = MakeRecords(30);
+  RecordBatch batch = RecordBatch::FromRecords(original);
+  uint64_t payload = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(batch.KeyAt(i), original[i].key);
+    EXPECT_EQ(batch.ValueAt(i), original[i].value);
+    EXPECT_EQ(batch.ExtraAt(i), original[i].extra_bytes);
+    EXPECT_EQ(batch.AttachmentAt(i), original[i].attachment);
+    RecordBatch::View v = batch.at(i);
+    EXPECT_EQ(v.key, original[i].key);
+    EXPECT_EQ(v.value, original[i].value);
+    EXPECT_EQ(v.logical_bytes, original[i].size_bytes());
+    payload += original[i].size_bytes();
+  }
+  EXPECT_EQ(batch.payload_bytes(), payload);
+}
+
+TEST(RecordBatchTest, AppendFromCarriesPayloadAndAttachment) {
+  const std::vector<Record> original = MakeRecords(20);
+  RecordBatch src = RecordBatch::FromRecords(original);
+  RecordBatch dst;
+  for (size_t i = 0; i < src.size(); i += 2) dst.AppendFrom(src, i);
+  ASSERT_EQ(dst.size(), 10u);
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const Record r = dst.MaterializeRecord(i);
+    EXPECT_EQ(r, original[2 * i]);
+    EXPECT_EQ(r.attachment, original[2 * i].attachment);
+    EXPECT_EQ(dst.LogicalBytesAt(i), original[2 * i].size_bytes());
+  }
+}
+
+TEST(RecordBatchTest, ContentChecksumMatchesArtifactFraming) {
+  // A batch digests identically to the reuse store's split digest of the
+  // same records — the shared ChecksumRecord framing (DESIGN.md §11).
+  const std::vector<Record> records = MakeRecords(64);
+  RecordBatch batch = RecordBatch::FromRecords(records);
+
+  Checksum64 manual;
+  for (const Record& r : records) {
+    ChecksumRecord(&manual, r.key, r.value, r.extra_bytes);
+  }
+  EXPECT_EQ(batch.ContentChecksum(), manual.Digest());
+
+  // And via ChecksumSplits (which frames a leading record count per split).
+  InputSplit split;
+  split.records = records;
+  Checksum64 framed;
+  framed.UpdateU64(static_cast<uint64_t>(records.size()));
+  for (const Record& r : records) {
+    ChecksumRecord(&framed, r.key, r.value, r.extra_bytes);
+  }
+  EXPECT_EQ(reuse::ChecksumSplits({split}), framed.Digest());
+}
+
+TEST(RecordBatchTest, ArenaBackedBatchDoesZeroOwnHeapAllocations) {
+  Arena arena(1 << 20);
+  RecordBatch batch(&arena);
+  batch.Reserve(256, 1 << 16);
+  const uint64_t table_allocs = batch.heap_allocations();
+  for (int i = 0; i < 200; ++i) {
+    batch.Append("key" + std::to_string(i), std::string(100, 'v'), 7, nullptr);
+  }
+  // Buffer growth went through the arena; only the (reserved) tables count.
+  EXPECT_EQ(batch.heap_allocations(), table_allocs);
+  EXPECT_GT(arena.heap_allocations(), 0u);
+}
+
+TEST(RecordBatchTest, ClearKeepsHeapCapacity) {
+  RecordBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.Append(MakeAttachedRecord(i));
+  }
+  const uint64_t reserved = batch.buffer_reserved_bytes();
+  const uint64_t allocs = batch.heap_allocations();
+  batch.Clear();
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch.payload_bytes(), 0u);
+  for (int i = 0; i < 100; ++i) batch.Append(MakeAttachedRecord(i));
+  EXPECT_EQ(batch.buffer_reserved_bytes(), reserved);
+  EXPECT_EQ(batch.heap_allocations(), allocs);
+}
+
+TEST(RecordBatchTest, EmptyKeysAndValuesSurvive) {
+  RecordBatch batch;
+  batch.Append("", "", 0, nullptr);
+  batch.Append("", "v", 3, nullptr);
+  batch.Append("k", "", 0, nullptr);
+  EXPECT_EQ(batch.KeyAt(0), "");
+  EXPECT_EQ(batch.ValueAt(0), "");
+  EXPECT_EQ(batch.KeyAt(1), "");
+  EXPECT_EQ(batch.ValueAt(1), "v");
+  EXPECT_EQ(batch.ExtraAt(1), 3u);
+  EXPECT_EQ(batch.KeyAt(2), "k");
+  EXPECT_EQ(batch.MaterializeRecord(1), Record("", "v", 3));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end property: a shuffle job produces byte-identical outputs and
+// simulated times on the batched and the legacy per-record path.
+
+class WordLengthReducer : public Reducer {
+ public:
+  std::string name() const override { return "wordlen"; }
+  void Reduce(const std::string& key, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    uint64_t total = 0;
+    for (const auto& v : values) total += v.value.size() + v.extra_bytes;
+    out->Emit(Record(key, std::to_string(total)));
+  }
+};
+
+TEST(RecordBatchTest, BatchedShuffleMatchesLegacyByteForByte) {
+  std::vector<InputSplit> input(6);
+  Rng rng(7);
+  for (int s = 0; s < 6; ++s) {
+    input[s].node = s % 3;
+    for (int i = 0; i < 50; ++i) {
+      input[s].records.push_back(
+          MakeAttachedRecord(static_cast<int>(rng.Uniform(1000))));
+    }
+  }
+  JobConfig job;
+  job.reducer = std::make_shared<WordLengthReducer>();
+  job.num_reduce_tasks = 5;
+
+  ClusterConfig config;
+  JobRunner batched(config);
+  batched.set_batch_shuffle(true);
+  JobRunner legacy(config);
+  legacy.set_batch_shuffle(false);
+
+  const JobResult a = batched.Run(job, input);
+  const JobResult b = legacy.Run(job, input);
+
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_DOUBLE_EQ(a.map_seconds, b.map_seconds);
+  EXPECT_DOUBLE_EQ(a.reduce_seconds, b.reduce_seconds);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].node, b.outputs[i].node);
+    EXPECT_EQ(a.outputs[i].records, b.outputs[i].records);
+  }
+  // Content digests agree too (same framing as the reuse store).
+  EXPECT_EQ(reuse::ChecksumSplits(a.outputs), reuse::ChecksumSplits(b.outputs));
+  // The batched run reports its shuffle telemetry; zero integrity failures.
+  EXPECT_GT(a.counters.Get("mr.shuffle.records"), 0.0);
+  EXPECT_GT(a.counters.Get("efind.alloc.bytes"), 0.0);
+  EXPECT_GT(a.counters.Get("efind.alloc.count"), 0.0);
+  EXPECT_EQ(a.counters.Get("mr.shuffle.checksum_mismatch"), 0.0);
+  EXPECT_FALSE(b.counters.Has("mr.shuffle.records"));
+}
+
+TEST(RecordBatchTest, PassThroughReducePhaseMatchesLegacy) {
+  std::vector<InputSplit> input(4);
+  for (int s = 0; s < 4; ++s) {
+    input[s].node = s;
+    for (int i = 0; i < 30; ++i) {
+      input[s].records.push_back(MakeAttachedRecord(s * 100 + i));
+    }
+  }
+  // Reduce stages without a reducer: the shuffle runs, records pass through
+  // grouped and key-sorted.
+  class Tag : public RecordStage {
+   public:
+    std::string name() const override { return "tag"; }
+    void Process(Record r, TaskContext* ctx, Emitter* out) override {
+      (void)ctx;
+      r.value += "!";
+      out->Emit(std::move(r));
+    }
+  };
+  JobConfig job;
+  job.reduce_stages.push_back(std::make_shared<Tag>());
+
+  ClusterConfig config;
+  JobRunner batched(config);
+  batched.set_batch_shuffle(true);
+  JobRunner legacy(config);
+  legacy.set_batch_shuffle(false);
+  const JobResult a = batched.Run(job, input);
+  const JobResult b = legacy.Run(job, input);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].records, b.outputs[i].records);
+  }
+}
+
+}  // namespace
+}  // namespace efind
