@@ -27,6 +27,22 @@ inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
   return h;
 }
 
+/// Maps a 64-bit hash onto [0, n) without the division a `% n` costs
+/// (Lemire's fastrange): the high 64 bits of the 128-bit product hash*n.
+/// Uses the hash's HIGH bits, so the result differs from `hash % n` —
+/// callers switching mappings must re-golden any partition-dependent
+/// fixtures.
+inline uint64_t FastRange64(uint64_t hash, uint64_t n) {
+#ifdef __SIZEOF_INT128__
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * static_cast<unsigned __int128>(n)) >> 64);
+#else
+  // Portable fallback without 128-bit arithmetic: fastrange on the high
+  // 32 bits. Fine for partition counts, which fit comfortably in 32 bits.
+  return ((hash >> 32) * n) >> 32;
+#endif
+}
+
 /// Mixes a 64-bit integer (splitmix64 finalizer). Useful for hashing
 /// numeric keys without string conversion.
 inline uint64_t Mix64(uint64_t x) {
