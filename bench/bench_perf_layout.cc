@@ -1,0 +1,198 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Acceptance bench for the batched record hot path (DESIGN.md §11).
+//
+// The Fig. 11(a) LOG workload under the re-partition strategy spends its
+// first leg materializing the event trace re-keyed by the index key (the
+// event's IP): a job with no map-side stages whose whole cost is the
+// shuffle — exactly the path the arena-backed batch layout targets. This
+// bench reproduces that leg: it generates the fig11a log trace, re-keys it
+// by IP outside the measured region (the materialization the re-partition
+// planner would have written), and runs the resulting stage-less
+// shuffle+reduce job on the legacy per-record engine and on the batched
+// engine, same seed and plan, checking that
+//   1. outputs and simulated times are byte-identical (the batch layout is
+//      a pure engine optimization),
+//   2. the batched engine is at least 20% faster in host wall-clock
+//      (EFIND_PERF_LAYOUT_MIN_IMPROVEMENT overrides the fraction),
+//   3. per-record heap traffic collapses: shuffled records per tracked
+//      heap allocation >= 10 (the legacy path allocates at least once per
+//      record on this leg, so that is a >= 10x drop), and the arena
+//      reports nonzero reserved bytes,
+//   4. no shuffle checksum mismatches.
+// Exits nonzero if any check fails, so scripts/verify.sh can gate on it.
+//
+// Wall-clock is measured as best-of-N with the two paths' repetitions
+// interleaved (legacy, batched, legacy, batched, ...) after one warm-up
+// pass each, which keeps the 20% gate stable on noisy single-core CI
+// hosts; the byte-identity checks are exact and noise-free.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mapreduce/job_runner.h"
+#include "workloads/log_trace.h"
+
+namespace efind {
+namespace {
+
+/// Re-keys the raw event trace by IP — the record layout the re-partition
+/// strategy materializes before its index-local reduce. Runs outside the
+/// measured region. Event values are "ip|url|timestamp"; the re-keyed
+/// record is key=ip, value="url|timestamp" with the unparsed event fields
+/// still attached as virtual extra bytes.
+std::vector<InputSplit> RekeyByIp(const std::vector<InputSplit>& raw) {
+  std::vector<InputSplit> out(raw.size());
+  for (size_t s = 0; s < raw.size(); ++s) {
+    out[s].node = raw[s].node;
+    out[s].records.reserve(raw[s].records.size());
+    for (const Record& r : raw[s].records) {
+      const size_t bar = r.value.find('|');
+      if (bar == std::string::npos) continue;
+      out[s].records.emplace_back(r.value.substr(0, bar),
+                                  r.value.substr(bar + 1), r.extra_bytes);
+    }
+  }
+  return out;
+}
+
+/// Reduce for the materialized leg: per-IP visit count plus the first
+/// visited URL field, so every gathered value is actually read.
+class VisitSummaryReducer : public Reducer {
+ public:
+  std::string name() const override { return "visit_summary"; }
+  void Reduce(const std::string& ip, std::vector<Record> values,
+              TaskContext* ctx, Emitter* out) override {
+    (void)ctx;
+    std::string summary = std::to_string(values.size());
+    summary += '|';
+    summary += values.front().value;
+    out->Emit(Record(ip, std::move(summary)));
+  }
+};
+
+struct PathRun {
+  JobResult result;
+  double best_ms = 0;
+};
+
+double TimedRun(bool batched, const bench::BenchOptions& opts,
+                const JobConfig& job, const std::vector<InputSplit>& input,
+                JobResult* result_out) {
+  JobRunner runner(opts.config);
+  runner.set_batch_shuffle(batched);
+  const auto start = std::chrono::steady_clock::now();
+  JobResult result = runner.Run(job, input);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (result_out != nullptr) *result_out = std::move(result);
+  return ms;
+}
+
+/// Runs both paths back-to-back `repeats` times (after one warm-up pass
+/// each) and keeps each path's best wall-clock. Interleaving the pairs
+/// means slow drifts in host clock frequency hit both paths equally
+/// instead of biasing whichever ran last.
+void RunInterleaved(const bench::BenchOptions& opts, const JobConfig& job,
+                    const std::vector<InputSplit>& input, int repeats,
+                    PathRun* legacy, PathRun* batched) {
+  TimedRun(false, opts, job, input, &legacy->result);
+  TimedRun(true, opts, job, input, &batched->result);
+  for (int rep = 0; rep < repeats; ++rep) {
+    const double lm = TimedRun(false, opts, job, input, nullptr);
+    const double bm = TimedRun(true, opts, job, input, nullptr);
+    if (rep == 0 || lm < legacy->best_ms) legacy->best_ms = lm;
+    if (rep == 0 || bm < batched->best_ms) batched->best_ms = bm;
+  }
+}
+
+bool SameOutputs(const JobResult& a, const JobResult& b) {
+  if (a.outputs.size() != b.outputs.size()) return false;
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    if (a.outputs[i].node != b.outputs[i].node) return false;
+    if (a.outputs[i].records != b.outputs[i].records) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace efind
+
+int main(int argc, char** argv) {
+  using namespace efind;
+  bench::BenchOptions opts = bench::ParseBenchOptions(&argc, argv);
+  bench::FigureHarness harness("perf_layout");
+
+  // The fig11a log trace at double the default event count, in fewer and
+  // fatter splits than the figure run: large enough per task that
+  // per-record shuffle costs dominate task-scheduling overhead.
+  LogTraceOptions log_options;
+  log_options.num_events = 300000;
+  log_options.num_splits = 96;
+  const auto input =
+      RekeyByIp(GenerateLogTrace(log_options, opts.config.num_nodes));
+
+  JobConfig job;
+  job.name = "log_repartition_leg";
+  job.reducer = std::make_shared<VisitSummaryReducer>();
+
+  const int repeats = 5;
+  PathRun legacy;
+  PathRun batched;
+  RunInterleaved(opts, job, input, repeats, &legacy, &batched);
+
+  harness.Add("legacy", legacy.result.sim_seconds, "", legacy.best_ms);
+  harness.Add("batched", batched.result.sim_seconds, "", batched.best_ms);
+
+  double min_improvement = 0.20;
+  if (const char* env = std::getenv("EFIND_PERF_LAYOUT_MIN_IMPROVEMENT")) {
+    min_improvement = std::atof(env);
+  }
+
+  const bool identical_outputs =
+      SameOutputs(legacy.result, batched.result) &&
+      legacy.result.sim_seconds == batched.result.sim_seconds;
+  const double improvement =
+      legacy.best_ms > 0 ? 1.0 - batched.best_ms / legacy.best_ms : 0.0;
+  const bool fast_enough = improvement >= min_improvement;
+
+  const double records = batched.result.counters.Get("mr.shuffle.records");
+  const double allocs = batched.result.counters.Get("efind.alloc.count");
+  const double alloc_bytes = batched.result.counters.Get("efind.alloc.bytes");
+  const double records_per_alloc = allocs > 0 ? records / allocs : 0.0;
+  const bool alloc_drop = records_per_alloc >= 10.0 && alloc_bytes > 0;
+  const bool no_mismatch =
+      batched.result.counters.Get("mr.shuffle.checksum_mismatch") == 0.0;
+
+  std::printf(
+      "{\"bench\": \"perf_layout/layout\", \"legacy_ms\": %.3f, "
+      "\"batched_ms\": %.3f, \"improvement\": %.4f, "
+      "\"min_improvement\": %.4f, \"shuffle_records\": %.0f, "
+      "\"heap_allocs\": %.0f, \"records_per_alloc\": %.1f, "
+      "\"alloc_bytes\": %.0f, \"outputs_identical\": %s}\n",
+      legacy.best_ms, batched.best_ms, improvement, min_improvement, records,
+      allocs, records_per_alloc, alloc_bytes,
+      identical_outputs ? "true" : "false");
+  std::printf(
+      "{\"bench\": \"perf_layout/acceptance\", \"identical\": %s, "
+      "\"fast_enough\": %s, \"alloc_drop_10x\": %s, "
+      "\"zero_checksum_mismatch\": %s}\n",
+      identical_outputs ? "true" : "false", fast_enough ? "true" : "false",
+      alloc_drop ? "true" : "false", no_mismatch ? "true" : "false");
+  std::fflush(stdout);
+
+  const bool ok = identical_outputs && fast_enough && alloc_drop && no_mismatch;
+  const int rc = bench::FinishBench(harness, opts, argc, argv);
+  if (!ok) {
+    std::fprintf(stderr, "perf_layout acceptance FAILED\n");
+    return 1;
+  }
+  return rc;
+}

@@ -25,7 +25,15 @@
 #      mismatches, outputs byte-identical throughout). The resilience
 #      tests themselves (resilience_determinism_test,
 #      resilience_tsan_smoke, resilience_trace_lint) ride in the
-#      `faults` leg above.
+#      `faults` leg above,
+#   9. the shuffle hot-path perf leg (DESIGN.md §11): the arena/batch
+#      suite alone (ctest -L perf), the bench_perf_layout acceptance
+#      bench (exits nonzero unless the batched engine is byte-identical
+#      to the legacy one, >= 20% faster on the fig11a repartition leg,
+#      and >= 10x lower in per-record heap traffic), and the
+#      perf-trajectory budget check (scripts/bench_trajectory.sh --check
+#      exits nonzero if any area blows its pinned wall-clock budget; the
+#      committed BENCH_<area>.json snapshots are not rewritten here).
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -66,5 +74,13 @@ fi
 "$BUILD"/bench/bench_ablation_resilience \
   | grep -E '"ablation_resilience/(hedging|integrity|acceptance)"' || true
 "$BUILD"/bench/bench_ablation_resilience > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L perf)
+"$BUILD"/bench/bench_perf_layout --benchmark_list_tests=true \
+  | grep -E '"perf_layout/(layout|acceptance)"' || true
+"$BUILD"/bench/bench_perf_layout --benchmark_list_tests=true > /dev/null
+TRAJ_DIR="$(mktemp -d)"
+scripts/bench_trajectory.sh --build-dir "$BUILD" --out-dir "$TRAJ_DIR" --check
+rm -rf "$TRAJ_DIR"
 
 echo "verify: OK"

@@ -26,12 +26,37 @@ class Checksum64 {
   explicit Checksum64(uint64_t seed = 0)
       : state_(kPrime5 + seed * kPrime1), length_(0) {}
 
-  /// Absorbs `data` byte by byte (xxhash-style single-lane variant: the
-  /// inputs here are short keys/records, so lane parallelism buys nothing).
+  /// Absorbs `data` in 8-byte little-endian lanes with a byte-wise tail.
+  /// The lane composition is explicit (not a host-order load), so digests
+  /// are endian-stable; per the class contract, equal streams sliced
+  /// differently may digest differently — frame variable pieces instead.
   void Update(std::string_view data) {
-    for (unsigned char c : data) {
-      state_ ^= static_cast<uint64_t>(c) * kPrime5;
-      state_ = Rotl(state_, 11) * kPrime1;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data.data());
+    size_t n = data.size();
+    while (n >= 8) {
+      const uint64_t w =
+          static_cast<uint64_t>(p[0]) | static_cast<uint64_t>(p[1]) << 8 |
+          static_cast<uint64_t>(p[2]) << 16 |
+          static_cast<uint64_t>(p[3]) << 24 |
+          static_cast<uint64_t>(p[4]) << 32 |
+          static_cast<uint64_t>(p[5]) << 40 |
+          static_cast<uint64_t>(p[6]) << 48 | static_cast<uint64_t>(p[7]) << 56;
+      state_ ^= Mix(w);
+      state_ = Rotl(state_, 27) * kPrime1;
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      // The tail is one zero-padded lane with a distinct absorb pattern;
+      // the overall length (folded into the digest) disambiguates it from
+      // a full lane ending in zero bytes.
+      uint64_t w = 0;
+      for (size_t i = 0; i < n; ++i) {
+        w |= static_cast<uint64_t>(p[i]) << (8 * i);
+      }
+      state_ ^= Mix(w);
+      state_ = Rotl(state_, 23) * kPrime1 + kPrime5;
     }
     length_ += data.size();
   }

@@ -57,6 +57,10 @@ struct MapTaskResult {
   std::vector<uint64_t> partition_checksums;
   /// Which of the two partitioned representations is populated.
   bool batched = false;
+  /// Backs the buffers and entry tables of `partitioned_batches`. Owned by
+  /// the result so the batches stay readable until the reduce phase drops
+  /// the map outputs; freed in bulk with them (DESIGN.md §11).
+  std::unique_ptr<Arena> arena;
   /// Simulated duration in seconds (I/O + CPU + stage-charged time),
   /// after the cluster's fault model inflated it.
   double duration = 0.0;

@@ -281,49 +281,103 @@ MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
   result.node = split.node;
   result.batched = true;
   const int num_partitions = job.reducer ? ResolveNumReduceTasks(job) : 1;
-  result.partitioned_batches.resize(num_partitions);
+
+  // One arena backs everything this task's shuffle produces — staging
+  // buffer, per-bucket payload buffers, and entry tables. It moves into the
+  // result, so the batches stay valid (and strictly read-only) until the
+  // reduce phase drops the map outputs; they are then freed in bulk
+  // (DESIGN.md §11).
+  result.arena = std::make_unique<Arena>();
+  Arena& arena = *result.arena;
+  result.partitioned_batches.reserve(num_partitions);
+  for (int p = 0; p < num_partitions; ++p) {
+    result.partitioned_batches.emplace_back(&arena);
+  }
 
   TaskContext ctx(split.node, task_index, &result.counters);
-  // The arena backs the staging buffer and dies with this frame — after the
-  // fused sweep below has copied the survivors into the heap-owned
-  // per-bucket batches that cross the task boundary (DESIGN.md §11).
-  Arena arena;
-  RecordBatch staging(&arena);
-  StageChain chain(&job.map_stages, &ctx, &staging);
-  chain.Begin();
-
-  double cpu = 0.0;
-  for (const Record& r : split.records) {
-    result.input_bytes += r.size_bytes();
-    ++result.input_records;
-    cpu += config_.cpu_per_record_sec +
-           config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
-    chain.Push(r);
-  }
-  chain.Finish();
-
-  // Fused sweep: partition mapping, per-bucket content digest, and byte
-  // accounting in one sequential pass over the staging buffer. Logical
-  // sizes were computed once at append time — no attachment re-walks.
   const Partitioner& part = EffectivePartitioner(job);
+  // With the default hash partitioner, each key is hashed exactly once: the
+  // hash picks the bucket and is stored in the batch entry for the
+  // reduce-side gather. Custom partitioners keep their own mapping.
+  const auto* hash_part = dynamic_cast<const HashPartitioner*>(&part);
   std::vector<Checksum64> digests(num_partitions);
-  if (!staging.empty()) {
-    const size_t est_records = staging.size() / num_partitions + 1;
-    const size_t est_bytes = staging.buffer_bytes() / num_partitions + 64;
-    for (auto& b : result.partitioned_batches) {
-      b.Reserve(est_records, est_bytes);
+  double cpu = 0.0;
+  uint64_t staging_bytes = 0;
+  uint64_t staging_allocs = 0;
+
+  if (job.map_stages.empty()) {
+    // Stage-less fast path: re-partition legs are pure data movement, so
+    // input records go straight into the per-bucket batches — no stage
+    // chain, no per-record std::string copies at all. Charge accumulation
+    // matches the legacy path exactly: every input charge first, then
+    // every output charge, in the same record order.
+    uint64_t payload = 0;
+    for (const Record& r : split.records) {
+      result.input_bytes += r.size_bytes();
+      ++result.input_records;
+      cpu += config_.cpu_per_record_sec +
+             config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
+      payload += r.key.size() + r.value.size();
     }
-  }
-  for (size_t i = 0; i < staging.size(); ++i) {
-    const uint64_t bytes = staging.LogicalBytesAt(i);
-    result.output_bytes += bytes;
-    ++result.output_records;
-    cpu += config_.cpu_per_byte_sec * static_cast<double>(bytes);
-    const int p =
-        job.reducer ? part.Partition(staging.KeyAt(i), num_partitions) : 0;
-    result.partitioned_batches[p].AppendFrom(staging, i);
-    ChecksumRecord(&digests[p], staging.KeyAt(i), staging.ValueAt(i),
-                   staging.ExtraAt(i));
+    if (!split.records.empty()) {
+      const size_t est_records = split.records.size() / num_partitions + 1;
+      const size_t est_bytes = payload / num_partitions + 64;
+      for (auto& b : result.partitioned_batches) {
+        b.Reserve(est_records, est_bytes);
+      }
+    }
+    for (const Record& r : split.records) {
+      const uint64_t bytes = r.size_bytes();
+      result.output_bytes += bytes;
+      ++result.output_records;
+      cpu += config_.cpu_per_byte_sec * static_cast<double>(bytes);
+      const uint64_t h = Hash64(r.key);
+      const int p = !job.reducer ? 0
+                    : hash_part  ? HashPartitioner::FromHash(h, num_partitions)
+                                 : part.Partition(r.key, num_partitions);
+      RecordBatch& bucket = result.partitioned_batches[p];
+      bucket.Append(r.key, r.value, r.extra_bytes, r.attachment, h);
+      ChecksumBatchRecord(&digests[p], bucket, bucket.size() - 1);
+    }
+  } else {
+    RecordBatch staging(&arena);
+    StageChain chain(&job.map_stages, &ctx, &staging);
+    chain.Begin();
+
+    for (const Record& r : split.records) {
+      result.input_bytes += r.size_bytes();
+      ++result.input_records;
+      cpu += config_.cpu_per_record_sec +
+             config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
+      chain.Push(r);
+    }
+    chain.Finish();
+
+    // Fused sweep: partition mapping, per-bucket content digest, and byte
+    // accounting in one sequential pass over the staging buffer. Logical
+    // sizes were computed once at append time — no attachment re-walks.
+    if (!staging.empty()) {
+      const size_t est_records = staging.size() / num_partitions + 1;
+      const size_t est_bytes = staging.buffer_bytes() / num_partitions + 64;
+      for (auto& b : result.partitioned_batches) {
+        b.Reserve(est_records, est_bytes);
+      }
+    }
+    for (size_t i = 0; i < staging.size(); ++i) {
+      const uint64_t bytes = staging.LogicalBytesAt(i);
+      result.output_bytes += bytes;
+      ++result.output_records;
+      cpu += config_.cpu_per_byte_sec * static_cast<double>(bytes);
+      const int p = !job.reducer ? 0
+                    : hash_part  ? HashPartitioner::FromHash(
+                                      staging.KeyHashAt(i), num_partitions)
+                                 : part.Partition(staging.KeyAt(i),
+                                                  num_partitions);
+      result.partitioned_batches[p].AppendFrom(staging, i);
+      ChecksumBatchRecord(&digests[p], staging, i);
+    }
+    staging_bytes = staging.buffer_bytes();
+    staging_allocs = staging.heap_allocations();
   }
   result.partition_checksums.reserve(num_partitions);
   for (const auto& d : digests) {
@@ -331,10 +385,11 @@ MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
   }
 
   // Allocation telemetry: the real heap traffic this task's shuffle path
-  // performed (arena block acquisitions + batch buffer/table growths).
-  uint64_t alloc_count = arena.heap_allocations() + staging.heap_allocations();
+  // performed. With the arena backing every buffer and table, that is the
+  // arena's block acquisitions plus the batches' rare side-array growths.
+  uint64_t alloc_count = arena.heap_allocations() + staging_allocs;
   uint64_t alloc_bytes = arena.bytes_reserved();
-  uint64_t batch_bytes = staging.buffer_bytes();
+  uint64_t batch_bytes = staging_bytes;
   for (const auto& b : result.partitioned_batches) {
     alloc_count += b.heap_allocations();
     alloc_bytes += b.buffer_reserved_bytes();
@@ -460,12 +515,57 @@ ReducePhaseResult JobRunner::RunReduceRange(
     const int node = ReduceTaskNode(job, r);
     phase.outputs[slot].node = node;
 
-    struct Ref {
+    // The record's location in the (immutable) map outputs, indexed by
+    // arrival order.
+    struct Loc {
       const RecordBatch* batch;  // Null for a legacy map output.
       const Record* rec;         // Null for a batched map output.
-      uint32_t index;
+      uint32_t index;            // Record index within `batch`.
     };
-    std::unordered_map<std::string_view, std::vector<Ref>> groups;
+    size_t total = 0;
+    for (const MapTaskResult* mt : map_outputs) {
+      if (mt->batched) {
+        if (r < static_cast<int>(mt->partitioned_batches.size())) {
+          total += mt->partitioned_batches[r].size();
+        }
+      } else if (r < static_cast<int>(mt->partitioned_output.size())) {
+        total += mt->partitioned_output[r].size();
+      }
+    }
+    std::vector<Loc> locs;
+    locs.reserve(total);
+    // Grouping is a single open-addressing pass over the key hashes (which
+    // map-side entries already carry, so key bytes are not re-hashed
+    // here); ties probe on the full key bytes, so 64-bit hash collisions
+    // land in distinct groups. Only the unique keys are sorted afterwards
+    // — O(records) grouping instead of an O(records log records) sort.
+    struct Group {
+      std::string_view key;  // Points into the map-side shuffle memory.
+      uint64_t hash;
+      uint32_t count;
+      uint32_t offset;  // Filled by the prefix pass below.
+    };
+    std::vector<Group> groups;
+    size_t table_size = 16;
+    while (table_size < total * 2) table_size <<= 1;
+    std::vector<uint32_t> table(table_size, 0);  // Group index + 1; 0 empty.
+    const uint64_t table_mask = table_size - 1;
+    std::vector<uint32_t> group_of;  // Arrival order -> group index.
+    group_of.reserve(total);
+    auto group_for = [&](uint64_t hash, std::string_view key) -> uint32_t {
+      size_t slot = hash & table_mask;
+      for (;;) {
+        const uint32_t g = table[slot];
+        if (g == 0) {
+          table[slot] = static_cast<uint32_t>(groups.size()) + 1;
+          groups.push_back(Group{key, hash, 0, 0});
+          return static_cast<uint32_t>(groups.size()) - 1;
+        }
+        const Group& cand = groups[g - 1];
+        if (cand.hash == hash && cand.key == key) return g - 1;
+        slot = (slot + 1) & table_mask;
+      }
+    };
     uint64_t received_bytes = 0;
     size_t received_records = 0;
     uint64_t mismatches = 0;
@@ -473,13 +573,15 @@ ReducePhaseResult JobRunner::RunReduceRange(
       if (mt->batched) {
         if (r >= static_cast<int>(mt->partitioned_batches.size())) continue;
         const RecordBatch& b = mt->partitioned_batches[r];
+        received_bytes += b.payload_bytes();
+        received_records += b.size();
         Checksum64 digest;
         for (size_t i = 0; i < b.size(); ++i) {
-          received_bytes += b.LogicalBytesAt(i);
-          ++received_records;
-          ChecksumRecord(&digest, b.KeyAt(i), b.ValueAt(i), b.ExtraAt(i));
-          groups[b.KeyAt(i)].push_back(
-              Ref{&b, nullptr, static_cast<uint32_t>(i)});
+          ChecksumBatchRecord(&digest, b, i);
+          const uint32_t g = group_for(b.KeyHashAt(i), b.KeyAt(i));
+          ++groups[g].count;
+          group_of.push_back(g);
+          locs.push_back(Loc{&b, nullptr, static_cast<uint32_t>(i)});
         }
         if (r < static_cast<int>(mt->partition_checksums.size()) &&
             digest.Digest() != mt->partition_checksums[r]) {
@@ -491,15 +593,41 @@ ReducePhaseResult JobRunner::RunReduceRange(
         for (const Record& rec : mt->partitioned_output[r]) {
           received_bytes += rec.size_bytes();
           ++received_records;
-          groups[std::string_view(rec.key)].push_back(Ref{nullptr, &rec, 0});
+          const uint32_t g = group_for(Hash64(rec.key), rec.key);
+          ++groups[g].count;
+          group_of.push_back(g);
+          locs.push_back(Loc{nullptr, &rec, 0});
         }
       }
     }
-    std::vector<std::pair<std::string_view, std::vector<Ref>*>> ordered;
-    ordered.reserve(groups.size());
-    for (auto& kv : groups) ordered.push_back({kv.first, &kv.second});
+    // Lay the records out group-contiguously: prefix sums over the group
+    // counts, then a scatter of arrival indices. Scattering in arrival
+    // order keeps values in arrival order within each group, matching the
+    // legacy gather byte for byte.
+    uint32_t running = 0;
+    for (Group& g : groups) {
+      g.offset = running;
+      running += g.count;
+    }
+    std::vector<uint32_t> grouped(locs.size());  // Group-contiguous arrivals.
+    {
+      std::vector<uint32_t> cursor(groups.size());
+      for (size_t gi = 0; gi < groups.size(); ++gi) {
+        cursor[gi] = groups[gi].offset;
+      }
+      for (uint32_t a = 0; a < static_cast<uint32_t>(group_of.size()); ++a) {
+        grouped[cursor[group_of[a]]++] = a;
+      }
+    }
+    // Reducers consume keys in sorted order, matching the legacy gather.
+    std::vector<uint32_t> ordered(groups.size());
+    for (uint32_t i = 0; i < static_cast<uint32_t>(ordered.size()); ++i) {
+      ordered[i] = i;
+    }
     std::sort(ordered.begin(), ordered.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+              [&groups](uint32_t a, uint32_t b) {
+                return groups[a].key < groups[b].key;
+              });
 
     TaskContext ctx(node, r, &phase.task_counters[slot]);
     std::vector<Record> sink;
@@ -510,22 +638,28 @@ ReducePhaseResult JobRunner::RunReduceRange(
     double cpu =
         config_.cpu_per_byte_sec * static_cast<double>(received_bytes) +
         config_.cpu_per_record_sec * static_cast<double>(received_records);
-    auto materialize = [](const Ref& ref) {
-      return ref.batch ? ref.batch->MaterializeRecord(ref.index) : *ref.rec;
+    auto materialize = [&locs](uint32_t arrival) {
+      const Loc& loc = locs[arrival];
+      return loc.batch ? loc.batch->MaterializeRecord(loc.index) : *loc.rec;
     };
     if (job.reducer) {
-      for (auto& [key, refs] : ordered) {
+      for (const uint32_t gi : ordered) {
+        const Group& g = groups[gi];
         std::vector<Record> values;
-        values.reserve(refs->size());
-        for (const Ref& ref : *refs) values.push_back(materialize(ref));
-        job.reducer->Reduce(std::string(key), std::move(values), &ctx,
+        values.reserve(g.count);
+        for (uint32_t k = g.offset; k < g.offset + g.count; ++k) {
+          values.push_back(materialize(grouped[k]));
+        }
+        job.reducer->Reduce(std::string(g.key), std::move(values), &ctx,
                             chain.EmitterInto(0));
       }
       job.reducer->EndTask(&ctx, chain.EmitterInto(0));
     } else {
-      for (auto& [key, refs] : ordered) {
-        (void)key;
-        for (const Ref& ref : *refs) chain.Push(materialize(ref));
+      for (const uint32_t gi : ordered) {
+        const Group& g = groups[gi];
+        for (uint32_t k = g.offset; k < g.offset + g.count; ++k) {
+          chain.Push(materialize(grouped[k]));
+        }
       }
     }
     chain.Finish();

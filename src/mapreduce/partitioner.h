@@ -29,8 +29,14 @@ class HashPartitioner : public Partitioner {
  public:
   std::string name() const override { return "hash"; }
   int Partition(std::string_view key, int num_partitions) const override {
+    return FromHash(Hash64(key), num_partitions);
+  }
+  /// The same mapping from an already-computed `Hash64(key)` — the batched
+  /// shuffle sweep hashes each key exactly once and feeds both the
+  /// partitioner and the batch entry from it.
+  static int FromHash(uint64_t hash, int num_partitions) {
     return static_cast<int>(
-        FastRange64(Hash64(key), static_cast<uint64_t>(num_partitions)));
+        FastRange64(hash, static_cast<uint64_t>(num_partitions)));
   }
 };
 

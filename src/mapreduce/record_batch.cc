@@ -15,11 +15,30 @@ const std::shared_ptr<const RecordAttachment> kNoAttachment;
 }  // namespace
 
 void RecordBatch::Reserve(size_t records, size_t bytes) {
-  if (records > entries_.capacity()) {
-    ++heap_allocations_;
-    entries_.reserve(records);
-  }
+  if (records > entries_cap_) GrowEntries(records);
   if (bytes > buf_cap_) EnsureRoom(bytes - buf_size_);
+}
+
+void RecordBatch::GrowEntries(size_t min_cap) {
+  size_t cap = std::max<size_t>(min_cap, 16);
+  cap = std::max(cap, entries_cap_ * 2);
+  if (arena_ != nullptr) {
+    Entry* grown = static_cast<Entry*>(
+        arena_->Allocate(cap * sizeof(Entry), alignof(Entry)));
+    if (entries_size_ > 0) {
+      std::memcpy(grown, entries_, entries_size_ * sizeof(Entry));
+    }
+    entries_ = grown;
+  } else {
+    auto grown = std::make_unique<Entry[]>(cap);
+    ++heap_allocations_;
+    if (entries_size_ > 0) {
+      std::memcpy(grown.get(), entries_, entries_size_ * sizeof(Entry));
+    }
+    entries_owned_ = std::move(grown);
+    entries_ = entries_owned_.get();
+  }
+  entries_cap_ = cap;
 }
 
 char* RecordBatch::EnsureRoom(size_t bytes) {
@@ -45,7 +64,8 @@ char* RecordBatch::EnsureRoom(size_t bytes) {
 
 void RecordBatch::Append(std::string_view key, std::string_view value,
                          uint64_t extra_bytes,
-                         std::shared_ptr<const RecordAttachment> attachment) {
+                         std::shared_ptr<const RecordAttachment> attachment,
+                         uint64_t key_hash) {
   char* dst = EnsureRoom(key.size() + value.size());
   if (!key.empty()) std::memcpy(dst, key.data(), key.size());
   if (!value.empty()) std::memcpy(dst + key.size(), value.data(), value.size());
@@ -54,18 +74,19 @@ void RecordBatch::Append(std::string_view key, std::string_view value,
   e.key_off = buf_size_;
   e.key_len = static_cast<uint32_t>(key.size());
   e.value_len = static_cast<uint32_t>(value.size());
+  e.key_hash = key_hash;
   e.extra_bytes = extra_bytes;
   e.logical_bytes = key.size() + value.size() + extra_bytes;
   if (attachment) {
     e.logical_bytes += attachment->size_bytes();
     e.attach = static_cast<int32_t>(attachments_.size());
-    CountGrowth(attachments_);
+    ReserveAttachmentSlot();
     attachments_.push_back(std::move(attachment));
   }
   buf_size_ += key.size() + value.size();
   payload_bytes_ += e.logical_bytes;
-  CountGrowth(entries_);
-  entries_.push_back(e);
+  EnsureEntryRoom();
+  entries_[entries_size_++] = e;
 }
 
 void RecordBatch::AppendFrom(const RecordBatch& other, size_t i) {
@@ -77,13 +98,13 @@ void RecordBatch::AppendFrom(const RecordBatch& other, size_t i) {
   e.key_off = buf_size_;
   if (src.attach >= 0) {
     e.attach = static_cast<int32_t>(attachments_.size());
-    CountGrowth(attachments_);
+    ReserveAttachmentSlot();
     attachments_.push_back(other.attachments_[src.attach]);
   }
   buf_size_ += src.key_len + src.value_len;
   payload_bytes_ += e.logical_bytes;
-  CountGrowth(entries_);
-  entries_.push_back(e);
+  EnsureEntryRoom();
+  entries_[entries_size_++] = e;
 }
 
 const std::shared_ptr<const RecordAttachment>& RecordBatch::AttachmentAt(
@@ -112,8 +133,8 @@ Record RecordBatch::MaterializeRecord(size_t i) const {
 
 std::vector<Record> RecordBatch::ToRecords() const {
   std::vector<Record> out;
-  out.reserve(entries_.size());
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  out.reserve(entries_size_);
+  for (size_t i = 0; i < entries_size_; ++i) {
     out.push_back(MaterializeRecord(i));
   }
   return out;
@@ -131,14 +152,14 @@ RecordBatch RecordBatch::FromRecords(const std::vector<Record>& records,
 
 uint64_t RecordBatch::ContentChecksum(uint64_t seed) const {
   Checksum64 sum(seed);
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  for (size_t i = 0; i < entries_size_; ++i) {
     ChecksumRecord(&sum, KeyAt(i), ValueAt(i), entries_[i].extra_bytes);
   }
   return sum.Digest();
 }
 
 void RecordBatch::Clear() {
-  entries_.clear();
+  entries_size_ = 0;
   attachments_.clear();
   buf_size_ = 0;
   payload_bytes_ = 0;

@@ -17,6 +17,7 @@
 #ifndef EFIND_MAPREDUCE_RECORD_BATCH_H_
 #define EFIND_MAPREDUCE_RECORD_BATCH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "common/arena.h"
 #include "common/checksum.h"
+#include "common/hash.h"
 #include "mapreduce/record.h"
 
 namespace efind {
@@ -42,6 +44,17 @@ inline void ChecksumRecord(Checksum64* sum, std::string_view key,
   sum->UpdateFramed(value);
   sum->UpdateU64(extra_bytes);
 }
+
+class RecordBatch;
+
+/// Absorbs record `i` of a batch with the *shuffle* framing (both lengths,
+/// extra bytes, then the key+value bytes as one contiguous slice). Same
+/// injectivity as `ChecksumRecord` but one streaming `Update` per record;
+/// used for the in-memory map→reduce partition digests, where both ends
+/// hold the record in batch layout. Artifact digests keep the
+/// `ChecksumRecord` framing.
+inline void ChecksumBatchRecord(Checksum64* sum, const RecordBatch& batch,
+                                size_t i);
 
 /// One contiguous byte buffer plus an offset/length table.
 ///
@@ -74,13 +87,22 @@ class RecordBatch {
   }
   void Append(std::string_view key, std::string_view value,
               uint64_t extra_bytes,
-              std::shared_ptr<const RecordAttachment> attachment);
+              std::shared_ptr<const RecordAttachment> attachment) {
+    Append(key, value, extra_bytes, std::move(attachment), Hash64(key));
+  }
+  /// Append with the key's `Hash64` already in hand (the partition sweep
+  /// computes it anyway); it is stored in the entry so the reduce-side
+  /// gather groups records without re-hashing key bytes.
+  void Append(std::string_view key, std::string_view value,
+              uint64_t extra_bytes,
+              std::shared_ptr<const RecordAttachment> attachment,
+              uint64_t key_hash);
   /// Copies record `i` of `other` (memcpy of payload; the precomputed
   /// logical size is carried over, no attachment walk).
   void AppendFrom(const RecordBatch& other, size_t i);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_size_; }
+  bool empty() const { return entries_size_ == 0; }
 
   std::string_view KeyAt(size_t i) const {
     const Entry& e = entries_[i];
@@ -91,6 +113,16 @@ class RecordBatch {
     return std::string_view(buf_ + e.key_off + e.key_len, e.value_len);
   }
   uint64_t ExtraAt(size_t i) const { return entries_[i].extra_bytes; }
+  /// The record's key and value as one contiguous byte slice (they are
+  /// adjacent in the buffer) — lets checksums absorb the record in a
+  /// single streaming pass.
+  std::string_view SliceAt(size_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(buf_ + e.key_off,
+                            static_cast<size_t>(e.key_len) + e.value_len);
+  }
+  /// `Hash64` of the record's key, computed once at append time.
+  uint64_t KeyHashAt(size_t i) const { return entries_[i].key_hash; }
   /// Logical record size (same value `Record::size_bytes()` would return),
   /// computed once at append time.
   uint64_t LogicalBytesAt(size_t i) const {
@@ -132,14 +164,29 @@ class RecordBatch {
     uint32_t key_len = 0;
     uint32_t value_len = 0;
     int32_t attach = -1;        // Index into attachments_, -1 if none.
+    uint64_t key_hash = 0;      // Hash64(key), for the reduce-side gather.
     uint64_t extra_bytes = 0;
     uint64_t logical_bytes = 0; // Full Record::size_bytes() equivalent.
   };
 
   char* EnsureRoom(size_t bytes);
-  template <typename Vec>
-  void CountGrowth(const Vec& v) {
-    if (v.size() == v.capacity()) ++heap_allocations_;
+  /// Grows the entry table to hold at least `min_cap` entries. Arena-backed
+  /// batches grow it from the arena (the abandoned table joins the bulk
+  /// free), heap batches from the heap.
+  void GrowEntries(size_t min_cap);
+  void EnsureEntryRoom() {
+    if (entries_size_ == entries_cap_) GrowEntries(entries_cap_ * 2);
+  }
+  /// Counts the impending growth of the attachment side array and, on the
+  /// first one, sizes it for the expected record count so attachment-heavy
+  /// batches do one growth instead of a doubling ladder from zero.
+  void ReserveAttachmentSlot() {
+    if (attachments_.size() == attachments_.capacity()) {
+      ++heap_allocations_;
+      if (attachments_.capacity() < entries_cap_) {
+        attachments_.reserve(std::max<size_t>(entries_cap_, 8));
+      }
+    }
   }
 
   Arena* arena_ = nullptr;
@@ -147,11 +194,22 @@ class RecordBatch {
   size_t buf_size_ = 0;
   size_t buf_cap_ = 0;
   std::unique_ptr<char[]> owned_;  // Backs buf_ in heap mode.
-  std::vector<Entry> entries_;
+  Entry* entries_ = nullptr;
+  size_t entries_size_ = 0;
+  size_t entries_cap_ = 0;
+  std::unique_ptr<Entry[]> entries_owned_;  // Backs entries_ in heap mode.
   std::vector<std::shared_ptr<const RecordAttachment>> attachments_;
   uint64_t payload_bytes_ = 0;
   uint64_t heap_allocations_ = 0;
 };
+
+inline void ChecksumBatchRecord(Checksum64* sum, const RecordBatch& batch,
+                                size_t i) {
+  sum->UpdateU64(batch.KeyAt(i).size());
+  sum->UpdateU64(batch.ValueAt(i).size());
+  sum->UpdateU64(batch.ExtraAt(i));
+  sum->Update(batch.SliceAt(i));
+}
 
 }  // namespace efind
 
