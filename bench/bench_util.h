@@ -197,6 +197,13 @@ struct BenchOptions {
   bool batch_shuffle = true;
   /// Arena block size override (--arena-block-bytes); 0 = default/env.
   size_t arena_block_bytes = 0;
+  /// Zipf skew θ for workloads with a skewable key draw (--skew); 0 keeps
+  /// each workload's stock distribution (DESIGN.md §12).
+  double skew = 0.0;
+  /// Salted sub-partitions per detected hot key (--salt-fanout).
+  int salt_fanout = 8;
+  /// SkewDetector hot-key share threshold (--hot-key-threshold).
+  double hot_key_threshold = 0.05;
   /// Observability output paths; empty = off.
   std::string trace_out;        // Chrome trace-event JSON.
   std::string report_out;       // Run report, JSON.
@@ -226,6 +233,8 @@ struct BenchOptions {
   EFindOptions MakeEFindOptions() const {
     EFindOptions out;
     out.cache_capacity = cache_capacity;
+    out.salt_fanout = salt_fanout;
+    out.hot_key_threshold = hot_key_threshold;
     return out;
   }
 };
@@ -235,6 +244,9 @@ struct BenchOptions {
 /// arguments for benchmark's own parser. On top of `--threads=N` and the
 /// `--fault-*` family above:
 ///   --cache-capacity=N   lookup-cache entries per node (default 1024)
+///   --skew=X             Zipf θ for skewable workloads (default 0=stock)
+///   --salt-fanout=N      salted sub-partitions per hot key (default 8)
+///   --hot-key-threshold=X  SkewDetector hot-key share gate (default 0.05)
 ///   --reuse-capacity=N   artifact-store capacity in bytes (default 64 MiB)
 ///   --reuse-dir=PATH     write the store manifest to PATH/manifest.json
 ///                        after the run (reuse-aware benches only)
@@ -285,6 +297,26 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
       }
       opts.arena_block_bytes = static_cast<size_t>(n);
       setenv("EFIND_ARENA_BLOCK_BYTES", v, /*overwrite=*/1);
+    } else if ((v = value(arg, "--skew")) != nullptr) {
+      opts.skew = std::atof(v);
+      if (opts.skew < 0.0) {
+        std::fprintf(stderr, "invalid --skew=%s\n", v);
+        std::exit(2);
+      }
+    } else if ((v = value(arg, "--salt-fanout")) != nullptr) {
+      const int n = std::atoi(v);
+      if (n < 2) {
+        std::fprintf(stderr, "invalid --salt-fanout=%s (need >= 2)\n", v);
+        std::exit(2);
+      }
+      opts.salt_fanout = n;
+    } else if ((v = value(arg, "--hot-key-threshold")) != nullptr) {
+      const double t = std::atof(v);
+      if (t <= 0.0 || t > 1.0) {
+        std::fprintf(stderr, "invalid --hot-key-threshold=%s\n", v);
+        std::exit(2);
+      }
+      opts.hot_key_threshold = t;
     } else if ((v = value(arg, "--trace-out")) != nullptr) {
       opts.trace_out = v;
     } else if ((v = value(arg, "--report")) != nullptr) {
@@ -339,6 +371,9 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
                    std::to_string(ResolveArenaBlockBytes()));
   out.emplace_back("reuse_capacity", std::to_string(opts.reuse_capacity));
   out.emplace_back("reuse_dir", opts.reuse_dir);
+  out.emplace_back("skew", num(opts.skew));
+  out.emplace_back("salt_fanout", std::to_string(opts.salt_fanout));
+  out.emplace_back("hot_key_threshold", num(opts.hot_key_threshold));
   out.emplace_back("fault_seed", std::to_string(c.fault_seed));
   out.emplace_back("task_failure_rate", num(c.task_failure_rate));
   out.emplace_back("straggler_rate", num(c.straggler_rate));

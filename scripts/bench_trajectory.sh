@@ -10,6 +10,7 @@
 #   reuse      bench_ablation_reuse     cross-job artifact reuse
 #   resilience bench_ablation_resilience service-level resilience
 #   obs        bench_obs_overhead       observability overhead
+#   skew       bench_ablation_skew      skew matrix + salting (DESIGN.md §12)
 #
 # Usage: scripts/bench_trajectory.sh [options] [area...]
 #   --build-dir DIR   bench binaries live in DIR/bench (default: build)
@@ -41,7 +42,7 @@ while [ $# -gt 0 ]; do
     *) AREAS+=("$1"); shift ;;
   esac
 done
-[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs)
+[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew)
 
 bench_for() {
   case "$1" in
@@ -50,6 +51,7 @@ bench_for() {
     reuse) echo bench_ablation_reuse ;;
     resilience) echo bench_ablation_resilience ;;
     obs) echo bench_obs_overhead ;;
+    skew) echo bench_ablation_skew ;;
     *) echo "unknown area: $1" >&2; return 1 ;;
   esac
 }
@@ -65,6 +67,7 @@ budget_for() {
     reuse) echo 20000 ;;
     resilience) echo 4000 ;;
     obs) echo 10000 ;;
+    skew) echo 15000 ;;
   esac
 }
 

@@ -49,6 +49,47 @@ RESILIENCE_EVENTS = {
 BREAKER_STATES = ("closed", "open", "half_open")
 
 
+# Skew-aware re-partitioning events (DESIGN.md §12): category "skew",
+# instant-only, emitted on the orchestration thread when plan expansion
+# installs a SaltingPartitioner. skew_detected records the detector verdict
+# (hot-key count, hottest share); salt_split records the installed fanout
+# and the reduce-partition count the salted keys spread into. Maps
+# name -> required arg keys.
+SKEW_EVENTS = {
+    "skew_detected": ("operator", "index", "hot_keys", "max_share"),
+    "salt_split": ("operator", "index", "fanout", "partitions"),
+}
+
+
+def lint_skew_event(e, name, ph, args, err, where):
+    if ph != "i":
+        err("%s: skew event must be an instant, got ph %r" % (where, ph))
+    if e.get("cat") != "skew":
+        err("%s: skew event must have cat \"skew\", got %r"
+            % (where, e.get("cat")))
+    for key in SKEW_EVENTS[name]:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    for key in ("index", "hot_keys", "fanout", "partitions"):
+        if key in args and not args.get(key, "").isdigit():
+            err("%s: arg %r must be a decimal count, got %r"
+                % (where, key, args.get(key)))
+    if name == "skew_detected":
+        if args.get("hot_keys") == "0":
+            err("%s: skew_detected with zero hot keys" % where)
+        try:
+            share = float(args.get("max_share", ""))
+        except ValueError:
+            share = -1.0
+        if not 0.0 < share <= 1.0:
+            err("%s: arg \"max_share\" must be a share in (0, 1], got %r"
+                % (where, args.get("max_share")))
+    elif name == "salt_split":
+        fanout = args.get("fanout", "")
+        if fanout.isdigit() and int(fanout) < 2:
+            err("%s: arg \"fanout\" must be >= 2, got %r" % (where, fanout))
+
+
 def lint_resilience_event(e, name, ph, args, err, where):
     if ph != "i":
         err("%s: resilience event must be an instant, got ph %r" % (where, ph))
@@ -173,6 +214,8 @@ def lint(doc, require_spans, require_instants, require_any):
             lint_reuse_event(e, name, ph, args, err, where)
         if name in RESILIENCE_EVENTS and isinstance(args, dict):
             lint_resilience_event(e, name, ph, args, err, where)
+        if name in SKEW_EVENTS and isinstance(args, dict):
+            lint_skew_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

@@ -26,7 +26,13 @@
 #      tests themselves (resilience_determinism_test,
 #      resilience_tsan_smoke, resilience_trace_lint) ride in the
 #      `faults` leg above,
-#   9. the shuffle hot-path perf leg (DESIGN.md §11): the arena/batch
+#   9. the skew leg (DESIGN.md §12): the skew suite alone (ctest -L skew,
+#      includes the skew trace lint) and the bench_ablation_skew winner
+#      matrix (exits nonzero unless salted re-partitioning beats plain
+#      re-partitioning by >= 25% simulated makespan on the skewed
+#      scenarios, matches it exactly on the benign ones, and stays
+#      byte-identical batched vs legacy),
+#  10. the shuffle hot-path perf leg (DESIGN.md §11): the arena/batch
 #      suite alone (ctest -L perf), the bench_perf_layout acceptance
 #      bench (exits nonzero unless the batched engine is byte-identical
 #      to the legacy one, >= 20% faster on the fig11a repartition leg,
@@ -74,6 +80,11 @@ fi
 "$BUILD"/bench/bench_ablation_resilience \
   | grep -E '"ablation_resilience/(hedging|integrity|acceptance)"' || true
 "$BUILD"/bench/bench_ablation_resilience > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L skew)
+"$BUILD"/bench/bench_ablation_skew --benchmark_list_tests=true \
+  | grep -E '"ablation_skew/(check|zipf1.2(\+faults)?/summary)"' || true
+"$BUILD"/bench/bench_ablation_skew --benchmark_list_tests=true > /dev/null
 
 (cd "$BUILD" && ctest --output-on-failure -L perf)
 "$BUILD"/bench/bench_perf_layout --benchmark_list_tests=true \

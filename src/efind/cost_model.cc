@@ -109,10 +109,62 @@ double CostModel::ResultCost(const OperatorStats& stats,
          MinBoundaryBytes(stats, position, spre_eff);
 }
 
+double CostModel::SkewExcessCost(const OperatorStats& stats,
+                                 const IndexStats& is, OperatorPosition position,
+                                 double spre_eff, int spread) const {
+  // Skew term (DESIGN.md §12): Eq. 3 prices the grouped side as if it
+  // spread evenly over the cluster, but a key holding `max_key_share` of
+  // the stream pins that share of the *cluster-wide* grouped work — the
+  // shuffle receive, the extra data pass, and the boundary store — onto a
+  // single node's reduce task and onto the follow-up lookup job's one hot
+  // split. Salting divides the pinned share across `spread` sub-partitions.
+  double share = is.max_key_share;
+  if (share <= 0.0 || config_.num_nodes <= 1) return 0.0;
+  if (spread > 1) share /= spread;
+  const double balanced = ShuffleCost(stats, spre_eff) +
+                          ExtraPassCost(stats, spre_eff) +
+                          ResultCost(stats, position, spre_eff);
+  const double serialized = share * balanced * config_.num_nodes;
+  return std::max(0.0, serialized - balanced);
+}
+
+int CostModel::EffectiveSaltSpread(const IndexStats& is) const {
+  const int fanout = is.salt_fanout > 0 ? is.salt_fanout : 8;
+  return std::max(1, std::min(fanout, config_.num_nodes));
+}
+
 double CostModel::RepartitionCost(const OperatorStats& stats, int j,
                                   OperatorPosition position,
                                   double spre_eff) const {
   if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  return RepartitionBase(stats, j, position, spre_eff) +
+         SkewExcessCost(stats, is, position, spre_eff, /*spread=*/1);
+}
+
+double CostModel::SaltedRepartitionCost(const OperatorStats& stats, int j,
+                                        OperatorPosition position,
+                                        double spre_eff) const {
+  if (!ValidIndex(stats, j)) return 0;
+  const IndexStats& is = stats.index[j];
+  const int spread = EffectiveSaltSpread(is);
+  // Spreading a hot key over `spread` sub-partitions costs one grouped
+  // lookup per sub-partition instead of one total (the dedup-by-Theta term
+  // of Eq. 3 assumed one); the duplicates run on distinct nodes, hence the
+  // per-machine division.
+  const double per_lookup =
+      config_.RemoteLookupSeconds(static_cast<uint64_t>(is.sik + is.siv)) +
+      is.remote_overhead + is.tj + is.avail_excess;
+  const double dup_lookups =
+      static_cast<double>(is.hot_keys.size()) * (spread - 1) * per_lookup /
+      config_.num_nodes;
+  return RepartitionBase(stats, j, position, spre_eff) +
+         SkewExcessCost(stats, is, position, spre_eff, spread) + dup_lookups;
+}
+
+double CostModel::RepartitionBase(const OperatorStats& stats, int j,
+                                  OperatorPosition position,
+                                  double spre_eff) const {
   const IndexStats& is = stats.index[j];
   const double theta = std::max(1.0, is.theta);
   // `avail_excess` is the observed per-lookup cost of every resilience
@@ -199,6 +251,8 @@ double CostModel::Cost(Strategy strategy, const OperatorStats& stats, int j,
       return RepartitionCost(stats, j, position, spre_eff);
     case Strategy::kIndexLocality:
       return IndexLocalityCost(stats, j, position, spre_eff);
+    case Strategy::kSaltedRepartition:
+      return SaltedRepartitionCost(stats, j, position, spre_eff);
   }
   return 0;
 }

@@ -33,9 +33,29 @@ class CostModel {
   double CacheCost(const OperatorStats& stats, int j) const;
 
   /// Eq. (3): Cost_repart = Cost_shuffle + Cost_result + Cost_lookup with
-  /// lookups deduplicated by the cluster-wide duplicate factor Theta.
+  /// lookups deduplicated by the cluster-wide duplicate factor Theta, plus
+  /// the skew excess a hot key's serialized reduce wave adds (DESIGN.md
+  /// §12; zero for benign key distributions).
   double RepartitionCost(const OperatorStats& stats, int j,
                          OperatorPosition position, double spre_eff) const;
+
+  /// DESIGN.md §12: Eq. (3) with the hot keys' pinned share divided by the
+  /// salt spread, plus one duplicate grouped lookup per extra sub-partition.
+  /// Cheaper than RepartitionCost exactly when skew is material.
+  double SaltedRepartitionCost(const OperatorStats& stats, int j,
+                               OperatorPosition position,
+                               double spre_eff) const;
+
+  /// Extra per-machine seconds the slowest node pays over the balanced
+  /// Eq. 3 estimate when the hottest key's share is pinned to it, with the
+  /// share divided across `spread` salted sub-partitions (1 = unsalted).
+  double SkewExcessCost(const OperatorStats& stats, const IndexStats& is,
+                        OperatorPosition position, double spre_eff,
+                        int spread) const;
+
+  /// Nodes a hot key's sub-partitions effectively spread over:
+  /// min(salt_fanout, num_nodes), at least 1.
+  int EffectiveSaltSpread(const IndexStats& is) const;
 
   /// Eq. (4): like re-partitioning, but the lookup leg pays T_j only
   /// (local) plus moving the main data to the index hosts (N1*Spre/BW).
@@ -89,6 +109,11 @@ class CostModel {
   /// Cost_result = f * N1 * S_min.
   double ResultCost(const OperatorStats& stats, OperatorPosition position,
                     double spre_eff) const;
+
+  /// Eq. (3) without the skew excess — shared by the plain and the salted
+  /// re-partitioning costs.
+  double RepartitionBase(const OperatorStats& stats, int j,
+                         OperatorPosition position, double spre_eff) const;
 
   ClusterConfig config_;
 };

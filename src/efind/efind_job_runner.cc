@@ -475,6 +475,7 @@ class PipelineExecutor {
     if (oplan != nullptr) {
       for (const IndexChoice& c : oplan->order) {
         if (c.strategy == Strategy::kRepartition ||
+            c.strategy == Strategy::kSaltedRepartition ||
             c.strategy == Strategy::kIndexLocality) {
           shuffled.push_back(c);
         } else {
@@ -497,6 +498,17 @@ class PipelineExecutor {
           op->accessors()[choice.index]->partition_scheme();
       const bool idxloc =
           choice.strategy == Strategy::kIndexLocality && scheme != nullptr;
+      // Salted re-partitioning needs the detected hot-key set; without a
+      // statistics hint it degenerates to plain re-partitioning (the
+      // SaltingPartitioner would have nothing to spread).
+      const IndexStats* choice_stats =
+          stats != nullptr &&
+                  choice.index < static_cast<int>(stats->index.size())
+              ? &stats->index[choice.index]
+              : nullptr;
+      const bool salted = choice.strategy == Strategy::kSaltedRepartition &&
+                          choice_stats != nullptr &&
+                          !choice_stats->hot_keys.empty();
       const int partitions =
           idxloc ? scheme->num_partitions() : config_.total_map_slots();
       const reuse::ArtifactLayout layout =
@@ -508,7 +520,9 @@ class PipelineExecutor {
       // with earlier indices' lookup results, which the store does not
       // name. The fingerprint is derived from the same parameters the
       // execution below would use, so publish and resolve cannot disagree.
-      const bool store_eligible = s == 0 && store_ != nullptr;
+      // Salted output is excluded: its bucket layout depends on the run's
+      // detected hot set, which the fingerprint does not name.
+      const bool store_eligible = s == 0 && store_ != nullptr && !salted;
       uint64_t artifact_fp = 0;
       if (store_eligible) {
         artifact_fp = reuse::ArtifactFingerprint(
@@ -569,6 +583,31 @@ class PipelineExecutor {
       cur_.reducer = std::make_shared<GroupReducer>();
       if (idxloc) {
         cur_.partitioner = std::make_shared<SchemePartitioner>(scheme);
+      } else if (salted) {
+        const int fanout = std::max(2, options_.salt_fanout);
+        cur_.partitioner = std::make_shared<SaltingPartitioner>(
+            choice_stats->hot_keys, fanout);
+#if EFIND_OBS
+        if (obs_ != nullptr) {
+          obs::TraceRecorder& tr = obs_->trace();
+          tr.Instant("skew_detected", "skew", tr.clock(), obs::kClusterTrack,
+                     {{"operator", op->name()},
+                      {"index", std::to_string(choice.index)},
+                      {"hot_keys",
+                       std::to_string(choice_stats->hot_keys.size())},
+                      {"max_share",
+                       std::to_string(choice_stats->max_key_share)}});
+          tr.Instant("salt_split", "skew", tr.clock(), obs::kClusterTrack,
+                     {{"operator", op->name()},
+                      {"index", std::to_string(choice.index)},
+                      {"fanout", std::to_string(fanout)},
+                      {"partitions", std::to_string(partitions)}});
+          obs::MetricsRegistry& mx = obs_->metrics();
+          mx.Add(mx.Counter("efind.skew.hot_keys"),
+                 static_cast<double>(choice_stats->hot_keys.size()));
+          mx.Add(mx.Counter("efind.skew.salt_splits"), 1.0);
+        }
+#endif
       }
       // Non-idxloc: as many grouped output files as map slots, so the
       // follow-up lookup job runs at full parallelism.
@@ -590,8 +629,8 @@ class PipelineExecutor {
           case BoundaryPolicy::kAuto:
             if (stats != nullptr) {
               const double lookup_cost =
-                  cost_model_.RepartitionCost(*stats, choice.index, pos,
-                                              spre_eff) -
+                  cost_model_.Cost(choice.strategy, *stats, choice.index,
+                                   pos, spre_eff) -
                   cost_model_.ShuffleCost(*stats, spre_eff) -
                   cost_model_.ExtraJobSeconds();
               post_boundary = cost_model_.PreferPostBoundary(
@@ -697,7 +736,8 @@ std::unique_ptr<EFindJobRunner::RunContext> EFindJobRunner::MakeRunContext(
                   std::vector<std::unique_ptr<OperatorRuntime>>* out) {
     for (const auto& op : ops) {
       out->push_back(std::make_unique<OperatorRuntime>(
-          op->num_indices(), config_.num_nodes, options_.cache_capacity));
+          op->num_indices(), config_.num_nodes, options_.cache_capacity,
+          options_.hot_key_threshold, options_.salt_fanout));
     }
   };
   fill(conf.head_ops(), &rc->head);

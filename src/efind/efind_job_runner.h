@@ -43,6 +43,13 @@ struct EFindOptions {
   double plan_change_cost_sec = 0.02;
   /// Job-boundary placement for shuffle strategies (ablation knob).
   BoundaryPolicy boundary_policy = BoundaryPolicy::kAuto;
+  /// Skew-aware re-partitioning (DESIGN.md §12): salted sub-partitions a
+  /// detected heavy-hitter key is spread across (>= 2 to take effect).
+  int salt_fanout = 8;
+  /// Minimum share of an operator's lookup-key stream a single key must
+  /// hold for the SkewDetector to flag it hot (also guarded against the
+  /// uniform share implied by the FM distinct estimate).
+  double hot_key_threshold = 0.05;
   /// Worker threads for task execution. 0 (default) resolves via
   /// EFIND_THREADS, else hardware concurrency; results are bit-identical
   /// for any value (see JobRunner::set_num_threads).

@@ -13,6 +13,13 @@ std::vector<Strategy> Optimizer::FeasibleStrategies(const IndexStats& is) {
   out.push_back(Strategy::kLookupCache);
   if (is.repartitionable) {
     out.push_back(Strategy::kRepartition);
+    // Salted re-partitioning is a candidate only when the skew detector
+    // flagged heavy hitters (DESIGN.md §12); on benign streams it would
+    // execute identically to plain re-partitioning, so offering it would
+    // only widen the search.
+    if (!is.hot_keys.empty()) {
+      out.push_back(Strategy::kSaltedRepartition);
+    }
     // Index locality pins lookups to the partition hosts; when observation
     // says most lookups found their host down — or the circuit breaker is
     // routing most of them away from their primary — the strategy is
@@ -40,6 +47,7 @@ OperatorPlan Optimizer::EvaluateOrder(const std::vector<int>& order,
     Strategy best = Strategy::kBaseline;
     for (Strategy s : FeasibleStrategies(is)) {
       const bool is_repart = s == Strategy::kRepartition ||
+                             s == Strategy::kSaltedRepartition ||
                              s == Strategy::kIndexLocality;
       if (is_repart &&
           (base_or_cache_seen || pos_in_order >= repart_allowed_prefix)) {

@@ -12,6 +12,8 @@ const char* ToString(Strategy strategy) {
       return "repart";
     case Strategy::kIndexLocality:
       return "idxloc";
+    case Strategy::kSaltedRepartition:
+      return "salted";
   }
   return "?";
 }

@@ -11,7 +11,8 @@
 
 namespace efind {
 
-/// The four index access strategies of paper Section 3.
+/// The paper's four index access strategies (Section 3) plus the
+/// skew-aware re-partitioning variant (DESIGN.md §12).
 enum class Strategy {
   /// §3.1: pre/lookup/post spliced as chained functions; every input key
   /// triggers a (remote) lookup. Cost Eq. (1).
@@ -26,9 +27,14 @@ enum class Strategy {
   /// post-shuffle tasks scheduled on index hosts so lookups are local.
   /// Cost Eq. (4).
   kIndexLocality,
+  /// DESIGN.md §12: re-partitioning with a SaltingPartitioner that spreads
+  /// detected heavy-hitter keys over k salted sub-partitions, trading a few
+  /// duplicate lookups for a balanced reduce wave. Cost Eq. (3) plus the
+  /// skew term. Feasible only when the skew detector flagged hot keys.
+  kSaltedRepartition,
 };
 
-/// Returns "base" / "cache" / "repart" / "idxloc".
+/// Returns "base" / "cache" / "repart" / "idxloc" / "salted".
 const char* ToString(Strategy strategy);
 
 /// Chosen strategy for one index (accessor) of an operator.
@@ -52,6 +58,7 @@ struct OperatorPlan {
   bool NeedsShuffle() const {
     for (const auto& c : order) {
       if (c.strategy == Strategy::kRepartition ||
+          c.strategy == Strategy::kSaltedRepartition ||
           c.strategy == Strategy::kIndexLocality) {
         return true;
       }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace efind {
 
 double OperatorStats::SidxAfter(const std::vector<int>& accessed) const {
@@ -33,6 +35,7 @@ void OperatorTaskStats::PreRecord(
     for (const auto& k : keys[j]) {
       pi.key_bytes += k.size();
       pi.sketch.Add(k);
+      pi.skew.Observe(Hash64(k));
     }
   }
 }
@@ -95,16 +98,20 @@ void OperatorTaskStats::MapOutput(uint64_t bytes) {
 // ---------------------------------------------------------------- runtime --
 
 OperatorRuntime::OperatorRuntime(int num_indices, int num_nodes,
-                                 size_t cache_capacity)
+                                 size_t cache_capacity,
+                                 double hot_key_threshold, int salt_fanout)
     : num_indices_(num_indices > 0 ? num_indices : 0),
       num_nodes_(num_nodes > 0 ? num_nodes : 1),
       cache_capacity_(cache_capacity),
+      hot_key_threshold_(hot_key_threshold),
+      salt_fanout_(salt_fanout),
       per_index_(num_indices_) {
   shadow_caches_.resize(static_cast<size_t>(num_nodes_) * num_indices_);
 }
 
 void OperatorRuntime::Reset() {
-  *this = OperatorRuntime(num_indices_, num_nodes_, cache_capacity_);
+  *this = OperatorRuntime(num_indices_, num_nodes_, cache_capacity_,
+                          hot_key_threshold_, salt_fanout_);
 }
 
 OperatorTaskStats* OperatorRuntime::TaskLocal(TaskContext* ctx) {
@@ -128,6 +135,7 @@ void OperatorRuntime::AbsorbTask(const OperatorTaskStats& task) {
     pi.keys += ti.keys;
     pi.key_bytes += ti.key_bytes;
     pi.sketch.Merge(ti.sketch);
+    pi.skew.Merge(ti.skew);
     if (ti.multi_key_seen) pi.multi_key_seen = true;
     pi.lookups += ti.lookups;
     pi.lookup_result_bytes += ti.lookup_result_bytes;
@@ -203,6 +211,7 @@ void OperatorRuntime::PreRecord(
     for (const auto& k : keys[j]) {
       pi.key_bytes += k.size();
       pi.sketch.Add(k);
+      pi.skew.Observe(Hash64(k));
     }
   }
 }
@@ -346,6 +355,11 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
                               static_cast<double>(pi.cache_probes)
                         : 1.0;
     is.repartitionable = !pi.multi_key_seen;
+    is.max_key_share = pi.skew.MaxShare();
+    is.salt_fanout = salt_fanout_;
+    for (const auto& hk : pi.skew.HotKeys(hot_key_threshold_)) {
+      is.hot_keys.push_back(hk.hash);
+    }
     if (pi.lookups > 0) {
       const double lookups = static_cast<double>(pi.lookups);
       is.avail_excess = pi.avail_excess_sec / lookups;

@@ -12,6 +12,7 @@
 #include "common/fm_sketch.h"
 #include "common/lru_cache.h"
 #include "common/running_stats.h"
+#include "mapreduce/skew_detector.h"
 #include "mapreduce/stage.h"
 
 namespace efind {
@@ -37,6 +38,18 @@ struct IndexStats {
   /// Every observed record extracted exactly one key for this index; the
   /// executable re-partitioning path requires this (DESIGN.md §3).
   bool repartitionable = true;
+
+  // Key-skew observations (DESIGN.md §12), from the SkewDetector fed
+  // alongside the FM sketch during the map sweep.
+  /// Share of the lookup-key stream held by the single hottest key.
+  double max_key_share = 0.0;
+  /// Hash64 of the keys the detector flagged as heavy hitters (share >=
+  /// the hot-key threshold), hottest first; empty when the stream is
+  /// benign. The salted re-partitioning path spreads exactly these keys.
+  std::vector<uint64_t> hot_keys;
+  /// Salt fanout the runtime would spread hot keys across (stamped from
+  /// EFindOptions so the cost model prices what execution would do).
+  int salt_fanout = 0;
 
   // Host-availability observations (failure-aware execution, DESIGN.md §7).
   // Fed by LookupFailover charges; deliberately separate from the clean
@@ -172,6 +185,7 @@ class OperatorTaskStats {
     uint64_t corrupt_lookups = 0;
     uint64_t breaker_short_circuits = 0;
     FmSketch sketch{64};
+    SkewDetector skew;
     bool multi_key_seen = false;
   };
 
@@ -200,8 +214,12 @@ class OperatorTaskStats {
 class OperatorRuntime {
  public:
   /// `num_indices` accessors; `num_nodes` for per-node shadow caches of
-  /// `cache_capacity` entries.
-  OperatorRuntime(int num_indices, int num_nodes, size_t cache_capacity);
+  /// `cache_capacity` entries. `hot_key_threshold` is the minimum stream
+  /// share for a key to be flagged hot; `salt_fanout` is stamped into the
+  /// computed stats so the cost model prices the salted spread the runtime
+  /// would actually use (DESIGN.md §12).
+  OperatorRuntime(int num_indices, int num_nodes, size_t cache_capacity,
+                  double hot_key_threshold = 0.05, int salt_fanout = 8);
 
   // --- per-task collection (execution engine) ---------------------------
   /// Returns this task's private collector, creating and registering it in
@@ -276,6 +294,7 @@ class OperatorRuntime {
     uint64_t corrupt_lookups = 0;
     uint64_t breaker_short_circuits = 0;
     FmSketch sketch{64};
+    SkewDetector skew;
     // Per-task temporaries (serial hook mode only).
     uint64_t task_keys = 0;
     uint64_t task_records_with_one_key = 0;
@@ -286,6 +305,8 @@ class OperatorRuntime {
   int num_indices_;
   int num_nodes_;
   size_t cache_capacity_;
+  double hot_key_threshold_;
+  int salt_fanout_;
 
   uint64_t total_inputs_ = 0;
   uint64_t total_input_bytes_ = 0;

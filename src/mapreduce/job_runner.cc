@@ -250,13 +250,21 @@ MapTaskResult JobRunner::RunMapTaskDeferred(const JobConfig& job,
   }
   chain.Finish();
 
-  // Partition the map output.
+  // Partition the map output. A salting partitioner cycles hot keys through
+  // per-task salts in record order — the same order the batched sweep sees,
+  // so both paths produce identical buckets.
   const Partitioner& part = EffectivePartitioner(job);
+  const auto* salt_part = dynamic_cast<const SaltingPartitioner*>(&part);
+  SaltCycler salt_state;
   for (auto& r : sink) {
     result.output_bytes += r.size_bytes();
     ++result.output_records;
     cpu += config_.cpu_per_byte_sec * static_cast<double>(r.size_bytes());
-    const int p = job.reducer ? part.Partition(r.key, num_partitions) : 0;
+    const int p = !job.reducer ? 0
+                  : salt_part
+                      ? salt_part->PartitionHash(Hash64(r.key), &salt_state,
+                                                 num_partitions)
+                      : part.Partition(r.key, num_partitions);
     result.partitioned_output[p].push_back(std::move(r));
   }
 
@@ -298,8 +306,13 @@ MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
   const Partitioner& part = EffectivePartitioner(job);
   // With the default hash partitioner, each key is hashed exactly once: the
   // hash picks the bucket and is stored in the batch entry for the
-  // reduce-side gather. Custom partitioners keep their own mapping.
+  // reduce-side gather. A salting partitioner reuses that same hash for the
+  // bucket choice (salt folded in for hot keys) while the entry keeps the
+  // unsalted hash, so reduce-side grouping still groups by the true key.
+  // Other custom partitioners keep their own mapping.
   const auto* hash_part = dynamic_cast<const HashPartitioner*>(&part);
+  const auto* salt_part = dynamic_cast<const SaltingPartitioner*>(&part);
+  SaltCycler salt_state;
   std::vector<Checksum64> digests(num_partitions);
   double cpu = 0.0;
   uint64_t staging_bytes = 0;
@@ -334,6 +347,8 @@ MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
       const uint64_t h = Hash64(r.key);
       const int p = !job.reducer ? 0
                     : hash_part  ? HashPartitioner::FromHash(h, num_partitions)
+                    : salt_part  ? salt_part->PartitionHash(h, &salt_state,
+                                                            num_partitions)
                                  : part.Partition(r.key, num_partitions);
       RecordBatch& bucket = result.partitioned_batches[p];
       bucket.Append(r.key, r.value, r.extra_bytes, r.attachment, h);
@@ -371,6 +386,9 @@ MapTaskResult JobRunner::RunMapTaskBatched(const JobConfig& job,
       const int p = !job.reducer ? 0
                     : hash_part  ? HashPartitioner::FromHash(
                                       staging.KeyHashAt(i), num_partitions)
+                    : salt_part  ? salt_part->PartitionHash(
+                                      staging.KeyHashAt(i), &salt_state,
+                                      num_partitions)
                                  : part.Partition(staging.KeyAt(i),
                                                   num_partitions);
       result.partitioned_batches[p].AppendFrom(staging, i);

@@ -43,8 +43,15 @@ std::vector<InputSplit> GenerateSynthetic(const SyntheticOptions& options,
   std::vector<InputSplit> splits(num_splits);
   for (int s = 0; s < num_splits; ++s) splits[s].node = s % num_nodes;
 
+  // Zipf draws produce ranks, so "k0" is the hottest key; theta <= 0 keeps
+  // the paper's uniform draw (and its exact byte stream — ZipfGenerator is
+  // not consulted then).
+  ZipfGenerator zipf(options.num_distinct_keys, options.zipf_theta);
   for (size_t i = 0; i < options.num_records; ++i) {
-    const uint64_t key = rng.Uniform(options.num_distinct_keys);
+    const uint64_t key = options.single_key ? 0
+                         : options.zipf_theta > 0.0
+                             ? zipf.Next(&rng)
+                             : rng.Uniform(options.num_distinct_keys);
     Record rec("k" + std::to_string(key), "", options.record_value_bytes);
     splits[i % num_splits].records.push_back(std::move(rec));
   }

@@ -31,6 +31,13 @@ struct SyntheticOptions {
   uint64_t index_value_bytes = 1000;
   int num_splits = 384;
   uint64_t seed = 7;
+  /// Zipf skew θ of the key distribution (0 = the paper's uniform draw;
+  /// > 0 draws ranks from ZipfGenerator over the key domain, so "k0" is the
+  /// hottest key). The skew-matrix scenarios (DESIGN.md §12) use 0.8/1.2.
+  double zipf_theta = 0.0;
+  /// Adversarial single-key mode: every record keys to "k0", the worst case
+  /// for re-partitioning (one reducer receives the entire shuffle).
+  bool single_key = false;
 };
 
 /// Generates the record set. Record: key = "k<id>", value = "", virtual

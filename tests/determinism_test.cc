@@ -129,6 +129,44 @@ TEST_P(DeterminismTest, FaultModelMatchesAcrossThreadCounts) {
   ExpectSameResult(da, db);
 }
 
+// Salted re-partitioning over a Zipf-1.2 key stream with the fault matrix
+// on (DESIGN.md §12): the skew detector's hot set, the salted shuffle, and
+// the merged outputs must all be bit-identical across thread counts.
+TEST_P(DeterminismTest, SaltedRepartitionMatchesAcrossThreadCounts) {
+  const bool with_reduce = GetParam();
+  ToyWorld world;
+  const IndexJobConf conf = world.MakeJoinJob(with_reduce);
+  const auto input = world.MakeZipfInput(30, 40, 400, /*theta=*/1.2);
+
+  ClusterConfig config;
+  config.task_failure_rate = 0.08;
+  config.straggler_rate = 0.1;
+  config.straggler_slowdown = 4.0;
+  config.speculative_execution = true;
+  config.speculation_threshold = 1.5;
+  config.host_downtimes.push_back({3});
+  config.degraded_hosts.push_back(5);
+  config.fault_seed = 7;
+  RunnerPair pair(config);
+
+  CollectedStats stats_a = pair.serial.CollectStatistics(conf, input);
+  CollectedStats stats_b = pair.parallel.CollectStatistics(conf, input);
+  ASSERT_FALSE(stats_a.head.empty());
+  ASSERT_FALSE(stats_a.head[0].index.empty());
+  // The detector must flag "k0" (so salting actually engages below) and
+  // produce the identical hot set at both thread counts.
+  ASSERT_FALSE(stats_a.head[0].index[0].hot_keys.empty());
+  EXPECT_EQ(stats_a.head[0].index[0].hot_keys,
+            stats_b.head[0].index[0].hot_keys);
+  EXPECT_EQ(stats_a.head[0].index[0].max_key_share,
+            stats_b.head[0].index[0].max_key_share);
+
+  const JobPlan plan = MakeUniformPlan(conf, Strategy::kSaltedRepartition);
+  auto a = pair.serial.RunWithPlan(conf, input, plan, &stats_a);
+  auto b = pair.parallel.RunWithPlan(conf, input, plan, &stats_b);
+  ExpectSameResult(a, b);
+}
+
 INSTANTIATE_TEST_SUITE_P(MapOnlyAndReduce, DeterminismTest,
                          ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {

@@ -124,6 +124,62 @@ TEST(ObsDeterminismTest, InstrumentationCoversTasksLookupsAndFaults) {
   EXPECT_TRUE(saw_lookup_hist);
 }
 
+// Salted re-partitioning over a Zipf-1.2 stream under the fault matrix
+// (DESIGN.md §12): the run itself AND the recorded trace/metric streams —
+// including the skew_detected / salt_split instants the expansion emits —
+// must be bit-identical across thread counts.
+EFindRunResult RunSaltedObserved(const ClusterConfig& config, int threads,
+                                 obs::ObsSession* session) {
+  ToyWorld world(400, 60);
+  const auto input = world.MakeZipfInput(60, 30, 400, /*theta=*/1.2);
+  const IndexJobConf conf = world.MakeJoinJob(true);
+  EFindOptions options;
+  options.cache_capacity = 64;
+  options.threads = threads;
+  EFindJobRunner runner(config, options);
+  runner.set_obs(session);
+  const CollectedStats stats = runner.CollectStatistics(conf, input);
+  return runner.RunWithPlan(
+      conf, input, MakeUniformPlan(conf, Strategy::kSaltedRepartition),
+      &stats);
+}
+
+TEST(ObsDeterminismTest, SaltedRepartitionTraceIdenticalAcrossThreadCounts) {
+#if !EFIND_OBS
+  GTEST_SKIP() << "observability compiled out (EFIND_ENABLE_OBS=OFF)";
+#endif
+  const ClusterConfig config = FaultMatrixConfig();
+  obs::ObsSession serial, parallel;
+  const EFindRunResult r1 = RunSaltedObserved(config, 1, &serial);
+  const EFindRunResult r8 = RunSaltedObserved(config, 8, &parallel);
+  EXPECT_EQ(r1.sim_seconds, r8.sim_seconds);
+  EXPECT_EQ(r1.counters.values(), r8.counters.values());
+  ASSERT_EQ(r1.outputs.size(), r8.outputs.size());
+  for (size_t i = 0; i < r1.outputs.size(); ++i) {
+    EXPECT_EQ(r1.outputs[i].records, r8.outputs[i].records);
+  }
+
+  int skew_detected = 0, salt_split = 0;
+  for (const auto& e : serial.trace().events()) {
+    if (e.name == "skew_detected") ++skew_detected;
+    if (e.name == "salt_split") ++salt_split;
+  }
+  EXPECT_GT(skew_detected, 0) << "salting engaged without a skew instant";
+  EXPECT_GT(salt_split, 0);
+  bool saw_salt_counter = false;
+  for (const auto& [name, value] : serial.metrics().CounterValues()) {
+    if (name == "efind.skew.salt_splits" && value > 0) {
+      saw_salt_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_salt_counter);
+
+  EXPECT_EQ(obs::ChromeTraceJson(serial.trace(), config.num_nodes),
+            obs::ChromeTraceJson(parallel.trace(), config.num_nodes));
+  EXPECT_EQ(serial.metrics().CounterValues(),
+            parallel.metrics().CounterValues());
+}
+
 TEST(ObsDeterminismTest, AttachingObsDoesNotChangeTheRun) {
   const ClusterConfig config = FaultMatrixConfig();
   obs::ObsSession session;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "mapreduce/job_runner.h"
 #include "reuse/materialized_store.h"
@@ -228,6 +229,59 @@ TEST(RecordBatchTest, BatchedShuffleMatchesLegacyByteForByte) {
   EXPECT_GT(a.counters.Get("efind.alloc.count"), 0.0);
   EXPECT_EQ(a.counters.Get("mr.shuffle.checksum_mismatch"), 0.0);
   EXPECT_FALSE(b.counters.Has("mr.shuffle.records"));
+}
+
+// The salting partitioner (DESIGN.md §12) through both shuffle engines:
+// bucket contents must be byte-identical batched vs legacy (the per-task
+// SaltCycler sees the same record order on both paths), and the hot key's
+// records must actually spread across several reduce tasks.
+TEST(RecordBatchTest, SaltingPartitionerMatchesLegacyAndSpreadsHotKey) {
+  std::vector<InputSplit> input(6);
+  Rng rng(11);
+  for (int s = 0; s < 6; ++s) {
+    input[s].node = s % 3;
+    for (int i = 0; i < 60; ++i) {
+      // Every third record hits the hot key; the rest spread uniformly.
+      const int key = i % 3 == 0 ? 3 : static_cast<int>(rng.Uniform(1000));
+      input[s].records.push_back(MakeAttachedRecord(key));
+    }
+  }
+  JobConfig job;
+  job.reducer = std::make_shared<WordLengthReducer>();
+  job.num_reduce_tasks = 12;
+  job.partitioner = std::make_shared<SaltingPartitioner>(
+      std::vector<uint64_t>{Hash64(MakeAttachedRecord(3).key)},
+      /*fanout=*/3);
+
+  ClusterConfig config;
+  JobRunner batched(config);
+  batched.set_batch_shuffle(true);
+  JobRunner legacy(config);
+  legacy.set_batch_shuffle(false);
+  const JobResult a = batched.Run(job, input);
+  const JobResult b = legacy.Run(job, input);
+
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].node, b.outputs[i].node);
+    EXPECT_EQ(a.outputs[i].records, b.outputs[i].records);
+  }
+  EXPECT_EQ(a.counters.Get("mr.shuffle.checksum_mismatch"), 0.0);
+
+  // The hot key reduces in several tasks: its reduced record (one per
+  // reduce task that received it) appears in >= 2 output splits.
+  const std::string hot_key = MakeAttachedRecord(3).key;
+  int splits_with_hot = 0;
+  for (const auto& split : a.outputs) {
+    for (const auto& r : split.records) {
+      if (r.key == hot_key) {
+        ++splits_with_hot;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(splits_with_hot, 2) << "salting failed to spread the hot key";
 }
 
 TEST(RecordBatchTest, PassThroughReducePhaseMatchesLegacy) {

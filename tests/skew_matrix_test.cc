@@ -1,0 +1,197 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The hostile-scenario skew matrix at test scale (DESIGN.md §12): the
+// Synthetic join under uniform / Zipf 0.8 / Zipf 1.2 / single-key
+// distributions, with and without the fault matrix, comparing plain
+// re-partitioning against salted re-partitioning on the simulated cluster
+// makespan. Winner relations are asserted per scenario:
+//   - skewed cells (zipf1.2, single_key): salted wins by a margin, the
+//     detector flagged hot keys, and the optimizer offers kSaltedRepartition;
+//   - benign cells (uniform, zipf0.8): no hot keys, so the salted plan
+//     degenerates to plain re-partitioning — identical sim time and
+//     byte-identical outputs;
+//   - all cells: salted and plain outputs agree as a sorted multiset.
+// The margins use simulated seconds, where one serialized reduce task is
+// visible regardless of how many cores the host running the test has.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "efind/optimizer.h"
+#include "kvstore/kv_store.h"
+#include "tests/test_util.h"
+#include "workloads/synthetic.h"
+
+namespace efind {
+namespace {
+
+using testing_util::Sorted;
+
+struct Scenario {
+  std::string name;
+  double theta = 0.0;
+  bool single_key = false;
+  bool expect_hot = false;
+};
+
+std::vector<Scenario> Scenarios() {
+  return {
+      {"uniform", 0.0, false, false},
+      {"zipf0.8", 0.8, false, false},
+      {"zipf1.2", 1.2, false, true},
+      {"single_key", 0.0, true, true},
+  };
+}
+
+ClusterConfig FaultMatrix(ClusterConfig config) {
+  config.task_failure_rate = 0.08;
+  config.straggler_rate = 0.1;
+  config.straggler_slowdown = 4.0;
+  config.speculative_execution = true;
+  config.speculation_threshold = 1.5;
+  config.host_downtimes.push_back({3});
+  config.degraded_hosts.push_back(5);
+  config.fault_seed = 7;
+  return config;
+}
+
+struct CellRun {
+  EFindRunResult repart;
+  EFindRunResult salted;
+  size_t hot_keys = 0;
+};
+
+CellRun RunCell(const Scenario& scenario, bool faults) {
+  ClusterConfig config;
+  if (faults) config = FaultMatrix(config);
+
+  SyntheticOptions syn;
+  syn.num_records = 20000;
+  syn.num_distinct_keys = 10000;
+  syn.num_splits = 48;
+  syn.zipf_theta = scenario.theta;
+  syn.single_key = scenario.single_key;
+  const auto input = GenerateSynthetic(syn, config.num_nodes);
+  KvStoreOptions kv;
+  kv.num_nodes = config.num_nodes;
+  KvStore store(kv);
+  LoadSyntheticIndex(syn, &store);
+  const IndexJobConf conf = MakeSyntheticJoinJob(&store);
+
+  EFindJobRunner runner(config);
+  const CollectedStats stats = runner.CollectStatistics(conf, input);
+
+  CellRun out;
+  out.repart = runner.RunWithPlan(
+      conf, input, MakeUniformPlan(conf, Strategy::kRepartition), &stats);
+  out.salted = runner.RunWithPlan(
+      conf, input, MakeUniformPlan(conf, Strategy::kSaltedRepartition),
+      &stats);
+  if (!stats.head.empty() && !stats.head[0].index.empty()) {
+    out.hot_keys = stats.head[0].index[0].hot_keys.size();
+  }
+  return out;
+}
+
+class SkewMatrixTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SkewMatrixTest, WinnerRelationsHold) {
+  const bool faults = GetParam();
+  for (const Scenario& scenario : Scenarios()) {
+    SCOPED_TRACE(scenario.name + (faults ? "+faults" : ""));
+    const CellRun cell = RunCell(scenario, faults);
+    ASSERT_GT(cell.repart.sim_seconds, 0.0);
+
+    if (scenario.expect_hot) {
+      EXPECT_GT(cell.hot_keys, 0u)
+          << "skew detector missed the heavy hitter";
+      // Winner assertion: spreading the hot key across salted
+      // sub-partitions must cut the simulated makespan by >= 25%.
+      EXPECT_LE(cell.salted.sim_seconds, 0.75 * cell.repart.sim_seconds)
+          << "salted=" << cell.salted.sim_seconds
+          << " repart=" << cell.repart.sim_seconds;
+      // Outputs agree as a multiset; placement across splits differs
+      // because the hot key's records land in several reduce tasks.
+      EXPECT_EQ(Sorted(cell.salted.CollectRecords()),
+                Sorted(cell.repart.CollectRecords()));
+    } else {
+      EXPECT_EQ(cell.hot_keys, 0u)
+          << "benign distribution flagged as skewed";
+      // No hot keys -> the salted plan degenerates to plain repart:
+      // identical simulated time and byte-identical outputs.
+      EXPECT_EQ(cell.salted.sim_seconds, cell.repart.sim_seconds);
+      ASSERT_EQ(cell.salted.outputs.size(), cell.repart.outputs.size());
+      for (size_t i = 0; i < cell.salted.outputs.size(); ++i) {
+        EXPECT_EQ(cell.salted.outputs[i].records,
+                  cell.repart.outputs[i].records);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultMatrix, SkewMatrixTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FaultsOn" : "FaultsOff";
+                         });
+
+// The optimizer only offers kSaltedRepartition when the detector flagged
+// hot keys, and its cost model then prefers it over plain re-partitioning
+// (the skew excess term prices the serialized reduce task).
+TEST(SkewMatrixTest, OptimizerPrefersSaltingUnderSkew) {
+  ClusterConfig config;
+  SyntheticOptions syn;
+  syn.num_records = 20000;
+  syn.num_distinct_keys = 10000;
+  syn.num_splits = 48;
+  syn.zipf_theta = 1.2;
+  const auto input = GenerateSynthetic(syn, config.num_nodes);
+  KvStoreOptions kv;
+  kv.num_nodes = config.num_nodes;
+  KvStore store(kv);
+  LoadSyntheticIndex(syn, &store);
+  const IndexJobConf conf = MakeSyntheticJoinJob(&store);
+
+  EFindJobRunner runner(config);
+  const CollectedStats stats = runner.CollectStatistics(conf, input);
+  ASSERT_FALSE(stats.head.empty());
+  ASSERT_FALSE(stats.head[0].index.empty());
+  const IndexStats& is = stats.head[0].index[0];
+  EXPECT_FALSE(is.hot_keys.empty());
+  EXPECT_GT(is.max_key_share, 0.05);
+
+  const auto feasible = Optimizer::FeasibleStrategies(is);
+  EXPECT_NE(std::find(feasible.begin(), feasible.end(),
+                      Strategy::kSaltedRepartition),
+            feasible.end());
+
+  const CostModel& cm = runner.optimizer().cost_model();
+  const double repart = cm.Cost(Strategy::kRepartition, stats.head[0], 0,
+                                OperatorPosition::kHead,
+                                stats.head[0].spre);
+  const double salted = cm.Cost(Strategy::kSaltedRepartition, stats.head[0],
+                                0, OperatorPosition::kHead,
+                                stats.head[0].spre);
+  EXPECT_LT(salted, repart);
+}
+
+// Benign streams never see kSaltedRepartition as a candidate, so the wider
+// search cannot perturb existing plans.
+TEST(SkewMatrixTest, OptimizerSkipsSaltingWithoutHotKeys) {
+  IndexStats is;
+  is.idempotent = true;
+  is.repartitionable = true;
+  is.hot_keys.clear();
+  const auto feasible = Optimizer::FeasibleStrategies(is);
+  EXPECT_EQ(std::find(feasible.begin(), feasible.end(),
+                      Strategy::kSaltedRepartition),
+            feasible.end());
+}
+
+}  // namespace
+}  // namespace efind

@@ -1,0 +1,60 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Produces a Chrome trace exercising the skew events the schema defines
+// (DESIGN.md §12), for scripts/trace_lint.py to validate (the
+// `skew_trace_lint` ctest entry, labels `obs`/`skew`): the toy join over a
+// Zipf-1.2 key stream, statistics collected first so the skew detector
+// flags the heavy hitter, then executed under the salted re-partitioning
+// strategy — plan expansion emits a `skew_detected` and a `salt_split`
+// instant when it installs the SaltingPartitioner.
+//
+// Usage: skew_trace_demo TRACE_OUT.json
+
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "tests/test_util.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE_OUT.json\n", argv[0]);
+    return 2;
+  }
+
+  efind::ClusterConfig config;
+  efind::testing_util::ToyWorld world(400, 60);
+  const auto input = world.MakeZipfInput(24, 40, 400, /*theta=*/1.2);
+  const efind::IndexJobConf conf = world.MakeJoinJob(true);
+
+  efind::EFindOptions options;
+  options.threads = 4;
+  efind::EFindJobRunner runner(config, options);
+  efind::obs::ObsSession session;
+  runner.set_obs(&session);
+  const efind::CollectedStats stats = runner.CollectStatistics(conf, input);
+  if (stats.head.empty() || stats.head[0].index.empty() ||
+      stats.head[0].index[0].hot_keys.empty()) {
+    std::fprintf(stderr,
+                 "skew_trace_demo: detector flagged no hot keys on the "
+                 "Zipf-1.2 stream\n");
+    return 1;
+  }
+  runner.RunWithPlan(
+      conf, input,
+      efind::MakeUniformPlan(conf, efind::Strategy::kSaltedRepartition),
+      &stats);
+
+  std::string error;
+  if (!efind::obs::WriteFile(
+          argv[1],
+          efind::obs::ChromeTraceJson(session.trace(), config.num_nodes),
+          &error)) {
+    std::fprintf(stderr, "skew_trace_demo: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "skew_trace_demo: wrote %s (%zu events)\n", argv[1],
+               session.trace().events().size());
+  return 0;
+}
