@@ -204,6 +204,11 @@ struct BenchOptions {
   int salt_fanout = 8;
   /// SkewDetector hot-key share threshold (--hot-key-threshold).
   double hot_key_threshold = 0.05;
+  /// Packed-object-store page size in bytes (--store-page-bytes); consumed
+  /// by store-backed benches when they build their store (DESIGN.md §13).
+  size_t store_page_bytes = 4096;
+  /// Packed-object-store fill degree in (0, 1] (--store-fill).
+  double store_fill = 1.0;
   /// Observability output paths; empty = off.
   std::string trace_out;        // Chrome trace-event JSON.
   std::string report_out;       // Run report, JSON.
@@ -247,6 +252,10 @@ struct BenchOptions {
 ///   --skew=X             Zipf θ for skewable workloads (default 0=stock)
 ///   --salt-fanout=N      salted sub-partitions per hot key (default 8)
 ///   --hot-key-threshold=X  SkewDetector hot-key share gate (default 0.05)
+///   --store-page-bytes=N   packed-store page size in [64, 65536] (4096)
+///   --store-fill=X         packed-store fill degree in (0, 1] (default 1)
+///   --store-batch-depth=N  outstanding store lookups per flush (default 16;
+///                          1 = serial, applied to config.store_batch_depth)
 ///   --reuse-capacity=N   artifact-store capacity in bytes (default 64 MiB)
 ///   --reuse-dir=PATH     write the store manifest to PATH/manifest.json
 ///                        after the run (reuse-aware benches only)
@@ -275,6 +284,29 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
         std::exit(2);
       }
       opts.cache_capacity = static_cast<size_t>(n);
+    } else if ((v = value(arg, "--store-page-bytes")) != nullptr) {
+      const long long n = std::atoll(v);
+      if (n < 64 || n > 65536) {
+        std::fprintf(stderr,
+                     "invalid --store-page-bytes=%s (need 64..65536)\n", v);
+        std::exit(2);
+      }
+      opts.store_page_bytes = static_cast<size_t>(n);
+    } else if ((v = value(arg, "--store-fill")) != nullptr) {
+      const double f = std::atof(v);
+      if (f <= 0.0 || f > 1.0) {
+        std::fprintf(stderr, "invalid --store-fill=%s (need (0, 1])\n", v);
+        std::exit(2);
+      }
+      opts.store_fill = f;
+    } else if ((v = value(arg, "--store-batch-depth")) != nullptr) {
+      const int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "invalid --store-batch-depth=%s (need >= 1)\n",
+                     v);
+        std::exit(2);
+      }
+      opts.config.store_batch_depth = n;
     } else if ((v = value(arg, "--reuse-capacity")) != nullptr) {
       const long long n = std::atoll(v);
       if (n <= 0) {
@@ -371,6 +403,14 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
                    std::to_string(ResolveArenaBlockBytes()));
   out.emplace_back("reuse_capacity", std::to_string(opts.reuse_capacity));
   out.emplace_back("reuse_dir", opts.reuse_dir);
+  out.emplace_back("store_page_bytes",
+                   std::to_string(opts.store_page_bytes));
+  out.emplace_back("store_fill", num(opts.store_fill));
+  out.emplace_back("store_batch_depth",
+                   std::to_string(c.store_batch_depth));
+  out.emplace_back("page_read_sec", num(c.page_read_sec));
+  out.emplace_back("store_io_parallelism",
+                   std::to_string(c.store_io_parallelism));
   out.emplace_back("skew", num(opts.skew));
   out.emplace_back("salt_fanout", std::to_string(opts.salt_fanout));
   out.emplace_back("hot_key_threshold", num(opts.hot_key_threshold));

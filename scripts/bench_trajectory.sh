@@ -11,6 +11,7 @@
 #   resilience bench_ablation_resilience service-level resilience
 #   obs        bench_obs_overhead       observability overhead
 #   skew       bench_ablation_skew      skew matrix + salting (DESIGN.md §12)
+#   store      bench_ablation_store     packed-store batch depth (DESIGN.md §13)
 #
 # Usage: scripts/bench_trajectory.sh [options] [area...]
 #   --build-dir DIR   bench binaries live in DIR/bench (default: build)
@@ -42,7 +43,7 @@ while [ $# -gt 0 ]; do
     *) AREAS+=("$1"); shift ;;
   esac
 done
-[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew)
+[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew store)
 
 bench_for() {
   case "$1" in
@@ -52,6 +53,7 @@ bench_for() {
     resilience) echo bench_ablation_resilience ;;
     obs) echo bench_obs_overhead ;;
     skew) echo bench_ablation_skew ;;
+    store) echo bench_ablation_store ;;
     *) echo "unknown area: $1" >&2; return 1 ;;
   esac
 }
@@ -68,6 +70,7 @@ budget_for() {
     resilience) echo 4000 ;;
     obs) echo 10000 ;;
     skew) echo 15000 ;;
+    store) echo 8000 ;;
   esac
 }
 

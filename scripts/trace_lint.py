@@ -61,6 +61,35 @@ SKEW_EVENTS = {
 }
 
 
+# Packed-store page-I/O events (DESIGN.md §13): category "store", span-only.
+# page_read records one batched flush's device wave — the distinct pages it
+# read, how many same-page reads coalescing saved, and the lookups the wave
+# served. Emitted only for flushes that touched the device (pages > 0).
+# Maps name -> required arg keys.
+STORE_EVENTS = {
+    "page_read": ("pages", "coalesced", "lookups"),
+}
+
+
+def lint_store_event(e, name, ph, args, err, where):
+    if ph != "X":
+        err("%s: store event must be a span, got ph %r" % (where, ph))
+    if e.get("cat") != "store":
+        err("%s: store event must have cat \"store\", got %r"
+            % (where, e.get("cat")))
+    for key in STORE_EVENTS[name]:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    for key in STORE_EVENTS[name]:
+        if key in args and not args.get(key, "").isdigit():
+            err("%s: arg %r must be a decimal count, got %r"
+                % (where, key, args.get(key)))
+    if args.get("pages") == "0":
+        err("%s: page_read span with zero pages" % where)
+    if args.get("lookups") == "0":
+        err("%s: page_read span serving zero lookups" % where)
+
+
 def lint_skew_event(e, name, ph, args, err, where):
     if ph != "i":
         err("%s: skew event must be an instant, got ph %r" % (where, ph))
@@ -216,6 +245,8 @@ def lint(doc, require_spans, require_instants, require_any):
             lint_resilience_event(e, name, ph, args, err, where)
         if name in SKEW_EVENTS and isinstance(args, dict):
             lint_skew_event(e, name, ph, args, err, where)
+        if name in STORE_EVENTS and isinstance(args, dict):
+            lint_store_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

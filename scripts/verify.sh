@@ -32,7 +32,14 @@
 #      re-partitioning by >= 25% simulated makespan on the skewed
 #      scenarios, matches it exactly on the benign ones, and stays
 #      byte-identical batched vs legacy),
-#  10. the shuffle hot-path perf leg (DESIGN.md §11): the arena/batch
+#  10. the packed-store leg (DESIGN.md §13): the store suite alone
+#      (ctest -L store, includes the Elias-Fano / packed-store /
+#      accessor-fingerprint tests and the store_tsan_smoke binary) and
+#      the bench_ablation_store acceptance bench (exits nonzero unless
+#      batch depth >= 16 delivers >= 2x the simulated lookup throughput
+#      of depth 1 with byte-identical output at every depth and across
+#      thread counts),
+#  11. the shuffle hot-path perf leg (DESIGN.md §11): the arena/batch
 #      suite alone (ctest -L perf), the bench_perf_layout acceptance
 #      bench (exits nonzero unless the batched engine is byte-identical
 #      to the legacy one, >= 20% faster on the fig11a repartition leg,
@@ -85,6 +92,11 @@ fi
 "$BUILD"/bench/bench_ablation_skew --benchmark_list_tests=true \
   | grep -E '"ablation_skew/(check|zipf1.2(\+faults)?/summary)"' || true
 "$BUILD"/bench/bench_ablation_skew --benchmark_list_tests=true > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L store)
+"$BUILD"/bench/bench_ablation_store --benchmark_list_tests=true \
+  | grep -E '"ablation_store/(check|depth(16|64)/summary)"' || true
+"$BUILD"/bench/bench_ablation_store --benchmark_list_tests=true > /dev/null
 
 (cd "$BUILD" && ctest --output-on-failure -L perf)
 "$BUILD"/bench/bench_perf_layout --benchmark_list_tests=true \

@@ -67,6 +67,12 @@ bool ValidateClusterConfig(const ClusterConfig& config, const char** why) {
     reason = "breaker_failure_threshold must be non-negative";
   } else if (config.breaker_open_lookups < 1) {
     reason = "breaker_open_lookups must be >= 1";
+  } else if (config.page_read_sec < 0) {
+    reason = "page_read_sec must be non-negative";
+  } else if (config.store_io_parallelism < 1) {
+    reason = "store_io_parallelism must be >= 1";
+  } else if (config.store_batch_depth < 1) {
+    reason = "store_batch_depth must be >= 1";
   }
   if (reason == nullptr) {
     for (const HostDowntime& d : config.host_downtimes) {

@@ -150,6 +150,21 @@ struct ClusterConfig {
   int breaker_failure_threshold = 0;
   int breaker_open_lookups = 16;
 
+  // --- packed object store (DESIGN.md §13) ---------------------------------
+  // A storage-backed index serves a lookup by reading pages, not by a
+  // pointer chase, so page I/O is its dominant cost. It is charged per
+  // *distinct* page with device-level parallelism: a batch of outstanding
+  // lookups pays waves of `store_io_parallelism` concurrent page reads
+  // (io_uring-style queue depth), which is what makes batch depth visible
+  // in the figures.
+  /// Latency of one page read from the store's device.
+  double page_read_sec = 100e-6;
+  /// Page reads the device serves concurrently (queue depth).
+  int store_io_parallelism = 64;
+  /// Lookups the runtime accumulates per batch before flushing against a
+  /// batched store (1 = serial lookup-at-a-time).
+  int store_batch_depth = 16;
+
   // --- cross-job artifact reuse --------------------------------------------
   /// Fixed cost of resolving a materialized artifact from the reuse store
   /// at job start (namenode round trip + manifest read; DESIGN.md §9). The
@@ -190,6 +205,18 @@ struct ClusterConfig {
   /// Seconds to store `bytes` (replicated write) without the later read.
   double DfsStoreSeconds(uint64_t bytes) const {
     return dfs_store_cost_per_byte * static_cast<double>(bytes);
+  }
+  /// Seconds for a batch of `distinct_pages` page reads served
+  /// `store_io_parallelism` at a time: full waves are overlapped, so a
+  /// deep batch pays ~pages/parallelism page latencies while a depth-1
+  /// "batch" pays one full latency per lookup.
+  double PageBatchSeconds(uint64_t distinct_pages) const {
+    if (distinct_pages == 0) return 0.0;
+    const uint64_t par =
+        store_io_parallelism > 0 ? static_cast<uint64_t>(store_io_parallelism)
+                                 : 1;
+    const uint64_t waves = (distinct_pages + par - 1) / par;
+    return static_cast<double>(waves) * page_read_sec;
   }
 };
 

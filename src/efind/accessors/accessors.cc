@@ -2,6 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "store/lookup_queue.h"
 
 namespace efind {
 
@@ -35,6 +39,70 @@ Status RTreeKnnAccessor::Lookup(const std::string& ik,
     out->emplace_back(std::string(buf), per_result_extra_bytes_);
   }
   return Status::OK();
+}
+
+Status PackedStoreAccessor::Lookup(const std::string& ik,
+                                   std::vector<IndexValue>* out) {
+  out->clear();
+  return store_->Get(ik, out);
+}
+
+uint64_t PackedStoreAccessor::ConfigFingerprint() const {
+  // The on-disk geometry decides which pages a lookup touches (and hence
+  // every charge downstream), so all of it splits the reuse equivalence
+  // class. `fill` is folded via its bit pattern: any change changes it.
+  const store::PackedStoreOptions& o = store_->options();
+  uint64_t fp = Hash64(name());
+  fp = Mix64(fp ^ Mix64(o.page_bytes));
+  uint64_t fill_bits = 0;
+  std::memcpy(&fill_bits, &o.fill, sizeof(fill_bits));
+  fp = Mix64(fp ^ Mix64(fill_bits));
+  fp = Mix64(fp ^ Mix64(o.bins_per_block));
+  fp = Mix64(fp ^ Mix64(static_cast<uint64_t>(o.num_partitions)));
+  fp = Mix64(fp ^ Mix64(static_cast<uint64_t>(o.replication)));
+  return fp;
+}
+
+namespace {
+
+/// Adapts the store-layer queue to the accessor-layer batch interface.
+class PackedStoreBatchHandle : public BatchedLookupHandle {
+ public:
+  explicit PackedStoreBatchHandle(const store::PackedObjectStore* s)
+      : queue_(s) {}
+
+  uint64_t Submit(const std::string& ik) override {
+    return queue_.Submit(ik);
+  }
+  size_t pending() const override { return queue_.pending(); }
+  BatchedLookupOutcome Flush() override {
+    store::FlushOutcome raw = queue_.Flush();
+    BatchedLookupOutcome out;
+    out.distinct_pages = raw.distinct_pages;
+    out.uncoalesced_pages = raw.uncoalesced_pages;
+    out.completions.reserve(raw.completions.size());
+    for (store::LookupCompletion& c : raw.completions) {
+      BatchedLookupCompletion bc;
+      bc.ticket = c.ticket;
+      bc.found = c.found;
+      bc.error = c.error;
+      bc.values = std::move(c.values);
+      bc.pages = c.pages;
+      bc.partition = c.partition;
+      bc.first_block = c.first_block;
+      out.completions.push_back(std::move(bc));
+    }
+    return out;
+  }
+
+ private:
+  store::BatchedLookupQueue queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchedLookupHandle> PackedStoreAccessor::NewBatch() const {
+  return std::make_unique<PackedStoreBatchHandle>(store_);
 }
 
 Status InvertedIndexAccessor::Lookup(const std::string& ik,

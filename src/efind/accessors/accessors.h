@@ -17,6 +17,7 @@
 #include "kvstore/kv_store.h"
 #include "rtree/cell_rtree.h"
 #include "service/cloud_service.h"
+#include "store/packed_store.h"
 #include "textidx/inverted_index.h"
 
 namespace efind {
@@ -140,6 +141,40 @@ class InvertedIndexAccessor : public IndexAccessor {
  private:
   std::string name_;
   const InvertedIndex* index_;
+};
+
+/// Accessor for the on-disk `store::PackedObjectStore` (DESIGN.md §13).
+/// Exposes the store's hash partition scheme, so all four strategies —
+/// cache, repart, salted, idxloc — apply, and implements
+/// `BatchedLookupIndex` so the lookup stages can drive it with many
+/// outstanding lookups per batch (page coalescing + amortized page I/O).
+class PackedStoreAccessor : public IndexAccessor, public BatchedLookupIndex {
+ public:
+  /// `store` is not owned and must outlive the accessor.
+  PackedStoreAccessor(std::string name, const store::PackedObjectStore* store)
+      : name_(std::move(name)), store_(store) {}
+
+  std::string name() const override { return "store:" + name_; }
+  Status Lookup(const std::string& ik,
+                std::vector<IndexValue>* out) override;
+  double ServiceSeconds(uint64_t result_bytes) const override {
+    return store_->ServiceSeconds(result_bytes);
+  }
+  const PartitionScheme* partition_scheme() const override {
+    return &store_->scheme();
+  }
+  uint64_t ConfigFingerprint() const override;
+  /// Build generation of the backing directory: a rebuilt store invalidates
+  /// reuse artifacts by construction.
+  uint64_t VersionFingerprint() const override { return store_->version(); }
+
+  std::unique_ptr<BatchedLookupHandle> NewBatch() const override;
+
+  const store::PackedObjectStore* store() const { return store_; }
+
+ private:
+  std::string name_;
+  const store::PackedObjectStore* store_;
 };
 
 /// Accessor for a simulated external `CloudService`. No partition scheme

@@ -12,16 +12,25 @@ bool ValidIndex(const OperatorStats& stats, int j) {
 
 }  // namespace
 
+double CostModel::PageReadCost(const IndexStats& is) const {
+  if (is.pages_per_lookup <= 0.0) return 0.0;
+  const int batch = std::max(
+      1, std::min(config_.store_batch_depth, config_.store_io_parallelism));
+  return is.pages_per_lookup * config_.page_read_sec /
+         static_cast<double>(batch);
+}
+
 double CostModel::BaselineCost(const OperatorStats& stats, int j) const {
   if (!ValidIndex(stats, j)) return 0;
   const IndexStats& is = stats.index[j];
   // `avail_excess` folds the observed per-lookup fault penalty (retries,
   // backoff, failover round trips, degraded service) into the remote leg;
-  // it is 0 on a healthy cluster, leaving Eq. 1 untouched.
+  // it is 0 on a healthy cluster, leaving Eq. 1 untouched. `PageReadCost`
+  // does the same for storage-backed indices (0 for in-memory ones).
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj + is.avail_excess;
+      is.remote_overhead + is.tj + is.avail_excess + PageReadCost(is);
   return stats.n1 * is.nik * per_lookup;
 }
 
@@ -31,7 +40,7 @@ double CostModel::CacheCost(const OperatorStats& stats, int j) const {
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj + is.avail_excess;
+      is.remote_overhead + is.tj + is.avail_excess + PageReadCost(is);
   return stats.n1 * is.nik *
          (config_.cache_probe_sec + is.miss_ratio * per_lookup);
 }
@@ -154,7 +163,7 @@ double CostModel::SaltedRepartitionCost(const OperatorStats& stats, int j,
   // per-machine division.
   const double per_lookup =
       config_.RemoteLookupSeconds(static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj + is.avail_excess;
+      is.remote_overhead + is.tj + is.avail_excess + PageReadCost(is);
   const double dup_lookups =
       static_cast<double>(is.hot_keys.size()) * (spread - 1) * per_lookup /
       config_.num_nodes;
@@ -174,7 +183,7 @@ double CostModel::RepartitionBase(const OperatorStats& stats, int j,
   const double per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj + is.avail_excess;
+      is.remote_overhead + is.tj + is.avail_excess + PageReadCost(is);
   const double lookup_cost = stats.n1 * is.nik / theta * per_lookup;
   // Cross-job reuse (DESIGN.md §9): when the materialized store holds a
   // live artifact for this operator's *first* shuffle (spre_eff still at
@@ -209,14 +218,17 @@ double CostModel::IndexLocalityCost(const OperatorStats& stats, int j,
   // mid-phase re-optimization abandons index locality when its target hosts
   // degrade: observed down/excess statistics inflate this term past the
   // cache/repartition alternatives.
+  // Page reads happen at whichever host serves the lookup, so the page
+  // term rides both the local and the remote leg.
+  const double page_cost = PageReadCost(is);
   const double remote_per_lookup =
       config_.RemoteLookupSeconds(
           static_cast<uint64_t>(is.sik + is.siv)) +
-      is.remote_overhead + is.tj;
+      is.remote_overhead + is.tj + page_cost;
   const double off_node_share =
       std::min(1.0, is.down_share + is.breaker_share);
   const double local_per_lookup =
-      (1.0 - off_node_share) * is.tj +
+      (1.0 - off_node_share) * (is.tj + page_cost) +
       off_node_share * (remote_per_lookup + is.avail_excess);
   const double lookup_cost =
       stats.n1 * is.nik / theta * local_per_lookup +

@@ -66,6 +66,13 @@ class CostModel {
   double Cost(Strategy strategy, const OperatorStats& stats, int j,
               OperatorPosition position, double spre_eff) const;
 
+  /// Per-lookup page-I/O seconds of a storage-backed index (DESIGN.md §13):
+  /// pages_per_lookup * t_page / batch_efficiency, where batch efficiency
+  /// is the page reads the runtime overlaps per device wave —
+  /// min(store_batch_depth, store_io_parallelism). Zero for in-memory
+  /// indices (pages_per_lookup == 0), leaving Eq. 1-4 untouched.
+  double PageReadCost(const IndexStats& is) const;
+
   /// Cost_shuffle = N1 * Spre / BW (transfer of preProcess output).
   double ShuffleCost(const OperatorStats& stats, double spre_eff) const;
 

@@ -1,6 +1,7 @@
 #include "efind/stages.h"
 
 #include <cstdio>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/obs.h"
@@ -111,6 +112,43 @@ void RecordChargeOutcome(const LookupCharge& charge, int j,
   }
 #else
   (void)injected_hist;
+  (void)obs;
+#endif
+}
+
+// Device-side accounting of one batched-store flush (DESIGN.md §13): the
+// whole batch's distinct pages are charged as overlapped device waves
+// (`PageBatchSeconds`), the run-global `efind.store.*` counters record what
+// coalescing saved, and the pages feed the Nipl_j statistic behind the cost
+// model's page-read term. Per-lookup service/network charges happen at the
+// call sites, in submit order — this helper only owns the shared page leg.
+void ChargePageBatch(const StoreCounters& sc, int j, uint64_t distinct,
+                     uint64_t uncoalesced, uint64_t lookups,
+                     const ClusterConfig* config, TaskContext* ctx,
+                     OperatorTaskStats* stats, obs::ObsSession* obs) {
+  const double t0 = ctx->sim_time();
+  ctx->AddSimTime(config->PageBatchSeconds(distinct));
+  Counters* counters = ctx->counters();
+  counters->Increment(sc.batches);
+  counters->Increment(sc.batched_lookups, static_cast<double>(lookups));
+  if (distinct > 0) {
+    counters->Increment(sc.page_reads, static_cast<double>(distinct));
+  }
+  if (uncoalesced > distinct) {
+    counters->Increment(sc.coalesced,
+                        static_cast<double>(uncoalesced - distinct));
+  }
+  if (stats != nullptr) stats->LookupPages(j, distinct, uncoalesced);
+#if EFIND_OBS
+  if (obs != nullptr && distinct > 0) {
+    obs->trace().TaskLocal(ctx)->Span(
+        "page_read", "store", t0, ctx->sim_time() - t0,
+        {{"pages", std::to_string(distinct)},
+         {"coalesced", std::to_string(uncoalesced - distinct)},
+         {"lookups", std::to_string(lookups)}});
+  }
+#else
+  (void)t0;
   (void)obs;
 #endif
 }
@@ -233,6 +271,9 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
         failover_ != nullptr
             ? MakeBreakers(config_, op_->accessors()[tasks_[t].index].get())
             : nullptr);
+    batched_.push_back(dynamic_cast<const BatchedLookupIndex*>(
+        op_->accessors()[tasks_[t].index].get()));
+    if (batched_.back() != nullptr) any_batched_ = true;
 #if EFIND_OBS
     // Metric handles intern here, on the orchestration thread at plan
     // expansion; hot-path updates go through integer ids only.
@@ -258,6 +299,52 @@ InlineLookupStage::InlineLookupStage(std::shared_ptr<IndexOperator> op,
 
 std::string InlineLookupStage::name() const {
   return counter_prefix_ + ".lookup";
+}
+
+// Per-task state of the batched store path. Records whose keys hit a
+// store-backed index are buffered until a flush resolves their lookups; the
+// flush then emits them in arrival order, so the downstream record sequence
+// is byte-identical to the serial path. Keyed by `&tasks_` in the
+// TaskContext (distinct from every other task-state owner of this stage).
+struct InlineLookupStage::BatchState {
+  // One store-backed task slot's outstanding batch (parallel to tasks_;
+  // serial slots never populate theirs).
+  struct SlotBatch {
+    std::unique_ptr<BatchedLookupHandle> handle;
+    // Keys in ticket (= submit) order for the current flush.
+    std::vector<std::string> submitted;
+    // Ticket of submitted[0]; tickets grow monotonically across flushes.
+    uint64_t ticket_base = 0;
+    // Cached slots only: keys submitted but not yet Put() into the cache.
+    // A probe of such a key would have hit serially (the earlier miss's
+    // Put precedes it), so it counts as a hit and rides the same ticket.
+    std::unordered_map<std::string, uint64_t> pending_keys;
+  };
+  // One buffered key of a buffered record: slot t, position in the record's
+  // key list, and the ticket whose values it takes at flush.
+  struct Ref {
+    size_t t = 0;
+    size_t key_index = 0;
+    uint64_t ticket = 0;
+  };
+  struct PendingRecord {
+    Record record;
+    std::vector<Ref> refs;
+  };
+
+  std::vector<SlotBatch> slots;
+  std::vector<PendingRecord> buffered;
+  size_t total_pending = 0;
+};
+
+InlineLookupStage::BatchState* InlineLookupStage::BatchFor(TaskContext* ctx) {
+  auto* existing = static_cast<BatchState*>(ctx->FindTaskState(&tasks_));
+  if (existing != nullptr) return existing;
+  auto state = std::make_shared<BatchState>();
+  state->slots.resize(tasks_.size());
+  BatchState* raw = state.get();
+  ctx->AddTaskState(&tasks_, std::move(state));
+  return raw;
 }
 
 CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
@@ -314,14 +401,221 @@ CachedResult InlineLookupStage::LookupOne(size_t t, const std::string& ik,
   return result;
 }
 
+void InlineLookupStage::ProcessBatched(Record record, TaskContext* ctx,
+                                       Emitter* out,
+                                       OperatorTaskStats* stats) {
+  BatchState* bs = BatchFor(ctx);
+#if EFIND_OBS
+  obs::TaskTrace* tt =
+      obs_ != nullptr ? obs_->trace().TaskLocal(ctx) : nullptr;
+  obs::TaskMetrics* tm =
+      obs_ != nullptr ? obs_->metrics().TaskLocal(ctx) : nullptr;
+  const double batch_t0 = ctx->sim_time();
+  size_t batch_keys = 0;
+#endif
+  auto attachment = MutableAttachment(&record);
+  BatchState::PendingRecord pr;
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const int j = tasks_[t].index;
+    if (j < 0 || j >= static_cast<int>(attachment->keys.size())) continue;
+    auto& keys = attachment->keys[j];
+    auto& results = attachment->results[j];
+    results.resize(keys.size());
+    if (batched_[t] == nullptr) {
+      // Serial accessor: resolve inline, exactly as the non-batched driver.
+      for (size_t i = 0; i < keys.size(); ++i) {
+#if EFIND_OBS
+        const double lk_t0 = ctx->sim_time();
+#endif
+        results[i] = LookupOne(t, keys[i], ctx, stats);
+#if EFIND_OBS
+        if (tm != nullptr && t < latency_hist_.size()) {
+          tm->Observe(latency_hist_[t], ctx->sim_time() - lk_t0);
+        }
+        ++batch_keys;
+#endif
+      }
+      continue;
+    }
+    BatchState::SlotBatch& sb = bs->slots[t];
+    LruCache<std::string, CachedResult>* cache =
+        caches_[t] ? &caches_[t]->ForNode(ctx->node_id()) : nullptr;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& ik = keys[i];
+#if EFIND_OBS
+      const double lk_t0 = ctx->sim_time();
+      ++batch_keys;
+#endif
+      if (cache != nullptr) {
+        ctx->AddSimTime(config_->cache_probe_sec);
+        CachedResult cached;
+        if (cache->Get(ik, &cached)) {
+          if (stats != nullptr) stats->CacheProbe(j, /*miss=*/false);
+          ctx->counters()->Increment(counter_names_[t].cache_hits);
+          results[i] = std::move(cached);
+#if EFIND_OBS
+          if (tm != nullptr && t < latency_hist_.size()) {
+            tm->Observe(latency_hist_[t], ctx->sim_time() - lk_t0);
+          }
+#endif
+          continue;
+        }
+        auto it = sb.pending_keys.find(ik);
+        if (it != sb.pending_keys.end()) {
+          // Serially the earlier miss's Put() would precede this probe:
+          // count the hit and ride the pending ticket.
+          if (stats != nullptr) stats->CacheProbe(j, /*miss=*/false);
+          ctx->counters()->Increment(counter_names_[t].cache_hits);
+          pr.refs.push_back({t, i, it->second});
+#if EFIND_OBS
+          if (tm != nullptr && t < latency_hist_.size()) {
+            tm->Observe(latency_hist_[t], ctx->sim_time() - lk_t0);
+          }
+#endif
+          continue;
+        }
+        if (stats != nullptr) stats->CacheProbe(j, /*miss=*/true);
+      } else if (stats != nullptr) {
+        stats->ShadowProbe(j, ctx->node_id(), ik);
+      }
+      if (!sb.handle) sb.handle = batched_[t]->NewBatch();
+      const uint64_t ticket = sb.handle->Submit(ik);
+      sb.submitted.push_back(ik);
+      if (cache != nullptr) sb.pending_keys.emplace(ik, ticket);
+      pr.refs.push_back({t, i, ticket});
+      ++bs->total_pending;
+    }
+  }
+  record.attachment = std::move(attachment);
+#if EFIND_OBS
+  if (tt != nullptr && batch_keys > 0) {
+    tt->Span("lookup_batch", "lookup", batch_t0, ctx->sim_time() - batch_t0,
+             {{"keys", std::to_string(batch_keys)}});
+  }
+#endif
+  if (pr.refs.empty() && bs->buffered.empty()) {
+    out->Emit(std::move(record));
+  } else {
+    pr.record = std::move(record);
+    bs->buffered.push_back(std::move(pr));
+  }
+  if (bs->total_pending >= static_cast<size_t>(config_->store_batch_depth)) {
+    FlushBatch(bs, ctx, out, stats);
+  }
+}
+
+void InlineLookupStage::FlushBatch(BatchState* bs, TaskContext* ctx,
+                                   Emitter* out, OperatorTaskStats* stats) {
+  // Resolved values per slot, indexed by (ticket - pre-flush ticket_base).
+  std::vector<std::vector<CachedResult>> resolved(tasks_.size());
+  std::vector<uint64_t> base(tasks_.size(), 0);
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    BatchState::SlotBatch& sb = bs->slots[t];
+    base[t] = sb.ticket_base;
+    const size_t n = sb.submitted.size();
+    if (n == 0) continue;
+    BatchedLookupOutcome outcome = sb.handle->Flush();
+    std::vector<BatchedLookupCompletion*> by_ticket(n, nullptr);
+    for (auto& c : outcome.completions) {
+      const uint64_t i = c.ticket - sb.ticket_base;
+      if (i < n) by_ticket[i] = &c;
+    }
+    const int j = tasks_[t].index;
+    const TaskCounters& names = counter_names_[t];
+    LruCache<std::string, CachedResult>* cache =
+        caches_[t] ? &caches_[t]->ForNode(ctx->node_id()) : nullptr;
+    resolved[t].resize(n);
+    // Per-lookup charges replay in submit order — the same expressions, in
+    // the same floating-point evaluation order, as the serial miss path.
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& ik = sb.submitted[i];
+#if EFIND_OBS
+      const double lk_t0 = ctx->sim_time();
+#endif
+      CachedResult values;
+      if (by_ticket[i] != nullptr) {
+        if (by_ticket[i]->error) {
+          ctx->counters()->Increment(names.lookup_errors);
+        } else {
+          values = std::move(by_ticket[i]->values);
+        }
+      }
+      const uint64_t result_bytes = ResultBytes(values);
+      const double service = op_->accessors()[j]->ServiceSeconds(result_bytes);
+      if (failover_ != nullptr && failover_->active()) {
+        const LookupCharge charge = failover_->Resilient(
+            *op_->accessors()[j], ik, result_bytes, service, ctx->node_id(),
+            /*local=*/false, ctx->sim_time(), breakers_[t].get());
+        ctx->AddSimTime(charge.seconds);
+        RecordChargeOutcome(charge, j, names.lookup_failovers, resilience_[t],
+                            t < injected_hist_.size() ? injected_hist_[t] : -1,
+                            ctx, stats, obs_);
+      } else {
+        ctx->AddSimTime(service + op_->accessors()[j]->RemoteOverheadSeconds() +
+                        config_->RemoteLookupSeconds(ik.size() + result_bytes));
+      }
+      ctx->counters()->Increment(names.lookups);
+      if (stats != nullptr) {
+        stats->LookupPerformed(j, ik.size(), result_bytes, service);
+      }
+      if (cache != nullptr) cache->Put(ik, values);
+#if EFIND_OBS
+      if (obs_ != nullptr && t < latency_hist_.size()) {
+        obs_->metrics().TaskLocal(ctx)->Observe(latency_hist_[t],
+                                                ctx->sim_time() - lk_t0);
+      }
+#endif
+      resolved[t][i] = std::move(values);
+    }
+    ChargePageBatch(store_counters_, j, outcome.distinct_pages,
+                    outcome.uncoalesced_pages, n, config_, ctx, stats, obs_);
+    sb.ticket_base += n;
+    sb.submitted.clear();
+    sb.pending_keys.clear();
+  }
+  // Emit the buffered records in arrival order, results attached.
+  for (auto& pr : bs->buffered) {
+    if (!pr.refs.empty()) {
+      auto attachment = MutableAttachment(&pr.record);
+      for (const BatchState::Ref& ref : pr.refs) {
+        const int j = tasks_[ref.t].index;
+        auto& results = attachment->results[j];
+        const uint64_t i = ref.ticket - base[ref.t];
+        if (ref.key_index < results.size() && i < resolved[ref.t].size()) {
+          results[ref.key_index] = resolved[ref.t][i];
+        }
+      }
+      pr.record.attachment = std::move(attachment);
+    }
+    out->Emit(std::move(pr.record));
+  }
+  bs->buffered.clear();
+  bs->total_pending = 0;
+}
+
 void InlineLookupStage::Process(Record record, TaskContext* ctx,
                                 Emitter* out) {
   if (!record.attachment) {
+    if (any_batched_) {
+      // Keep the emitted record order identical to serial execution: a
+      // record with nothing to look up may not overtake buffered ones.
+      auto* bs = static_cast<BatchState*>(ctx->FindTaskState(&tasks_));
+      if (bs != nullptr && !bs->buffered.empty()) {
+        BatchState::PendingRecord pr;
+        pr.record = std::move(record);
+        bs->buffered.push_back(std::move(pr));
+        return;
+      }
+    }
     out->Emit(std::move(record));
     return;
   }
   OperatorTaskStats* stats =
       runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr;
+  if (any_batched_) {
+    ProcessBatched(std::move(record), ctx, out, stats);
+    return;
+  }
 #if EFIND_OBS
   obs::TaskTrace* tt =
       obs_ != nullptr ? obs_->trace().TaskLocal(ctx) : nullptr;
@@ -361,7 +655,15 @@ void InlineLookupStage::Process(Record record, TaskContext* ctx,
 }
 
 void InlineLookupStage::EndTask(TaskContext* ctx, Emitter* out) {
-  (void)ctx;
+  if (any_batched_) {
+    // Drain the tail batch before the obs snapshot so its page reads and
+    // cache puts are part of this task's record.
+    auto* bs = static_cast<BatchState*>(ctx->FindTaskState(&tasks_));
+    if (bs != nullptr && (!bs->buffered.empty() || bs->total_pending > 0)) {
+      FlushBatch(bs, ctx, out,
+                 runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr);
+    }
+  }
   (void)out;
 #if EFIND_OBS
   // Cache hit/miss snapshot at end of task: the node cache is shared by the
@@ -527,6 +829,8 @@ GroupedLookupStage::GroupedLookupStage(std::shared_ptr<IndexOperator> op,
   if (failover_ != nullptr) {
     breakers_ = MakeBreakers(config_, op_->accessors()[index_].get());
   }
+  batched_ = dynamic_cast<const BatchedLookupIndex*>(
+      op_->accessors()[index_].get());
 #if EFIND_OBS
   if (obs_ != nullptr) {
     latency_hist_ = obs_->metrics().Histogram(
@@ -552,10 +856,254 @@ GroupedLookupStage::Memo* GroupedLookupStage::MemoFor(TaskContext* ctx) const {
   return raw;
 }
 
+// Per-task state of the batched store path. Mirrors the serial path's
+// last-key memo in two tiers: `run_*` is a key submitted in the current
+// batch but not yet flushed (later records of the same grouped run ride its
+// ticket), `memo_*` is the last flushed grouped key (a run that straddles a
+// flush boundary keeps reusing). Keyed by `&index_` — `this` keys the
+// serial Memo.
+struct GroupedLookupStage::BatchState {
+  struct Slot {
+    bool resolved = false;   // `result` is final (memo reuse).
+    uint64_t ticket = 0;     // Otherwise: resolve from this ticket at flush.
+    CachedResult result;
+  };
+  struct PendingRecord {
+    Record record;
+    bool grouped = false;    // Arrived via the shuffle (single result slot).
+    std::vector<Slot> slots; // grouped: exactly one; pass-through: per key.
+  };
+  struct Submitted {
+    std::string key;
+    bool grouped = false;    // Charges local in index-locality mode.
+  };
+
+  std::unique_ptr<BatchedLookupHandle> handle;
+  std::vector<PendingRecord> buffered;
+  std::vector<Submitted> submitted;  // Ticket order for the current flush.
+  uint64_t ticket_base = 0;
+  bool run_pending = false;
+  std::string run_key;
+  uint64_t run_ticket = 0;
+  bool memo_valid = false;
+  std::string memo_key;
+  CachedResult memo_result;
+};
+
+GroupedLookupStage::BatchState* GroupedLookupStage::BatchFor(TaskContext* ctx) {
+  auto* existing = static_cast<BatchState*>(ctx->FindTaskState(&index_));
+  if (existing != nullptr) return existing;
+  auto state = std::make_shared<BatchState>();
+  BatchState* raw = state.get();
+  ctx->AddTaskState(&index_, std::move(state));
+  return raw;
+}
+
+void GroupedLookupStage::ProcessBatched(Record record, TaskContext* ctx,
+                                        Emitter* out,
+                                        OperatorTaskStats* stats) {
+  BatchState* bs = BatchFor(ctx);
+  const size_t depth = static_cast<size_t>(config_->store_batch_depth);
+  if (!record.attachment || !record.attachment->has_saved_key) {
+    // Shuffle-skipped record: submit its keys (remote charges) and buffer it
+    // so it cannot overtake earlier records still waiting on a flush.
+    BatchState::PendingRecord pr;
+    if (record.attachment &&
+        index_ < static_cast<int>(record.attachment->keys.size()) &&
+        !record.attachment->keys[index_].empty()) {
+      auto attachment = MutableAttachment(&record);
+      const auto& keys = attachment->keys[index_];
+      attachment->results[index_].resize(keys.size());
+      if (!bs->handle) bs->handle = batched_->NewBatch();
+      for (const std::string& k : keys) {
+        BatchState::Slot slot;
+        slot.ticket = bs->handle->Submit(k);
+        bs->submitted.push_back({k, /*grouped=*/false});
+        pr.slots.push_back(std::move(slot));
+      }
+      record.attachment = std::move(attachment);
+    }
+    if (pr.slots.empty() && bs->buffered.empty()) {
+      out->Emit(std::move(record));
+    } else {
+      pr.record = std::move(record);
+      bs->buffered.push_back(std::move(pr));
+    }
+    if (bs->handle && bs->handle->pending() >= depth) {
+      FlushBatch(bs, ctx, out, stats);
+    }
+    return;
+  }
+
+  const std::string ik = record.key;
+  auto attachment = MutableAttachment(&record);
+  record.key = attachment->saved_key;
+  attachment->saved_key.clear();
+  attachment->has_saved_key = false;
+  record.attachment = std::move(attachment);
+
+  if (bs->run_pending && bs->run_key == ik) {
+    // Same grouped run as an in-flight submit: ride its ticket.
+    ctx->counters()->Increment(lookup_reuses_);
+    BatchState::PendingRecord pr;
+    pr.grouped = true;
+    pr.slots.emplace_back();
+    pr.slots.back().ticket = bs->run_ticket;
+    pr.record = std::move(record);
+    bs->buffered.push_back(std::move(pr));
+  } else if (!bs->run_pending && bs->memo_valid && bs->memo_key == ik) {
+    // A run straddling the last flush: resolved result, no new lookup.
+    ctx->counters()->Increment(lookup_reuses_);
+    if (bs->buffered.empty()) {
+      auto resolved = MutableAttachment(&record);
+      if (index_ < static_cast<int>(resolved->results.size())) {
+        resolved->results[index_].assign(1, bs->memo_result);
+      }
+      record.attachment = std::move(resolved);
+      out->Emit(std::move(record));
+    } else {
+      BatchState::PendingRecord pr;
+      pr.grouped = true;
+      pr.slots.emplace_back();
+      pr.slots.back().resolved = true;
+      pr.slots.back().result = bs->memo_result;
+      pr.record = std::move(record);
+      bs->buffered.push_back(std::move(pr));
+    }
+  } else {
+    if (!bs->handle) bs->handle = batched_->NewBatch();
+    const uint64_t ticket = bs->handle->Submit(ik);
+    bs->submitted.push_back({ik, /*grouped=*/true});
+    bs->run_pending = true;
+    bs->run_key = ik;
+    bs->run_ticket = ticket;
+    BatchState::PendingRecord pr;
+    pr.grouped = true;
+    pr.slots.emplace_back();
+    pr.slots.back().ticket = ticket;
+    pr.record = std::move(record);
+    bs->buffered.push_back(std::move(pr));
+  }
+  if (bs->handle && bs->handle->pending() >= depth) {
+    FlushBatch(bs, ctx, out, stats);
+  }
+}
+
+void GroupedLookupStage::FlushBatch(BatchState* bs, TaskContext* ctx,
+                                    Emitter* out, OperatorTaskStats* stats) {
+  const size_t n = bs->submitted.size();
+  const uint64_t base = bs->ticket_base;
+  std::vector<CachedResult> resolved(n);
+  if (n > 0) {
+    BatchedLookupOutcome outcome = bs->handle->Flush();
+    std::vector<BatchedLookupCompletion*> by_ticket(n, nullptr);
+    for (auto& c : outcome.completions) {
+      const uint64_t i = c.ticket - base;
+      if (i < n) by_ticket[i] = &c;
+    }
+    // Per-lookup charges replay in submit order — the same expressions, in
+    // the same floating-point evaluation order, as the serial path.
+    for (size_t i = 0; i < n; ++i) {
+      const BatchState::Submitted& sub = bs->submitted[i];
+#if EFIND_OBS
+      const double lk_t0 = ctx->sim_time();
+#endif
+      CachedResult values;
+      if (by_ticket[i] != nullptr) {
+        if (by_ticket[i]->error) {
+          ctx->counters()->Increment(lookup_errors_);
+        } else {
+          values = std::move(by_ticket[i]->values);
+        }
+      }
+      const uint64_t result_bytes = ResultBytes(values);
+      const double service =
+          op_->accessors()[index_]->ServiceSeconds(result_bytes);
+      const bool local = local_ && sub.grouped;
+      if (failover_ != nullptr && failover_->active()) {
+        const LookupCharge charge = failover_->Resilient(
+            *op_->accessors()[index_], sub.key, result_bytes, service,
+            ctx->node_id(), local, ctx->sim_time(), breakers_.get());
+        ctx->AddSimTime(charge.seconds);
+        RecordChargeOutcome(charge, index_, lookup_failovers_, resilience_,
+                            injected_hist_, ctx, stats, obs_);
+      } else if (local) {
+        ctx->AddSimTime(service);
+      } else {
+        ctx->AddSimTime(
+            service + op_->accessors()[index_]->RemoteOverheadSeconds() +
+            config_->RemoteLookupSeconds(sub.key.size() + result_bytes));
+      }
+      ctx->counters()->Increment(lookups_);
+      if (stats != nullptr) {
+        stats->LookupPerformed(index_, sub.key.size(), result_bytes, service);
+      }
+#if EFIND_OBS
+      if (obs_ != nullptr) {
+        const double charged = ctx->sim_time() - lk_t0;
+        obs_->metrics().TaskLocal(ctx)->Observe(latency_hist_, charged);
+        obs_->trace().TaskLocal(ctx)->Span(
+            "grouped_lookup", "lookup", lk_t0, charged,
+            {{"index", std::to_string(index_)},
+             {"mode", local ? "local" : "remote"}});
+      }
+#endif
+      if (sub.grouped) {
+        bs->memo_valid = true;
+        bs->memo_key = sub.key;
+        bs->memo_result = values;
+      }
+      resolved[i] = std::move(values);
+    }
+    ChargePageBatch(store_counters_, index_, outcome.distinct_pages,
+                    outcome.uncoalesced_pages, n, config_, ctx, stats, obs_);
+  }
+  // Emit the buffered records in arrival order, results attached.
+  for (auto& pr : bs->buffered) {
+    if (!pr.slots.empty() &&
+        index_ < static_cast<int>(pr.record.attachment->results.size())) {
+      auto attachment = MutableAttachment(&pr.record);
+      if (pr.grouped) {
+        const BatchState::Slot& slot = pr.slots[0];
+        const uint64_t i = slot.ticket - base;
+        if (slot.resolved) {
+          attachment->results[index_].assign(1, slot.result);
+        } else if (i < resolved.size()) {
+          attachment->results[index_].assign(1, resolved[i]);
+        }
+      } else {
+        auto& results = attachment->results[index_];
+        for (size_t k = 0; k < pr.slots.size() && k < results.size(); ++k) {
+          const uint64_t i = pr.slots[k].ticket - base;
+          if (i < resolved.size()) results[k] = resolved[i];
+        }
+      }
+      pr.record.attachment = std::move(attachment);
+    }
+    out->Emit(std::move(pr.record));
+  }
+  bs->buffered.clear();
+  bs->submitted.clear();
+  bs->ticket_base += n;
+  bs->run_pending = false;
+}
+
+void GroupedLookupStage::EndTask(TaskContext* ctx, Emitter* out) {
+  if (batched_ == nullptr) return;
+  auto* bs = static_cast<BatchState*>(ctx->FindTaskState(&index_));
+  if (bs == nullptr || (bs->buffered.empty() && bs->submitted.empty())) return;
+  FlushBatch(bs, ctx, out,
+             runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr);
+}
+
 void GroupedLookupStage::Process(Record record, TaskContext* ctx,
                                  Emitter* out) {
   OperatorTaskStats* stats =
       runtime_ != nullptr ? runtime_->TaskLocal(ctx) : nullptr;
+  if (batched_ != nullptr) {
+    ProcessBatched(std::move(record), ctx, out, stats);
+    return;
+  }
   if (!record.attachment || !record.attachment->has_saved_key) {
     // Record skipped the shuffle (it extracted zero or several keys for
     // this index). Resolve its lookups directly (remote) so postProcess

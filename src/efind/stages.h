@@ -105,6 +105,22 @@ struct ResilienceCounters {
   CounterHandle integrity_detected;
 };
 
+/// Interned run-global counter handles of the packed-store batched lookup
+/// drivers (DESIGN.md §13): distinct device page reads, reads saved by
+/// same-page coalescing, flushes issued, and lookups served through a batch.
+struct StoreCounters {
+  StoreCounters()
+      : page_reads("efind.store.page_reads"),
+        coalesced("efind.store.coalesced_page_reads"),
+        batches("efind.store.batches"),
+        batched_lookups("efind.store.batched_lookups") {}
+
+  CounterHandle page_reads;
+  CounterHandle coalesced;
+  CounterHandle batches;
+  CounterHandle batched_lookups;
+};
+
 /// Which indices an `InlineLookupStage` serves, and how.
 struct InlineIndexTask {
   int index = 0;
@@ -149,6 +165,17 @@ class InlineLookupStage : public RecordStage {
   CachedResult LookupOne(size_t t, const std::string& ik, TaskContext* ctx,
                          OperatorTaskStats* stats);
 
+  // Batched store path (DESIGN.md §13): per-task buffering state, the
+  // record-buffering driver, and the flush that serves every pending lookup
+  // in one coalesced sweep. Engaged only when some task slot's accessor
+  // implements `BatchedLookupIndex`.
+  struct BatchState;
+  BatchState* BatchFor(TaskContext* ctx);
+  void ProcessBatched(Record record, TaskContext* ctx, Emitter* out,
+                      OperatorTaskStats* stats);
+  void FlushBatch(BatchState* bs, TaskContext* ctx, Emitter* out,
+                  OperatorTaskStats* stats);
+
   std::shared_ptr<IndexOperator> op_;
   std::vector<InlineIndexTask> tasks_;
   OperatorRuntime* runtime_;
@@ -178,6 +205,11 @@ class InlineLookupStage : public RecordStage {
   std::vector<std::vector<int>> cache_miss_gauges_;
   // caches_[t] serves tasks_[t] when tasks_[t].use_cache.
   std::vector<std::unique_ptr<NodeCaches>> caches_;
+  // batched_[t] is the batching capability of tasks_[t]'s accessor (null for
+  // in-memory indices; those keep the serial path). Parallel to tasks_.
+  std::vector<const BatchedLookupIndex*> batched_;
+  bool any_batched_ = false;
+  StoreCounters store_counters_;
 };
 
 /// Runs `IndexOperator::PostProcess` on the record plus its attached lookup
@@ -249,6 +281,9 @@ class GroupedLookupStage : public RecordStage {
 
   std::string name() const override;
   void Process(Record record, TaskContext* ctx, Emitter* out) override;
+  /// Flushes the batched store path's remaining buffered lookups (no-op for
+  /// serial accessors).
+  void EndTask(TaskContext* ctx, Emitter* out) override;
 
  private:
   // Per-task memo of the last looked-up key, kept in the TaskContext.
@@ -258,6 +293,15 @@ class GroupedLookupStage : public RecordStage {
     CachedResult result;
   };
   Memo* MemoFor(TaskContext* ctx) const;
+
+  // Batched store path (DESIGN.md §13). The task state is keyed by
+  // `&index_` — `this` already keys the serial path's Memo.
+  struct BatchState;
+  BatchState* BatchFor(TaskContext* ctx);
+  void ProcessBatched(Record record, TaskContext* ctx, Emitter* out,
+                      OperatorTaskStats* stats);
+  void FlushBatch(BatchState* bs, TaskContext* ctx, Emitter* out,
+                  OperatorTaskStats* stats);
 
   std::shared_ptr<IndexOperator> op_;
   int index_;
@@ -278,6 +322,10 @@ class GroupedLookupStage : public RecordStage {
   ResilienceCounters resilience_;
   // Circuit breaker cells for this index (see InlineLookupStage::breakers_).
   std::unique_ptr<BreakerBank> breakers_;
+  // Batching capability of this index's accessor (null keeps the serial
+  // memoized path untouched).
+  const BatchedLookupIndex* batched_ = nullptr;
+  StoreCounters store_counters_;
 };
 
 /// Meters the original Map function's output bytes into the head operators'

@@ -74,6 +74,13 @@ void OperatorTaskStats::LookupResilience(int j, int hedges, bool hedge_won,
   if (breaker_short_circuit) ++pi.breaker_short_circuits;
 }
 
+void OperatorTaskStats::LookupPages(int j, uint64_t distinct_pages,
+                                    uint64_t uncoalesced_pages) {
+  if (j < 0 || j >= static_cast<int>(index_.size())) return;
+  index_[j].page_reads += distinct_pages;
+  index_[j].uncoalesced_page_reads += uncoalesced_pages;
+}
+
 void OperatorTaskStats::CacheProbe(int j, bool miss) {
   if (j < 0 || j >= static_cast<int>(index_.size())) return;
   ++index_[j].cache_probes;
@@ -150,6 +157,8 @@ void OperatorRuntime::AbsorbTask(const OperatorTaskStats& task) {
     pi.flaky_lookups += ti.flaky_lookups;
     pi.corrupt_lookups += ti.corrupt_lookups;
     pi.breaker_short_circuits += ti.breaker_short_circuits;
+    pi.page_reads += ti.page_reads;
+    pi.uncoalesced_page_reads += ti.uncoalesced_page_reads;
   }
   if (task.inputs_ > 0) {
     ++pre_tasks_;
@@ -306,6 +315,8 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
         is.corrupt_share = static_cast<double>(pi.corrupt_lookups) / lookups;
         is.breaker_share =
             static_cast<double>(pi.breaker_short_circuits) / lookups;
+        is.pages_per_lookup =
+            static_cast<double>(pi.uncoalesced_page_reads) / lookups;
       }
     }
     return stats;
@@ -371,6 +382,8 @@ OperatorStats OperatorRuntime::Compute(int num_nodes,
       is.corrupt_share = static_cast<double>(pi.corrupt_lookups) / lookups;
       is.breaker_share =
           static_cast<double>(pi.breaker_short_circuits) / lookups;
+      is.pages_per_lookup =
+          static_cast<double>(pi.uncoalesced_page_reads) / lookups;
     }
     max_cov = std::max(max_cov, pi.nik_samples.coefficient_of_variation());
   }

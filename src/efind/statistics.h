@@ -78,6 +78,11 @@ struct IndexStats {
   /// (FeasibleStrategies drops the strategy, like `down_share`).
   double breaker_share = 0.0;
 
+  /// Average distinct pages one lookup touches on a storage-backed index
+  /// (0 for in-memory indices). Feeds the page-read cost term
+  /// (`CostModel::PageReadCost`) so batch depth shows up in plan costs.
+  double pages_per_lookup = 0.0;
+
   // Capabilities copied from the accessor at planning time.
   bool idempotent = true;
   bool has_partition_scheme = false;
@@ -155,6 +160,10 @@ class OperatorTaskStats {
   /// excess; this only counts mechanism firings.
   void LookupResilience(int j, int hedges, bool hedge_won, int flaky_errors,
                         int corrupt_detected, bool breaker_short_circuit);
+  /// Page accounting of one flush against a storage-backed index `j`:
+  /// `distinct_pages` physically read after same-page coalescing,
+  /// `uncoalesced_pages` the serial cost of the same lookups.
+  void LookupPages(int j, uint64_t distinct_pages, uint64_t uncoalesced_pages);
   /// A probe of the real lookup cache for index `j`.
   void CacheProbe(int j, bool miss);
   /// Probes the runtime's shadow (key-only) cache on `node` for index `j`
@@ -184,6 +193,8 @@ class OperatorTaskStats {
     uint64_t flaky_lookups = 0;
     uint64_t corrupt_lookups = 0;
     uint64_t breaker_short_circuits = 0;
+    uint64_t page_reads = 0;
+    uint64_t uncoalesced_page_reads = 0;
     FmSketch sketch{64};
     SkewDetector skew;
     bool multi_key_seen = false;
@@ -293,6 +304,8 @@ class OperatorRuntime {
     uint64_t flaky_lookups = 0;
     uint64_t corrupt_lookups = 0;
     uint64_t breaker_short_circuits = 0;
+    uint64_t page_reads = 0;
+    uint64_t uncoalesced_page_reads = 0;
     FmSketch sketch{64};
     SkewDetector skew;
     // Per-task temporaries (serial hook mode only).

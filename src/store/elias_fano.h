@@ -1,0 +1,75 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Elias-Fano encoding of a monotone (non-decreasing) sequence of 64-bit
+// integers, the PaCHash-style predecessor index of the packed object store
+// (DESIGN.md §13). For n values with universe u it stores each value's low
+// l = floor(log2(u/n)) bits verbatim in a packed array and the high bits as
+// a unary-coded bitvector, ~ n * (2 + log2(u/n)) bits total — for the
+// store's block→first-bin sequence that is a few bits per block instead of
+// a 64-bit word.
+
+#ifndef EFIND_STORE_ELIAS_FANO_H_
+#define EFIND_STORE_ELIAS_FANO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efind {
+namespace store {
+
+/// Immutable Elias-Fano sequence with random access and the two monotone
+/// searches the packed store's lookup path needs. All queries are const and
+/// thread-safe after construction.
+class EliasFanoSequence {
+ public:
+  /// Empty sequence.
+  EliasFanoSequence() = default;
+  /// Encodes `values`, which must be sorted non-decreasing (checked; an
+  /// out-of-order input yields an empty sequence and `valid() == false`).
+  explicit EliasFanoSequence(const std::vector<uint64_t>& values);
+
+  bool valid() const { return valid_; }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// The i-th value; i must be < size().
+  uint64_t Get(size_t i) const;
+
+  /// Largest index i with Get(i) <= value, or -1 when every element is
+  /// greater (or the sequence is empty).
+  int64_t Predecessor(uint64_t value) const;
+
+  /// Smallest index i with Get(i) >= value, or size() when every element is
+  /// smaller.
+  size_t LowerBound(uint64_t value) const;
+
+  /// Encoded payload size in bits (compression accounting; excludes the
+  /// select directory rebuilt on load).
+  uint64_t bits_used() const;
+
+  /// Appends a self-delimiting serialization to `*out`.
+  void AppendTo(std::string* out) const;
+  /// Parses a serialization written by `AppendTo`, advancing `*data`.
+  /// Returns false (leaving this empty) on truncated or corrupt input.
+  bool ParseFrom(const char** data, const char* end);
+
+ private:
+  void BuildRank();
+  /// Bit position of the i-th (0-based) set bit of the high bitvector.
+  size_t Select1(size_t i) const;
+
+  bool valid_ = true;
+  size_t n_ = 0;
+  uint32_t low_bits_ = 0;
+  std::vector<uint64_t> low_;        // Packed l-bit low parts.
+  std::vector<uint64_t> high_;       // Unary-coded high parts.
+  std::vector<uint32_t> high_rank_;  // Set bits before each high_ word.
+};
+
+}  // namespace store
+}  // namespace efind
+
+#endif  // EFIND_STORE_ELIAS_FANO_H_

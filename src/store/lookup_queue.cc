@@ -1,0 +1,93 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "store/lookup_queue.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace efind {
+namespace store {
+
+namespace {
+
+/// Page source that caches every page it reads for the duration of one
+/// flush. Cache misses are exactly the distinct (partition, page) pairs the
+/// batch touches — the coalesced physical read count.
+class CachingPageReader : public PackedObjectStore::PageReader {
+ public:
+  explicit CachingPageReader(const PackedObjectStore* store)
+      : store_(store), page_bytes_(store->page_bytes()) {}
+
+  bool Read(int partition, uint64_t page, char* dst) override {
+    // Pages are block indices well under 2^40; partitions are small ints.
+    const uint64_t key =
+        (static_cast<uint64_t>(partition) << 40) | page;
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      auto buf = std::make_unique<char[]>(page_bytes_);
+      if (!store_->ReadPage(partition, page, buf.get())) return false;
+      it = cache_.emplace(key, std::move(buf)).first;
+      ++misses_;
+    }
+    std::memcpy(dst, it->second.get(), page_bytes_);
+    return true;
+  }
+
+  uint64_t misses() const { return misses_; }
+
+ private:
+  const PackedObjectStore* store_;
+  uint64_t page_bytes_;
+  uint64_t misses_ = 0;
+  std::unordered_map<uint64_t, std::unique_ptr<char[]>> cache_;
+};
+
+}  // namespace
+
+uint64_t BatchedLookupQueue::Submit(std::string key) {
+  const uint64_t ticket = next_ticket_++;
+  pending_.emplace_back(ticket, std::move(key));
+  return ticket;
+}
+
+FlushOutcome BatchedLookupQueue::Flush() {
+  FlushOutcome outcome;
+  if (pending_.empty()) return outcome;
+  CachingPageReader reader(store_);
+  outcome.completions.reserve(pending_.size());
+  for (const auto& [ticket, key] : pending_) {
+    LookupCompletion c;
+    c.ticket = ticket;
+    PackedObjectStore::LookupInfo info;
+    const Status s = store_->LookupWith(&reader, key, &c.values, &info);
+    c.found = s.ok();
+    c.error = !s.ok() && !s.IsNotFound();
+    if (c.error) c.values.clear();
+    c.pages = info.pages;
+    c.partition = info.partition;
+    c.first_block = info.first_block;
+    outcome.uncoalesced_pages += info.pages;
+    outcome.completions.push_back(std::move(c));
+  }
+  pending_.clear();
+  outcome.distinct_pages = reader.misses();
+  // Fixed out-of-order delivery: storage order, then submission order —
+  // the page-cache contents above are order-independent (a set), so the
+  // whole outcome is a pure function of the submitted key multiset.
+  std::sort(outcome.completions.begin(), outcome.completions.end(),
+            [](const LookupCompletion& a, const LookupCompletion& b) {
+              if (a.partition != b.partition) return a.partition < b.partition;
+              if (a.first_block != b.first_block) {
+                return a.first_block < b.first_block;
+              }
+              return a.ticket < b.ticket;
+            });
+  return outcome;
+}
+
+}  // namespace store
+}  // namespace efind

@@ -1,0 +1,635 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "store/packed_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace efind {
+namespace store {
+
+namespace {
+
+// --- little-endian framing shared by page payloads and sidecars
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool GetU32(const char** p, const char* end, uint32_t* v) {
+  if (end - *p < 4) return false;
+  *v = LoadU32(*p);
+  *p += 4;
+  return true;
+}
+
+bool GetU64(const char** p, const char* end, uint64_t* v) {
+  if (end - *p < 8) return false;
+  *v = LoadU64(*p);
+  *p += 8;
+  return true;
+}
+
+// Object header: [u64 key hash][u32 key len][u32 payload len].
+constexpr uint64_t kObjectHeaderBytes = 16;
+// Page trailer: u16 offset of the first object starting in the page.
+constexpr uint16_t kNoObjectStarts = 0xffff;
+constexpr char kSidecarMagic[] = "EFSTIDX1";
+constexpr uint64_t kSidecarMagicBytes = 8;
+
+/// Object-stream bytes per page after the trailer and the fill degree.
+uint64_t UsablePageBytes(const PackedStoreOptions& options) {
+  const uint64_t cap = options.page_bytes - 2;
+  uint64_t used =
+      static_cast<uint64_t>(static_cast<double>(cap) * options.fill);
+  if (used < 16) used = 16;
+  if (used > cap) used = cap;
+  return used;
+}
+
+std::string DataPath(const std::string& dir, int p) {
+  return dir + "/part" + std::to_string(p) + ".dat";
+}
+
+std::string IndexPath(const std::string& dir, int p) {
+  return dir + "/part" + std::to_string(p) + ".idx";
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Parses the line-oriented `key value` manifest. Returns false on a
+/// missing file; unknown keys are ignored for forward compatibility.
+bool ParseManifest(const std::string& dir, PackedStoreOptions* options,
+                   uint64_t* version, std::string* error) {
+  std::string text;
+  if (!ReadFile(ManifestPath(dir), &text)) {
+    if (error != nullptr) *error = "missing manifest: " + ManifestPath(dir);
+    return false;
+  }
+  options->dir = dir;
+  size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t sp = line.find(' ');
+    if (sp == std::string::npos) continue;
+    const std::string key = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (key == "efind_packed_store") {
+      saw_header = true;
+    } else if (key == "version") {
+      *version = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "page_bytes") {
+      options->page_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "fill") {
+      options->fill = std::strtod(value.c_str(), nullptr);
+    } else if (key == "bins_per_block") {
+      options->bins_per_block = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "num_partitions") {
+      options->num_partitions = std::atoi(value.c_str());
+    } else if (key == "replication") {
+      options->replication = std::atoi(value.c_str());
+    } else if (key == "num_nodes") {
+      options->num_nodes = std::atoi(value.c_str());
+    } else if (key == "base_service_sec") {
+      options->base_service_sec = std::strtod(value.c_str(), nullptr);
+    } else if (key == "serve_per_byte_sec") {
+      options->serve_per_byte_sec = std::strtod(value.c_str(), nullptr);
+    }
+  }
+  if (!saw_header) {
+    if (error != nullptr) *error = "not a packed store manifest: " + dir;
+    return false;
+  }
+  return true;
+}
+
+std::string FormatManifest(const PackedStoreOptions& options,
+                           uint64_t version) {
+  char buf[64];
+  std::string out = "efind_packed_store 1\n";
+  out += "version " + std::to_string(version) + "\n";
+  out += "page_bytes " + std::to_string(options.page_bytes) + "\n";
+  std::snprintf(buf, sizeof(buf), "%.17g", options.fill);
+  out += std::string("fill ") + buf + "\n";
+  out += "bins_per_block " + std::to_string(options.bins_per_block) + "\n";
+  out += "num_partitions " + std::to_string(options.num_partitions) + "\n";
+  out += "replication " + std::to_string(options.replication) + "\n";
+  out += "num_nodes " + std::to_string(options.num_nodes) + "\n";
+  std::snprintf(buf, sizeof(buf), "%.17g", options.base_service_sec);
+  out += std::string("base_service_sec ") + buf + "\n";
+  std::snprintf(buf, sizeof(buf), "%.17g", options.serve_per_byte_sec);
+  out += std::string("serve_per_byte_sec ") + buf + "\n";
+  return out;
+}
+
+/// Decodes an object payload ([u32 count] then per value [u32 len][bytes]
+/// [u64 extra]) into IndexValues.
+Status DecodeValues(const std::string& payload,
+                    std::vector<IndexValue>* out) {
+  const char* p = payload.data();
+  const char* end = p + payload.size();
+  uint32_t count = 0;
+  if (!GetU32(&p, end, &count)) {
+    return Status::Internal("packed store: truncated object payload");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!GetU32(&p, end, &len) ||
+        static_cast<uint64_t>(end - p) < len + 8ULL) {
+      return Status::Internal("packed store: truncated object value");
+    }
+    IndexValue v;
+    v.data.assign(p, len);
+    p += len;
+    uint64_t extra = 0;
+    GetU64(&p, end, &extra);
+    v.extra_bytes = extra;
+    out->push_back(std::move(v));
+  }
+  if (p != end) {
+    return Status::Internal("packed store: trailing object payload bytes");
+  }
+  return Status::OK();
+}
+
+/// Direct pread-backed page source (the serial `Get` path).
+class DirectPageReader : public PackedObjectStore::PageReader {
+ public:
+  explicit DirectPageReader(const PackedObjectStore* s) : store_(s) {}
+  bool Read(int partition, uint64_t page, char* dst) override {
+    return store_->ReadPage(partition, page, dst);
+  }
+
+ private:
+  const PackedObjectStore* store_;
+};
+
+}  // namespace
+
+bool ValidatePackedStoreOptions(const PackedStoreOptions& options,
+                                std::string* reason) {
+  std::string why;
+  if (options.dir.empty()) {
+    why = "dir must be set";
+  } else if (options.page_bytes < 64 || options.page_bytes > 65536) {
+    why = "page_bytes must be in [64, 65536] (u16 page trailer)";
+  } else if (!(options.fill > 0.0) || options.fill > 1.0) {
+    why = "fill must be in (0, 1]";
+  } else if (options.bins_per_block < 1 || options.bins_per_block > 1024) {
+    why = "bins_per_block must be in [1, 1024]";
+  } else if (options.num_partitions < 1) {
+    why = "num_partitions must be >= 1";
+  } else if (options.num_nodes < 1) {
+    why = "num_nodes must be >= 1";
+  } else if (options.replication < 1 ||
+             options.replication > options.num_nodes) {
+    why = "replication must be in [1, num_nodes]";
+  } else if (options.base_service_sec < 0 || options.serve_per_byte_sec < 0) {
+    why = "service times must be >= 0";
+  }
+  if (!why.empty()) {
+    if (reason != nullptr) *reason = "packed store options: " + why;
+    return false;
+  }
+  return true;
+}
+
+// --- PackedObjectStore
+
+std::unique_ptr<PackedObjectStore> PackedObjectStore::Open(
+    const std::string& dir, std::string* error) {
+  PackedStoreOptions options;
+  uint64_t version = 0;
+  if (!ParseManifest(dir, &options, &version, error)) return nullptr;
+  if (!ValidatePackedStoreOptions(options, error)) return nullptr;
+
+  std::unique_ptr<PackedObjectStore> s(new PackedObjectStore());
+  s->options_ = options;
+  s->version_ = version;
+  s->usable_ = UsablePageBytes(options);
+  s->scheme_ = std::make_unique<HashPartitionScheme>(
+      options.num_partitions, options.num_nodes, options.replication);
+  s->parts_.resize(options.num_partitions);
+  for (int p = 0; p < options.num_partitions; ++p) {
+    Partition& part = s->parts_[p];
+    std::string blob;
+    if (!ReadFile(IndexPath(dir, p), &blob)) {
+      if (error != nullptr) *error = "missing sidecar: " + IndexPath(dir, p);
+      return nullptr;
+    }
+    const char* cur = blob.data();
+    const char* end = cur + blob.size();
+    if (blob.size() < kSidecarMagicBytes ||
+        std::memcmp(cur, kSidecarMagic, kSidecarMagicBytes) != 0) {
+      if (error != nullptr) *error = "bad sidecar magic: " + IndexPath(dir, p);
+      return nullptr;
+    }
+    cur += kSidecarMagicBytes;
+    if (!GetU64(&cur, end, &part.num_objects) ||
+        !GetU64(&cur, end, &part.num_blocks) ||
+        !GetU64(&cur, end, &part.num_bins) ||
+        !GetU64(&cur, end, &part.payload_bytes) ||
+        !part.first_bin.ParseFrom(&cur, end) ||
+        part.first_bin.size() != part.num_blocks) {
+      if (error != nullptr) *error = "corrupt sidecar: " + IndexPath(dir, p);
+      return nullptr;
+    }
+    if (part.num_blocks == 0) continue;
+    part.fd = ::open(DataPath(dir, p).c_str(), O_RDONLY);
+    if (part.fd < 0) {
+      if (error != nullptr) *error = "missing data file: " + DataPath(dir, p);
+      return nullptr;
+    }
+    struct stat st;
+    if (::fstat(part.fd, &st) != 0 ||
+        static_cast<uint64_t>(st.st_size) !=
+            part.num_blocks * options.page_bytes) {
+      if (error != nullptr) {
+        *error = "data file size mismatch: " + DataPath(dir, p);
+      }
+      return nullptr;
+    }
+  }
+  return s;
+}
+
+PackedObjectStore::~PackedObjectStore() {
+  for (Partition& part : parts_) {
+    if (part.fd >= 0) ::close(part.fd);
+  }
+}
+
+bool PackedObjectStore::ReadPage(int partition, uint64_t page,
+                                 char* dst) const {
+  const Partition& part = parts_[partition];
+  if (part.fd < 0 || page >= part.num_blocks) return false;
+  const uint64_t n = options_.page_bytes;
+  uint64_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(part.fd, dst + done, n - done,
+                              static_cast<off_t>(page * n + done));
+    if (r <= 0) return false;
+    done += static_cast<uint64_t>(r);
+  }
+  return true;
+}
+
+Status PackedObjectStore::Get(std::string_view key,
+                              std::vector<IndexValue>* out) const {
+  DirectPageReader reader(this);
+  LookupInfo info;
+  return LookupWith(&reader, key, out, &info);
+}
+
+Status PackedObjectStore::GetPaged(std::string_view key,
+                                   std::vector<IndexValue>* out,
+                                   LookupInfo* info) const {
+  DirectPageReader reader(this);
+  return LookupWith(&reader, key, out, info);
+}
+
+Status PackedObjectStore::LookupWith(PageReader* reader, std::string_view key,
+                                     std::vector<IndexValue>* out,
+                                     LookupInfo* info) const {
+  out->clear();
+  *info = LookupInfo();
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  const int partition = scheme_->PartitionOf(key);
+  info->partition = partition;
+  const Partition& part = parts_[partition];
+  if (part.num_objects == 0 || part.num_blocks == 0) return Status::NotFound();
+
+  const uint64_t hash = Hash64(key);
+  const uint64_t bin = FastRange64(hash, part.num_bins);
+  const int64_t pred = part.first_bin.Predecessor(bin);
+  if (pred < 0) return Status::NotFound();  // Every block starts past `bin`.
+  // The candidate range: objects of `bin` can start no earlier than one
+  // block before the first block whose first-bin reaches `bin`.
+  const size_t lower = part.first_bin.LowerBound(bin);
+  const uint64_t q = lower == 0 ? 0 : static_cast<uint64_t>(lower) - 1;
+  const uint64_t p = static_cast<uint64_t>(pred);
+  info->first_block = q;
+
+  const uint64_t page_bytes = options_.page_bytes;
+  const uint64_t used = usable_;
+  std::string buf((p - q + 1) * page_bytes, '\0');
+  uint64_t last_page = p;
+  for (uint64_t k = q; k <= p; ++k) {
+    if (!reader->Read(partition, k, &buf[(k - q) * page_bytes])) {
+      return Status::Internal("packed store: page read failed");
+    }
+  }
+  info->pages = p - q + 1;
+
+  // First object start at or after block q. A block with no start is fully
+  // covered by an object that began earlier (and whose bin is < `bin` by
+  // the choice of q), so skipping it is safe.
+  uint64_t cur = part.payload_bytes;
+  for (uint64_t k = q; k <= p; ++k) {
+    const char* tp = &buf[(k - q) * page_bytes + page_bytes - 2];
+    const uint16_t trailer = static_cast<uint16_t>(
+        static_cast<unsigned char>(tp[0]) |
+        (static_cast<unsigned char>(tp[1]) << 8));
+    if (trailer != kNoObjectStarts) {
+      cur = k * used + trailer;
+      break;
+    }
+  }
+
+  // Fetches pages past the prefetched range (an object straddling block p).
+  auto ensure_page = [&](uint64_t page) -> bool {
+    while (page > last_page) {
+      ++last_page;
+      buf.resize(buf.size() + page_bytes);
+      if (!reader->Read(partition, last_page,
+                        &buf[(last_page - q) * page_bytes])) {
+        return false;
+      }
+      ++info->pages;
+    }
+    return true;
+  };
+  // Copies `n` stream bytes at the cursor into dst, advancing the cursor.
+  auto read_bytes = [&](uint64_t n, char* dst) -> bool {
+    while (n > 0) {
+      const uint64_t page = cur / used;
+      const uint64_t off = cur % used;
+      if (page >= part.num_blocks || !ensure_page(page)) return false;
+      const uint64_t take = std::min(n, used - off);
+      std::memcpy(dst, &buf[(page - q) * page_bytes + off], take);
+      cur += take;
+      dst += take;
+      n -= take;
+    }
+    return true;
+  };
+
+  // Scan objects starting in blocks [q, p]; the stream is bin-ordered, so
+  // the first object whose bin exceeds ours ends the scan.
+  while (cur < part.payload_bytes && cur / used <= p) {
+    char hdr[kObjectHeaderBytes];
+    if (!read_bytes(kObjectHeaderBytes, hdr)) {
+      return Status::Internal("packed store: truncated object header");
+    }
+    const uint64_t obj_hash = LoadU64(hdr);
+    const uint32_t key_len = LoadU32(hdr + 8);
+    const uint32_t payload_len = LoadU32(hdr + 12);
+    if (FastRange64(obj_hash, part.num_bins) > bin) break;
+    if (obj_hash == hash && key_len == key.size()) {
+      std::string obj_key(key_len, '\0');
+      if (!read_bytes(key_len, obj_key.data())) {
+        return Status::Internal("packed store: truncated object key");
+      }
+      if (obj_key == key) {
+        std::string payload(payload_len, '\0');
+        if (!read_bytes(payload_len, payload.data())) {
+          return Status::Internal("packed store: truncated object payload");
+        }
+        return DecodeValues(payload, out);
+      }
+      cur += payload_len;  // Arithmetic skip: no page fetch for a miss.
+    } else {
+      cur += static_cast<uint64_t>(key_len) + payload_len;
+    }
+  }
+  return Status::NotFound();
+}
+
+uint64_t PackedObjectStore::num_objects() const {
+  uint64_t n = 0;
+  for (const Partition& part : parts_) n += part.num_objects;
+  return n;
+}
+
+uint64_t PackedObjectStore::num_blocks() const {
+  uint64_t n = 0;
+  for (const Partition& part : parts_) n += part.num_blocks;
+  return n;
+}
+
+uint64_t PackedObjectStore::index_bits() const {
+  uint64_t n = 0;
+  for (const Partition& part : parts_) n += part.first_bin.bits_used();
+  return n;
+}
+
+// --- PackedStoreBuilder
+
+PackedStoreBuilder::PackedStoreBuilder(PackedStoreOptions options)
+    : options_(std::move(options)), staged_(&arena_) {}
+
+void PackedStoreBuilder::Add(std::string_view key, const IndexValue& value) {
+  staged_.Append(key, value.data, value.extra_bytes, nullptr);
+}
+
+std::unique_ptr<PackedObjectStore> PackedStoreBuilder::Build(
+    std::string* error) {
+  if (!ValidatePackedStoreOptions(options_, error)) return nullptr;
+  ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine (rebuild).
+
+  // A rebuild into an existing directory bumps the persisted generation so
+  // fingerprint-keyed reuse artifacts built on the old contents die.
+  uint64_t version = 0;
+  {
+    PackedStoreOptions prior;
+    uint64_t prior_version = 0;
+    if (ParseManifest(options_.dir, &prior, &prior_version, nullptr)) {
+      version = prior_version;
+    }
+  }
+  ++version;
+
+  HashPartitionScheme scheme(options_.num_partitions, options_.num_nodes,
+                             options_.replication);
+  std::vector<std::vector<size_t>> by_part(options_.num_partitions);
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    by_part[scheme.PartitionOf(staged_.KeyAt(i))].push_back(i);
+  }
+
+  const uint64_t used = UsablePageBytes(options_);
+  const uint64_t page_bytes = options_.page_bytes;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    std::vector<size_t>& idx = by_part[p];
+    // Hash order IS bin order (FastRange64 is monotone in the hash), so one
+    // sort produces the packed layout for any bin count. Stable: values of
+    // a repeated key keep insertion order.
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      const uint64_t ha = staged_.KeyHashAt(a);
+      const uint64_t hb = staged_.KeyHashAt(b);
+      if (ha != hb) return ha < hb;
+      return staged_.KeyAt(a) < staged_.KeyAt(b);
+    });
+
+    // Encode the object stream: one object per distinct key.
+    std::string payload;
+    std::vector<std::pair<uint64_t, uint64_t>> starts;  // (offset, hash)
+    uint64_t num_objects = 0;
+    for (size_t i = 0; i < idx.size();) {
+      size_t j = i;
+      while (j < idx.size() &&
+             staged_.KeyHashAt(idx[j]) == staged_.KeyHashAt(idx[i]) &&
+             staged_.KeyAt(idx[j]) == staged_.KeyAt(idx[i])) {
+        ++j;
+      }
+      const std::string_view key = staged_.KeyAt(idx[i]);
+      std::string body;
+      PutU32(&body, static_cast<uint32_t>(j - i));
+      for (size_t v = i; v < j; ++v) {
+        const std::string_view data = staged_.ValueAt(idx[v]);
+        PutU32(&body, static_cast<uint32_t>(data.size()));
+        body.append(data.data(), data.size());
+        PutU64(&body, staged_.ExtraAt(idx[v]));
+      }
+      starts.emplace_back(payload.size(), staged_.KeyHashAt(idx[i]));
+      PutU64(&payload, staged_.KeyHashAt(idx[i]));
+      PutU32(&payload, static_cast<uint32_t>(key.size()));
+      PutU32(&payload, static_cast<uint32_t>(body.size()));
+      payload.append(key.data(), key.size());
+      payload.append(body);
+      ++num_objects;
+      i = j;
+    }
+
+    const uint64_t num_blocks =
+        payload.empty() ? 0 : (payload.size() + used - 1) / used;
+    const uint64_t num_bins = num_blocks * options_.bins_per_block;
+
+    // block → bin of the first object starting in it; a block with no
+    // start (covered by a spanning object) carries the last started bin,
+    // keeping the sequence monotone.
+    std::vector<uint64_t> first_bin(num_blocks, 0);
+    std::vector<uint16_t> trailers(num_blocks, kNoObjectStarts);
+    size_t si = 0;
+    uint64_t carried = 0;
+    for (uint64_t k = 0; k < num_blocks; ++k) {
+      bool saw_start = false;
+      while (si < starts.size() && starts[si].first < (k + 1) * used) {
+        const uint64_t b = FastRange64(starts[si].second, num_bins);
+        if (!saw_start) {
+          first_bin[k] = b;
+          trailers[k] = static_cast<uint16_t>(starts[si].first - k * used);
+          saw_start = true;
+        }
+        carried = b;
+        ++si;
+      }
+      if (!saw_start) first_bin[k] = carried;
+    }
+    EliasFanoSequence ef(first_bin);
+    if (!ef.valid()) {
+      if (error != nullptr) *error = "packed store: non-monotone bin layout";
+      return nullptr;
+    }
+
+    // Data file: payload chunk, zero fill, u16 trailer per page.
+    std::string data;
+    data.reserve(num_blocks * page_bytes);
+    for (uint64_t k = 0; k < num_blocks; ++k) {
+      std::string page(page_bytes, '\0');
+      const uint64_t off = k * used;
+      const uint64_t n = std::min<uint64_t>(used, payload.size() - off);
+      std::memcpy(page.data(), payload.data() + off, n);
+      page[page_bytes - 2] = static_cast<char>(trailers[k] & 0xff);
+      page[page_bytes - 1] = static_cast<char>((trailers[k] >> 8) & 0xff);
+      data.append(page);
+    }
+    if (!WriteFile(DataPath(options_.dir, p), data)) {
+      if (error != nullptr) {
+        *error = "packed store: cannot write " + DataPath(options_.dir, p);
+      }
+      return nullptr;
+    }
+
+    std::string sidecar(kSidecarMagic, kSidecarMagicBytes);
+    PutU64(&sidecar, num_objects);
+    PutU64(&sidecar, num_blocks);
+    PutU64(&sidecar, num_bins);
+    PutU64(&sidecar, payload.size());
+    ef.AppendTo(&sidecar);
+    if (!WriteFile(IndexPath(options_.dir, p), sidecar)) {
+      if (error != nullptr) {
+        *error = "packed store: cannot write " + IndexPath(options_.dir, p);
+      }
+      return nullptr;
+    }
+  }
+
+  if (!WriteFile(ManifestPath(options_.dir),
+                 FormatManifest(options_, version))) {
+    if (error != nullptr) {
+      *error = "packed store: cannot write " + ManifestPath(options_.dir);
+    }
+    return nullptr;
+  }
+
+  staged_.Clear();
+  arena_.Reset();
+  return PackedObjectStore::Open(options_.dir, error);
+}
+
+}  // namespace store
+}  // namespace efind

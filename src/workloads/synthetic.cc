@@ -78,4 +78,25 @@ IndexJobConf MakeSyntheticJoinJob(const KvStore* store) {
   return conf;
 }
 
+void LoadSyntheticStoreIndex(const SyntheticOptions& options,
+                             store::PackedStoreBuilder* builder) {
+  for (uint64_t k = 0; k < options.num_distinct_keys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    std::string data = "val_" + std::to_string(k);
+    uint64_t extra = options.index_value_bytes > data.size()
+                         ? options.index_value_bytes - data.size()
+                         : 0;
+    builder->Add(key, IndexValue(std::move(data), extra));
+  }
+}
+
+IndexJobConf MakeSyntheticStoreJoinJob(const store::PackedObjectStore* store) {
+  IndexJobConf conf;
+  conf.set_name("synthetic_join");
+  auto op = std::make_shared<SyntheticJoinOperator>();
+  op->AddIndex(std::make_shared<PackedStoreAccessor>("synthetic", store));
+  conf.AddHeadIndexOperator(op);
+  return conf;
+}
+
 }  // namespace efind

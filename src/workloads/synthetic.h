@@ -17,6 +17,7 @@
 #include "efind/index_operator.h"
 #include "kvstore/kv_store.h"
 #include "mapreduce/record.h"
+#include "store/packed_store.h"
 
 namespace efind {
 
@@ -52,6 +53,16 @@ void LoadSyntheticIndex(const SyntheticOptions& options, KvStore* store);
 /// Builds the join job: a head IndexOperator joins each record with the
 /// index by key (map-only; the join result is the output).
 IndexJobConf MakeSyntheticJoinJob(const KvStore* store);
+
+/// Stages the same index contents into a packed-store builder (DESIGN.md
+/// §13), so the store-backed join sees byte-identical values.
+void LoadSyntheticStoreIndex(const SyntheticOptions& options,
+                             store::PackedStoreBuilder* builder);
+
+/// The same join job served by an on-disk packed store instead of the
+/// in-memory KV store. Output records are identical; only the lookup
+/// backend (and hence the paged cost accounting) changes.
+IndexJobConf MakeSyntheticStoreJoinJob(const store::PackedObjectStore* store);
 
 }  // namespace efind
 

@@ -1,0 +1,158 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Elias-Fano sequence edge cases (DESIGN.md §13): the packed store's
+// block→first-bin index must answer Get / Predecessor / LowerBound exactly
+// on the degenerate shapes a real store build produces — empty partitions,
+// single-block partitions, all-equal sequences (every object hashes to one
+// bin), and long runs from block-straddling objects — and must round-trip
+// through its serialization bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "store/elias_fano.h"
+
+namespace efind {
+namespace store {
+namespace {
+
+// Reference implementations on the raw vector.
+int64_t SlowPredecessor(const std::vector<uint64_t>& v, uint64_t x) {
+  int64_t best = -1;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] <= x) best = static_cast<int64_t>(i);
+  }
+  return best;
+}
+
+size_t SlowLowerBound(const std::vector<uint64_t>& v, uint64_t x) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] >= x) return i;
+  }
+  return v.size();
+}
+
+void ExpectMatches(const EliasFanoSequence& ef,
+                   const std::vector<uint64_t>& v,
+                   const std::vector<uint64_t>& probes) {
+  ASSERT_TRUE(ef.valid());
+  ASSERT_EQ(ef.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(ef.Get(i), v[i]) << "i=" << i;
+  }
+  for (uint64_t x : probes) {
+    EXPECT_EQ(ef.Predecessor(x), SlowPredecessor(v, x)) << "x=" << x;
+    EXPECT_EQ(ef.LowerBound(x), SlowLowerBound(v, x)) << "x=" << x;
+  }
+}
+
+EliasFanoSequence RoundTrip(const EliasFanoSequence& ef) {
+  std::string blob;
+  ef.AppendTo(&blob);
+  EliasFanoSequence back;
+  const char* p = blob.data();
+  EXPECT_TRUE(back.ParseFrom(&p, blob.data() + blob.size()));
+  EXPECT_EQ(p, blob.data() + blob.size());
+  return back;
+}
+
+TEST(EliasFanoTest, Empty) {
+  EliasFanoSequence ef((std::vector<uint64_t>()));
+  EXPECT_TRUE(ef.valid());
+  EXPECT_TRUE(ef.empty());
+  EXPECT_EQ(ef.size(), 0u);
+  EXPECT_EQ(ef.Predecessor(0), -1);
+  EXPECT_EQ(ef.Predecessor(~0ull), -1);
+  EXPECT_EQ(ef.LowerBound(0), 0u);
+  const EliasFanoSequence back = RoundTrip(ef);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(EliasFanoTest, SingleElement) {
+  for (uint64_t value : {0ull, 1ull, 7ull, 4096ull, ~0ull >> 1}) {
+    const std::vector<uint64_t> v = {value};
+    EliasFanoSequence ef(v);
+    ExpectMatches(ef, v, {0, value == 0 ? 0 : value - 1, value, value + 1});
+    ExpectMatches(RoundTrip(ef), v, {0, value, value + 1});
+  }
+}
+
+TEST(EliasFanoTest, AllEqual) {
+  // Every object in one bin: the sequence is N copies of the same value —
+  // the block-straddling worst case of a single giant object.
+  for (uint64_t value : {0ull, 5ull, 1000000ull}) {
+    const std::vector<uint64_t> v(64, value);
+    EliasFanoSequence ef(v);
+    ASSERT_TRUE(ef.valid());
+    ExpectMatches(ef, v,
+                  {0, value == 0 ? 0 : value - 1, value, value + 1});
+    // Predecessor lands on the LAST equal element; LowerBound on the first.
+    if (value > 0) {
+      EXPECT_EQ(ef.Predecessor(value), 63);
+      EXPECT_EQ(ef.LowerBound(value), 0u);
+    }
+    ExpectMatches(RoundTrip(ef), v, {value});
+  }
+}
+
+TEST(EliasFanoTest, CarriedBinRuns) {
+  // A store partition where a large object straddles blocks 2..5 yields a
+  // carried (repeated) first-bin for the start-free blocks.
+  const std::vector<uint64_t> v = {0, 3, 9, 9, 9, 9, 14, 14, 27};
+  EliasFanoSequence ef(v);
+  std::vector<uint64_t> probes;
+  for (uint64_t x = 0; x <= 30; ++x) probes.push_back(x);
+  ExpectMatches(ef, v, probes);
+  ExpectMatches(RoundTrip(ef), v, probes);
+}
+
+TEST(EliasFanoTest, RejectsOutOfOrder) {
+  EliasFanoSequence ef(std::vector<uint64_t>{3, 2, 5});
+  EXPECT_FALSE(ef.valid());
+  EXPECT_TRUE(ef.empty());
+}
+
+TEST(EliasFanoTest, ParseRejectsTruncation) {
+  const std::vector<uint64_t> v = {1, 4, 4, 9, 200, 201};
+  EliasFanoSequence ef(v);
+  std::string blob;
+  ef.AppendTo(&blob);
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    EliasFanoSequence back;
+    const char* p = blob.data();
+    EXPECT_FALSE(back.ParseFrom(&p, blob.data() + cut)) << "cut=" << cut;
+  }
+}
+
+TEST(EliasFanoTest, RandomizedRoundTripProperty) {
+  // Build/reload property over many shapes: sparse, dense, clustered.
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = rng.Uniform(200);
+    const uint64_t step = 1 + rng.Uniform(trial % 2 == 0 ? 5 : 10000);
+    std::vector<uint64_t> v;
+    uint64_t cur = rng.Uniform(100);
+    for (size_t i = 0; i < n; ++i) {
+      // ~1/3 repeats model carried bins.
+      if (rng.Uniform(3) != 0) cur += rng.Uniform(step);
+      v.push_back(cur);
+    }
+    EliasFanoSequence ef(v);
+    std::vector<uint64_t> probes = {0, ~0ull};
+    for (int p = 0; p < 32; ++p) {
+      probes.push_back(rng.Uniform(cur + 2));
+    }
+    ExpectMatches(ef, v, probes);
+    ExpectMatches(RoundTrip(ef), v, probes);
+    EXPECT_EQ(RoundTrip(ef).bits_used(), ef.bits_used());
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace efind

@@ -1,0 +1,263 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Packed object store build/lookup contract (DESIGN.md §13): every staged
+// key is retrievable with its values in insertion order, absent keys are
+// NotFound with honest page accounting, objects larger than a block span
+// blocks and still resolve, a Build/Open round trip reproduces the exact
+// store, rebuilding bumps the persisted version, and the batched lookup
+// queue's flush outcome matches serial Gets while coalescing same-page
+// reads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/lookup_queue.h"
+#include "store/packed_store.h"
+
+namespace efind {
+namespace store {
+namespace {
+
+PackedStoreOptions SmallOptions(const std::string& dir) {
+  PackedStoreOptions o;
+  o.dir = dir;
+  o.page_bytes = 256;  // Small pages force multi-block partitions.
+  o.num_partitions = 4;
+  o.num_nodes = 3;
+  return o;
+}
+
+std::string TempDir(const char* leaf) {
+  return ::testing::TempDir() + "efind_packed_store_" + leaf;
+}
+
+TEST(PackedStoreTest, BuildLookupAllKeys) {
+  PackedStoreBuilder builder(SmallOptions(TempDir("all")));
+  std::map<std::string, std::vector<IndexValue>> truth;
+  for (int k = 0; k < 500; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    IndexValue v("payload_" + std::to_string(k), k % 7);
+    builder.Add(key, v);
+    truth[key].push_back(v);
+    if (k % 5 == 0) {  // Repeat keys append, in insertion order.
+      IndexValue v2("second_" + std::to_string(k), 0);
+      builder.Add(key, v2);
+      truth[key].push_back(v2);
+    }
+  }
+  std::string error;
+  auto store = builder.Build(&error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->num_objects(), truth.size());
+  EXPECT_GT(store->num_blocks(), 0u);
+
+  for (const auto& [key, values] : truth) {
+    std::vector<IndexValue> out;
+    PackedObjectStore::LookupInfo info;
+    ASSERT_TRUE(store->GetPaged(key, &out, &info).ok()) << key;
+    EXPECT_EQ(out, values) << key;
+    EXPECT_GE(info.pages, 1u) << key;
+    EXPECT_GE(info.partition, 0) << key;
+  }
+  std::vector<IndexValue> out;
+  PackedObjectStore::LookupInfo info;
+  const Status miss = store->GetPaged("absent_key", &out, &info);
+  EXPECT_TRUE(miss.IsNotFound());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PackedStoreTest, BlockStraddlingObjects) {
+  PackedStoreBuilder builder(SmallOptions(TempDir("straddle")));
+  // One object several times the 256-byte page, surrounded by small ones.
+  const std::string giant(1500, 'G');
+  builder.Add("giant", IndexValue(giant, 10));
+  for (int k = 0; k < 100; ++k) {
+    builder.Add("small" + std::to_string(k), IndexValue("v", 1));
+  }
+  std::string error;
+  auto store = builder.Build(&error);
+  ASSERT_NE(store, nullptr) << error;
+
+  std::vector<IndexValue> out;
+  PackedObjectStore::LookupInfo info;
+  ASSERT_TRUE(store->GetPaged("giant", &out, &info).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].data, giant);
+  EXPECT_EQ(out[0].extra_bytes, 10u);
+  // A 1500-byte object over 254-byte usable pages occupies > 5 pages.
+  EXPECT_GT(info.pages, 5u);
+  for (int k = 0; k < 100; ++k) {
+    out.clear();
+    ASSERT_TRUE(store->Get("small" + std::to_string(k), &out).ok()) << k;
+    EXPECT_EQ(out, std::vector<IndexValue>{IndexValue("v", 1)});
+  }
+}
+
+TEST(PackedStoreTest, BuildReloadRoundTrip) {
+  const std::string dir = TempDir("reload");
+  PackedStoreBuilder builder(SmallOptions(dir));
+  for (int k = 0; k < 300; ++k) {
+    builder.Add("k" + std::to_string(k),
+                IndexValue("v" + std::to_string(k), k));
+  }
+  std::string error;
+  auto built = builder.Build(&error);
+  ASSERT_NE(built, nullptr) << error;
+
+  auto reloaded = PackedObjectStore::Open(dir, &error);
+  ASSERT_NE(reloaded, nullptr) << error;
+  EXPECT_EQ(reloaded->num_objects(), built->num_objects());
+  EXPECT_EQ(reloaded->num_blocks(), built->num_blocks());
+  EXPECT_EQ(reloaded->version(), built->version());
+  EXPECT_EQ(reloaded->page_bytes(), built->page_bytes());
+  EXPECT_EQ(reloaded->index_bits(), built->index_bits());
+  for (int k = 0; k < 300; ++k) {
+    std::vector<IndexValue> a, b;
+    PackedObjectStore::LookupInfo ia, ib;
+    const std::string key = "k" + std::to_string(k);
+    ASSERT_TRUE(built->GetPaged(key, &a, &ia).ok()) << key;
+    ASSERT_TRUE(reloaded->GetPaged(key, &b, &ib).ok()) << key;
+    EXPECT_EQ(a, b) << key;
+    EXPECT_EQ(ia.pages, ib.pages) << key;
+    EXPECT_EQ(ia.partition, ib.partition) << key;
+  }
+}
+
+TEST(PackedStoreTest, RebuildBumpsVersion) {
+  const std::string dir = TempDir("version");
+  std::string error;
+  uint64_t first = 0;
+  {
+    PackedStoreBuilder builder(SmallOptions(dir));
+    builder.Add("k", IndexValue("v1", 0));
+    auto store = builder.Build(&error);
+    ASSERT_NE(store, nullptr) << error;
+    first = store->version();
+  }
+  PackedStoreBuilder builder(SmallOptions(dir));
+  builder.Add("k", IndexValue("v2", 0));
+  auto rebuilt = builder.Build(&error);
+  ASSERT_NE(rebuilt, nullptr) << error;
+  EXPECT_EQ(rebuilt->version(), first + 1);
+}
+
+TEST(PackedStoreTest, FillDegreeAddsBlocks) {
+  auto build = [&](double fill) {
+    // Distinct dir per fill degree: the two stores must coexist.
+    PackedStoreOptions o =
+        SmallOptions(TempDir(fill == 1.0 ? "fill_full" : "fill_half"));
+    o.fill = fill;
+    PackedStoreBuilder builder(o);
+    for (int k = 0; k < 400; ++k) {
+      builder.Add("k" + std::to_string(k), IndexValue("value", 3));
+    }
+    std::string error;
+    auto store = builder.Build(&error);
+    EXPECT_NE(store, nullptr) << error;
+    return store;
+  };
+  auto full = build(1.0);
+  auto half = build(0.5);
+  ASSERT_NE(full, nullptr);
+  ASSERT_NE(half, nullptr);
+  EXPECT_LT(half->usable_page_bytes(), full->usable_page_bytes());
+  EXPECT_GT(half->num_blocks(), full->num_blocks());
+  // Same content either way.
+  for (int k = 0; k < 400; ++k) {
+    std::vector<IndexValue> a, b;
+    ASSERT_TRUE(full->Get("k" + std::to_string(k), &a).ok());
+    ASSERT_TRUE(half->Get("k" + std::to_string(k), &b).ok());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PackedStoreTest, RejectsInvalidOptions) {
+  std::string reason;
+  PackedStoreOptions bad = SmallOptions(TempDir("bad"));
+  bad.page_bytes = 32;  // Below the 64-byte floor.
+  EXPECT_FALSE(ValidatePackedStoreOptions(bad, &reason));
+  EXPECT_FALSE(reason.empty());
+  PackedStoreBuilder builder(bad);
+  builder.Add("k", IndexValue("v", 0));
+  std::string error;
+  EXPECT_EQ(builder.Build(&error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(PackedStoreTest, BatchedFlushMatchesSerialAndCoalesces) {
+  PackedStoreBuilder builder(SmallOptions(TempDir("batch")));
+  for (int k = 0; k < 400; ++k) {
+    builder.Add("k" + std::to_string(k),
+                IndexValue("v" + std::to_string(k), k % 11));
+  }
+  std::string error;
+  auto store = builder.Build(&error);
+  ASSERT_NE(store, nullptr) << error;
+
+  BatchedLookupQueue queue(store.get());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 64; ++k) {
+    keys.push_back("k" + std::to_string(k * 5));  // 60 hits...
+  }
+  keys.push_back("absent1");  // ... plus misses ...
+  keys.push_back("absent2");
+  keys.push_back(keys[0]);    // ... and one duplicate key.
+  for (const std::string& key : keys) {
+    queue.Submit(key);
+  }
+  EXPECT_EQ(queue.pending(), keys.size());
+  const FlushOutcome outcome = queue.Flush();
+  EXPECT_EQ(queue.pending(), 0u);
+  ASSERT_EQ(outcome.completions.size(), keys.size());
+
+  // Completions arrive sorted by (partition, first_block, ticket) and each
+  // matches the serial Get for its submitted key.
+  uint64_t sum_pages = 0;
+  const LookupCompletion* prev = nullptr;
+  for (const LookupCompletion& c : outcome.completions) {
+    ASSERT_LT(c.ticket, keys.size());
+    const std::string& key = keys[c.ticket];
+    std::vector<IndexValue> serial;
+    PackedObjectStore::LookupInfo info;
+    const Status st = store->GetPaged(key, &serial, &info);
+    EXPECT_EQ(c.found, st.ok()) << key;
+    EXPECT_FALSE(c.error) << key;
+    EXPECT_EQ(c.values, serial) << key;
+    EXPECT_EQ(c.pages, info.pages) << key;
+    EXPECT_EQ(c.partition, info.partition) << key;
+    sum_pages += c.pages;
+    if (prev != nullptr) {
+      EXPECT_TRUE(std::tie(prev->partition, prev->first_block,
+                           prev->ticket) <
+                  std::tie(c.partition, c.first_block, c.ticket));
+    }
+    prev = &c;
+  }
+  EXPECT_EQ(outcome.uncoalesced_pages, sum_pages);
+  // 67 lookups over a handful of 256-byte pages per partition must share.
+  EXPECT_LT(outcome.distinct_pages, outcome.uncoalesced_pages);
+  EXPECT_GT(outcome.distinct_pages, 0u);
+
+  // Determinism: resubmitting the same multiset reproduces the outcome.
+  for (const std::string& key : keys) queue.Submit(key);
+  const FlushOutcome again = queue.Flush();
+  ASSERT_EQ(again.completions.size(), outcome.completions.size());
+  EXPECT_EQ(again.distinct_pages, outcome.distinct_pages);
+  EXPECT_EQ(again.uncoalesced_pages, outcome.uncoalesced_pages);
+  for (size_t i = 0; i < again.completions.size(); ++i) {
+    // Tickets are absolute submission indices, monotone across flushes.
+    EXPECT_EQ(again.completions[i].ticket,
+              outcome.completions[i].ticket + keys.size());
+    EXPECT_EQ(again.completions[i].values, outcome.completions[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace efind

@@ -1,0 +1,183 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// PackedStoreAccessor contract (DESIGN.md §13): the reuse fingerprints
+// split on exactly what changes lookup behavior — ConfigFingerprint on the
+// on-disk geometry (page size, fill, bins, partitions), VersionFingerprint
+// on every rebuild — and the store-backed join is end-to-end deterministic:
+// all four strategies produce the same records as the in-memory KV backend,
+// byte-identical across batch depths, thread counts, and the fault matrix.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efind/accessors/accessors.h"
+#include "efind/efind_job_runner.h"
+#include "kvstore/kv_store.h"
+#include "store/packed_store.h"
+#include "workloads/synthetic.h"
+
+namespace efind {
+namespace {
+
+SyntheticOptions SmallWorkload() {
+  SyntheticOptions syn;
+  syn.num_records = 4000;
+  syn.num_distinct_keys = 2000;
+  syn.num_splits = 24;
+  syn.record_value_bytes = 100;
+  syn.index_value_bytes = 120;
+  return syn;
+}
+
+std::unique_ptr<store::PackedObjectStore> BuildStore(
+    const std::string& leaf, const SyntheticOptions& syn,
+    uint64_t page_bytes = 4096, double fill = 1.0) {
+  store::PackedStoreOptions o;
+  o.dir = ::testing::TempDir() + "efind_store_accessor_" + leaf;
+  o.page_bytes = page_bytes;
+  o.fill = fill;
+  store::PackedStoreBuilder builder(o);
+  LoadSyntheticStoreIndex(syn, &builder);
+  std::string error;
+  auto store = builder.Build(&error);
+  EXPECT_NE(store, nullptr) << error;
+  return store;
+}
+
+std::vector<Record> Sorted(const EFindRunResult& result) {
+  std::vector<Record> all = result.CollectRecords();
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+bool OutputsEqual(const EFindRunResult& a, const EFindRunResult& b) {
+  if (a.outputs.size() != b.outputs.size()) return false;
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    if (a.outputs[i].node != b.outputs[i].node) return false;
+    if (a.outputs[i].records != b.outputs[i].records) return false;
+  }
+  return true;
+}
+
+TEST(StoreAccessorFingerprintTest, ConfigFingerprintTracksGeometry) {
+  const SyntheticOptions syn = SmallWorkload();
+  auto base = BuildStore("fp_base", syn);
+  auto same = BuildStore("fp_same", syn);          // Different dir only.
+  auto page = BuildStore("fp_page", syn, 8192);
+  auto fill = BuildStore("fp_fill", syn, 4096, 0.5);
+  ASSERT_TRUE(base && same && page && fill);
+
+  PackedStoreAccessor a("syn", base.get());
+  // Geometry, not location, defines the equivalence class.
+  EXPECT_EQ(a.ConfigFingerprint(),
+            PackedStoreAccessor("syn", same.get()).ConfigFingerprint());
+  EXPECT_NE(a.ConfigFingerprint(),
+            PackedStoreAccessor("syn", page.get()).ConfigFingerprint());
+  EXPECT_NE(a.ConfigFingerprint(),
+            PackedStoreAccessor("syn", fill.get()).ConfigFingerprint());
+  EXPECT_NE(a.ConfigFingerprint(),
+            PackedStoreAccessor("other", base.get()).ConfigFingerprint());
+  // The partition scheme is real: idx-locality placement can apply.
+  EXPECT_NE(a.partition_scheme(), nullptr);
+}
+
+TEST(StoreAccessorFingerprintTest, VersionFingerprintBumpsOnRebuild) {
+  SyntheticOptions syn = SmallWorkload();
+  syn.num_distinct_keys = 200;
+  store::PackedStoreOptions o;
+  o.dir = ::testing::TempDir() + "efind_store_accessor_rebuild";
+  uint64_t first = 0;
+  {
+    store::PackedStoreBuilder builder(o);
+    LoadSyntheticStoreIndex(syn, &builder);
+    std::string error;
+    auto store = builder.Build(&error);
+    ASSERT_NE(store, nullptr) << error;
+    first = PackedStoreAccessor("syn", store.get()).VersionFingerprint();
+  }
+  store::PackedStoreBuilder builder(o);
+  LoadSyntheticStoreIndex(syn, &builder);
+  std::string error;
+  auto rebuilt = builder.Build(&error);
+  ASSERT_NE(rebuilt, nullptr) << error;
+  EXPECT_EQ(PackedStoreAccessor("syn", rebuilt.get()).VersionFingerprint(),
+            first + 1);
+}
+
+TEST(StoreStrategyTest, AllStrategiesMatchKvBackend) {
+  const SyntheticOptions syn = SmallWorkload();
+  ClusterConfig config;
+  const auto input = GenerateSynthetic(syn, config.num_nodes);
+
+  KvStoreOptions kv;
+  kv.num_nodes = config.num_nodes;
+  KvStore kv_store(kv);
+  LoadSyntheticIndex(syn, &kv_store);
+  const IndexJobConf kv_conf = MakeSyntheticJoinJob(&kv_store);
+
+  auto packed = BuildStore("strategies", syn);
+  ASSERT_NE(packed, nullptr);
+  const IndexJobConf store_conf = MakeSyntheticStoreJoinJob(packed.get());
+
+  EFindJobRunner runner(config);
+  const auto expected = Sorted(
+      runner.RunWithStrategy(kv_conf, input, Strategy::kBaseline));
+  ASSERT_FALSE(expected.empty());
+
+  for (Strategy s : {Strategy::kBaseline, Strategy::kLookupCache,
+                     Strategy::kRepartition, Strategy::kIndexLocality}) {
+    const auto result = runner.RunWithStrategy(store_conf, input, s);
+    EXPECT_EQ(Sorted(result), expected) << ToString(s);
+    EXPECT_GT(result.counters.Get("efind.store.batched_lookups"), 0.0)
+        << ToString(s);
+    EXPECT_GT(result.counters.Get("efind.store.page_reads"), 0.0)
+        << ToString(s);
+  }
+}
+
+TEST(StoreStrategyTest, ByteIdenticalAcrossDepthThreadsAndFaults) {
+  const SyntheticOptions syn = SmallWorkload();
+  ClusterConfig config;
+  const auto input = GenerateSynthetic(syn, config.num_nodes);
+  auto packed = BuildStore("determinism", syn);
+  ASSERT_NE(packed, nullptr);
+  const IndexJobConf conf = MakeSyntheticStoreJoinJob(packed.get());
+
+  auto run = [&](int depth, int threads, bool faults, Strategy s) {
+    ClusterConfig c = config;
+    c.store_batch_depth = depth;
+    if (faults) {
+      c.task_failure_rate = 0.08;
+      c.straggler_rate = 0.1;
+      c.speculative_execution = true;
+      c.host_downtimes.push_back({3});
+      c.degraded_hosts.push_back(5);
+    }
+    EFindOptions opts;
+    opts.threads = threads;
+    return EFindJobRunner(c, opts).RunWithStrategy(conf, input, s);
+  };
+
+  for (Strategy s : {Strategy::kLookupCache, Strategy::kRepartition}) {
+    const auto ref = run(16, 1, false, s);
+    // Serial (flush-per-lookup) == batched, bit for bit.
+    const auto depth1 = run(1, 1, false, s);
+    EXPECT_TRUE(OutputsEqual(depth1, ref)) << ToString(s);
+    // threads=1 ≡ threads=N, including simulated time.
+    const auto mt = run(16, 4, false, s);
+    EXPECT_TRUE(OutputsEqual(mt, ref)) << ToString(s);
+    EXPECT_EQ(mt.sim_seconds, ref.sim_seconds) << ToString(s);
+    // The fault matrix moves timing, never bytes.
+    const auto faulted = run(16, 1, true, s);
+    EXPECT_TRUE(OutputsEqual(faulted, ref)) << ToString(s);
+    EXPECT_GT(faulted.sim_seconds, ref.sim_seconds) << ToString(s);
+  }
+}
+
+}  // namespace
+}  // namespace efind

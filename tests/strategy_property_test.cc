@@ -10,8 +10,10 @@
 #include <tuple>
 #include <vector>
 
+#include "efind/accessors/accessors.h"
 #include "efind/efind_job_runner.h"
 #include "reuse/fingerprint.h"
+#include "store/packed_store.h"
 #include "tests/test_util.h"
 
 namespace efind {
@@ -321,6 +323,46 @@ TEST(FingerprintCanonTest, DistinctUnderContentChangingEdits) {
 
   // Partition count.
   EXPECT_NE(w.Fp(plan, 0, 48), w.Fp(plan, 0, 64));
+}
+
+// Storage-backed index version: a rebuilt packed store (DESIGN.md §13) is
+// a new index generation, so artifacts recorded against the old build must
+// miss — VersionFingerprint tracks the store's persisted build counter.
+TEST(FingerprintCanonTest, RebuiltPackedStoreInvalidatesArtifacts) {
+  store::PackedStoreOptions so;
+  so.dir = ::testing::TempDir() + "efind_strategy_prop_store";
+  auto build = [&]() {
+    store::PackedStoreBuilder builder(so);
+    for (int i = 0; i < 20; ++i) {
+      builder.Add("k" + std::to_string(i), IndexValue("a", 8));
+    }
+    std::string error;
+    auto store = builder.Build(&error);
+    EXPECT_NE(store, nullptr) << error;
+    return store;
+  };
+  auto fp_of = [](const store::PackedObjectStore* store) {
+    IndexJobConf conf;
+    conf.set_name("store_join");
+    auto op = std::make_shared<TriJoinOperator>();
+    op->AddIndex(std::make_shared<PackedStoreAccessor>("ps", store));
+    conf.AddHeadIndexOperator(op);
+    conf.set_input_dataset("store_input", 1);
+    const uint64_t dataset_fp = reuse::DatasetFingerprint(conf, {});
+    return reuse::PlanArtifactFingerprint(
+        conf, dataset_fp, OperatorPosition::kHead, 0,
+        PlanOf({{0, Strategy::kRepartition}}), 0, 48);
+  };
+
+  auto v1 = build();
+  const uint64_t ref = fp_of(v1.get());
+  ASSERT_NE(ref, 0u);
+  // Same build, fresh accessor: still the same artifact.
+  EXPECT_EQ(ref, fp_of(v1.get()));
+  // Rebuild into the same directory (identical content even): the version
+  // bump alone must split the equivalence class.
+  auto v2 = build();
+  EXPECT_NE(ref, fp_of(v2.get()));
 }
 
 // The cross-job collision the store exists for: two jobs sharing the
