@@ -12,6 +12,7 @@
 #   obs        bench_obs_overhead       observability overhead
 #   skew       bench_ablation_skew      skew matrix + salting (DESIGN.md §12)
 #   store      bench_ablation_store     packed-store batch depth (DESIGN.md §13)
+#   service    bench_service            multi-tenant job service (DESIGN.md §14)
 #
 # Usage: scripts/bench_trajectory.sh [options] [area...]
 #   --build-dir DIR   bench binaries live in DIR/bench (default: build)
@@ -43,7 +44,7 @@ while [ $# -gt 0 ]; do
     *) AREAS+=("$1"); shift ;;
   esac
 done
-[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew store)
+[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew store service)
 
 bench_for() {
   case "$1" in
@@ -54,6 +55,7 @@ bench_for() {
     obs) echo bench_obs_overhead ;;
     skew) echo bench_ablation_skew ;;
     store) echo bench_ablation_store ;;
+    service) echo bench_service ;;
     *) echo "unknown area: $1" >&2; return 1 ;;
   esac
 }
@@ -71,6 +73,7 @@ budget_for() {
     obs) echo 10000 ;;
     skew) echo 15000 ;;
     store) echo 8000 ;;
+    service) echo 20000 ;;
   esac
 }
 

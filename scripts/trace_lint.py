@@ -71,6 +71,59 @@ STORE_EVENTS = {
 }
 
 
+# Multi-tenant job service events (DESIGN.md §14): category "service",
+# emitted on the service clock. service_job is one span per finished job
+# (arrival to finish); the instants record admission-control decisions
+# (job_admitted carries the backlog wait charged to latency, job_deferred
+# the backlog depth behind the submission) and fair-share preemption of a
+# speculative backup. Maps name -> (expected phase, required arg keys).
+SERVICE_EVENTS = {
+    "service_job": ("X", ("tenant", "job", "policy")),
+    "job_admitted": ("i", ("tenant", "job", "wait")),
+    "job_deferred": ("i", ("tenant", "job", "depth")),
+    "job_rejected": ("i", ("tenant", "job")),
+    "backup_preempted": ("i", ("tenant", "job", "task")),
+}
+
+SERVICE_POLICIES = ("fifo", "fair")
+
+
+def lint_service_event(e, name, ph, args, err, where):
+    expected_ph, required = SERVICE_EVENTS[name]
+    if ph != expected_ph:
+        err("%s: service event must have ph %r, got %r"
+            % (where, expected_ph, ph))
+    if e.get("cat") != "service":
+        err("%s: service event must have cat \"service\", got %r"
+            % (where, e.get("cat")))
+    for key in required:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    if not args.get("tenant", ""):
+        err("%s: arg \"tenant\" must be non-empty" % where)
+    if name == "service_job":
+        if args.get("policy") not in SERVICE_POLICIES:
+            err("%s: arg \"policy\" must be one of %s, got %r"
+                % (where, list(SERVICE_POLICIES), args.get("policy")))
+    elif name == "job_admitted":
+        try:
+            wait = float(args.get("wait", ""))
+        except ValueError:
+            wait = -1.0
+        if wait < 0.0:
+            err("%s: arg \"wait\" must be a non-negative number, got %r"
+                % (where, args.get("wait")))
+    elif name == "job_deferred":
+        depth = args.get("depth", "")
+        if not depth.isdigit() or depth == "0":
+            err("%s: arg \"depth\" must be a positive decimal, got %r"
+                % (where, depth))
+    elif name == "backup_preempted":
+        if not args.get("task", "").isdigit():
+            err("%s: arg \"task\" must be a decimal index, got %r"
+                % (where, args.get("task")))
+
+
 def lint_store_event(e, name, ph, args, err, where):
     if ph != "X":
         err("%s: store event must be a span, got ph %r" % (where, ph))
@@ -247,6 +300,8 @@ def lint(doc, require_spans, require_instants, require_any):
             lint_skew_event(e, name, ph, args, err, where)
         if name in STORE_EVENTS and isinstance(args, dict):
             lint_store_event(e, name, ph, args, err, where)
+        if name in SERVICE_EVENTS and isinstance(args, dict):
+            lint_service_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

@@ -46,7 +46,16 @@
 #      and >= 10x lower in per-record heap traffic), and the
 #      perf-trajectory budget check (scripts/bench_trajectory.sh --check
 #      exits nonzero if any area blows its pinned wall-clock budget; the
-#      committed BENCH_<area>.json snapshots are not rewritten here).
+#      committed BENCH_<area>.json snapshots are not rewritten here),
+#  12. the multi-tenant job-service leg (DESIGN.md §14): the service suite
+#      alone (ctest -L service — multi-tenant determinism under the fault
+#      matrix, admission-control units, cross-tenant reuse attribution,
+#      the service trace lint, and the service_tsan_smoke binary) and the
+#      bench_service acceptance bench (exits nonzero unless fair-share
+#      holds Jain >= 0.9 over per-tenant mean slowdowns, beats FIFO's p99
+#      slowdown on the same arrival seed, passes a lone job through
+#      byte-identically at the direct run's sim_seconds, and surfaces
+#      cross-tenant reuse hits).
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -97,6 +106,11 @@ fi
 "$BUILD"/bench/bench_ablation_store --benchmark_list_tests=true \
   | grep -E '"ablation_store/(check|depth(16|64)/summary)"' || true
 "$BUILD"/bench/bench_ablation_store --benchmark_list_tests=true > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L service)
+"$BUILD"/bench/bench_service --benchmark_list_tests=true \
+  | grep -E '"service/(check|(mixed|flood)/(fifo|fair)/summary)"' || true
+"$BUILD"/bench/bench_service --benchmark_list_tests=true > /dev/null
 
 (cd "$BUILD" && ctest --output-on-failure -L perf)
 "$BUILD"/bench/bench_perf_layout --benchmark_list_tests=true \

@@ -76,7 +76,7 @@ class PipelineExecutor {
                    const CollectedStats* stats_hint, EFindRunResult* result,
                    const LookupFailover* failover = nullptr,
                    reuse::MaterializedStore* store = nullptr,
-                   uint64_t dataset_fp = 0)
+                   uint64_t dataset_fp = 0, const std::string& tenant = {})
       : job_runner_(job_runner),
         config_(config),
         options_(options),
@@ -89,7 +89,8 @@ class PipelineExecutor {
         obs_(job_runner->obs()),
         cost_model_(config),
         store_(store),
-        dataset_fp_(dataset_fp) {
+        dataset_fp_(dataset_fp),
+        tenant_(tenant) {
     StartJob();
   }
 
@@ -257,6 +258,10 @@ class PipelineExecutor {
     summary.reduce_seconds = job.reduce_seconds;
     summary.map_tasks = job.num_map_tasks;
     summary.reduce_tasks = job.num_reduce_tasks;
+    summary.map_task_durations = job.map_task_durations;
+    summary.map_task_base_durations = job.map_task_base_durations;
+    summary.reduce_task_durations = job.reduce_task_durations;
+    summary.reduce_task_base_durations = job.reduce_task_base_durations;
 #if EFIND_OBS
     // The map/reduce phase spans advanced the clock by job.sim_seconds, so
     // the job span covers exactly the phases it contains.
@@ -308,8 +313,13 @@ class PipelineExecutor {
   /// the follow-up job's remote map input read.
   void AdoptArtifact(std::vector<InputSplit> splits, uint64_t fp,
                      const std::string& op_name,
-                     const reuse::MaterializedStore::ResolveOutcome& outcome) {
+                     const reuse::MaterializedStore::ResolveOutcome& outcome,
+                     bool cross_tenant = false, const std::string& owner = {}) {
     const double refetch_sec = config_.TransferSeconds(outcome.refetch_bytes);
+    result_->counters.Increment("efind.reuse.hits");
+    if (cross_tenant) {
+      result_->counters.Increment("efind.reuse.cross_tenant_hits");
+    }
     if (outcome.corrupt_chunks > 0) {
       // Every injected artifact corruption is detected by construction —
       // the bench asserts injected == detected and served_corrupt == 0.
@@ -321,8 +331,11 @@ class PipelineExecutor {
 #if EFIND_OBS
     if (obs_ != nullptr) {
       obs::TraceRecorder& tr = obs_->trace();
+      std::vector<obs::TraceArg> hit_args = {{"fingerprint", FpHex(fp)},
+                                             {"operator", op_name}};
+      if (cross_tenant) hit_args.push_back({"owner", owner});
       tr.Instant("reuse_hit", "reuse", tr.clock(), obs::kClusterTrack,
-                 {{"fingerprint", FpHex(fp)}, {"operator", op_name}});
+                 hit_args);
       if (outcome.corrupt_chunks > 0) {
         tr.Instant("integrity_retry", "resilience", tr.clock(),
                    obs::kClusterTrack,
@@ -336,6 +349,10 @@ class PipelineExecutor {
       }
       tr.AdvanceClock(config_.reuse_resolve_sec + refetch_sec);
       obs_->metrics().Add(obs_->metrics().Counter("efind.reuse.hits"), 1.0);
+      if (cross_tenant) {
+        obs_->metrics().Add(
+            obs_->metrics().Counter("efind.reuse.cross_tenant_hits"), 1.0);
+      }
     }
 #endif
     StartJob();
@@ -370,7 +387,7 @@ class PipelineExecutor {
         cost_model_.ExtraJobSeconds();
     const reuse::MaterializedStore::PublishResult pr = store_->Publish(
         fp, std::move(copy), saved, layout, partitions,
-        conf_.name() + ":" + op_name);
+        conf_.name() + ":" + op_name, tenant_);
 #if EFIND_OBS
     if (obs_ != nullptr) {
       obs::TraceRecorder& tr = obs_->trace();
@@ -534,16 +551,25 @@ class PipelineExecutor {
                 ? failover_->availability()
                 : nullptr;
         reuse::MaterializedStore::ResolveOutcome outcome;
+        // Owner read before Resolve (a hit bumps the entry's reuse_count,
+        // never its owner, but the intent is: who published what we adopt).
+        const std::string owner = store_->OwnerOf(artifact_fp);
         const std::vector<InputSplit>* artifact = store_->Resolve(
             artifact_fp, avail,
-            failover_ != nullptr ? failover_->faults() : nullptr, &outcome);
+            failover_ != nullptr ? failover_->faults() : nullptr, &outcome,
+            tenant_);
         if (artifact != nullptr) {
+          // Cross-tenant reuse (DESIGN.md §14): fingerprints are tenant-
+          // agnostic, so a hit on another tenant's artifact is an ordinary
+          // hit — only the accounting notes the donor.
+          const bool cross_tenant =
+              !owner.empty() && !tenant_.empty() && owner != tenant_;
           // Hit: the artifact *is* the grouped output of everything the
           // pipeline has accumulated so far plus this shuffle (equal by
           // fingerprint construction), so the accumulated stages are
           // dropped and the stored splits adopted in their place.
           AdoptArtifact(reuse::CopySplits(*artifact), artifact_fp,
-                        op->name(), outcome);
+                        op->name(), outcome, cross_tenant, owner);
           if (idxloc) {
             ResplitForLocality(scheme);
           }
@@ -559,6 +585,7 @@ class PipelineExecutor {
           }
           continue;
         }
+        result_->counters.Increment("efind.reuse.misses");
 #if EFIND_OBS
         if (obs_ != nullptr) {
           obs_->trace().Instant("reuse_miss", "reuse", obs_->trace().clock(),
@@ -698,6 +725,8 @@ class PipelineExecutor {
   /// of the dataset this pipeline runs over (DESIGN.md §9).
   reuse::MaterializedStore* store_;
   uint64_t dataset_fp_;
+  /// Tenant identity store traffic is attributed to ("" = untenanted).
+  const std::string tenant_;
 
   JobConfig cur_;
   /// Intermediate splits owned by the executor (outputs of the last job),
@@ -816,7 +845,8 @@ EFindRunResult EFindJobRunner::RunWithPlan(const IndexJobConf& conf,
   const uint64_t dataset_fp =
       reuse_ != nullptr ? reuse::DatasetFingerprint(conf, input) : 0;
   PipelineExecutor px(&job_runner_, config_, options_, conf, plan, rc.get(),
-                      stats_hint, &result, &failover_, reuse_, dataset_fp);
+                      stats_hint, &result, &failover_, reuse_, dataset_fp,
+                      tenant_);
   px.RunAll(input);
   result.stats = ComputeStatsWithConf(*rc, conf, 1.0);
 #if EFIND_OBS

@@ -73,6 +73,15 @@ struct JobStageSummary {
   double boundary_seconds = 0.0;
   size_t map_tasks = 0;
   size_t reduce_tasks = 0;
+  /// Per-task demand profile (fault-inflated durations and their fault-free
+  /// speculative-backup counterparts), parallel per phase. The multi-tenant
+  /// job service replays these at task granularity to interleave waves from
+  /// many live jobs (DESIGN.md §14). Empty for pure-boundary summaries
+  /// (reuse adoptions) and for runs predating the service.
+  std::vector<double> map_task_durations;
+  std::vector<double> map_task_base_durations;
+  std::vector<double> reduce_task_durations;
+  std::vector<double> reduce_task_base_durations;
 };
 
 /// Result of running an EFind-enhanced job.
@@ -139,6 +148,16 @@ class EFindJobRunner {
   /// artifact.
   void set_reuse(reuse::MaterializedStore* store) { reuse_ = store; }
   reuse::MaterializedStore* reuse() const { return reuse_; }
+
+  /// Names the tenant on whose behalf subsequent runs execute (empty — the
+  /// default — keeps runs untenanted). Purely an accounting identity: store
+  /// publishes are owned by the tenant, resolves are attributed to it, and
+  /// a hit on another tenant's artifact lands in `efind.reuse.cross_tenant_
+  /// hits` (fingerprints stay tenant-agnostic, so same fingerprint ⇒ hit
+  /// regardless of tenant). Outputs, plans, and simulated times never
+  /// depend on the tenant name.
+  void set_tenant(const std::string& tenant) { tenant_ = tenant; }
+  const std::string& tenant() const { return tenant_; }
 
   /// Executes `conf` under a fixed `plan`. `stats_hint`, when provided,
   /// informs the re-partitioning boundary placement (Fig. 7).
@@ -216,6 +235,7 @@ class EFindJobRunner {
   FaultModel faults_;
   LookupFailover failover_;
   reuse::MaterializedStore* reuse_ = nullptr;
+  std::string tenant_;
 };
 
 }  // namespace efind

@@ -111,6 +111,15 @@ struct JobResult {
   /// variance gate (paper Eq. 5).
   std::vector<Counters> map_task_counters;
   std::vector<double> map_task_durations;
+  /// Fault-free counterparts of `map_task_durations` (what a speculative
+  /// backup of each task would take); parallel to it.
+  std::vector<double> map_task_base_durations;
+  /// Per-reduce-task durations (after fault inflation) and their fault-free
+  /// counterparts. Together with the map vectors these are the demand
+  /// profile the multi-tenant job service schedules at task granularity
+  /// (DESIGN.md §14); empty for map-only jobs.
+  std::vector<double> reduce_task_durations;
+  std::vector<double> reduce_task_base_durations;
 
   size_t num_map_tasks = 0;
   size_t num_reduce_tasks = 0;
@@ -118,6 +127,9 @@ struct JobResult {
   /// Speculative execution totals across both phases (0 when disabled).
   size_t speculative_launched = 0;
   size_t speculative_wins = 0;
+  /// Backups preempted by the backup-slot budget
+  /// (`ClusterConfig::speculation_backup_budget`) across both phases.
+  size_t speculative_preempted = 0;
 
   /// Flattens the outputs into one vector (test convenience).
   std::vector<Record> CollectRecords() const {

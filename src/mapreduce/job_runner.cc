@@ -141,6 +141,8 @@ void TracePhase(obs::ObsSession* session, const char* kind,
          static_cast<double>(schedule.speculative_launched));
   mx.Add(mx.Counter(prefix + ".speculative_wins"),
          static_cast<double>(schedule.speculative_wins));
+  mx.Add(mx.Counter(prefix + ".speculative_preempted"),
+         static_cast<double>(schedule.speculative_preempted));
   if (schedule.makespan > 0.0 && num_slots > 0) {
     mx.Set(mx.Gauge(prefix + ".wave_occupancy"),
            busy / (schedule.makespan * static_cast<double>(num_slots)));
@@ -480,7 +482,8 @@ MapPhaseResult JobRunner::RunMapPhase(
     for (const auto& t : phase.tasks) base.push_back(t.base_duration);
     phase.schedule = ScheduleWaves(durations, base,
                                    config_.total_map_slots(),
-                                   config_.speculation_threshold);
+                                   config_.speculation_threshold,
+                                   config_.speculation_backup_budget);
   } else {
     phase.schedule = ScheduleWaves(durations, config_.total_map_slots());
   }
@@ -785,7 +788,8 @@ ReducePhaseResult JobRunner::RunReduceRange(
     phase.schedule =
         ScheduleWaves(phase.durations, phase.base_durations,
                       config_.total_reduce_slots(),
-                      config_.speculation_threshold);
+                      config_.speculation_threshold,
+                      config_.speculation_backup_budget);
   } else {
     phase.schedule =
         ScheduleWaves(phase.durations, config_.total_reduce_slots());
@@ -818,10 +822,12 @@ JobResult JobRunner::Run(const JobConfig& job,
   result.map_seconds = map_phase.makespan();
   result.speculative_launched += map_phase.schedule.speculative_launched;
   result.speculative_wins += map_phase.schedule.speculative_wins;
+  result.speculative_preempted += map_phase.schedule.speculative_preempted;
   for (auto& t : map_phase.tasks) {
     result.counters.Merge(t.counters);
     result.map_task_counters.push_back(t.counters);
     result.map_task_durations.push_back(t.duration);
+    result.map_task_base_durations.push_back(t.base_duration);
   }
 
   if (job.reducer || !job.reduce_stages.empty()) {
@@ -833,7 +839,11 @@ JobResult JobRunner::Run(const JobConfig& job,
     result.reduce_seconds = reduce_phase.makespan();
     result.speculative_launched += reduce_phase.schedule.speculative_launched;
     result.speculative_wins += reduce_phase.schedule.speculative_wins;
+    result.speculative_preempted +=
+        reduce_phase.schedule.speculative_preempted;
     for (const auto& c : reduce_phase.task_counters) result.counters.Merge(c);
+    result.reduce_task_durations = reduce_phase.durations;
+    result.reduce_task_base_durations = reduce_phase.base_durations;
     result.outputs = std::move(reduce_phase.outputs);
   } else {
     // Map-only job: each map task's single bucket becomes an output split

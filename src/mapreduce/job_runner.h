@@ -112,6 +112,14 @@ class JobRunner {
   /// Number of reduce tasks the job will use (resolves the <=0 default).
   int ResolveNumReduceTasks(const JobConfig& job) const;
 
+  /// Load snapshot of the worker pool (zeroes before the pool's lazy first
+  /// use). Wall-clock telemetry for operators and the job service's
+  /// admission surface — NOT part of the deterministic result contract:
+  /// queue depths depend on host timing and thread count.
+  ThreadPool::Stats PoolStats() const {
+    return pool_ != nullptr ? pool_->Snapshot() : ThreadPool::Stats{};
+  }
+
   /// Applies the cluster's fault model to a task's base duration:
   /// deterministic per-(kind, index) failures re-execute the task (2x) and
   /// stragglers run `straggler_slowdown` times slower.

@@ -60,7 +60,8 @@ double MaterializedStore::Density(const Entry& e) const {
 
 MaterializedStore::PublishResult MaterializedStore::Publish(
     uint64_t fingerprint, std::vector<InputSplit> splits, double saved_seconds,
-    ArtifactLayout layout, int partition_count, std::string label) {
+    ArtifactLayout layout, int partition_count, std::string label,
+    const std::string& owner) {
   PublishResult result;
   auto it = entries_.find(fingerprint);
   if (it != entries_.end()) {
@@ -119,6 +120,7 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
   Entry entry;
   entry.meta.fingerprint = fingerprint;
   entry.meta.label = std::move(label);
+  entry.meta.owner = owner;
   entry.meta.bytes = bytes;
   entry.meta.saved_seconds = saved_seconds;
   entry.meta.layout = layout;
@@ -130,16 +132,26 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
   entries_.emplace(fingerprint, std::move(entry));
   ++stats_.publishes;
   stats_.entries = entries_.size();
+  if (!owner.empty()) {
+    TenantStats& ts = tenant_stats_[owner];
+    ++ts.publishes;
+    ts.published_bytes += bytes;
+  }
   result.stored = true;
   return result;
 }
 
 const std::vector<InputSplit>* MaterializedStore::Resolve(
     uint64_t fingerprint, const HostAvailability* avail,
-    const FaultModel* faults, ResolveOutcome* outcome) {
+    const FaultModel* faults, ResolveOutcome* outcome,
+    const std::string& tenant) {
+  const auto miss = [&] {
+    ++stats_.misses;
+    if (!tenant.empty()) ++tenant_stats_[tenant].misses;
+  };
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    miss();
     return nullptr;
   }
   if (avail != nullptr && avail->any_faults()) {
@@ -154,7 +166,7 @@ const std::vector<InputSplit>* MaterializedStore::Resolve(
       // Every DFS replica is gone for this run: the artifact exists but is
       // unreachable, so the caller rebuilds. The entry stays — the hosts
       // may be back next run.
-      ++stats_.misses;
+      miss();
       return nullptr;
     }
   }
@@ -164,7 +176,7 @@ const std::vector<InputSplit>* MaterializedStore::Resolve(
   // Detected and charged, never surfaced as data.
   if (it->second.meta.checksum != ChecksumSplits(it->second.splits)) {
     ++stats_.integrity_failures;
-    ++stats_.misses;
+    miss();
     if (outcome != nullptr) outcome->checksum_failed = true;
     return nullptr;
   }
@@ -204,7 +216,22 @@ const std::vector<InputSplit>* MaterializedStore::Resolve(
   }
   ++stats_.hits;
   ++it->second.meta.reuse_count;
+  if (!tenant.empty()) {
+    TenantStats& ts = tenant_stats_[tenant];
+    ++ts.hits;
+    const std::string& owner = it->second.meta.owner;
+    if (!owner.empty() && owner != tenant) {
+      ++ts.cross_tenant_hits;
+      ++tenant_stats_[owner].served_hits;
+    }
+  }
   return &it->second.splits;
+}
+
+const std::string& MaterializedStore::OwnerOf(uint64_t fingerprint) const {
+  static const std::string kEmpty;
+  auto it = entries_.find(fingerprint);
+  return it == entries_.end() ? kEmpty : it->second.meta.owner;
 }
 
 bool MaterializedStore::Contains(uint64_t fingerprint) const {

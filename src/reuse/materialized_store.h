@@ -58,6 +58,7 @@ uint64_t ChecksumSplits(const std::vector<InputSplit>& splits);
 struct ArtifactMeta {
   uint64_t fingerprint = 0;
   std::string label;       ///< "job:operator" provenance, for manifests.
+  std::string owner;       ///< Tenant that published it; empty = untenanted.
   uint64_t bytes = 0;      ///< Logical artifact size (record size model).
   double saved_seconds = 0.0;  ///< Shuffle cost a reuse hit avoids (Eq. 3).
   ArtifactLayout layout = ArtifactLayout::kRepartition;
@@ -83,9 +84,15 @@ class MaterializedStore {
 
   /// Offers an artifact. Publishing an already-present fingerprint only
   /// refreshes `saved_seconds` (the data is identical by construction).
+  /// `owner` names the publishing tenant for the per-tenant accounting
+  /// (DESIGN.md §14); empty keeps the artifact untenanted. Fingerprints are
+  /// tenant-agnostic on purpose — the same logical artifact is one entry
+  /// however many tenants produce or consume it, which is what makes
+  /// cross-tenant reuse free.
   PublishResult Publish(uint64_t fingerprint, std::vector<InputSplit> splits,
                         double saved_seconds, ArtifactLayout layout,
-                        int partition_count, std::string label);
+                        int partition_count, std::string label,
+                        const std::string& owner = {});
 
   /// Integrity accounting of one `Resolve` (DESIGN.md §10): injected
   /// corruption detected on artifact chunks and the re-fetch traffic it
@@ -104,10 +111,16 @@ class MaterializedStore {
   /// rebuilds). `faults` (may be null) injects deterministic per-chunk
   /// corruption whose detection and re-fetch cost land in `outcome`.
   /// A hit bumps `reuse_count`.
+  /// `tenant`, when non-empty, attributes the resolve to that tenant in
+  /// the per-tenant accounting; a hit on an artifact owned by a *different*
+  /// (non-empty) tenant counts as a cross-tenant hit — same fingerprint ⇒
+  /// hit regardless of tenant, the accounting only records who benefited
+  /// from whom.
   const std::vector<InputSplit>* Resolve(uint64_t fingerprint,
                                          const HostAvailability* avail,
                                          const FaultModel* faults = nullptr,
-                                         ResolveOutcome* outcome = nullptr);
+                                         ResolveOutcome* outcome = nullptr,
+                                         const std::string& tenant = {});
 
   /// Live-entry test without touching hit/miss accounting.
   bool Contains(uint64_t fingerprint) const;
@@ -119,6 +132,9 @@ class MaterializedStore {
 
   /// Drops an artifact if present.
   void Invalidate(uint64_t fingerprint);
+
+  /// The owning tenant of a live artifact ("" when absent or untenanted).
+  const std::string& OwnerOf(uint64_t fingerprint) const;
 
   /// The simulated DFS nodes holding `fingerprint`'s replicas (derived
   /// deterministically from the fingerprint; stable across runs).
@@ -138,6 +154,21 @@ class MaterializedStore {
     uint64_t corrupt_refetches = 0;
   };
   const ReuseStats& stats() const { return stats_; }
+
+  /// Per-tenant accounting (DESIGN.md §14). Keyed by tenant name; an entry
+  /// appears on a tenant's first attributed publish or resolve.
+  struct TenantStats {
+    uint64_t publishes = 0;         ///< Accepted publishes owned by tenant.
+    uint64_t published_bytes = 0;   ///< Cumulative bytes accepted at publish.
+    uint64_t hits = 0;              ///< Resolve hits this tenant made.
+    uint64_t misses = 0;            ///< Resolve misses this tenant made.
+    uint64_t cross_tenant_hits = 0; ///< Hits on another tenant's artifact.
+    uint64_t served_hits = 0;       ///< Hits *on* this tenant's artifacts
+                                    ///  made by other tenants.
+  };
+  const std::map<std::string, TenantStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
 
   /// Metadata of every live artifact, in insert order.
   std::vector<ArtifactMeta> Entries() const;
@@ -181,6 +212,7 @@ class MaterializedStore {
   // deterministic without extra bookkeeping.
   std::map<uint64_t, Entry> entries_;
   ReuseStats stats_;
+  std::map<std::string, TenantStats> tenant_stats_;
 };
 
 }  // namespace reuse

@@ -1,0 +1,55 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "service/admission.h"
+
+namespace efind {
+namespace service {
+
+void AdmissionController::AddTenant(const TenantQuota& quota) {
+  TenantState st;
+  st.quota = quota;
+  tenants_.push_back(st);
+}
+
+bool AdmissionController::CanAdmit(int tenant) const {
+  const TenantState& st = tenants_[tenant];
+  return st.quota.max_in_system <= 0 ||
+         st.in_system < st.quota.max_in_system;
+}
+
+AdmissionDecision AdmissionController::Offer(int tenant) const {
+  const TenantState& st = tenants_[tenant];
+  if (CanAdmit(tenant)) return AdmissionDecision::kAdmit;
+  if (st.quota.max_backlog <= 0 || st.backlog < st.quota.max_backlog) {
+    return AdmissionDecision::kDefer;
+  }
+  return AdmissionDecision::kReject;
+}
+
+void AdmissionController::OnAdmit(int tenant) {
+  ++tenants_[tenant].in_system;
+  ++tenants_[tenant].stats.admitted;
+}
+
+void AdmissionController::OnDefer(int tenant) {
+  ++tenants_[tenant].backlog;
+  ++tenants_[tenant].stats.deferred;
+}
+
+void AdmissionController::OnReject(int tenant) {
+  ++tenants_[tenant].stats.rejected;
+}
+
+void AdmissionController::OnPromote(int tenant) {
+  --tenants_[tenant].backlog;
+  ++tenants_[tenant].in_system;
+  ++tenants_[tenant].stats.promoted;
+}
+
+void AdmissionController::OnFinish(int tenant) {
+  --tenants_[tenant].in_system;
+}
+
+}  // namespace service
+}  // namespace efind

@@ -1,0 +1,79 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Per-tenant admission control for the multi-tenant job service
+// (DESIGN.md §14). A tenant holds at most `max_in_system` admitted-but-
+// unfinished jobs; a submission past that cap is *deferred* into the
+// tenant's backlog (its wait is charged to the job's latency as queue
+// wait), and a submission past the backlog cap is *rejected* outright.
+// Quota release at job finish promotes the oldest deferred job.
+
+#ifndef EFIND_SERVICE_ADMISSION_H_
+#define EFIND_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace efind {
+namespace service {
+
+/// Per-tenant admission quotas. Non-positive values mean "unlimited".
+struct TenantQuota {
+  /// Admitted-but-unfinished jobs the tenant may hold at once.
+  int max_in_system = 0;
+  /// Deferred submissions the tenant may queue; beyond this, reject.
+  int max_backlog = 0;
+};
+
+enum class AdmissionDecision { kAdmit, kDefer, kReject };
+
+/// Pure bookkeeping: decides and counts, but owns no queues — the service
+/// keeps the deferred jobs themselves (it knows their payloads and clocks).
+/// Deterministic by construction: plain integer state, no time, no rng.
+class AdmissionController {
+ public:
+  /// Registers the next tenant (index = registration order).
+  void AddTenant(const TenantQuota& quota);
+
+  /// The decision for one submission by `tenant` — does not mutate; the
+  /// caller commits it with the matching On*() below.
+  AdmissionDecision Offer(int tenant) const;
+
+  /// Whether a quota slot is free (a deferred job could be promoted).
+  bool CanAdmit(int tenant) const;
+
+  void OnAdmit(int tenant);    ///< Submission admitted directly.
+  void OnDefer(int tenant);    ///< Submission parked in the backlog.
+  void OnReject(int tenant);   ///< Submission refused.
+  void OnPromote(int tenant);  ///< Backlog head admitted (backlog→system).
+  void OnFinish(int tenant);   ///< Admitted job finished (frees quota).
+
+  int in_system(int tenant) const { return tenants_[tenant].in_system; }
+  int backlog(int tenant) const { return tenants_[tenant].backlog; }
+
+  struct TenantAdmissionStats {
+    uint64_t admitted = 0;  ///< Directly admitted submissions.
+    uint64_t deferred = 0;  ///< Submissions that waited in the backlog.
+    uint64_t rejected = 0;
+    uint64_t promoted = 0;  ///< Backlog entries later admitted.
+  };
+  const TenantAdmissionStats& stats(int tenant) const {
+    return tenants_[tenant].stats;
+  }
+  size_t num_tenants() const { return tenants_.size(); }
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    int in_system = 0;
+    int backlog = 0;
+    TenantAdmissionStats stats;
+  };
+  std::vector<TenantState> tenants_;
+};
+
+}  // namespace service
+}  // namespace efind
+
+#endif  // EFIND_SERVICE_ADMISSION_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "service/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace efind {
+namespace service {
+
+std::vector<Arrival> GenerateArrivals(
+    const std::vector<TenantArrivalSpec>& tenants, uint64_t seed) {
+  struct Tagged {
+    Arrival a;
+    int seq;
+  };
+  std::vector<Tagged> all;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const TenantArrivalSpec& spec = tenants[t];
+    if (spec.count <= 0 || spec.rate <= 0.0) continue;
+    // Golden-ratio stream split: one independent deterministic stream per
+    // tenant, so tenant schedules do not interleave through a shared rng.
+    Rng rng(seed + 0x9e3779b97f4a7c15ull * (t + 1));
+    double clock = 0.0;
+    for (int i = 0; i < spec.count; ++i) {
+      // Exponential inter-arrival gap via inversion; 1 - u is in (0, 1].
+      clock += -std::log(1.0 - rng.NextDouble()) / spec.rate;
+      Arrival a;
+      a.time = clock;
+      a.tenant = static_cast<int>(t);
+      a.job_template =
+          spec.templates.empty()
+              ? 0
+              : spec.templates[rng.Uniform(spec.templates.size())];
+      all.push_back({a, i});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& x, const Tagged& y) {
+    if (x.a.time != y.a.time) return x.a.time < y.a.time;
+    if (x.a.tenant != y.a.tenant) return x.a.tenant < y.a.tenant;
+    return x.seq < y.seq;
+  });
+  std::vector<Arrival> out;
+  out.reserve(all.size());
+  for (const Tagged& t : all) out.push_back(t.a);
+  return out;
+}
+
+}  // namespace service
+}  // namespace efind

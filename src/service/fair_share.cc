@@ -1,0 +1,49 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "service/fair_share.h"
+
+namespace efind {
+namespace service {
+
+void FairShareScheduler::AddTenant(double weight) {
+  TenantState st;
+  st.weight = weight > 0.0 ? weight : 1.0;
+  tenants_.push_back(st);
+}
+
+void FairShareScheduler::Charge(int tenant, double slot_seconds) {
+  tenants_[tenant].vtime += slot_seconds / tenants_[tenant].weight;
+}
+
+void FairShareScheduler::Refund(int tenant, double slot_seconds) {
+  tenants_[tenant].vtime -= slot_seconds / tenants_[tenant].weight;
+}
+
+void FairShareScheduler::RaiseTo(int tenant, double floor) {
+  if (tenants_[tenant].vtime < floor) tenants_[tenant].vtime = floor;
+}
+
+int FairShareScheduler::Pick(const std::vector<int>& candidates) const {
+  int best = -1;
+  for (int c : candidates) {
+    if (best < 0 || tenants_[c].vtime < tenants_[best].vtime ||
+        (tenants_[c].vtime == tenants_[best].vtime && c < best)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+double JainIndex(const std::vector<double>& xs) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace service
+}  // namespace efind

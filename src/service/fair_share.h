@@ -1,0 +1,64 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Weighted fair-share scheduling state for the multi-tenant job service
+// (DESIGN.md §14). Classic virtual-time fair queueing over slot-seconds:
+// every dispatched task advances its tenant's virtual time by
+// duration / weight, and the scheduler always serves the backlogged tenant
+// with the smallest virtual time — so over any busy interval each tenant
+// receives slot-seconds proportional to its weight, regardless of how many
+// jobs it floods in. Deterministic: plain arithmetic, index tie-breaks.
+
+#ifndef EFIND_SERVICE_FAIR_SHARE_H_
+#define EFIND_SERVICE_FAIR_SHARE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace efind {
+namespace service {
+
+class FairShareScheduler {
+ public:
+  /// Registers the next tenant (index = registration order); weight <= 0
+  /// is clamped to 1.
+  void AddTenant(double weight);
+
+  /// Charges `slot_seconds` of dispatched work to `tenant` (advances its
+  /// virtual time by slot_seconds / weight).
+  void Charge(int tenant, double slot_seconds);
+
+  /// Returns unconsumed charge (a preempted backup's remaining seconds).
+  void Refund(int tenant, double slot_seconds);
+
+  /// Re-activation credit clamp: when `tenant` becomes backlogged again
+  /// after an idle spell, raise its virtual time to `floor` (the minimum
+  /// virtual time among currently-backlogged tenants) so banked idleness
+  /// cannot starve everyone else. No-op if already >= floor.
+  void RaiseTo(int tenant, double floor);
+
+  /// The tenant among `candidates` with the smallest virtual time (ties:
+  /// lowest index); -1 when empty.
+  int Pick(const std::vector<int>& candidates) const;
+
+  double vtime(int tenant) const { return tenants_[tenant].vtime; }
+  double weight(int tenant) const { return tenants_[tenant].weight; }
+  size_t num_tenants() const { return tenants_.size(); }
+
+ private:
+  struct TenantState {
+    double weight = 1.0;
+    double vtime = 0.0;
+  };
+  std::vector<TenantState> tenants_;
+};
+
+/// Jain's fairness index over per-tenant allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly even. Empty or
+/// all-zero input yields 1 (nothing was contended).
+double JainIndex(const std::vector<double>& xs);
+
+}  // namespace service
+}  // namespace efind
+
+#endif  // EFIND_SERVICE_FAIR_SHARE_H_

@@ -1,0 +1,261 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Cross-tenant artifact reuse through the job service (DESIGN.md §14):
+// artifact fingerprints are tenant-agnostic, so one tenant's published
+// shuffle serves another tenant's identical job — surfaced per tenant in
+// `efind.reuse.cross_tenant_hits` (consumer side) and the store's
+// `served_hits` (producer side). Also covers the tenant plumbing on
+// MaterializedStore/EFindJobRunner directly, and the engine-level
+// regression that backup preemption (speculation_backup_budget) never
+// changes job outputs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efind/efind_job_runner.h"
+#include "mapreduce/job_runner.h"
+#include "reuse/materialized_store.h"
+#include "service/job_service.h"
+#include "tests/test_util.h"
+
+namespace efind {
+namespace service {
+namespace {
+
+using testing_util::Sorted;
+using testing_util::ToyWorld;
+
+TEST(ServiceReuseTest, StoreAttributesTrafficToTenants) {
+  // Direct runner-level check of the accounting the service relies on:
+  // alice publishes, bob's identical job hits alice's artifact.
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf first = world.MakeJoinJob(false);
+  IndexJobConf followup = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+
+  runner.set_tenant("alice");
+  auto cold = runner.RunWithStrategy(first, input, Strategy::kRepartition);
+  EXPECT_EQ(cold.counters.Get("efind.reuse.misses"), 1.0);
+  EXPECT_EQ(cold.counters.Get("efind.reuse.hits"), 0.0);
+
+  runner.set_tenant("bob");
+  auto warm = runner.RunWithStrategy(followup, input, Strategy::kRepartition);
+  EXPECT_EQ(warm.counters.Get("efind.reuse.hits"), 1.0);
+  EXPECT_EQ(warm.counters.Get("efind.reuse.cross_tenant_hits"), 1.0);
+
+  // Store-side attribution: the artifact is alice's; bob's hit is cross-
+  // tenant on his ledger and a served hit on hers.
+  ASSERT_EQ(store.Entries().size(), 1u);
+  EXPECT_EQ(store.OwnerOf(store.Entries()[0].fingerprint), "alice");
+  const auto& ledgers = store.tenant_stats();
+  ASSERT_TRUE(ledgers.count("alice"));
+  ASSERT_TRUE(ledgers.count("bob"));
+  EXPECT_EQ(ledgers.at("alice").publishes, 1u);
+  EXPECT_EQ(ledgers.at("alice").served_hits, 1u);
+  EXPECT_EQ(ledgers.at("bob").hits, 1u);
+  EXPECT_EQ(ledgers.at("bob").cross_tenant_hits, 1u);
+  EXPECT_EQ(ledgers.at("bob").misses, 0u);
+}
+
+TEST(ServiceReuseTest, SameTenantHitIsNotCrossTenant) {
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf first = world.MakeJoinJob(false);
+  IndexJobConf followup = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+  runner.set_tenant("alice");
+  runner.RunWithStrategy(first, input, Strategy::kRepartition);
+  auto warm = runner.RunWithStrategy(followup, input, Strategy::kRepartition);
+
+  EXPECT_EQ(warm.counters.Get("efind.reuse.hits"), 1.0);
+  EXPECT_EQ(warm.counters.Get("efind.reuse.cross_tenant_hits"), 0.0);
+  EXPECT_EQ(store.tenant_stats().at("alice").cross_tenant_hits, 0u);
+  EXPECT_EQ(store.tenant_stats().at("alice").served_hits, 0u);
+}
+
+TEST(ServiceReuseTest, UntenantedRunsKeepLegacyBehavior) {
+  // No tenant set: aggregate stats move, the per-tenant ledger stays empty
+  // and results are identical to the pre-tenancy code path.
+  ToyWorld world(150);
+  auto input = world.MakeInput(24, 40, 150);
+  IndexJobConf conf = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+  EFindJobRunner runner(config);
+  runner.set_reuse(&store);
+  runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+  auto warm = runner.RunWithStrategy(conf, input, Strategy::kRepartition);
+
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_TRUE(store.tenant_stats().empty());
+  EXPECT_EQ(store.OwnerOf(store.Entries()[0].fingerprint), "");
+  EXPECT_EQ(warm.counters.Get("efind.reuse.cross_tenant_hits"), 0.0);
+}
+
+TEST(ServiceReuseTest, ServiceSurfacesCrossTenantHits) {
+  // Through the full service: two tenants submit the same template with a
+  // shared store attached. The first admission publishes; later admissions
+  // by the *other* tenant hit cross-tenant (same fingerprint => hit,
+  // regardless of tenant).
+  ToyWorld world(200, 60);
+  auto input = world.MakeInput(24, 40, 200);
+  IndexJobConf first = world.MakeJoinJob(false);
+  IndexJobConf followup = world.MakeJoinJob(true);
+  ClusterConfig config;
+  reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+
+  JobService svc(config, {});
+  svc.AddTenant("alice", 1.0, TenantQuota{});
+  svc.AddTenant("bob", 1.0, TenantQuota{});
+  const int producer = svc.AddTemplate({&first, &input,
+                                        Strategy::kRepartition});
+  const int consumer = svc.AddTemplate({&followup, &input,
+                                        Strategy::kRepartition});
+  svc.set_store(&store);
+
+  // alice's job publishes the shuffle artifact; bob's two jobs consume it.
+  const std::vector<Arrival> arrivals = {
+      {0.0, 0, producer},
+      {1.0, 1, consumer},
+      {2.0, 1, consumer},
+  };
+  const ServiceResult r = svc.Run(arrivals);
+
+  ASSERT_EQ(r.jobs.size(), 3u);
+  EXPECT_EQ(r.jobs[0].counters.Get("efind.reuse.misses"), 1.0);
+  EXPECT_EQ(r.jobs[1].counters.Get("efind.reuse.cross_tenant_hits"), 1.0);
+  EXPECT_EQ(r.jobs[2].counters.Get("efind.reuse.cross_tenant_hits"), 1.0);
+  EXPECT_EQ(r.counters.Get("efind.reuse.cross_tenant_hits"), 2.0);
+
+  // Per-tenant rollups: bob consumed twice, alice served twice.
+  EXPECT_EQ(r.tenants[1].reuse_hits, 2.0);
+  EXPECT_EQ(r.tenants[1].reuse_cross_tenant_hits, 2.0);
+  EXPECT_EQ(r.tenants[0].reuse_cross_tenant_hits, 0.0);
+  EXPECT_EQ(store.tenant_stats().at("alice").served_hits, 2u);
+  EXPECT_EQ(store.tenant_stats().at("bob").cross_tenant_hits, 2u);
+
+  // Reuse changed bob's cost, not his answer: his jobs still checksum
+  // identically to a store-less direct run.
+  EFindJobRunner plain(config);
+  const auto ref =
+      plain.RunWithStrategy(followup, input, Strategy::kRepartition);
+  EXPECT_EQ(r.jobs[1].output_checksum, reuse::ChecksumSplits(ref.outputs));
+  EXPECT_EQ(r.jobs[2].output_checksum, reuse::ChecksumSplits(ref.outputs));
+}
+
+TEST(ServiceReuseTest, ServiceReuseIsThreadCountInvariant) {
+  ToyWorld world1(200, 60), world8(200, 60);
+  ClusterConfig config;
+  const std::vector<Arrival> arrivals = {
+      {0.0, 0, 0}, {1.0, 1, 1}, {2.0, 1, 1}, {3.0, 0, 1}};
+
+  auto run = [&](ToyWorld& world, int threads) {
+    auto input = world.MakeInput(24, 40, 200);
+    IndexJobConf first = world.MakeJoinJob(false);
+    IndexJobConf followup = world.MakeJoinJob(true);
+    reuse::MaterializedStore store(64ull << 20, config.num_nodes);
+    ServiceOptions options;
+    options.efind.threads = threads;
+    JobService svc(config, options);
+    svc.AddTenant("alice", 1.0, TenantQuota{});
+    svc.AddTenant("bob", 1.0, TenantQuota{});
+    svc.AddTemplate({&first, &input, Strategy::kRepartition});
+    svc.AddTemplate({&followup, &input, Strategy::kRepartition});
+    svc.set_store(&store);
+    return svc.Run(arrivals);
+  };
+  const ServiceResult r1 = run(world1, 1);
+  const ServiceResult r8 = run(world8, 8);
+  ASSERT_EQ(r1.jobs.size(), r8.jobs.size());
+  for (size_t i = 0; i < r1.jobs.size(); ++i) {
+    EXPECT_EQ(r1.jobs[i].output_checksum, r8.jobs[i].output_checksum) << i;
+    EXPECT_EQ(r1.jobs[i].finish, r8.jobs[i].finish) << i;
+    EXPECT_EQ(r1.jobs[i].counters.values(), r8.jobs[i].counters.values())
+        << i;
+  }
+  EXPECT_EQ(r1.counters.Get("efind.reuse.cross_tenant_hits"),
+            r8.counters.Get("efind.reuse.cross_tenant_hits"));
+}
+
+// --- preemption is pure timing (engine level) ------------------------------
+
+/// Charges simulated time per record so stragglers have something to
+/// inflate; never changes the record.
+class ChargeStage : public RecordStage {
+ public:
+  std::string name() const override { return "charge"; }
+  void Process(Record record, TaskContext* ctx, Emitter* out) override {
+    ctx->AddSimTime(0.01);
+    out->Emit(std::move(record));
+  }
+};
+
+TEST(ServiceReuseTest, BackupBudgetNeverChangesJobOutputs) {
+  // The speculation budget preempts backup attempts; records and counters
+  // must be bit-identical at every budget, only simulated time may move.
+  ClusterConfig config;
+  config.straggler_rate = 0.25;
+  config.straggler_slowdown = 5.0;
+  config.speculative_execution = true;
+  config.speculation_threshold = 1.5;
+  config.fault_seed = 11;
+
+  JobConfig job;
+  job.map_stages.push_back(std::make_shared<ChargeStage>());
+  job.reducer = std::make_shared<testing_util::CountReducer>();
+  std::vector<InputSplit> input(48);
+  int id = 0;
+  for (int s = 0; s < 48; ++s) {
+    input[s].node = s % config.num_nodes;
+    for (int r = 0; r < 20; ++r) {
+      input[s].records.push_back(
+          Record("k" + std::to_string(id % 31), std::to_string(id)));
+      ++id;
+    }
+  }
+
+  struct Observation {
+    std::vector<Record> records;
+    std::map<std::string, double, std::less<>> counters;
+    double sim_seconds;
+    size_t launched;
+    size_t preempted;
+  };
+  std::vector<Observation> runs;
+  for (int budget : {-1, 0, 2}) {
+    ClusterConfig c = config;
+    c.speculation_backup_budget = budget;
+    JobRunner runner(c);
+    JobResult r = runner.Run(job, input);
+    runs.push_back({Sorted(r.CollectRecords()), r.counters.values(),
+                    r.sim_seconds, r.speculative_launched,
+                    r.speculative_preempted});
+  }
+  // The unbudgeted run speculates freely; budget 0 cancels every backup
+  // (the makespan can only be >= the unbudgeted run's).
+  EXPECT_GT(runs[0].launched, 0u);
+  EXPECT_EQ(runs[0].preempted, 0u);
+  EXPECT_EQ(runs[1].launched, 0u);
+  EXPECT_GT(runs[1].preempted, 0u);
+  EXPECT_GE(runs[1].sim_seconds, runs[0].sim_seconds);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].records, runs[0].records) << "budget run " << i;
+    EXPECT_EQ(runs[i].counters, runs[0].counters) << "budget run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace efind

@@ -109,6 +109,90 @@ TEST(SpeculativeWaveTest, MismatchedBaseVectorFallsBackToPlain) {
   EXPECT_EQ(spec.speculative_launched, 0u);
 }
 
+TEST(SpeculativeWaveTest, ZeroBudgetPreemptsEveryBackup) {
+  // Budget 0: every would-be backup is preempted before doing any work, so
+  // the schedule degenerates to the plain (no-speculation) one.
+  PhaseSchedule plain = ScheduleWaves({1.0, 1.0, 1.0, 10.0}, 4);
+  PhaseSchedule s = ScheduleWaves({1.0, 1.0, 1.0, 10.0},
+                                  {1.0, 1.0, 1.0, 1.0}, 4, 2.0, 0);
+  EXPECT_DOUBLE_EQ(s.makespan, plain.makespan);
+  EXPECT_EQ(s.speculative_launched, 0u);
+  EXPECT_EQ(s.speculative_wins, 0u);
+  EXPECT_EQ(s.speculative_preempted, 1u);
+  EXPECT_TRUE(s.tasks[3].backup_preempted);
+  EXPECT_FALSE(s.tasks[3].backup_launched);
+}
+
+TEST(SpeculativeWaveTest, NegativeBudgetMatchesUnbudgetedOverload) {
+  Rng rng(77);
+  std::vector<double> base, faulted;
+  for (int i = 0; i < 60; ++i) {
+    const double b = 0.1 + rng.NextDouble();
+    base.push_back(b);
+    faulted.push_back(rng.Uniform(3) == 0 ? b * 5.0 : b);
+  }
+  PhaseSchedule unbudgeted = ScheduleWaves(faulted, base, 7, 1.5);
+  PhaseSchedule budgeted = ScheduleWaves(faulted, base, 7, 1.5, -1);
+  EXPECT_EQ(budgeted.makespan, unbudgeted.makespan);
+  EXPECT_EQ(budgeted.speculative_launched, unbudgeted.speculative_launched);
+  EXPECT_EQ(budgeted.speculative_wins, unbudgeted.speculative_wins);
+  EXPECT_EQ(budgeted.speculative_preempted, 0u);
+}
+
+TEST(SpeculativeWaveTest, BudgetCapsPerWaveBackupConcurrency) {
+  // One wave of 5 with two stragglers (upper median 1, trigger 2): budget
+  // 1 launches the first candidate in task-index order and preempts the
+  // second, whose primary keeps its full 8s duration.
+  PhaseSchedule s = ScheduleWaves({10.0, 1.0, 1.0, 1.0, 8.0},
+                                  {1.0, 1.0, 1.0, 1.0, 1.0}, 5, 2.0, 1);
+  EXPECT_EQ(s.speculative_launched, 1u);
+  EXPECT_EQ(s.speculative_preempted, 1u);
+  EXPECT_TRUE(s.tasks[0].backup_launched);
+  EXPECT_TRUE(s.tasks[4].backup_preempted);
+  // Task 0's backup wins at trigger + base = 3; task 4 runs to 8.
+  EXPECT_DOUBLE_EQ(s.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].finish, 3.0);
+}
+
+TEST(SpeculativeWaveTest, BudgetRenewsPerWave) {
+  // Two waves on 3 slots, each with one straggler over its wave's trigger
+  // (upper median 1, trigger 2): budget 1 serves both because the cap is
+  // per speculation round, not global.
+  PhaseSchedule s = ScheduleWaves({1.0, 1.0, 10.0, 1.0, 1.0, 10.0},
+                                  {1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, 3, 2.0, 1);
+  EXPECT_EQ(s.speculative_launched, 2u);
+  EXPECT_EQ(s.speculative_preempted, 0u);
+}
+
+TEST(SpeculativeWaveTest, PreemptionNeverChangesTaskAssignmentShape) {
+  // The budget only toggles which attempt supplies each task's finish
+  // time; the task list, slot usage, and per-slot exclusivity all hold at
+  // any budget.
+  Rng rng(4242);
+  std::vector<double> base, faulted;
+  for (int i = 0; i < 40; ++i) {
+    const double b = 0.1 + rng.NextDouble();
+    base.push_back(b);
+    faulted.push_back(rng.Uniform(4) == 0 ? b * 6.0 : b);
+  }
+  PhaseSchedule plain = ScheduleWaves(faulted, 5);
+  for (int budget : {-1, 0, 1, 2}) {
+    PhaseSchedule s = ScheduleWaves(faulted, base, 5, 1.5, budget);
+    ASSERT_EQ(s.tasks.size(), plain.tasks.size()) << "budget " << budget;
+    EXPECT_LE(s.makespan, plain.makespan + 1e-9) << "budget " << budget;
+    std::vector<double> slot_free(5, 0.0);
+    for (const auto& t : s.tasks) {
+      EXPECT_GE(t.start + 1e-12, slot_free[t.slot]) << "budget " << budget;
+      slot_free[t.slot] = t.finish;
+      // A preempted backup never also launches or wins.
+      if (t.backup_preempted) {
+        EXPECT_FALSE(t.backup_launched);
+        EXPECT_FALSE(t.backup_won);
+      }
+    }
+  }
+}
+
 class SpeculativeWavePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SpeculativeWavePropertyTest, NeverSlowerThanPlainSchedule) {
