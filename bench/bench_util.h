@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/durable.h"
 #include "common/thread_pool.h"
 #include "efind/efind_job_runner.h"
 #include "obs/export.h"
@@ -209,6 +210,16 @@ struct BenchOptions {
   size_t store_page_bytes = 4096;
   /// Packed-object-store fill degree in (0, 1] (--store-fill).
   double store_fill = 1.0;
+  /// Directory for write-ahead journals and other durable state
+  /// (--journal-dir); empty = the bench picks a scratch directory
+  /// (DESIGN.md §15).
+  std::string journal_dir;
+  /// Crash-injection arming (--crash-point=<site>:<n> with
+  /// --crash-mode=kill|torn_truncate|torn_bitflip). Empty = disarmed.
+  /// Parsed and armed process-wide via `durable::SetCrashConfig`, so any
+  /// bench can be crashed at a named commit site for recovery drills.
+  std::string crash_point;
+  std::string crash_mode = "kill";
   /// Observability output paths; empty = off.
   std::string trace_out;        // Chrome trace-event JSON.
   std::string report_out;       // Run report, JSON.
@@ -260,6 +271,11 @@ struct BenchOptions {
 ///   --reuse-dir=PATH     write the store manifest to PATH/manifest.json
 ///                        after the run (reuse-aware benches only)
 ///   --no-reuse           disable the cross-job artifact store
+///   --journal-dir=PATH   directory for write-ahead journals / durable
+///                        state (recovery-aware benches; DESIGN.md §15)
+///   --crash-point=S:N    arm deterministic crash injection: die (or tear,
+///                        per --crash-mode) on the Nth hit of commit site S
+///   --crash-mode=M       kill | torn_truncate | torn_bitflip (default kill)
 ///   --trace-out=PATH     write a Chrome trace-event JSON of the whole
 ///                        bench run (open in chrome://tracing or Perfetto)
 ///   --report=PATH        write a JSON run report (config echo, metric
@@ -349,6 +365,12 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
         std::exit(2);
       }
       opts.hot_key_threshold = t;
+    } else if ((v = value(arg, "--journal-dir")) != nullptr) {
+      opts.journal_dir = v;
+    } else if ((v = value(arg, "--crash-point")) != nullptr) {
+      opts.crash_point = v;
+    } else if ((v = value(arg, "--crash-mode")) != nullptr) {
+      opts.crash_mode = v;
     } else if ((v = value(arg, "--trace-out")) != nullptr) {
       opts.trace_out = v;
     } else if ((v = value(arg, "--report")) != nullptr) {
@@ -360,6 +382,28 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
     }
   }
   *argc = out;
+  durable::CrashMode mode = durable::CrashMode::kKill;
+  if (opts.crash_mode == "torn_truncate") {
+    mode = durable::CrashMode::kTornTruncate;
+  } else if (opts.crash_mode == "torn_bitflip") {
+    mode = durable::CrashMode::kTornBitflip;
+  } else if (opts.crash_mode != "kill") {
+    std::fprintf(stderr,
+                 "invalid --crash-mode=%s (need kill | torn_truncate | "
+                 "torn_bitflip)\n",
+                 opts.crash_mode.c_str());
+    std::exit(2);
+  }
+  if (!opts.crash_point.empty()) {
+    durable::CrashConfig crash;
+    if (!durable::ParseCrashSpec(opts.crash_point, &crash)) {
+      std::fprintf(stderr, "invalid --crash-point=%s (need <site>:<n>)\n",
+                   opts.crash_point.c_str());
+      std::exit(2);
+    }
+    crash.mode = mode;
+    durable::SetCrashConfig(crash);
+  }
   ApplyFaultFlags(argc, argv, &opts.config);
   if (!opts.trace_out.empty() || !opts.report_out.empty() ||
       !opts.report_text_out.empty()) {
@@ -406,6 +450,9 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
   out.emplace_back("store_page_bytes",
                    std::to_string(opts.store_page_bytes));
   out.emplace_back("store_fill", num(opts.store_fill));
+  out.emplace_back("journal_dir", opts.journal_dir);
+  out.emplace_back("crash_point", opts.crash_point);
+  out.emplace_back("crash_mode", opts.crash_mode);
   out.emplace_back("store_batch_depth",
                    std::to_string(c.store_batch_depth));
   out.emplace_back("page_read_sec", num(c.page_read_sec));

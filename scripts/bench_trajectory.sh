@@ -13,6 +13,7 @@
 #   skew       bench_ablation_skew      skew matrix + salting (DESIGN.md §12)
 #   store      bench_ablation_store     packed-store batch depth (DESIGN.md §13)
 #   service    bench_service            multi-tenant job service (DESIGN.md §14)
+#   recovery   bench_recovery           crash recovery / replay (DESIGN.md §15)
 #
 # Usage: scripts/bench_trajectory.sh [options] [area...]
 #   --build-dir DIR   bench binaries live in DIR/bench (default: build)
@@ -44,7 +45,7 @@ while [ $# -gt 0 ]; do
     *) AREAS+=("$1"); shift ;;
   esac
 done
-[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew store service)
+[ ${#AREAS[@]} -eq 0 ] && AREAS=(core faults reuse resilience obs skew store service recovery)
 
 bench_for() {
   case "$1" in
@@ -56,6 +57,7 @@ bench_for() {
     skew) echo bench_ablation_skew ;;
     store) echo bench_ablation_store ;;
     service) echo bench_service ;;
+    recovery) echo bench_recovery ;;
     *) echo "unknown area: $1" >&2; return 1 ;;
   esac
 }
@@ -74,6 +76,7 @@ budget_for() {
     skew) echo 15000 ;;
     store) echo 8000 ;;
     service) echo 20000 ;;
+    recovery) echo 3000 ;;
   esac
 }
 

@@ -88,6 +88,54 @@ SERVICE_EVENTS = {
 SERVICE_POLICIES = ("fifo", "fair")
 
 
+# Crash-recovery events (DESIGN.md §15): category "recovery", emitted by
+# recovery-aware benches while they replay what a crashed run left on disk.
+# recovery_replay is one span per replayed artifact class (a service or
+# reuse write-ahead journal, a packed-store reopen); torn_file_detected
+# records a durable-layer integrity failure (a torn journal tail, a torn
+# manifest refusing to load); backlog_requeued records the crashed run's
+# submitted-but-unfinished jobs being re-enqueued. Maps name -> (expected
+# phase, required arg keys).
+RECOVERY_EVENTS = {
+    "recovery_replay": ("X", ("kind", "records", "recovered")),
+    "torn_file_detected": ("i", ("kind", "path")),
+    "backlog_requeued": ("i", ("jobs",)),
+}
+
+RECOVERY_REPLAY_KINDS = ("service", "reuse", "store")
+
+
+def lint_recovery_event(e, name, ph, args, err, where):
+    expected_ph, required = RECOVERY_EVENTS[name]
+    if ph != expected_ph:
+        err("%s: recovery event must have ph %r, got %r"
+            % (where, expected_ph, ph))
+    if e.get("cat") != "recovery":
+        err("%s: recovery event must have cat \"recovery\", got %r"
+            % (where, e.get("cat")))
+    for key in required:
+        if key not in args:
+            err("%s: missing required arg %r" % (where, key))
+    if name == "recovery_replay":
+        if args.get("kind") not in RECOVERY_REPLAY_KINDS:
+            err("%s: arg \"kind\" must be one of %s, got %r"
+                % (where, list(RECOVERY_REPLAY_KINDS), args.get("kind")))
+        for key in ("records", "recovered"):
+            if not args.get(key, "").isdigit():
+                err("%s: arg %r must be a decimal count, got %r"
+                    % (where, key, args.get(key)))
+    elif name == "torn_file_detected":
+        if not args.get("kind", ""):
+            err("%s: arg \"kind\" must be non-empty" % where)
+        if not args.get("path", ""):
+            err("%s: arg \"path\" must be non-empty" % where)
+    elif name == "backlog_requeued":
+        jobs = args.get("jobs", "")
+        if not jobs.isdigit() or jobs == "0":
+            err("%s: arg \"jobs\" must be a positive decimal, got %r"
+                % (where, jobs))
+
+
 def lint_service_event(e, name, ph, args, err, where):
     expected_ph, required = SERVICE_EVENTS[name]
     if ph != expected_ph:
@@ -302,6 +350,8 @@ def lint(doc, require_spans, require_instants, require_any):
             lint_store_event(e, name, ph, args, err, where)
         if name in SERVICE_EVENTS and isinstance(args, dict):
             lint_service_event(e, name, ph, args, err, where)
+        if name in RECOVERY_EVENTS and isinstance(args, dict):
+            lint_recovery_event(e, name, ph, args, err, where)
 
     for name in require_spans:
         if name not in span_names:

@@ -56,6 +56,14 @@
 #      slowdown on the same arrival seed, passes a lone job through
 #      byte-identically at the direct run's sim_seconds, and surfaces
 #      cross-tenant reuse hits).
+#  13. the crash-safety leg (DESIGN.md §15): the crash suite alone
+#      (ctest -L crash — the durable-layer units and the fork-the-child
+#      crash-injection matrix over every registered commit site × kill /
+#      torn-write mode) and the bench_recovery acceptance bench (exits
+#      nonzero unless a crashed service stream replays with zero lost
+#      admitted jobs, every planted torn file is detected, and the summed
+#      recovery replay stays under its pinned wall-clock budget), plus the
+#      recovery trace lint.
 # Usage: scripts/verify.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -119,5 +127,18 @@ fi
 TRAJ_DIR="$(mktemp -d)"
 scripts/bench_trajectory.sh --build-dir "$BUILD" --out-dir "$TRAJ_DIR" --check
 rm -rf "$TRAJ_DIR"
+
+(cd "$BUILD" && ctest --output-on-failure -L crash)
+"$BUILD"/bench/bench_recovery --benchmark_list_tests=true \
+  | grep -E '"recovery/(check|replay|durable)"' || true
+"$BUILD"/bench/bench_recovery --benchmark_list_tests=true > /dev/null
+if command -v python3 > /dev/null; then
+  "$BUILD"/bench/bench_recovery --benchmark_list_tests=true \
+    --trace-out="$BUILD"/recovery_trace.json > /dev/null
+  python3 scripts/trace_lint.py "$BUILD"/recovery_trace.json \
+    --require-span recovery_replay \
+    --require-instant torn_file_detected \
+    --require-instant backlog_requeued
+fi
 
 echo "verify: OK"

@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnavailable,
   kInternal,
+  kDataLoss,
 };
 
 /// A lightweight success-or-error value in the RocksDB/absl idiom.
@@ -66,6 +67,11 @@ class Status {
   static Status Internal(std::string_view msg = "") {
     return Status(StatusCode::kInternal, msg);
   }
+  /// Factory for unrecoverable data loss or corruption detected on a
+  /// persisted surface (torn write, truncated page, bad footer).
+  static Status DataLoss(std::string_view msg = "") {
+    return Status(StatusCode::kDataLoss, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -76,6 +82,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,82 @@
+// Copyright 2026 The EFind Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Write-ahead journal (DESIGN.md §15). An append-only file of
+// length + checksum framed records:
+//
+//   [u32 payload_len][u64 checksum][payload bytes]
+//
+// Appends are fdatasync'd before the caller mutates its in-memory state
+// (write-ahead ordering), so after a crash the journal is always a
+// superset of the applied state. `Replay` streams the records back in
+// order and stops at the first torn frame — a crashed writer legitimately
+// leaves a partial record at the tail, which is reported (`torn_tail`),
+// counted in the durable torn_detected stat, and never replayed. Torn
+// bytes *inside* the stream also stop the replay: everything after an
+// unverifiable frame is unreachable by design, because record boundaries
+// cannot be trusted past it.
+//
+// Record payloads are opaque bytes; callers serialize their own op codes
+// (see MaterializedStore::AttachJournal and the service admissions
+// journal). Lives in efind_common; no obs/cluster dependencies.
+
+#ifndef EFIND_COMMON_WAL_H_
+#define EFIND_COMMON_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace efind {
+namespace durable {
+
+class WriteAheadJournal {
+ public:
+  WriteAheadJournal() = default;
+  ~WriteAheadJournal();
+
+  WriteAheadJournal(const WriteAheadJournal&) = delete;
+  WriteAheadJournal& operator=(const WriteAheadJournal&) = delete;
+
+  /// Opens (creating if absent) `path` for appending. `site` names the
+  /// crash-injection family for this journal's appends (e.g. "reuse.wal",
+  /// "service.wal") — see durable.h.
+  Status Open(const std::string& path, std::string site);
+
+  /// Frames, writes, and fdatasyncs one record. In a torn crash mode armed
+  /// on this journal's site, the armed append writes a corrupted partial
+  /// frame and dies — `Replay` must then stop cleanly at the tail.
+  Status Append(std::string_view record);
+
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_; }
+
+  struct ReplayResult {
+    bool found = false;       ///< The journal file exists and was readable.
+    uint64_t records = 0;     ///< Intact records delivered to the callback.
+    bool torn_tail = false;   ///< Trailing bytes did not form a full frame.
+    uint64_t bytes = 0;       ///< Total file bytes scanned.
+  };
+
+  /// Streams every intact record of `path` to `fn` in append order.
+  static ReplayResult Replay(
+      const std::string& path,
+      const std::function<void(std::string_view)>& fn);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string site_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace durable
+}  // namespace efind
+
+#endif  // EFIND_COMMON_WAL_H_

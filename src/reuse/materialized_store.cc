@@ -1,17 +1,88 @@
 #include "reuse/materialized_store.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/durable.h"
 #include "common/hash.h"
 #include "mapreduce/record_batch.h"
 
 namespace efind {
 namespace reuse {
+
+namespace {
+
+std::string FpHex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+/// One journal record per ledger mutation, written *before* the mutation.
+/// Text framing (the WAL layer adds the length + checksum frame): label
+/// last so it may contain spaces; empty owner is "-".
+std::string PublishRecord(const ArtifactMeta& m) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "pub %016" PRIx64 " %" PRIu64 " %d %d %" PRIu64 " %" PRIu64
+                " %016" PRIx64 " %.17g %s %s",
+                m.fingerprint, m.bytes, static_cast<int>(m.layout),
+                m.partition_count, m.insert_seq, m.reuse_count, m.checksum,
+                m.saved_seconds, m.owner.empty() ? "-" : m.owner.c_str(),
+                m.label.c_str());
+  return std::string(buf);
+}
+
+bool ParsePublishRecord(std::string_view record, ArtifactMeta* m) {
+  char fp_hex[17] = {0};
+  char ck_hex[17] = {0};
+  char owner[64] = {0};
+  char label[256] = {0};
+  unsigned long long bytes = 0, seq = 0, reuse = 0;
+  int layout = 0, partitions = 0;
+  double saved = 0.0;
+  const std::string line(record);
+  const int matched = std::sscanf(
+      line.c_str(),
+      "pub %16[0-9a-fA-F] %llu %d %d %llu %llu %16[0-9a-fA-F] %lg %63s"
+      " %255[^\n]",
+      fp_hex, &bytes, &layout, &partitions, &seq, &reuse, ck_hex, &saved,
+      owner, label);
+  if (matched < 9) return false;
+  m->fingerprint = std::strtoull(fp_hex, nullptr, 16);
+  m->bytes = bytes;
+  m->layout = layout == static_cast<int>(ArtifactLayout::kIndexLocality)
+                  ? ArtifactLayout::kIndexLocality
+                  : ArtifactLayout::kRepartition;
+  m->partition_count = partitions;
+  m->insert_seq = seq;
+  m->reuse_count = reuse;
+  m->checksum = std::strtoull(ck_hex, nullptr, 16);
+  m->saved_seconds = saved;
+  m->owner = std::strcmp(owner, "-") == 0 ? "" : owner;
+  m->label = matched >= 10 ? label : "";
+  return true;
+}
+
+/// Parses `fp_hex` out of a one-fingerprint record ("evict|inval|hit <fp>").
+bool ParseFpRecord(std::string_view record, const char* verb, uint64_t* fp) {
+  const size_t verb_len = std::strlen(verb);
+  if (record.size() < verb_len + 2 ||
+      record.compare(0, verb_len, verb) != 0 || record[verb_len] != ' ') {
+    return false;
+  }
+  *fp = std::strtoull(std::string(record.substr(verb_len + 1)).c_str(),
+                      nullptr, 16);
+  return true;
+}
+
+}  // namespace
 
 std::vector<InputSplit> CopySplits(const std::vector<InputSplit>& splits) {
   std::vector<InputSplit> out;
@@ -67,6 +138,15 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
   if (it != entries_.end()) {
     // Same fingerprint = same content by construction; just refresh the
     // benefit estimate (statistics may have sharpened since last time).
+    // Write-ahead: journal the refreshed meta before applying it.
+    if (journal_.is_open()) {
+      ArtifactMeta refreshed = it->second.meta;
+      refreshed.saved_seconds = saved_seconds;
+      if (!journal_.Append(PublishRecord(refreshed)).ok()) {
+        ++stats_.rejects;
+        return result;  // Unjournalable mutations are refused.
+      }
+    }
     it->second.meta.saved_seconds = saved_seconds;
     result.stored = true;
     return result;
@@ -108,6 +188,33 @@ MaterializedStore::PublishResult MaterializedStore::Publish(
     victims.push_back(victim_fp);
     freed += victim->meta.bytes;
   }
+
+  // The full mutation — evictions plus the insert — is journaled before a
+  // single in-memory byte moves. A crash mid-append replays a prefix:
+  // evictions without the insert, which is exactly the consistent ledger
+  // an uninterrupted store passes through between the two phases.
+  if (journal_.is_open()) {
+    Entry probe;
+    probe.meta.fingerprint = fingerprint;
+    probe.meta.label = label;
+    probe.meta.owner = owner;
+    probe.meta.bytes = bytes;
+    probe.meta.saved_seconds = saved_seconds;
+    probe.meta.layout = layout;
+    probe.meta.partition_count = partition_count;
+    probe.meta.insert_seq = next_seq_;
+    probe.meta.checksum = ChecksumSplits(splits);
+    bool journaled = true;
+    for (uint64_t fp : victims) {
+      journaled = journaled && journal_.Append("evict " + FpHex(fp)).ok();
+    }
+    journaled = journaled && journal_.Append(PublishRecord(probe.meta)).ok();
+    if (!journaled) {
+      ++stats_.rejects;
+      return result;  // Unjournalable mutations are refused.
+    }
+  }
+
   for (uint64_t fp : victims) {
     auto vit = entries_.find(fp);
     result.evicted_bytes += vit->second.meta.bytes;
@@ -214,6 +321,12 @@ const std::vector<InputSplit>* MaterializedStore::Resolve(
       }
     }
   }
+  // Reuse counts feed eviction density, so a hit is a ledger mutation too.
+  // Best-effort when the append fails: serving the hit with a slightly
+  // stale journal loses one density increment, never data.
+  if (journal_.is_open()) {
+    journal_.Append("hit " + FpHex(fingerprint));
+  }
   ++stats_.hits;
   ++it->second.meta.reuse_count;
   if (!tenant.empty()) {
@@ -251,6 +364,10 @@ bool MaterializedStore::Reachable(uint64_t fingerprint,
 void MaterializedStore::Invalidate(uint64_t fingerprint) {
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) return;
+  if (journal_.is_open() &&
+      !journal_.Append("inval " + FpHex(fingerprint)).ok()) {
+    return;  // Unjournalable mutations are refused.
+  }
   stats_.bytes_used -= it->second.meta.bytes;
   entries_.erase(it);
   stats_.entries = entries_.size();
@@ -289,43 +406,51 @@ std::vector<ArtifactMeta> MaterializedStore::Entries() const {
 
 bool MaterializedStore::DumpManifest(const std::string& path,
                                      std::string* error) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path;
+  std::string body;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\"capacity_bytes\":%" PRIu64 ",\"bytes_used\":%" PRIu64
+                ",\"entries\":%" PRIu64 ",\"hits\":%" PRIu64
+                ",\"misses\":%" PRIu64 ",\"publishes\":%" PRIu64
+                ",\"rejects\":%" PRIu64 ",\"evictions\":%" PRIu64 "}\n",
+                capacity_bytes_, stats_.bytes_used, stats_.entries,
+                stats_.hits, stats_.misses, stats_.publishes, stats_.rejects,
+                stats_.evictions);
+  body += buf;
+  for (const ArtifactMeta& m : Entries()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"fingerprint\":\"%016" PRIx64 "\",\"label\":\"%s\""
+                  ",\"bytes\":%" PRIu64 ",\"saved_seconds\":%.9g"
+                  ",\"layout\":\"%s\",\"partitions\":%d"
+                  ",\"reuse_count\":%" PRIu64 ",\"insert_seq\":%" PRIu64
+                  ",\"checksum\":\"%016" PRIx64 "\"}\n",
+                  m.fingerprint, m.label.c_str(), m.bytes, m.saved_seconds,
+                  ToString(m.layout), m.partition_count, m.reuse_count,
+                  m.insert_seq, m.checksum);
+    body += buf;
+  }
+  durable::AppendFooter(&body, next_seq_);
+  const Status s = durable::AtomicWriteFile(path, body, "reuse.manifest");
+  if (!s.ok()) {
+    if (error != nullptr) *error = s.message();
     return false;
   }
-  std::fprintf(f,
-               "{\"capacity_bytes\":%" PRIu64 ",\"bytes_used\":%" PRIu64
-               ",\"entries\":%" PRIu64 ",\"hits\":%" PRIu64
-               ",\"misses\":%" PRIu64 ",\"publishes\":%" PRIu64
-               ",\"rejects\":%" PRIu64 ",\"evictions\":%" PRIu64 "}\n",
-               capacity_bytes_, stats_.bytes_used, stats_.entries, stats_.hits,
-               stats_.misses, stats_.publishes, stats_.rejects,
-               stats_.evictions);
-  for (const ArtifactMeta& m : Entries()) {
-    std::fprintf(f,
-                 "{\"fingerprint\":\"%016" PRIx64 "\",\"label\":\"%s\""
-                 ",\"bytes\":%" PRIu64 ",\"saved_seconds\":%.9g"
-                 ",\"layout\":\"%s\",\"partitions\":%d"
-                 ",\"reuse_count\":%" PRIu64 ",\"insert_seq\":%" PRIu64
-                 ",\"checksum\":\"%016" PRIx64 "\"}\n",
-                 m.fingerprint, m.label.c_str(), m.bytes, m.saved_seconds,
-                 ToString(m.layout), m.partition_count, m.reuse_count,
-                 m.insert_seq, m.checksum);
-  }
-  const bool ok = std::fclose(f) == 0;
-  if (!ok && error != nullptr) *error = "short write to " + path;
-  return ok;
+  return true;
 }
 
-MaterializedStore::ManifestLoad MaterializedStore::LoadManifest(
-    const std::string& path) {
-  ManifestLoad load;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return load;
-  load.ok = true;
-  char line[4096];
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+namespace {
+
+/// The line-wise manifest replay shared by the trusted (footer-verified)
+/// and tolerant (torn fallback) paths.
+void ParseManifestText(std::string_view text,
+                       MaterializedStore::ManifestLoad* load) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
     char fp_hex[17] = {0};
     char label[256] = {0};
     char layout[32] = {0};
@@ -334,7 +459,7 @@ MaterializedStore::ManifestLoad MaterializedStore::LoadManifest(
     double saved = 0.0;
     int partitions = 0;
     const int matched = std::sscanf(
-        line,
+        line.c_str(),
         "{\"fingerprint\":\"%16[0-9a-fA-F]\",\"label\":\"%255[^\"]\""
         ",\"bytes\":%llu,\"saved_seconds\":%lg"
         ",\"layout\":\"%31[^\"]\",\"partitions\":%d"
@@ -355,20 +480,98 @@ MaterializedStore::ManifestLoad MaterializedStore::LoadManifest(
       m.reuse_count = reuse;
       m.insert_seq = seq;
       m.checksum = std::strtoull(ck_hex, nullptr, 16);
-      load.metas.push_back(std::move(m));
-      ++load.entries;
+      load->metas.push_back(std::move(m));
+      ++load->entries;
       continue;
     }
     unsigned long long cap = 0;
-    if (std::sscanf(line, "{\"capacity_bytes\":%llu,", &cap) == 1) {
+    if (std::sscanf(line.c_str(), "{\"capacity_bytes\":%llu,", &cap) == 1) {
       continue;  // Stats header line: informational, not an artifact.
     }
     // A torn / truncated / garbled line (crashed writer, partial copy):
     // the artifact it described is simply absent — count and move on.
-    ++load.skipped;
+    ++load->skipped;
   }
-  std::fclose(f);
+}
+
+}  // namespace
+
+MaterializedStore::ManifestLoad MaterializedStore::LoadManifest(
+    const std::string& path) {
+  ManifestLoad load;
+  std::string raw;
+  if (!durable::ReadFileContents(path, &raw)) return load;
+  load.ok = true;
+  uint64_t generation = 0;
+  std::string_view body;
+  if (durable::CheckFooter(raw, &generation, &body).ok()) {
+    // Footer verified: the body is exactly what DumpManifest committed,
+    // so every line must parse (skipped stays 0 by construction).
+    ParseManifestText(body, &load);
+    return load;
+  }
+  // No valid footer — a torn copy, a crashed pre-footer writer, or a
+  // legacy manifest. Fall back to the tolerant replay: parse what can be
+  // parsed, count the rest, never abort. The binary footer tail (when a
+  // partial one survives) lands in `skipped` like any garbled line.
+  load.torn = true;
+  ParseManifestText(raw, &load);
   return load;
+}
+
+Status MaterializedStore::AttachJournal(const std::string& path) {
+  return journal_.Open(path, "reuse.wal");
+}
+
+MaterializedStore::JournalRecovery MaterializedStore::RecoverJournal(
+    const std::string& path) {
+  JournalRecovery recovery;
+  std::map<uint64_t, ArtifactMeta> live;
+  const durable::WriteAheadJournal::ReplayResult replay =
+      durable::WriteAheadJournal::Replay(
+          path, [&](std::string_view record) {
+            ArtifactMeta m;
+            uint64_t fp = 0;
+            if (ParsePublishRecord(record, &m)) {
+              live[m.fingerprint] = m;  // Insert or refresh.
+              if (m.insert_seq >= recovery.next_seq) {
+                recovery.next_seq = m.insert_seq + 1;
+              }
+            } else if (ParseFpRecord(record, "evict", &fp) ||
+                       ParseFpRecord(record, "inval", &fp)) {
+              live.erase(fp);
+            } else if (ParseFpRecord(record, "hit", &fp)) {
+              auto it = live.find(fp);
+              if (it != live.end()) ++it->second.reuse_count;
+            }
+          });
+  recovery.found = replay.found;
+  recovery.records = replay.records;
+  recovery.torn_tail = replay.torn_tail;
+  recovery.metas.reserve(live.size());
+  for (auto& [fp, meta] : live) recovery.metas.push_back(std::move(meta));
+  std::sort(recovery.metas.begin(), recovery.metas.end(),
+            [](const ArtifactMeta& a, const ArtifactMeta& b) {
+              return a.insert_seq < b.insert_seq;
+            });
+  return recovery;
+}
+
+bool MaterializedStore::RestoreEntry(const ArtifactMeta& meta,
+                                     std::vector<InputSplit> splits) {
+  if (entries_.find(meta.fingerprint) != entries_.end()) return false;
+  if (ChecksumSplits(splits) != meta.checksum) return false;
+  const uint64_t bytes = SplitsBytes(splits);
+  if (bytes != meta.bytes) return false;
+  if (stats_.bytes_used + bytes > capacity_bytes_) return false;
+  Entry entry;
+  entry.meta = meta;
+  entry.splits = std::move(splits);
+  stats_.bytes_used += bytes;
+  entries_.emplace(meta.fingerprint, std::move(entry));
+  stats_.entries = entries_.size();
+  if (meta.insert_seq >= next_seq_) next_seq_ = meta.insert_seq + 1;
+  return true;
 }
 
 }  // namespace reuse

@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/status.h"
+#include "common/wal.h"
 #include "mapreduce/record.h"
 #include "reuse/fingerprint.h"
 
@@ -173,7 +175,10 @@ class MaterializedStore {
   /// Metadata of every live artifact, in insert order.
   std::vector<ArtifactMeta> Entries() const;
 
-  /// Writes a JSON-lines manifest of the live entries + stats to `path`.
+  /// Writes a JSON-lines manifest of the live entries + stats to `path`,
+  /// sealed with a durable footer and committed atomically (crash site
+  /// "reuse.manifest"): readers see the prior manifest or this one in
+  /// full, never a half-written hybrid.
   bool DumpManifest(const std::string& path, std::string* error = nullptr)
       const;
 
@@ -185,13 +190,42 @@ class MaterializedStore {
     bool ok = false;  ///< The manifest file could be opened.
     int entries = 0;  ///< Well-formed artifact lines parsed.
     int skipped = 0;  ///< Truncated / unparseable lines tolerated.
+    bool torn = false;  ///< Durable footer missing or failed verification.
     std::vector<ArtifactMeta> metas;
   };
 
-  /// Replays a JSON-lines manifest written by `DumpManifest`. A truncated
-  /// or unparseable line — a crashed writer, a torn copy — is counted in
-  /// `skipped` and treated as "artifact absent"; the replay never aborts.
+  /// Replays a JSON-lines manifest written by `DumpManifest`. A manifest
+  /// with a valid durable footer is trusted end to end; one without (a
+  /// crashed writer, a torn copy, a pre-footer legacy file) sets `torn`
+  /// and falls back to the tolerant line-wise replay — an unparseable line
+  /// is counted in `skipped` and treated as "artifact absent"; the replay
+  /// never aborts.
   static ManifestLoad LoadManifest(const std::string& path);
+
+  /// Attaches a write-ahead journal at `path` (crash site "reuse.wal").
+  /// Once attached, every accepted publish, eviction, invalidation, and
+  /// resolve hit is appended — and fdatasync'd — *before* the in-memory
+  /// mutation, so the ledger of any crash-interrupted run is replayable.
+  Status AttachJournal(const std::string& path);
+  bool journaling() const { return journal_.is_open(); }
+
+  /// Ledger recovered from a journal replay. Metadata only, like
+  /// `ManifestLoad`; artifact data is re-installed via `RestoreEntry`.
+  struct JournalRecovery {
+    bool found = false;      ///< The journal file existed.
+    uint64_t records = 0;    ///< Intact frames replayed.
+    bool torn_tail = false;  ///< Replay stopped at a torn frame.
+    uint64_t next_seq = 0;   ///< First unused insert sequence number.
+    std::vector<ArtifactMeta> metas;  ///< Live entries, insert order.
+  };
+  static JournalRecovery RecoverJournal(const std::string& path);
+
+  /// Reinstalls one artifact exactly as recovered — insert_seq and
+  /// reuse_count included — after verifying `splits` against the recorded
+  /// content checksum. Returns false (store untouched) on a checksum
+  /// mismatch, a live duplicate, or capacity overflow. Counters other than
+  /// entries/bytes_used do not move: restoring is not publishing.
+  bool RestoreEntry(const ArtifactMeta& meta, std::vector<InputSplit> splits);
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
 
@@ -208,6 +242,7 @@ class MaterializedStore {
   int num_nodes_;
   int replication_;
   uint64_t next_seq_ = 0;
+  durable::WriteAheadJournal journal_;
   // Ordered map: iteration (eviction scans, Entries, manifests) is
   // deterministic without extra bookkeeping.
   std::map<uint64_t, Entry> entries_;

@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "obs/obs.h"
@@ -99,6 +101,11 @@ class ServiceSim {
         store_(store),
         obs_(obs),
         free_slots_{config.total_map_slots(), config.total_reduce_slots()} {
+    if (!options.journal_path.empty()) {
+      // Best-effort open: an unopenable journal degrades to an
+      // unjournaled run (every Append below returns FailedPrecondition).
+      journal_.Open(options.journal_path, "service.wal");
+    }
     for (size_t t = 0; t < tenant_names.size(); ++t) {
       admission_.AddTenant(tenant_quotas[t]);
       fair_.AddTenant(tenant_weights[t]);
@@ -116,6 +123,15 @@ class ServiceSim {
       out.tenant = arrivals[i].tenant;
       out.job_template = arrivals[i].job_template;
       out.arrival = arrivals[i].time;
+      // Write-ahead: the submission is durable before the service acts on
+      // it, so recovery re-enqueues anything not later marked fin/rej.
+      if (journal_.is_open()) {
+        char rec[128];
+        std::snprintf(rec, sizeof(rec), "sub %zu %d %d %.17g", i,
+                      arrivals[i].tenant, arrivals[i].job_template,
+                      arrivals[i].time);
+        journal_.Append(rec);
+      }
       Push(arrivals[i].time, kArrival, /*id=*/0, /*job=*/-1,
            /*task=*/static_cast<int>(i), /*stage=*/-1);
     }
@@ -191,6 +207,14 @@ class ServiceSim {
     events_.push(Event{time, kind, ++event_seq_, id, job, task, stage});
   }
 
+  /// Appends one admission-lifecycle record ("adm|def|rej|fin <idx>"),
+  /// write-ahead of the transition it records. Best-effort like the rest
+  /// of the journal: a failed append degrades recovery, never the run.
+  void JournalLifecycle(const char* verb, int arrival_idx) {
+    if (!journal_.is_open()) return;
+    journal_.Append(std::string(verb) + " " + std::to_string(arrival_idx));
+  }
+
   int& FreeSlots(bool is_reduce) { return free_slots_[is_reduce ? 1 : 0]; }
 
   std::string JobTag(const JobOutcome& out, int submission) const {
@@ -215,10 +239,12 @@ class ServiceSim {
     const int t = out.tenant;
     switch (admission_.Offer(t)) {
       case AdmissionDecision::kAdmit:
+        JournalLifecycle("adm", arrival_idx);
         admission_.OnAdmit(t);
         Admit(arrival_idx, now);
         break;
       case AdmissionDecision::kDefer:
+        JournalLifecycle("def", arrival_idx);
         admission_.OnDefer(t);
         backlog_[t].push_back(arrival_idx);
 #if EFIND_OBS
@@ -230,6 +256,7 @@ class ServiceSim {
 #endif
         break;
       case AdmissionDecision::kReject:
+        JournalLifecycle("rej", arrival_idx);
         admission_.OnReject(t);
         out.rejected = true;
 #if EFIND_OBS
@@ -519,6 +546,7 @@ class ServiceSim {
 
   void JobDone(int j, double now) {
     LiveJob& job = jobs_[j];
+    JournalLifecycle("fin", job.outcome);
     job.finished = true;
     JobOutcome& out = result_.jobs[job.outcome];
     out.finish = now;
@@ -601,6 +629,7 @@ class ServiceSim {
   reuse::MaterializedStore* store_;
   obs::ObsSession* obs_;
 
+  durable::WriteAheadJournal journal_;
   AdmissionController admission_;
   FairShareScheduler fair_;
   std::vector<std::vector<int>> backlog_;  ///< Deferred arrival indices.
@@ -678,6 +707,48 @@ ServiceResult JobService::Run(const std::vector<Arrival>& arrivals) {
   ServiceSim sim(config_, options_, tenant_names_, tenant_weights_,
                  tenant_quotas_, templates_, &runner_, store_, obs_);
   return sim.Run(arrivals);
+}
+
+ServiceRecovery JobService::Recover(const std::string& journal_path) {
+  ServiceRecovery recovery;
+  // Submission index -> (arrival, settled?). A submission is settled once
+  // a fin or rej record lands; everything else — admitted mid-flight,
+  // deferred, or never offered — is pending work the restart must redo.
+  std::map<uint64_t, std::pair<Arrival, bool>> subs;
+  const durable::WriteAheadJournal::ReplayResult replay =
+      durable::WriteAheadJournal::Replay(
+          journal_path, [&](std::string_view record) {
+            const std::string line(record);
+            unsigned long long idx = 0;
+            int tenant = 0, tmpl = 0;
+            double time = 0.0;
+            if (std::sscanf(line.c_str(), "sub %llu %d %d %lg", &idx,
+                            &tenant, &tmpl, &time) == 4) {
+              Arrival a;
+              a.time = time;
+              a.tenant = tenant;
+              a.job_template = tmpl;
+              subs[idx] = {a, false};
+              ++recovery.submitted;
+            } else if (std::sscanf(line.c_str(), "fin %llu", &idx) == 1) {
+              auto it = subs.find(idx);
+              if (it != subs.end()) it->second.second = true;
+              ++recovery.finished;
+            } else if (std::sscanf(line.c_str(), "rej %llu", &idx) == 1) {
+              auto it = subs.find(idx);
+              if (it != subs.end()) it->second.second = true;
+              ++recovery.rejected;
+            }
+            // adm/def records carry no recovery action: both states still
+            // owe the tenant a finished job.
+          });
+  recovery.found = replay.found;
+  recovery.records = replay.records;
+  recovery.torn_tail = replay.torn_tail;
+  for (const auto& [idx, sub] : subs) {
+    if (!sub.second) recovery.pending.push_back(sub.first);
+  }
+  return recovery;
 }
 
 }  // namespace service

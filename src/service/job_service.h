@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/wal.h"
 #include "efind/efind_job_runner.h"
 #include "mapreduce/counters.h"
 #include "service/admission.h"
@@ -74,6 +75,12 @@ struct ServiceOptions {
   /// outputs for repeat submissions (identical by determinism). Forced off
   /// while a reuse store is attached, where runs mutate shared store state.
   bool memoize_templates = true;
+  /// When non-empty, every submission and its admission-lifecycle
+  /// transitions (admit / defer / reject / finish) are appended to a
+  /// write-ahead journal at this path (crash site "service.wal") before
+  /// they take effect, so `JobService::Recover` can re-enqueue every
+  /// submitted-but-unfinished job after a crash.
+  std::string journal_path;
 };
 
 /// One submission's life through the service, in submission order.
@@ -147,6 +154,22 @@ struct ServiceResult {
 /// p-th percentile (0..1) by nearest-rank on a sorted copy; 0 when empty.
 double Percentile(std::vector<double> xs, double p);
 
+/// The backlog a crashed service run leaves behind, replayed from its
+/// write-ahead journal: every submission that neither finished nor was
+/// rejected — whether admitted, deferred, or never yet offered — with its
+/// original arrival time, tenant, and template, in submission order.
+/// Re-running these arrivals through a fresh `JobService` loses no
+/// admitted work.
+struct ServiceRecovery {
+  bool found = false;      ///< The journal file existed.
+  uint64_t records = 0;    ///< Intact frames replayed.
+  bool torn_tail = false;  ///< Replay stopped at a torn frame.
+  uint64_t submitted = 0;  ///< `sub` records seen.
+  uint64_t finished = 0;   ///< `fin` records seen.
+  uint64_t rejected = 0;   ///< `rej` records seen.
+  std::vector<Arrival> pending;
+};
+
 /// The multi-tenant job service. Single-threaded orchestration object —
 /// job *internals* parallelize through the runner's pool, the service
 /// itself must not be shared across threads.
@@ -172,6 +195,10 @@ class JobService {
 
   /// Runs the full submission schedule to completion.
   ServiceResult Run(const std::vector<Arrival>& arrivals);
+
+  /// Replays the write-ahead journal a crashed `Run` (with
+  /// `ServiceOptions::journal_path` set) left at `journal_path`.
+  static ServiceRecovery Recover(const std::string& journal_path);
 
   const ClusterConfig& config() const { return config_; }
   const ServiceOptions& options() const { return options_; }

@@ -22,19 +22,20 @@ class CachingPageReader : public PackedObjectStore::PageReader {
   explicit CachingPageReader(const PackedObjectStore* store)
       : store_(store), page_bytes_(store->page_bytes()) {}
 
-  bool Read(int partition, uint64_t page, char* dst) override {
+  Status Read(int partition, uint64_t page, char* dst) override {
     // Pages are block indices well under 2^40; partitions are small ints.
     const uint64_t key =
         (static_cast<uint64_t>(partition) << 40) | page;
     auto it = cache_.find(key);
     if (it == cache_.end()) {
       auto buf = std::make_unique<char[]>(page_bytes_);
-      if (!store_->ReadPage(partition, page, buf.get())) return false;
+      const Status s = store_->ReadPage(partition, page, buf.get());
+      if (!s.ok()) return s;  // Failed pages are never cached.
       it = cache_.emplace(key, std::move(buf)).first;
       ++misses_;
     }
     std::memcpy(dst, it->second.get(), page_bytes_);
-    return true;
+    return Status::OK();
   }
 
   uint64_t misses() const { return misses_; }

@@ -3,6 +3,7 @@
 
 #include "store/packed_store.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -16,6 +17,8 @@
 #include <numeric>
 #include <utility>
 
+#include "common/checksum.h"
+#include "common/durable.h"
 #include "common/hash.h"
 
 namespace efind {
@@ -71,7 +74,9 @@ bool GetU64(const char** p, const char* end, uint64_t* v) {
 constexpr uint64_t kObjectHeaderBytes = 16;
 // Page trailer: u16 offset of the first object starting in the page.
 constexpr uint16_t kNoObjectStarts = 0xffff;
-constexpr char kSidecarMagic[] = "EFSTIDX1";
+// Sidecar format 2: adds the data file's content checksum after
+// payload_bytes, and the whole blob is sealed with a durable footer.
+constexpr char kSidecarMagic[] = "EFSTIDX2";
 constexpr uint64_t kSidecarMagicBytes = 8;
 
 /// Object-stream bytes per page after the trailer and the fill degree.
@@ -84,47 +89,94 @@ uint64_t UsablePageBytes(const PackedStoreOptions& options) {
   return used;
 }
 
-std::string DataPath(const std::string& dir, int p) {
-  return dir + "/part" + std::to_string(p) + ".dat";
+// Data and sidecar files carry the build generation in their name
+// (part<N>.g<G>.dat); the manifest — committed last, atomically — is the
+// sole pointer to the live generation, so a crash mid-build leaves the
+// prior generation loadable.
+std::string DataPath(const std::string& dir, int p, uint64_t gen) {
+  return dir + "/part" + std::to_string(p) + ".g" + std::to_string(gen) +
+         ".dat";
 }
 
-std::string IndexPath(const std::string& dir, int p) {
-  return dir + "/part" + std::to_string(p) + ".idx";
+std::string IndexPath(const std::string& dir, int p, uint64_t gen) {
+  return dir + "/part" + std::to_string(p) + ".g" + std::to_string(gen) +
+         ".idx";
 }
 
 std::string ManifestPath(const std::string& dir) {
   return dir + "/manifest.txt";
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  out->clear();
-  char buf[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  return ok;
+/// Highest generation number any part file in `dir` carries. A crashed
+/// build can leave gen G+1 files behind with the manifest still at G; the
+/// next build must skip past them so it never overwrites a torn file with
+/// the same name.
+uint64_t MaxGenerationInDir(const std::string& dir) {
+  uint64_t max_gen = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (struct dirent* e = ::readdir(d)) {
+    const char* name = e->d_name;
+    if (std::strncmp(name, "part", 4) != 0) continue;
+    const char* g = std::strchr(name, 'g');
+    if (g == nullptr) continue;
+    char* end = nullptr;
+    const uint64_t gen = std::strtoull(g + 1, &end, 10);
+    if (end == g + 1 || *end != '.') continue;
+    if (gen > max_gen) max_gen = gen;
+  }
+  ::closedir(d);
+  return max_gen;
 }
 
-bool WriteFile(const std::string& path, const std::string& data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
-  return (std::fclose(f) == 0) && ok;
+/// Removes part files of any generation other than `keep`, plus stray
+/// `.tmp` files a crashed commit left behind. Best-effort: runs after the
+/// manifest commit, so failures only leak disk.
+void RemoveStaleGenerations(const std::string& dir, uint64_t keep) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    const size_t len = name.size();
+    if (len > 4 && name.compare(len - 4, 4, ".tmp") == 0) {
+      doomed.push_back(name);
+      continue;
+    }
+    if (name.compare(0, 4, "part") != 0) continue;
+    const size_t g = name.find(".g");
+    if (g == std::string::npos) continue;
+    char* end = nullptr;
+    const uint64_t gen = std::strtoull(name.c_str() + g + 2, &end, 10);
+    if (end == name.c_str() + g + 2 || *end != '.') continue;
+    if (gen != keep) doomed.push_back(name);
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed) ::unlink((dir + "/" + name).c_str());
 }
 
 /// Parses the line-oriented `key value` manifest. Returns false on a
-/// missing file; unknown keys are ignored for forward compatibility.
+/// missing file; unknown keys are ignored for forward compatibility. The
+/// manifest is sealed with a durable footer: a torn or truncated manifest
+/// fails loudly here instead of loading a half-written store description.
 bool ParseManifest(const std::string& dir, PackedStoreOptions* options,
                    uint64_t* version, std::string* error) {
-  std::string text;
-  if (!ReadFile(ManifestPath(dir), &text)) {
+  std::string raw;
+  if (!durable::ReadFileContents(ManifestPath(dir), &raw)) {
     if (error != nullptr) *error = "missing manifest: " + ManifestPath(dir);
     return false;
   }
+  uint64_t footer_gen = 0;
+  std::string_view body;
+  const Status footer = durable::CheckFooter(raw, &footer_gen, &body);
+  if (!footer.ok()) {
+    if (error != nullptr) {
+      *error = "torn manifest: " + ManifestPath(dir) + " (" +
+               footer.message() + ")";
+    }
+    return false;
+  }
+  const std::string text(body);
   options->dir = dir;
   size_t pos = 0;
   bool saw_header = false;
@@ -161,6 +213,12 @@ bool ParseManifest(const std::string& dir, PackedStoreOptions* options,
   }
   if (!saw_header) {
     if (error != nullptr) *error = "not a packed store manifest: " + dir;
+    return false;
+  }
+  if (*version != footer_gen) {
+    if (error != nullptr) {
+      *error = "manifest generation mismatch: " + ManifestPath(dir);
+    }
     return false;
   }
   return true;
@@ -220,7 +278,7 @@ Status DecodeValues(const std::string& payload,
 class DirectPageReader : public PackedObjectStore::PageReader {
  public:
   explicit DirectPageReader(const PackedObjectStore* s) : store_(s) {}
-  bool Read(int partition, uint64_t page, char* dst) override {
+  Status Read(int partition, uint64_t page, char* dst) override {
     return store_->ReadPage(partition, page, dst);
   }
 
@@ -276,41 +334,67 @@ std::unique_ptr<PackedObjectStore> PackedObjectStore::Open(
   s->parts_.resize(options.num_partitions);
   for (int p = 0; p < options.num_partitions; ++p) {
     Partition& part = s->parts_[p];
+    const std::string idx_path = IndexPath(dir, p, version);
     std::string blob;
-    if (!ReadFile(IndexPath(dir, p), &blob)) {
-      if (error != nullptr) *error = "missing sidecar: " + IndexPath(dir, p);
+    if (!durable::ReadFileContents(idx_path, &blob)) {
+      if (error != nullptr) *error = "missing sidecar: " + idx_path;
       return nullptr;
     }
-    const char* cur = blob.data();
-    const char* end = cur + blob.size();
-    if (blob.size() < kSidecarMagicBytes ||
+    uint64_t sidecar_gen = 0;
+    std::string_view body;
+    const Status footer = durable::CheckFooter(blob, &sidecar_gen, &body);
+    if (!footer.ok() || sidecar_gen != version) {
+      if (error != nullptr) {
+        *error = "torn sidecar: " + idx_path + " (" +
+                 (footer.ok() ? std::string("generation mismatch")
+                              : footer.message()) +
+                 ")";
+      }
+      return nullptr;
+    }
+    const char* cur = body.data();
+    const char* end = cur + body.size();
+    if (body.size() < kSidecarMagicBytes ||
         std::memcmp(cur, kSidecarMagic, kSidecarMagicBytes) != 0) {
-      if (error != nullptr) *error = "bad sidecar magic: " + IndexPath(dir, p);
+      if (error != nullptr) *error = "bad sidecar magic: " + idx_path;
       return nullptr;
     }
     cur += kSidecarMagicBytes;
+    uint64_t data_checksum = 0;
     if (!GetU64(&cur, end, &part.num_objects) ||
         !GetU64(&cur, end, &part.num_blocks) ||
         !GetU64(&cur, end, &part.num_bins) ||
         !GetU64(&cur, end, &part.payload_bytes) ||
+        !GetU64(&cur, end, &data_checksum) ||
         !part.first_bin.ParseFrom(&cur, end) ||
         part.first_bin.size() != part.num_blocks) {
-      if (error != nullptr) *error = "corrupt sidecar: " + IndexPath(dir, p);
+      if (error != nullptr) *error = "corrupt sidecar: " + idx_path;
       return nullptr;
     }
     if (part.num_blocks == 0) continue;
-    part.fd = ::open(DataPath(dir, p).c_str(), O_RDONLY);
-    if (part.fd < 0) {
-      if (error != nullptr) *error = "missing data file: " + DataPath(dir, p);
+    const std::string dat_path = DataPath(dir, p, version);
+    // The data file has no footer (pages must stay page-aligned); its
+    // content checksum lives in the sidecar instead, and Open verifies the
+    // whole file so a torn data page can never serve garbage lookups.
+    std::string data;
+    if (!durable::ReadFileContents(dat_path, &data)) {
+      if (error != nullptr) *error = "missing data file: " + dat_path;
       return nullptr;
     }
-    struct stat st;
-    if (::fstat(part.fd, &st) != 0 ||
-        static_cast<uint64_t>(st.st_size) !=
-            part.num_blocks * options.page_bytes) {
-      if (error != nullptr) {
-        *error = "data file size mismatch: " + DataPath(dir, p);
-      }
+    if (data.size() != part.num_blocks * options.page_bytes) {
+      if (error != nullptr) *error = "data file size mismatch: " + dat_path;
+      return nullptr;
+    }
+    Checksum64 c;
+    c.Update(data);
+    if (c.Digest() != data_checksum) {
+      durable::NoteTornDetected();
+      if (error != nullptr) *error = "torn data file: " + dat_path;
+      return nullptr;
+    }
+    part.fd = ::open(dat_path.c_str(), O_RDONLY);
+    if (part.fd < 0) {
+      if (error != nullptr) *error = "missing data file: " + dat_path;
       return nullptr;
     }
   }
@@ -323,19 +407,38 @@ PackedObjectStore::~PackedObjectStore() {
   }
 }
 
-bool PackedObjectStore::ReadPage(int partition, uint64_t page,
-                                 char* dst) const {
+Status PackedObjectStore::ReadPage(int partition, uint64_t page,
+                                   char* dst) const {
   const Partition& part = parts_[partition];
-  if (part.fd < 0 || page >= part.num_blocks) return false;
+  if (part.fd < 0 || page >= part.num_blocks) {
+    return Status::OutOfRange("packed store: page " + std::to_string(page) +
+                              " out of range for partition " +
+                              std::to_string(partition));
+  }
   const uint64_t n = options_.page_bytes;
   uint64_t done = 0;
   while (done < n) {
     const ssize_t r = ::pread(part.fd, dst + done, n - done,
                               static_cast<off_t>(page * n + done));
-    if (r <= 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;  // Interrupted, not failed: retry.
+      return Status::Internal("packed store: pread failed for partition " +
+                              std::to_string(partition) + " page " +
+                              std::to_string(page) + ": " +
+                              std::strerror(errno));
+    }
+    if (r == 0) {
+      // EOF inside a page the sidecar says exists: the file was truncated
+      // underneath us after Open's full-file verification.
+      durable::NoteTornDetected();
+      return Status::DataLoss(
+          "packed store: truncated page " + std::to_string(page) +
+          " in partition " + std::to_string(partition) + " (short read at " +
+          std::to_string(done) + "/" + std::to_string(n) + " bytes)");
+    }
     done += static_cast<uint64_t>(r);
   }
-  return true;
+  return Status::OK();
 }
 
 Status PackedObjectStore::Get(std::string_view key,
@@ -379,9 +482,8 @@ Status PackedObjectStore::LookupWith(PageReader* reader, std::string_view key,
   std::string buf((p - q + 1) * page_bytes, '\0');
   uint64_t last_page = p;
   for (uint64_t k = q; k <= p; ++k) {
-    if (!reader->Read(partition, k, &buf[(k - q) * page_bytes])) {
-      return Status::Internal("packed store: page read failed");
-    }
+    const Status rs = reader->Read(partition, k, &buf[(k - q) * page_bytes]);
+    if (!rs.ok()) return rs;
   }
   info->pages = p - q + 1;
 
@@ -401,39 +503,45 @@ Status PackedObjectStore::LookupWith(PageReader* reader, std::string_view key,
   }
 
   // Fetches pages past the prefetched range (an object straddling block p).
-  auto ensure_page = [&](uint64_t page) -> bool {
+  auto ensure_page = [&](uint64_t page) -> Status {
     while (page > last_page) {
       ++last_page;
       buf.resize(buf.size() + page_bytes);
-      if (!reader->Read(partition, last_page,
-                        &buf[(last_page - q) * page_bytes])) {
-        return false;
-      }
+      const Status rs =
+          reader->Read(partition, last_page, &buf[(last_page - q) * page_bytes]);
+      if (!rs.ok()) return rs;
       ++info->pages;
     }
-    return true;
+    return Status::OK();
   };
   // Copies `n` stream bytes at the cursor into dst, advancing the cursor.
-  auto read_bytes = [&](uint64_t n, char* dst) -> bool {
+  // Propagates the reader's status so a torn page (DataLoss) stays
+  // distinguishable from a malformed object stream (Internal).
+  auto read_bytes = [&](uint64_t n, char* dst) -> Status {
     while (n > 0) {
       const uint64_t page = cur / used;
       const uint64_t off = cur % used;
-      if (page >= part.num_blocks || !ensure_page(page)) return false;
+      if (page >= part.num_blocks) {
+        return Status::Internal(
+            "packed store: object stream overruns data file");
+      }
+      const Status rs = ensure_page(page);
+      if (!rs.ok()) return rs;
       const uint64_t take = std::min(n, used - off);
       std::memcpy(dst, &buf[(page - q) * page_bytes + off], take);
       cur += take;
       dst += take;
       n -= take;
     }
-    return true;
+    return Status::OK();
   };
 
   // Scan objects starting in blocks [q, p]; the stream is bin-ordered, so
   // the first object whose bin exceeds ours ends the scan.
   while (cur < part.payload_bytes && cur / used <= p) {
     char hdr[kObjectHeaderBytes];
-    if (!read_bytes(kObjectHeaderBytes, hdr)) {
-      return Status::Internal("packed store: truncated object header");
+    if (const Status rs = read_bytes(kObjectHeaderBytes, hdr); !rs.ok()) {
+      return rs;
     }
     const uint64_t obj_hash = LoadU64(hdr);
     const uint32_t key_len = LoadU32(hdr + 8);
@@ -441,13 +549,14 @@ Status PackedObjectStore::LookupWith(PageReader* reader, std::string_view key,
     if (FastRange64(obj_hash, part.num_bins) > bin) break;
     if (obj_hash == hash && key_len == key.size()) {
       std::string obj_key(key_len, '\0');
-      if (!read_bytes(key_len, obj_key.data())) {
-        return Status::Internal("packed store: truncated object key");
+      if (const Status rs = read_bytes(key_len, obj_key.data()); !rs.ok()) {
+        return rs;
       }
       if (obj_key == key) {
         std::string payload(payload_len, '\0');
-        if (!read_bytes(payload_len, payload.data())) {
-          return Status::Internal("packed store: truncated object payload");
+        if (const Status rs = read_bytes(payload_len, payload.data());
+            !rs.ok()) {
+          return rs;
         }
         return DecodeValues(payload, out);
       }
@@ -492,7 +601,10 @@ std::unique_ptr<PackedObjectStore> PackedStoreBuilder::Build(
   ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine (rebuild).
 
   // A rebuild into an existing directory bumps the persisted generation so
-  // fingerprint-keyed reuse artifacts built on the old contents die.
+  // fingerprint-keyed reuse artifacts built on the old contents die. The
+  // new generation must also clear every part file already on disk — a
+  // crashed earlier build may have left files one past the manifest's
+  // generation, and reusing their names would commit over torn data.
   uint64_t version = 0;
   {
     PackedStoreOptions prior;
@@ -500,6 +612,7 @@ std::unique_ptr<PackedObjectStore> PackedStoreBuilder::Build(
     if (ParseManifest(options_.dir, &prior, &prior_version, nullptr)) {
       version = prior_version;
     }
+    version = std::max(version, MaxGenerationInDir(options_.dir));
   }
   ++version;
 
@@ -597,34 +710,45 @@ std::unique_ptr<PackedObjectStore> PackedStoreBuilder::Build(
       page[page_bytes - 1] = static_cast<char>((trailers[k] >> 8) & 0xff);
       data.append(page);
     }
-    if (!WriteFile(DataPath(options_.dir, p), data)) {
-      if (error != nullptr) {
-        *error = "packed store: cannot write " + DataPath(options_.dir, p);
-      }
+    // Data pages must stay page-aligned, so the file carries no footer;
+    // its content checksum goes into the sidecar and Open re-verifies it.
+    Status ws = durable::AtomicWriteFile(DataPath(options_.dir, p, version),
+                                         data, "store.data");
+    if (!ws.ok()) {
+      if (error != nullptr) *error = "packed store: " + ws.message();
       return nullptr;
     }
 
+    Checksum64 data_sum;
+    data_sum.Update(data);
     std::string sidecar(kSidecarMagic, kSidecarMagicBytes);
     PutU64(&sidecar, num_objects);
     PutU64(&sidecar, num_blocks);
     PutU64(&sidecar, num_bins);
     PutU64(&sidecar, payload.size());
+    PutU64(&sidecar, data_sum.Digest());
     ef.AppendTo(&sidecar);
-    if (!WriteFile(IndexPath(options_.dir, p), sidecar)) {
-      if (error != nullptr) {
-        *error = "packed store: cannot write " + IndexPath(options_.dir, p);
-      }
+    durable::AppendFooter(&sidecar, version);
+    ws = durable::AtomicWriteFile(IndexPath(options_.dir, p, version),
+                                  sidecar, "store.sidecar");
+    if (!ws.ok()) {
+      if (error != nullptr) *error = "packed store: " + ws.message();
       return nullptr;
     }
   }
 
-  if (!WriteFile(ManifestPath(options_.dir),
-                 FormatManifest(options_, version))) {
-    if (error != nullptr) {
-      *error = "packed store: cannot write " + ManifestPath(options_.dir);
-    }
+  // The manifest commits LAST: until its atomic rename lands, the prior
+  // generation's manifest still points at fully-committed prior files, so
+  // a crash anywhere above leaves the store loadable at the old version.
+  std::string manifest = FormatManifest(options_, version);
+  durable::AppendFooter(&manifest, version);
+  const Status ws = durable::AtomicWriteFile(ManifestPath(options_.dir),
+                                             manifest, "store.manifest");
+  if (!ws.ok()) {
+    if (error != nullptr) *error = "packed store: " + ws.message();
     return nullptr;
   }
+  RemoveStaleGenerations(options_.dir, version);
 
   staged_.Clear();
   arena_.Reset();

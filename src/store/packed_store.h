@@ -40,7 +40,11 @@ namespace store {
 /// Tunables for a packed store. Persisted in the store's manifest so a
 /// reload sees the exact build-time geometry.
 struct PackedStoreOptions {
-  /// Directory holding part<N>.dat / part<N>.idx / manifest.txt.
+  /// Directory holding part<N>.g<G>.dat / part<N>.g<G>.idx / manifest.txt,
+  /// where G is the build generation. The manifest — sealed with a durable
+  /// footer and committed last via atomic rename — names the live
+  /// generation; files of other generations are dead and GC'd by the next
+  /// successful build.
   std::string dir;
   /// Page (block) size in bytes. The last two bytes of every page are the
   /// offset of the first object starting in it, so 64 <= page_bytes <= 65536.
@@ -82,11 +86,12 @@ class PackedObjectStore {
   };
 
   /// Page access abstraction. `Read` fills `dst` (page_bytes bytes) with
-  /// page `page` of partition `partition`; returns false on I/O error.
+  /// page `page` of partition `partition`. Returns DataLoss for a page
+  /// truncated underneath the store, Internal for other I/O errors.
   class PageReader {
    public:
     virtual ~PageReader() = default;
-    virtual bool Read(int partition, uint64_t page, char* dst) = 0;
+    virtual Status Read(int partition, uint64_t page, char* dst) = 0;
   };
 
   /// Loads a store previously written by `PackedStoreBuilder::Build` from
@@ -114,8 +119,9 @@ class PackedObjectStore {
                     std::vector<IndexValue>* out, LookupInfo* info) const;
 
   /// Reads one raw page into `dst` (page_bytes bytes). The building block
-  /// for external `PageReader`s.
-  bool ReadPage(int partition, uint64_t page, char* dst) const;
+  /// for external `PageReader`s. Retries interrupted preads; a short read
+  /// (EOF inside a page the sidecar promises) is DataLoss, not Internal.
+  Status ReadPage(int partition, uint64_t page, char* dst) const;
 
   /// CPU-side service time for a lookup returning `result_bytes` (page I/O
   /// excluded; see PackedStoreOptions::base_service_sec).

@@ -12,11 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/durable.h"
 #include "store/lookup_queue.h"
 #include "store/packed_store.h"
 
@@ -256,6 +258,171 @@ TEST(PackedStoreTest, BatchedFlushMatchesSerialAndCoalesces) {
               outcome.completions[i].ticket + keys.size());
     EXPECT_EQ(again.completions[i].values, outcome.completions[i].values);
   }
+}
+
+// --- torn-state matrix (DESIGN.md §15) -------------------------------------
+//
+// Every persisted piece of a store — manifest, Elias-Fano sidecars, data
+// files — is covered by a checksum (the manifest and sidecars by a durable
+// footer, the data files by a whole-file digest recorded in their sidecar).
+// A truncated or bit-flipped file must make `Open` fail loudly, naming the
+// offending path; garbage is never served.
+
+/// Builds a small store and returns its directory; `*version` gets the
+/// live generation (for deriving part file names).
+std::string BuildTornFixture(const char* leaf, uint64_t* version) {
+  const std::string dir = TempDir(leaf);
+  PackedStoreBuilder builder(SmallOptions(dir));
+  for (int k = 0; k < 200; ++k) {
+    builder.Add("k" + std::to_string(k), IndexValue("v" + std::to_string(k),
+                                                    k));
+  }
+  std::string error;
+  auto store = builder.Build(&error);
+  EXPECT_NE(store, nullptr) << error;
+  *version = store == nullptr ? 0 : store->version();
+  return dir;
+}
+
+void RewriteRaw(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+
+enum class Corruption { kTruncateTail, kTruncateHalf, kBitflip };
+
+void Corrupt(const std::string& path, Corruption how) {
+  std::string raw;
+  ASSERT_TRUE(durable::ReadFileContents(path, &raw)) << path;
+  ASSERT_GT(raw.size(), 20u) << path;
+  switch (how) {
+    case Corruption::kTruncateTail:
+      raw.resize(raw.size() - 10);
+      break;
+    case Corruption::kTruncateHalf:
+      raw.resize(raw.size() / 2);
+      break;
+    case Corruption::kBitflip:
+      raw[raw.size() / 3] ^= 0x20;
+      break;
+  }
+  RewriteRaw(path, raw);
+}
+
+/// `Open` must fail and the error must name the corrupted file.
+void ExpectOpenFailsNaming(const std::string& dir, const std::string& path) {
+  std::string error;
+  auto reopened = PackedObjectStore::Open(dir, &error);
+  EXPECT_EQ(reopened, nullptr) << "opened a corrupted store: " << path;
+  EXPECT_NE(error.find(path), std::string::npos)
+      << "error '" << error << "' does not name " << path;
+}
+
+TEST(PackedStoreTornTest, CorruptManifestFailsLoudly) {
+  for (const Corruption how : {Corruption::kTruncateTail,
+                               Corruption::kTruncateHalf,
+                               Corruption::kBitflip}) {
+    uint64_t version = 0;
+    const std::string dir = BuildTornFixture("torn_manifest", &version);
+    ASSERT_GT(version, 0u);
+    const std::string manifest = dir + "/manifest.txt";
+    Corrupt(manifest, how);
+    ExpectOpenFailsNaming(dir, manifest);
+  }
+}
+
+TEST(PackedStoreTornTest, CorruptSidecarFailsLoudly) {
+  for (const Corruption how : {Corruption::kTruncateTail,
+                               Corruption::kTruncateHalf,
+                               Corruption::kBitflip}) {
+    uint64_t version = 0;
+    const std::string dir = BuildTornFixture("torn_sidecar", &version);
+    ASSERT_GT(version, 0u);
+    const std::string sidecar =
+        dir + "/part0.g" + std::to_string(version) + ".idx";
+    Corrupt(sidecar, how);
+    ExpectOpenFailsNaming(dir, sidecar);
+  }
+}
+
+TEST(PackedStoreTornTest, CorruptDataFileFailsLoudly) {
+  // Data files carry no footer (pages must stay aligned); their integrity
+  // is a whole-file digest in the sidecar, verified at Open.
+  for (const Corruption how : {Corruption::kTruncateHalf,
+                               Corruption::kBitflip}) {
+    uint64_t version = 0;
+    const std::string dir = BuildTornFixture("torn_data", &version);
+    ASSERT_GT(version, 0u);
+    const std::string data =
+        dir + "/part0.g" + std::to_string(version) + ".dat";
+    Corrupt(data, how);
+    ExpectOpenFailsNaming(dir, data);
+  }
+}
+
+TEST(PackedStoreTornTest, SidecarFromWrongGenerationRejected) {
+  // A sidecar sealed under a different generation than the manifest names
+  // must be rejected even though its own checksum verifies — the footer's
+  // generation stamp is what proves the file belongs to this build wave.
+  uint64_t version = 0;
+  const std::string dir = BuildTornFixture("torn_gen", &version);
+  ASSERT_GT(version, 0u);
+  const std::string sidecar =
+      dir + "/part1.g" + std::to_string(version) + ".idx";
+  std::string raw;
+  ASSERT_TRUE(durable::ReadFileContents(sidecar, &raw));
+  uint64_t gen = 0;
+  std::string_view body;
+  ASSERT_TRUE(durable::CheckFooter(raw, &gen, &body).ok());
+  ASSERT_EQ(gen, version);
+  std::string reseal(body);
+  durable::AppendFooter(&reseal, version + 7);
+  RewriteRaw(sidecar, reseal);
+  ExpectOpenFailsNaming(dir, sidecar);
+}
+
+TEST(PackedStoreTornTest, RebuildCollectsStaleGenerationFiles) {
+  uint64_t v1 = 0;
+  const std::string dir = BuildTornFixture("torn_gc", &v1);
+  ASSERT_GT(v1, 0u);
+  // Rebuild: the new generation's build must GC the old part files (a
+  // crashed build's debris must not accumulate, and stale data must not
+  // linger to be confused for live).
+  PackedStoreBuilder builder(SmallOptions(dir));
+  builder.Add("fresh", IndexValue("new", 1));
+  std::string error;
+  auto rebuilt = builder.Build(&error);
+  ASSERT_NE(rebuilt, nullptr) << error;
+  EXPECT_GT(rebuilt->version(), v1);
+  std::string raw;
+  EXPECT_FALSE(durable::ReadFileContents(
+      dir + "/part0.g" + std::to_string(v1) + ".dat", &raw));
+  EXPECT_FALSE(durable::ReadFileContents(
+      dir + "/part0.g" + std::to_string(v1) + ".idx", &raw));
+}
+
+TEST(PackedStoreTornTest, TruncatedPageIsDataLossAtRead) {
+  // Truncation *after* Open (a lying disk mid-run): the page read itself
+  // must surface DataLoss naming the page, never return stale bytes.
+  uint64_t version = 0;
+  const std::string dir = BuildTornFixture("torn_page", &version);
+  std::string error;
+  auto store = PackedObjectStore::Open(dir, &error);
+  ASSERT_NE(store, nullptr) << error;
+  // Chop the mapped data file of partition 0 under the open store.
+  const std::string data =
+      dir + "/part0.g" + std::to_string(version) + ".dat";
+  std::string raw;
+  ASSERT_TRUE(durable::ReadFileContents(data, &raw));
+  ASSERT_GE(store->num_partition_blocks(0), 1u);
+  RewriteRaw(data, raw.substr(0, store->page_bytes() / 2));
+  std::vector<char> page(store->page_bytes());
+  const Status s = store->ReadPage(
+      0, store->num_partition_blocks(0) - 1, page.data());
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_NE(s.message().find("truncated page"), std::string::npos);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable.h"
 #include "reuse/materialized_store.h"
 
 namespace efind {
@@ -376,6 +377,135 @@ TEST(MaterializedStoreTest, GarbageManifestNeverAborts) {
       MaterializedStore::LoadManifest(path + ".does_not_exist");
   EXPECT_FALSE(missing.ok);
   EXPECT_EQ(missing.entries, 0);
+}
+
+// --- durable footer and write-ahead journal (DESIGN.md §15) ----------------
+
+TEST(MaterializedStoreTest, ManifestFooterDistinguishesIntactFromTorn) {
+  MaterializedStore store(1 << 20);
+  store.Publish(0xB, MakeSplits(2, 10), 1.5, ArtifactLayout::kRepartition,
+                48, "first");
+  store.Publish(0xA, MakeSplits(3, 20), 2.5, ArtifactLayout::kIndexLocality,
+                12, "second");
+  const std::string path =
+      ::testing::TempDir() + "/reuse_store_footer.json";
+  ASSERT_TRUE(store.DumpManifest(path));
+
+  // A committed manifest carries a verifying footer: trusted end to end.
+  const auto intact = MaterializedStore::LoadManifest(path);
+  EXPECT_TRUE(intact.ok);
+  EXPECT_FALSE(intact.torn);
+  EXPECT_EQ(intact.entries, 2);
+
+  // Chop into the footer (a torn copy / crashed writer): the load flags it
+  // and falls back to the tolerant line-wise replay — the body lines are
+  // still whole, so both entries survive.
+  std::string raw;
+  ASSERT_TRUE(durable::ReadFileContents(path, &raw));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(raw.data(), 1, raw.size() - 10, f);
+    std::fclose(f);
+  }
+  const auto torn = MaterializedStore::LoadManifest(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(torn.ok);
+  EXPECT_TRUE(torn.torn);
+  EXPECT_EQ(torn.entries, 2);
+  EXPECT_EQ(torn.metas[0].fingerprint, 0xBu);
+  EXPECT_EQ(torn.metas[1].fingerprint, 0xAu);
+}
+
+TEST(MaterializedStoreTest, JournalReplayReconstructsExactLedger) {
+  const std::string wal = ::testing::TempDir() + "/reuse_store_journal.wal";
+  std::remove(wal.c_str());
+
+  MaterializedStore store(1 << 20);
+  ASSERT_TRUE(store.AttachJournal(wal).ok());
+  EXPECT_TRUE(store.journaling());
+  auto splits_a = MakeSplits(4, 10, "a");
+  auto splits_b = MakeSplits(4, 10, "b");
+  store.Publish(0xAA, CopySplits(splits_a), 1.0,
+                ArtifactLayout::kRepartition, 8, "job:alpha op", "alpha");
+  store.Publish(0xBB, CopySplits(splits_b), 2.0,
+                ArtifactLayout::kIndexLocality, 4, "job:beta", "");
+  store.Resolve(0xAA, nullptr);  // reuse_count 1.
+  store.Resolve(0xAA, nullptr);  // reuse_count 2.
+  store.Invalidate(0xBB);
+  const auto live = store.Entries();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].reuse_count, 2u);
+
+  const auto rec = MaterializedStore::RecoverJournal(wal);
+  EXPECT_TRUE(rec.found);
+  EXPECT_FALSE(rec.torn_tail);
+  // pub, pub, hit, hit, inval — five intact frames.
+  EXPECT_EQ(rec.records, 5u);
+  EXPECT_EQ(rec.next_seq, 2u);
+  ASSERT_EQ(rec.metas.size(), 1u);
+  EXPECT_EQ(rec.metas[0].fingerprint, 0xAAu);
+  EXPECT_EQ(rec.metas[0].label, "job:alpha op");  // Labels keep spaces.
+  EXPECT_EQ(rec.metas[0].owner, "alpha");
+  EXPECT_EQ(rec.metas[0].reuse_count, 2u);
+  EXPECT_EQ(rec.metas[0].insert_seq, live[0].insert_seq);
+  EXPECT_EQ(rec.metas[0].checksum, live[0].checksum);
+  EXPECT_EQ(rec.metas[0].bytes, live[0].bytes);
+  EXPECT_DOUBLE_EQ(rec.metas[0].saved_seconds, 1.0);
+
+  // Restoring the recovered ledger into a fresh store reproduces it
+  // exactly — sequence numbers and reuse counts included — and the next
+  // publish continues the sequence rather than reusing it.
+  MaterializedStore restored(1 << 20);
+  ASSERT_TRUE(restored.RestoreEntry(rec.metas[0], CopySplits(splits_a)));
+  const auto back = restored.Entries();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].insert_seq, live[0].insert_seq);
+  EXPECT_EQ(back[0].reuse_count, 2u);
+  EXPECT_EQ(restored.stats().bytes_used, store.stats().bytes_used);
+  EXPECT_EQ(restored.stats().publishes, 0u);  // Restoring ≠ publishing.
+  restored.Publish(0xCC, MakeSplits(2, 10, "c"), 1.0,
+                   ArtifactLayout::kRepartition, 8, "later");
+  EXPECT_GT(restored.Entries()[1].insert_seq, live[0].insert_seq);
+  std::remove(wal.c_str());
+}
+
+TEST(MaterializedStoreTest, RestoreEntryRejectsCorruptOrConflicting) {
+  const std::string wal =
+      ::testing::TempDir() + "/reuse_store_restore.wal";
+  std::remove(wal.c_str());
+  MaterializedStore store(1 << 20);
+  ASSERT_TRUE(store.AttachJournal(wal).ok());
+  store.Publish(0xAA, MakeSplits(4, 10, "a"), 1.0,
+                ArtifactLayout::kRepartition, 8, "x");
+  const auto rec = MaterializedStore::RecoverJournal(wal);
+  ASSERT_EQ(rec.metas.size(), 1u);
+
+  // Wrong content for the recorded checksum: refused, store untouched.
+  MaterializedStore fresh(1 << 20);
+  EXPECT_FALSE(fresh.RestoreEntry(rec.metas[0], MakeSplits(4, 10, "z")));
+  EXPECT_EQ(fresh.stats().entries, 0u);
+  // Right content: accepted once, duplicate refused.
+  EXPECT_TRUE(fresh.RestoreEntry(rec.metas[0], MakeSplits(4, 10, "a")));
+  EXPECT_FALSE(fresh.RestoreEntry(rec.metas[0], MakeSplits(4, 10, "a")));
+  EXPECT_EQ(fresh.stats().entries, 1u);
+  // Capacity overflow: refused, store untouched.
+  MaterializedStore tiny(/*capacity_bytes=*/10);
+  EXPECT_FALSE(tiny.RestoreEntry(rec.metas[0], MakeSplits(4, 10, "a")));
+  EXPECT_EQ(tiny.stats().entries, 0u);
+  std::remove(wal.c_str());
+}
+
+TEST(MaterializedStoreTest, AttachJournalReportsUnwritablePath) {
+  MaterializedStore store(1 << 20);
+  const Status s =
+      store.AttachJournal("/nonexistent_dir_zz/reuse.wal");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(store.journaling());
+  // An unjournaled store still works (journaling is opt-in).
+  auto pr = store.Publish(0x1, MakeSplits(2, 10), 1.0,
+                          ArtifactLayout::kRepartition, 8, "l");
+  EXPECT_TRUE(pr.stored);
 }
 
 }  // namespace
